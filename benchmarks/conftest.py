@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks are pytest-benchmark tests; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Protocol-level benches use ``benchmark.pedantic`` with a small round count
+because a single baseline-identification round at a 100-user database is
+itself hundreds of signature operations.
+
+Stacks are built once per module (scope="module") — enrollment of a
+5000-dimension population is itself seconds of work and is benchmarked
+separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.crypto.dsa import Dsa
+from repro.crypto.dsa_groups import GROUP_1024
+from repro.protocols.device import BiometricDevice
+from repro.protocols.runners import run_enrollment
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+
+
+def paper_scheme() -> Dsa:
+    """DSA with paper-era parameters (Table II: 'DSA')."""
+    return Dsa(GROUP_1024)
+
+
+def build_stack(params: SystemParams, n_users: int, seed: int = 0):
+    """Enroll ``n_users`` synthetic users; returns (device, server, population)."""
+    scheme = paper_scheme()
+    population = UserPopulation(
+        params, size=n_users, noise=BoundedUniformNoise(params.t), seed=seed
+    )
+    device = BiometricDevice(params, scheme, seed=b"bench-device")
+    server = AuthenticationServer(params, scheme, seed=b"bench-server")
+    for i, user_id in enumerate(population.user_ids()):
+        run = run_enrollment(device, server, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted
+    return device, server, population
+
+
+@pytest.fixture(scope="module")
+def bench_rng():
+    return np.random.default_rng(2017)

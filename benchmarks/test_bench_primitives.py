@@ -1,0 +1,73 @@
+"""Primitive microbenchmarks: the cost model behind every protocol figure.
+
+Breaks the protocol into its atoms — sketch, recover, extract, keygen,
+sign, verify — so the Fig. 4 flat line can be read off as "one of each",
+and the baseline's slope as "Rep + Sign + Verify per record".  Also
+compares the three signature back-ends (the paper uses DSA; EC schemes
+are the modern drop-ins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import get_scheme
+
+DIMENSIONS = [1000, 5000, 31000]
+SCHEMES = ["dsa-1024", "dsa-2048", "ecdsa-p-256", "schnorr-p-256"]
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+class TestSketchPrimitives:
+    def _fixture(self, dimension):
+        params = SystemParams.paper_defaults(n=dimension)
+        fe = SuccinctFuzzyExtractor(params)
+        rng = np.random.default_rng(dimension)
+        template = fe.sketcher.line.uniform_vector(rng)
+        noisy = fe.sketcher.line.reduce(
+            template + rng.integers(-params.t, params.t + 1, dimension)
+        )
+        return fe, template, noisy
+
+    def test_bench_ss(self, benchmark, dimension):
+        fe, template, _ = self._fixture(dimension)
+        benchmark(fe.sketcher.sketch, template, HmacDrbg(b"b"))
+
+    def test_bench_rec(self, benchmark, dimension):
+        fe, template, noisy = self._fixture(dimension)
+        sketch = fe.sketcher.sketch(template, HmacDrbg(b"b"))
+        result = benchmark(fe.sketcher.recover, noisy, sketch)
+        assert np.array_equal(result, fe.sketcher.line.reduce(template))
+
+    def test_bench_gen(self, benchmark, dimension):
+        fe, template, _ = self._fixture(dimension)
+        benchmark(fe.generate, template, HmacDrbg(b"b"))
+
+    def test_bench_rep(self, benchmark, dimension):
+        fe, template, noisy = self._fixture(dimension)
+        secret, helper = fe.generate(template, HmacDrbg(b"b"))
+        result = benchmark(fe.reproduce, noisy, helper)
+        assert result == secret
+
+
+@pytest.mark.parametrize("scheme_name", SCHEMES)
+class TestSignaturePrimitives:
+    def test_bench_keygen(self, benchmark, scheme_name):
+        scheme = get_scheme(scheme_name)
+        benchmark(scheme.keygen_from_seed, b"R" * 32)
+
+    def test_bench_sign(self, benchmark, scheme_name):
+        scheme = get_scheme(scheme_name)
+        keypair = scheme.keygen_from_seed(b"R" * 32)
+        benchmark(scheme.sign, keypair.signing_key, b"challenge")
+
+    def test_bench_verify(self, benchmark, scheme_name):
+        scheme = get_scheme(scheme_name)
+        keypair = scheme.keygen_from_seed(b"R" * 32)
+        signature = scheme.sign(keypair.signing_key, b"challenge")
+        assert benchmark(scheme.verify, keypair.verify_key, b"challenge",
+                         signature)

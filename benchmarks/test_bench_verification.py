@@ -1,0 +1,92 @@
+"""Verification-mode latency (Section VII text).
+
+Paper: "one protocol execution for user verification needs 99
+milliseconds (n = 5000)" and identification "is around 110 milliseconds
+which is close to the speed in verification mode".
+
+Absolute numbers are hardware-bound; the reproduced claim is the
+*relationship*: identification cost ~ verification cost (within a small
+factor), because both reduce to one Rep + one signature round.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import build_stack
+from repro.core.params import SystemParams
+from repro.protocols.runners import run_identification, run_verification
+from repro.protocols.transport import DuplexLink
+
+N_USERS = 20
+DIMENSION = 5000
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_stack(SystemParams.paper_defaults(n=DIMENSION), N_USERS)
+
+
+def test_bench_verification_n5000(benchmark, stack):
+    device, server, population = stack
+
+    def run_once():
+        result = run_verification(
+            device, server, DuplexLink(), "user-0007",
+            population.genuine_reading(7),
+        )
+        assert result.outcome.verified
+        return result
+
+    benchmark.pedantic(run_once, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_bench_identification_n5000(benchmark, stack):
+    device, server, population = stack
+
+    def run_once():
+        result = run_identification(
+            device, server, DuplexLink(), population.genuine_reading(7)
+        )
+        assert result.outcome.identified
+        return result
+
+    benchmark.pedantic(run_once, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_identification_close_to_verification(benchmark, stack, capsys):
+    device, server, population = stack
+    reps = 5
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(reps):
+            result = run_verification(device, server, DuplexLink(),
+                                      "user-0003",
+                                      population.genuine_reading(3))
+            assert result.outcome.verified
+        verify = (time.perf_counter() - start) / reps * 1e3
+        start = time.perf_counter()
+        for _ in range(reps):
+            result = run_identification(device, server, DuplexLink(),
+                                        population.genuine_reading(3))
+            assert result.outcome.identified
+        identify = (time.perf_counter() - start) / reps * 1e3
+        return verify, identify
+
+    verify_ms, identify_ms = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+
+    with capsys.disabled():
+        print("\n=== Verification vs identification (n=5000, 20 users) ===")
+        print(f"paper:  verification 99 ms, identification ~110 ms "
+              f"(ratio 1.11)")
+        print(f"ours:   verification {verify_ms:.1f} ms, identification "
+              f"{identify_ms:.1f} ms (ratio {identify_ms / verify_ms:.2f})")
+
+    # The paper's ratio is 110/99 ~ 1.11; allow generous slack for the
+    # sketch-search overhead on different hardware, but identification
+    # must remain the same order of magnitude as verification.
+    assert identify_ms < 3.0 * verify_ms

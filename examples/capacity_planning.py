@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Capacity planning — what one authentication server core sustains.
+
+The paper establishes that identification costs one challenge–response
+regardless of database size; a deployment engineer's next question is
+throughput.  This example drives the real protocol stack with a mixed
+workload (genuine users, strangers, sensor glitches) at three database
+sizes and prints a capacity table, then contrasts it with the normal
+approach whose throughput *decays with enrollment*.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import time
+
+from repro.biometrics import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.crypto import Dsa, GROUP_1024
+from repro.protocols import (
+    AuthenticationServer,
+    BiometricDevice,
+    DuplexLink,
+    run_baseline_identification,
+    run_enrollment,
+)
+from repro.protocols.simulation import TrafficMix, WorkloadSimulator
+
+DIMENSION = 1000
+REQUESTS = 60
+
+
+def main() -> None:
+    params = SystemParams.paper_defaults(n=DIMENSION)
+    scheme = Dsa(GROUP_1024)
+
+    print("=== proposed protocol: throughput vs database size ===")
+    print(f"{'users':>8}{'req/s':>10}{'p50 ms':>9}{'p99 ms':>9}"
+          f"{'genuine acc.':>14}")
+    for n_users in (10, 50, 200):
+        simulator = WorkloadSimulator(
+            params, scheme, n_users=n_users,
+            mix=TrafficMix(genuine=0.8, stranger=0.15, noisy_genuine=0.05),
+            seed=n_users,
+        )
+        report = simulator.run(REQUESTS)
+        genuine = report.per_class["genuine"]
+        print(f"{n_users:>8}{report.throughput_rps:>10.0f}"
+              f"{genuine.percentile(50):>9.1f}"
+              f"{genuine.percentile(99):>9.1f}"
+              f"{genuine.identified / genuine.requests:>14.1%}")
+    print("-> flat: the sketch search adds microseconds per 1000 users\n")
+
+    print("=== normal approach (Fig. 2) for contrast ===")
+    print(f"{'users':>8}{'req/s':>10}")
+    for n_users in (10, 50):
+        population = UserPopulation(params, size=n_users,
+                                    noise=BoundedUniformNoise(params.t),
+                                    seed=n_users)
+        device = BiometricDevice(params, scheme, seed=b"cap-dev")
+        server = AuthenticationServer(params, scheme, seed=b"cap-srv")
+        for i, user_id in enumerate(population.user_ids()):
+            run_enrollment(device, server, DuplexLink(), user_id,
+                           population.template(i))
+        reps = 5
+        start = time.perf_counter()
+        for r in range(reps):
+            run = run_baseline_identification(
+                device, server, DuplexLink(),
+                population.genuine_reading(r % n_users),
+            )
+            assert run.outcome.identified
+        elapsed = time.perf_counter() - start
+        print(f"{n_users:>8}{reps / elapsed:>10.1f}")
+    print("-> decays ~1/N: every request replays Rep+Sign+Verify per record")
+
+
+if __name__ == "__main__":
+    main()

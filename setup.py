@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The container this reproduction targets ships setuptools without the
+``wheel`` package, so PEP 660 editable installs fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy develop
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

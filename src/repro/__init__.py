@@ -1,0 +1,80 @@
+"""repro — Fuzzy Extractors for Biometric Identification.
+
+A from-scratch reproduction of Li, Guo, Mu, Susilo & Nepal, *Fuzzy
+Extractors for Biometric Identification*, ICDCS 2017.
+
+The library implements the paper's succinct (Chebyshev-distance) secure
+sketch and fuzzy extractor, its constant-cost biometric identification
+protocol, the O(N) "normal approach" it is compared against, classic
+Hamming/set-difference fuzzy-extractor baselines, and every substrate they
+need (finite fields, BCH/Reed-Solomon codes, DSA/ECDSA/Schnorr signatures,
+strong extractors, synthetic biometric workloads).
+
+Quick start::
+
+    import numpy as np
+    from repro import (SystemParams, SuccinctFuzzyExtractor)
+
+    params = SystemParams.paper_defaults(n=1000)
+    fe = SuccinctFuzzyExtractor(params)
+
+    template = np.random.default_rng(0).integers(
+        -params.half_range, params.half_range, size=params.n)
+    secret, helper = fe.generate(template)
+
+    noisy = template + np.random.default_rng(1).integers(
+        -params.t, params.t + 1, size=params.n)
+    assert fe.reproduce(noisy, helper) == secret
+
+See ``examples/`` for the full enrollment / identification protocols and
+``benchmarks/`` for the reproduction of the paper's Table II and Fig. 4.
+"""
+
+from repro.core import (
+    ChebyshevSketch,
+    HelperData,
+    NumberLine,
+    PrefixBucketIndex,
+    RobustChebyshevSketch,
+    SuccinctFuzzyExtractor,
+    SystemParams,
+    VectorizedScanIndex,
+    sketches_match,
+)
+from repro.exceptions import (
+    DecodingError,
+    EncodingError,
+    EnrollmentError,
+    IdentificationError,
+    ParameterError,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    SignatureError,
+    TamperDetectedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChebyshevSketch",
+    "HelperData",
+    "NumberLine",
+    "PrefixBucketIndex",
+    "RobustChebyshevSketch",
+    "SuccinctFuzzyExtractor",
+    "SystemParams",
+    "VectorizedScanIndex",
+    "sketches_match",
+    "DecodingError",
+    "EncodingError",
+    "EnrollmentError",
+    "IdentificationError",
+    "ParameterError",
+    "ProtocolError",
+    "RecoveryError",
+    "ReproError",
+    "SignatureError",
+    "TamperDetectedError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Security and entropy analysis (the paper's Section VI, quantified)."""
+
+from repro.analysis.entropy import (
+    average_min_entropy,
+    empirical_distribution,
+    empirical_min_entropy,
+    min_entropy,
+    sketch_joint_distribution,
+    statistical_distance,
+    uniformity_distance,
+)
+from repro.analysis.security import (
+    SecurityReport,
+    advise_dimension,
+    measure_false_close_rate,
+    security_report,
+)
+
+__all__ = [
+    "average_min_entropy",
+    "empirical_distribution",
+    "empirical_min_entropy",
+    "min_entropy",
+    "sketch_joint_distribution",
+    "statistical_distance",
+    "uniformity_distance",
+    "SecurityReport",
+    "advise_dimension",
+    "measure_false_close_rate",
+    "security_report",
+]

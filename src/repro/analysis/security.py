@@ -1,0 +1,125 @@
+"""Security-level accounting and parameter advice (Theorems 2-4).
+
+Turns the paper's closed-form security statements into a report object the
+benchmarks print next to Table II, plus a Monte-Carlo validator for the
+false-close probability (the quantity that makes sketch-based search
+*sound*: unrelated users practically never collide).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matching import match_matrix
+from repro.core.params import SystemParams
+from repro.core.sketch import ChebyshevSketch
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class SecurityReport:
+    """The paper's security figures for one parameter set."""
+
+    params: SystemParams
+    min_entropy_bits: float
+    residual_entropy_bits: float
+    entropy_loss_bits: float
+    storage_bits: float
+    false_close_bound_log2: float
+    false_close_exact_log2: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Printable (name, value) rows in Table II's style."""
+        p = self.params
+        return [
+            ("a", str(p.a)),
+            ("k", str(p.k)),
+            ("v", str(p.v)),
+            ("t", str(p.t)),
+            ("n", str(p.n)),
+            ("Rep. Range", f"[-{p.half_range}, {p.half_range}]"),
+            ("m (source min-entropy)", f"{self.min_entropy_bits:,.0f} bits"),
+            ("m~ (residual)", f"{self.residual_entropy_bits:,.0f} bits"),
+            ("entropy loss", f"{self.entropy_loss_bits:,.0f} bits"),
+            ("storage", f"{self.storage_bits:,.0f} bits"),
+            ("false-close bound", f"2^{self.false_close_bound_log2:.1f}"),
+        ]
+
+
+def security_report(params: SystemParams) -> SecurityReport:
+    """Assemble the closed-form security report for ``params``."""
+    return SecurityReport(
+        params=params,
+        min_entropy_bits=params.min_entropy_bits,
+        residual_entropy_bits=params.residual_entropy_bits,
+        entropy_loss_bits=params.entropy_loss_bits,
+        storage_bits=params.storage_bits,
+        false_close_bound_log2=params.false_close_bound_log2,
+        false_close_exact_log2=params.false_close_probability_log2(),
+    )
+
+
+def measure_false_close_rate(params: SystemParams, trials: int,
+                             seed: int = 0) -> float:
+    """Monte-Carlo estimate of the false-close probability (event E).
+
+    The paper's event E is "two pieces of biometric information output a
+    false close": the sketches satisfy conditions (1)-(4) *although* the
+    templates are not within Chebyshev distance ``t``.  Pairs that are
+    genuinely close also match — by Theorem 2 — and are excluded here,
+    matching the paper's ``Pr[E]`` (whose closed form subtracts the
+    genuinely-close term).
+
+    Only sensible for parameter sets where the closed form predicts an
+    observable rate (small ``n``); the false-close bench uses it to
+    validate the formula's shape before extrapolating to paper scale.
+    """
+    if trials < 1:
+        raise ParameterError("trials must be >= 1")
+    sketcher = ChebyshevSketch(params)
+    line = sketcher.line
+    rng = np.random.default_rng(seed)
+    drbg = HmacDrbg(seed.to_bytes(8, "big"), personalization=b"false-close")
+
+    # Sketch a batch of enrolled templates once, then probe with fresh
+    # independent templates; every (enrolled, probe) pair is a trial.
+    batch = max(1, int(math.isqrt(trials)))
+    templates = np.stack([line.uniform_vector(rng) for _ in range(batch)])
+    enrolled = np.stack([
+        sketcher.sketch(template, drbg) for template in templates
+    ])
+    hits = 0
+    tested = 0
+    while tested < trials:
+        probe_template = line.uniform_vector(rng)
+        probe = sketcher.sketch(probe_template, drbg)
+        matches = match_matrix(enrolled, probe, params)
+        # Genuinely-close pairs match by Theorem 2; event E excludes them.
+        coordinate_distance = line.ring_distance(templates, probe_template)
+        genuinely_close = np.max(coordinate_distance, axis=1) <= params.t
+        false_close = matches & ~genuinely_close
+        take = min(batch, trials - tested)
+        hits += int(np.count_nonzero(false_close[:take]))
+        tested += take
+    return hits / trials
+
+
+def advise_dimension(params: SystemParams, target_collision_exponent: int,
+                     ) -> int:
+    """Smallest ``n`` with false-close probability below ``2^-target``.
+
+    Inverts the bound ``((2t+1)/ka)^n <= 2^-target``; useful when sizing a
+    deployment for a given database scale (a union bound over ``N`` users
+    adds ``log2(N)`` to the needed exponent).
+    """
+    per_coord = (2 * params.t + 1) / params.interval_width
+    if per_coord >= 1.0:
+        raise ParameterError(
+            "threshold too large: sketches of unrelated users always match"
+        )
+    bits_per_coord = -math.log2(per_coord)
+    return math.ceil(target_collision_exponent / bits_per_coord)

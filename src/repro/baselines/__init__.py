@@ -1,0 +1,26 @@
+"""Baseline fuzzy extractors from the paper's related work.
+
+* Code-offset / fuzzy commitment (Juels-Wattenberg) over the Hamming
+  metric, BCH-backed — the "existing fuzzy extractor" in the
+  identification benchmarks.
+* Fuzzy vault (Juels-Sudan) over the set-difference metric, RS-backed.
+"""
+
+from repro.baselines.block_code_offset import (
+    ConcatenatedCodeOffsetExtractor,
+    ConcatenatedHelperData,
+)
+from repro.baselines.code_offset import CodeOffsetSketch, CodeOffsetSketchValue
+from repro.baselines.fuzzy_vault import FuzzyVault, Vault
+from repro.baselines.hamming_extractor import HammingFuzzyExtractor, HammingHelperData
+
+__all__ = [
+    "ConcatenatedCodeOffsetExtractor",
+    "ConcatenatedHelperData",
+    "CodeOffsetSketch",
+    "CodeOffsetSketchValue",
+    "FuzzyVault",
+    "Vault",
+    "HammingFuzzyExtractor",
+    "HammingHelperData",
+]

@@ -1,0 +1,218 @@
+"""Concatenated-code fuzzy extractor for long binary templates.
+
+A real iris code is ~2048 bits with genuine comparisons flipping 10-15% of
+them — beyond any single practical BCH code's radius.  Deployed iris
+cryptosystems (Hao-Anderson-Daugman style) therefore use a *concatenated*
+code:
+
+* an **inner** binary BCH code protects each fixed-size block against
+  bit flips;
+* an **outer** Reed-Solomon code over GF(2^8) spans the blocks, so a
+  bounded number of blocks may fail inner decoding entirely (burst noise,
+  eyelid occlusion) and still be corrected as symbol errors.
+
+Construction (``Gen``):
+
+1. draw a random outer RS message (the key material, ``k_outer`` bytes)
+   and RS-encode it to ``n_blocks`` symbols;
+2. per block, embed the block's symbol in the first 8 bits of a random
+   inner BCH message, encode, and publish ``offset = block XOR codeword``;
+3. output ``R = Ext(outer message; seed)`` plus a commitment tag so
+   ``Rep`` can verify outer decoding.
+
+``Rep`` decodes each block's inner code, re-assembles the (possibly
+corrupted) outer word, RS-decodes, checks the commitment, and re-extracts
+``R``.  Up to ``t_inner`` bit flips per block and up to
+``(n_blocks - k_outer) / 2`` wholly-failed blocks are tolerated.
+
+This gives the identification benchmarks a *realistic* Hamming baseline:
+full 2048-bit iris codes at Daugman-like noise, not toy 255-bit slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.bch import BchCode
+from repro.coding.reed_solomon import RsCode
+from repro.crypto.extractors import StrongExtractor, default_extractor
+from repro.crypto.hashing import constant_time_equal, hash_concat
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import DecodingError, ParameterError, RecoveryError
+
+_COMMIT_LABEL = b"repro-concat-code-offset-v1"
+_SYMBOL_BITS = 8
+
+
+@dataclass(frozen=True)
+class ConcatenatedHelperData:
+    """Public helper data: per-block offsets, commitment, extractor seed."""
+
+    offsets: np.ndarray           # (n_blocks, inner_n) uint8
+    commitment: bytes             # H(outer message)
+    seed: bytes
+
+    def storage_bits(self) -> int:
+        """Wire size of the helper data in bits."""
+        return (int(self.offsets.size)
+                + 8 * len(self.commitment)
+                + 8 * len(self.seed))
+
+
+class ConcatenatedCodeOffsetExtractor:
+    """Fuzzy extractor over long binary templates via BCH ∘ RS.
+
+    Parameters
+    ----------
+    inner:
+        Per-block binary BCH code; needs ``inner.k >= 8`` to carry one
+        outer symbol per block.
+    n_blocks:
+        Number of blocks; the template length is ``inner.n * n_blocks``.
+    outer_k:
+        Outer RS dimension (key symbols).  The outer code corrects
+        ``(n_blocks - outer_k) // 2`` failed blocks.
+    """
+
+    def __init__(self, inner: BchCode, n_blocks: int, outer_k: int,
+                 extractor: StrongExtractor | None = None) -> None:
+        if inner.k < _SYMBOL_BITS:
+            raise ParameterError(
+                f"inner code must carry >= {_SYMBOL_BITS} message bits, "
+                f"got k={inner.k}"
+            )
+        if n_blocks < 2 or n_blocks > 255:
+            raise ParameterError("n_blocks must be in [2, 255]")
+        if not 0 < outer_k < n_blocks:
+            raise ParameterError("need 0 < outer_k < n_blocks")
+        self.inner = inner
+        self.n_blocks = n_blocks
+        self.outer = RsCode(8, outer_k, shorten=255 - n_blocks)
+        self.extractor = extractor if extractor is not None else default_extractor()
+
+    @property
+    def template_bits(self) -> int:
+        return self.inner.n * self.n_blocks
+
+    @property
+    def inner_error_capacity(self) -> int:
+        """Correctable bit flips per block."""
+        return self.inner.t
+
+    @property
+    def block_failure_capacity(self) -> int:
+        """Blocks that may fail inner decoding entirely."""
+        return self.outer.t
+
+    @property
+    def secret_entropy_bits(self) -> int:
+        """Entropy of the outer message (the key material)."""
+        return self.outer.k * _SYMBOL_BITS
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _check_template(self, w: np.ndarray) -> np.ndarray:
+        arr = np.asarray(w)
+        if arr.ndim != 1 or arr.shape[0] != self.template_bits:
+            raise ParameterError(
+                f"template must be 1-D of {self.template_bits} bits, "
+                f"got {arr.shape}"
+            )
+        if not np.all((arr == 0) | (arr == 1)):
+            raise ParameterError("template must contain only 0/1 values")
+        return arr.astype(np.uint8)
+
+    @staticmethod
+    def _symbol_to_bits(symbol: int) -> np.ndarray:
+        return np.array([(symbol >> (7 - b)) & 1 for b in range(8)],
+                        dtype=np.uint8)
+
+    @staticmethod
+    def _bits_to_symbol(bits: np.ndarray) -> int:
+        value = 0
+        for b in bits[:8]:
+            value = (value << 1) | int(b)
+        return value
+
+    def _commit(self, message: np.ndarray) -> bytes:
+        return hash_concat([message.astype(np.uint8).tobytes()],
+                           label=_COMMIT_LABEL)
+
+    # -- Gen --------------------------------------------------------------------------
+
+    def generate(self, w: np.ndarray, drbg: HmacDrbg | None = None,
+                 ) -> tuple[bytes, ConcatenatedHelperData]:
+        """``Gen(w) -> (R, P)``."""
+        w = self._check_template(w)
+        if drbg is None:
+            drbg = HmacDrbg(np.random.default_rng().bytes(32),
+                            personalization=b"concat-code-offset")
+        seed = drbg.generate(self.extractor.seed_bytes)
+
+        outer_message = np.frombuffer(
+            drbg.generate(self.outer.k), dtype=np.uint8
+        ).astype(np.int64)
+        outer_codeword = self.outer.encode(outer_message)
+
+        offsets = np.empty((self.n_blocks, self.inner.n), dtype=np.uint8)
+        for index in range(self.n_blocks):
+            block = w[index * self.inner.n: (index + 1) * self.inner.n]
+            inner_message = np.frombuffer(
+                drbg.generate(self.inner.k), dtype=np.uint8
+            ) & 1
+            inner_message = inner_message.astype(np.uint8)
+            inner_message[:_SYMBOL_BITS] = self._symbol_to_bits(
+                int(outer_codeword[index])
+            )
+            codeword = self.inner.encode(inner_message)
+            offsets[index] = block ^ codeword
+
+        secret = self.extractor.extract(
+            outer_message.astype(np.uint8).tobytes(), seed
+        )
+        return secret, ConcatenatedHelperData(
+            offsets=offsets,
+            commitment=self._commit(outer_message),
+            seed=seed,
+        )
+
+    # -- Rep --------------------------------------------------------------------------
+
+    def reproduce(self, w_prime: np.ndarray,
+                  helper: ConcatenatedHelperData) -> bytes:
+        """``Rep(w', P) -> R``; raises :class:`RecoveryError` beyond capacity."""
+        w_prime = self._check_template(w_prime)
+        if helper.offsets.shape != (self.n_blocks, self.inner.n):
+            raise ParameterError("helper offsets have the wrong shape")
+
+        received = np.zeros(self.n_blocks, dtype=np.int64)
+        for index in range(self.n_blocks):
+            block = w_prime[index * self.inner.n: (index + 1) * self.inner.n]
+            shifted = block ^ helper.offsets[index]
+            try:
+                codeword, _ = self.inner.decode(shifted)
+            except DecodingError:
+                # Failed block: leave symbol 0; the outer code treats the
+                # (almost certainly wrong) symbol as an error.
+                continue
+            message = self.inner.extract_message(codeword)
+            received[index] = self._bits_to_symbol(message)
+
+        try:
+            outer_codeword, _ = self.outer.decode(received)
+        except DecodingError as exc:
+            raise RecoveryError(
+                f"outer RS decoding failed: {exc}"
+            ) from exc
+        outer_message = self.outer.extract_message(outer_codeword)
+        if not constant_time_equal(self._commit(outer_message),
+                                   helper.commitment):
+            raise RecoveryError(
+                "outer decoding produced a message failing the commitment "
+                "(too many failed blocks or tampered helper data)"
+            )
+        return self.extractor.extract(
+            outer_message.astype(np.uint8).tobytes(), helper.seed
+        )

@@ -1,0 +1,178 @@
+"""The fuzzy vault (Juels-Sudan) over the set-difference metric.
+
+Second baseline from the paper's related work (Section VIII, [17]).  A
+secret polynomial ``p`` of degree ``< k`` over GF(2^m) is evaluated on the
+user's feature set ``A`` (distinct field elements); the genuine points
+``(x, p(x))`` are hidden among ``chaff`` points ``(x*, y*)`` with
+``y* != p(x*)``.  A query set ``B`` unlocks the vault when ``|A ∩ B|`` is
+large enough: the candidate points selected by ``B`` contain enough
+genuine evaluations for Reed-Solomon-style decoding (Berlekamp-Welch) to
+recover ``p`` despite the chaff mismatches.
+
+A hash commitment to the polynomial is stored alongside so unlocking can
+*verify* recovery — without it, a failed unlock would silently return a
+wrong polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding import polynomial as poly
+from repro.coding.gf2m import GF2m, get_field
+from repro.coding.reed_solomon import berlekamp_welch
+from repro.crypto.hashing import constant_time_equal, hash_concat
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import DecodingError, ParameterError, RecoveryError
+
+_COMMIT_LABEL = b"repro-fuzzy-vault-v1"
+
+
+@dataclass(frozen=True)
+class Vault:
+    """The public vault: shuffled points plus the polynomial commitment."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    degree_bound: int          # k: polynomial has degree < k
+    commitment: bytes
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+class FuzzyVault:
+    """Lock/unlock a secret polynomial under a feature *set*.
+
+    Parameters
+    ----------
+    m:
+        Field extension degree; features must be distinct ints in
+        ``[0, 2^m)``.
+    k:
+        Secret length in field symbols (= polynomial coefficient count).
+    n_chaff:
+        Number of chaff points to add when locking.
+    """
+
+    def __init__(self, m: int, k: int, n_chaff: int) -> None:
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        if n_chaff < 0:
+            raise ParameterError("n_chaff must be >= 0")
+        self.field: GF2m = get_field(m)
+        self.k = k
+        self.n_chaff = n_chaff
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_features(self, features: np.ndarray, what: str) -> list[int]:
+        arr = np.asarray(features, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ParameterError(f"{what} must be 1-D, got shape {arr.shape}")
+        values = [int(x) for x in arr]
+        if len(set(values)) != len(values):
+            raise ParameterError(f"{what} must be a set (distinct elements)")
+        if any(not 0 <= x < self.field.order for x in values):
+            raise ParameterError(f"{what} contains out-of-field elements")
+        return values
+
+    def _commit(self, coefficients: list[int]) -> bytes:
+        encoded = b"".join(c.to_bytes(4, "big") for c in coefficients)
+        return hash_concat([encoded], label=_COMMIT_LABEL)
+
+    # -- lock --------------------------------------------------------------------
+
+    def lock(self, features: np.ndarray, secret: list[int],
+             drbg: HmacDrbg | None = None) -> Vault:
+        """Hide ``secret`` (k field symbols) under the feature set."""
+        feature_list = self._check_features(features, "features")
+        if len(secret) != self.k:
+            raise ParameterError(
+                f"secret must be {self.k} field symbols, got {len(secret)}"
+            )
+        if any(not 0 <= c < self.field.order for c in secret):
+            raise ParameterError("secret symbols out of field range")
+        if len(feature_list) < self.k:
+            raise ParameterError(
+                f"need at least k={self.k} features to lock, got {len(feature_list)}"
+            )
+        if drbg is None:
+            drbg = HmacDrbg(np.random.default_rng().bytes(32),
+                            personalization=b"fuzzy-vault")
+
+        coefficients = list(secret)  # low-order-first polynomial
+        genuine = [(x, poly.evaluate(self.field, coefficients, x))
+                   for x in feature_list]
+
+        used_x = set(feature_list)
+        chaff: list[tuple[int, int]] = []
+        if len(used_x) + self.n_chaff > self.field.order:
+            raise ParameterError(
+                "field too small for requested chaff count; increase m"
+            )
+        while len(chaff) < self.n_chaff:
+            x = drbg.random_int(self.field.order)
+            if x in used_x:
+                continue
+            y_true = poly.evaluate(self.field, coefficients, x)
+            y = drbg.random_int(self.field.order)
+            if y == y_true:
+                continue  # chaff must not lie on the polynomial
+            used_x.add(x)
+            chaff.append((x, y))
+
+        points = genuine + chaff
+        order = np.argsort(
+            np.frombuffer(drbg.generate(4 * len(points)), dtype=np.uint32)
+        )
+        xs = np.array([points[i][0] for i in order], dtype=np.int64)
+        ys = np.array([points[i][1] for i in order], dtype=np.int64)
+        return Vault(xs=xs, ys=ys, degree_bound=self.k,
+                     commitment=self._commit(coefficients))
+
+    # -- unlock -------------------------------------------------------------------
+
+    def unlock(self, features: np.ndarray, vault: Vault) -> list[int]:
+        """Recover the secret from a close feature set.
+
+        Selects vault points whose x-coordinate appears in the query set
+        and runs Berlekamp-Welch; chaff collisions act as errors.  Raises
+        :class:`RecoveryError` when the overlap is insufficient or the
+        recovered polynomial fails the commitment check.
+        """
+        query = set(self._check_features(features, "query features"))
+        selected = [
+            (int(x), int(y)) for x, y in zip(vault.xs, vault.ys) if int(x) in query
+        ]
+        if len(selected) < vault.degree_bound:
+            raise RecoveryError(
+                f"only {len(selected)} candidate points; "
+                f"need at least {vault.degree_bound}"
+            )
+        xs = [x for x, _ in selected]
+        ys = [y for _, y in selected]
+        try:
+            coefficients = berlekamp_welch(
+                self.field, xs, ys, k=vault.degree_bound
+            )
+        except DecodingError as exc:
+            raise RecoveryError(f"vault decoding failed: {exc}") from exc
+        # Degree < k always holds from the decoder; pad to exactly k symbols.
+        coefficients = coefficients + [0] * (vault.degree_bound - len(coefficients))
+        if not constant_time_equal(self._commit(coefficients), vault.commitment):
+            raise RecoveryError("recovered polynomial fails commitment check")
+        return coefficients
+
+    def secret_from_bytes(self, data: bytes) -> list[int]:
+        """Split bytes into ``k`` field symbols (for locking derived keys)."""
+        symbol_bytes = max(1, (self.field.m + 7) // 8)
+        needed = self.k * symbol_bytes
+        padded = data[:needed].ljust(needed, b"\x00")
+        symbols = []
+        for i in range(self.k):
+            chunk = padded[i * symbol_bytes: (i + 1) * symbol_bytes]
+            symbols.append(int.from_bytes(chunk, "big") % self.field.order)
+        return symbols

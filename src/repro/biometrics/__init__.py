@@ -1,0 +1,54 @@
+"""Synthetic biometric data: populations, modality simulators, metrics.
+
+The paper evaluates on simulated vectors ("independent from any type of
+biometric", Section VII); this package reproduces that workload and adds
+modality-shaped simulators for the accuracy studies.
+"""
+
+from repro.biometrics.datasets import (
+    FaceLikeDataset,
+    FingerprintLikeDataset,
+    IrisLikeDataset,
+)
+from repro.biometrics.encoding import (
+    binarize,
+    bits_to_line,
+    line_to_bits,
+    quantize_to_line,
+)
+from repro.biometrics.metrics import (
+    RatePoint,
+    decidability,
+    equal_error_rate,
+    false_accept_rate,
+    false_reject_rate,
+    roc_curve,
+)
+from repro.biometrics.synthetic import (
+    BoundedUniformNoise,
+    NoiseModel,
+    SparseOutlierNoise,
+    TruncatedGaussianNoise,
+    UserPopulation,
+)
+
+__all__ = [
+    "FaceLikeDataset",
+    "FingerprintLikeDataset",
+    "IrisLikeDataset",
+    "binarize",
+    "bits_to_line",
+    "line_to_bits",
+    "quantize_to_line",
+    "RatePoint",
+    "decidability",
+    "equal_error_rate",
+    "false_accept_rate",
+    "false_reject_rate",
+    "roc_curve",
+    "BoundedUniformNoise",
+    "NoiseModel",
+    "SparseOutlierNoise",
+    "TruncatedGaussianNoise",
+    "UserPopulation",
+]

@@ -1,0 +1,205 @@
+"""Dataset simulators for three biometric modalities.
+
+Public biometric corpora are not redistributable and are unavailable
+offline, so — per the reproduction's substitution policy (DESIGN.md §3) —
+each simulator produces synthetic data with the *statistical shape* the
+literature reports for its modality.  What matters for this paper is the
+relationship between within-class (genuine) and between-class (impostor)
+distances under the metric each scheme uses; the generators are calibrated
+so that relationship holds:
+
+* :class:`IrisLikeDataset` — fixed-length binary codes (default 2048 bits,
+  the classic iris-code size).  Genuine comparisons differ in ~10-15% of
+  bits, impostors in ~40-50% (Daugman's decidability setting).  Feeds the
+  Hamming-metric baseline (code-offset/BCH).
+* :class:`FaceLikeDataset` — continuous unit-norm embeddings (default 512
+  dims, FaceNet-style) with per-user class centres; genuine cosine
+  similarity high, impostor near zero.  Quantised onto ``La`` for the
+  Chebyshev scheme.
+* :class:`FingerprintLikeDataset` — integer grid features with sparse
+  outliers (missed/spurious minutiae).  Stresses Chebyshev's sensitivity
+  to single-coordinate outliers; the accuracy example uses it to show
+  threshold tuning.
+
+Every dataset yields ``(user_index, reading)`` samples with reproducible
+seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.biometrics.encoding import quantize_to_line
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class IrisLikeDataset:
+    """Binary iris-code-like templates with bit-flip reading noise."""
+
+    n_users: int
+    code_bits: int = 2048
+    genuine_flip_rate: float = 0.12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.code_bits < 8:
+            raise ParameterError("need n_users >= 1 and code_bits >= 8")
+        if not 0 <= self.genuine_flip_rate < 0.5:
+            raise ParameterError("genuine_flip_rate must be in [0, 0.5)")
+        rng = np.random.default_rng(self.seed)
+        self._codes = rng.integers(
+            0, 2, size=(self.n_users, self.code_bits), dtype=np.uint8
+        )
+        self._rng = np.random.default_rng(self.seed + 1)
+
+    def template(self, index: int) -> np.ndarray:
+        """The enrolled iris code of user ``index`` (a copy)."""
+        return self._codes[index].copy()
+
+    def genuine_reading(self, index: int,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+        """Template with each bit flipped independently at the genuine rate."""
+        rng = rng if rng is not None else self._rng
+        flips = (rng.random(self.code_bits) < self.genuine_flip_rate)
+        return self._codes[index] ^ flips.astype(np.uint8)
+
+    def impostor_reading(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """An unrelated uniformly random code (~50% expected disagreement)."""
+        rng = rng if rng is not None else self._rng
+        return rng.integers(0, 2, size=self.code_bits, dtype=np.uint8)
+
+    @staticmethod
+    def hamming(a: np.ndarray, b: np.ndarray) -> int:
+        return int(np.count_nonzero(a != b))
+
+
+@dataclass
+class FaceLikeDataset:
+    """Continuous embedding vectors with per-user class centres.
+
+    ``within_class_sigma`` is the expected *norm* of the within-class
+    perturbation (dimension-normalised internally), so genuine cosine
+    similarity is ~``1/sqrt(1 + sigma^2)`` regardless of ``dim`` — about
+    0.9 at the default 0.5, matching well-trained face embedders.
+    """
+
+    n_users: int
+    dim: int = 512
+    within_class_sigma: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1 or self.dim < 8:
+            raise ParameterError("need n_users >= 1 and dim >= 8")
+        rng = np.random.default_rng(self.seed)
+        centres = rng.normal(0.0, 1.0, size=(self.n_users, self.dim))
+        self._centres = centres / np.linalg.norm(centres, axis=1, keepdims=True)
+        self._rng = np.random.default_rng(self.seed + 1)
+
+    def _perturb(self, centre: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        per_coord = self.within_class_sigma / np.sqrt(self.dim)
+        noisy = centre + rng.normal(0.0, per_coord, size=self.dim)
+        return noisy / np.linalg.norm(noisy)
+
+    def template_embedding(self, index: int) -> np.ndarray:
+        """The user's class-centre embedding (unit norm, a copy)."""
+        return self._centres[index].copy()
+
+    def genuine_embedding(self, index: int,
+                          rng: np.random.Generator | None = None) -> np.ndarray:
+        """A fresh same-user embedding (centre + within-class noise)."""
+        rng = rng if rng is not None else self._rng
+        return self._perturb(self._centres[index], rng)
+
+    def impostor_embedding(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """An embedding of a user outside the population."""
+        rng = rng if rng is not None else self._rng
+        raw = rng.normal(0.0, 1.0, size=self.dim)
+        return raw / np.linalg.norm(raw)
+
+    def template_on_line(self, index: int, params: SystemParams) -> np.ndarray:
+        """The user's class centre quantised onto ``La`` (dimension = dim)."""
+        self._check_dim(params)
+        return quantize_to_line(self._centres[index], params)
+
+    def genuine_on_line(self, index: int, params: SystemParams,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+        """A genuine reading quantised onto the number line."""
+        self._check_dim(params)
+        return quantize_to_line(self.genuine_embedding(index, rng), params)
+
+    def impostor_on_line(self, params: SystemParams,
+                         rng: np.random.Generator | None = None) -> np.ndarray:
+        """An impostor reading quantised onto the number line."""
+        self._check_dim(params)
+        return quantize_to_line(self.impostor_embedding(rng), params)
+
+    def _check_dim(self, params: SystemParams) -> None:
+        if params.n != self.dim:
+            raise ParameterError(
+                f"params.n={params.n} must equal embedding dim={self.dim}"
+            )
+
+
+@dataclass
+class FingerprintLikeDataset:
+    """Integer grid features with sparse outliers (minutiae artefacts).
+
+    Each user has a template of ``n_features`` integer positions; a
+    genuine reading perturbs every position slightly and replaces a small
+    fraction with arbitrary values (a missed minutia picked up elsewhere).
+    """
+
+    n_users: int
+    params: SystemParams
+    base_jitter: int = 40
+    outlier_rate: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ParameterError("need n_users >= 1")
+        if not 0 <= self.outlier_rate <= 1:
+            raise ParameterError("outlier_rate must be in [0, 1]")
+        from repro.core.numberline import NumberLine
+
+        self._line = NumberLine(self.params)
+        rng = np.random.default_rng(self.seed)
+        self._templates = rng.integers(
+            -self._line.half_range, self._line.half_range,
+            size=(self.n_users, self.params.n), dtype=np.int64,
+        )
+        self._rng = np.random.default_rng(self.seed + 1)
+
+    def template(self, index: int) -> np.ndarray:
+        """The enrolled grid-feature template of user ``index``."""
+        return self._templates[index].copy()
+
+    def genuine_reading(self, index: int,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+        """A same-user reading: jitter everywhere, sparse wild outliers."""
+        rng = rng if rng is not None else self._rng
+        n = self.params.n
+        noise = rng.integers(-self.base_jitter, self.base_jitter + 1,
+                             size=n, dtype=np.int64)
+        reading = self._line.reduce(self._templates[index] + noise)
+        outliers = rng.random(n) < self.outlier_rate
+        n_out = int(outliers.sum())
+        if n_out:
+            reading[outliers] = rng.integers(
+                -self._line.half_range, self._line.half_range,
+                size=n_out, dtype=np.int64,
+            )
+        return reading
+
+    def impostor_reading(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """A reading from a user outside the population."""
+        rng = rng if rng is not None else self._rng
+        return rng.integers(
+            -self._line.half_range, self._line.half_range,
+            size=self.params.n, dtype=np.int64,
+        )

@@ -1,0 +1,20 @@
+"""Error-correcting-code substrate (GF(2^m), BCH, Reed-Solomon).
+
+These codes back the *baseline* fuzzy extractors (code-offset / fuzzy
+vault) that the paper's Chebyshev-metric scheme is positioned against.
+"""
+
+from repro.coding.bch import BchCode, BchSpec, design_bch
+from repro.coding.gf2m import GF2m, PRIMITIVE_POLYNOMIALS, get_field
+from repro.coding.reed_solomon import RsCode, berlekamp_welch
+
+__all__ = [
+    "BchCode",
+    "BchSpec",
+    "design_bch",
+    "GF2m",
+    "PRIMITIVE_POLYNOMIALS",
+    "get_field",
+    "RsCode",
+    "berlekamp_welch",
+]

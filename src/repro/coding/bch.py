@@ -1,0 +1,324 @@
+"""Binary BCH codes: construction, systematic encoding, and decoding.
+
+BCH codes back the *code-offset* secure sketch (Juels-Wattenberg fuzzy
+commitment), which is the canonical Hamming-metric fuzzy extractor this
+paper's Chebyshev-metric scheme is compared against (Section VIII).
+
+A primitive binary BCH code of length ``n = 2^m - 1`` and designed error
+capacity ``t`` is built from the generator polynomial
+
+    g(x) = lcm( M_1(x), M_2(x), ..., M_2t(x) )
+
+where ``M_i`` is the minimal polynomial of ``alpha^i`` over GF(2).  The
+dimension is ``k = n - deg(g)``.  Decoding is the classic pipeline:
+syndromes -> Berlekamp-Massey error locator -> Chien search -> bit flips.
+
+Shortening is supported: a ``shorten=s`` code transmits ``n - s`` bits and
+encodes ``k - s`` message bits by fixing the top ``s`` message bits to
+zero.  The code-offset sketch uses this to match arbitrary biometric
+template lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.coding import polynomial as poly
+from repro.coding.gf2m import GF2m, get_field
+from repro.exceptions import DecodingError, ParameterError
+
+
+def _cyclotomic_coset(i: int, n: int) -> frozenset[int]:
+    """The 2-cyclotomic coset of ``i`` modulo ``n``: {i, 2i, 4i, ...}."""
+    coset = set()
+    current = i % n
+    while current not in coset:
+        coset.add(current)
+        current = (current * 2) % n
+    return frozenset(coset)
+
+
+def _minimal_polynomial(field: GF2m, coset: frozenset[int]) -> list[int]:
+    """Minimal polynomial over GF(2) of ``alpha^i`` for ``i`` in the coset.
+
+    ``M(x) = prod_{j in coset} (x - alpha^j)`` computed over GF(2^m); the
+    result always has coefficients in {0, 1}.
+    """
+    result: list[int] = [1]
+    for j in coset:
+        result = poly.mul(field, result, [field.alpha_power(j), 1])
+    if any(c not in (0, 1) for c in result):
+        raise AssertionError("minimal polynomial has non-binary coefficients")
+    return result
+
+
+@dataclass(frozen=True)
+class BchSpec:
+    """Resolved parameters of a (possibly shortened) BCH code."""
+
+    m: int
+    n: int          # transmitted length (after shortening)
+    k: int          # message length (after shortening)
+    t: int          # designed error-correction capacity
+    shorten: int
+    generator_degree: int
+
+
+class BchCode:
+    """A binary primitive (optionally shortened) BCH code.
+
+    Parameters
+    ----------
+    m:
+        Field extension degree; the parent code has length ``2^m - 1``.
+    t:
+        Designed number of correctable bit errors.
+    shorten:
+        Number of leading message bits fixed to zero (default 0).
+
+    Messages and codewords are numpy uint8 arrays of 0/1 bits.
+    """
+
+    def __init__(self, m: int, t: int, shorten: int = 0) -> None:
+        if t < 1:
+            raise ParameterError("t must be >= 1")
+        field = get_field(m)
+        parent_n = field.order - 1
+        if 2 * t >= parent_n:
+            raise ParameterError(
+                f"designed distance 2t+1={2 * t + 1} exceeds code length {parent_n}"
+            )
+
+        # Generator = product of distinct minimal polynomials of alpha^1..2t.
+        seen: set[frozenset[int]] = set()
+        generator: list[int] = [1]
+        for i in range(1, 2 * t + 1):
+            coset = _cyclotomic_coset(i, parent_n)
+            if coset in seen:
+                continue
+            seen.add(coset)
+            generator = poly.mul(field, generator, _minimal_polynomial(field, coset))
+
+        parent_k = parent_n - poly.degree(generator)
+        if parent_k <= 0:
+            raise ParameterError(
+                f"BCH(m={m}, t={t}) has no information bits (k={parent_k})"
+            )
+        if not 0 <= shorten < parent_k:
+            raise ParameterError(
+                f"shorten must be in [0, {parent_k}), got {shorten}"
+            )
+
+        self.field = field
+        self.generator = generator
+        self.spec = BchSpec(
+            m=m,
+            n=parent_n - shorten,
+            k=parent_k - shorten,
+            t=t,
+            shorten=shorten,
+            generator_degree=poly.degree(generator),
+        )
+        self._parent_n = parent_n
+        self._parity_len = poly.degree(generator)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.spec.n
+
+    @property
+    def k(self) -> int:
+        return self.spec.k
+
+    @property
+    def t(self) -> int:
+        return self.spec.t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.spec
+        return f"BchCode(n={s.n}, k={s.k}, t={s.t}, m={s.m}, shorten={s.shorten})"
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` message bits into ``n`` codeword bits.
+
+        Layout: ``codeword = [parity | message]`` — the message occupies the
+        high-order coefficient positions, as in the classic systematic
+        construction ``c(x) = m(x) x^(n-k) + (m(x) x^(n-k) mod g(x))``.
+        """
+        message = self._check_bits(message, self.spec.k, "message")
+        # Multiply by x^(n-k): message bits sit above the parity positions.
+        shifted = [0] * self._parity_len + [int(b) for b in message]
+        remainder = poly.mod(self.field, shifted, self.generator)
+        parity = np.zeros(self._parity_len, dtype=np.uint8)
+        for i, c in enumerate(remainder):
+            parity[i] = c
+        return np.concatenate([parity, message.astype(np.uint8)])
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, int]:
+        """Correct up to ``t`` bit errors.
+
+        Returns ``(codeword, error_count)`` where ``codeword`` is the
+        corrected word.  Raises :class:`DecodingError` when the error
+        pattern is beyond the decoding radius (detected by Berlekamp-Massey
+        degree mismatch or a failed Chien search).
+        """
+        received = self._check_bits(received, self.spec.n, "received word")
+        # Re-embed a shortened word into the parent code with leading zeros.
+        if self.spec.shorten:
+            full = np.concatenate([
+                received,
+                np.zeros(self.spec.shorten, dtype=np.uint8),
+            ])
+        else:
+            full = received
+
+        syndromes = self._syndromes(full)
+        if not any(syndromes):
+            return received.copy(), 0
+
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = poly.degree(locator)
+        if n_errors > self.spec.t:
+            raise DecodingError(
+                f"error locator degree {n_errors} exceeds capacity t={self.spec.t}"
+            )
+        positions = self._chien_search(locator)
+        if len(positions) != n_errors:
+            raise DecodingError(
+                "Chien search found "
+                f"{len(positions)} roots for a degree-{n_errors} locator"
+            )
+        corrected = full.copy()
+        for pos in positions:
+            if pos >= self._parent_n - self.spec.shorten:
+                # An "error" inside the shortened (always-zero) region means
+                # the true error pattern was outside the decoding radius.
+                raise DecodingError("error located in shortened region")
+            corrected[pos] ^= 1
+        result = corrected[: self.spec.n]
+        # Confirm the corrected word is a codeword (guards against
+        # miscorrection for weight > t patterns that land inside radius).
+        if any(self._syndromes(corrected)):
+            raise DecodingError("corrected word is not a codeword")
+        return result, n_errors
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Read the systematic message bits back out of a codeword."""
+        codeword = self._check_bits(codeword, self.spec.n, "codeword")
+        return codeword[self._parity_len:].copy()
+
+    def is_codeword(self, word: np.ndarray) -> bool:
+        """True iff ``word`` has all-zero syndromes."""
+        word = self._check_bits(word, self.spec.n, "word")
+        if self.spec.shorten:
+            word = np.concatenate([
+                word, np.zeros(self.spec.shorten, dtype=np.uint8)
+            ])
+        return not any(self._syndromes(word))
+
+    def random_codeword(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly random codeword (encode random message bits)."""
+        message = rng.integers(0, 2, size=self.spec.k, dtype=np.uint8)
+        return self.encode(message)
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_bits(bits: np.ndarray, expected_len: int, what: str) -> np.ndarray:
+        arr = np.asarray(bits)
+        if arr.ndim != 1 or arr.shape[0] != expected_len:
+            raise ParameterError(
+                f"{what} must be a 1-D array of {expected_len} bits, "
+                f"got shape {arr.shape}"
+            )
+        if not np.all((arr == 0) | (arr == 1)):
+            raise ParameterError(f"{what} must contain only 0/1 values")
+        return arr.astype(np.uint8)
+
+    def _syndromes(self, word: np.ndarray) -> list[int]:
+        """Syndromes ``S_j = r(alpha^j)`` for ``j = 1 .. 2t`` (vectorised)."""
+        field = self.field
+        support = np.nonzero(word)[0]
+        syndromes: list[int] = []
+        if len(support) == 0:
+            return [0] * (2 * self.spec.t)
+        logs = support.astype(np.int64)
+        for j in range(1, 2 * self.spec.t + 1):
+            # r(alpha^j) = XOR over set bits i of alpha^(i*j).
+            powers = (logs * j) % (self._parent_n)
+            values = field._exp[powers]
+            acc = 0
+            for v in values:
+                acc ^= int(v)
+            syndromes.append(acc)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Berlekamp-Massey over GF(2^m); returns the error locator sigma."""
+        field = self.field
+        sigma: list[int] = [1]
+        prev_sigma: list[int] = [1]
+        length = 0
+        prev_discrepancy = 1
+        shift_amount = 1
+        for idx, s in enumerate(syndromes):
+            # Discrepancy d = S_idx + sum sigma_i * S_(idx-i).
+            d = s
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i] and idx - i >= 0:
+                    d ^= field.mul(sigma[i], syndromes[idx - i])
+            if d == 0:
+                shift_amount += 1
+                continue
+            correction = poly.scale(
+                field,
+                poly.shift(prev_sigma, shift_amount),
+                field.div(d, prev_discrepancy),
+            )
+            new_sigma = poly.add(field, sigma, correction)
+            if 2 * length <= idx:
+                prev_sigma, sigma = sigma, new_sigma
+                prev_discrepancy = d
+                length = idx + 1 - length
+                shift_amount = 1
+            else:
+                sigma = new_sigma
+                shift_amount += 1
+        return sigma
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        """Find error positions: ``i`` such that ``sigma(alpha^-i) = 0``.
+
+        Evaluates the locator at every ``alpha^j`` in one vectorised sweep;
+        a root at ``alpha^j`` marks an error at position ``(n - j) mod n``.
+        """
+        field = self.field
+        n = self._parent_n
+        points = field._exp[np.arange(n)]
+        values = field.eval_poly_at_points(
+            np.array(locator, dtype=np.int64), points
+        )
+        roots = np.nonzero(values == 0)[0]
+        return sorted(int((n - j) % n) for j in roots)
+
+
+@lru_cache(maxsize=32)
+def design_bch(min_n: int, min_t: int) -> tuple[int, int]:
+    """Pick the smallest ``(m, t)`` giving length >= min_n and capacity >= min_t.
+
+    Convenience for the code-offset sketch: callers know the template
+    length and the noise level, not BCH internals.
+    """
+    for m in range(4, 17):
+        if (1 << m) - 1 >= min_n:
+            return m, min_t
+    raise ParameterError(f"no supported BCH length >= {min_n}")

@@ -1,0 +1,182 @@
+"""Finite-field arithmetic over GF(2^m).
+
+Substrate for the BCH and Reed-Solomon codecs, which in turn back the
+*baseline* fuzzy extractors this reproduction compares against (the
+code-offset / fuzzy-commitment construction of Juels-Wattenberg and the
+fuzzy vault of Juels-Sudan — paper Section VIII).
+
+Elements are represented as integers in ``[0, 2^m)`` whose bits are the
+polynomial coefficients over GF(2).  Multiplication and inversion go
+through log/antilog tables built once per field, giving O(1) operations
+after O(2^m) setup — the classic software trade-off for m <= 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomials (as bit masks including the leading term) for each
+#: supported extension degree.  Source: standard tables (e.g. Lin & Costello
+#: appendix); primitivity is re-verified by ``tests/coding/test_gf2m.py``.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10001001,           # x^7 + x^3 + 1
+    8: 0b100011101,          # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+    11: 0b100000000101,      # x^11 + x^2 + 1
+    12: 0b1000001010011,     # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,    # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,   # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011, # x^16 + x^12 + x^3 + x + 1
+}
+
+_FIELD_CACHE: dict[tuple[int, int], "GF2m"] = {}
+
+
+class GF2m:
+    """The field GF(2^m) with log/antilog table arithmetic.
+
+    Use :func:`get_field` rather than the constructor so table construction
+    is amortised across the process.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if not 2 <= m <= 16:
+            raise ValueError("m must be between 2 and 16")
+        poly = primitive_poly if primitive_poly is not None else PRIMITIVE_POLYNOMIALS[m]
+        if poly.bit_length() != m + 1:
+            raise ValueError(
+                f"primitive polynomial must have degree {m}, "
+                f"got degree {poly.bit_length() - 1}"
+            )
+        self.m = m
+        self.order = 1 << m
+        self.primitive_poly = poly
+
+        # Build antilog (powers of alpha) and log tables by repeated
+        # multiplication by alpha = x, reducing modulo the field polynomial.
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        value = 1
+        for power in range(self.order - 1):
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value & self.order:
+                value ^= poly
+            # alpha must have full order 2^m - 1: returning to 1 early (an
+            # irreducible-but-imprimitive polynomial) or hitting 0 (a
+            # reducible polynomial with x as zero divisor) disqualifies it.
+            if value == 1 and power < self.order - 2:
+                raise ValueError(
+                    f"polynomial {poly:#x} is not primitive for m={m}"
+                )
+            if value == 0:
+                raise ValueError(
+                    f"polynomial {poly:#x} is not primitive for m={m}"
+                )
+        if value != 1:
+            raise ValueError(f"polynomial {poly:#x} is not primitive for m={m}")
+        # Duplicate the table so products of logs never need a modulo.
+        exp[self.order - 1: 2 * (self.order - 1)] = exp[: self.order - 1]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar operations ---------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Addition = XOR in characteristic 2 (same as subtraction)."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on 0."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return int(self._exp[(self.order - 1) - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises on division by zero."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self._exp[self._log[a] - self._log[b] + (self.order - 1)])
+
+    def pow(self, a: int, exponent: int) -> int:
+        """``a ** exponent`` with negative exponents via inversion."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("0 has no negative powers")
+            return 0
+        log_a = int(self._log[a])
+        reduced = (log_a * exponent) % (self.order - 1)
+        return int(self._exp[reduced])
+
+    def alpha_power(self, power: int) -> int:
+        """Return ``alpha ** power`` for the fixed primitive element alpha."""
+        return int(self._exp[power % (self.order - 1)])
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha; raises on 0."""
+        if a == 0:
+            raise ValueError("0 has no discrete logarithm")
+        return int(self._log[a])
+
+    # -- vector operations (numpy) --------------------------------------------
+
+    def mul_vector(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two (broadcastable) arrays of elements."""
+        a, b = np.broadcast_arrays(
+            np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+        )
+        out = np.zeros(a.shape, dtype=np.int64)
+        nonzero = (a != 0) & (b != 0)
+        if np.any(nonzero):
+            out[nonzero] = self._exp[self._log[a[nonzero]] + self._log[b[nonzero]]]
+        return out
+
+    def eval_poly_at_points(self, coeffs: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Evaluate a polynomial (low-order-first coefficients) at many points.
+
+        Horner's rule vectorised over the evaluation points; used by the
+        Reed-Solomon encoder and the Chien search in the BCH decoder.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        points = np.asarray(points, dtype=np.int64)
+        result = np.zeros_like(points)
+        for c in coeffs[::-1]:
+            result = self.mul_vector(result, points)
+            result ^= int(c)
+        return result
+
+    def elements(self) -> np.ndarray:
+        """All field elements ``0 .. 2^m - 1``."""
+        return np.arange(self.order, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF2m(m={self.m}, poly={self.primitive_poly:#x})"
+
+
+def get_field(m: int, primitive_poly: int | None = None) -> GF2m:
+    """Return the (cached) field GF(2^m)."""
+    poly = primitive_poly if primitive_poly is not None else PRIMITIVE_POLYNOMIALS.get(m, 0)
+    key = (m, poly)
+    if key not in _FIELD_CACHE:
+        _FIELD_CACHE[key] = GF2m(m, primitive_poly)
+    return _FIELD_CACHE[key]

@@ -1,0 +1,157 @@
+"""Dense polynomial arithmetic over GF(2^m).
+
+Coefficients are stored low-order first (``coeffs[i]`` multiplies ``x^i``)
+in plain Python lists of field elements.  The degrees involved in BCH and
+Reed-Solomon decoding are small (at most the code length), so clarity is
+preferred over numpy here; hot inner loops that matter for benchmarks
+(syndrome computation, Chien search) are vectorised in the codecs instead.
+"""
+
+from __future__ import annotations
+
+from repro.coding.gf2m import GF2m
+
+Poly = list[int]
+
+
+def normalize(poly: Poly) -> Poly:
+    """Strip trailing zero coefficients; the zero polynomial becomes ``[]``."""
+    end = len(poly)
+    while end > 0 and poly[end - 1] == 0:
+        end -= 1
+    return poly[:end]
+
+
+def degree(poly: Poly) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    trimmed = normalize(poly)
+    return len(trimmed) - 1
+
+
+def add(field: GF2m, a: Poly, b: Poly) -> Poly:
+    """Polynomial addition (XOR of coefficients in characteristic 2)."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, coeff in enumerate(b):
+        out[i] ^= coeff
+    return normalize(out)
+
+
+def scale(field: GF2m, poly: Poly, scalar: int) -> Poly:
+    """Multiply every coefficient by ``scalar``."""
+    if scalar == 0:
+        return []
+    return normalize([field.mul(c, scalar) for c in poly])
+
+
+def mul(field: GF2m, a: Poly, b: Poly) -> Poly:
+    """Polynomial multiplication (schoolbook; degrees here are small)."""
+    a = normalize(a)
+    b = normalize(b)
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            if cb:
+                out[i + j] ^= field.mul(ca, cb)
+    return out
+
+
+def shift(poly: Poly, amount: int) -> Poly:
+    """Multiply by ``x**amount``."""
+    poly = normalize(poly)
+    if not poly:
+        return []
+    return [0] * amount + poly
+
+
+def divmod_poly(field: GF2m, dividend: Poly, divisor: Poly) -> tuple[Poly, Poly]:
+    """Polynomial long division; returns ``(quotient, remainder)``."""
+    dividend = normalize(dividend)
+    divisor = normalize(divisor)
+    if not divisor:
+        raise ZeroDivisionError("polynomial division by zero")
+    remainder = list(dividend)
+    quotient = [0] * max(0, len(dividend) - len(divisor) + 1)
+    inv_lead = field.inv(divisor[-1])
+    for i in range(len(dividend) - len(divisor), -1, -1):
+        coeff = field.mul(remainder[i + len(divisor) - 1], inv_lead)
+        if coeff == 0:
+            continue
+        quotient[i] = coeff
+        for j, dc in enumerate(divisor):
+            if dc:
+                remainder[i + j] ^= field.mul(dc, coeff)
+    return normalize(quotient), normalize(remainder)
+
+
+def mod(field: GF2m, dividend: Poly, divisor: Poly) -> Poly:
+    """Polynomial remainder."""
+    return divmod_poly(field, dividend, divisor)[1]
+
+
+def evaluate(field: GF2m, poly: Poly, x: int) -> int:
+    """Evaluate at a single point with Horner's rule."""
+    result = 0
+    for coeff in reversed(normalize(poly)):
+        result = field.mul(result, x) ^ coeff
+    return result
+
+
+def derivative(field: GF2m, poly: Poly) -> Poly:
+    """Formal derivative.
+
+    In characteristic 2, even-power terms vanish and odd-power terms keep
+    their coefficient: ``d/dx x^i = i * x^(i-1)`` with ``i mod 2``.
+    """
+    return normalize([
+        poly[i] if i % 2 == 1 else 0
+        for i in range(1, len(poly))
+    ])
+
+
+def lagrange_interpolate(field: GF2m, xs: list[int], ys: list[int]) -> Poly:
+    """Unique polynomial of degree < len(xs) through the given points.
+
+    Used by the fuzzy-vault decoder to reconstruct the secret polynomial
+    from an unlocking set.  Raises :class:`ValueError` on duplicate x.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    result: Poly = []
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi == 0:
+            continue
+        # Basis polynomial prod_{j != i} (x - xj) / (xi - xj).
+        basis: Poly = [1]
+        denom = 1
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            basis = mul(field, basis, [xj, 1])  # (x + xj) == (x - xj) in char 2
+            denom = field.mul(denom, xi ^ xj)
+        coeff = field.div(yi, denom)
+        result = add(field, result, scale(field, basis, coeff))
+    return result
+
+
+def monic(field: GF2m, poly: Poly) -> Poly:
+    """Scale so the leading coefficient is 1."""
+    poly = normalize(poly)
+    if not poly:
+        return poly
+    return scale(field, poly, field.inv(poly[-1]))
+
+
+def gcd_poly(field: GF2m, a: Poly, b: Poly) -> Poly:
+    """Monic polynomial greatest common divisor (Euclid)."""
+    a, b = normalize(a), normalize(b)
+    while b:
+        a, b = b, mod(field, a, b)
+    return monic(field, a)

@@ -1,0 +1,305 @@
+"""Reed-Solomon codes over GF(2^m).
+
+Two decoders are provided because the two consumers have different shapes:
+
+* :class:`RsCode` — the classic primitive-length code
+  (``n = 2^m - 1``, optionally shortened) with syndrome decoding
+  (Berlekamp-Massey + Chien + Forney).  Used directly by tests and
+  available as a building block.
+* :func:`berlekamp_welch` — decoding of a *generalised* RS (evaluation)
+  code with arbitrary distinct evaluation points.  The fuzzy-vault
+  baseline needs this: the unlocking set is whatever vault points matched
+  the user's features, so the evaluation points vary per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding import polynomial as poly
+from repro.coding.gf2m import GF2m, get_field
+from repro.exceptions import DecodingError, ParameterError
+
+
+class RsCode:
+    """A systematic Reed-Solomon code over GF(2^m).
+
+    Symbols are field elements (ints in ``[0, 2^m)``).  The code has length
+    ``n = 2^m - 1 - shorten`` and dimension ``k``; it corrects up to
+    ``t = (n - k) // 2`` symbol errors.
+    """
+
+    def __init__(self, m: int, k: int, shorten: int = 0) -> None:
+        field = get_field(m)
+        parent_n = field.order - 1
+        n = parent_n - shorten
+        if not 0 < k < n:
+            raise ParameterError(f"need 0 < k < n; got k={k}, n={n}")
+        self.field = field
+        self.m = m
+        self.n = n
+        self.k = k
+        self.shorten = shorten
+        self._parent_n = parent_n
+        self._n_parity = n - k
+        # Generator polynomial prod_{j=1..n-k} (x - alpha^j).
+        generator: list[int] = [1]
+        for j in range(1, self._n_parity + 1):
+            generator = poly.mul(field, generator, [field.alpha_power(j), 1])
+        self.generator = generator
+
+    @property
+    def t(self) -> int:
+        """Symbol error-correction capacity."""
+        return self._n_parity // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RsCode(n={self.n}, k={self.k}, t={self.t}, m={self.m})"
+
+    def _check_symbols(self, word: np.ndarray, expected: int, what: str) -> np.ndarray:
+        arr = np.asarray(word, dtype=np.int64)
+        if arr.ndim != 1 or arr.shape[0] != expected:
+            raise ParameterError(
+                f"{what} must be 1-D of length {expected}, got shape {arr.shape}"
+            )
+        if arr.min(initial=0) < 0 or arr.max(initial=0) >= self.field.order:
+            raise ParameterError(f"{what} contains out-of-field symbols")
+        return arr
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematic encoding: ``[parity | message]``."""
+        message = self._check_symbols(message, self.k, "message")
+        shifted = [0] * self._n_parity + [int(s) for s in message]
+        remainder = poly.mod(self.field, shifted, self.generator)
+        parity = np.zeros(self._n_parity, dtype=np.int64)
+        for i, c in enumerate(remainder):
+            parity[i] = c
+        return np.concatenate([parity, message])
+
+    def decode(self, received: np.ndarray) -> tuple[np.ndarray, int]:
+        """Correct up to ``t`` symbol errors; returns ``(codeword, count)``."""
+        received = self._check_symbols(received, self.n, "received word")
+        if self.shorten:
+            full = np.concatenate([
+                received, np.zeros(self.shorten, dtype=np.int64)
+            ])
+        else:
+            full = received
+
+        syndromes = self._syndromes(full)
+        if not any(syndromes):
+            return received.copy(), 0
+
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = poly.degree(locator)
+        if n_errors > self.t:
+            raise DecodingError(
+                f"locator degree {n_errors} exceeds capacity t={self.t}"
+            )
+        positions = self._chien_search(locator)
+        if len(positions) != n_errors:
+            raise DecodingError("Chien search root count mismatch")
+
+        magnitudes = self._forney(syndromes, locator, positions)
+        corrected = full.copy()
+        for pos, mag in zip(positions, magnitudes):
+            if pos >= self._parent_n - self.shorten:
+                raise DecodingError("error located in shortened region")
+            corrected[pos] ^= mag
+        if any(self._syndromes(corrected)):
+            raise DecodingError("corrected word is not a codeword")
+        return corrected[: self.n], n_errors
+
+    def extract_message(self, codeword: np.ndarray) -> np.ndarray:
+        """Read the systematic message symbols out of a codeword."""
+        codeword = self._check_symbols(codeword, self.n, "codeword")
+        return codeword[self._n_parity:].copy()
+
+    # -- internals -----------------------------------------------------------
+
+    def _syndromes(self, word: np.ndarray) -> list[int]:
+        field = self.field
+        coeffs = np.asarray(word, dtype=np.int64)
+        return [
+            int(field.eval_poly_at_points(coeffs, np.array([field.alpha_power(j)]))[0])
+            for j in range(1, self._n_parity + 1)
+        ]
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        field = self.field
+        sigma: list[int] = [1]
+        prev_sigma: list[int] = [1]
+        length = 0
+        prev_discrepancy = 1
+        shift_amount = 1
+        for idx, s in enumerate(syndromes):
+            d = s
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i] and idx - i >= 0:
+                    d ^= field.mul(sigma[i], syndromes[idx - i])
+            if d == 0:
+                shift_amount += 1
+                continue
+            correction = poly.scale(
+                field,
+                poly.shift(prev_sigma, shift_amount),
+                field.div(d, prev_discrepancy),
+            )
+            new_sigma = poly.add(field, sigma, correction)
+            if 2 * length <= idx:
+                prev_sigma, sigma = sigma, new_sigma
+                prev_discrepancy = d
+                length = idx + 1 - length
+                shift_amount = 1
+            else:
+                sigma = new_sigma
+                shift_amount += 1
+        return sigma
+
+    def _chien_search(self, locator: list[int]) -> list[int]:
+        field = self.field
+        n = self._parent_n
+        points = field._exp[np.arange(n)]
+        values = field.eval_poly_at_points(np.array(locator, dtype=np.int64), points)
+        roots = np.nonzero(values == 0)[0]
+        return sorted(int((n - j) % n) for j in roots)
+
+    def _forney(self, syndromes: list[int], locator: list[int],
+                positions: list[int]) -> list[int]:
+        """Error magnitudes via the Forney algorithm (b = 1 convention)."""
+        field = self.field
+        # Omega(x) = S(x) * sigma(x) mod x^(2t'), with S(x) low-order-first.
+        two_t = len(syndromes)
+        omega = poly.mul(field, syndromes, locator)[:two_t]
+        sigma_prime = poly.derivative(field, locator)
+        magnitudes = []
+        for pos in positions:
+            x_inv = field.alpha_power(-pos % (self._parent_n))
+            num = poly.evaluate(field, omega, x_inv)
+            den = poly.evaluate(field, sigma_prime, x_inv)
+            if den == 0:
+                raise DecodingError("Forney derivative evaluated to zero")
+            magnitudes.append(field.div(num, den))
+        return magnitudes
+
+
+def berlekamp_welch(field: GF2m, xs: list[int], ys: list[int], k: int,
+                    max_errors: int | None = None) -> list[int]:
+    """Decode a generalised RS (evaluation) code via Berlekamp-Welch.
+
+    Given points ``(xs[i], ys[i])`` of which at most ``e`` are corrupted,
+    finds the unique polynomial ``P`` with ``deg P < k`` agreeing with at
+    least ``len(xs) - e`` points, provided ``len(xs) >= k + 2e``.
+
+    The classic linear-algebra formulation: find ``E`` (monic, ``deg = e``)
+    and ``Q`` (``deg < k + e``) with ``Q(xi) = yi * E(xi)`` for all ``i``;
+    then ``P = Q / E``.  Errors are tried from the largest feasible ``e``
+    downward so the caller does not need to know the exact error count.
+
+    Raises :class:`DecodingError` when no consistent polynomial exists.
+    """
+    if len(xs) != len(ys):
+        raise ParameterError("xs and ys must have equal length")
+    if len(set(xs)) != len(xs):
+        raise ParameterError("evaluation points must be distinct")
+    n_points = len(xs)
+    if n_points < k:
+        raise DecodingError(f"need at least k={k} points, got {n_points}")
+
+    e_cap = (n_points - k) // 2
+    if max_errors is not None:
+        e_cap = min(e_cap, max_errors)
+
+    for e in range(e_cap, -1, -1):
+        candidate = _try_berlekamp_welch(field, xs, ys, k, e)
+        if candidate is None:
+            continue
+        # Verify agreement on >= n_points - e points (guards against
+        # spurious solutions from the linear system).
+        agree = sum(
+            1 for x, y in zip(xs, ys) if poly.evaluate(field, candidate, x) == y
+        )
+        if agree >= n_points - e:
+            return candidate
+    raise DecodingError("Berlekamp-Welch found no consistent polynomial")
+
+
+def _try_berlekamp_welch(field: GF2m, xs: list[int], ys: list[int],
+                         k: int, e: int) -> list[int] | None:
+    """One Berlekamp-Welch attempt at a fixed error count ``e``."""
+    n_points = len(xs)
+    q_len = k + e          # number of unknown Q coefficients
+    unknowns = q_len + e   # E is monic of degree e: e unknown coefficients
+    if n_points < unknowns:
+        return None
+
+    # Build the linear system: Q(xi) - yi*E(xi) = 0, i.e.
+    # sum_j q_j xi^j  +  yi * sum_(l<e) E_l xi^l = yi * xi^e   (char 2).
+    matrix = np.zeros((n_points, unknowns), dtype=np.int64)
+    rhs = np.zeros(n_points, dtype=np.int64)
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        x_pow = 1
+        for j in range(q_len):
+            matrix[i, j] = x_pow
+            x_pow = field.mul(x_pow, x)
+        x_pow = 1
+        for l in range(e):
+            matrix[i, q_len + l] = field.mul(y, x_pow)
+            x_pow = field.mul(x_pow, x)
+        rhs[i] = field.mul(y, field.pow(x, e))
+
+    solution = _solve_gf(field, matrix, rhs)
+    if solution is None:
+        return None
+    q_coeffs = [int(c) for c in solution[:q_len]]
+    e_coeffs = [int(c) for c in solution[q_len:]] + [1]  # monic
+    quotient, remainder = poly.divmod_poly(field, q_coeffs, e_coeffs)
+    if poly.normalize(remainder):
+        return None
+    if poly.degree(quotient) >= k:
+        return None
+    return poly.normalize(quotient)
+
+
+def _solve_gf(field: GF2m, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """Solve ``matrix @ x = rhs`` over GF(2^m) by Gaussian elimination.
+
+    Returns one solution (free variables set to 0) or ``None`` when the
+    system is inconsistent.
+    """
+    a = matrix.copy()
+    b = rhs.copy()
+    rows, cols = a.shape
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(row, rows):
+            if a[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            b[[row, pivot]] = b[[pivot, row]]
+        inv = field.inv(int(a[row, col]))
+        a[row] = field.mul_vector(a[row], np.full(cols, inv, dtype=np.int64))
+        b[row] = field.mul(int(b[row]), inv)
+        for r in range(rows):
+            if r != row and a[r, col]:
+                factor = int(a[r, col])
+                a[r] ^= field.mul_vector(a[row], np.full(cols, factor, dtype=np.int64))
+                b[r] ^= field.mul(int(b[row]), factor)
+        pivot_cols.append(col)
+        row += 1
+        if row == rows:
+            break
+    # Inconsistency: zero row with nonzero rhs.
+    for r in range(row, rows):
+        if b[r] and not a[r].any():
+            return None
+    solution = np.zeros(cols, dtype=np.int64)
+    for r, col in enumerate(pivot_cols):
+        solution[col] = b[r]
+    return solution

@@ -1,0 +1,161 @@
+"""The succinct fuzzy extractor (paper Section IV-C).
+
+Generic construction from the robust secure sketch plus a strong extractor:
+
+* ``Gen(x)``: draw a seed ``r``; compute the robust sketch ``(s, h)``;
+  output ``R = Ext(x; r)`` and helper data ``P = (s, h, r)``.
+* ``Rep(y, P)``: recover ``x' = Rec(y, (s, h))``; output ``R = Ext(x'; r)``.
+
+``R`` is the string the identification protocol turns into a signing key —
+the paper's whole point is that ``R`` (and therefore the private key) is
+*never stored*; only ``P`` is, and ``P`` leaks at most ``n log2(ka)`` bits
+of the template (Theorem 3).
+
+The helper data here also records the extractor seed ``r``.  The paper's
+robust transform hashes ``(x, s)`` only; the optional ``bind_seed`` flag
+additionally binds ``r`` into the tag, closing the (paper-acknowledged,
+Boyen-et-al.-style) gap where an active adversary swaps the seed to make
+the device derive a different key.  The default follows the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.numberline import IntArray
+from repro.core.params import SystemParams
+from repro.core.robust import RobustSketchValue
+from repro.core.sketch import ChebyshevSketch
+from repro.crypto.extractors import StrongExtractor, default_extractor
+from repro.crypto.hashing import constant_time_equal, encode_int_vector, hash_concat
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError, TamperDetectedError
+
+_TAG_LABEL = b"repro-fuzzy-extractor-v1"
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """The public helper data ``P = (s, h, r)``.
+
+    ``movements`` and ``tag`` form the robust sketch; ``seed`` is the
+    strong-extractor seed ``r``.  Everything here is public by design —
+    security rests on Theorem 3 (residual min-entropy) and Definition 6
+    (extractor output close to uniform given ``P``).
+    """
+
+    movements: np.ndarray
+    tag: bytes
+    seed: bytes
+
+    def sketch_value(self) -> RobustSketchValue:
+        """The robust-sketch component ``(s, h)`` of this helper data."""
+        return RobustSketchValue(movements=self.movements, tag=self.tag)
+
+    def storage_bytes(self) -> int:
+        """Wire size of the helper data."""
+        return 8 * len(self.movements) + len(self.tag) + len(self.seed)
+
+    # -- serialisation (used by the protocol layer) -------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical wire encoding: lengths-prefixed (movements, tag, seed)."""
+        body = encode_int_vector(self.movements)
+        return b"".join([
+            len(body).to_bytes(8, "big"), body,
+            len(self.tag).to_bytes(2, "big"), self.tag,
+            len(self.seed).to_bytes(2, "big"), self.seed,
+        ])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HelperData":
+        """Inverse of :meth:`to_bytes`; raises ``ParameterError`` on junk."""
+        try:
+            offset = 0
+            body_len = int.from_bytes(data[offset: offset + 8], "big")
+            offset += 8
+            body = data[offset: offset + body_len]
+            if len(body) != body_len:
+                raise ValueError("truncated movements")
+            offset += body_len
+            tag_len = int.from_bytes(data[offset: offset + 2], "big")
+            offset += 2
+            tag = data[offset: offset + tag_len]
+            if len(tag) != tag_len:
+                raise ValueError("truncated tag")
+            offset += tag_len
+            seed_len = int.from_bytes(data[offset: offset + 2], "big")
+            offset += 2
+            seed = data[offset: offset + seed_len]
+            if len(seed) != seed_len or offset + seed_len != len(data):
+                raise ValueError("truncated or oversized encoding")
+        except (IndexError, ValueError) as exc:
+            raise ParameterError(f"malformed helper data: {exc}") from exc
+        from repro.crypto.hashing import decode_int_vector
+
+        return cls(movements=decode_int_vector(body), tag=tag, seed=seed)
+
+
+class SuccinctFuzzyExtractor:
+    """The paper's ``(Gen, Rep)`` pair.
+
+    Parameters
+    ----------
+    params:
+        Number-line geometry and threshold.
+    extractor:
+        A strong extractor; defaults to the paper's SHA-256 instantiation.
+    bind_seed:
+        When ``True``, the robustness tag also covers the extractor seed
+        ``r`` (an extension over the paper; see module docstring).
+    """
+
+    def __init__(self, params: SystemParams,
+                 extractor: StrongExtractor | None = None,
+                 bind_seed: bool = False) -> None:
+        self.params = params
+        self.sketcher = ChebyshevSketch(params)
+        self.extractor = extractor if extractor is not None else default_extractor()
+        self.bind_seed = bind_seed
+
+    # -- internals ------------------------------------------------------------------
+
+    def _tag(self, x_canonical: IntArray, movements: IntArray, seed: bytes) -> bytes:
+        parts = [encode_int_vector(x_canonical), encode_int_vector(movements)]
+        if self.bind_seed:
+            parts.append(seed)
+        return hash_concat(parts, label=_TAG_LABEL)
+
+    # -- Gen ---------------------------------------------------------------------------
+
+    def generate(self, x: IntArray, drbg: HmacDrbg | None = None) -> tuple[bytes, HelperData]:
+        """``Gen(x) -> (R, P)``.
+
+        ``drbg`` drives both the extractor-seed draw and the sketch's
+        boundary coins, making enrollment reproducible for tests; omitted,
+        fresh OS-independent entropy is taken from numpy.
+        """
+        if drbg is None:
+            drbg = HmacDrbg(np.random.default_rng().bytes(32),
+                            personalization=b"fe-gen")
+        x_canonical = self.sketcher.line.validate_vector(x)
+        seed = drbg.generate(self.extractor.seed_bytes)
+        movements = self.sketcher.sketch(x_canonical, drbg)
+        tag = self._tag(x_canonical, movements, seed)
+        secret = self.extractor.extract(encode_int_vector(x_canonical), seed)
+        return secret, HelperData(movements=movements, tag=tag, seed=seed)
+
+    # -- Rep ---------------------------------------------------------------------------
+
+    def reproduce(self, y: IntArray, helper: HelperData) -> bytes:
+        """``Rep(y, P) -> R``; raises ``RecoveryError`` / ``TamperDetectedError``."""
+        recovered = self.sketcher.recover(y, helper.movements)
+        expected = self._tag(recovered, helper.movements, helper.seed)
+        if not constant_time_equal(expected, helper.tag):
+            raise TamperDetectedError(
+                "helper-data tag mismatch during Rep: sketch, tag or seed "
+                "was modified"
+            )
+        return self.extractor.extract(encode_int_vector(recovered), helper.seed)

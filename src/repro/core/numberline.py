@@ -1,0 +1,150 @@
+"""The number line ``La`` (paper Definition 4) and its ring arithmetic.
+
+The line has ``v`` intervals of ``k*a`` integer points each, covering
+``[-k*a*v/2, k*a*v/2]`` with the two endpoints identified ("La can be
+considered as a ring", Section IV-B special case 2).  Interval boundaries
+sit at multiples of ``k*a``; each interval's *identifier* is its midpoint,
+which lies ``k*a/2`` above a boundary.
+
+All operations are vectorised over numpy int64 arrays.  Canonical ring
+representatives live in the half-open range ``[-kav/2, kav/2)`` — the
+paper notes ``-kav/2`` "is considered the same as the point ``kav/2``",
+and a half-open canonical range makes every ring element unique.
+
+Erratum handled here: the paper's ``Rec`` wraps an overflowing point by
+subtracting ``ka``; the ring identification requires subtracting the full
+circumference ``kav`` (see DESIGN.md §2).  :meth:`NumberLine.reduce`
+implements the correct reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SystemParams
+from repro.exceptions import EncodingError
+
+IntArray = np.ndarray
+
+
+class NumberLine:
+    """Geometry of ``La``: reduction, intervals, identifiers, distances."""
+
+    def __init__(self, params: SystemParams) -> None:
+        self.params = params
+        self.interval_width = params.interval_width   # ka
+        self.circumference = params.circumference     # kav
+        self.half_range = params.half_range           # kav / 2
+        self.half_interval = self.interval_width // 2  # ka / 2
+
+    # -- canonical representation ------------------------------------------------
+
+    def reduce(self, points: IntArray | int) -> IntArray:
+        """Map integers to canonical ring representatives in ``[-kav/2, kav/2)``."""
+        arr = np.asarray(points, dtype=np.int64)
+        return (arr + self.half_range) % self.circumference - self.half_range
+
+    def validate_vector(self, vector: IntArray, dimension: int | None = None) -> IntArray:
+        """Check and canonicalise an encoded biometric vector.
+
+        Accepts any integers within ``[-kav/2, kav/2]`` (both endpoint
+        spellings of the shared ring point are allowed) and returns the
+        canonical representative array.  Raises :class:`EncodingError` for
+        out-of-range values or a wrong dimension.
+        """
+        arr = np.asarray(vector)
+        if arr.ndim != 1:
+            raise EncodingError(f"expected a 1-D vector, got shape {arr.shape}")
+        expected = dimension if dimension is not None else self.params.n
+        if arr.shape[0] != expected:
+            raise EncodingError(
+                f"expected dimension {expected}, got {arr.shape[0]}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise EncodingError(
+                f"vector must be integer-typed, got dtype {arr.dtype}"
+            )
+        arr = arr.astype(np.int64)
+        if arr.min() < -self.half_range or arr.max() > self.half_range:
+            raise EncodingError(
+                f"vector contains points outside [-{self.half_range}, "
+                f"{self.half_range}]"
+            )
+        return self.reduce(arr)
+
+    # -- intervals and identifiers --------------------------------------------------
+
+    def is_boundary(self, points: IntArray | int) -> IntArray:
+        """True where a point sits on an interval boundary (in no interval).
+
+        Boundaries are the multiples of ``ka`` (paper special case 1's
+        "point which does not [lie] in any interval").
+        """
+        arr = self.reduce(points)
+        return arr % self.interval_width == 0
+
+    def identifier_of(self, points: IntArray | int) -> IntArray:
+        """Identifier (midpoint) of the interval containing each point.
+
+        For boundary points the result is meaningless — callers must
+        handle them via :meth:`is_boundary` first (the sketch algorithm
+        resolves them with a coin flip).
+        """
+        arr = self.reduce(points)
+        base = np.floor_divide(arr, self.interval_width) * self.interval_width
+        return self.reduce(base + self.half_interval)
+
+    def identifiers(self) -> IntArray:
+        """All ``v`` interval identifiers in canonical representation.
+
+        Boundaries sit at the ring multiples of ``ka`` regardless of the
+        parity of ``v`` (for odd ``v`` the extreme ring point ``±kav/2`` is
+        an identifier, not a boundary).
+        """
+        boundaries = np.arange(self.params.v, dtype=np.int64) * self.interval_width
+        return self.reduce(boundaries + self.half_interval)
+
+    # -- distances --------------------------------------------------------------------
+
+    def ring_distance(self, x: IntArray | int, y: IntArray | int) -> IntArray:
+        """Element-wise ring (wrap-around) distance on ``La``."""
+        diff = np.abs(self.reduce(np.asarray(x, dtype=np.int64)
+                                  - np.asarray(y, dtype=np.int64)))
+        return np.minimum(diff, self.circumference - diff)
+
+    def chebyshev_distance(self, x: IntArray, y: IntArray) -> int:
+        """Chebyshev (L-infinity) distance between two vectors on the ring.
+
+        The paper's Definition 3 uses plain ``max |x_i - y_i|``; on the
+        ring the coordinate distance is the wrap-around distance.  For
+        vectors that stay away from the ends of the line the two notions
+        coincide.
+        """
+        return int(np.max(self.ring_distance(x, y)))
+
+    def movement_to(self, points: IntArray, identifiers: IntArray) -> IntArray:
+        """Ring movement ``s`` with ``points + s ≡ identifiers`` and minimal ``|s|``.
+
+        The result is reduced to ``(-kav/2, kav/2)`` magnitude; for sketch
+        construction the movement magnitude never exceeds ``ka/2``.
+        """
+        return self.reduce(
+            np.asarray(identifiers, dtype=np.int64)
+            - np.asarray(points, dtype=np.int64)
+        )
+
+    # -- sampling ---------------------------------------------------------------------
+
+    def uniform_vector(self, rng: np.random.Generator, n: int | None = None) -> IntArray:
+        """A uniform template vector on the ring (canonical representation)."""
+        size = n if n is not None else self.params.n
+        return rng.integers(
+            -self.half_range, self.half_range, size=size, dtype=np.int64
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.params
+        return (
+            f"NumberLine(a={p.a}, k={p.k}, v={p.v}, "
+            f"range=[-{self.half_range}, {self.half_range}])"
+        )

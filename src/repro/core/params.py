@@ -1,0 +1,213 @@
+"""System parameters for the succinct fuzzy extractor.
+
+Bundles the number-line geometry ``(a, k, v)``, the Chebyshev threshold
+``t``, and the template dimension ``n``, mirroring the paper's ``Setup``
+algorithms and Table II.  The entropy-accounting properties implement the
+closed forms proved in Theorem 3:
+
+* source min-entropy       ``m  = n * log2(k*a*v)``
+* residual min-entropy     ``m~ = n * log2(v)``      (given the sketch)
+* entropy loss             ``m - m~ = n * log2(k*a)``
+* sketch storage           ``n * log2(k*a + 1)`` bits
+
+With the paper's Table II values (``a=100, k=4, v=500, t=100, n=5000``)
+these give ``m~ ≈ 44 829`` bits and storage ``≈ 43 237`` bits, matching the
+"≈ 44,829" and "≈ 45,000" rows of the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Public parameters ``params`` produced by ``SysSetup``.
+
+    Attributes
+    ----------
+    a:
+        The unit of the number line (Definition 4); a positive integer.
+    k:
+        Units per interval; the paper requires ``k`` even (identifiers must
+        be lattice points) and recommends ``k >= 4`` so the false-close
+        probability decays (Section VII).
+    v:
+        Number of intervals on the line; the line covers
+        ``[-k*a*v/2, k*a*v/2]`` and is treated as a ring.
+    t:
+        Maximum acceptable Chebyshev distance; must satisfy ``t < k*a/2``.
+    n:
+        Dimension of biometric template vectors.
+    """
+
+    a: int = 100
+    k: int = 4
+    v: int = 500
+    t: int = 100
+    n: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.a < 1:
+            raise ParameterError(f"unit a must be a positive integer, got {self.a}")
+        if self.k < 2 or self.k % 2:
+            raise ParameterError(
+                f"k must be an even integer >= 2, got {self.k}"
+            )
+        if self.v < 2:
+            raise ParameterError(f"v must be >= 2, got {self.v}")
+        if not 0 < self.t < self.interval_width // 2:
+            raise ParameterError(
+                f"threshold t must satisfy 0 < t < k*a/2 = "
+                f"{self.interval_width // 2}, got {self.t}"
+            )
+        if self.n < 1:
+            raise ParameterError(f"dimension n must be >= 1, got {self.n}")
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def interval_width(self) -> int:
+        """``k * a`` — the width of one interval."""
+        return self.k * self.a
+
+    @property
+    def circumference(self) -> int:
+        """``k * a * v`` — total number of ring points."""
+        return self.k * self.a * self.v
+
+    @property
+    def half_range(self) -> int:
+        """``k*a*v / 2`` — the representation range is ``[-half, half]``."""
+        return self.circumference // 2
+
+    # -- Theorem 3 entropy accounting -----------------------------------------
+
+    @property
+    def min_entropy_bits(self) -> float:
+        """Source min-entropy ``m = n log2(kav)`` (uniform templates)."""
+        return self.n * math.log2(self.circumference)
+
+    @property
+    def residual_entropy_bits(self) -> float:
+        """Average min-entropy ``m~ = n log2(v)`` remaining given the sketch."""
+        return self.n * math.log2(self.v)
+
+    @property
+    def entropy_loss_bits(self) -> float:
+        """Entropy loss ``n log2(ka)`` of publishing the sketch."""
+        return self.n * math.log2(self.interval_width)
+
+    @property
+    def storage_bits(self) -> float:
+        """Sketch storage ``n log2(ka + 1)`` bits (s_i has ka+1 values)."""
+        return self.n * math.log2(self.interval_width + 1)
+
+    @property
+    def false_close_bound_log2(self) -> float:
+        """``log2`` of the bound ``((2t+1)/ka)^n`` — safe at any ``n``.
+
+        The bound itself underflows float64 around ``n≈1000`` at paper
+        parameters; security statements are therefore made in bits.
+        """
+        return self.n * math.log2((2 * self.t + 1) / self.interval_width)
+
+    @property
+    def false_close_bound(self) -> float:
+        """Upper bound ``((2t+1)/ka)^n`` on the false-close probability.
+
+        This is the paper's Theorem 2 discussion bound: the probability
+        that two *independent uniform* templates produce coordinate-wise
+        matching sketches.  Underflows to ``0.0`` for large ``n``; use
+        :attr:`false_close_bound_log2` for security accounting.
+        """
+        return 2.0 ** self.false_close_bound_log2
+
+    def false_close_probability_log2(self) -> float:
+        """``log2`` of the exact false-close probability.
+
+        ``Pr[E] = ((2t+1)^n (v^n - 1)) / (kav)^n``; the ``v^n - 1`` factor
+        is evaluated as ``n log2(v) + log2(1 - v^-n)`` with the correction
+        dropped once it is below float resolution.
+        """
+        log2_v_n = self.n * math.log2(self.v)
+        correction = 0.0
+        # log2(1 - v^-n): only meaningful while v^-n is representable.
+        if log2_v_n < 50:
+            correction = math.log2(1.0 - 2.0 ** (-log2_v_n))
+        return (
+            self.n * math.log2(2 * self.t + 1)
+            + log2_v_n
+            + correction
+            - self.n * math.log2(self.circumference)
+        )
+
+    def false_close_probability(self) -> float:
+        """Exact false-close probability (0.0 when below float range)."""
+        return 2.0 ** self.false_close_probability_log2()
+
+    # -- reporting -------------------------------------------------------------
+
+    def security_report(self) -> dict[str, float]:
+        """The Table II security rows for these parameters."""
+        return {
+            "min_entropy_bits": self.min_entropy_bits,
+            "residual_entropy_bits": self.residual_entropy_bits,
+            "entropy_loss_bits": self.entropy_loss_bits,
+            "storage_bits": self.storage_bits,
+            "false_close_bound": self.false_close_bound,
+        }
+
+    def with_dimension(self, n: int) -> "SystemParams":
+        """A copy of these parameters with a different template dimension."""
+        return SystemParams(a=self.a, k=self.k, v=self.v, t=self.t, n=n)
+
+    # -- serialisation (SysSetup publishes params; devices parse them) ---------
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict form for config files and the SysSetup broadcast."""
+        return {"a": self.a, "k": self.k, "v": self.v, "t": self.t,
+                "n": self.n}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemParams":
+        """Inverse of :meth:`to_dict`; validates via the constructor."""
+        unknown = set(data) - {"a", "k", "v", "t", "n"}
+        if unknown:
+            raise ParameterError(f"unknown parameter keys: {sorted(unknown)}")
+        missing = {"a", "k", "v", "t", "n"} - set(data)
+        if missing:
+            raise ParameterError(f"missing parameter keys: {sorted(missing)}")
+        return cls(a=int(data["a"]), k=int(data["k"]), v=int(data["v"]),
+                   t=int(data["t"]), n=int(data["n"]))
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict` (stable key order)."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemParams":
+        import json
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"malformed parameter JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ParameterError("parameter JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def paper_defaults(cls, n: int = 5000) -> "SystemParams":
+        """The exact Table II configuration (``a=100, k=4, v=500, t=100``)."""
+        return cls(a=100, k=4, v=500, t=100, n=n)
+
+    @classmethod
+    def small_test(cls, n: int = 16) -> "SystemParams":
+        """A small configuration for fast unit tests (``ka=8, v=8``)."""
+        return cls(a=2, k=4, v=8, t=1, n=n)

@@ -1,0 +1,64 @@
+"""Cryptographic substrate: hashing, DRBG, signatures, strong extractors.
+
+Everything in this package is implemented from scratch on top of the
+standard library (``hashlib``/``hmac``) and numpy — no third-party
+cryptography dependencies.  It is *reproduction-grade* code: functionally
+correct and extensively tested, but not hardened (no constant-time field
+arithmetic), so it must not guard real secrets.
+"""
+
+from repro.crypto.dsa import Dsa, DsaGroup, generate_group
+from repro.crypto.dsa_groups import GROUP_512, GROUP_1024, GROUP_2048
+from repro.crypto.ec import P256, Curve, Point
+from repro.crypto.ecdsa import Ecdsa
+from repro.crypto.extractors import (
+    Sha256Extractor,
+    StrongExtractor,
+    ToeplitzExtractor,
+    UniversalHashExtractor,
+    default_extractor,
+)
+from repro.crypto.prng import HmacDrbg, derive_drbg, rng_from_seed
+from repro.crypto.schnorr import EcSchnorr
+from repro.crypto.signatures import (
+    KeyPair,
+    SignatureScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+
+__all__ = [
+    "Dsa",
+    "DsaGroup",
+    "generate_group",
+    "GROUP_512",
+    "GROUP_1024",
+    "GROUP_2048",
+    "P256",
+    "Curve",
+    "Point",
+    "Ecdsa",
+    "EcSchnorr",
+    "Sha256Extractor",
+    "StrongExtractor",
+    "ToeplitzExtractor",
+    "UniversalHashExtractor",
+    "default_extractor",
+    "HmacDrbg",
+    "derive_drbg",
+    "rng_from_seed",
+    "KeyPair",
+    "SignatureScheme",
+    "available_schemes",
+    "get_scheme",
+    "register_scheme",
+]
+
+# Register the standard scheme instances so protocols can look them up by
+# name (e.g. from serialised system parameters).
+register_scheme(Dsa(GROUP_512))
+register_scheme(Dsa(GROUP_1024))
+register_scheme(Dsa(GROUP_2048))
+register_scheme(Ecdsa())
+register_scheme(EcSchnorr())

@@ -1,0 +1,192 @@
+"""The Digital Signature Algorithm (DSA), implemented from scratch.
+
+Table II of the paper lists DSA as the signature scheme used by the
+identification protocol.  This module provides:
+
+* :class:`DsaGroup` — the public parameters ``(p, q, g)`` with ``q | p - 1``
+  and ``g`` generating the order-``q`` subgroup of ``Z_p^*``;
+* :func:`generate_group` — FIPS-186-style parameter generation using
+  probable primes (Miller-Rabin), deterministic from a DRBG seed;
+* :class:`Dsa` — keygen / sign / verify implementing the
+  :class:`~repro.crypto.signatures.SignatureScheme` interface.
+
+Nonces are derived deterministically from the key and message (in the
+spirit of RFC 6979): a repeated or biased nonce leaks the private key, and
+a reproduction harness must not depend on OS entropy anyway.
+
+Pre-generated groups (512-, 1024- and 2048-bit ``p``) live in
+:mod:`repro.crypto.dsa_groups`; generating a 2048-bit group takes seconds in
+pure Python, which would be wasteful at import time of every test run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import numbertheory as nt
+from repro.crypto.hashing import sha256
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import KeyPair, SignatureScheme
+from repro.exceptions import SignatureError
+
+
+@dataclass(frozen=True)
+class DsaGroup:
+    """DSA domain parameters ``(p, q, g)``.
+
+    ``p`` is the field prime, ``q`` the prime order of the subgroup
+    (``q | p - 1``), and ``g`` a generator of that subgroup.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    def validate(self) -> None:
+        """Check the structural invariants; raises :class:`ValueError`.
+
+        Intended for tests and for callers loading parameters from
+        untrusted sources — an attacker-supplied weak group breaks DSA.
+        """
+        if not nt.is_probable_prime(self.p):
+            raise ValueError("p is not prime")
+        if not nt.is_probable_prime(self.q):
+            raise ValueError("q is not prime")
+        if (self.p - 1) % self.q != 0:
+            raise ValueError("q does not divide p - 1")
+        if not (1 < self.g < self.p):
+            raise ValueError("g out of range")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ValueError("g does not have order q")
+        if self.g == 1:
+            raise ValueError("g is the identity")
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+
+def generate_group(p_bits: int, q_bits: int, seed: bytes) -> DsaGroup:
+    """Generate DSA domain parameters deterministically from ``seed``.
+
+    First draws the subgroup order ``q`` (a ``q_bits`` probable prime),
+    then searches for ``p = q*m + 1`` of exactly ``p_bits`` bits, then
+    derives a subgroup generator.
+    """
+    if q_bits >= p_bits:
+        raise ValueError("q_bits must be smaller than p_bits")
+    drbg = HmacDrbg(seed, personalization=b"dsa-paramgen")
+    q = nt.generate_prime(q_bits, drbg)
+    p = nt.generate_prime_with_factor(p_bits, q, drbg)
+    g = nt.find_group_generator(p, q, drbg)
+    return DsaGroup(p=p, q=q, g=g)
+
+
+def _int_to_fixed_bytes(value: int, length: int) -> bytes:
+    return value.to_bytes(length, "big")
+
+
+class Dsa(SignatureScheme):
+    """DSA over a fixed :class:`DsaGroup`.
+
+    Encodings:
+
+    * signing key — the private exponent ``x`` as ``q``-sized big-endian
+      bytes;
+    * verify key  — the public element ``y = g^x mod p`` as ``p``-sized
+      big-endian bytes;
+    * signature   — ``r || s``, each as ``q``-sized big-endian bytes.
+    """
+
+    def __init__(self, group: DsaGroup, name: str | None = None) -> None:
+        self.group = group
+        self.name = name or f"dsa-{group.p_bits}"
+        self._q_len = (group.q.bit_length() + 7) // 8
+        self._p_len = (group.p.bit_length() + 7) // 8
+
+    # -- helpers ---------------------------------------------------------
+
+    def _hash_to_zq(self, message: bytes) -> int:
+        """Hash a message into ``Z_q`` (leftmost-bits convention of FIPS 186)."""
+        digest = sha256(message)
+        value = int.from_bytes(digest, "big")
+        shift = max(0, 8 * len(digest) - self.group.q.bit_length())
+        return (value >> shift) % self.group.q
+
+    def _nonce(self, x: int, h: int) -> int:
+        """Deterministic per-message nonce ``k`` in ``[1, q-1]``.
+
+        Derived from the private key and message hash through an HMAC-DRBG,
+        mirroring RFC 6979's goal: unique per (key, message), unpredictable
+        without the key, and bias-free (rejection sampling).
+        """
+        seed = (_int_to_fixed_bytes(x, self._q_len)
+                + _int_to_fixed_bytes(h, self._q_len))
+        drbg = HmacDrbg(seed, personalization=b"dsa-nonce")
+        while True:
+            k = drbg.random_int(self.group.q)
+            if k != 0:
+                return k
+
+    # -- SignatureScheme interface ---------------------------------------
+
+    def keygen_from_seed(self, seed: bytes) -> KeyPair:
+        """Derive ``x`` (private) and ``y = g^x`` (public) from ``seed``."""
+        drbg = HmacDrbg(seed, personalization=b"dsa-keygen")
+        x = drbg.random_int_range(1, self.group.q - 1)
+        y = pow(self.group.g, x, self.group.p)
+        return KeyPair(
+            signing_key=_int_to_fixed_bytes(x, self._q_len),
+            verify_key=_int_to_fixed_bytes(y, self._p_len),
+        )
+
+    def sign(self, signing_key: bytes, message: bytes) -> bytes:
+        """Produce a DSA signature ``(r, s)`` on ``message``."""
+        if len(signing_key) != self._q_len:
+            raise SignatureError(
+                f"signing key must be {self._q_len} bytes, got {len(signing_key)}"
+            )
+        group = self.group
+        x = int.from_bytes(signing_key, "big")
+        if not (1 <= x < group.q):
+            raise SignatureError("signing key out of range")
+        h = self._hash_to_zq(message)
+        # The nonce loop re-derives on the (cryptographically negligible)
+        # event r == 0 or s == 0, as FIPS 186 requires.
+        counter = 0
+        while True:
+            k = self._nonce(x, (h + counter) % group.q)
+            r = pow(group.g, k, group.p) % group.q
+            if r == 0:
+                counter += 1
+                continue
+            k_inv = nt.modinv(k, group.q)
+            s = k_inv * (h + x * r) % group.q
+            if s == 0:
+                counter += 1
+                continue
+            return (_int_to_fixed_bytes(r, self._q_len)
+                    + _int_to_fixed_bytes(s, self._q_len))
+
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Check a DSA signature; returns ``False`` on any malformation."""
+        group = self.group
+        if len(signature) != 2 * self._q_len or len(verify_key) != self._p_len:
+            return False
+        y = int.from_bytes(verify_key, "big")
+        r = int.from_bytes(signature[: self._q_len], "big")
+        s = int.from_bytes(signature[self._q_len:], "big")
+        if not (0 < r < group.q and 0 < s < group.q):
+            return False
+        if not (1 < y < group.p) or pow(y, group.q, group.p) != 1:
+            return False
+        h = self._hash_to_zq(message)
+        w = nt.modinv(s, group.q)
+        u1 = h * w % group.q
+        u2 = r * w % group.q
+        v = (pow(group.g, u1, group.p) * pow(y, u2, group.p)) % group.p % group.q
+        return v == r

@@ -1,0 +1,54 @@
+"""Pre-generated DSA domain parameters.
+
+Generating DSA groups in pure Python costs ~0.1 s (512-bit) to ~7 s
+(2048-bit), so the groups used by tests and benchmarks are generated once
+and pinned here.  Each group was produced by
+``repro.crypto.dsa.generate_group(p_bits, q_bits, seed)`` with the seed
+recorded below, so the constants are reproducible::
+
+    GROUP_512  = generate_group(512,  160, b"repro-dsa-512")
+    GROUP_1024 = generate_group(1024, 160, b"repro-dsa-1024")
+    GROUP_2048 = generate_group(2048, 256, b"repro-dsa-2048")
+
+``tests/crypto/test_dsa.py`` re-validates the structural invariants
+(primality of ``p`` and ``q``, ``q | p - 1``, order of ``g``) on every run.
+
+Security note: the 512-bit group exists purely to keep unit tests fast; it
+offers no real-world security.  The paper's implementation section does not
+state a modulus size; 1024/160 matches DSA deployments contemporary with
+the paper and is the default for protocol benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.dsa import DsaGroup
+
+#: Test-speed group (NOT secure; unit tests only).
+GROUP_512 = DsaGroup(
+    p=0xfa08f9f135f3a2d85062beedcb6d54b0d180a358421a27dac064c48a72ddca3f0af9a10eb9c41f3731e6c926bfb7d1ffa345c98848c6568e2be0152048dd6c1d,
+    q=0xea22bb5e65b2595fb22c1cd6b76a8f246de53ac7,
+    g=0xd4b51667aa716293fe203000b5206aa3a9c177fefba366986a9cbfa42809b939b5274d2694d1ce0de0264847a58c2d0c586c54da43b87ea8ead810e0b0ecfae0,
+)
+
+#: Paper-era DSA parameters (FIPS 186-2 sizes); protocol benchmark default.
+GROUP_1024 = DsaGroup(
+    p=0xdf2dcb6ae5b03ce2b1cf6dbf8045eab16194d09bd7a9ac4cd0b3c16d4178b1eb6a23b4eebd1345228e547eb3316ec48a44146a5d7e10330e45445e1b38edd7b1de1346586925375be5a5f9d768b0a39e504b27d08e7b35e4eadcf199d07c05254acfd172e3033312b1c478480eb872e201ac5f347c5171f219fb05a69c691e3d,
+    q=0xc7df77f99482a8c9a3e8faa727089d90bc1a3c53,
+    g=0xc555ea0e0661f2a8b0cf68841105aa6cfd2eeee7cb2b97aec617abc9443444a0f31c1fa9b6336a6fcb1881487a58720a1edd02f2223fa3340a450d387daaf3ea74eebeec3b7817bc17b3ac294a1d07e9f7a9a0bb3c862b7156becac5169ae9de572634236a2aacbbc7edf11e8e077b2e4deb761fa8342f269d2d2481925fbe77,
+)
+
+#: Modern-strength DSA parameters (FIPS 186-4 sizes).
+GROUP_2048 = DsaGroup(
+    p=0xc3fe46ec8f045c2ebfe5ace84c64542fc1c85e31acf73905eb5576502b40aef24698aecf27f01d4744a73cd879d9e9173c6a2e7433da9fa0ee4b71a8df396852e8b345328522bed50c4dd95afc96f14cc31679cfd443d997c22c308f71e2c731fac267d223960f58cf4fce83861f334cf93da9bf4cbeaf8eb5bbe5993f82bfde58583ead7d54a00bfff930878550741adc3abd91526f89a4d3c33868e0d5c1f232e6feb7f599cf50f36044feaaf2863f21525f010815711345ab9dfa47ed962b49e0f26e90f5cb981c39fe5a255ff8e632679b754f076de5b88c6e319b3391742eb888d6a951815bf0e15f3f19a128ff2f999d113413517a293fbdd42c591b75,
+    q=0x8f380731634aa038e961733afbcf3d36098323e3747789d3041b8691ef873f29,
+    g=0xfd4157c2de889cd4c2cf48c3d957399fcb89b1256d33e4d283b693eadbb5ba3e387490d6d9dd5845a005cf7bbc583f16d0ca488350ff035f014597cf1fe4d197f7899138475a308c846ef7c868abeda96298ab582cc02e59928362d36c16217c4b88a76813051c0c5716db2cf7d19d7b7dc025633405188ee3f2d077ed9bad92f9fcfaceb6d15a9bf989f6e65d584935044c475438344db2da5c196b566c747f3c6e2ce07aec8f80df007bd7a8e31312be73fe3c9cd468408dd952db32826c3132ed0ed138aef1034e8c2959ad42a1b4a7200c258840946818c05610fdd05020b4fb539c90a412934ec80a82efb95f2d42008f4aed84f2e2007534116e75aea,
+)
+
+#: Seeds used to generate the groups above (kept for reproducibility).
+GENERATION_SEEDS = {
+    512: b"repro-dsa-512",
+    1024: b"repro-dsa-1024",
+    2048: b"repro-dsa-2048",
+}
+
+GROUPS_BY_BITS = {512: GROUP_512, 1024: GROUP_1024, 2048: GROUP_2048}

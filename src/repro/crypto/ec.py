@@ -1,0 +1,165 @@
+"""Short-Weierstrass elliptic-curve arithmetic.
+
+Supports the ECDSA and EC-Schnorr signature back-ends, which this library
+offers as alternatives to the paper's DSA (Table II).  Elliptic-curve
+signatures have far smaller keys for the same security level, which matters
+in the identification protocol: the verify key is stored per user and the
+signature crosses the wire on every identification.
+
+The implementation is textbook affine-coordinate arithmetic over a prime
+field; points at infinity are represented by ``None`` inside the group-law
+helpers and by :data:`Point.INFINITY` at the public surface.  This is a
+*reproduction-grade* implementation — it is not constant-time and must not
+be used to protect real secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.numbertheory import is_probable_prime, modinv, tonelli_shanks
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point ``(x, y)``; ``Point.infinity()`` is the identity."""
+
+    x: int | None
+    y: int | None
+
+    @staticmethod
+    def infinity() -> "Point":
+        return Point(None, None)
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+
+@dataclass(frozen=True)
+class Curve:
+    """A short-Weierstrass curve ``y^2 = x^3 + a*x + b`` over ``GF(p)``.
+
+    ``n`` is the (prime) order of the base point ``G = (gx, gy)``.
+    """
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if not self.is_on_curve(Point(self.gx, self.gy)):
+            raise ValueError(f"base point of {self.name} is not on the curve")
+
+    # -- predicates --------------------------------------------------------
+
+    def is_on_curve(self, point: Point) -> bool:
+        """Check whether ``point`` satisfies the curve equation."""
+        if point.is_infinity:
+            return True
+        x, y = point.x, point.y
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def validate(self) -> None:
+        """Full structural validation (used by tests; costs two prime tests)."""
+        if not is_probable_prime(self.p):
+            raise ValueError("field modulus p is not prime")
+        if not is_probable_prime(self.n):
+            raise ValueError("group order n is not prime")
+        if (4 * self.a ** 3 + 27 * self.b ** 2) % self.p == 0:
+            raise ValueError("curve is singular")
+        if not self.multiply(self.n, self.generator).is_infinity:
+            raise ValueError("base point order is not n")
+
+    # -- group law ---------------------------------------------------------
+
+    @property
+    def generator(self) -> Point:
+        return Point(self.gx, self.gy)
+
+    def add(self, lhs: Point, rhs: Point) -> Point:
+        """Group addition in affine coordinates."""
+        if lhs.is_infinity:
+            return rhs
+        if rhs.is_infinity:
+            return lhs
+        p = self.p
+        if lhs.x == rhs.x:
+            if (lhs.y + rhs.y) % p == 0:
+                return Point.infinity()
+            # Doubling.
+            slope = (3 * lhs.x * lhs.x + self.a) * modinv(2 * lhs.y, p) % p
+        else:
+            slope = (rhs.y - lhs.y) * modinv(rhs.x - lhs.x, p) % p
+        x3 = (slope * slope - lhs.x - rhs.x) % p
+        y3 = (slope * (lhs.x - x3) - lhs.y) % p
+        return Point(x3, y3)
+
+    def negate(self, point: Point) -> Point:
+        """The group inverse ``-P``."""
+        if point.is_infinity:
+            return point
+        return Point(point.x, (-point.y) % self.p)
+
+    def multiply(self, scalar: int, point: Point) -> Point:
+        """Double-and-add scalar multiplication ``scalar * point``."""
+        scalar %= self.n
+        result = Point.infinity()
+        addend = point
+        while scalar:
+            if scalar & 1:
+                result = self.add(result, addend)
+            addend = self.add(addend, addend)
+            scalar >>= 1
+        return result
+
+    # -- encodings ---------------------------------------------------------
+
+    @property
+    def coordinate_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    def encode_point(self, point: Point) -> bytes:
+        """SEC1 compressed encoding (``02``/``03`` prefix + x coordinate).
+
+        The identity encodes as a single zero byte, as in SEC1.
+        """
+        if point.is_infinity:
+            return b"\x00"
+        prefix = b"\x03" if point.y & 1 else b"\x02"
+        return prefix + point.x.to_bytes(self.coordinate_bytes, "big")
+
+    def decode_point(self, data: bytes) -> Point:
+        """Inverse of :func:`encode_point`; validates curve membership."""
+        if data == b"\x00":
+            return Point.infinity()
+        if len(data) != 1 + self.coordinate_bytes or data[0] not in (2, 3):
+            raise ValueError("malformed compressed point")
+        x = int.from_bytes(data[1:], "big")
+        if x >= self.p:
+            raise ValueError("x coordinate out of field range")
+        rhs = (x * x * x + self.a * x + self.b) % self.p
+        y = tonelli_shanks(rhs, self.p)
+        if (y & 1) != (data[0] & 1):
+            y = self.p - y
+        point = Point(x, y)
+        if not self.is_on_curve(point):
+            raise ValueError("decoded point not on curve")
+        return point
+
+
+#: NIST P-256 (secp256r1).  Constants verified against the curve equation
+#: and the base-point order in ``tests/crypto/test_ec.py``.
+P256 = Curve(
+    name="P-256",
+    p=0xffffffff00000001000000000000000000000000ffffffffffffffffffffffff,
+    a=-3,
+    b=0x5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b,
+    gx=0x6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296,
+    gy=0x4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5,
+    n=0xffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551,
+)

@@ -1,0 +1,111 @@
+"""ECDSA over NIST P-256.
+
+An alternative signature back-end for the identification protocol.  The
+structure mirrors :mod:`repro.crypto.dsa`: deterministic key derivation
+from the fuzzy-extractor output, deterministic (RFC-6979-style) nonces, and
+canonical byte encodings for keys and signatures.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ec import Curve, P256
+from repro.crypto.hashing import sha256
+from repro.crypto.numbertheory import modinv
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import KeyPair, SignatureScheme
+from repro.exceptions import SignatureError
+
+
+class Ecdsa(SignatureScheme):
+    """ECDSA over a prime-order curve.
+
+    Encodings:
+
+    * signing key — the private scalar ``d``, curve-order-sized big-endian;
+    * verify key  — SEC1 compressed point ``Q = d*G``;
+    * signature   — ``r || s``, each curve-order-sized big-endian.
+    """
+
+    def __init__(self, curve: Curve = P256, name: str | None = None) -> None:
+        self.curve = curve
+        self.name = name or f"ecdsa-{curve.name.lower()}"
+        self._n_len = (curve.n.bit_length() + 7) // 8
+
+    def _hash_to_zn(self, message: bytes) -> int:
+        digest = sha256(message)
+        value = int.from_bytes(digest, "big")
+        shift = max(0, 8 * len(digest) - self.curve.n.bit_length())
+        return (value >> shift) % self.curve.n
+
+    def _nonce(self, d: int, h: int, retry: int) -> int:
+        seed = (d.to_bytes(self._n_len, "big")
+                + h.to_bytes(self._n_len, "big")
+                + retry.to_bytes(4, "big"))
+        drbg = HmacDrbg(seed, personalization=b"ecdsa-nonce")
+        while True:
+            k = drbg.random_int(self.curve.n)
+            if k != 0:
+                return k
+
+    def keygen_from_seed(self, seed: bytes) -> KeyPair:
+        """Derive ``d`` (private) and ``Q = d*G`` (public) from ``seed``."""
+        drbg = HmacDrbg(seed, personalization=b"ecdsa-keygen")
+        d = drbg.random_int_range(1, self.curve.n - 1)
+        q = self.curve.multiply(d, self.curve.generator)
+        return KeyPair(
+            signing_key=d.to_bytes(self._n_len, "big"),
+            verify_key=self.curve.encode_point(q),
+        )
+
+    def sign(self, signing_key: bytes, message: bytes) -> bytes:
+        """Produce an ECDSA signature ``(r, s)`` on ``message``."""
+        if len(signing_key) != self._n_len:
+            raise SignatureError(
+                f"signing key must be {self._n_len} bytes, got {len(signing_key)}"
+            )
+        curve = self.curve
+        d = int.from_bytes(signing_key, "big")
+        if not (1 <= d < curve.n):
+            raise SignatureError("signing key out of range")
+        h = self._hash_to_zn(message)
+        retry = 0
+        while True:
+            k = self._nonce(d, h, retry)
+            point = curve.multiply(k, curve.generator)
+            r = point.x % curve.n
+            if r == 0:
+                retry += 1
+                continue
+            s = modinv(k, curve.n) * (h + r * d) % curve.n
+            if s == 0:
+                retry += 1
+                continue
+            return (r.to_bytes(self._n_len, "big")
+                    + s.to_bytes(self._n_len, "big"))
+
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Check an ECDSA signature; ``False`` on any malformation."""
+        curve = self.curve
+        if len(signature) != 2 * self._n_len:
+            return False
+        try:
+            q = curve.decode_point(verify_key)
+        except ValueError:
+            return False
+        if q.is_infinity:
+            return False
+        r = int.from_bytes(signature[: self._n_len], "big")
+        s = int.from_bytes(signature[self._n_len:], "big")
+        if not (0 < r < curve.n and 0 < s < curve.n):
+            return False
+        h = self._hash_to_zn(message)
+        w = modinv(s, curve.n)
+        u1 = h * w % curve.n
+        u2 = r * w % curve.n
+        point = curve.add(
+            curve.multiply(u1, curve.generator),
+            curve.multiply(u2, q),
+        )
+        if point.is_infinity:
+            return False
+        return point.x % curve.n == r

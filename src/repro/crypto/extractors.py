@@ -1,0 +1,200 @@
+"""Strong randomness extractors.
+
+The generic fuzzy-extractor construction (paper Section II-A) composes a
+secure sketch with a *strong extractor* ``Ext``: ``R = Ext(x; r)`` where
+``r`` is a public uniformly random seed.  A ``(m, l, eps)``-strong extractor
+guarantees that when the source ``x`` has min-entropy at least ``m``, the
+pair ``(Ext(x; r), r)`` is ``eps``-close to ``(U_l, r)``.
+
+Three instantiations are provided:
+
+* :class:`Sha256Extractor` — the paper's Table II choice ("Random
+  Extractor: SHA256").  Heuristic (random-oracle) extractor: fast and what
+  deployed systems use, but carries no information-theoretic guarantee.
+* :class:`UniversalHashExtractor` — ``h_{a,b}(x) = ((a*x + b) mod p) >> k``
+  over a Mersenne-like prime.  Universal hashing satisfies the leftover
+  hash lemma, giving a *provable* extractor:
+  ``eps <= 2**-((m - l) / 2)``.
+* :class:`ToeplitzExtractor` — a random Toeplitz matrix over GF(2), also
+  universal, with numpy-vectorised bit arithmetic.  Included because
+  Toeplitz hashing is the standard choice in hardware implementations
+  (seed length is linear rather than quadratic in the input).
+
+All extractors are deterministic functions of ``(data, seed)``, so ``Rep``
+on the device reproduces exactly the ``R`` that ``Gen`` produced.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.crypto.hashing import hash_concat
+
+
+@runtime_checkable
+class StrongExtractor(Protocol):
+    """Structural interface: a seeded deterministic extractor."""
+
+    #: Short name used in parameter records and benchmark labels.
+    name: str
+    #: Number of output bytes (``l = 8 * output_bytes``).
+    output_bytes: int
+    #: Number of seed bytes the extractor consumes.
+    seed_bytes: int
+
+    def extract(self, data: bytes, seed: bytes) -> bytes:
+        """Extract ``output_bytes`` nearly-uniform bytes from ``data``."""
+        ...
+
+
+class Sha256Extractor:
+    """SHA-256 in keyed mode — the paper's extractor choice.
+
+    ``Ext(x; r) = SHA256(r || x)`` (with injective framing), truncated or
+    expanded to the requested output length.
+    """
+
+    def __init__(self, output_bytes: int = 32, seed_bytes: int = 32) -> None:
+        if output_bytes <= 0 or output_bytes > 32:
+            raise ValueError("Sha256Extractor supports 1..32 output bytes")
+        if seed_bytes <= 0:
+            raise ValueError("seed_bytes must be positive")
+        self.name = "sha256"
+        self.output_bytes = output_bytes
+        self.seed_bytes = seed_bytes
+
+    def extract(self, data: bytes, seed: bytes) -> bytes:
+        """``Ext(data; seed)`` — keyed SHA-256, truncated."""
+        if len(seed) != self.seed_bytes:
+            raise ValueError(
+                f"seed must be {self.seed_bytes} bytes, got {len(seed)}"
+            )
+        return hash_concat([seed, data], label=b"ext-sha256")[: self.output_bytes]
+
+
+class UniversalHashExtractor:
+    """Multiplicative universal hashing over a large prime field.
+
+    The seed encodes a pair ``(a, b)`` with ``a != 0``; the extractor
+    computes ``((a * x + b) mod p)`` and keeps the top ``8*output_bytes``
+    bits.  The family ``{x -> (a*x + b) mod p}`` is pairwise independent on
+    ``[0, p)``, so by the leftover hash lemma the output is
+    ``2**-((m - l)/2)``-close to uniform when the input min-entropy is
+    ``m``.
+
+    ``p`` is chosen as the smallest prime above ``2**field_bits`` so that
+    inputs up to ``field_bits`` bits embed injectively.
+    """
+
+    # Smallest primes exceeding 2**k for the supported field sizes,
+    # verified in tests/crypto/test_extractors.py.
+    _FIELD_PRIMES = {
+        521: 2 ** 521 - 1,          # Mersenne prime
+        607: 2 ** 607 - 1,          # Mersenne prime
+        1279: 2 ** 1279 - 1,        # Mersenne prime
+        2203: 2 ** 2203 - 1,        # Mersenne prime
+        4253: 2 ** 4253 - 1,        # Mersenne prime
+        9689: 2 ** 9689 - 1,        # Mersenne prime
+    }
+
+    def __init__(self, output_bytes: int = 32, field_bits: int = 1279) -> None:
+        if field_bits not in self._FIELD_PRIMES:
+            raise ValueError(
+                f"field_bits must be one of {sorted(self._FIELD_PRIMES)}"
+            )
+        if output_bytes * 8 >= field_bits:
+            raise ValueError("output length must be below the field size")
+        self.name = f"universal-{field_bits}"
+        self.output_bytes = output_bytes
+        self.field_bits = field_bits
+        self._prime = self._FIELD_PRIMES[field_bits]
+        self._coeff_bytes = (field_bits + 7) // 8
+        self.seed_bytes = 2 * self._coeff_bytes
+
+    def _embed(self, data: bytes) -> int:
+        """Embed input bytes into the field, folding long inputs.
+
+        Inputs longer than the field are folded by block-wise evaluation of
+        a polynomial in ``2**field_bits`` — injectivity is lost for such
+        inputs (the entropy argument then applies per block), which the
+        docstring of the fuzzy extractor surfaces to callers.
+        """
+        block = self._coeff_bytes
+        value = 0
+        for offset in range(0, max(len(data), 1), block):
+            chunk = data[offset: offset + block]
+            value = (value * (1 << self.field_bits)
+                     + int.from_bytes(chunk, "big")) % self._prime
+        return value
+
+    def extract(self, data: bytes, seed: bytes) -> bytes:
+        """``Ext(data; seed)`` — pairwise-independent hashing, top bits."""
+        if len(seed) != self.seed_bytes:
+            raise ValueError(
+                f"seed must be {self.seed_bytes} bytes, got {len(seed)}"
+            )
+        a = int.from_bytes(seed[: self._coeff_bytes], "big") % self._prime
+        b = int.from_bytes(seed[self._coeff_bytes:], "big") % self._prime
+        if a == 0:
+            a = 1  # keep the function injective in x
+        x = self._embed(data)
+        value = (a * x + b) % self._prime
+        # Keep the top bits: shift out everything below the output length.
+        shift = self._prime.bit_length() - 8 * self.output_bytes
+        truncated = value >> shift
+        return truncated.to_bytes(self.output_bytes, "big")
+
+
+class ToeplitzExtractor:
+    """Random Toeplitz matrix over GF(2).
+
+    A Toeplitz matrix with ``rows = 8*output_bytes`` rows and
+    ``cols = 8*input_bytes`` columns is defined by ``rows + cols - 1`` seed
+    bits (first column + first row).  The output is the matrix-vector
+    product over GF(2), computed with numpy by sliding a window over the
+    seed-bit array.
+
+    Toeplitz families are universal, so the leftover hash lemma applies as
+    for :class:`UniversalHashExtractor`.
+    """
+
+    def __init__(self, output_bytes: int = 32, input_bytes: int = 1024) -> None:
+        if output_bytes <= 0 or input_bytes <= 0:
+            raise ValueError("output_bytes and input_bytes must be positive")
+        self.name = "toeplitz"
+        self.output_bytes = output_bytes
+        self.input_bytes = input_bytes
+        self._rows = 8 * output_bytes
+        self._cols = 8 * input_bytes
+        self.seed_bytes = (self._rows + self._cols - 1 + 7) // 8
+
+    def extract(self, data: bytes, seed: bytes) -> bytes:
+        """``Ext(data; seed)`` — Toeplitz matrix-vector product over GF(2)."""
+        if len(seed) != self.seed_bytes:
+            raise ValueError(
+                f"seed must be {self.seed_bytes} bytes, got {len(seed)}"
+            )
+        if len(data) > self.input_bytes:
+            raise ValueError(
+                f"input longer than {self.input_bytes} bytes; "
+                "construct the extractor with a larger input_bytes"
+            )
+        padded = data.ljust(self.input_bytes, b"\x00")
+        x = np.unpackbits(np.frombuffer(padded, dtype=np.uint8))
+        diagonals = np.unpackbits(np.frombuffer(seed, dtype=np.uint8))
+        diagonals = diagonals[: self._rows + self._cols - 1]
+        # Row i of the Toeplitz matrix is diagonals[i : i + cols] reversed
+        # appropriately; using a strided view avoids materialising the
+        # rows x cols matrix.
+        windows = np.lib.stride_tricks.sliding_window_view(diagonals, self._cols)
+        # windows[i] corresponds to row (rows - 1 - i); ordering of rows is
+        # a relabeling of the same hash family, so use windows[:rows].
+        products = (windows[: self._rows] & x).sum(axis=1) & 1
+        return np.packbits(products.astype(np.uint8)).tobytes()
+
+
+def default_extractor() -> Sha256Extractor:
+    """The paper's configuration: SHA-256 with a 32-byte seed and output."""
+    return Sha256Extractor(output_bytes=32, seed_bytes=32)

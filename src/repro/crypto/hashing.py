@@ -1,0 +1,135 @@
+"""Hashing utilities shared across the library.
+
+The paper instantiates two hash-based primitives:
+
+* a collision-resistant hash ``H : {0,1}* -> {0,1}^l`` used by the robust
+  secure sketch (Section IV-C, following Boyen et al. [10]);
+* SHA-256 as the "random extractor" in Table II.
+
+Everything here is a thin, well-typed wrapper over :mod:`hashlib` /
+:mod:`hmac` from the standard library.  Canonical byte encodings for integer
+vectors live here too, so that a sketch hashed on the device equals the
+sketch hashed on the server byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Number of bytes used to serialise one signed vector coordinate.  Eight
+#: bytes comfortably covers the paper's representation range of
+#: ``[-100000, 100000]`` and any practical number line.
+_COORD_BYTES = 8
+
+DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """Return ``HMAC-SHA256(key, data)``."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without leaking the mismatch position.
+
+    Used wherever a hash tag is checked (robust sketch verification), so an
+    attacker probing tampered helper data cannot learn a prefix of the
+    correct tag from timing.
+    """
+    return hmac.compare_digest(a, b)
+
+
+def encode_int_vector(vector: Sequence[int] | np.ndarray) -> bytes:
+    """Serialise a vector of signed integers to a canonical byte string.
+
+    Each coordinate becomes an 8-byte big-endian two's-complement word.
+    Using a fixed-width encoding (rather than e.g. ``str(list)``) makes the
+    encoding injective and platform-independent, which the robust sketch's
+    hash binding relies on.
+    """
+    arr = np.asarray(vector, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+    # Big-endian view of the int64 array is the canonical encoding.
+    return arr.astype(">i8").tobytes()
+
+
+def decode_int_vector(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_int_vector`."""
+    if len(data) % _COORD_BYTES:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of {_COORD_BYTES}"
+        )
+    return np.frombuffer(data, dtype=">i8").astype(np.int64)
+
+
+def hash_vectors(*vectors: Sequence[int] | np.ndarray, label: bytes = b"") -> bytes:
+    """Hash one or more integer vectors into a single SHA-256 tag.
+
+    A length prefix is inserted before every vector so the combined encoding
+    is injective (``H(x || s)`` with ambiguous boundaries would let an
+    attacker shift mass between ``x`` and ``s``).  The optional ``label``
+    provides domain separation between different uses of the hash.
+    """
+    h = hashlib.sha256()
+    h.update(len(label).to_bytes(4, "big"))
+    h.update(label)
+    for vec in vectors:
+        encoded = encode_int_vector(vec)
+        h.update(len(encoded).to_bytes(8, "big"))
+        h.update(encoded)
+    return h.digest()
+
+
+def hash_to_int(data: bytes, bits: int) -> int:
+    """Map ``data`` to an integer in ``[0, 2**bits)`` by iterated hashing.
+
+    SHA-256 output blocks are concatenated (counter mode) until ``bits``
+    bits are available; the result is truncated to exactly ``bits`` bits.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    out = expand(data, (bits + 7) // 8)
+    value = int.from_bytes(out, "big")
+    excess = len(out) * 8 - bits
+    return value >> excess
+
+
+def expand(seed: bytes, length: int) -> bytes:
+    """Expand ``seed`` to ``length`` bytes with SHA-256 in counter mode.
+
+    This is the classic ``H(seed || 0) || H(seed || 1) || ...`` expansion;
+    it is used to derive long uniform strings (e.g. signing keys) from the
+    fuzzy extractor's fixed-size output ``R``.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hash_concat(parts: Iterable[bytes], label: bytes = b"") -> bytes:
+    """Hash a sequence of byte strings with injective length framing."""
+    h = hashlib.sha256()
+    h.update(len(label).to_bytes(4, "big"))
+    h.update(label)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()

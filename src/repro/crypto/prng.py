@@ -1,0 +1,124 @@
+"""Deterministic pseudo-random generation.
+
+Two generators are provided:
+
+* :class:`HmacDrbg` — an HMAC-SHA256 deterministic random bit generator in
+  the style of NIST SP 800-90A.  It backs everything that must be
+  *cryptographically* pseudorandom and reproducible from a seed: signing
+  nonces, key derivation from the extractor output ``R``, and the coin
+  flips in the sketch algorithm's special cases.
+* :func:`rng_from_seed` — a convenience constructor for a seeded
+  :class:`numpy.random.Generator`, used for *statistical* workloads
+  (synthetic biometric populations, benchmarks) where speed matters and
+  cryptographic strength does not.
+
+Keeping the two worlds separate follows the library-wide rule: protocol
+randomness is DRBG-backed and auditable; workload randomness is numpy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+import numpy as np
+
+
+class HmacDrbg:
+    """HMAC-SHA256 deterministic random bit generator.
+
+    The construction follows NIST SP 800-90A's HMAC_DRBG (without the
+    prediction-resistance machinery, which needs an entropy source and is
+    irrelevant for deterministic reproduction):
+
+    - state is a pair ``(K, V)`` of 32-byte strings;
+    - ``generate`` produces output blocks ``V = HMAC(K, V)``;
+    - ``update`` (on instantiation and reseed) mixes provided data into
+      ``K`` and ``V`` through two HMAC passes.
+
+    Instances are deterministic: the same seed always yields the same byte
+    stream, which the test-suite and the deterministic signing nonces rely
+    on.
+    """
+
+    _HASH_LEN = 32
+
+    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("seed must be bytes")
+        self._key = b"\x00" * self._HASH_LEN
+        self._value = b"\x01" * self._HASH_LEN
+        self._update(bytes(seed) + personalization)
+        self._reseed_counter = 1
+
+    def _hmac(self, data: bytes) -> bytes:
+        return hmac.new(self._key, data, hashlib.sha256).digest()
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._key = self._hmac(self._value + b"\x00" + provided)
+        self._value = self._hmac(self._value)
+        if provided:
+            self._key = self._hmac(self._value + b"\x01" + provided)
+            self._value = self._hmac(self._value)
+
+    def reseed(self, data: bytes) -> None:
+        """Mix additional entropy/material into the generator state."""
+        self._update(data)
+        self._reseed_counter = 1
+
+    def generate(self, length: int) -> bytes:
+        """Return ``length`` pseudo-random bytes."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        blocks = []
+        produced = 0
+        while produced < length:
+            self._value = self._hmac(self._value)
+            blocks.append(self._value)
+            produced += self._HASH_LEN
+        self._update()
+        self._reseed_counter += 1
+        return b"".join(blocks)[:length]
+
+    def random_int(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` by rejection sampling.
+
+        Rejection (rather than modular reduction) avoids the modulo bias
+        that would skew signing nonces — the classic DSA nonce-bias attack
+        recovers keys from even a few biased bits.
+        """
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        n_bits = bound.bit_length()
+        n_bytes = (n_bits + 7) // 8
+        excess_bits = n_bytes * 8 - n_bits
+        while True:
+            candidate = int.from_bytes(self.generate(n_bytes), "big")
+            candidate >>= excess_bits
+            if candidate < bound:
+                return candidate
+
+    def random_int_range(self, low: int, high: int) -> int:
+        """Return a uniform integer in the inclusive range ``[low, high]``."""
+        if low > high:
+            raise ValueError("low must not exceed high")
+        return low + self.random_int(high - low + 1)
+
+    def coin(self) -> int:
+        """Return a uniform bit (0 or 1) — the sketch algorithm's coin."""
+        return self.generate(1)[0] & 1
+
+
+def rng_from_seed(seed: int | None = None) -> np.random.Generator:
+    """Create a seeded numpy Generator for statistical (non-crypto) use."""
+    return np.random.default_rng(seed)
+
+
+def derive_drbg(root: HmacDrbg, label: bytes) -> HmacDrbg:
+    """Derive an independent child DRBG from ``root`` under ``label``.
+
+    Children derived under different labels produce computationally
+    independent streams; this gives protocol components (coin flips,
+    nonces, challenges) their own streams from one master seed.
+    """
+    return HmacDrbg(root.generate(32), personalization=label)

@@ -1,0 +1,76 @@
+"""Common interface for the digital-signature schemes.
+
+The identification protocol (paper Fig. 3) is parameterised by a signature
+scheme ``(KeyGen, Sign, Verify)``.  Table II instantiates it with DSA; this
+library also ships ECDSA-P256 and EC-Schnorr so protocol benchmarks can
+compare signature back-ends.
+
+All schemes implement the same small surface:
+
+* ``keygen_from_seed(seed) -> (SigningKey, VerifyKey)`` — deterministic key
+  derivation from the fuzzy extractor output ``R``.  Determinism is the
+  crux of the paper's design: the private key is *never stored*; it is
+  re-derived from the biometric on every identification via ``Rep``.
+* ``sign(signing_key, message) -> bytes``
+* ``verify(verify_key, message, signature) -> bool``
+
+Keys and signatures cross the (simulated) wire, so both have canonical byte
+encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing/verification key pair in canonical byte encoding."""
+
+    signing_key: bytes
+    verify_key: bytes
+
+
+@runtime_checkable
+class SignatureScheme(Protocol):
+    """Structural interface implemented by DSA, ECDSA and Schnorr back-ends."""
+
+    #: Short human-readable name, e.g. ``"dsa-1024"``.
+    name: str
+
+    def keygen_from_seed(self, seed: bytes) -> KeyPair:
+        """Derive a key pair deterministically from ``seed``."""
+        ...
+
+    def sign(self, signing_key: bytes, message: bytes) -> bytes:
+        """Sign ``message`` and return the encoded signature."""
+        ...
+
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Return ``True`` iff ``signature`` is valid for ``message``."""
+        ...
+
+
+_REGISTRY: dict[str, "SignatureScheme"] = {}
+
+
+def register_scheme(scheme: SignatureScheme) -> SignatureScheme:
+    """Register a scheme instance under its ``name`` for lookup."""
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def get_scheme(name: str) -> SignatureScheme:
+    """Look up a registered scheme; raises :class:`KeyError` with the known
+    names when ``name`` is unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise KeyError(f"unknown signature scheme {name!r}; known: {known}") from None
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered signature schemes."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Protocol-level failures that the paper denotes by the
+symbol ``⊥`` (bottom) are modelled either as a raised exception
+(:class:`RecoveryError`, :class:`IdentificationError`) or as an explicit
+``None`` / failure result object, depending on whether the failure is
+exceptional (tampering) or an expected protocol outcome (no matching user).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A system parameter is outside its valid domain.
+
+    Raised, for example, when the number line is constructed with an odd
+    ``k`` (interval identifiers must be lattice points), when the threshold
+    ``t`` is not strictly below ``k * a / 2``, or when an input vector
+    contains points outside ``[-k*a*v/2, k*a*v/2]``.
+    """
+
+
+class EncodingError(ReproError, ValueError):
+    """A biometric vector cannot be encoded onto the number line."""
+
+
+class RecoveryError(ReproError):
+    """``Rec``/``Rep`` failed: the presented reading is too far from the
+    enrolled template, or the helper data was corrupted.
+
+    This corresponds to the paper's ``⊥`` output of the recovery procedure.
+    """
+
+
+class TamperDetectedError(RecoveryError):
+    """The robust sketch detected modified helper data (hash mismatch).
+
+    Sub-class of :class:`RecoveryError` because tampering also aborts
+    recovery, but kept distinct so callers (and tests) can tell an active
+    attack apart from ordinary noise rejection.
+    """
+
+
+class SignatureError(ReproError):
+    """A digital signature failed to verify or could not be produced."""
+
+
+class DecodingError(ReproError):
+    """An error-correcting code failed to decode (too many errors)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message was malformed, unexpected, or out of order."""
+
+
+class IdentificationError(ProtocolError):
+    """Identification failed: no record matched or the response was invalid.
+
+    Corresponds to the ``⊥`` output of ``BioIden``.
+    """
+
+
+class EnrollmentError(ProtocolError):
+    """User enrollment could not be completed (e.g. duplicate identity)."""

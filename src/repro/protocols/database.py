@@ -1,0 +1,171 @@
+"""The authentication server's helper-data store.
+
+Stores exactly what the paper's enrollment protocol hands the server — the
+triple ``(ID, pk, P)`` — and maintains the sketch search structure used by
+the proposed identification protocol.  The private key never reaches this
+module by construction.
+
+Persistence: :meth:`HelperDataStore.save` / :meth:`HelperDataStore.load`
+round-trip the store through a JSON-lines file (one record per line,
+helper data base64-encoded, parameters in a header line) so a server can
+restart without re-enrolling its users.  Everything persisted is public
+helper data — the file needs integrity protection in deployment (an
+insider rewriting it is exactly the Section VI adversary; the robust
+sketch makes such rewrites fail closed, as the adversary tests show), but
+no confidentiality.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.extractor import HelperData
+from repro.core.index import VectorizedScanIndex
+from repro.core.params import SystemParams
+from repro.exceptions import EnrollmentError, ParameterError
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """One stored enrollment: ``(ID, pk, P)``."""
+
+    user_id: str
+    verify_key: bytes
+    helper_data: bytes  # canonical HelperData encoding
+
+    def helper(self) -> HelperData:
+        """Parse the stored helper-data blob."""
+        return HelperData.from_bytes(self.helper_data)
+
+
+class HelperDataStore:
+    """Record store plus sketch index.
+
+    The index holds the *enrolled* robust-sketch movement vectors; a
+    search with a fresh probe sketch returns candidate records satisfying
+    the paper's conditions (1)-(4).
+    """
+
+    def __init__(self, params: SystemParams,
+                 index_factory=VectorizedScanIndex) -> None:
+        self.params = params
+        self._records: list[UserRecord] = []
+        self._by_id: dict[str, int] = {}
+        self._index = index_factory(params)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[UserRecord]:
+        return iter(self._records)
+
+    def add(self, record: UserRecord) -> None:
+        """Insert a record; refuses duplicate identities."""
+        if record.user_id in self._by_id:
+            raise EnrollmentError(f"user {record.user_id!r} already enrolled")
+        helper = record.helper()
+        row = self._index.add(helper.movements)
+        assert row == len(self._records), "index/record row drift"
+        self._by_id[record.user_id] = row
+        self._records.append(record)
+
+    def get(self, user_id: str) -> UserRecord | None:
+        """The record enrolled under ``user_id``, or ``None``."""
+        row = self._by_id.get(user_id)
+        return self._records[row] if row is not None else None
+
+    def find_by_sketch(self, probe: np.ndarray) -> list[UserRecord]:
+        """Records whose enrolled sketch matches the probe (conditions 1-4)."""
+        return [self._records[row] for row in self._index.search(probe)]
+
+    def all_records(self) -> list[UserRecord]:
+        """Snapshot of every record (baseline protocol ships all of them)."""
+        return list(self._records)
+
+    # -- persistence ---------------------------------------------------------------
+
+    _FORMAT_VERSION = 1
+
+    def save(self, path: str | Path) -> None:
+        """Write the store to a JSON-lines file (header + one record/line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {
+                "format": self._FORMAT_VERSION,
+                "params": self.params.to_dict(),
+                "records": len(self._records),
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in self._records:
+                line = {
+                    "user_id": record.user_id,
+                    "verify_key": base64.b64encode(
+                        record.verify_key).decode("ascii"),
+                    "helper_data": base64.b64encode(
+                        record.helper_data).decode("ascii"),
+                }
+                handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path,
+             index_factory=VectorizedScanIndex) -> "HelperDataStore":
+        """Rebuild a store (records + sketch index) from :meth:`save` output."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise ParameterError(
+                    f"malformed store header: {exc}") from exc
+            if header.get("format") != cls._FORMAT_VERSION:
+                raise ParameterError(
+                    f"unsupported store format {header.get('format')!r}"
+                )
+            params = SystemParams.from_dict(header["params"])
+            store = cls(params, index_factory=index_factory)
+            for line_number, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = UserRecord(
+                        user_id=payload["user_id"],
+                        verify_key=base64.b64decode(payload["verify_key"]),
+                        helper_data=base64.b64decode(payload["helper_data"]),
+                    )
+                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                    raise ParameterError(
+                        f"malformed record at line {line_number}: {exc}"
+                    ) from exc
+                store.add(record)
+            if len(store) != header.get("records"):
+                raise ParameterError(
+                    f"record count mismatch: header says "
+                    f"{header.get('records')}, file has {len(store)}"
+                )
+        return store
+
+    # -- attack-surface helpers (used by adversary simulations) -------------------
+
+    def replace_helper(self, user_id: str, helper_data: bytes) -> None:
+        """Overwrite a stored helper blob — models the paper's insider
+        adversary who "is able to access public helper data stored on the
+        authentication server".  Intentionally does *not* refresh the
+        sketch index: a stealthy insider rewrites bytes at rest, not the
+        server's in-memory structures."""
+        row = self._by_id.get(user_id)
+        if row is None:
+            raise EnrollmentError(f"user {user_id!r} not enrolled")
+        old = self._records[row]
+        self._records[row] = UserRecord(
+            user_id=old.user_id,
+            verify_key=old.verify_key,
+            helper_data=helper_data,
+        )

@@ -1,0 +1,164 @@
+"""The trusted biometric device ``BioD``.
+
+The device is the only party that ever sees raw biometric readings or the
+reproduced secret string.  Per the paper's trust model it is
+tamper-resistant; after enrollment it "erases ``(ID, Bio, sk)``
+immediately" — modelled here by simply never storing them.
+
+Responsibilities:
+
+* enrollment — run ``Gen``, derive the key pair from ``R``, hand
+  ``(ID, pk, P)`` to the server (Fig. 1);
+* identification — run plain ``SS`` on the fresh reading and send the
+  sketch ``s'`` (Fig. 3), then answer the server's challenge by running
+  ``Rep`` with the helper data the server returns and signing ``(c, a)``;
+* verification — same challenge-response without the sketch search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extractor import HelperData, SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.extractors import StrongExtractor
+from repro.crypto.hashing import hash_concat
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import SignatureScheme
+from repro.exceptions import RecoveryError
+from repro.protocols.messages import (
+    BaselineChallengeBatch,
+    BaselineResponseBatch,
+    EnrollmentSubmission,
+    IdentificationRequest,
+    IdentificationResponse,
+    VerificationResponse,
+)
+
+
+def signed_payload(challenge: bytes, nonce: bytes) -> bytes:
+    """The message actually signed: the paper's ``(c, a)`` pair, framed."""
+    return hash_concat([challenge, nonce], label=b"repro-challenge-response")
+
+
+class BiometricDevice:
+    """``BioD``: sketching, key reproduction, and challenge signing."""
+
+    def __init__(self, params: SystemParams, scheme: SignatureScheme,
+                 extractor: StrongExtractor | None = None,
+                 seed: bytes | None = None) -> None:
+        self.params = params
+        self.scheme = scheme
+        self.fe = SuccinctFuzzyExtractor(params, extractor)
+        if seed is None:
+            seed = np.random.default_rng().bytes(32)
+        self._drbg = HmacDrbg(seed, personalization=b"biod")
+
+    # -- enrollment (Fig. 1) -------------------------------------------------
+
+    def enroll(self, user_id: str, bio: np.ndarray) -> EnrollmentSubmission:
+        """Run ``Gen``, derive ``(sk, pk)`` from ``R``, emit ``(ID, pk, P)``.
+
+        ``sk`` and ``R`` are locals that go out of scope here — the
+        device-side erasure the paper requires.
+        """
+        secret, helper = self.fe.generate(bio, self._drbg)
+        keypair = self.scheme.keygen_from_seed(secret)
+        return EnrollmentSubmission(
+            user_id=user_id,
+            verify_key=keypair.verify_key,
+            helper_data=helper.to_bytes(),
+        )
+
+    # -- identification (Fig. 3) ------------------------------------------------
+
+    def probe_sketch(self, bio: np.ndarray) -> IdentificationRequest:
+        """Run plain ``SS`` on the fresh reading; the sketch is the probe."""
+        sketch = self.fe.sketcher.sketch(bio, self._drbg)
+        return IdentificationRequest(sketch=sketch)
+
+    def respond_identification(self, bio: np.ndarray, helper_data: bytes,
+                               challenge: bytes,
+                               session_id: bytes) -> IdentificationResponse:
+        """Run ``Rep``, derive ``sk``, sign ``(c, a)``.
+
+        Raises :class:`RecoveryError` when the reading cannot reproduce the
+        key for the offered helper data (wrong user matched, tampering, or
+        excessive noise).
+        """
+        helper = HelperData.from_bytes(helper_data)
+        secret = self.fe.reproduce(bio, helper)
+        keypair = self.scheme.keygen_from_seed(secret)
+        nonce = self._drbg.generate(16)
+        signature = self.scheme.sign(
+            keypair.signing_key, signed_payload(challenge, nonce)
+        )
+        return IdentificationResponse(
+            session_id=session_id, signature=signature, nonce=nonce
+        )
+
+    # -- verification (1:1) --------------------------------------------------------
+
+    def respond_verification(self, bio: np.ndarray, helper_data: bytes,
+                             challenge: bytes,
+                             session_id: bytes) -> VerificationResponse:
+        """Verification-mode challenge response (same crypto as above)."""
+        helper = HelperData.from_bytes(helper_data)
+        secret = self.fe.reproduce(bio, helper)
+        keypair = self.scheme.keygen_from_seed(secret)
+        nonce = self._drbg.generate(16)
+        signature = self.scheme.sign(
+            keypair.signing_key, signed_payload(challenge, nonce)
+        )
+        return VerificationResponse(
+            session_id=session_id, signature=signature, nonce=nonce
+        )
+
+    # -- normal approach (Fig. 2) -----------------------------------------------------
+
+    def respond_baseline(self, bio: np.ndarray, batch: BaselineChallengeBatch,
+                         pessimistic: bool = True) -> BaselineResponseBatch:
+        """Attempt ``Rep`` + sign against *every* record in the batch.
+
+        This is the paper's "compute-then-compare" device workload: for
+        each enrolled user's helper data, reproduce a key and sign the
+        corresponding challenge.
+
+        ``pessimistic`` selects the cost model for records whose ``Rep``
+        rejects (this library's robust FE fails closed on wrong helper
+        data, but a generic Definition-2 extractor returns a *wrong key*
+        instead, and the paper's Fig. 2 has the device sign every
+        challenge):
+
+        * ``True`` (paper's model, default) — sign with a garbage key so
+          every record costs ``Rep + Sign`` on the device and a failed
+          ``Verify`` at the server;
+        * ``False`` — emit an empty slot, crediting the baseline with
+          device-side mismatch detection it does not generally have.
+        """
+        helpers = BaselineChallengeBatch.unpack_list(batch.helper_blobs)
+        challenges = BaselineChallengeBatch.unpack_list(batch.challenge)
+        nonce = self._drbg.generate(16)
+        signatures: list[bytes] = []
+        for helper_blob, challenge in zip(helpers, challenges):
+            try:
+                helper = HelperData.from_bytes(helper_blob)
+                secret = self.fe.reproduce(bio, helper)
+            except RecoveryError:
+                if not pessimistic:
+                    signatures.append(b"")
+                    continue
+                # Wrong-key model: a generic extractor would have emitted
+                # Ext(x', r) for some wrong x'.  Derive an equally useless
+                # key deterministically so sign cost is paid.
+                secret = hash_concat([helper_blob, bio.tobytes()],
+                                     label=b"baseline-wrong-key")
+            keypair = self.scheme.keygen_from_seed(secret)
+            signatures.append(self.scheme.sign(
+                keypair.signing_key, signed_payload(challenge, nonce)
+            ))
+        return BaselineResponseBatch(
+            session_id=batch.session_id,
+            signatures=BaselineChallengeBatch.pack_list(signatures),
+            nonce=nonce,
+        )

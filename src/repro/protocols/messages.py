@@ -1,0 +1,321 @@
+"""Typed protocol messages with canonical byte encodings.
+
+Every message that crosses the (simulated) wire between the biometric
+device ``BioD`` and the authentication server ``AS`` is a frozen dataclass
+with an injective byte encoding, so:
+
+* transports can count real wire bytes (the paper's communication-cost
+  discussion is about helper-data transmission);
+* adversary hooks can manipulate real encodings, not Python objects;
+* both endpoints re-parse what they receive — malformed data raises
+  :class:`~repro.exceptions.ProtocolError` rather than propagating junk.
+
+Encoding format: a 2-byte type tag followed by length-prefixed chunks
+(8-byte big-endian lengths).  Strings are UTF-8; integer vectors use the
+canonical fixed-width encoding from :mod:`repro.crypto.hashing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Type, TypeVar
+
+import numpy as np
+
+from repro.crypto.hashing import decode_int_vector, encode_int_vector
+from repro.exceptions import ProtocolError
+
+_M = TypeVar("_M", bound="Message")
+
+_REGISTRY: dict[int, Type["Message"]] = {}
+
+
+def _pack_chunks(chunks: list[bytes]) -> bytes:
+    out = []
+    for chunk in chunks:
+        out.append(len(chunk).to_bytes(8, "big"))
+        out.append(chunk)
+    return b"".join(out)
+
+
+def _unpack_chunks(data: bytes, expected: int) -> list[bytes]:
+    chunks = []
+    offset = 0
+    while offset < len(data):
+        if offset + 8 > len(data):
+            raise ProtocolError("truncated chunk length")
+        length = int.from_bytes(data[offset: offset + 8], "big")
+        offset += 8
+        if offset + length > len(data):
+            raise ProtocolError("truncated chunk body")
+        chunks.append(data[offset: offset + length])
+        offset += length
+    if len(chunks) != expected:
+        raise ProtocolError(
+            f"expected {expected} chunks, found {len(chunks)}"
+        )
+    return chunks
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: encoding, decoding, and the type registry."""
+
+    TYPE_TAG: ClassVar[int] = -1
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.TYPE_TAG < 0:
+            raise TypeError(f"{cls.__name__} must define a TYPE_TAG")
+        if cls.TYPE_TAG in _REGISTRY:
+            raise TypeError(
+                f"TYPE_TAG {cls.TYPE_TAG} already used by "
+                f"{_REGISTRY[cls.TYPE_TAG].__name__}"
+            )
+        _REGISTRY[cls.TYPE_TAG] = cls
+
+    # -- field (de)serialisation helpers ------------------------------------
+
+    def _encode_field(self, value) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        if isinstance(value, bool):
+            return bytes([1 if value else 0])
+        if isinstance(value, np.ndarray):
+            return encode_int_vector(value)
+        if value is None:
+            return b"\xff"  # distinguished None marker for optional strings
+        raise TypeError(f"cannot encode field of type {type(value)!r}")
+
+    def encode(self) -> bytes:
+        """Canonical wire bytes: type tag + length-prefixed fields."""
+        chunks = [self._encode_field(getattr(self, f.name)) for f in fields(self)]
+        return self.TYPE_TAG.to_bytes(2, "big") + _pack_chunks(chunks)
+
+    @classmethod
+    def decode(cls: Type[_M], data: bytes) -> _M:
+        """Decode bytes into the message type they claim to be.
+
+        When called on :class:`Message`, dispatches on the type tag; when
+        called on a subclass, additionally enforces that the tag matches
+        (a wrong-type message is a protocol violation).
+        """
+        if len(data) < 2:
+            raise ProtocolError("message shorter than the type tag")
+        tag = int.from_bytes(data[:2], "big")
+        target = _REGISTRY.get(tag)
+        if target is None:
+            raise ProtocolError(f"unknown message type tag {tag}")
+        if cls is not Message and target is not cls:
+            raise ProtocolError(
+                f"expected {cls.__name__}, received {target.__name__}"
+            )
+        field_list = fields(target)
+        chunks = _unpack_chunks(data[2:], len(field_list))
+        kwargs = {}
+        for f, chunk in zip(field_list, chunks):
+            kwargs[f.name] = target._decode_field(f.name, chunk)
+        return target(**kwargs)  # type: ignore[return-value]
+
+    @classmethod
+    def _decode_field(cls, name: str, chunk: bytes):
+        """Default decoding by annotation; subclasses override per field."""
+        annotation = cls.__annotations__.get(name, "bytes")
+        text = str(annotation)
+        if "ndarray" in text:
+            return decode_int_vector(chunk)
+        if text in ("str", "builtins.str"):
+            return chunk.decode("utf-8")
+        if text in ("bool", "builtins.bool"):
+            return chunk == b"\x01"
+        if "str | None" in text or "Optional[str]" in text:
+            return None if chunk == b"\xff" else chunk.decode("utf-8")
+        return chunk
+
+
+# --------------------------------------------------------------------------
+# Enrollment (paper Fig. 1)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnrollmentSubmission(Message):
+    """``BioD -> AS``: ``(ID, pk, P)`` — the only data the server stores."""
+
+    TYPE_TAG: ClassVar[int] = 1
+
+    user_id: str
+    verify_key: bytes
+    helper_data: bytes
+
+
+@dataclass(frozen=True)
+class EnrollmentAck(Message):
+    """``AS -> BioD``: enrollment accepted or refused (duplicate ID)."""
+
+    TYPE_TAG: ClassVar[int] = 2
+
+    user_id: str
+    accepted: bool
+
+
+# --------------------------------------------------------------------------
+# Proposed identification (paper Fig. 3)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IdentificationRequest(Message):
+    """``BioD -> AS``: the fresh plain sketch ``s'`` of the presented biometric."""
+
+    TYPE_TAG: ClassVar[int] = 3
+
+    sketch: np.ndarray
+
+
+@dataclass(frozen=True)
+class IdentificationChallenge(Message):
+    """``AS -> BioD``: matched record's helper data ``P`` plus challenge ``c``."""
+
+    TYPE_TAG: ClassVar[int] = 4
+
+    helper_data: bytes
+    challenge: bytes
+    session_id: bytes
+
+
+@dataclass(frozen=True)
+class IdentificationResponse(Message):
+    """``BioD -> AS``: signature ``σ`` over ``(c, a)`` and the nonce ``a``."""
+
+    TYPE_TAG: ClassVar[int] = 5
+
+    session_id: bytes
+    signature: bytes
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class IdentificationOutcome(Message):
+    """``AS -> BioD``: the identified ``ID``, or ``⊥`` (``identified=False``)."""
+
+    TYPE_TAG: ClassVar[int] = 6
+
+    identified: bool
+    user_id: str | None
+
+
+@dataclass(frozen=True)
+class IdentificationDecline(Message):
+    """``BioD -> AS``: the device could not reproduce a key for the offered
+    helper data (tampering or a false sketch match) and asks the server to
+    try its next candidate, if any."""
+
+    TYPE_TAG: ClassVar[int] = 14
+
+    session_id: bytes
+
+
+# --------------------------------------------------------------------------
+# Verification mode (claimed identity, 1:1)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VerificationRequest(Message):
+    """``BioD -> AS``: a claimed identity to verify."""
+
+    TYPE_TAG: ClassVar[int] = 7
+
+    user_id: str
+
+
+@dataclass(frozen=True)
+class VerificationChallenge(Message):
+    """``AS -> BioD``: the claimed user's ``P`` plus a fresh challenge."""
+
+    TYPE_TAG: ClassVar[int] = 8
+
+    helper_data: bytes
+    challenge: bytes
+    session_id: bytes
+
+
+@dataclass(frozen=True)
+class VerificationResponse(Message):
+    """``BioD -> AS``: signature over ``(c, a)`` plus the nonce."""
+
+    TYPE_TAG: ClassVar[int] = 9
+
+    session_id: bytes
+    signature: bytes
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class VerificationOutcome(Message):
+    """``AS -> BioD``: accept / reject for the claimed identity."""
+
+    TYPE_TAG: ClassVar[int] = 10
+
+    verified: bool
+    user_id: str
+
+
+# --------------------------------------------------------------------------
+# Normal-approach identification (paper Fig. 2): O(N) helper transmission
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BaselineIdentificationRequest(Message):
+    """``BioD -> AS``: request all helper records (no sketch is sent)."""
+
+    TYPE_TAG: ClassVar[int] = 11
+
+    request: bytes  # opaque marker; kept for wire-size accounting
+
+
+@dataclass(frozen=True)
+class BaselineChallengeBatch(Message):
+    """``AS -> BioD``: every enrolled ``(ID_i, P_i)`` plus challenges ``c_i``.
+
+    The paper's Fig. 2 sends ``P_i, c_i`` for ``i = 1..n`` — the entire
+    helper database crosses the wire, which is the communication cost the
+    proposed protocol's sketch search eliminates.
+    """
+
+    TYPE_TAG: ClassVar[int] = 12
+
+    user_ids: bytes      # packed list of UTF-8 ids
+    helper_blobs: bytes  # packed list of helper encodings
+    challenge: bytes
+    session_id: bytes
+
+    @staticmethod
+    def pack_list(items: list[bytes]) -> bytes:
+        return _pack_chunks(items)
+
+    @staticmethod
+    def unpack_list(data: bytes) -> list[bytes]:
+        chunks = []
+        offset = 0
+        while offset < len(data):
+            if offset + 8 > len(data):
+                raise ProtocolError("truncated packed list")
+            length = int.from_bytes(data[offset: offset + 8], "big")
+            offset += 8
+            if offset + length > len(data):
+                raise ProtocolError("truncated packed list body")
+            chunks.append(data[offset: offset + length])
+            offset += length
+        return chunks
+
+
+@dataclass(frozen=True)
+class BaselineResponseBatch(Message):
+    """``BioD -> AS``: one signature attempt per enrolled record."""
+
+    TYPE_TAG: ClassVar[int] = 13
+
+    session_id: bytes
+    signatures: bytes  # packed list; empty chunk = Rep failed for that record
+    nonce: bytes

@@ -1,0 +1,229 @@
+"""Protocol orchestration: run a full exchange and account its cost.
+
+Each runner plays one of the paper's protocols between a
+:class:`~repro.protocols.device.BiometricDevice` and an
+:class:`~repro.protocols.server.AuthenticationServer` over a
+:class:`~repro.protocols.transport.DuplexLink`, timing every phase with a
+monotonic clock and collecting wire statistics.  The benchmark suite calls
+these runners directly; Fig. 4 is a sweep of
+:func:`run_identification` / :func:`run_baseline_identification` over
+database sizes.
+
+Phase names are stable (tests and benches key on them):
+
+=======================  ====================================================
+``sketch``               device runs ``SS`` on the presented reading
+``search``               server sketch search + challenge issuance
+``respond``              device ``Rep`` + key derivation + signature
+``verify``               server signature verification + outcome
+``batch``                (baseline) server assembles all (P_i, c_i)
+``respond_all``          (baseline) device tries Rep+sign on every record
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ProtocolError, RecoveryError
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import (
+    BaselineIdentificationRequest,
+    EnrollmentAck,
+    IdentificationChallenge,
+    IdentificationDecline,
+    IdentificationOutcome,
+    VerificationChallenge,
+    VerificationOutcome,
+)
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome and cost accounting of one protocol execution."""
+
+    outcome: object
+    timings_s: dict[str, float] = field(default_factory=dict)
+    wire_bytes: int = 0
+    messages: int = 0
+    simulated_latency_s: float = 0.0
+
+    @property
+    def compute_time_s(self) -> float:
+        """Total measured compute time across phases (network excluded)."""
+        return sum(self.timings_s.values())
+
+    @property
+    def total_time_s(self) -> float:
+        """Compute plus simulated network latency."""
+        return self.compute_time_s + self.simulated_latency_s
+
+
+class _PhaseTimer:
+    """Context-free phase stopwatch writing into a timings dict."""
+
+    def __init__(self) -> None:
+        self.timings: dict[str, float] = {}
+
+    def measure(self, name: str, fn, *args):
+        start = time.perf_counter()
+        result = fn(*args)
+        self.timings[name] = self.timings.get(name, 0.0) + (
+            time.perf_counter() - start
+        )
+        return result
+
+
+def _finalize(outcome, timer: _PhaseTimer, link: DuplexLink) -> ProtocolRun:
+    return ProtocolRun(
+        outcome=outcome,
+        timings_s=timer.timings,
+        wire_bytes=link.total_bytes,
+        messages=link.total_messages,
+        simulated_latency_s=link.simulated_latency_s,
+    )
+
+
+# ----------------------------------------------------------------------------
+# Enrollment (Fig. 1)
+# ----------------------------------------------------------------------------
+
+def run_enrollment(device: BiometricDevice, server: AuthenticationServer,
+                   link: DuplexLink, user_id: str,
+                   bio: np.ndarray) -> ProtocolRun:
+    """``UserEnro``: device-side ``Gen`` + keygen, server-side store."""
+    timer = _PhaseTimer()
+    submission = timer.measure("gen", device.enroll, user_id, bio)
+    delivered = link.to_server.send(submission)
+    ack = timer.measure("store", server.handle_enrollment, delivered)
+    ack = link.to_device.send(ack)
+    if not isinstance(ack, EnrollmentAck):
+        raise ProtocolError(f"expected EnrollmentAck, got {type(ack).__name__}")
+    return _finalize(ack, timer, link)
+
+
+# ----------------------------------------------------------------------------
+# Proposed identification (Fig. 3)
+# ----------------------------------------------------------------------------
+
+def run_identification(device: BiometricDevice, server: AuthenticationServer,
+                       link: DuplexLink, bio: np.ndarray) -> ProtocolRun:
+    """``BioIden``: sketch -> search -> challenge-response -> outcome.
+
+    The challenge-response loop handles the (Theorem 2-rare) case of
+    several sketch matches: when the device cannot reproduce a key for
+    the offered helper data it *declines*, and the server falls through
+    to its next candidate until one authenticates or the queue is empty.
+    """
+    timer = _PhaseTimer()
+    request = timer.measure("sketch", device.probe_sketch, bio)
+    delivered = link.to_server.send(request)
+
+    reply = timer.measure(
+        "search", server.handle_identification_request, delivered
+    )
+    reply = link.to_device.send(reply)
+
+    while isinstance(reply, IdentificationChallenge):
+        try:
+            response = timer.measure(
+                "respond", device.respond_identification,
+                bio, reply.helper_data, reply.challenge, reply.session_id,
+            )
+        except RecoveryError:
+            # Tampered record or false sketch match: tell the server so
+            # it can try its next candidate.
+            decline = IdentificationDecline(session_id=reply.session_id)
+            delivered = link.to_server.send(decline)
+            reply = timer.measure(
+                "verify", server.handle_identification_decline, delivered
+            )
+            reply = link.to_device.send(reply)
+            continue
+        delivered = link.to_server.send(response)
+        reply = timer.measure(
+            "verify", server.handle_identification_response, delivered
+        )
+        reply = link.to_device.send(reply)
+
+    if not isinstance(reply, IdentificationOutcome):
+        raise ProtocolError(
+            f"expected IdentificationOutcome, got {type(reply).__name__}"
+        )
+    return _finalize(reply, timer, link)
+
+
+# ----------------------------------------------------------------------------
+# Verification mode (1:1)
+# ----------------------------------------------------------------------------
+
+def run_verification(device: BiometricDevice, server: AuthenticationServer,
+                     link: DuplexLink, user_id: str,
+                     bio: np.ndarray) -> ProtocolRun:
+    """Claimed-identity verification: lookup -> challenge-response."""
+    timer = _PhaseTimer()
+    from repro.protocols.messages import VerificationRequest
+
+    request = VerificationRequest(user_id=user_id)
+    delivered = link.to_server.send(request)
+    reply = timer.measure(
+        "search", server.handle_verification_request, delivered
+    )
+    reply = link.to_device.send(reply)
+    if isinstance(reply, VerificationOutcome):
+        return _finalize(reply, timer, link)
+    if not isinstance(reply, VerificationChallenge):
+        raise ProtocolError(
+            f"expected VerificationChallenge, got {type(reply).__name__}"
+        )
+    try:
+        response = timer.measure(
+            "respond", device.respond_verification,
+            bio, reply.helper_data, reply.challenge, reply.session_id,
+        )
+    except RecoveryError:
+        return _finalize(
+            VerificationOutcome(verified=False, user_id=user_id), timer, link
+        )
+    delivered = link.to_server.send(response)
+    outcome = timer.measure(
+        "verify", server.handle_verification_response, delivered
+    )
+    outcome = link.to_device.send(outcome)
+    return _finalize(outcome, timer, link)
+
+
+# ----------------------------------------------------------------------------
+# Normal-approach identification (Fig. 2)
+# ----------------------------------------------------------------------------
+
+def run_baseline_identification(device: BiometricDevice,
+                                server: AuthenticationServer,
+                                link: DuplexLink,
+                                bio: np.ndarray,
+                                pessimistic: bool = True) -> ProtocolRun:
+    """The O(N) comparator: all helper data ships; device tries every record.
+
+    ``pessimistic`` selects the per-record cost model — see
+    :meth:`BiometricDevice.respond_baseline`.
+    """
+    timer = _PhaseTimer()
+    request = BaselineIdentificationRequest(request=b"identify")
+    delivered = link.to_server.send(request)
+    batch = timer.measure("batch", server.handle_baseline_request, delivered)
+    batch = link.to_device.send(batch)
+
+    response = timer.measure(
+        "respond_all", device.respond_baseline, bio, batch, pessimistic
+    )
+    delivered = link.to_server.send(response)
+    outcome = timer.measure(
+        "verify", server.handle_baseline_response, delivered
+    )
+    outcome = link.to_device.send(outcome)
+    return _finalize(outcome, timer, link)

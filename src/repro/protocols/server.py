@@ -1,0 +1,303 @@
+"""The authentication server ``AS``.
+
+Holds the helper-data store and drives the server side of every protocol:
+
+* enrollment — store ``(ID, pk, P)`` (Fig. 1);
+* proposed identification — search the sketch index with the received
+  probe, send the matched ``P`` with a fresh challenge, verify the
+  signature (Fig. 3);
+* verification — look the claimed ``ID`` up, challenge, verify;
+* normal-approach identification — ship *all* records with per-record
+  challenges and verify the returned signatures one by one (Fig. 2).
+
+Challenges are one-shot: each outstanding session is consumed by the first
+response that references it, giving replay protection (a replayed
+signature names a dead session and is rejected).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import SystemParams
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import SignatureScheme
+from repro.exceptions import EnrollmentError
+from repro.protocols.database import HelperDataStore, UserRecord
+from repro.protocols.device import signed_payload
+from repro.protocols.messages import (
+    BaselineChallengeBatch,
+    BaselineIdentificationRequest,
+    BaselineResponseBatch,
+    EnrollmentAck,
+    EnrollmentSubmission,
+    IdentificationChallenge,
+    IdentificationDecline,
+    IdentificationOutcome,
+    IdentificationRequest,
+    IdentificationResponse,
+    VerificationChallenge,
+    VerificationOutcome,
+    VerificationRequest,
+    VerificationResponse,
+)
+
+_CHALLENGE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One entry in the server's audit trail.
+
+    ``kind`` is a stable machine-readable tag (``enroll-ok``,
+    ``enroll-refused``, ``identify-challenge``, ``identify-ok``,
+    ``identify-fail``, ``identify-decline``, ``verify-ok``,
+    ``verify-fail``, ``baseline-batch``); ``sequence`` orders events
+    within one server instance.
+    """
+
+    sequence: int
+    kind: str
+    user_id: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class _PendingSession:
+    """Server-side state for an outstanding challenge.
+
+    For identification, ``records`` holds the *remaining* candidate queue:
+    the record currently under challenge first, false-close alternates
+    after it (Theorem 2 makes multiple matches astronomically rare at
+    paper parameters, but the protocol resolves them cryptographically
+    rather than assuming them away).
+    """
+
+    mode: str                       # "identify" | "verify" | "baseline"
+    records: tuple[UserRecord, ...]
+    challenges: tuple[bytes, ...]
+
+
+class AuthenticationServer:
+    """``AS``: storage, sketch search, challenge issuance, verification.
+
+    ``max_candidates`` caps how many sketch-matched records one
+    identification attempt may challenge in sequence; each failed or
+    declined challenge moves to the next candidate, so a false-close
+    record enrolled ahead of the genuine user cannot deny them service.
+    """
+
+    def __init__(self, params: SystemParams, scheme: SignatureScheme,
+                 store: HelperDataStore | None = None,
+                 seed: bytes | None = None,
+                 max_candidates: int = 4,
+                 audit_capacity: int = 10_000) -> None:
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.params = params
+        self.scheme = scheme
+        self.store = store if store is not None else HelperDataStore(params)
+        self.max_candidates = max_candidates
+        if seed is None:
+            seed = np.random.default_rng().bytes(32)
+        self._drbg = HmacDrbg(seed, personalization=b"auth-server")
+        self._sessions: dict[bytes, _PendingSession] = {}
+        self._audit: deque[AuditEvent] = deque(maxlen=audit_capacity)
+        self._audit_sequence = itertools.count()
+
+    # -- audit trail ---------------------------------------------------------------
+
+    def _record_event(self, kind: str, user_id: str | None = None,
+                      detail: str = "") -> None:
+        self._audit.append(AuditEvent(
+            sequence=next(self._audit_sequence), kind=kind,
+            user_id=user_id, detail=detail,
+        ))
+
+    def audit_log(self, kind: str | None = None) -> list[AuditEvent]:
+        """Snapshot of the audit trail, optionally filtered by kind."""
+        events = list(self._audit)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        return events
+
+    # -- enrollment -------------------------------------------------------------
+
+    def handle_enrollment(self, submission: EnrollmentSubmission) -> EnrollmentAck:
+        """Store ``(ID, pk, P)``; refuse duplicates."""
+        try:
+            self.store.add(UserRecord(
+                user_id=submission.user_id,
+                verify_key=submission.verify_key,
+                helper_data=submission.helper_data,
+            ))
+        except EnrollmentError:
+            self._record_event("enroll-refused", submission.user_id,
+                               "duplicate identity")
+            return EnrollmentAck(user_id=submission.user_id, accepted=False)
+        self._record_event("enroll-ok", submission.user_id)
+        return EnrollmentAck(user_id=submission.user_id, accepted=True)
+
+    # -- proposed identification (Fig. 3) ------------------------------------------
+
+    def _challenge_candidates(
+        self, candidates: tuple[UserRecord, ...],
+    ) -> IdentificationChallenge:
+        """Open a session challenging ``candidates[0]``."""
+        challenge = self._drbg.generate(_CHALLENGE_BYTES)
+        session_id = self._drbg.generate(16)
+        self._sessions[session_id] = _PendingSession(
+            mode="identify", records=candidates, challenges=(challenge,)
+        )
+        return IdentificationChallenge(
+            helper_data=candidates[0].helper_data,
+            challenge=challenge,
+            session_id=session_id,
+        )
+
+    def handle_identification_request(
+        self, request: IdentificationRequest,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Sketch search; challenge on a hit, ``⊥`` on a miss.
+
+        Multiple matches are theoretically possible (false-close
+        probability, Theorem 2); matches are challenged in enrollment
+        order, moving to the next on a failed or declined response.
+        """
+        matches = self.store.find_by_sketch(request.sketch)
+        if not matches:
+            self._record_event("identify-fail", None, "no sketch match")
+            return IdentificationOutcome(identified=False, user_id=None)
+        self._record_event(
+            "identify-challenge", matches[0].user_id,
+            f"{len(matches)} candidate(s)",
+        )
+        return self._challenge_candidates(
+            tuple(matches[: self.max_candidates])
+        )
+
+    def _advance_or_fail(
+        self, session: _PendingSession,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        remaining = session.records[1:]
+        if remaining:
+            return self._challenge_candidates(remaining)
+        return IdentificationOutcome(identified=False, user_id=None)
+
+    def handle_identification_response(
+        self, response: IdentificationResponse,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Verify ``σ`` over ``(c, a)`` against the current candidate's
+        ``pk``; on failure, fall through to the next candidate."""
+        session = self._sessions.pop(response.session_id, None)
+        if session is None or session.mode != "identify":
+            return IdentificationOutcome(identified=False, user_id=None)
+        record = session.records[0]
+        payload = signed_payload(session.challenges[0], response.nonce)
+        if self.scheme.verify(record.verify_key, payload, response.signature):
+            self._record_event("identify-ok", record.user_id)
+            return IdentificationOutcome(identified=True, user_id=record.user_id)
+        self._record_event("identify-fail", record.user_id,
+                           "signature invalid")
+        return self._advance_or_fail(session)
+
+    def handle_identification_decline(
+        self, decline: IdentificationDecline,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """The device could not run ``Rep`` for the offered helper data
+        (tampered record or false sketch match): try the next candidate."""
+        session = self._sessions.pop(decline.session_id, None)
+        if session is None or session.mode != "identify":
+            return IdentificationOutcome(identified=False, user_id=None)
+        self._record_event("identify-decline", session.records[0].user_id,
+                           "device could not reproduce key")
+        return self._advance_or_fail(session)
+
+    # -- verification (1:1) ------------------------------------------------------------
+
+    def handle_verification_request(
+        self, request: VerificationRequest,
+    ) -> VerificationChallenge | VerificationOutcome:
+        """Look up the claimed identity; challenge it or reject outright."""
+        record = self.store.get(request.user_id)
+        if record is None:
+            return VerificationOutcome(verified=False, user_id=request.user_id)
+        challenge = self._drbg.generate(_CHALLENGE_BYTES)
+        session_id = self._drbg.generate(16)
+        self._sessions[session_id] = _PendingSession(
+            mode="verify", records=(record,), challenges=(challenge,)
+        )
+        return VerificationChallenge(
+            helper_data=record.helper_data,
+            challenge=challenge,
+            session_id=session_id,
+        )
+
+    def handle_verification_response(
+        self, response: VerificationResponse,
+    ) -> VerificationOutcome:
+        """Verify the signature for the claimed identity's session."""
+        session = self._sessions.pop(response.session_id, None)
+        if session is None or session.mode != "verify":
+            return VerificationOutcome(verified=False, user_id="")
+        record = session.records[0]
+        payload = signed_payload(session.challenges[0], response.nonce)
+        verified = self.scheme.verify(
+            record.verify_key, payload, response.signature
+        )
+        self._record_event("verify-ok" if verified else "verify-fail",
+                           record.user_id)
+        return VerificationOutcome(verified=verified, user_id=record.user_id)
+
+    # -- normal approach (Fig. 2) ---------------------------------------------------------
+
+    def handle_baseline_request(
+        self, request: BaselineIdentificationRequest,
+    ) -> BaselineChallengeBatch:
+        """Ship every ``(ID_i, P_i, c_i)`` — the O(N) protocol's first leg."""
+        records = tuple(self.store.all_records())
+        self._record_event("baseline-batch", None,
+                           f"shipping {len(records)} records")
+        challenges = tuple(
+            self._drbg.generate(_CHALLENGE_BYTES) for _ in records
+        )
+        session_id = self._drbg.generate(16)
+        self._sessions[session_id] = _PendingSession(
+            mode="baseline", records=records, challenges=challenges
+        )
+        return BaselineChallengeBatch(
+            user_ids=BaselineChallengeBatch.pack_list(
+                [r.user_id.encode("utf-8") for r in records]
+            ),
+            helper_blobs=BaselineChallengeBatch.pack_list(
+                [r.helper_data for r in records]
+            ),
+            challenge=BaselineChallengeBatch.pack_list(list(challenges)),
+            session_id=session_id,
+        )
+
+    def handle_baseline_response(
+        self, response: BaselineResponseBatch,
+    ) -> IdentificationOutcome:
+        """Verify per-record signatures until one validates."""
+        session = self._sessions.pop(response.session_id, None)
+        if session is None or session.mode != "baseline":
+            return IdentificationOutcome(identified=False, user_id=None)
+        signatures = BaselineChallengeBatch.unpack_list(response.signatures)
+        if len(signatures) != len(session.records):
+            return IdentificationOutcome(identified=False, user_id=None)
+        for record, challenge, signature in zip(
+            session.records, session.challenges, signatures
+        ):
+            if not signature:
+                continue
+            payload = signed_payload(challenge, response.nonce)
+            if self.scheme.verify(record.verify_key, payload, signature):
+                return IdentificationOutcome(
+                    identified=True, user_id=record.user_id
+                )
+        return IdentificationOutcome(identified=False, user_id=None)

@@ -1,0 +1,143 @@
+"""Tests for entropy tools, including the empirical Theorem 3 check."""
+
+import math
+
+import pytest
+
+from repro.analysis.entropy import (
+    average_min_entropy,
+    empirical_distribution,
+    empirical_min_entropy,
+    min_entropy,
+    sketch_joint_distribution,
+    statistical_distance,
+    uniformity_distance,
+)
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+class TestMinEntropy:
+    def test_uniform(self):
+        dist = {i: 0.25 for i in range(4)}
+        assert min_entropy(dist) == pytest.approx(2.0)
+
+    def test_point_mass(self):
+        assert min_entropy({"a": 1.0}) == pytest.approx(0.0)
+
+    def test_skewed(self):
+        dist = {"a": 0.5, "b": 0.25, "c": 0.25}
+        assert min_entropy(dist) == pytest.approx(1.0)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ParameterError, match="sums to"):
+            min_entropy({"a": 0.3, "b": 0.3})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError, match="negative"):
+            min_entropy({"a": 1.5, "b": -0.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            min_entropy({})
+
+
+class TestAverageMinEntropy:
+    def test_independent_variables(self):
+        """A independent of B: conditioning changes nothing."""
+        joint = {(a, b): 0.25 for a in "xy" for b in "uv"}
+        assert average_min_entropy(joint) == pytest.approx(1.0)
+
+    def test_fully_determined(self):
+        """B reveals A completely: zero residual entropy."""
+        joint = {("x", 0): 0.5, ("y", 1): 0.5}
+        assert average_min_entropy(joint) == pytest.approx(0.0)
+
+    def test_paper_example_shape(self):
+        """Conditioning can cost at most log2(support of B) bits."""
+        joint = {
+            ("a", 0): 0.25, ("b", 0): 0.25,
+            ("a", 1): 0.25, ("b", 1): 0.25,
+        }
+        h_a = 1.0  # A uniform over {a, b}
+        assert average_min_entropy(joint) >= h_a - 1.0
+
+
+class TestTheorem3Empirical:
+    """Exact verification of H~(X|S) = log2(v) on enumerable lines."""
+
+    @pytest.mark.parametrize("a,k,v", [(2, 4, 8), (1, 4, 16), (3, 2, 5),
+                                       (2, 6, 4)])
+    def test_residual_entropy_is_log_v(self, a, k, v):
+        t = max(1, k * a // 2 - 1)
+        params = SystemParams(a=a, k=k, v=v, t=t, n=1)
+        # Joint over (A=x, B=s); conditioning on the sketch coordinate must
+        # leave exactly log2(v) bits (Theorem 3 with n=1).
+        joint = sketch_joint_distribution(params)
+        assert average_min_entropy(joint) == pytest.approx(
+            math.log2(v), abs=1e-9
+        )
+
+    def test_joint_is_normalised(self):
+        params = SystemParams(a=2, k=4, v=8, t=3, n=1)
+        joint = sketch_joint_distribution(params)
+        assert sum(joint.values()) == pytest.approx(1.0)
+
+    def test_movement_support(self):
+        """Movements range over [-ka/2, ka/2] and nothing else."""
+        params = SystemParams(a=2, k=4, v=8, t=3, n=1)
+        joint = sketch_joint_distribution(params)
+        movements = {s for (_, s) in joint}
+        assert movements <= set(range(-4, 5))
+        assert 4 in movements and -4 in movements  # boundary coins
+
+    def test_enumeration_cap(self):
+        params = SystemParams.paper_defaults(n=1)
+        with pytest.raises(ParameterError, match="cap"):
+            sketch_joint_distribution(params, max_points=1000)
+
+
+class TestStatisticalDistance:
+    def test_identical_distributions(self):
+        dist = {"a": 0.5, "b": 0.5}
+        assert statistical_distance(dist, dist) == pytest.approx(0.0)
+
+    def test_disjoint_supports(self):
+        assert statistical_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        d1 = {"a": 0.75, "b": 0.25}
+        d2 = {"a": 0.25, "b": 0.75}
+        assert statistical_distance(d1, d2) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        d1 = {"a": 0.6, "b": 0.4}
+        d2 = {"a": 0.1, "b": 0.9}
+        assert statistical_distance(d1, d2) == statistical_distance(d2, d1)
+
+
+class TestEmpirical:
+    def test_distribution_counts(self):
+        dist = empirical_distribution(["x", "x", "y", "z"])
+        assert dist == {"x": 0.5, "y": 0.25, "z": 0.25}
+
+    def test_empirical_min_entropy(self):
+        samples = ["a"] * 50 + ["b"] * 50
+        assert empirical_min_entropy(samples) == pytest.approx(1.0)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ParameterError):
+            empirical_distribution([])
+
+    def test_uniformity_distance_uniform_samples(self):
+        samples = list(range(16)) * 64  # perfectly uniform on 16 buckets
+        assert uniformity_distance(samples, 16) == pytest.approx(0.0)
+
+    def test_uniformity_distance_constant_samples(self):
+        samples = [0] * 100
+        # mass 1 on one bucket vs 1/16 each: SD = 1 - 1/16.
+        assert uniformity_distance(samples, 16) == pytest.approx(15 / 16)
+
+    def test_uniformity_rejects_bad_support(self):
+        with pytest.raises(ParameterError):
+            uniformity_distance([1], 0)

@@ -1,0 +1,99 @@
+"""Tests for the reusability analysis (extension module)."""
+
+import math
+
+import pytest
+
+from repro.analysis.reusability import (
+    code_offset_reuse_leakage,
+    multi_sketch_joint,
+    residual_entropy_after_enrollments,
+)
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+PARAMS = SystemParams(a=2, k=4, v=8, t=3, n=1)
+
+
+class TestMultiSketchJoint:
+    def test_normalised(self):
+        joint = multi_sketch_joint(PARAMS, enrollments=2)
+        assert sum(joint.values()) == pytest.approx(1.0)
+
+    def test_single_enrollment_matches_theorem3_distribution(self):
+        from repro.analysis.entropy import average_min_entropy
+
+        joint = multi_sketch_joint(PARAMS, enrollments=1)
+        assert average_min_entropy(joint) == pytest.approx(
+            math.log2(PARAMS.v))
+
+    def test_sketch_tuples_have_requested_length(self):
+        joint = multi_sketch_joint(PARAMS, enrollments=3)
+        assert all(len(sketches) == 3 for (_, sketches) in joint)
+
+    def test_movements_bounded(self):
+        joint = multi_sketch_joint(PARAMS, enrollments=2)
+        half = PARAMS.interval_width // 2
+        for _, sketches in joint:
+            assert all(abs(s) <= half for s in sketches)
+
+    def test_rejects_zero_enrollments(self):
+        with pytest.raises(ParameterError):
+            multi_sketch_joint(PARAMS, enrollments=0)
+
+    def test_rejects_wrong_offset_count(self):
+        with pytest.raises(ParameterError, match="one noise offset"):
+            multi_sketch_joint(PARAMS, enrollments=2, noise_offsets=(0,))
+
+    def test_rejects_oversized_noise(self):
+        with pytest.raises(ParameterError, match="<= t"):
+            multi_sketch_joint(PARAMS, enrollments=1,
+                               noise_offsets=(PARAMS.t + 1,))
+
+    def test_enumeration_cap(self):
+        big = SystemParams.paper_defaults(n=1)
+        with pytest.raises(ParameterError, match="cap"):
+            multi_sketch_joint(big, enrollments=1, max_points=100)
+
+
+class TestReusabilityTheorem:
+    """The headline: residual entropy is log2(v) for every m."""
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_same_template_no_extra_leakage(self, m):
+        h = residual_entropy_after_enrollments(PARAMS, m)
+        assert h == pytest.approx(math.log2(PARAMS.v), abs=1e-9)
+
+    @pytest.mark.parametrize("offsets", [(0, 1), (0, 3), (0, -3, 2),
+                                         (3, -3), (1, 2, 3)])
+    def test_noisy_reenrollment_no_extra_leakage(self, offsets):
+        h = residual_entropy_after_enrollments(PARAMS, len(offsets),
+                                               noise_offsets=offsets)
+        assert h == pytest.approx(math.log2(PARAMS.v), abs=1e-9)
+
+    @pytest.mark.parametrize("a,k,v", [(1, 4, 4), (3, 2, 5), (2, 6, 4)])
+    def test_holds_across_geometries(self, a, k, v):
+        params = SystemParams(a=a, k=k, v=v, t=max(1, k * a // 2 - 1), n=1)
+        h = residual_entropy_after_enrollments(params, 3)
+        assert h == pytest.approx(math.log2(v), abs=1e-9)
+
+
+class TestCodeOffsetContrast:
+    def test_single_enrollment_no_leakage(self):
+        assert code_offset_reuse_leakage(255, 0.1, 1) == 0.0
+
+    def test_noiseless_reenrollment_no_leakage(self):
+        assert code_offset_reuse_leakage(255, 0.0, 4) == 0.0
+
+    def test_leakage_grows_with_enrollments(self):
+        two = code_offset_reuse_leakage(255, 0.1, 2)
+        four = code_offset_reuse_leakage(255, 0.1, 4)
+        assert 0 < two < four
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            code_offset_reuse_leakage(255, 0.7, 2)
+
+    def test_rejects_zero_enrollments(self):
+        with pytest.raises(ParameterError):
+            code_offset_reuse_leakage(255, 0.1, 0)

@@ -1,0 +1,79 @@
+"""Tests for the security report and false-close Monte-Carlo validator."""
+
+import pytest
+
+from repro.analysis.security import (
+    advise_dimension,
+    measure_false_close_rate,
+    security_report,
+)
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+class TestSecurityReport:
+    def test_paper_report_values(self):
+        report = security_report(SystemParams.paper_defaults(n=5000))
+        assert report.residual_entropy_bits == pytest.approx(44_829, abs=1)
+        assert report.storage_bits == pytest.approx(43_237, abs=5)
+        assert report.false_close_bound_log2 == pytest.approx(-4968, abs=5)
+        assert report.false_close_exact_log2 < report.false_close_bound_log2
+
+    def test_rows_printable(self):
+        report = security_report(SystemParams.paper_defaults(n=5000))
+        rows = dict(report.rows())
+        assert rows["a"] == "100"
+        assert rows["Rep. Range"] == "[-100000, 100000]"
+        assert "bits" in rows["m~ (residual)"]
+
+
+class TestMonteCarloFalseClose:
+    def test_rate_matches_closed_form_n1(self):
+        """n=1: rate should be ~ (2t+1)/ka (the observable regime)."""
+        params = SystemParams(a=100, k=4, v=500, t=100, n=1)
+        rate = measure_false_close_rate(params, trials=4000, seed=1)
+        assert rate == pytest.approx(params.false_close_bound, abs=0.05)
+
+    def test_rate_decays_with_dimension(self):
+        """Doubling n should roughly square the rate (independence)."""
+        base = SystemParams(a=10, k=4, v=8, t=9, n=2)
+        double = base.with_dimension(4)
+        r2 = measure_false_close_rate(base, trials=3000, seed=2)
+        r4 = measure_false_close_rate(double, trials=3000, seed=3)
+        assert r4 < r2
+        assert r4 == pytest.approx(r2 ** 2, abs=0.1)
+
+    def test_zero_at_moderate_dimension(self):
+        params = SystemParams.paper_defaults(n=64)
+        assert measure_false_close_rate(params, trials=500, seed=4) == 0.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ParameterError):
+            measure_false_close_rate(SystemParams.small_test(), trials=0)
+
+
+class TestAdviseDimension:
+    def test_paper_parameters(self):
+        params = SystemParams.paper_defaults(n=1)
+        # ~0.9934 bits per coordinate -> ~129 coords for 128-bit security.
+        n = advise_dimension(params, target_collision_exponent=128)
+        assert 128 <= n <= 135
+
+    def test_bound_actually_met(self):
+        params = SystemParams.paper_defaults(n=1)
+        n = advise_dimension(params, target_collision_exponent=80)
+        sized = params.with_dimension(n)
+        assert sized.false_close_bound_log2 <= -80
+
+    def test_rejects_degenerate_threshold(self):
+        """With integer constraints, t < ka/2 always keeps (2t+1)/ka < 1,
+        so the guard is unreachable via the constructor; exercise it with
+        a stand-in parameter object."""
+        from repro.analysis import security as sec
+
+        class DegenerateParams:
+            t = 10
+            interval_width = 20  # (2*10+1)/20 > 1
+
+        with pytest.raises(ParameterError, match="threshold too large"):
+            sec.advise_dimension(DegenerateParams(), 10)

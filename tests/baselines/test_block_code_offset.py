@@ -1,0 +1,166 @@
+"""Tests for the concatenated (BCH ∘ RS) fuzzy extractor on iris-scale data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.block_code_offset import (
+    ConcatenatedCodeOffsetExtractor,
+    ConcatenatedHelperData,
+)
+from repro.biometrics.datasets import IrisLikeDataset
+from repro.coding.bch import BchCode
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError, RecoveryError
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    # Inner BCH(127, t=13); 16 blocks of 127 bits = 2032-bit templates.
+    # Outer RS with k=8 corrects (16-8)/2 = 4 failed blocks.
+    return ConcatenatedCodeOffsetExtractor(
+        inner=BchCode(7, 13), n_blocks=16, outer_k=8
+    )
+
+
+def _template(rng, extractor):
+    return rng.integers(0, 2, size=extractor.template_bits, dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_capacities(self, extractor):
+        assert extractor.template_bits == 127 * 16
+        assert extractor.inner_error_capacity == 13
+        assert extractor.block_failure_capacity == 4
+        assert extractor.secret_entropy_bits == 64
+
+    def test_rejects_tiny_inner_code(self):
+        with pytest.raises(ParameterError, match="message bits"):
+            ConcatenatedCodeOffsetExtractor(BchCode(4, 3), 8, 4)  # k=5 < 8
+
+    def test_rejects_bad_outer_k(self):
+        with pytest.raises(ParameterError):
+            ConcatenatedCodeOffsetExtractor(BchCode(7, 13), 16, 16)
+
+    def test_rejects_single_block(self):
+        with pytest.raises(ParameterError):
+            ConcatenatedCodeOffsetExtractor(BchCode(7, 13), 1, 1)
+
+
+class TestRoundTrip:
+    def test_exact_reading(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        secret, helper = extractor.generate(w, drbg)
+        assert extractor.reproduce(w, helper) == secret
+        assert len(secret) == 32
+
+    def test_scattered_bit_flips(self, extractor, rng, drbg):
+        """Flips within every block's radius: classic sensor noise."""
+        w = _template(rng, extractor)
+        secret, helper = extractor.generate(w, drbg)
+        w_noisy = w.copy()
+        for block in range(extractor.n_blocks):
+            base = block * extractor.inner.n
+            flips = rng.choice(extractor.inner.n, size=10, replace=False)
+            w_noisy[base + flips] ^= 1
+        assert extractor.reproduce(w_noisy, helper) == secret
+
+    def test_burst_destroys_blocks_outer_code_saves(self, extractor, rng,
+                                                    drbg):
+        """Wipe 4 whole blocks (eyelid occlusion): outer RS corrects."""
+        w = _template(rng, extractor)
+        secret, helper = extractor.generate(w, drbg)
+        w_noisy = w.copy()
+        for block in (1, 5, 9, 13):
+            base = block * extractor.inner.n
+            w_noisy[base: base + extractor.inner.n] ^= 1  # total wipe
+        assert extractor.reproduce(w_noisy, helper) == secret
+
+    def test_too_many_dead_blocks_rejected(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        _, helper = extractor.generate(w, drbg)
+        w_noisy = w.copy()
+        for block in range(9):  # 9 > capacity 4; beyond outer radius
+            base = block * extractor.inner.n
+            w_noisy[base: base + extractor.inner.n] ^= 1
+        with pytest.raises(RecoveryError):
+            extractor.reproduce(w_noisy, helper)
+
+    def test_impostor_rejected(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        _, helper = extractor.generate(w, drbg)
+        with pytest.raises(RecoveryError):
+            extractor.reproduce(_template(rng, extractor), helper)
+
+    def test_mixed_noise(self, extractor, rng, drbg):
+        """Realistic mixture: in-radius flips everywhere + 2 dead blocks."""
+        w = _template(rng, extractor)
+        secret, helper = extractor.generate(w, drbg)
+        w_noisy = w.copy()
+        for block in range(extractor.n_blocks):
+            base = block * extractor.inner.n
+            if block in (3, 11):
+                w_noisy[base: base + extractor.inner.n] ^= 1
+            else:
+                flips = rng.choice(extractor.inner.n, size=13, replace=False)
+                w_noisy[base + flips] ^= 1
+        assert extractor.reproduce(w_noisy, helper) == secret
+
+
+class TestTamper:
+    def test_tampered_offsets_rejected(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        _, helper = extractor.generate(w, drbg)
+        bad_offsets = helper.offsets.copy()
+        # Corrupt more blocks than the outer code can absorb.
+        bad_offsets[:9, :40] ^= 1
+        bad = ConcatenatedHelperData(offsets=bad_offsets,
+                                     commitment=helper.commitment,
+                                     seed=helper.seed)
+        with pytest.raises(RecoveryError):
+            extractor.reproduce(w, bad)
+
+    def test_tampered_commitment_rejected(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        _, helper = extractor.generate(w, drbg)
+        bad = ConcatenatedHelperData(
+            offsets=helper.offsets,
+            commitment=bytes([helper.commitment[0] ^ 1])
+            + helper.commitment[1:],
+            seed=helper.seed,
+        )
+        with pytest.raises(RecoveryError, match="commitment"):
+            extractor.reproduce(w, bad)
+
+
+class TestIrisWorkload:
+    """Full 2032-bit iris-like codes at Daugman-like genuine noise."""
+
+    def test_genuine_accept_impostor_reject(self):
+        extractor = ConcatenatedCodeOffsetExtractor(
+            inner=BchCode(7, 13), n_blocks=16, outer_k=8
+        )
+        dataset = IrisLikeDataset(n_users=3,
+                                  code_bits=extractor.template_bits,
+                                  genuine_flip_rate=0.08, seed=4)
+        rng = np.random.default_rng(8)
+        secret, helper = extractor.generate(dataset.template(0),
+                                            HmacDrbg(b"iris"))
+        accepted = 0
+        for _ in range(10):
+            try:
+                accepted += extractor.reproduce(
+                    dataset.genuine_reading(0, rng), helper) == secret
+            except RecoveryError:
+                pass
+        # ~8% of 127 ≈ 10 flips/block vs t=13 per block, plus 4 spare
+        # blocks: acceptance should be high.
+        assert accepted >= 8
+        for _ in range(5):
+            with pytest.raises(RecoveryError):
+                extractor.reproduce(dataset.impostor_reading(rng), helper)
+
+    def test_storage_accounting(self, extractor, rng, drbg):
+        w = _template(rng, extractor)
+        _, helper = extractor.generate(w, drbg)
+        expected = extractor.template_bits + 8 * 32 + 8 * 32
+        assert helper.storage_bits() == expected

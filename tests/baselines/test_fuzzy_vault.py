@@ -1,0 +1,134 @@
+"""Tests for the fuzzy vault (set-difference baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fuzzy_vault import FuzzyVault
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError, RecoveryError
+
+
+@pytest.fixture
+def vault_scheme():
+    return FuzzyVault(m=16, k=8, n_chaff=150)
+
+
+def _features(rng, count, order=2 ** 16):
+    return rng.choice(order, size=count, replace=False).astype(np.int64)
+
+
+class TestLock:
+    def test_vault_size(self, vault_scheme, rng, drbg):
+        features = _features(rng, 30)
+        secret = vault_scheme.secret_from_bytes(b"key")
+        vault = vault_scheme.lock(features, secret, drbg)
+        assert len(vault) == 30 + 150
+
+    def test_chaff_not_on_polynomial(self, vault_scheme, rng, drbg):
+        from repro.coding import polynomial as poly
+
+        features = _features(rng, 20)
+        secret = vault_scheme.secret_from_bytes(b"key")
+        vault = vault_scheme.lock(features, secret, drbg)
+        genuine_x = set(int(x) for x in features)
+        for x, y in zip(vault.xs, vault.ys):
+            expected = poly.evaluate(vault_scheme.field, secret, int(x))
+            if int(x) in genuine_x:
+                assert int(y) == expected
+            else:
+                assert int(y) != expected
+
+    def test_points_shuffled(self, vault_scheme, rng, drbg):
+        """Genuine points must not occupy a contiguous prefix."""
+        features = _features(rng, 30)
+        secret = vault_scheme.secret_from_bytes(b"key")
+        vault = vault_scheme.lock(features, secret, drbg)
+        genuine_x = set(int(x) for x in features)
+        prefix = [int(x) in genuine_x for x in vault.xs[:30]]
+        assert not all(prefix)
+
+    def test_rejects_too_few_features(self, vault_scheme, rng, drbg):
+        with pytest.raises(ParameterError, match="at least"):
+            vault_scheme.lock(_features(rng, 5),
+                              vault_scheme.secret_from_bytes(b"k"), drbg)
+
+    def test_rejects_duplicate_features(self, vault_scheme, drbg):
+        features = np.array([1, 2, 2, 4, 5, 6, 7, 8, 9, 10], dtype=np.int64)
+        with pytest.raises(ParameterError, match="distinct"):
+            vault_scheme.lock(features,
+                              vault_scheme.secret_from_bytes(b"k"), drbg)
+
+    def test_rejects_wrong_secret_length(self, vault_scheme, rng, drbg):
+        with pytest.raises(ParameterError, match="field symbols"):
+            vault_scheme.lock(_features(rng, 20), [1, 2, 3], drbg)
+
+    def test_rejects_field_overflow_chaff(self, rng, drbg):
+        tiny = FuzzyVault(m=4, k=2, n_chaff=20)  # field has only 16 elements
+        with pytest.raises(ParameterError, match="field too small"):
+            tiny.lock(np.array([1, 2, 3], dtype=np.int64),
+                      tiny.secret_from_bytes(b"k"), drbg)
+
+
+class TestUnlock:
+    def test_full_overlap_unlocks(self, vault_scheme, rng, drbg):
+        features = _features(rng, 30)
+        secret = vault_scheme.secret_from_bytes(b"the-secret")
+        vault = vault_scheme.lock(features, secret, drbg)
+        assert vault_scheme.unlock(features, vault) == secret
+
+    def test_partial_overlap_unlocks(self, vault_scheme, rng, drbg):
+        features = _features(rng, 30)
+        secret = vault_scheme.secret_from_bytes(b"the-secret")
+        vault = vault_scheme.lock(features, secret, drbg)
+        # 22 genuine + 8 junk: 22 >= k + 2*junk_hits is easily satisfied.
+        query = np.concatenate([features[:22], _features(rng, 8)])
+        query = np.unique(query)
+        assert vault_scheme.unlock(query, vault) == secret
+
+    def test_disjoint_query_rejected(self, vault_scheme, rng, drbg):
+        features = _features(rng, 30)
+        secret = vault_scheme.secret_from_bytes(b"s")
+        vault = vault_scheme.lock(features, secret, drbg)
+        stranger = np.setdiff1d(
+            _features(rng, 60), features
+        )[:30]
+        with pytest.raises(RecoveryError):
+            vault_scheme.unlock(stranger, vault)
+
+    def test_too_small_query_rejected(self, vault_scheme, rng, drbg):
+        features = _features(rng, 30)
+        vault = vault_scheme.lock(
+            features, vault_scheme.secret_from_bytes(b"s"), drbg
+        )
+        with pytest.raises(RecoveryError, match="candidate"):
+            vault_scheme.unlock(features[:3], vault)
+
+    def test_commitment_check_blocks_wrong_polynomial(self, rng, drbg):
+        """A vault whose points decode consistently to the wrong secret
+        (e.g. attacker-substituted) must fail the commitment check."""
+        scheme = FuzzyVault(m=16, k=4, n_chaff=0)
+        features = _features(rng, 12)
+        secret = scheme.secret_from_bytes(b"right")
+        vault = scheme.lock(features, secret, drbg)
+        # Swap the commitment for a different secret's commitment.
+        import dataclasses
+
+        other = scheme.secret_from_bytes(b"wrong")
+        forged = dataclasses.replace(
+            vault, commitment=scheme._commit(other)
+        )
+        with pytest.raises(RecoveryError, match="commitment"):
+            scheme.unlock(features, forged)
+
+
+class TestSecretEncoding:
+    def test_secret_from_bytes_length(self, vault_scheme):
+        assert len(vault_scheme.secret_from_bytes(b"abc")) == 8
+
+    def test_secret_symbols_in_field(self, vault_scheme):
+        secret = vault_scheme.secret_from_bytes(bytes(range(64)))
+        assert all(0 <= s < 2 ** 16 for s in secret)
+
+    def test_deterministic(self, vault_scheme):
+        assert vault_scheme.secret_from_bytes(b"x") == \
+            vault_scheme.secret_from_bytes(b"x")

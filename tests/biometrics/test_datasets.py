@@ -1,0 +1,133 @@
+"""Tests for the modality dataset simulators."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.datasets import (
+    FaceLikeDataset,
+    FingerprintLikeDataset,
+    IrisLikeDataset,
+)
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+class TestIrisLike:
+    @pytest.fixture
+    def dataset(self):
+        return IrisLikeDataset(n_users=6, code_bits=2048,
+                               genuine_flip_rate=0.12, seed=1)
+
+    def test_genuine_distance_distribution(self, dataset, rng):
+        """Genuine comparisons ~12% disagreement, impostor ~50%."""
+        genuine = [
+            dataset.hamming(dataset.template(0), dataset.genuine_reading(0, rng))
+            for _ in range(20)
+        ]
+        impostor = [
+            dataset.hamming(dataset.template(0), dataset.impostor_reading(rng))
+            for _ in range(20)
+        ]
+        assert 0.08 < np.mean(genuine) / 2048 < 0.16
+        assert 0.45 < np.mean(impostor) / 2048 < 0.55
+
+    def test_daugman_separation(self, dataset, rng):
+        from repro.biometrics.metrics import decidability
+
+        genuine = np.array([
+            dataset.hamming(dataset.template(1), dataset.genuine_reading(1, rng))
+            for _ in range(30)
+        ], dtype=float)
+        impostor = np.array([
+            dataset.hamming(dataset.template(1), dataset.impostor_reading(rng))
+            for _ in range(30)
+        ], dtype=float)
+        assert decidability(genuine, impostor) > 4
+
+    def test_reproducible(self):
+        d1 = IrisLikeDataset(n_users=2, seed=9)
+        d2 = IrisLikeDataset(n_users=2, seed=9)
+        assert np.array_equal(d1.template(0), d2.template(0))
+
+    def test_rejects_bad_flip_rate(self):
+        with pytest.raises(ParameterError):
+            IrisLikeDataset(n_users=2, genuine_flip_rate=0.6)
+
+
+class TestFaceLike:
+    @pytest.fixture
+    def dataset(self):
+        return FaceLikeDataset(n_users=5, dim=128, seed=2)
+
+    def test_embeddings_unit_norm(self, dataset, rng):
+        for i in range(5):
+            assert np.linalg.norm(dataset.template_embedding(i)) == \
+                pytest.approx(1.0)
+        assert np.linalg.norm(dataset.genuine_embedding(0, rng)) == \
+            pytest.approx(1.0)
+
+    def test_genuine_closer_than_impostor(self, dataset, rng):
+        centre = dataset.template_embedding(0)
+        genuine_sim = float(centre @ dataset.genuine_embedding(0, rng))
+        impostor_sim = float(centre @ dataset.impostor_embedding(rng))
+        assert genuine_sim > 0.8
+        assert abs(impostor_sim) < 0.5
+
+    def test_on_line_quantisation(self, dataset, rng):
+        params = SystemParams.paper_defaults(n=128)
+        template = dataset.template_on_line(0, params)
+        genuine = dataset.genuine_on_line(0, params, rng)
+        assert template.shape == (128,)
+        # Genuine readings should land close in Chebyshev terms relative
+        # to impostors, though not necessarily within the paper's t.
+        from repro.core.numberline import NumberLine
+
+        line = NumberLine(params)
+        genuine_d = line.chebyshev_distance(template, genuine)
+        impostor_d = line.chebyshev_distance(
+            template, dataset.impostor_on_line(params, rng)
+        )
+        assert genuine_d < impostor_d
+
+    def test_dimension_mismatch_rejected(self, dataset):
+        with pytest.raises(ParameterError, match="dim"):
+            dataset.template_on_line(0, SystemParams.paper_defaults(n=64))
+
+
+class TestFingerprintLike:
+    @pytest.fixture
+    def dataset(self):
+        params = SystemParams.paper_defaults(n=256)
+        return FingerprintLikeDataset(n_users=4, params=params,
+                                      base_jitter=40, outlier_rate=0.01,
+                                      seed=3)
+
+    def test_genuine_mostly_close(self, dataset, rng):
+        from repro.core.numberline import NumberLine
+
+        line = NumberLine(dataset.params)
+        template = dataset.template(0)
+        reading = dataset.genuine_reading(0, rng)
+        per_coord = line.ring_distance(template, reading)
+        # Most coordinates jitter within base_jitter; a few are outliers.
+        assert np.mean(per_coord <= 40) > 0.95
+
+    def test_outliers_occur(self, dataset):
+        rng = np.random.default_rng(11)
+        from repro.core.numberline import NumberLine
+
+        line = NumberLine(dataset.params)
+        total_outliers = 0
+        for _ in range(20):
+            reading = dataset.genuine_reading(0, rng)
+            per_coord = line.ring_distance(dataset.template(0), reading)
+            total_outliers += int(np.count_nonzero(per_coord > 40))
+        assert total_outliers > 0
+
+    def test_impostor_far(self, dataset, rng):
+        from repro.core.numberline import NumberLine
+
+        line = NumberLine(dataset.params)
+        d = line.chebyshev_distance(dataset.template(0),
+                                    dataset.impostor_reading(rng))
+        assert d > dataset.params.t

@@ -1,0 +1,104 @@
+"""Tests for feature-to-line encodings."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.encoding import (
+    binarize,
+    bits_to_line,
+    line_to_bits,
+    quantize_to_line,
+)
+from repro.core.numberline import NumberLine
+from repro.core.params import SystemParams
+from repro.exceptions import EncodingError
+
+
+@pytest.fixture
+def params():
+    return SystemParams.paper_defaults(n=8)
+
+
+class TestQuantizeToLine:
+    def test_output_in_range(self, params, rng):
+        features = rng.normal(0, 0.5, size=64)
+        points = quantize_to_line(features, params.with_dimension(64))
+        line = NumberLine(params)
+        assert points.min() >= -line.half_range
+        assert points.max() < line.half_range
+
+    def test_monotone(self, params):
+        features = np.linspace(-1, 1, 8)
+        points = quantize_to_line(features, params)
+        assert np.all(np.diff(points) > 0)
+
+    def test_endpoints(self, params):
+        points = quantize_to_line(np.array([-1.0] * 4 + [1.0] * 4), params)
+        line = NumberLine(params)
+        assert points[0] == -line.half_range
+        assert points[-1] == line.half_range - 1
+
+    def test_clipping(self, params):
+        points = quantize_to_line(np.array([-5.0, 5.0] + [0.0] * 6), params)
+        clipped = quantize_to_line(np.array([-1.0, 1.0] + [0.0] * 6), params)
+        assert points[0] == clipped[0] and points[1] == clipped[1]
+
+    def test_close_features_close_points(self, params):
+        a = quantize_to_line(np.full(8, 0.5), params)
+        b = quantize_to_line(np.full(8, 0.5001), params)
+        assert np.max(np.abs(a - b)) <= 25  # 1e-4 of a 200001-point range
+
+    def test_rejects_matrix(self, params):
+        with pytest.raises(EncodingError):
+            quantize_to_line(np.zeros((2, 4)), params)
+
+    def test_rejects_bad_range(self, params):
+        with pytest.raises(EncodingError):
+            quantize_to_line(np.zeros(8), params, feature_range=(1.0, -1.0))
+
+
+class TestBinarize:
+    def test_threshold_zero(self):
+        bits = binarize(np.array([-1.0, 0.0, 0.5, 2.0]))
+        assert bits.tolist() == [0, 0, 1, 1]
+
+    def test_per_coordinate_thresholds(self):
+        bits = binarize(np.array([1.0, 1.0]), thresholds=np.array([0.5, 2.0]))
+        assert bits.tolist() == [1, 0]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(EncodingError):
+            binarize(np.zeros((2, 2)))
+
+
+class TestBitsLineConversions:
+    def test_bits_to_line_range(self, params):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=64, dtype=np.uint8)
+        points = bits_to_line(bits, params, group=8)
+        line = NumberLine(params)
+        assert points.min() >= -line.half_range
+        assert points.max() <= line.half_range
+
+    def test_bits_to_line_rejects_ragged(self, params):
+        with pytest.raises(EncodingError, match="divisible"):
+            bits_to_line(np.zeros(10, dtype=np.uint8), params, group=8)
+
+    def test_bits_to_line_rejects_non_binary(self, params):
+        with pytest.raises(EncodingError, match="0/1"):
+            bits_to_line(np.full(8, 2, dtype=np.uint8), params, group=8)
+
+    def test_line_to_bits_width(self, params, rng):
+        line = NumberLine(params)
+        points = line.uniform_vector(rng, 8)
+        bits = line_to_bits(points, params, bits_per_point=8)
+        assert bits.shape == (64,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_line_to_bits_locality(self, params):
+        """Nearby points flip few bits — the property baselines depend on."""
+        a = np.full(8, 1000, dtype=np.int64)
+        b = np.full(8, 1050, dtype=np.int64)  # tiny nudge on a 200k range
+        bits_a = line_to_bits(a, params, bits_per_point=8)
+        bits_b = line_to_bits(b, params, bits_per_point=8)
+        assert np.count_nonzero(bits_a != bits_b) <= 16

@@ -1,0 +1,88 @@
+"""Tests for FAR/FRR/ROC/EER metrics."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.metrics import (
+    decidability,
+    equal_error_rate,
+    false_accept_rate,
+    false_reject_rate,
+    roc_curve,
+)
+from repro.exceptions import ParameterError
+
+
+class TestRates:
+    def test_far_counts_at_or_below_threshold(self):
+        impostor = np.array([10.0, 20.0, 30.0, 40.0])
+        assert false_accept_rate(impostor, 20.0) == 0.5
+        assert false_accept_rate(impostor, 5.0) == 0.0
+        assert false_accept_rate(impostor, 100.0) == 1.0
+
+    def test_frr_counts_above_threshold(self):
+        genuine = np.array([1.0, 2.0, 3.0, 4.0])
+        assert false_reject_rate(genuine, 2.0) == 0.5
+        assert false_reject_rate(genuine, 0.0) == 1.0
+        assert false_reject_rate(genuine, 4.0) == 0.0
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ParameterError):
+            false_accept_rate(np.array([]), 1.0)
+
+
+class TestRoc:
+    def test_monotone_tradeoff(self):
+        rng = np.random.default_rng(0)
+        genuine = rng.normal(10, 2, 200)
+        impostor = rng.normal(50, 5, 200)
+        points = roc_curve(genuine, impostor)
+        fars = [p.far for p in points]
+        frrs = [p.frr for p in points]
+        # Thresholds ascend: FAR non-decreasing, FRR non-increasing.
+        assert all(a <= b + 1e-12 for a, b in zip(fars, fars[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(frrs, frrs[1:]))
+
+    def test_explicit_thresholds(self):
+        points = roc_curve(np.array([1.0, 2.0]), np.array([5.0, 6.0]),
+                           thresholds=np.array([3.0]))
+        assert len(points) == 1
+        assert points[0].far == 0.0 and points[0].frr == 0.0
+
+
+class TestEer:
+    def test_well_separated_distributions(self):
+        rng = np.random.default_rng(1)
+        genuine = rng.normal(10, 2, 500)
+        impostor = rng.normal(60, 5, 500)
+        eer, threshold = equal_error_rate(genuine, impostor)
+        assert eer < 0.01
+        assert 10 < threshold < 60
+
+    def test_overlapping_distributions(self):
+        rng = np.random.default_rng(2)
+        genuine = rng.normal(10, 5, 500)
+        impostor = rng.normal(14, 5, 500)
+        eer, _ = equal_error_rate(genuine, impostor)
+        assert 0.2 < eer < 0.5  # heavy overlap -> high EER
+
+    def test_identical_distributions_eer_half(self):
+        rng = np.random.default_rng(3)
+        scores = rng.normal(10, 3, 1000)
+        eer, _ = equal_error_rate(scores, scores.copy())
+        assert eer == pytest.approx(0.5, abs=0.05)
+
+
+class TestDecidability:
+    def test_large_for_separated(self):
+        rng = np.random.default_rng(4)
+        assert decidability(rng.normal(0, 1, 500), rng.normal(10, 1, 500)) > 5
+
+    def test_near_zero_for_identical(self):
+        rng = np.random.default_rng(5)
+        scores = rng.normal(0, 1, 500)
+        assert abs(decidability(scores, scores + 0.01)) < 0.3
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ParameterError):
+            decidability(np.ones(10), np.ones(10))

@@ -1,0 +1,105 @@
+"""Tests for synthetic populations and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.synthetic import (
+    BoundedUniformNoise,
+    SparseOutlierNoise,
+    TruncatedGaussianNoise,
+    UserPopulation,
+)
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+class TestNoiseModels:
+    def test_bounded_uniform_respects_amplitude(self, rng):
+        noise = BoundedUniformNoise(5).sample(rng, 10_000)
+        assert noise.min() >= -5 and noise.max() <= 5
+        # Both extremes should actually occur.
+        assert noise.min() == -5 and noise.max() == 5
+
+    def test_bounded_uniform_zero_amplitude(self, rng):
+        assert not np.any(BoundedUniformNoise(0).sample(rng, 100))
+
+    def test_bounded_uniform_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            BoundedUniformNoise(-1)
+
+    def test_truncated_gaussian_clipped(self, rng):
+        noise = TruncatedGaussianNoise(sigma=50, clip=10).sample(rng, 10_000)
+        assert noise.min() >= -10 and noise.max() <= 10
+
+    def test_truncated_gaussian_integer_valued(self, rng):
+        noise = TruncatedGaussianNoise(sigma=2.5, clip=10).sample(rng, 100)
+        assert noise.dtype == np.int64
+
+    def test_sparse_outlier_rate(self, rng):
+        model = SparseOutlierNoise(base_amplitude=2, outlier_rate=0.1,
+                                   outlier_amplitude=1000)
+        noise = model.sample(rng, 50_000)
+        outliers = np.abs(noise) > 2
+        rate = outliers.mean()
+        assert 0.07 < rate < 0.13
+
+    def test_sparse_outlier_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            SparseOutlierNoise(1, 1.5, 10)
+
+
+class TestUserPopulation:
+    @pytest.fixture
+    def pop(self, paper_params):
+        return UserPopulation(paper_params, size=20,
+                              noise=BoundedUniformNoise(paper_params.t), seed=3)
+
+    def test_templates_reproducible(self, paper_params):
+        p1 = UserPopulation(paper_params, size=5, seed=7)
+        p2 = UserPopulation(paper_params, size=5, seed=7)
+        for i in range(5):
+            assert np.array_equal(p1.template(i), p2.template(i))
+
+    def test_templates_in_range(self, pop, paper_params):
+        for i in range(len(pop)):
+            t = pop.template(i)
+            assert t.min() >= -paper_params.half_range
+            assert t.max() < paper_params.half_range
+
+    def test_template_returns_copy(self, pop):
+        original = pop.template(0).copy()
+        mutated = pop.template(0)
+        mutated[:] = 0
+        assert np.array_equal(pop.template(0), original)
+
+    def test_genuine_reading_within_threshold(self, pop, paper_params):
+        for i in range(5):
+            reading = pop.genuine_reading(i)
+            assert pop.chebyshev_to_template(i, reading) <= paper_params.t
+
+    def test_impostor_far_from_everyone(self, pop, paper_params):
+        reading = pop.impostor_reading()
+        distances = [
+            pop.chebyshev_to_template(i, reading) for i in range(len(pop))
+        ]
+        assert min(distances) > paper_params.t
+
+    def test_user_ids_stable(self, pop):
+        ids = pop.user_ids()
+        assert ids[0] == "user-0000"
+        assert len(ids) == 20
+        assert len(set(ids)) == 20
+
+    def test_rejects_empty_population(self, paper_params):
+        with pytest.raises(ParameterError):
+            UserPopulation(paper_params, size=0)
+
+    def test_readings_vary(self, pop):
+        r1 = pop.genuine_reading(0)
+        r2 = pop.genuine_reading(0)
+        assert not np.array_equal(r1, r2)
+
+    def test_external_rng_reproducible(self, pop):
+        r1 = pop.genuine_reading(0, np.random.default_rng(55))
+        r2 = pop.genuine_reading(0, np.random.default_rng(55))
+        assert np.array_equal(r1, r2)

@@ -1,0 +1,161 @@
+"""Tests for the BCH codec: construction, round-trips, failure modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.bch import BchCode, design_bch
+from repro.exceptions import DecodingError, ParameterError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m,t,expected_n", [(4, 2, 15), (5, 3, 31),
+                                                (7, 10, 127), (8, 15, 255)])
+    def test_code_length(self, m, t, expected_n):
+        assert BchCode(m, t).n == expected_n
+
+    def test_known_dimension_15_7(self):
+        # BCH(15, 7, t=2) is the classic double-error-correcting code.
+        code = BchCode(4, 2)
+        assert (code.n, code.k) == (15, 7)
+
+    def test_known_dimension_15_5(self):
+        code = BchCode(4, 3)
+        assert (code.n, code.k) == (15, 5)
+
+    def test_rejects_zero_t(self):
+        with pytest.raises(ParameterError):
+            BchCode(4, 0)
+
+    def test_rejects_excessive_t(self):
+        with pytest.raises(ParameterError):
+            BchCode(4, 8)  # 2t+1 = 17 > 15
+
+    def test_rejects_bad_shorten(self):
+        code = BchCode(4, 2)
+        with pytest.raises(ParameterError):
+            BchCode(4, 2, shorten=code.k)
+
+    def test_generator_is_binary(self):
+        code = BchCode(6, 5)
+        assert all(c in (0, 1) for c in code.generator)
+
+    def test_generator_divides_x_n_minus_1(self):
+        """g(x) | x^n + 1 — the defining property of a cyclic code."""
+        from repro.coding import polynomial as poly
+
+        code = BchCode(4, 2)
+        x_n_1 = [1] + [0] * (code.n - 1) + [1]
+        _, remainder = poly.divmod_poly(code.field, x_n_1, code.generator)
+        assert remainder == []
+
+
+class TestEncode:
+    def test_systematic_message_recoverable(self, rng):
+        code = BchCode(5, 3)
+        msg = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        assert np.array_equal(code.extract_message(code.encode(msg)), msg)
+
+    def test_codeword_passes_membership(self, rng):
+        code = BchCode(5, 3)
+        cw = code.encode(rng.integers(0, 2, size=code.k, dtype=np.uint8))
+        assert code.is_codeword(cw)
+
+    def test_zero_message_gives_zero_codeword(self):
+        code = BchCode(4, 2)
+        assert not np.any(code.encode(np.zeros(code.k, dtype=np.uint8)))
+
+    def test_linearity(self, rng):
+        code = BchCode(5, 3)
+        m1 = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        m2 = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        assert np.array_equal(
+            code.encode(m1 ^ m2), code.encode(m1) ^ code.encode(m2)
+        )
+
+    def test_rejects_wrong_length(self):
+        code = BchCode(4, 2)
+        with pytest.raises(ParameterError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+    def test_rejects_non_binary(self):
+        code = BchCode(4, 2)
+        with pytest.raises(ParameterError):
+            code.encode(np.full(code.k, 2, dtype=np.uint8))
+
+
+class TestDecode:
+    @given(seed=st.integers(0, 10 ** 6), n_errors=st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_corrects_up_to_t(self, seed, n_errors):
+        code = BchCode(7, 5)
+        rng = np.random.default_rng(seed)
+        cw = code.random_codeword(rng)
+        corrupted = cw.copy()
+        if n_errors:
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            corrupted[positions] ^= 1
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw)
+        assert count == n_errors
+
+    def test_clean_word_zero_errors(self, rng):
+        code = BchCode(5, 3)
+        cw = code.random_codeword(rng)
+        decoded, count = code.decode(cw)
+        assert count == 0
+        assert np.array_equal(decoded, cw)
+
+    def test_beyond_capacity_raises_or_miscorrects_detectably(self, rng):
+        """t+many errors: decoder must raise, never silently return the
+        original codeword as if nothing happened with wrong count."""
+        code = BchCode(5, 2)
+        cw = code.random_codeword(rng)
+        corrupted = cw.copy()
+        corrupted[rng.choice(code.n, size=11, replace=False)] ^= 1
+        try:
+            decoded, count = code.decode(corrupted)
+        except DecodingError:
+            return
+        # Miscorrection to a *different* codeword is information-
+        # theoretically unavoidable; decoding back to cw is not.
+        assert not np.array_equal(decoded, cw)
+
+    def test_error_in_every_parity_position(self, rng):
+        code = BchCode(5, 3)
+        cw = code.random_codeword(rng)
+        corrupted = cw.copy()
+        corrupted[:3] ^= 1  # parity region
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw) and count == 3
+
+
+class TestShortened:
+    def test_shortened_roundtrip(self, rng):
+        code = BchCode(8, 10, shorten=55)
+        assert code.n == 200 and code.k == 255 - code.spec.generator_degree - 55
+        msg = rng.integers(0, 2, size=code.k, dtype=np.uint8)
+        cw = code.encode(msg)
+        corrupted = cw.copy()
+        corrupted[rng.choice(code.n, size=10, replace=False)] ^= 1
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw) and count == 10
+        assert np.array_equal(code.extract_message(decoded), msg)
+
+    def test_shortened_membership(self, rng):
+        code = BchCode(6, 3, shorten=10)
+        cw = code.random_codeword(rng)
+        assert code.is_codeword(cw)
+        cw[0] ^= 1
+        assert not code.is_codeword(cw)
+
+
+class TestDesign:
+    def test_design_picks_smallest_field(self):
+        assert design_bch(100, 5) == (7, 5)
+        assert design_bch(15, 2) == (4, 2)
+
+    def test_design_rejects_huge(self):
+        with pytest.raises(ParameterError):
+            design_bch(10 ** 6, 3)

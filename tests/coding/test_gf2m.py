@@ -1,0 +1,174 @@
+"""Tests for GF(2^m) field arithmetic: axioms and table correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf2m import GF2m, PRIMITIVE_POLYNOMIALS, get_field
+
+
+def _slow_mul(a: int, b: int, m: int, poly: int) -> int:
+    """Reference carry-less multiplication with polynomial reduction."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & (1 << m):
+            a ^= poly
+    return result
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYNOMIALS))
+    def test_all_listed_polynomials_are_primitive(self, m):
+        # GF2m's constructor raises unless alpha generates the full
+        # multiplicative group, so construction itself is the check.
+        field = GF2m(m)
+        assert field.order == 1 << m
+
+    def test_rejects_wrong_degree_polynomial(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(4, primitive_poly=0b111)
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive
+        # (alpha has order 5, not 15).
+        with pytest.raises(ValueError, match="not primitive"):
+            GF2m(4, primitive_poly=0b11111)
+
+    def test_rejects_out_of_range_m(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+        with pytest.raises(ValueError):
+            GF2m(17)
+
+    def test_cache_returns_same_object(self):
+        assert get_field(8) is get_field(8)
+
+
+class TestFieldAxioms:
+    """Exhaustive checks on GF(2^4); property checks on GF(2^8)."""
+
+    def test_multiplication_matches_reference_gf16(self):
+        field = GF2m(4)
+        poly = PRIMITIVE_POLYNOMIALS[4]
+        for a in range(16):
+            for b in range(16):
+                assert field.mul(a, b) == _slow_mul(a, b, 4, poly)
+
+    def test_every_nonzero_element_invertible_gf16(self):
+        field = GF2m(4)
+        for a in range(1, 16):
+            assert field.mul(a, field.inv(a)) == 1
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_distributivity_gf256(self, a, b, c):
+        field = get_field(8)
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_commutativity_gf256(self, a, b):
+        field = get_field(8)
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_associativity_gf256(self, a, b, c):
+        field = get_field(8)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    def test_zero_annihilates(self):
+        field = get_field(8)
+        for a in (0, 1, 77, 255):
+            assert field.mul(a, 0) == 0
+
+    def test_one_is_identity(self):
+        field = get_field(8)
+        for a in range(256):
+            assert field.mul(a, 1) == a
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            get_field(8).inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            get_field(8).div(1, 0)
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255))
+    def test_div_is_mul_by_inverse(self, a, b):
+        field = get_field(8)
+        assert field.div(a, b) == field.mul(a, field.inv(b))
+
+
+class TestPowers:
+    def test_alpha_powers_cycle(self):
+        field = get_field(4)
+        assert field.alpha_power(0) == 1
+        assert field.alpha_power(15) == 1  # order 2^4 - 1
+
+    def test_negative_alpha_power(self):
+        field = get_field(4)
+        assert field.mul(field.alpha_power(-3), field.alpha_power(3)) == 1
+
+    @given(a=st.integers(1, 255), e=st.integers(-50, 50))
+    @settings(max_examples=100)
+    def test_pow_matches_repeated_mul(self, a, e):
+        field = get_field(8)
+        expected = 1
+        base = a if e >= 0 else field.inv(a)
+        for _ in range(abs(e)):
+            expected = field.mul(expected, base)
+        assert field.pow(a, e) == expected
+
+    def test_pow_zero_conventions(self):
+        field = get_field(8)
+        assert field.pow(0, 0) == 1
+        assert field.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            field.pow(0, -1)
+
+    def test_log_alpha_inverts_alpha_power(self):
+        field = get_field(6)
+        for power in range(0, 63, 7):
+            assert field.log_alpha(field.alpha_power(power)) == power
+
+    def test_log_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            get_field(4).log_alpha(0)
+
+
+class TestVectorOps:
+    def test_mul_vector_matches_scalar(self):
+        field = get_field(8)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 100)
+        b = rng.integers(0, 256, 100)
+        expected = np.array([field.mul(int(x), int(y)) for x, y in zip(a, b)])
+        assert np.array_equal(field.mul_vector(a, b), expected)
+
+    def test_mul_vector_broadcasts_scalar(self):
+        field = get_field(8)
+        a = np.array([1, 2, 3])
+        result = field.mul_vector(a, np.int64(7))
+        expected = np.array([field.mul(int(x), 7) for x in a])
+        assert np.array_equal(result, expected)
+
+    def test_eval_poly_at_points_matches_horner(self):
+        from repro.coding.polynomial import evaluate
+
+        field = get_field(8)
+        coeffs = np.array([3, 0, 7, 1], dtype=np.int64)
+        points = np.arange(0, 256, 17, dtype=np.int64)
+        result = field.eval_poly_at_points(coeffs, points)
+        expected = np.array([
+            evaluate(field, [3, 0, 7, 1], int(x)) for x in points
+        ])
+        assert np.array_equal(result, expected)
+
+    def test_elements(self):
+        assert len(get_field(5).elements()) == 32

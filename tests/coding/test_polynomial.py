@@ -1,0 +1,154 @@
+"""Tests for polynomial arithmetic over GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import polynomial as poly
+from repro.coding.gf2m import get_field
+
+FIELD = get_field(8)
+
+
+def _polys(max_degree=6):
+    return st.lists(st.integers(0, 255), min_size=0, max_size=max_degree + 1)
+
+
+class TestBasics:
+    def test_normalize_strips_trailing_zeros(self):
+        assert poly.normalize([1, 2, 0, 0]) == [1, 2]
+
+    def test_normalize_zero_polynomial(self):
+        assert poly.normalize([0, 0, 0]) == []
+
+    def test_degree(self):
+        assert poly.degree([5]) == 0
+        assert poly.degree([0, 1]) == 1
+        assert poly.degree([]) == -1
+        assert poly.degree([0, 0]) == -1
+
+    @given(_polys(), _polys())
+    def test_add_commutative(self, a, b):
+        assert poly.add(FIELD, a, b) == poly.add(FIELD, b, a)
+
+    @given(_polys())
+    def test_add_self_is_zero(self, a):
+        assert poly.add(FIELD, a, a) == []
+
+    @given(_polys(), _polys())
+    def test_mul_commutative(self, a, b):
+        assert poly.mul(FIELD, a, b) == poly.mul(FIELD, b, a)
+
+    @given(_polys(3), _polys(3), _polys(3))
+    @settings(max_examples=50)
+    def test_mul_distributes_over_add(self, a, b, c):
+        lhs = poly.mul(FIELD, a, poly.add(FIELD, b, c))
+        rhs = poly.add(FIELD, poly.mul(FIELD, a, b), poly.mul(FIELD, a, c))
+        assert lhs == rhs
+
+    def test_mul_degrees_add(self):
+        a = [1, 0, 3]   # degree 2
+        b = [0, 7]      # degree 1
+        assert poly.degree(poly.mul(FIELD, a, b)) == 3
+
+    def test_shift_multiplies_by_x(self):
+        assert poly.shift([1, 2], 2) == [0, 0, 1, 2]
+        assert poly.shift([], 5) == []
+
+    def test_scale(self):
+        assert poly.scale(FIELD, [1, 2], 0) == []
+        assert poly.scale(FIELD, [1, 2], 1) == [1, 2]
+
+
+class TestDivision:
+    @given(_polys(6), _polys(4))
+    @settings(max_examples=100)
+    def test_divmod_identity(self, a, b):
+        if poly.degree(b) < 0:
+            return
+        q, r = poly.divmod_poly(FIELD, a, b)
+        reconstructed = poly.add(FIELD, poly.mul(FIELD, q, b), r)
+        assert reconstructed == poly.normalize(a)
+        assert poly.degree(r) < poly.degree(b)
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly.divmod_poly(FIELD, [1, 2], [])
+
+    def test_exact_division(self):
+        product = poly.mul(FIELD, [3, 1], [5, 0, 1])
+        q, r = poly.divmod_poly(FIELD, product, [3, 1])
+        assert r == []
+        assert q == [5, 0, 1]
+
+
+class TestEvaluate:
+    def test_constant(self):
+        assert poly.evaluate(FIELD, [42], 17) == 42
+
+    def test_zero_poly(self):
+        assert poly.evaluate(FIELD, [], 5) == 0
+
+    def test_at_zero_gives_constant_term(self):
+        assert poly.evaluate(FIELD, [9, 1, 1], 0) == 9
+
+    @given(_polys(), _polys(), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_evaluation_is_ring_homomorphism(self, a, b, x):
+        lhs = poly.evaluate(FIELD, poly.mul(FIELD, a, b), x)
+        rhs = FIELD.mul(poly.evaluate(FIELD, a, x), poly.evaluate(FIELD, b, x))
+        assert lhs == rhs
+
+
+class TestDerivative:
+    def test_char2_even_terms_vanish(self):
+        # d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 in char 2.
+        assert poly.derivative(FIELD, [9, 7, 5, 3]) == [7, 0, 3]
+
+    def test_constant_derivative_zero(self):
+        assert poly.derivative(FIELD, [5]) == []
+
+
+class TestInterpolation:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=50)
+    def test_interpolation_passes_through_points(self, xs):
+        import numpy as np
+
+        rng = np.random.default_rng(sum(xs) + len(xs))
+        ys = [int(rng.integers(0, 256)) for _ in xs]
+        p = poly.lagrange_interpolate(FIELD, xs, ys)
+        assert poly.degree(p) < len(xs)
+        for x, y in zip(xs, ys):
+            assert poly.evaluate(FIELD, p, x) == y
+
+    def test_recovers_known_polynomial(self):
+        secret = [13, 7, 99]
+        xs = [1, 2, 3, 4]
+        ys = [poly.evaluate(FIELD, secret, x) for x in xs]
+        assert poly.lagrange_interpolate(FIELD, xs, ys) == secret
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            poly.lagrange_interpolate(FIELD, [1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            poly.lagrange_interpolate(FIELD, [1, 2], [3])
+
+
+class TestGcdMonic:
+    def test_monic_leading_one(self):
+        p = poly.monic(FIELD, [2, 4, 6])
+        assert p[-1] == 1
+
+    def test_gcd_of_multiples(self):
+        common = [3, 1]  # x + 3
+        a = poly.mul(FIELD, common, [5, 0, 1])
+        b = poly.mul(FIELD, common, [7, 1])
+        g = poly.gcd_poly(FIELD, a, b)
+        assert g == poly.monic(FIELD, common)
+
+    def test_gcd_coprime_is_one(self):
+        # (x + 1) and (x + 2) are coprime.
+        assert poly.gcd_poly(FIELD, [1, 1], [2, 1]) == [1]

@@ -1,0 +1,144 @@
+"""Tests for Reed-Solomon codes and the Berlekamp-Welch decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import polynomial as poly
+from repro.coding.gf2m import get_field
+from repro.coding.reed_solomon import RsCode, berlekamp_welch
+from repro.exceptions import DecodingError, ParameterError
+
+
+class TestRsConstruction:
+    def test_length_and_capacity(self):
+        code = RsCode(4, 7)
+        assert (code.n, code.k, code.t) == (15, 7, 4)
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(ParameterError):
+            RsCode(4, 15)
+        with pytest.raises(ParameterError):
+            RsCode(4, 0)
+
+    def test_shortened_length(self):
+        code = RsCode(8, 100, shorten=55)
+        assert code.n == 200
+
+
+class TestRsRoundTrip:
+    @given(seed=st.integers(0, 10 ** 6), n_errors=st.integers(0, 4))
+    @settings(max_examples=40)
+    def test_corrects_up_to_t(self, seed, n_errors):
+        code = RsCode(6, 30)  # t = 16
+        rng = np.random.default_rng(seed)
+        msg = rng.integers(0, 64, size=code.k, dtype=np.int64)
+        cw = code.encode(msg)
+        corrupted = cw.copy()
+        if n_errors:
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            for p in positions:
+                corrupted[p] ^= int(rng.integers(1, 64))
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw)
+        assert count == n_errors
+        assert np.array_equal(code.extract_message(decoded), msg)
+
+    def test_capacity_errors_corrected(self, rng):
+        code = RsCode(4, 7)  # t = 4
+        msg = rng.integers(0, 16, size=7, dtype=np.int64)
+        cw = code.encode(msg)
+        corrupted = cw.copy()
+        for p in rng.choice(code.n, size=code.t, replace=False):
+            corrupted[p] ^= int(rng.integers(1, 16))
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw) and count == code.t
+
+    def test_beyond_capacity_never_silently_original(self, rng):
+        code = RsCode(4, 7)
+        cw = code.encode(rng.integers(0, 16, size=7, dtype=np.int64))
+        corrupted = cw.copy()
+        for p in rng.choice(code.n, size=code.t * 2 + 1, replace=False):
+            corrupted[p] ^= int(rng.integers(1, 16))
+        try:
+            decoded, _ = code.decode(corrupted)
+        except DecodingError:
+            return
+        assert not np.array_equal(decoded, cw)
+
+    def test_out_of_field_symbols_rejected(self):
+        code = RsCode(4, 7)
+        with pytest.raises(ParameterError):
+            code.encode(np.full(7, 16, dtype=np.int64))
+
+    def test_shortened_roundtrip(self, rng):
+        code = RsCode(6, 20, shorten=13)  # n = 50
+        msg = rng.integers(0, 64, size=code.k, dtype=np.int64)
+        cw = code.encode(msg)
+        corrupted = cw.copy()
+        for p in rng.choice(code.n, size=5, replace=False):
+            corrupted[p] ^= int(rng.integers(1, 64))
+        decoded, count = code.decode(corrupted)
+        assert np.array_equal(decoded, cw) and count == 5
+
+
+class TestBerlekampWelch:
+    FIELD = get_field(8)
+
+    def _evaluate_all(self, coeffs, xs):
+        return [poly.evaluate(self.FIELD, coeffs, x) for x in xs]
+
+    def test_no_errors(self):
+        secret = [10, 20, 30]
+        xs = list(range(1, 10))
+        ys = self._evaluate_all(secret, xs)
+        assert berlekamp_welch(self.FIELD, xs, ys, k=3) == secret
+
+    @given(seed=st.integers(0, 10 ** 6), n_errors=st.integers(0, 8))
+    @settings(max_examples=40)
+    def test_corrects_within_capacity(self, seed, n_errors):
+        rng = np.random.default_rng(seed)
+        k = 4
+        secret = [int(rng.integers(0, 256)) for _ in range(k)]
+        while secret and secret[-1] == 0:
+            secret[-1] = int(rng.integers(0, 256))
+        xs = list(range(1, 25))  # 24 points, capacity (24-4)/2 = 10
+        ys = self._evaluate_all(secret, xs)
+        for pos in rng.choice(len(xs), size=n_errors, replace=False):
+            ys[pos] ^= int(rng.integers(1, 256))
+        recovered = berlekamp_welch(self.FIELD, xs, ys, k=k)
+        padded = recovered + [0] * (k - len(recovered))
+        expected = poly.normalize(secret)
+        assert poly.normalize(padded) == expected
+
+    def test_too_many_errors_raises(self):
+        secret = [1, 2, 3, 4]
+        xs = list(range(1, 11))  # capacity (10-4)/2 = 3
+        ys = self._evaluate_all(secret, xs)
+        rng = np.random.default_rng(1)
+        for pos in rng.choice(len(xs), size=5, replace=False):
+            ys[pos] ^= int(rng.integers(1, 256))
+        with pytest.raises(DecodingError):
+            berlekamp_welch(self.FIELD, xs, ys, k=4, max_errors=3)
+
+    def test_insufficient_points_raises(self):
+        with pytest.raises(DecodingError, match="at least"):
+            berlekamp_welch(self.FIELD, [1, 2], [3, 4], k=3)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ParameterError, match="distinct"):
+            berlekamp_welch(self.FIELD, [1, 1, 2], [3, 3, 4], k=2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="equal length"):
+            berlekamp_welch(self.FIELD, [1, 2], [3], k=1)
+
+    def test_max_errors_zero_requires_exact_fit(self):
+        secret = [5, 6]
+        xs = [1, 2, 3, 4]
+        ys = self._evaluate_all(secret, xs)
+        assert berlekamp_welch(self.FIELD, xs, ys, k=2, max_errors=0) == secret
+        ys[0] ^= 9
+        with pytest.raises(DecodingError):
+            berlekamp_welch(self.FIELD, xs, ys, k=2, max_errors=0)

@@ -1,0 +1,50 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.params import SystemParams
+from repro.crypto.dsa import Dsa
+from repro.crypto.dsa_groups import GROUP_512
+from repro.crypto.prng import HmacDrbg
+
+# Property tests exercise numpy-heavy code whose first call pays JIT-ish
+# warmup (ufunc dispatch, table builds); a wall-clock deadline would flake.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_params() -> SystemParams:
+    """Tiny line (ka=8, v=8, t=1, n=16) — exhaustive-friendly."""
+    return SystemParams.small_test()
+
+
+@pytest.fixture
+def paper_params() -> SystemParams:
+    """Paper geometry (a=100, k=4, v=500, t=100) at a test-sized dimension."""
+    return SystemParams.paper_defaults(n=100)
+
+
+@pytest.fixture
+def fast_scheme() -> Dsa:
+    """DSA over the 512-bit test group — fast enough for unit tests."""
+    return Dsa(GROUP_512)
+
+
+@pytest.fixture
+def drbg() -> HmacDrbg:
+    return HmacDrbg(b"test-drbg-seed", personalization=b"tests")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

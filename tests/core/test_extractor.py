@@ -1,0 +1,144 @@
+"""Tests for the succinct fuzzy extractor (Gen/Rep) and helper data."""
+
+import numpy as np
+import pytest
+
+from repro.core.extractor import HelperData, SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.extractors import Sha256Extractor, UniversalHashExtractor
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError, RecoveryError, TamperDetectedError
+
+
+@pytest.fixture
+def fe(paper_params):
+    return SuccinctFuzzyExtractor(paper_params)
+
+
+def _noisy(fe, x, rng):
+    t = fe.params.t
+    return fe.sketcher.line.reduce(
+        x + rng.integers(-t, t + 1, size=fe.params.n)
+    )
+
+
+class TestGenRep:
+    def test_rep_reproduces_R_exactly(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        secret, helper = fe.generate(x, drbg)
+        assert fe.reproduce(_noisy(fe, x, rng), helper) == secret
+
+    def test_R_is_32_bytes_default(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        secret, _ = fe.generate(x, drbg)
+        assert len(secret) == 32
+
+    def test_deterministic_given_drbg(self, fe, rng):
+        x = fe.sketcher.line.uniform_vector(rng)
+        r1 = fe.generate(x, HmacDrbg(b"fixed"))
+        r2 = fe.generate(x, HmacDrbg(b"fixed"))
+        assert r1[0] == r2[0]
+        assert np.array_equal(r1[1].movements, r2[1].movements)
+        assert r1[1].seed == r2[1].seed
+
+    def test_different_users_different_secrets(self, fe, rng, drbg):
+        x1 = fe.sketcher.line.uniform_vector(rng)
+        x2 = fe.sketcher.line.uniform_vector(rng)
+        s1, _ = fe.generate(x1, HmacDrbg(b"u1"))
+        s2, _ = fe.generate(x2, HmacDrbg(b"u2"))
+        assert s1 != s2
+
+    def test_far_reading_rejected(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        with pytest.raises(RecoveryError):
+            fe.reproduce(fe.sketcher.line.uniform_vector(rng), helper)
+
+    def test_works_with_universal_extractor(self, paper_params, rng, drbg):
+        fe = SuccinctFuzzyExtractor(
+            paper_params,
+            extractor=UniversalHashExtractor(output_bytes=32, field_bits=2203),
+        )
+        x = fe.sketcher.line.uniform_vector(rng)
+        secret, helper = fe.generate(x, drbg)
+        assert fe.reproduce(_noisy(fe, x, rng), helper) == secret
+
+    def test_output_length_configurable(self, paper_params, rng, drbg):
+        fe = SuccinctFuzzyExtractor(
+            paper_params, extractor=Sha256Extractor(output_bytes=16)
+        )
+        x = fe.sketcher.line.uniform_vector(rng)
+        secret, _ = fe.generate(x, drbg)
+        assert len(secret) == 16
+
+
+class TestTamperDetection:
+    def test_tampered_seed_accepted_without_bind_seed(self, paper_params,
+                                                      rng, drbg):
+        """Paper-faithful mode: the tag does not cover r (documented gap)."""
+        fe = SuccinctFuzzyExtractor(paper_params, bind_seed=False)
+        x = fe.sketcher.line.uniform_vector(rng)
+        secret, helper = fe.generate(x, drbg)
+        swapped = HelperData(movements=helper.movements, tag=helper.tag,
+                             seed=bytes(32))
+        # Rep succeeds but derives a *different* key — the gap in action.
+        other = fe.reproduce(x, swapped)
+        assert other != secret
+
+    def test_tampered_seed_rejected_with_bind_seed(self, paper_params,
+                                                   rng, drbg):
+        fe = SuccinctFuzzyExtractor(paper_params, bind_seed=True)
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        swapped = HelperData(movements=helper.movements, tag=helper.tag,
+                             seed=bytes(32))
+        with pytest.raises(TamperDetectedError):
+            fe.reproduce(x, swapped)
+
+    def test_tampered_tag_rejected(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        bad = HelperData(movements=helper.movements,
+                         tag=bytes([helper.tag[0] ^ 0xFF]) + helper.tag[1:],
+                         seed=helper.seed)
+        with pytest.raises(TamperDetectedError):
+            fe.reproduce(x, bad)
+
+    def test_interval_shift_rejected(self, fe, paper_params, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        shifted = fe.sketcher.line.reduce(x + paper_params.interval_width)
+        with pytest.raises(TamperDetectedError):
+            fe.reproduce(shifted, helper)
+
+
+class TestHelperDataSerialisation:
+    def test_roundtrip(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        decoded = HelperData.from_bytes(helper.to_bytes())
+        assert np.array_equal(decoded.movements, helper.movements)
+        assert decoded.tag == helper.tag
+        assert decoded.seed == helper.seed
+
+    def test_truncated_rejected(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        data = helper.to_bytes()
+        with pytest.raises(ParameterError, match="malformed"):
+            HelperData.from_bytes(data[:-3])
+
+    def test_trailing_garbage_rejected(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        with pytest.raises(ParameterError, match="malformed"):
+            HelperData.from_bytes(helper.to_bytes() + b"junk")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            HelperData.from_bytes(b"")
+
+    def test_storage_accounting(self, fe, rng, drbg):
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, drbg)
+        assert helper.storage_bytes() == 8 * fe.params.n + 32 + 32

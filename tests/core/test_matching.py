@@ -1,0 +1,165 @@
+"""Tests for sketch matching: Theorem 2 and the conditions equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    match_matrix,
+    ring_distance_ka,
+    sketches_match,
+    sketches_match_literal,
+)
+from repro.core.params import SystemParams
+from repro.core.sketch import ChebyshevSketch
+from repro.crypto.prng import HmacDrbg
+
+
+def _movement_strategy(params: SystemParams):
+    half = params.interval_width // 2
+    return st.lists(
+        st.integers(-half, half), min_size=params.n, max_size=params.n
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestEquivalence:
+    """The paper's conditions (1)-(4) == ring distance <= t, coordinate-wise."""
+
+    @given(data=st.data())
+    @settings(max_examples=200)
+    def test_literal_equals_ring_form(self, data):
+        params = SystemParams(a=5, k=4, v=6, t=7, n=8)
+        s = data.draw(_movement_strategy(params))
+        s_prime = data.draw(_movement_strategy(params))
+        assert sketches_match(s, s_prime, params) == \
+            sketches_match_literal(s, s_prime, params)
+
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_literal_equals_ring_form_paper_geometry(self, data):
+        params = SystemParams(a=100, k=4, v=500, t=100, n=4)
+        s = data.draw(_movement_strategy(params))
+        s_prime = data.draw(_movement_strategy(params))
+        assert sketches_match(s, s_prime, params) == \
+            sketches_match_literal(s, s_prime, params)
+
+    def test_half_interval_endpoints_are_ring_equal(self):
+        """+ka/2 and -ka/2 are the same movement modulo the interval."""
+        params = SystemParams(a=5, k=4, v=6, t=3, n=1)
+        half = params.interval_width // 2
+        s = np.array([half])
+        s_prime = np.array([-half])
+        assert sketches_match(s, s_prime, params)
+        assert sketches_match_literal(s, s_prime, params)
+
+
+class TestTheorem2Completeness:
+    """Close biometrics always produce matching sketches."""
+
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=60)
+    def test_genuine_pair_matches(self, seed):
+        params = SystemParams(a=10, k=4, v=12, t=9, n=12)
+        sk = ChebyshevSketch(params)
+        rng = np.random.default_rng(seed)
+        x = sk.line.uniform_vector(rng)
+        noise = rng.integers(-params.t, params.t + 1, size=params.n)
+        y = sk.line.reduce(x + noise)
+        s = sk.sketch(x, HmacDrbg(seed.to_bytes(3, "big") + b"a"))
+        s_prime = sk.sketch(y, HmacDrbg(seed.to_bytes(3, "big") + b"b"))
+        assert sketches_match(s, s_prime, params)
+        assert sketches_match_literal(s, s_prime, params)
+
+    def test_genuine_pair_matches_across_seam(self):
+        params = SystemParams.paper_defaults(n=16)
+        sk = ChebyshevSketch(params)
+        x = np.full(params.n, sk.line.half_range - 1, dtype=np.int64)
+        y = sk.line.reduce(x + params.t)
+        s = sk.sketch(x, HmacDrbg(b"s1"))
+        s_prime = sk.sketch(y, HmacDrbg(b"s2"))
+        assert sketches_match(s, s_prime, params)
+
+
+class TestSoundness:
+    """Unrelated templates almost never match (false-close probability)."""
+
+    def test_unrelated_rarely_match_at_n32(self):
+        params = SystemParams.paper_defaults(n=32)
+        sk = ChebyshevSketch(params)
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 300
+        for i in range(trials):
+            s = sk.sketch(sk.line.uniform_vector(rng), HmacDrbg(bytes([i % 256, 1])))
+            s_prime = sk.sketch(sk.line.uniform_vector(rng),
+                                HmacDrbg(bytes([i % 256, 2])))
+            hits += sketches_match(s, s_prime, params)
+        # Bound: (201/400)^32 ~ 2.7e-10; 300 trials should see none.
+        assert hits == 0
+
+    def test_single_coordinate_collision_rate(self):
+        """Per-coordinate false-close rate ~ (2t+1)/ka (the paper's estimate)."""
+        params = SystemParams(a=100, k=4, v=500, t=100, n=1)
+        sk = ChebyshevSketch(params)
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 4000
+        for i in range(trials):
+            s = sk.sketch(sk.line.uniform_vector(rng),
+                          HmacDrbg(i.to_bytes(2, "big") + b"x"))
+            s_prime = sk.sketch(sk.line.uniform_vector(rng),
+                                HmacDrbg(i.to_bytes(2, "big") + b"y"))
+            hits += sketches_match(s, s_prime, params)
+        rate = hits / trials
+        expected = (2 * params.t + 1) / params.interval_width  # 0.5025
+        assert rate == pytest.approx(expected, abs=0.05)
+
+
+class TestRingDistance:
+    def test_zero_for_equal(self):
+        assert np.all(ring_distance_ka(np.array([3]), np.array([3]), 40) == 0)
+
+    def test_wraps(self):
+        # distance between -19 and 19 on a ring of 40 is 2.
+        assert ring_distance_ka(np.array([-19]), np.array([19]), 40)[0] == 2
+
+    def test_max_is_half_ring(self):
+        assert ring_distance_ka(np.array([0]), np.array([20]), 40)[0] == 20
+
+    @given(a=st.integers(-200, 200), b=st.integers(-200, 200))
+    def test_symmetric(self, a, b):
+        d1 = ring_distance_ka(np.array([a]), np.array([b]), 40)[0]
+        d2 = ring_distance_ka(np.array([b]), np.array([a]), 40)[0]
+        assert d1 == d2
+
+
+class TestMatchMatrix:
+    def test_matches_rowwise(self):
+        params = SystemParams(a=10, k=4, v=6, t=5, n=3)
+        probe = np.array([0, 10, -10])
+        enrolled = np.stack([
+            probe,                       # exact: match
+            probe + params.t,            # at threshold: match
+            probe + params.t + 1,        # just beyond: no match
+        ])
+        result = match_matrix(enrolled, probe, params)
+        assert result.tolist() == [True, True, False]
+
+    def test_rejects_non_matrix(self):
+        params = SystemParams.small_test()
+        with pytest.raises(ValueError, match="2-D"):
+            match_matrix(np.zeros(16, dtype=np.int64),
+                         np.zeros(16, dtype=np.int64), params)
+
+    def test_agrees_with_scalar_form(self):
+        params = SystemParams(a=7, k=4, v=9, t=6, n=5)
+        rng = np.random.default_rng(3)
+        half = params.interval_width // 2
+        enrolled = rng.integers(-half, half + 1, size=(20, params.n))
+        probe = rng.integers(-half, half + 1, size=params.n)
+        matrix_result = match_matrix(enrolled, probe, params)
+        scalar_result = np.array([
+            sketches_match(row, probe, params) for row in enrolled
+        ])
+        assert np.array_equal(matrix_result, scalar_result)

@@ -1,0 +1,158 @@
+"""Tests for the ring geometry of the number line La."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.numberline import NumberLine
+from repro.core.params import SystemParams
+from repro.exceptions import EncodingError
+
+
+@pytest.fixture
+def line(small_params):
+    return NumberLine(small_params)
+
+
+class TestReduce:
+    def test_identity_inside_range(self, line):
+        points = np.array([-31, -1, 0, 1, 31])
+        assert np.array_equal(line.reduce(points), points)
+
+    def test_positive_end_maps_to_negative_end(self, line):
+        # half_range = 32; +32 is the same ring point as -32.
+        assert line.reduce(32) == -32
+
+    def test_wraps_full_circumference(self, line):
+        assert line.reduce(64 + 5) == 5
+        assert line.reduce(-64 - 5) == -5
+
+    @given(st.integers(-10_000, 10_000))
+    def test_reduce_is_idempotent(self, value):
+        line = NumberLine(SystemParams.small_test())
+        once = int(line.reduce(value))
+        assert int(line.reduce(once)) == once
+
+    @given(st.integers(-10_000, 10_000))
+    def test_reduce_preserves_residue(self, value):
+        line = NumberLine(SystemParams.small_test())
+        assert (int(line.reduce(value)) - value) % line.circumference == 0
+
+    @given(st.integers(-10_000, 10_000))
+    def test_reduced_range(self, value):
+        line = NumberLine(SystemParams.small_test())
+        reduced = int(line.reduce(value))
+        assert -line.half_range <= reduced < line.half_range
+
+
+class TestBoundaries:
+    def test_boundaries_are_multiples_of_ka(self, line):
+        # small_test: a=2, k=4 -> ka=8; boundaries at -32,-24,...,24.
+        points = np.arange(-32, 32)
+        expected = points % 8 == 0
+        assert np.array_equal(line.is_boundary(points), expected)
+
+    def test_positive_end_is_boundary_when_v_even(self, line):
+        assert bool(line.is_boundary(32))  # reduces to -32, multiple of 8
+
+    def test_identifier_count_is_v(self, line):
+        idents = line.identifiers()
+        assert len(idents) == line.params.v
+        assert len(np.unique(idents)) == line.params.v
+
+    def test_identifiers_are_interval_midpoints(self, line):
+        # With ka=8, identifiers sit 4 above each boundary.
+        idents = np.sort(line.identifiers())
+        assert np.array_equal(idents, np.arange(-28, 32, 8))
+
+    def test_identifier_of_interior_points(self, line):
+        # Points 1..7 live in interval (0, 8) with identifier 4.
+        points = np.arange(1, 8)
+        assert np.array_equal(line.identifier_of(points), np.full(7, 4))
+
+    def test_identifier_of_negative_interior(self, line):
+        points = np.arange(-7, 0)
+        assert np.array_equal(line.identifier_of(points), np.full(7, -4))
+
+    def test_identifiers_are_never_boundaries(self, line):
+        assert not np.any(line.is_boundary(line.identifiers()))
+
+    def test_odd_v_geometry_consistent(self):
+        # v odd: the extreme ring point is an identifier, not a boundary.
+        params = SystemParams(a=2, k=2, v=3, t=1, n=4)
+        line = NumberLine(params)
+        idents = line.identifiers()
+        assert len(np.unique(idents)) == 3
+        assert not np.any(line.is_boundary(idents))
+
+
+class TestDistances:
+    def test_ring_distance_direct(self, line):
+        assert line.ring_distance(3, -3) == 6
+
+    def test_ring_distance_wrapped(self, line):
+        # -31 to 31: direct |distance| 62, around the ring 64-62 = 2.
+        assert line.ring_distance(-31, 31) == 2
+
+    def test_ring_distance_symmetry(self, line):
+        assert line.ring_distance(5, -20) == line.ring_distance(-20, 5)
+
+    def test_chebyshev_is_max_coordinate(self, line):
+        x = np.array([0, 10, -5, 31])
+        y = np.array([1, 12, -5, -31])
+        # last coordinate: ring distance 2; second: 2; first: 1 -> max 2.
+        assert line.chebyshev_distance(x, y) == 2
+
+    @given(st.integers(-32, 31), st.integers(-32, 31), st.integers(-32, 31))
+    def test_ring_distance_triangle_inequality(self, x, y, z):
+        line = NumberLine(SystemParams.small_test())
+        assert line.ring_distance(x, z) <= (
+            line.ring_distance(x, y) + line.ring_distance(y, z)
+        )
+
+    @given(st.integers(-32, 31))
+    def test_ring_distance_identity(self, x):
+        line = NumberLine(SystemParams.small_test())
+        assert line.ring_distance(x, x) == 0
+
+    def test_max_ring_distance_is_half_circumference(self, line):
+        assert line.ring_distance(0, 32) == 32
+
+
+class TestMovement:
+    @given(st.integers(-32, 31), st.integers(-32, 31))
+    def test_movement_lands_on_target(self, point, target):
+        line = NumberLine(SystemParams.small_test())
+        movement = line.movement_to(np.array([point]), np.array([target]))
+        landed = line.reduce(point + movement[0])
+        assert int(landed) == int(line.reduce(target))
+
+
+class TestValidation:
+    def test_accepts_both_endpoint_spellings(self, line):
+        vec = np.array([32, -32] + [0] * 14)
+        reduced = line.validate_vector(vec)
+        assert reduced[0] == -32 and reduced[1] == -32
+
+    def test_rejects_out_of_range(self, line):
+        vec = np.array([33] + [0] * 15)
+        with pytest.raises(EncodingError, match="outside"):
+            line.validate_vector(vec)
+
+    def test_rejects_wrong_dimension(self, line):
+        with pytest.raises(EncodingError, match="dimension"):
+            line.validate_vector(np.zeros(5, dtype=np.int64))
+
+    def test_rejects_floats(self, line):
+        with pytest.raises(EncodingError, match="integer"):
+            line.validate_vector(np.zeros(16, dtype=np.float64))
+
+    def test_rejects_matrix(self, line):
+        with pytest.raises(EncodingError, match="1-D"):
+            line.validate_vector(np.zeros((4, 4), dtype=np.int64))
+
+    def test_uniform_vector_in_range(self, line, rng):
+        vec = line.uniform_vector(rng)
+        assert vec.shape == (16,)
+        assert vec.min() >= -32 and vec.max() < 32

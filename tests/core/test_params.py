@@ -1,0 +1,147 @@
+"""Tests for SystemParams: validation and Theorem 3 entropy accounting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+
+
+class TestValidation:
+    def test_paper_defaults_are_valid(self):
+        params = SystemParams.paper_defaults()
+        assert params.a == 100
+        assert params.k == 4
+        assert params.v == 500
+        assert params.t == 100
+        assert params.n == 5000
+
+    def test_paper_representation_range_matches_table2(self):
+        params = SystemParams.paper_defaults()
+        assert params.half_range == 100_000  # Table II: [-100000, 100000]
+
+    def test_rejects_nonpositive_unit(self):
+        with pytest.raises(ParameterError, match="unit a"):
+            SystemParams(a=0, k=4, v=10, t=1, n=4)
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ParameterError, match="even"):
+            SystemParams(a=10, k=3, v=10, t=1, n=4)
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ParameterError, match="even"):
+            SystemParams(a=10, k=0, v=10, t=1, n=4)
+
+    def test_rejects_single_interval(self):
+        with pytest.raises(ParameterError, match="v must be"):
+            SystemParams(a=10, k=4, v=1, t=1, n=4)
+
+    def test_rejects_threshold_at_half_interval(self):
+        # t must be strictly below ka/2 = 20.
+        with pytest.raises(ParameterError, match="threshold"):
+            SystemParams(a=10, k=4, v=10, t=20, n=4)
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ParameterError, match="threshold"):
+            SystemParams(a=10, k=4, v=10, t=0, n=4)
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ParameterError, match="dimension"):
+            SystemParams(a=10, k=4, v=10, t=1, n=0)
+
+    def test_threshold_just_below_half_interval_accepted(self):
+        params = SystemParams(a=10, k=4, v=10, t=19, n=4)
+        assert params.t == 19
+
+    def test_frozen(self):
+        params = SystemParams.small_test()
+        with pytest.raises(AttributeError):
+            params.a = 7  # type: ignore[misc]
+
+
+class TestGeometry:
+    def test_interval_width(self):
+        assert SystemParams(a=3, k=4, v=5, t=5, n=2).interval_width == 12
+
+    def test_circumference(self):
+        assert SystemParams(a=3, k=4, v=5, t=5, n=2).circumference == 60
+
+    def test_half_range(self):
+        assert SystemParams(a=3, k=4, v=5, t=5, n=2).half_range == 30
+
+
+class TestTheorem3:
+    """Closed-form entropy accounting against the paper's Table II."""
+
+    def test_residual_entropy_matches_table2(self):
+        params = SystemParams.paper_defaults(n=5000)
+        # Table II: m~ ≈ 44,829 bits at n = 5000.
+        assert params.residual_entropy_bits == pytest.approx(44_829, abs=1.0)
+
+    def test_storage_matches_table2(self):
+        params = SystemParams.paper_defaults(n=5000)
+        # Table II: storage ≈ 45,000 bits; exact form is n*log2(ka+1).
+        assert params.storage_bits == pytest.approx(
+            5000 * math.log2(401), abs=1e-6
+        )
+        assert params.storage_bits == pytest.approx(45_000, rel=0.05)
+
+    def test_entropy_identity(self):
+        params = SystemParams.paper_defaults(n=5000)
+        assert (params.min_entropy_bits - params.residual_entropy_bits
+                ) == pytest.approx(params.entropy_loss_bits, abs=1e-6)
+
+    @given(
+        a=st.integers(1, 50),
+        k=st.sampled_from([2, 4, 6, 8]),
+        v=st.integers(2, 64),
+        n=st.integers(1, 100),
+    )
+    def test_entropy_loss_is_n_log_ka(self, a, k, v, n):
+        t = max(1, k * a // 2 - 1)
+        if t >= k * a // 2 or t < 1:
+            return
+        params = SystemParams(a=a, k=k, v=v, t=t, n=n)
+        assert params.entropy_loss_bits == pytest.approx(
+            n * math.log2(k * a), rel=1e-12
+        )
+
+    def test_false_close_bound_formula(self):
+        params = SystemParams(a=10, k=4, v=8, t=5, n=3)
+        expected = (11 / 40) ** 3
+        assert params.false_close_bound == pytest.approx(expected)
+
+    def test_exact_false_close_below_bound(self):
+        params = SystemParams(a=10, k=4, v=8, t=5, n=3)
+        assert params.false_close_probability() < params.false_close_bound
+
+    def test_exact_false_close_matches_direct_formula(self):
+        params = SystemParams(a=10, k=4, v=8, t=5, n=2)
+        direct = ((2 * 5 + 1) ** 2 * (8 ** 2 - 1)) / (40 * 8) ** 2
+        assert params.false_close_probability() == pytest.approx(direct, rel=1e-9)
+
+    def test_false_close_negligible_at_paper_scale(self):
+        params = SystemParams.paper_defaults(n=5000)
+        # (201/400)^5000 ~ 2^-4968: far below float range, so in bits.
+        assert params.false_close_bound_log2 == pytest.approx(-4968, abs=5)
+        assert params.false_close_probability_log2() < -4000
+
+
+class TestHelpers:
+    def test_with_dimension(self):
+        params = SystemParams.paper_defaults(n=5000).with_dimension(123)
+        assert params.n == 123
+        assert params.a == 100
+
+    def test_security_report_keys(self):
+        report = SystemParams.small_test().security_report()
+        assert set(report) == {
+            "min_entropy_bits",
+            "residual_entropy_bits",
+            "entropy_loss_bits",
+            "storage_bits",
+            "false_close_bound",
+        }

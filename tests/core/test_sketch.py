@@ -1,0 +1,200 @@
+"""Tests for the Chebyshev secure sketch (Theorem 1, both directions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.numberline import NumberLine
+from repro.core.params import SystemParams
+from repro.core.sketch import ChebyshevSketch
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError, RecoveryError
+
+
+def _sketcher(params: SystemParams) -> ChebyshevSketch:
+    return ChebyshevSketch(params)
+
+
+def _noise_within(rng, t, n):
+    return rng.integers(-t, t + 1, size=n, dtype=np.int64)
+
+
+class TestSketchStructure:
+    def test_movement_bounded_by_half_interval(self, small_params, rng, drbg):
+        sk = _sketcher(small_params)
+        for _ in range(20):
+            x = sk.line.uniform_vector(rng)
+            s = sk.sketch(x, drbg)
+            assert int(np.max(np.abs(s))) <= small_params.interval_width // 2
+
+    def test_sketch_plus_input_is_identifier(self, small_params, rng, drbg):
+        sk = _sketcher(small_params)
+        x = sk.line.uniform_vector(rng)
+        s = sk.sketch(x, drbg)
+        landed = sk.line.reduce(x + s)
+        assert not np.any(sk.line.is_boundary(landed))
+        deviation = sk.line.ring_distance(sk.line.identifier_of(landed), landed)
+        assert int(np.max(deviation)) == 0
+
+    def test_interior_points_deterministic(self, small_params):
+        """Non-boundary coordinates sketch identically under any coins."""
+        sk = _sketcher(small_params)
+        x = np.array([1, 2, 3, 5, 6, 7, 9, 10, -1, -2, -3, -5, -6, -7, -9, -10])
+        s1 = sk.sketch(x, HmacDrbg(b"coins-1"))
+        s2 = sk.sketch(x, HmacDrbg(b"coins-2"))
+        assert np.array_equal(s1, s2)
+
+    def test_boundary_coin_produces_half_interval_movement(self, small_params):
+        sk = _sketcher(small_params)
+        x = np.zeros(16, dtype=np.int64)  # all on the boundary at 0
+        s = sk.sketch(x, HmacDrbg(b"coins"))
+        assert np.all(np.abs(s) == small_params.interval_width // 2)
+
+    def test_boundary_coin_varies_with_drbg(self, small_params):
+        sk = _sketcher(small_params)
+        x = np.zeros(16, dtype=np.int64)
+        outcomes = set()
+        for i in range(16):
+            s = sk.sketch(x, HmacDrbg(bytes([i])))
+            outcomes.update(np.sign(s).tolist())
+        assert outcomes == {-1, 1}, "both coin directions must occur"
+
+    def test_extreme_point_wraps(self, small_params):
+        """Special case 2: the largest point can move into the bottom interval."""
+        sk = _sketcher(small_params)
+        x = np.full(16, -32, dtype=np.int64)  # canonical spelling of ±kav/2
+        saw_identifiers = set()
+        for i in range(32):
+            s = sk.sketch(x, HmacDrbg(bytes([i, 7])))
+            landed = sk.line.reduce(x + s)
+            saw_identifiers.update(np.unique(landed).tolist())
+        assert saw_identifiers == {-28, 28}, saw_identifiers
+
+
+class TestTheorem1Forward:
+    """dis(x, y) <= t  ==>  Rec(y, SS(x)) == x."""
+
+    @given(data=st.data())
+    def test_roundtrip_small(self, data):
+        params = SystemParams.small_test()
+        sk = _sketcher(params)
+        x = np.array(data.draw(st.lists(
+            st.integers(-32, 31), min_size=16, max_size=16)), dtype=np.int64)
+        noise = np.array(data.draw(st.lists(
+            st.integers(-params.t, params.t), min_size=16, max_size=16)),
+            dtype=np.int64)
+        y = sk.line.reduce(x + noise)
+        s = sk.sketch(x, HmacDrbg(b"prop"))
+        assert np.array_equal(sk.recover(y, s), sk.line.reduce(x))
+
+    def test_roundtrip_paper_geometry(self, paper_params, rng):
+        sk = _sketcher(paper_params)
+        for trial in range(20):
+            x = sk.line.uniform_vector(rng)
+            y = sk.line.reduce(x + _noise_within(rng, paper_params.t, paper_params.n))
+            s = sk.sketch(x, HmacDrbg(trial.to_bytes(2, "big")))
+            assert np.array_equal(sk.recover(y, s), sk.line.reduce(x))
+
+    def test_exact_reading_recovers(self, paper_params, rng, drbg):
+        sk = _sketcher(paper_params)
+        x = sk.line.uniform_vector(rng)
+        s = sk.sketch(x, drbg)
+        assert np.array_equal(sk.recover(x, s), sk.line.reduce(x))
+
+    def test_noise_at_exact_threshold_recovers(self, paper_params, rng, drbg):
+        sk = _sketcher(paper_params)
+        x = sk.line.uniform_vector(rng)
+        noise = np.full(paper_params.n, paper_params.t, dtype=np.int64)
+        noise[::2] *= -1
+        y = sk.line.reduce(x + noise)
+        s = sk.sketch(x, drbg)
+        assert np.array_equal(sk.recover(y, s), sk.line.reduce(x))
+
+
+class TestRingWrap:
+    """The erratum case: readings and templates straddling the line ends."""
+
+    def test_template_at_top_reading_wrapped(self, paper_params, drbg):
+        sk = _sketcher(paper_params)
+        line = sk.line
+        # Template sits just below +kav/2; the reading wraps past the end.
+        x = np.full(paper_params.n, line.half_range - 10, dtype=np.int64)
+        y = line.reduce(x + paper_params.t)  # crosses the seam
+        s = sk.sketch(x, drbg)
+        assert np.array_equal(sk.recover(y, s), line.reduce(x))
+
+    def test_template_at_bottom_reading_wrapped(self, paper_params, drbg):
+        sk = _sketcher(paper_params)
+        line = sk.line
+        x = np.full(paper_params.n, -line.half_range + 10, dtype=np.int64)
+        y = line.reduce(x - paper_params.t)
+        s = sk.sketch(x, drbg)
+        assert np.array_equal(sk.recover(y, s), line.reduce(x))
+
+    def test_boundary_template_wrapping_coin(self, paper_params):
+        """A template exactly on the seam: both coin outcomes must recover."""
+        sk = _sketcher(paper_params)
+        line = sk.line
+        x = np.full(paper_params.n, -line.half_range, dtype=np.int64)
+        y = line.reduce(x + 5)
+        for i in range(8):
+            s = sk.sketch(x, HmacDrbg(bytes([i, 3])))
+            assert np.array_equal(sk.recover(y, s), line.reduce(x))
+
+
+class TestTheorem1Converse:
+    """dis(x, y) > t  ==>  Rec aborts or returns something != x."""
+
+    @given(excess=st.integers(1, 50))
+    @settings(max_examples=25)
+    def test_beyond_threshold_never_silently_wrong(self, excess):
+        params = SystemParams.paper_defaults(n=32)
+        sk = _sketcher(params)
+        rng = np.random.default_rng(excess)
+        x = sk.line.uniform_vector(rng)
+        y = x.copy()
+        y[0] = sk.line.reduce(y[0] + params.t + excess)
+        s = sk.sketch(x, HmacDrbg(b"conv"))
+        try:
+            z = sk.recover(y, s)
+        except RecoveryError:
+            return
+        assert not np.array_equal(z, sk.line.reduce(x))
+
+    def test_far_reading_aborts(self, paper_params, rng, drbg):
+        sk = _sketcher(paper_params)
+        x = sk.line.uniform_vector(rng)
+        y = sk.line.uniform_vector(rng)  # unrelated
+        s = sk.sketch(x, drbg)
+        with pytest.raises(RecoveryError):
+            sk.recover(y, s)
+
+
+class TestSketchValidation:
+    def test_rejects_wrong_length(self, small_params, drbg):
+        sk = _sketcher(small_params)
+        with pytest.raises(ParameterError, match="length"):
+            sk.validate_sketch(np.zeros(3, dtype=np.int64))
+
+    def test_rejects_oversized_movement(self, small_params):
+        sk = _sketcher(small_params)
+        s = np.zeros(16, dtype=np.int64)
+        s[0] = small_params.interval_width  # ka > ka/2
+        with pytest.raises(ParameterError, match="exceeds"):
+            sk.validate_sketch(s)
+
+    def test_rejects_float_sketch(self, small_params):
+        sk = _sketcher(small_params)
+        with pytest.raises(ParameterError, match="integer"):
+            sk.validate_sketch(np.zeros(16, dtype=np.float64))
+
+    def test_recover_rejects_malformed_sketch(self, small_params, rng, drbg):
+        sk = _sketcher(small_params)
+        x = sk.line.uniform_vector(rng)
+        with pytest.raises(ParameterError):
+            sk.recover(x, np.full(16, small_params.interval_width, dtype=np.int64))
+
+    def test_storage_bits_matches_params(self, paper_params):
+        sk = _sketcher(paper_params)
+        assert sk.sketch_storage_bits() == paper_params.storage_bits

@@ -1,0 +1,144 @@
+"""Tests for DSA: group parameters, keygen, signing, verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import numbertheory as nt
+from repro.crypto.dsa import Dsa, DsaGroup, generate_group
+from repro.crypto.dsa_groups import GENERATION_SEEDS, GROUP_512, GROUP_1024, GROUP_2048
+from repro.exceptions import SignatureError
+
+
+class TestPinnedGroups:
+    @pytest.mark.parametrize("group,p_bits,q_bits", [
+        (GROUP_512, 512, 160),
+        (GROUP_1024, 1024, 160),
+        (GROUP_2048, 2048, 256),
+    ])
+    def test_structure(self, group, p_bits, q_bits):
+        group.validate()
+        assert group.p_bits == p_bits
+        assert group.q_bits == q_bits
+
+    def test_pinned_512_reproducible_from_seed(self):
+        regenerated = generate_group(512, 160, GENERATION_SEEDS[512])
+        assert regenerated == GROUP_512
+
+
+class TestGroupValidation:
+    def test_rejects_composite_p(self):
+        with pytest.raises(ValueError, match="p is not prime"):
+            DsaGroup(p=GROUP_512.p + 2, q=GROUP_512.q, g=GROUP_512.g).validate()
+
+    def test_rejects_wrong_order_generator(self):
+        with pytest.raises(ValueError):
+            DsaGroup(p=GROUP_512.p, q=GROUP_512.q, g=2).validate()
+
+    def test_rejects_q_not_dividing(self):
+        q = nt.generate_prime(160, __import__(
+            "repro.crypto.prng", fromlist=["HmacDrbg"]).HmacDrbg(b"other-q"))
+        with pytest.raises(ValueError):
+            DsaGroup(p=GROUP_512.p, q=q, g=GROUP_512.g).validate()
+
+
+class TestSignVerify:
+    @pytest.fixture
+    def dsa(self):
+        return Dsa(GROUP_512)
+
+    def test_roundtrip(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = dsa.sign(kp.signing_key, b"challenge-response")
+        assert dsa.verify(kp.verify_key, b"challenge-response", sig)
+
+    def test_wrong_message_rejected(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = dsa.sign(kp.signing_key, b"message")
+        assert not dsa.verify(kp.verify_key, b"other", sig)
+
+    def test_wrong_key_rejected(self, dsa):
+        kp1 = dsa.keygen_from_seed(b"1" * 32)
+        kp2 = dsa.keygen_from_seed(b"2" * 32)
+        sig = dsa.sign(kp1.signing_key, b"m")
+        assert not dsa.verify(kp2.verify_key, b"m", sig)
+
+    def test_bitflipped_signature_rejected(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = bytearray(dsa.sign(kp.signing_key, b"m"))
+        sig[5] ^= 1
+        assert not dsa.verify(kp.verify_key, b"m", bytes(sig))
+
+    def test_truncated_signature_rejected(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = dsa.sign(kp.signing_key, b"m")
+        assert not dsa.verify(kp.verify_key, b"m", sig[:-1])
+
+    def test_zero_signature_rejected(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        assert not dsa.verify(kp.verify_key, b"m", bytes(40))
+
+    def test_garbage_verify_key_rejected(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = dsa.sign(kp.signing_key, b"m")
+        assert not dsa.verify(bytes(len(kp.verify_key)), b"m", sig)
+
+    def test_signing_deterministic(self, dsa):
+        """RFC-6979-style nonces: same key+message -> same signature."""
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        assert dsa.sign(kp.signing_key, b"m") == dsa.sign(kp.signing_key, b"m")
+
+    def test_different_messages_different_nonces(self, dsa):
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig1 = dsa.sign(kp.signing_key, b"m1")
+        sig2 = dsa.sign(kp.signing_key, b"m2")
+        q_len = (GROUP_512.q.bit_length() + 7) // 8
+        r1, r2 = sig1[:q_len], sig2[:q_len]
+        assert r1 != r2, "nonce reuse across messages leaks the key"
+
+    def test_keygen_deterministic(self, dsa):
+        assert dsa.keygen_from_seed(b"S" * 32) == dsa.keygen_from_seed(b"S" * 32)
+
+    def test_keygen_seed_sensitivity(self, dsa):
+        kp1 = dsa.keygen_from_seed(b"a" * 32)
+        kp2 = dsa.keygen_from_seed(b"b" * 32)
+        assert kp1.verify_key != kp2.verify_key
+
+    def test_sign_rejects_malformed_key(self, dsa):
+        with pytest.raises(SignatureError):
+            dsa.sign(b"short", b"m")
+
+    def test_sign_rejects_out_of_range_key(self, dsa):
+        q_len = (GROUP_512.q.bit_length() + 7) // 8
+        with pytest.raises(SignatureError):
+            dsa.sign(b"\xff" * q_len, b"m")
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=20)
+    def test_roundtrip_arbitrary_messages(self, message):
+        dsa = Dsa(GROUP_512)
+        kp = dsa.keygen_from_seed(b"prop" * 8)
+        assert dsa.verify(kp.verify_key, message, dsa.sign(kp.signing_key, message))
+
+    def test_scheme_name(self):
+        assert Dsa(GROUP_512).name == "dsa-512"
+        assert Dsa(GROUP_1024).name == "dsa-1024"
+
+    def test_1024_group_roundtrip(self):
+        dsa = Dsa(GROUP_1024)
+        kp = dsa.keygen_from_seed(b"R" * 32)
+        sig = dsa.sign(kp.signing_key, b"paper-scale")
+        assert dsa.verify(kp.verify_key, b"paper-scale", sig)
+
+
+class TestGroupGeneration:
+    def test_small_group_end_to_end(self):
+        group = generate_group(256, 160, b"test-small")
+        group.validate()
+        dsa = Dsa(group)
+        kp = dsa.keygen_from_seed(b"k" * 32)
+        assert dsa.verify(kp.verify_key, b"m", dsa.sign(kp.signing_key, b"m"))
+
+    def test_rejects_q_bits_ge_p_bits(self):
+        with pytest.raises(ValueError):
+            generate_group(160, 160, b"x")

@@ -1,0 +1,119 @@
+"""Tests for elliptic-curve arithmetic over P-256."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ec import P256, Curve, Point
+
+
+class TestCurveStructure:
+    def test_p256_validates(self):
+        P256.validate()  # primality of p and n, base point order
+
+    def test_base_point_on_curve(self):
+        assert P256.is_on_curve(P256.generator)
+
+    def test_infinity_on_curve(self):
+        assert P256.is_on_curve(Point.infinity())
+
+    def test_off_curve_point_detected(self):
+        assert not P256.is_on_curve(Point(1, 1))
+
+    def test_bad_base_point_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="not on the curve"):
+            Curve(name="bad", p=P256.p, a=P256.a, b=P256.b,
+                  gx=1, gy=1, n=P256.n)
+
+
+class TestGroupLaw:
+    def test_identity(self):
+        g = P256.generator
+        assert P256.add(g, Point.infinity()) == g
+        assert P256.add(Point.infinity(), g) == g
+
+    def test_inverse_sums_to_identity(self):
+        g = P256.generator
+        assert P256.add(g, P256.negate(g)).is_infinity
+
+    def test_commutativity(self):
+        g = P256.generator
+        g2 = P256.multiply(2, g)
+        assert P256.add(g, g2) == P256.add(g2, g)
+
+    def test_associativity_sample(self):
+        g = P256.generator
+        a = P256.multiply(3, g)
+        b = P256.multiply(5, g)
+        c = P256.multiply(7, g)
+        assert P256.add(P256.add(a, b), c) == P256.add(a, P256.add(b, c))
+
+    def test_doubling_matches_addition_chain(self):
+        g = P256.generator
+        assert P256.multiply(4, g) == P256.add(
+            P256.add(g, g), P256.add(g, g)
+        )
+
+    def test_order_annihilates(self):
+        assert P256.multiply(P256.n, P256.generator).is_infinity
+
+    def test_scalar_reduction_mod_n(self):
+        g = P256.generator
+        assert P256.multiply(P256.n + 5, g) == P256.multiply(5, g)
+
+    @given(st.integers(1, 2 ** 32), st.integers(1, 2 ** 32))
+    @settings(max_examples=10)
+    def test_scalar_distributivity(self, a, b):
+        g = P256.generator
+        lhs = P256.multiply(a + b, g)
+        rhs = P256.add(P256.multiply(a, g), P256.multiply(b, g))
+        assert lhs == rhs
+
+    def test_multiply_by_zero(self):
+        assert P256.multiply(0, P256.generator).is_infinity
+
+
+class TestPointEncoding:
+    def test_roundtrip_generator(self):
+        encoded = P256.encode_point(P256.generator)
+        assert P256.decode_point(encoded) == P256.generator
+
+    @given(st.integers(1, 2 ** 40))
+    @settings(max_examples=15)
+    def test_roundtrip_random_points(self, k):
+        point = P256.multiply(k, P256.generator)
+        assert P256.decode_point(P256.encode_point(point)) == point
+
+    def test_compressed_length(self):
+        assert len(P256.encode_point(P256.generator)) == 33
+
+    def test_infinity_roundtrip(self):
+        assert P256.decode_point(P256.encode_point(Point.infinity())).is_infinity
+
+    def test_bad_prefix_rejected(self):
+        encoded = bytearray(P256.encode_point(P256.generator))
+        encoded[0] = 0x07
+        with pytest.raises(ValueError):
+            P256.decode_point(bytes(encoded))
+
+    def test_non_residue_x_rejected(self):
+        # x = 5 has no square root on P-256 for one of the prefixes; find a
+        # bad x by scanning a few small values.
+        for x in range(2, 50):
+            data = b"\x02" + x.to_bytes(32, "big")
+            try:
+                point = P256.decode_point(data)
+            except ValueError:
+                break
+            assert P256.is_on_curve(point)
+        else:
+            pytest.skip("no non-residue found in scan range")
+
+    def test_oversized_x_rejected(self):
+        data = b"\x02" + (P256.p + 1).to_bytes(32, "big")
+        with pytest.raises(ValueError):
+            P256.decode_point(data)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            P256.decode_point(P256.encode_point(P256.generator)[:-1])

@@ -1,0 +1,114 @@
+"""Tests for hashing utilities and canonical encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import hashing
+
+
+class TestEncodeIntVector:
+    def test_roundtrip(self):
+        vec = np.array([0, 1, -1, 100_000, -100_000], dtype=np.int64)
+        assert np.array_equal(
+            hashing.decode_int_vector(hashing.encode_int_vector(vec)), vec
+        )
+
+    @given(st.lists(st.integers(-2 ** 62, 2 ** 62), min_size=0, max_size=50))
+    def test_roundtrip_property(self, values):
+        vec = np.array(values, dtype=np.int64)
+        decoded = hashing.decode_int_vector(hashing.encode_int_vector(vec))
+        assert np.array_equal(decoded, vec)
+
+    def test_fixed_width(self):
+        assert len(hashing.encode_int_vector(np.arange(7))) == 7 * 8
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            hashing.encode_int_vector(np.zeros((2, 2), dtype=np.int64))
+
+    def test_decode_rejects_ragged_length(self):
+        with pytest.raises(ValueError, match="multiple"):
+            hashing.decode_int_vector(b"\x00" * 9)
+
+    def test_injective_across_boundaries(self):
+        """[1, 256] and [256, 1] must encode differently (no ambiguity)."""
+        a = hashing.encode_int_vector(np.array([1, 256]))
+        b = hashing.encode_int_vector(np.array([256, 1]))
+        assert a != b
+
+
+class TestHashVectors:
+    def test_deterministic(self):
+        v = np.array([1, 2, 3])
+        assert hashing.hash_vectors(v) == hashing.hash_vectors(v)
+
+    def test_label_separates_domains(self):
+        v = np.array([1, 2, 3])
+        assert hashing.hash_vectors(v, label=b"a") != \
+            hashing.hash_vectors(v, label=b"b")
+
+    def test_boundary_shift_changes_hash(self):
+        """(x=[1,2], s=[3]) vs (x=[1], s=[2,3]) must differ (framing)."""
+        h1 = hashing.hash_vectors(np.array([1, 2]), np.array([3]))
+        h2 = hashing.hash_vectors(np.array([1]), np.array([2, 3]))
+        assert h1 != h2
+
+    def test_order_matters(self):
+        a, b = np.array([1]), np.array([2])
+        assert hashing.hash_vectors(a, b) != hashing.hash_vectors(b, a)
+
+    def test_digest_size(self):
+        assert len(hashing.hash_vectors(np.array([1]))) == 32
+
+
+class TestExpand:
+    def test_length_exact(self):
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(hashing.expand(b"seed", length)) == length
+
+    def test_prefix_consistency(self):
+        long = hashing.expand(b"seed", 100)
+        short = hashing.expand(b"seed", 50)
+        assert long[:50] == short
+
+    def test_seed_sensitivity(self):
+        assert hashing.expand(b"a", 32) != hashing.expand(b"b", 32)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            hashing.expand(b"s", -1)
+
+
+class TestHashToInt:
+    @given(st.binary(min_size=0, max_size=64), st.integers(1, 512))
+    def test_range(self, data, bits):
+        value = hashing.hash_to_int(data, bits)
+        assert 0 <= value < 2 ** bits
+
+    def test_deterministic(self):
+        assert hashing.hash_to_int(b"x", 100) == hashing.hash_to_int(b"x", 100)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            hashing.hash_to_int(b"x", 0)
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert hashing.constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not hashing.constant_time_equal(b"abc", b"abd")
+
+    def test_length_mismatch(self):
+        assert not hashing.constant_time_equal(b"abc", b"abcd")
+
+
+class TestHashConcat:
+    def test_framing_injective(self):
+        assert hashing.hash_concat([b"ab", b"c"]) != hashing.hash_concat([b"a", b"bc"])
+
+    def test_empty_parts_differ_from_no_parts(self):
+        assert hashing.hash_concat([b""]) != hashing.hash_concat([])

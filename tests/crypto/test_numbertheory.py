@@ -1,0 +1,130 @@
+"""Tests for number-theoretic primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import numbertheory as nt
+from repro.crypto.prng import HmacDrbg
+
+# Primes with known properties for fixtures.
+SMALL_PRIMES = [2, 3, 5, 7, 11, 101, 257, 65537]
+SMALL_COMPOSITES = [1, 4, 9, 15, 91, 561, 41041, 825265]  # incl. Carmichael
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_accepts_primes(self, p):
+        assert nt.is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", SMALL_COMPOSITES)
+    def test_rejects_composites_including_carmichael(self, c):
+        assert not nt.is_probable_prime(c)
+
+    def test_rejects_negatives_and_zero(self):
+        assert not nt.is_probable_prime(0)
+        assert not nt.is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert nt.is_probable_prime(2 ** 127 - 1)
+
+    def test_large_known_composite(self):
+        assert not nt.is_probable_prime(2 ** 127 + 1)
+
+    def test_mersenne_521(self):
+        assert nt.is_probable_prime(2 ** 521 - 1)
+
+    @given(st.integers(2, 10_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n ** 0.5) + 1)) and n >= 2
+        assert nt.is_probable_prime(n) == by_trial
+
+
+class TestModInv:
+    @given(st.integers(1, 10 ** 9))
+    def test_inverse_property(self, a):
+        p = 2 ** 61 - 1  # prime modulus
+        inv = nt.modinv(a % p or 1, p)
+        assert (a % p or 1) * inv % p == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError, match="no inverse"):
+            nt.modinv(6, 9)
+
+
+class TestPrimeGeneration:
+    def test_generated_prime_size_and_primality(self):
+        drbg = HmacDrbg(b"pgen")
+        p = nt.generate_prime(64, drbg)
+        assert p.bit_length() == 64
+        assert nt.is_probable_prime(p)
+
+    def test_deterministic_from_seed(self):
+        p1 = nt.generate_prime(48, HmacDrbg(b"same"))
+        p2 = nt.generate_prime(48, HmacDrbg(b"same"))
+        assert p1 == p2
+
+    def test_rejects_tiny_size(self):
+        with pytest.raises(ValueError):
+            nt.generate_prime(1, HmacDrbg(b"x"))
+
+    def test_prime_with_factor_structure(self):
+        drbg = HmacDrbg(b"dsa-like")
+        q = nt.generate_prime(32, drbg)
+        p = nt.generate_prime_with_factor(128, q, drbg)
+        assert p.bit_length() == 128
+        assert (p - 1) % q == 0
+        assert nt.is_probable_prime(p)
+
+    def test_prime_with_factor_rejects_oversized_q(self):
+        drbg = HmacDrbg(b"x")
+        q = nt.generate_prime(64, drbg)
+        with pytest.raises(ValueError):
+            nt.generate_prime_with_factor(64, q, drbg)
+
+    def test_group_generator_has_order_q(self):
+        drbg = HmacDrbg(b"ggen")
+        q = nt.generate_prime(24, drbg)
+        p = nt.generate_prime_with_factor(96, q, drbg)
+        g = nt.find_group_generator(p, q, drbg)
+        assert pow(g, q, p) == 1
+        assert g != 1
+
+
+class TestTonelliShanks:
+    @given(st.integers(1, 10 ** 6))
+    @settings(max_examples=100)
+    def test_root_squares_back(self, x):
+        p = 2 ** 61 - 1
+        square = x * x % p
+        root = nt.tonelli_shanks(square, p)
+        assert root * root % p == square
+
+    def test_zero(self):
+        assert nt.tonelli_shanks(0, 101) == 0
+
+    def test_non_residue_raises(self):
+        # 5 is a non-residue mod 7 (squares mod 7: 1,2,4).
+        with pytest.raises(ValueError, match="not a quadratic residue"):
+            nt.tonelli_shanks(5, 7)
+
+    def test_p_equals_1_mod_4_path(self):
+        """p ≡ 1 (mod 4) exercises the full Tonelli-Shanks loop."""
+        p = 13  # 13 % 4 == 1
+        for x in range(1, 13):
+            square = x * x % p
+            root = nt.tonelli_shanks(square, p)
+            assert root * root % p == square
+
+
+class TestLegendre:
+    def test_residue(self):
+        assert nt.legendre_symbol(4, 7) == 1
+
+    def test_non_residue(self):
+        assert nt.legendre_symbol(5, 7) == -1
+
+    def test_zero(self):
+        assert nt.legendre_symbol(7, 7) == 0

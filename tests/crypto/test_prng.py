@@ -1,0 +1,120 @@
+"""Tests for the HMAC-DRBG and derived generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.prng import HmacDrbg, derive_drbg, rng_from_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert HmacDrbg(b"seed").generate(64) == HmacDrbg(b"seed").generate(64)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(b"seed1").generate(32) != HmacDrbg(b"seed2").generate(32)
+
+    def test_personalization_separates(self):
+        a = HmacDrbg(b"seed", personalization=b"x").generate(32)
+        b = HmacDrbg(b"seed", personalization=b"y").generate(32)
+        assert a != b
+
+    def test_stream_position_matters(self):
+        drbg = HmacDrbg(b"seed")
+        first = drbg.generate(32)
+        second = drbg.generate(32)
+        assert first != second
+
+    def test_chunking_independence(self):
+        """Draws of 16+16 bytes differ from one 32-byte draw by design
+        (each generate call finalises state), but each is reproducible."""
+        a = HmacDrbg(b"s")
+        b = HmacDrbg(b"s")
+        assert a.generate(16) + a.generate(16) == b.generate(16) + b.generate(16)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(b"seed")
+        b = HmacDrbg(b"seed")
+        b.reseed(b"extra")
+        assert a.generate(32) != b.generate(32)
+
+
+class TestGenerate:
+    @given(st.integers(0, 500))
+    def test_length(self, n):
+        assert len(HmacDrbg(b"s").generate(n)) == n
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").generate(-1)
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            HmacDrbg("not bytes")  # type: ignore[arg-type]
+
+
+class TestRandomInt:
+    @given(st.integers(1, 10 ** 12))
+    def test_range(self, bound):
+        value = HmacDrbg(b"s").random_int(bound)
+        assert 0 <= value < bound
+
+    def test_bound_one_always_zero(self):
+        drbg = HmacDrbg(b"s")
+        assert all(drbg.random_int(1) == 0 for _ in range(10))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").random_int(0)
+
+    def test_no_gross_bias(self):
+        """Uniformity smoke test: all residues of a small bound occur."""
+        drbg = HmacDrbg(b"bias")
+        counts = [0] * 5
+        for _ in range(2000):
+            counts[drbg.random_int(5)] += 1
+        assert min(counts) > 300  # expected 400 each
+
+    def test_range_inclusive(self):
+        drbg = HmacDrbg(b"r")
+        values = {drbg.random_int_range(3, 5) for _ in range(100)}
+        assert values == {3, 4, 5}
+
+    def test_range_single_point(self):
+        assert HmacDrbg(b"r").random_int_range(7, 7) == 7
+
+    def test_range_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"r").random_int_range(5, 3)
+
+
+class TestCoin:
+    def test_both_sides_occur(self):
+        drbg = HmacDrbg(b"coin")
+        flips = {drbg.coin() for _ in range(64)}
+        assert flips == {0, 1}
+
+    def test_roughly_fair(self):
+        drbg = HmacDrbg(b"fair")
+        heads = sum(drbg.coin() for _ in range(2000))
+        assert 850 < heads < 1150
+
+
+class TestDerive:
+    def test_children_independent(self):
+        root = HmacDrbg(b"root")
+        a = derive_drbg(root, b"a")
+        root2 = HmacDrbg(b"root")
+        b = derive_drbg(root2, b"b")
+        assert a.generate(32) != b.generate(32)
+
+    def test_derivation_deterministic(self):
+        a = derive_drbg(HmacDrbg(b"root"), b"x").generate(32)
+        b = derive_drbg(HmacDrbg(b"root"), b"x").generate(32)
+        assert a == b
+
+
+class TestNumpyRng:
+    def test_seeded_reproducible(self):
+        assert rng_from_seed(7).integers(0, 100, 5).tolist() == \
+            rng_from_seed(7).integers(0, 100, 5).tolist()

@@ -1,0 +1,126 @@
+"""Cross-scheme tests: ECDSA, EC-Schnorr, and the scheme registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import available_schemes, get_scheme
+from repro.crypto.ecdsa import Ecdsa
+from repro.crypto.schnorr import EcSchnorr
+from repro.exceptions import SignatureError
+
+ALL_SCHEMES = ["dsa-512", "dsa-1024", "ecdsa-p-256", "schnorr-p-256"]
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+class TestSchemeContract:
+    """Every registered scheme satisfies the SignatureScheme contract."""
+
+    def test_roundtrip(self, name):
+        scheme = get_scheme(name)
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        sig = scheme.sign(kp.signing_key, b"challenge")
+        assert scheme.verify(kp.verify_key, b"challenge", sig)
+
+    def test_wrong_message_rejected(self, name):
+        scheme = get_scheme(name)
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        sig = scheme.sign(kp.signing_key, b"m1")
+        assert not scheme.verify(kp.verify_key, b"m2", sig)
+
+    def test_cross_key_rejected(self, name):
+        scheme = get_scheme(name)
+        kp1 = scheme.keygen_from_seed(b"1" * 32)
+        kp2 = scheme.keygen_from_seed(b"2" * 32)
+        sig = scheme.sign(kp1.signing_key, b"m")
+        assert not scheme.verify(kp2.verify_key, b"m", sig)
+
+    def test_keygen_deterministic(self, name):
+        scheme = get_scheme(name)
+        assert scheme.keygen_from_seed(b"x" * 32) == scheme.keygen_from_seed(b"x" * 32)
+
+    def test_empty_signature_rejected(self, name):
+        scheme = get_scheme(name)
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        assert not scheme.verify(kp.verify_key, b"m", b"")
+
+    def test_bitflip_rejected_everywhere(self, name):
+        scheme = get_scheme(name)
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        sig = scheme.sign(kp.signing_key, b"m")
+        for pos in range(0, len(sig), max(1, len(sig) // 8)):
+            mutated = bytearray(sig)
+            mutated[pos] ^= 0x40
+            assert not scheme.verify(kp.verify_key, b"m", bytes(mutated)), \
+                f"bit flip at byte {pos} accepted"
+
+
+class TestRegistry:
+    def test_all_expected_schemes_present(self):
+        names = available_schemes()
+        for expected in ALL_SCHEMES:
+            assert expected in names
+
+    def test_unknown_scheme_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_scheme("rsa-4096")
+
+
+class TestEcdsaSpecifics:
+    def test_signature_length(self):
+        scheme = Ecdsa()
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        assert len(scheme.sign(kp.signing_key, b"m")) == 64
+
+    def test_verify_key_is_compressed_point(self):
+        scheme = Ecdsa()
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        assert len(kp.verify_key) == 33
+        assert kp.verify_key[0] in (2, 3)
+
+    def test_sign_rejects_bad_key_length(self):
+        with pytest.raises(SignatureError):
+            Ecdsa().sign(b"short", b"m")
+
+    def test_garbage_verify_key_rejected(self):
+        scheme = Ecdsa()
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        sig = scheme.sign(kp.signing_key, b"m")
+        assert not scheme.verify(b"\x02" + b"\x00" * 32, b"m", sig)
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=10)
+    def test_roundtrip_messages(self, message):
+        scheme = Ecdsa()
+        kp = scheme.keygen_from_seed(b"prop" * 8)
+        sig = scheme.sign(kp.signing_key, message)
+        assert scheme.verify(kp.verify_key, message, sig)
+
+
+class TestSchnorrSpecifics:
+    def test_signature_layout(self):
+        scheme = EcSchnorr()
+        kp = scheme.keygen_from_seed(b"R" * 32)
+        sig = scheme.sign(kp.signing_key, b"m")
+        assert len(sig) == 33 + 32  # compressed commitment + scalar
+
+    def test_key_prefixing_blocks_key_substitution(self):
+        """A signature under key A must not verify under any other key."""
+        scheme = EcSchnorr()
+        kp_a = scheme.keygen_from_seed(b"a" * 32)
+        kp_b = scheme.keygen_from_seed(b"b" * 32)
+        sig = scheme.sign(kp_a.signing_key, b"m")
+        assert not scheme.verify(kp_b.verify_key, b"m", sig)
+
+    def test_sign_rejects_bad_key(self):
+        with pytest.raises(SignatureError):
+            EcSchnorr().sign(b"nope", b"m")
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=10)
+    def test_roundtrip_messages(self, message):
+        scheme = EcSchnorr()
+        kp = scheme.keygen_from_seed(b"prop" * 8)
+        assert scheme.verify(
+            kp.verify_key, message, scheme.sign(kp.signing_key, message)
+        )

@@ -1,0 +1,166 @@
+"""Adversary-model tests: every Section VI attack must be defeated, and
+each attack must be *demonstrably live* when its defence is removed."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.protocols.adversary import (
+    Eavesdropper,
+    HelperDataTamperer,
+    ReplayAttacker,
+    tamper_stored_helper,
+)
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import IdentificationResponse, Message
+from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+
+
+@pytest.fixture
+def params():
+    return SystemParams.paper_defaults(n=200)
+
+
+@pytest.fixture
+def population(params):
+    return UserPopulation(params, size=4,
+                          noise=BoundedUniformNoise(params.t), seed=31)
+
+
+@pytest.fixture
+def stack(params, fast_scheme, population):
+    device = BiometricDevice(params, fast_scheme, seed=b"device")
+    server = AuthenticationServer(params, fast_scheme, seed=b"server")
+    for i, user_id in enumerate(population.user_ids()):
+        run_enrollment(device, server, DuplexLink(), user_id,
+                       population.template(i))
+    return device, server
+
+
+class TestEavesdropper:
+    def test_sees_only_public_data(self, stack, population):
+        """The wiretap observes sketches and helper data — all public by
+        the fuzzy extractor's security argument — and no biometric."""
+        device, server = stack
+        tap = Eavesdropper()
+        link = DuplexLink()
+        link.to_server.add_hook(tap.hook)
+        link.to_device.add_hook(tap.hook)
+        bio = population.genuine_reading(1)
+        run = run_identification(device, server, link, bio)
+        assert run.outcome.identified
+        assert len(tap.frames) == 4
+        # The raw biometric reading never appears on the wire.
+        bio_bytes = bio.astype(">i8").tobytes()
+        for frame in tap.frames:
+            assert bio_bytes not in frame
+
+    def test_observed_messages_decode(self, stack, population):
+        device, server = stack
+        tap = Eavesdropper()
+        link = DuplexLink()
+        link.to_server.add_hook(tap.hook)
+        run_identification(device, server, link, population.genuine_reading(0))
+        assert all(isinstance(m, Message) for m in tap.observed_messages())
+
+
+class TestHelperDataTampering:
+    def test_in_transit_tampering_defeated(self, stack, population):
+        device, server = stack
+        tamperer = HelperDataTamperer(coordinate=0, delta=1)
+        link = DuplexLink()
+        link.to_device.add_hook(tamperer.hook)
+        run = run_identification(device, server, link,
+                                 population.genuine_reading(2))
+        assert tamperer.tampered_count == 1, "attack did not fire"
+        assert not run.outcome.identified
+
+    def test_at_rest_tampering_defeated(self, stack, population):
+        device, server = stack
+        tamper_stored_helper(server.store, "user-0001", coordinate=3, delta=1)
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(1))
+        assert not run.outcome.identified
+
+    def test_other_users_unaffected_by_at_rest_tampering(self, stack,
+                                                         population):
+        device, server = stack
+        tamper_stored_helper(server.store, "user-0001")
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(2))
+        assert run.outcome.identified and run.outcome.user_id == "user-0002"
+
+    def test_attack_is_live_without_robustness(self, params, fast_scheme,
+                                               population):
+        """Sanity: with a NON-robust sketch the same tamper changes the
+        recovered template silently — proving the hash is load-bearing."""
+        from repro.core.sketch import ChebyshevSketch
+        from repro.crypto.prng import HmacDrbg
+
+        sketcher = ChebyshevSketch(params)
+        x = population.template(0)
+        s = sketcher.sketch(x, HmacDrbg(b"t"))
+        # Nudge one movement by 1 (<= t): the shifted reading stays inside
+        # the acceptance window, so plain Rec silently returns x - 1 on
+        # that coordinate instead of aborting.
+        tampered = s.copy()
+        tampered[0] = int(s[0]) + (1 if s[0] <= 0 else -1)
+        z = sketcher.recover(x, tampered)
+        assert not np.array_equal(z, sketcher.line.reduce(x))
+
+
+class TestReplay:
+    def test_replayed_response_rejected(self, stack, population):
+        device, server = stack
+        attacker = ReplayAttacker()
+        link = DuplexLink()
+        link.to_server.add_hook(attacker.capture_hook)
+        bio = population.genuine_reading(3)
+        first = run_identification(device, server, link, bio)
+        assert first.identified if hasattr(first, "identified") else \
+            first.outcome.identified
+        assert attacker.captured is not None
+
+        # Open a fresh session, then answer it with the captured response.
+        request = device.probe_sketch(population.genuine_reading(3))
+        challenge = server.handle_identification_request(request)
+        replayed = Message.decode(attacker.replay())
+        assert isinstance(replayed, IdentificationResponse)
+        outcome = server.handle_identification_response(replayed)
+        assert not outcome.identified, "replayed signature must be rejected"
+
+    def test_replay_would_succeed_without_fresh_challenges(self, stack,
+                                                           population,
+                                                           fast_scheme):
+        """Sanity: the signature itself still verifies against the old
+        challenge — freshness, not the signature, is what stops replay."""
+        device, server = stack
+        bio = population.genuine_reading(3)
+        request = device.probe_sketch(bio)
+        challenge = server.handle_identification_request(request)
+        response = device.respond_identification(
+            bio, challenge.helper_data, challenge.challenge,
+            challenge.session_id,
+        )
+        from repro.protocols.device import signed_payload
+
+        record = server.store.get("user-0003")
+        payload = signed_payload(challenge.challenge, response.nonce)
+        assert fast_scheme.verify(record.verify_key, payload,
+                                  response.signature)
+
+
+class TestImpostor:
+    def test_near_miss_impostor_rejected(self, stack, population, params):
+        """A reading just past the threshold on one coordinate: the sketch
+        search may or may not match, but identification must not succeed
+        with a *wrong* user, and the genuine user path still works."""
+        device, server = stack
+        bio = population.template(0).copy()
+        bio[0] = (bio[0] + params.t + params.a) % params.half_range
+        run = run_identification(device, server, DuplexLink(), bio)
+        if run.outcome.identified:
+            assert run.outcome.user_id == "user-0000"

@@ -1,0 +1,130 @@
+"""Tests for the server audit trail."""
+
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.protocols.device import BiometricDevice
+from repro.protocols.runners import (
+    run_baseline_identification,
+    run_enrollment,
+    run_identification,
+    run_verification,
+)
+from repro.protocols.server import AuditEvent, AuthenticationServer
+from repro.protocols.transport import DuplexLink
+
+
+@pytest.fixture
+def params():
+    return SystemParams.paper_defaults(n=150)
+
+
+@pytest.fixture
+def stack(params, fast_scheme):
+    population = UserPopulation(params, size=3,
+                                noise=BoundedUniformNoise(params.t), seed=1)
+    device = BiometricDevice(params, fast_scheme, seed=b"d")
+    server = AuthenticationServer(params, fast_scheme, seed=b"s")
+    for i, user_id in enumerate(population.user_ids()):
+        run_enrollment(device, server, DuplexLink(), user_id,
+                       population.template(i))
+    return device, server, population
+
+
+class TestAuditTrail:
+    def test_enrollment_events(self, stack):
+        _, server, _ = stack
+        events = server.audit_log("enroll-ok")
+        assert [e.user_id for e in events] == [
+            "user-0000", "user-0001", "user-0002"]
+
+    def test_duplicate_enrollment_audited(self, stack, params):
+        device, server, population = stack
+        run_enrollment(device, server, DuplexLink(), "user-0000",
+                       population.template(0))
+        refused = server.audit_log("enroll-refused")
+        assert len(refused) == 1
+        assert refused[0].user_id == "user-0000"
+
+    def test_successful_identification_audited(self, stack):
+        device, server, population = stack
+        run_identification(device, server, DuplexLink(),
+                           population.genuine_reading(1))
+        assert server.audit_log("identify-challenge")[-1].user_id == \
+            "user-0001"
+        assert server.audit_log("identify-ok")[-1].user_id == "user-0001"
+
+    def test_failed_identification_audited(self, stack):
+        device, server, population = stack
+        run_identification(device, server, DuplexLink(),
+                           population.impostor_reading())
+        failures = server.audit_log("identify-fail")
+        assert failures and failures[-1].detail == "no sketch match"
+
+    def test_verification_success_audited(self, stack):
+        device, server, population = stack
+        run_verification(device, server, DuplexLink(), "user-0002",
+                         population.genuine_reading(2))
+        assert server.audit_log("verify-ok")[-1].user_id == "user-0002"
+
+    def test_forged_verification_audited(self, stack, fast_scheme):
+        """A server-side verify failure (forged signature) is logged.
+
+        A wrong *biometric* fails device-side (Rep aborts before any
+        response reaches the server), so the server-side failure path
+        needs an attacker who answers the challenge with a signature
+        under the wrong key.
+        """
+        _, server, _ = stack
+        from repro.protocols.device import signed_payload
+        from repro.protocols.messages import (
+            VerificationRequest,
+            VerificationResponse,
+        )
+
+        challenge = server.handle_verification_request(
+            VerificationRequest(user_id="user-0002"))
+        forged_keys = fast_scheme.keygen_from_seed(b"attacker" * 4)
+        nonce = b"n" * 16
+        signature = fast_scheme.sign(
+            forged_keys.signing_key,
+            signed_payload(challenge.challenge, nonce),
+        )
+        outcome = server.handle_verification_response(VerificationResponse(
+            session_id=challenge.session_id, signature=signature,
+            nonce=nonce,
+        ))
+        assert not outcome.verified
+        assert server.audit_log("verify-fail")[-1].user_id == "user-0002"
+
+    def test_baseline_batch_audited(self, stack):
+        device, server, population = stack
+        run_baseline_identification(device, server, DuplexLink(),
+                                    population.genuine_reading(0))
+        batches = server.audit_log("baseline-batch")
+        assert batches and "3 records" in batches[-1].detail
+
+    def test_sequence_monotone(self, stack):
+        device, server, population = stack
+        run_identification(device, server, DuplexLink(),
+                           population.genuine_reading(0))
+        sequences = [e.sequence for e in server.audit_log()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_capacity_bound(self, params, fast_scheme):
+        server = AuthenticationServer(params, fast_scheme, seed=b"cap",
+                                      audit_capacity=5)
+        for i in range(12):
+            server._record_event("test", f"user-{i}")
+        events = server.audit_log()
+        assert len(events) == 5
+        assert events[0].user_id == "user-7"  # oldest evicted
+
+    def test_filter_returns_copies_only(self, stack):
+        _, server, _ = stack
+        before = len(server.audit_log())
+        server.audit_log().append(
+            AuditEvent(sequence=999, kind="bogus"))
+        assert len(server.audit_log()) == before

@@ -1,0 +1,131 @@
+"""Unit tests for the biometric device actor ``BioD``."""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.extractor import HelperData
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError, RecoveryError
+from repro.protocols.device import BiometricDevice, signed_payload
+from repro.protocols.messages import EnrollmentSubmission, IdentificationRequest
+
+
+@pytest.fixture
+def params():
+    return SystemParams.paper_defaults(n=120)
+
+
+@pytest.fixture
+def device(params, fast_scheme):
+    return BiometricDevice(params, fast_scheme, seed=b"unit-device")
+
+
+@pytest.fixture
+def population(params):
+    return UserPopulation(params, size=2,
+                          noise=BoundedUniformNoise(params.t), seed=13)
+
+
+class TestEnroll:
+    def test_submission_shape(self, device, population):
+        submission = device.enroll("alice", population.template(0))
+        assert isinstance(submission, EnrollmentSubmission)
+        assert submission.user_id == "alice"
+        assert len(submission.verify_key) > 0
+        HelperData.from_bytes(submission.helper_data)  # parses
+
+    def test_verify_key_matches_reproducible_secret(self, device, params,
+                                                    population, fast_scheme):
+        """The pk the server stores must correspond to the sk the device
+        re-derives from a later reading — the paper's core key lifecycle."""
+        template = population.template(0)
+        submission = device.enroll("alice", template)
+        secret = device.fe.reproduce(
+            population.genuine_reading(0),
+            HelperData.from_bytes(submission.helper_data),
+        )
+        keypair = fast_scheme.keygen_from_seed(secret)
+        assert keypair.verify_key == submission.verify_key
+
+    def test_enrollments_use_fresh_randomness(self, device, population):
+        s1 = device.enroll("a", population.template(0))
+        s2 = device.enroll("b", population.template(0))
+        # Same template, fresh extractor seed -> different helper data/pk.
+        assert s1.helper_data != s2.helper_data
+        assert s1.verify_key != s2.verify_key
+
+    def test_device_retains_no_biometric_state(self, device, population):
+        """After enrollment the device's attribute set holds no template
+        or key material (the paper's 'erases (ID, Bio, sk) immediately')."""
+        template = population.template(0)
+        device.enroll("alice", template)
+        state_values = vars(device).values()
+        for value in state_values:
+            assert not isinstance(value, np.ndarray)
+
+    def test_rejects_wrong_dimension(self, device):
+        with pytest.raises(Exception):
+            device.enroll("x", np.zeros(7, dtype=np.int64))
+
+
+class TestProbe:
+    def test_probe_is_valid_sketch(self, device, params, population):
+        request = device.probe_sketch(population.genuine_reading(0))
+        assert isinstance(request, IdentificationRequest)
+        device.fe.sketcher.validate_sketch(request.sketch)
+
+    def test_probe_never_contains_reading(self, device, params, population):
+        """The sketch hides the reading: recovering the reading from the
+        sketch alone requires guessing the interval (Theorem 3)."""
+        reading = population.genuine_reading(0)
+        request = device.probe_sketch(reading)
+        # movements are bounded by ka/2 = 200; readings span ±100000.
+        assert int(np.max(np.abs(request.sketch))) <= params.interval_width // 2
+
+
+class TestRespond:
+    def test_respond_roundtrip(self, device, population, fast_scheme):
+        template = population.template(0)
+        submission = device.enroll("alice", template)
+        response = device.respond_identification(
+            population.genuine_reading(0), submission.helper_data,
+            b"c" * 16, b"s" * 16,
+        )
+        payload = signed_payload(b"c" * 16, response.nonce)
+        assert fast_scheme.verify(submission.verify_key, payload,
+                                  response.signature)
+
+    def test_respond_wrong_user_raises(self, device, population):
+        submission = device.enroll("alice", population.template(0))
+        with pytest.raises(RecoveryError):
+            device.respond_identification(
+                population.genuine_reading(1), submission.helper_data,
+                b"c" * 16, b"s" * 16,
+            )
+
+    def test_respond_malformed_helper_raises(self, device, population):
+        with pytest.raises(ParameterError):
+            device.respond_identification(
+                population.genuine_reading(0), b"garbage",
+                b"c" * 16, b"s" * 16,
+            )
+
+    def test_nonces_are_fresh(self, device, population):
+        submission = device.enroll("alice", population.template(0))
+        r1 = device.respond_identification(
+            population.genuine_reading(0), submission.helper_data,
+            b"c" * 16, b"s" * 16)
+        r2 = device.respond_identification(
+            population.genuine_reading(0), submission.helper_data,
+            b"c" * 16, b"s" * 16)
+        assert r1.nonce != r2.nonce
+
+
+class TestSignedPayload:
+    def test_binds_challenge_and_nonce(self):
+        assert signed_payload(b"c1", b"n1") != signed_payload(b"c2", b"n1")
+        assert signed_payload(b"c1", b"n1") != signed_payload(b"c1", b"n2")
+
+    def test_framing_injective(self):
+        assert signed_payload(b"ab", b"c") != signed_payload(b"a", b"bc")

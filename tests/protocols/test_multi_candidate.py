@@ -1,0 +1,146 @@
+"""Tests for multi-candidate identification (false-close resolution).
+
+Theorem 2's discussion admits that sketch matching can (with negligible
+probability at paper parameters) return several candidates; the protocol
+resolves the ambiguity cryptographically by challenging candidates in
+order.  These tests force the multiple-match situation deterministically
+(duplicate templates / tampered first candidates) and check the fall-
+through behaviour end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.protocols.adversary import tamper_stored_helper
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import (
+    IdentificationChallenge,
+    IdentificationDecline,
+    IdentificationOutcome,
+)
+from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+
+
+@pytest.fixture
+def params():
+    return SystemParams.paper_defaults(n=150)
+
+
+@pytest.fixture
+def twin_stack(params, fast_scheme):
+    """Two users enrolled from the *same* template (identical twins /
+    duplicate registration): every probe of that template matches both."""
+    population = UserPopulation(params, size=1,
+                                noise=BoundedUniformNoise(params.t), seed=77)
+    device = BiometricDevice(params, fast_scheme, seed=b"twin-device")
+    server = AuthenticationServer(params, fast_scheme, seed=b"twin-server")
+    template = population.template(0)
+    for user_id in ("twin-a", "twin-b"):
+        run = run_enrollment(device, server, DuplexLink(), user_id, template)
+        assert run.outcome.accepted
+    return device, server, population, template
+
+
+class TestFallThrough:
+    def test_first_candidate_tampered_second_succeeds(self, twin_stack):
+        """Insider corrupts twin-a's record; twin-b must still be
+        identified via the decline fall-through."""
+        device, server, population, template = twin_stack
+        tamper_stored_helper(server.store, "twin-a", coordinate=0, delta=1)
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(0))
+        assert run.outcome.identified
+        assert run.outcome.user_id == "twin-b"
+        # The loop cost two challenge rounds: 1 decline + 1 response.
+        assert run.messages > 4
+
+    def test_both_tampered_fails_closed(self, twin_stack):
+        device, server, population, _ = twin_stack
+        tamper_stored_helper(server.store, "twin-a")
+        tamper_stored_helper(server.store, "twin-b")
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(0))
+        assert not run.outcome.identified
+
+    def test_healthy_first_candidate_short_circuits(self, twin_stack):
+        """No tampering: the first candidate answers and no fall-through
+        round occurs (message count = the 4-message happy path)."""
+        device, server, population, _ = twin_stack
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(0))
+        assert run.outcome.identified
+        assert run.outcome.user_id == "twin-a"
+        assert run.messages == 4
+
+
+class TestServerCandidateQueue:
+    def test_decline_advances_to_next_candidate(self, twin_stack):
+        device, server, population, _ = twin_stack
+        probe = device.probe_sketch(population.genuine_reading(0))
+        reply = server.handle_identification_request(probe)
+        assert isinstance(reply, IdentificationChallenge)
+        follow_up = server.handle_identification_decline(
+            IdentificationDecline(session_id=reply.session_id)
+        )
+        assert isinstance(follow_up, IdentificationChallenge)
+        assert follow_up.session_id != reply.session_id
+
+    def test_decline_on_last_candidate_returns_bottom(self, twin_stack):
+        device, server, population, _ = twin_stack
+        probe = device.probe_sketch(population.genuine_reading(0))
+        reply = server.handle_identification_request(probe)
+        second = server.handle_identification_decline(
+            IdentificationDecline(session_id=reply.session_id))
+        final = server.handle_identification_decline(
+            IdentificationDecline(session_id=second.session_id))
+        assert isinstance(final, IdentificationOutcome)
+        assert not final.identified
+
+    def test_decline_with_unknown_session_is_bottom(self, twin_stack):
+        _, server, _, _ = twin_stack
+        outcome = server.handle_identification_decline(
+            IdentificationDecline(session_id=b"\x00" * 16)
+        )
+        assert isinstance(outcome, IdentificationOutcome)
+        assert not outcome.identified
+
+    def test_decline_consumes_session(self, twin_stack):
+        """A declined session id must not be reusable (replay surface)."""
+        device, server, population, _ = twin_stack
+        probe = device.probe_sketch(population.genuine_reading(0))
+        reply = server.handle_identification_request(probe)
+        server.handle_identification_decline(
+            IdentificationDecline(session_id=reply.session_id))
+        again = server.handle_identification_decline(
+            IdentificationDecline(session_id=reply.session_id))
+        assert isinstance(again, IdentificationOutcome)
+        assert not again.identified
+
+    def test_max_candidates_caps_queue(self, params, fast_scheme):
+        population = UserPopulation(params, size=1,
+                                    noise=BoundedUniformNoise(params.t),
+                                    seed=5)
+        device = BiometricDevice(params, fast_scheme, seed=b"cap-d")
+        server = AuthenticationServer(params, fast_scheme, seed=b"cap-s",
+                                      max_candidates=2)
+        template = population.template(0)
+        for i in range(4):  # four identical enrollments
+            run_enrollment(device, server, DuplexLink(), f"clone-{i}",
+                           template)
+        for user_id in ("clone-0", "clone-1", "clone-2", "clone-3"):
+            tamper_stored_helper(server.store, user_id)
+        # All four match; only two may be challenged; all tampered -> ⊥
+        # after exactly 2 declines.
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(0))
+        assert not run.outcome.identified
+        # 1 request + 1 challenge + 2x(decline + follow-up) = 6 messages.
+        assert run.messages == 6
+
+    def test_rejects_zero_max_candidates(self, params, fast_scheme):
+        with pytest.raises(ValueError):
+            AuthenticationServer(params, fast_scheme, max_candidates=0)

@@ -1,0 +1,158 @@
+"""Tests for store persistence and SystemParams serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.prng import HmacDrbg
+from repro.exceptions import ParameterError
+from repro.protocols.database import HelperDataStore, UserRecord
+
+
+class TestParamsSerialisation:
+    def test_dict_roundtrip(self):
+        params = SystemParams.paper_defaults(n=321)
+        assert SystemParams.from_dict(params.to_dict()) == params
+
+    def test_json_roundtrip(self):
+        params = SystemParams(a=7, k=6, v=12, t=20, n=44)
+        assert SystemParams.from_json(params.to_json()) == params
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            SystemParams.from_dict({"a": 1, "k": 2, "v": 3, "t": 1, "n": 1,
+                                    "zz": 9})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ParameterError, match="missing"):
+            SystemParams.from_dict({"a": 1, "k": 2})
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ParameterError, match="malformed"):
+            SystemParams.from_json("{not json")
+
+    def test_rejects_non_object_json(self):
+        with pytest.raises(ParameterError, match="object"):
+            SystemParams.from_json("[1, 2, 3]")
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ParameterError):
+            SystemParams.from_dict({"a": 100, "k": 3, "v": 10, "t": 1,
+                                    "n": 4})
+
+
+class TestStorePersistence:
+    @pytest.fixture
+    def populated_store(self, paper_params, rng):
+        fe = SuccinctFuzzyExtractor(paper_params)
+        store = HelperDataStore(paper_params)
+        templates = {}
+        for name in ("alice", "bob", "carol"):
+            x = fe.sketcher.line.uniform_vector(rng)
+            _, helper = fe.generate(x, HmacDrbg(name.encode()))
+            templates[name] = x
+            store.add(UserRecord(user_id=name,
+                                 verify_key=name.encode() * 4,
+                                 helper_data=helper.to_bytes()))
+        return store, templates, fe
+
+    def test_roundtrip_preserves_records(self, populated_store, tmp_path):
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = HelperDataStore.load(path)
+        assert len(loaded) == len(store)
+        for original, restored in zip(store, loaded):
+            assert original == restored
+
+    def test_roundtrip_preserves_search(self, populated_store, tmp_path,
+                                        paper_params, rng):
+        store, templates, fe = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = HelperDataStore.load(path)
+        noisy = fe.sketcher.line.reduce(
+            templates["bob"] + rng.integers(
+                -paper_params.t, paper_params.t + 1, paper_params.n)
+        )
+        probe = fe.sketcher.sketch(noisy, HmacDrbg(b"probe"))
+        assert [r.user_id for r in loaded.find_by_sketch(probe)] == ["bob"]
+
+    def test_roundtrip_preserves_params(self, populated_store, tmp_path):
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        assert HelperDataStore.load(path).params == store.params
+
+    def test_empty_store_roundtrip(self, paper_params, tmp_path):
+        store = HelperDataStore(paper_params)
+        path = tmp_path / "empty.jsonl"
+        store.save(path)
+        assert len(HelperDataStore.load(path)) == 0
+
+    def test_truncated_file_rejected(self, populated_store, tmp_path):
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        content = path.read_text().splitlines()
+        path.write_text("\n".join(content[:-1]) + "\n")  # drop a record
+        with pytest.raises(ParameterError, match="count mismatch"):
+            HelperDataStore.load(path)
+
+    def test_corrupt_record_rejected(self, populated_store, tmp_path):
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"user_id": "x"}'  # missing fields
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParameterError, match="malformed record"):
+            HelperDataStore.load(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ParameterError, match="header"):
+            HelperDataStore.load(path)
+
+    def test_wrong_format_version_rejected(self, paper_params, tmp_path):
+        import json
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({
+            "format": 99, "params": paper_params.to_dict(), "records": 0,
+        }) + "\n")
+        with pytest.raises(ParameterError, match="unsupported"):
+            HelperDataStore.load(path)
+
+    def test_server_restart_flow(self, populated_store, tmp_path,
+                                 paper_params, fast_scheme, rng):
+        """Full restart: save, reload into a new server, identify."""
+        from repro.protocols.device import BiometricDevice
+        from repro.protocols.runners import run_identification
+        from repro.protocols.server import AuthenticationServer
+        from repro.protocols.transport import DuplexLink
+
+        store, templates, fe = populated_store
+        # Real keys for one user so the challenge-response completes.
+        secret, helper = fe.generate(templates["alice"], HmacDrbg(b"alice"))
+        keypair = fast_scheme.keygen_from_seed(secret)
+        store.replace_helper("alice", helper.to_bytes())
+        store._records[store._by_id["alice"]] = UserRecord(
+            user_id="alice", verify_key=keypair.verify_key,
+            helper_data=helper.to_bytes(),
+        )
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+
+        restarted = AuthenticationServer(
+            paper_params, fast_scheme,
+            store=HelperDataStore.load(path), seed=b"restarted",
+        )
+        device = BiometricDevice(paper_params, fast_scheme, seed=b"dev")
+        noisy = fe.sketcher.line.reduce(
+            templates["alice"] + rng.integers(
+                -paper_params.t, paper_params.t + 1, paper_params.n))
+        run = run_identification(device, restarted, DuplexLink(), noisy)
+        assert run.outcome.identified and run.outcome.user_id == "alice"

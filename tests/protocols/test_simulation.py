@@ -1,0 +1,116 @@
+"""Tests for the deployment workload simulator."""
+
+import pytest
+
+from repro.core.params import SystemParams
+from repro.protocols.simulation import (
+    ClassStats,
+    SimulationReport,
+    TrafficMix,
+    WorkloadSimulator,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def simulator(fast_scheme_module):
+    params = SystemParams.paper_defaults(n=200)
+    return WorkloadSimulator(params, fast_scheme_module, n_users=6, seed=9)
+
+
+@pytest.fixture(scope="module")
+def fast_scheme_module():
+    from repro.crypto.dsa import Dsa
+    from repro.crypto.dsa_groups import GROUP_512
+
+    return Dsa(GROUP_512)
+
+
+class TestTrafficMix:
+    def test_default_sums_to_one(self):
+        TrafficMix()  # must not raise
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ParameterError, match="sums to"):
+            TrafficMix(genuine=0.5, stranger=0.1, noisy_genuine=0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            TrafficMix(genuine=1.2, stranger=-0.2, noisy_genuine=0.0)
+
+
+class TestSimulator:
+    def test_deterministic_given_seed(self, fast_scheme_module):
+        params = SystemParams.paper_defaults(n=200)
+        r1 = WorkloadSimulator(params, fast_scheme_module, n_users=4,
+                               seed=3).run(20)
+        r2 = WorkloadSimulator(params, fast_scheme_module, n_users=4,
+                               seed=3).run(20)
+        for klass in r1.per_class:
+            assert r1.per_class[klass].requests == r2.per_class[klass].requests
+            assert r1.per_class[klass].identified == \
+                r2.per_class[klass].identified
+
+    def test_genuine_traffic_accepted(self, simulator):
+        report = simulator.run(40)
+        genuine = report.per_class["genuine"]
+        assert genuine.requests > 0
+        assert genuine.identified == genuine.requests
+
+    def test_strangers_rejected(self, fast_scheme_module):
+        params = SystemParams.paper_defaults(n=200)
+        sim = WorkloadSimulator(
+            params, fast_scheme_module, n_users=4,
+            mix=TrafficMix(genuine=0.0, stranger=1.0, noisy_genuine=0.0),
+            seed=5,
+        )
+        report = sim.run(15)
+        strangers = report.per_class["stranger"]
+        assert strangers.requests == 15
+        assert strangers.identified == 0
+
+    def test_noisy_genuine_mostly_rejected(self, fast_scheme_module):
+        params = SystemParams.paper_defaults(n=200)
+        sim = WorkloadSimulator(
+            params, fast_scheme_module, n_users=4,
+            mix=TrafficMix(genuine=0.0, stranger=0.0, noisy_genuine=1.0),
+            seed=6,
+        )
+        report = sim.run(10)
+        noisy = report.per_class["noisy_genuine"]
+        assert noisy.requests == 10
+        # The burst pushes coordinates beyond t: identification must fail.
+        assert noisy.identified == 0
+
+    def test_report_aggregates(self, simulator):
+        report = simulator.run(25)
+        assert report.n_requests == 25
+        assert report.total_wire_bytes > 0
+        assert report.throughput_rps > 0
+        assert sum(s.requests for s in report.per_class.values()) == 25
+
+    def test_summary_lines_render(self, simulator):
+        report = simulator.run(10)
+        lines = report.summary_lines()
+        assert any("throughput" in line for line in lines)
+        assert any("genuine" in line for line in lines)
+
+    def test_rejects_zero_requests(self, simulator):
+        with pytest.raises(ParameterError):
+            simulator.run(0)
+
+    def test_rejects_empty_population(self, fast_scheme_module):
+        with pytest.raises(ParameterError):
+            WorkloadSimulator(SystemParams.paper_defaults(n=100),
+                              fast_scheme_module, n_users=0)
+
+
+class TestClassStats:
+    def test_percentile_empty_is_nan(self):
+        import math
+
+        assert math.isnan(ClassStats().percentile(50))
+
+    def test_percentile_values(self):
+        stats = ClassStats(latencies_ms=[1.0, 2.0, 3.0, 4.0])
+        assert stats.percentile(50) == pytest.approx(2.5)

@@ -1,0 +1,75 @@
+"""Tests for the simulated transport layer."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols.messages import EnrollmentAck, VerificationRequest
+from repro.protocols.transport import Channel, DuplexLink, LatencyModel
+
+
+class TestChannel:
+    def test_delivers_equal_message(self):
+        channel = Channel(name="test")
+        message = VerificationRequest(user_id="zoe")
+        delivered = channel.send(message)
+        assert delivered == message
+
+    def test_counts_bytes_and_messages(self):
+        channel = Channel(name="test")
+        message = VerificationRequest(user_id="zoe")
+        channel.send(message)
+        channel.send(message)
+        assert channel.stats.messages == 2
+        assert channel.stats.wire_bytes == 2 * len(message.encode())
+
+    def test_latency_accumulates(self):
+        channel = Channel(name="test",
+                          latency=LatencyModel(base_s=0.001, per_byte_s=0.0))
+        channel.send(EnrollmentAck(user_id="a", accepted=True))
+        channel.send(EnrollmentAck(user_id="a", accepted=True))
+        assert channel.stats.simulated_latency_s == pytest.approx(0.002)
+
+    def test_per_byte_latency(self):
+        model = LatencyModel(base_s=0.0, per_byte_s=1e-6)
+        assert model.transit_time(1000) == pytest.approx(0.001)
+
+    def test_hook_sees_and_modifies_wire(self):
+        channel = Channel(name="test")
+        seen = []
+
+        def tap(wire: bytes) -> bytes:
+            seen.append(wire)
+            return wire
+
+        channel.add_hook(tap)
+        message = VerificationRequest(user_id="zoe")
+        channel.send(message)
+        assert seen == [message.encode()]
+
+    def test_hook_corruption_surfaces_as_protocol_error(self):
+        channel = Channel(name="test")
+        channel.add_hook(lambda wire: wire[: len(wire) // 2])
+        with pytest.raises(ProtocolError):
+            channel.send(VerificationRequest(user_id="zoe"))
+
+    def test_hook_must_return_bytes(self):
+        channel = Channel(name="test")
+        channel.add_hook(lambda wire: None)  # type: ignore[return-value]
+        with pytest.raises(ProtocolError, match="must return bytes"):
+            channel.send(VerificationRequest(user_id="zoe"))
+
+    def test_clear_hooks(self):
+        channel = Channel(name="test")
+        channel.add_hook(lambda wire: wire + b"junk")
+        channel.clear_hooks()
+        assert channel.send(VerificationRequest(user_id="z")) is not None
+
+
+class TestDuplexLink:
+    def test_totals_aggregate_both_directions(self):
+        link = DuplexLink()
+        link.to_server.send(VerificationRequest(user_id="a"))
+        link.to_device.send(EnrollmentAck(user_id="a", accepted=True))
+        assert link.total_messages == 2
+        assert link.total_bytes > 0
+        assert link.simulated_latency_s > 0

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_defaults_are_paper_values(self):
+        args = build_parser().parse_args(["report"])
+        assert (args.unit, args.units_per_interval, args.intervals,
+                args.threshold, args.dimension) == (100, 4, 500, 100, 5000)
+
+    def test_short_flags(self):
+        args = build_parser().parse_args(
+            ["report", "-a", "10", "-k", "8", "-v", "20", "-t", "30",
+             "-n", "64"])
+        assert (args.unit, args.units_per_interval, args.intervals,
+                args.threshold, args.dimension) == (10, 8, 20, 30, 64)
+
+
+class TestReport:
+    def test_prints_table(self, capsys):
+        assert main(["report", "-n", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "44,829 bits" in out
+        assert "Rep. Range" in out
+        assert "[-100000, 100000]" in out
+
+    def test_invalid_parameters_exit_2(self, capsys):
+        assert main(["report", "-t", "99999"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdvise:
+    def test_prints_dimension(self, capsys):
+        assert main(["advise", "--target-bits", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "n >= 81" in out
+        assert "residual key entropy" in out
+
+    def test_respects_geometry(self, capsys):
+        # k=8 gives ~2 bits/coordinate -> roughly half the dimension.
+        assert main(["advise", "-k", "8", "--target-bits", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "n >= 41" in out
+
+
+class TestDemo:
+    def test_end_to_end(self, capsys):
+        code = main(["demo", "-n", "100", "--users", "3",
+                     "--scheme", "dsa-512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identified=True" in out
+        assert "identified=False" in out  # the stranger
+
+    def test_unknown_scheme_fails_cleanly(self, capsys):
+        assert main(["demo", "--scheme", "rsa-types"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code = main(["simulate", "-n", "100", "--users", "3",
+                     "--requests", "12", "--scheme", "dsa-512",
+                     "--genuine", "0.7", "--stranger", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "12 requests" in out
+
+    def test_bad_mix_fails_cleanly(self, capsys):
+        assert main(["simulate", "--genuine", "0.9", "--stranger", "0.9",
+                     "--scheme", "dsa-512", "-n", "100"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""Meta-tests on the public API surface.
+
+Deliverable-level guarantees that are easy to regress silently:
+
+* every public module, class, function and method carries a docstring;
+* ``__all__`` lists resolve (no stale exports);
+* the top-level package re-exports the advertised names;
+* the version is a sane semver string.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.crypto",
+    "repro.coding",
+    "repro.baselines",
+    "repro.biometrics",
+    "repro.protocols",
+    "repro.analysis",
+]
+
+
+def _walk_modules():
+    names = set(PACKAGES)
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.add(f"{package_name}.{info.name}")
+    return sorted(names)
+
+
+ALL_MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} is missing a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_items_documented(module_name):
+    """Every public class/function defined in the module has a docstring,
+    and every public method on those classes does too."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(member):
+                    continue
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"{module_name} has undocumented public items: {undocumented}"
+    )
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_all_lists_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ has stale names: {missing}"
+
+
+class TestTopLevel:
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_headline_exports(self):
+        assert hasattr(repro, "SystemParams")
+        assert hasattr(repro, "SuccinctFuzzyExtractor")
+        assert hasattr(repro, "ChebyshevSketch")
+        assert hasattr(repro, "RecoveryError")
+
+    def test_exception_hierarchy(self):
+        from repro import (
+            RecoveryError,
+            ReproError,
+            TamperDetectedError,
+        )
+
+        assert issubclass(TamperDetectedError, RecoveryError)
+        assert issubclass(RecoveryError, ReproError)
+
+    def test_cli_entry_point_importable(self):
+        from repro.cli import main  # noqa: F401
+        from repro import __main__  # noqa: F401
