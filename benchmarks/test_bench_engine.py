@@ -1,0 +1,96 @@
+"""Benchmark: the scale-out engine's batch/sharded search vs per-probe loops.
+
+The engine exists so protocol layers stop looping Python-side per
+request.  This bench quantifies what that buys at serving-shaped database
+sizes (N = 10k and 100k sketches), comparing:
+
+* ``loop``    — B independent ``VectorizedScanIndex.search`` calls,
+* ``batch``   — one ``search_batch`` bitmask-LUT pass,
+* ``sharded`` — one ``ShardedSketchIndex.search_batch`` across 4 shards,
+
+and asserts the PR's acceptance floor: batch throughput >= 5x the
+single-probe loop at N = 100k.  The workload uses a bench-sized dimension
+(n = 128) so the 100k matrix stays ~50 MB; the kernels' relative cost is
+dimension-independent once past the first pruning chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import VectorizedScanIndex
+from repro.core.params import SystemParams
+from repro.engine.bench import make_workload, run_engine_bench
+from repro.engine.sharded import ShardedSketchIndex
+
+DIMENSION = 128
+N_PROBES = 64
+DB_SIZES = [10_000, 100_000]
+
+_built: dict[int, tuple] = {}
+
+
+def _build(n_records: int):
+    if n_records in _built:
+        return _built[n_records]
+    params = SystemParams.paper_defaults(n=DIMENSION)
+    matrix, probes = make_workload(params, n_records, N_PROBES, seed=2017)
+    flat = VectorizedScanIndex(params, capacity=n_records)
+    flat.add_many(matrix)
+    sharded = ShardedSketchIndex(params, shards=4)
+    sharded.add_many(matrix)
+    flat.search(probes[0])            # warm ufunc dispatch
+    flat.search_batch(probes[:1])
+    sharded.search_batch(probes[:1])
+    _built[n_records] = (flat, sharded, probes)
+    return _built[n_records]
+
+
+@pytest.mark.parametrize("n_records", DB_SIZES)
+def test_bench_single_probe_loop(benchmark, n_records):
+    flat, _, probes = _build(n_records)
+    result = benchmark.pedantic(
+        lambda: [flat.search(probe) for probe in probes],
+        rounds=2, iterations=1,
+    )
+    assert sum(len(r) for r in result) >= N_PROBES  # every probe planted
+
+
+@pytest.mark.parametrize("n_records", DB_SIZES)
+def test_bench_batch_kernel(benchmark, n_records):
+    flat, _, probes = _build(n_records)
+    result = benchmark.pedantic(lambda: flat.search_batch(probes),
+                                rounds=3, iterations=1)
+    assert sum(len(r) for r in result) >= N_PROBES
+
+
+@pytest.mark.parametrize("n_records", DB_SIZES)
+def test_bench_sharded_batch(benchmark, n_records):
+    _, sharded, probes = _build(n_records)
+    result = benchmark.pedantic(lambda: sharded.search_batch(probes),
+                                rounds=3, iterations=1)
+    assert sum(len(r) for r in result) >= N_PROBES
+
+
+def test_batch_is_5x_single_probe_loop_at_100k(benchmark, capsys):
+    """Acceptance floor: batch >= 5x loop throughput at N = 100k.
+
+    ``run_engine_bench`` cross-checks all three modes for identical
+    match sets while timing, so the speedup is parity-guaranteed.
+    """
+    report = benchmark.pedantic(
+        lambda: run_engine_bench(
+            SystemParams.paper_defaults(n=DIMENSION),
+            n_records=100_000, n_probes=N_PROBES, shards=4, seed=2017,
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for line in report.summary_lines():
+            print(line)
+    assert report.batch_speedup >= 5.0, (
+        f"batch search only x{report.batch_speedup:.1f} over the "
+        f"single-probe loop; the engine promises >= 5x at N=100k"
+    )

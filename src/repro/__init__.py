@@ -10,6 +10,25 @@ Hamming/set-difference fuzzy-extractor baselines, and every substrate they
 need (finite fields, BCH/Reed-Solomon codes, DSA/ECDSA/Schnorr signatures,
 strong extractors, synthetic biometric workloads).
 
+Layering (bottom-up):
+
+* :mod:`repro.crypto` / :mod:`repro.coding` — primitives (hashing, DRBG,
+  signatures, extractors; GF(2^m), BCH, Reed-Solomon);
+* :mod:`repro.core` — the succinct fuzzy extractor: ring geometry,
+  Chebyshev sketch, robustness transform, matching conditions, and the
+  single-matrix search indexes with their batch kernels;
+* :mod:`repro.protocols` — the paper's figures as actors and messages
+  (device, server, transport, runners, adversaries, workload simulation)
+  plus the flat helper-data record store;
+* :mod:`repro.engine` — the scale-out identification engine: hash-sharded
+  parallel search over the core kernels, ``(B, n)`` batch probes,
+  mmap-backed shard persistence (O(1) open), and serving counters.  It
+  builds on the core kernels and the protocol layer's record type, and
+  drops in as the server's store (``AuthenticationServer.with_engine``;
+  server/simulation import it lazily to keep the graph acyclic);
+* :mod:`repro.baselines` / :mod:`repro.biometrics` / :mod:`repro.analysis`
+  — comparison schemes, synthetic workloads, and security accounting.
+
 Quick start::
 
     import numpy as np
@@ -41,6 +60,7 @@ from repro.core import (
     VectorizedScanIndex,
     sketches_match,
 )
+from repro.engine import EngineStats, IdentificationEngine, ShardedSketchIndex
 from repro.exceptions import (
     DecodingError,
     EncodingError,
@@ -66,6 +86,9 @@ __all__ = [
     "SystemParams",
     "VectorizedScanIndex",
     "sketches_match",
+    "EngineStats",
+    "IdentificationEngine",
+    "ShardedSketchIndex",
     "DecodingError",
     "EncodingError",
     "EnrollmentError",

@@ -19,9 +19,17 @@ Four subcommands cover the workflows a user reaches for first:
 ``simulate``
     Deployment workload simulation: N users, M identification requests
     with a genuine/stranger/noisy traffic mix; prints throughput and
-    latency percentiles.
+    latency percentiles.  ``--engine-shards W`` serves the workload from
+    the sharded identification engine instead of the flat store and
+    appends the engine's counters to the report.
 
-All numeric arguments default to the paper's Table II values.
+``engine-bench``
+    Sketch-search throughput shootout: single-probe loop vs the batch
+    kernel vs the sharded engine, on a synthetic N-record database
+    (parity-checked while timed).
+
+All numeric arguments default to the paper's Table II values
+(``engine-bench`` defaults to a bench-sized dimension instead).
 """
 
 from __future__ import annotations
@@ -121,10 +129,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     params = _params_from(args)
     mix = TrafficMix(genuine=args.genuine, stranger=args.stranger,
                      noisy_genuine=round(1.0 - args.genuine - args.stranger, 9))
-    simulator = WorkloadSimulator(params, get_scheme(args.scheme),
-                                  n_users=args.users, mix=mix,
-                                  seed=args.seed)
+    scheme = get_scheme(args.scheme)
+    if args.engine_shards:
+        simulator = WorkloadSimulator.with_engine(
+            params, scheme, n_users=args.users, mix=mix, seed=args.seed,
+            shards=args.engine_shards, workers=args.workers)
+    else:
+        simulator = WorkloadSimulator(params, scheme, n_users=args.users,
+                                      mix=mix, seed=args.seed)
     report = simulator.run(args.requests)
+    for line in report.summary_lines():
+        print(line)
+    stats = simulator.engine_stats()
+    if stats is not None:
+        for line in stats.summary_lines():
+            print(line)
+    return 0
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import run_engine_bench
+
+    params = SystemParams(a=args.unit, k=args.units_per_interval,
+                          v=args.intervals, t=args.threshold,
+                          n=args.dimension)
+    report = run_engine_bench(params, n_records=args.records,
+                              n_probes=args.probes, shards=args.shards,
+                              workers=args.workers, seed=args.seed)
     for line in report.summary_lines():
         print(line)
     return 0
@@ -171,7 +202,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stranger traffic fraction (default: 0.15)")
     simulate.add_argument("--scheme", default="dsa-1024")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--engine-shards", type=int, default=0,
+                          help="serve from a sharded identification engine "
+                               "with this many shards (0 = classic store)")
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="engine worker threads (default: serial)")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    engine_bench = subparsers.add_parser(
+        "engine-bench",
+        help="sketch-search throughput: loop vs batch vs sharded")
+    engine_bench.add_argument("--unit", "-a", type=int, default=100,
+                              help="number-line unit a (default: 100)")
+    engine_bench.add_argument("--units-per-interval", "-k", type=int,
+                              default=4,
+                              help="units per interval k, even (default: 4)")
+    engine_bench.add_argument("--intervals", "-v", type=int, default=500,
+                              help="interval count v (default: 500)")
+    engine_bench.add_argument("--threshold", "-t", type=int, default=100,
+                              help="Chebyshev threshold t (default: 100)")
+    engine_bench.add_argument("--dimension", "-n", type=int, default=128,
+                              help="template dimension n (default: 128 — "
+                                   "bench-sized, not the paper's 5000)")
+    engine_bench.add_argument("--records", type=int, default=10_000,
+                              help="enrolled sketches N (default: 10000)")
+    engine_bench.add_argument("--probes", type=int, default=64,
+                              help="probe batch size B (default: 64)")
+    engine_bench.add_argument("--shards", type=int, default=4,
+                              help="engine shard count W (default: 4)")
+    engine_bench.add_argument("--workers", type=int, default=None,
+                              help="shard worker threads (default: serial)")
+    engine_bench.add_argument("--seed", type=int, default=0)
+    engine_bench.set_defaults(handler=_cmd_engine_bench)
 
     return parser
 

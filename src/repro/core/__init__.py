@@ -13,7 +13,12 @@ Layering (bottom-up):
 """
 
 from repro.core.extractor import HelperData, SuccinctFuzzyExtractor
-from repro.core.index import NaiveLoopIndex, PrefixBucketIndex, VectorizedScanIndex
+from repro.core.index import (
+    NaiveLoopIndex,
+    PrefixBucketIndex,
+    VectorizedScanIndex,
+    batch_match_rows,
+)
 from repro.core.matching import (
     match_matrix,
     ring_distance_ka,
@@ -31,6 +36,7 @@ __all__ = [
     "NaiveLoopIndex",
     "PrefixBucketIndex",
     "VectorizedScanIndex",
+    "batch_match_rows",
     "match_matrix",
     "ring_distance_ka",
     "sketches_match",

@@ -33,6 +33,23 @@ Two search structures are provided:
 Both return *candidate row ids whose full sketch satisfies the
 conditions*; ties (multiple matches) are returned in enrollment order and
 resolved by the protocol layer's challenge-response.
+
+This module also hosts the **batch kernels** the scale-out engine
+(:mod:`repro.engine`) is built on:
+
+* :func:`batch_match_rows` — evaluate a ``(B, n)`` probe matrix against an
+  ``(N, n)`` sketch matrix in one pass.  Probes are processed in groups of
+  up to 64; for every coordinate a small lookup table maps each of the
+  ``ka`` ring positions to a 64-bit mask of the probes it satisfies, so
+  one gather + one AND per matrix cell tests a cell against *all* probes
+  in the group at once.  Surviving rows are compacted after every
+  coordinate chunk (the same early-abort pruning the scan uses), and the
+  short tail is verified per probe.  This amortises the scan across the
+  batch: ~``B``-fold less element work than looping :meth:`search`.
+
+* ``add_many`` on every index — bulk insertion as a single validated
+  ``asarray`` + one matrix write, used by the store loaders so a restart
+  does not pay a Python call per enrolled user.
 """
 
 from __future__ import annotations
@@ -45,6 +62,179 @@ from repro.core.matching import ring_distance_ka
 from repro.core.numberline import IntArray
 from repro.core.params import SystemParams
 from repro.exceptions import ParameterError
+
+#: Absolute cap on the ring circumference for the bitmask-LUT path; above
+#: it the per-coordinate tables alone are unreasonably large.
+_LUT_RING_LIMIT = 1 << 20
+
+#: The LUT path also only pays when table construction — ``O(ka)`` work
+#: per coordinate — is small next to the ``O(rows)`` scan work it saves
+#: per coordinate; rings wider than this multiple of the row count fall
+#: back to per-probe scans (identical results, no LUT build).
+_LUT_ROWS_FACTOR = 8
+
+
+def _as_movement_vector(params: SystemParams, vector: IntArray,
+                        what: str) -> np.ndarray:
+    """Validate one movement vector -> contiguous ``(n,)`` int32 array."""
+    arr = np.asarray(vector, dtype=np.int64)
+    if arr.shape != (params.n,):
+        raise ParameterError(
+            f"{what} must have shape ({params.n},), got {arr.shape}"
+        )
+    half = params.interval_width // 2
+    if arr.size and int(np.max(np.abs(arr))) > half:
+        raise ParameterError(
+            f"{what} movements must lie in [-{half}, {half}]"
+        )
+    return arr.astype(np.int32)
+
+
+def _as_sketch_matrix(params: SystemParams, matrix: IntArray,
+                      what: str) -> np.ndarray:
+    """Shape-check a stack of sketch vectors -> ``(B, n)`` int64 array.
+
+    An empty input (``B == 0``) is legal and yields a ``(0, n)`` matrix.
+    No range check: the bucket and naive indexes accept any integers
+    (their arithmetic reduces modulo ``ka``), matching their ``add``.
+    """
+    arr = np.asarray(matrix, dtype=np.int64)
+    if arr.ndim == 1 and arr.size == 0:
+        arr = arr.reshape(0, params.n)
+    if arr.ndim != 2 or arr.shape[1] != params.n:
+        raise ParameterError(
+            f"{what} must have shape (B, {params.n}), got {arr.shape}"
+        )
+    return arr
+
+
+def _as_movement_matrix(params: SystemParams, matrix: IntArray,
+                        what: str) -> np.ndarray:
+    """Validate a stack of movement vectors -> ``(B, n)`` int32 array.
+
+    Shape rules of :func:`_as_sketch_matrix` plus the scan indexes'
+    ``[-ka/2, ka/2]`` range invariant.
+    """
+    arr = _as_sketch_matrix(params, matrix, what)
+    half = params.interval_width // 2
+    if arr.size and int(np.max(np.abs(arr))) > half:
+        raise ParameterError(
+            f"{what} movements must lie in [-{half}, {half}]"
+        )
+    return arr.astype(np.int32)
+
+
+def _scan_survivors(matrix: np.ndarray, probe: np.ndarray, ka: int, t: int,
+                    chunk: int, finish_threshold: int = 64,
+                    survivors: np.ndarray | None = None,
+                    start: int = 0) -> np.ndarray:
+    """Chunked early-abort scan; returns surviving row indices (sorted).
+
+    ``matrix`` is ``(N, n)`` int32 with movements in ``[-ka/2, ka/2]``
+    (memmap-backed matrices are fine); ``survivors``/``start`` allow
+    resuming a partially pruned scan, which the batch kernel uses for its
+    per-probe tail verification.
+    """
+    n = matrix.shape[1]
+    ka32 = np.int32(ka)
+    t32 = np.int32(t)
+    while start < n:
+        few = survivors is not None and survivors.size <= finish_threshold
+        stop = n if few else min(start + chunk, n)
+        if survivors is None:
+            block = matrix[:, start:stop]
+        else:
+            block = matrix[survivors, start:stop]
+        diff = np.abs(block - probe[start:stop].astype(np.int32))
+        ring = np.minimum(diff, ka32 - diff)
+        alive = np.all(ring <= t32, axis=1)
+        if survivors is None:
+            survivors = np.nonzero(alive)[0]
+        else:
+            survivors = survivors[alive]
+        if survivors.size == 0:
+            return survivors
+        start = stop
+    if survivors is None:  # zero-width scan over every row
+        survivors = np.arange(matrix.shape[0], dtype=np.intp)
+    return survivors
+
+
+def _group_masks(group: np.ndarray, columns: range, ka: int,
+                 t: int) -> list[np.ndarray]:
+    """Per-coordinate bitmask LUTs for one probe group.
+
+    For coordinate ``c`` the returned ``(ka,)`` uint64 array maps every
+    ring position to the set of probes (bit ``b`` = probe ``b`` of the
+    group) whose condition it satisfies.
+    """
+    positions = np.arange(ka, dtype=np.int64)
+    bits = np.uint64(1) << np.arange(group.shape[0], dtype=np.uint64)
+    luts = []
+    for c in columns:
+        centre = group[:, c].astype(np.int64) % ka          # (Bg,)
+        diff = np.abs(positions[:, None] - centre[None, :])  # (ka, Bg)
+        ok = np.minimum(diff, ka - diff) <= t
+        luts.append((ok * bits[None, :]).sum(axis=1, dtype=np.uint64))
+    return luts
+
+
+def batch_match_rows(matrix: np.ndarray, probes: np.ndarray, ka: int, t: int,
+                     chunk: int = 8,
+                     pair_threshold: int = 2048) -> list[np.ndarray]:
+    """Row ids matching each probe: the engine's vectorised batch kernel.
+
+    ``matrix`` is ``(N, n)`` int32 and ``probes`` ``(B, n)``, both with
+    movements in ``[-ka/2, ka/2]`` (callers validate); returns ``B``
+    sorted int arrays of row indices whose full sketch is within ring
+    distance ``t`` of the probe on every coordinate.  Equivalent to —
+    and property-tested against — ``B`` independent ``search`` calls.
+
+    Probes are processed in uint64 bitmask groups (see module docstring);
+    once the compacted candidate set drops below ``pair_threshold`` rows
+    the kernel switches to per-probe tail verification, which also serves
+    as the fallback when ``ka`` exceeds the LUT budget (LUT build is
+    ``O(ka)`` per coordinate, so very wide rings over few rows would pay
+    more building tables than scanning).
+    """
+    n_rows = matrix.shape[0]
+    n_cols = matrix.shape[1]
+    results: list[np.ndarray] = []
+    use_lut = ka <= _LUT_RING_LIMIT and ka <= _LUT_ROWS_FACTOR * n_rows
+    for g0 in range(0, probes.shape[0], 64):
+        group = probes[g0:g0 + 64]
+        width = group.shape[0]
+        rows = np.arange(n_rows, dtype=np.int64)
+        full = (np.uint64(1) << np.uint64(width)) - np.uint64(1) \
+            if width < 64 else ~np.uint64(0)
+        acc = np.full(n_rows, full, dtype=np.uint64)
+        start = 0
+        while use_lut and start < n_cols and rows.size > pair_threshold:
+            stop = min(start + chunk, n_cols)
+            luts = _group_masks(group, range(start, stop), ka, t)
+            for c, lut in zip(range(start, stop), luts):
+                acc &= lut[matrix[rows, c] % ka]
+            keep = acc != 0
+            rows = rows[keep]
+            acc = acc[keep]
+            start = stop
+        for b in range(width):
+            if start == 0:
+                # LUT pass never ran (small N or wide ring): scan from
+                # scratch with survivors=None so the first chunks slice
+                # views instead of fancy-indexing an all-rows array.
+                alive = _scan_survivors(
+                    matrix, group[b].astype(np.int32), ka, t, chunk,
+                )
+            else:
+                alive = rows[(acc >> np.uint64(b)) & np.uint64(1) == 1]
+                if start < n_cols:
+                    alive = _scan_survivors(
+                        matrix, group[b].astype(np.int32), ka, t, chunk,
+                        survivors=alive, start=start,
+                    )
+            results.append(np.sort(alive))
+    return results
 
 
 class VectorizedScanIndex:
@@ -72,30 +262,40 @@ class VectorizedScanIndex:
         return self._count
 
     def _check_movements(self, vector: IntArray, what: str) -> np.ndarray:
-        arr = np.asarray(vector, dtype=np.int64)
-        if arr.shape != (self.params.n,):
-            raise ParameterError(
-                f"{what} must have shape ({self.params.n},), got {arr.shape}"
-            )
-        half = self.params.interval_width // 2
-        if arr.size and int(np.max(np.abs(arr))) > half:
-            raise ParameterError(
-                f"{what} movements must lie in [-{half}, {half}]"
-            )
-        return arr.astype(np.int32)
+        return _as_movement_vector(self.params, vector, what)
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the backing matrix so ``extra`` more rows fit."""
+        needed = self._count + extra
+        capacity = max(self._matrix.shape[0], 1)
+        if needed <= self._matrix.shape[0]:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, self.params.n), dtype=np.int32)
+        grown[: self._count] = self._matrix[: self._count]
+        self._matrix = grown
 
     def add(self, sketch: IntArray) -> int:
         """Insert a sketch; returns its row id (enrollment order)."""
         sketch = self._check_movements(sketch, "sketch")
-        if self._count == self._matrix.shape[0]:
-            grown = np.empty(
-                (2 * self._matrix.shape[0], self.params.n), dtype=np.int32
-            )
-            grown[: self._count] = self._matrix[: self._count]
-            self._matrix = grown
+        self._reserve(1)
         self._matrix[self._count] = sketch
         self._count += 1
         return self._count - 1
+
+    def add_many(self, sketches: IntArray) -> list[int]:
+        """Bulk-insert a ``(B, n)`` stack of sketches; returns their row ids.
+
+        One validated ``asarray`` and one matrix write — no per-row Python
+        overhead; equivalent to ``[self.add(s) for s in sketches]``.
+        """
+        block = _as_movement_matrix(self.params, sketches, "sketches")
+        self._reserve(block.shape[0])
+        self._matrix[self._count: self._count + block.shape[0]] = block
+        first = self._count
+        self._count += block.shape[0]
+        return list(range(first, self._count))
 
     #: Once the candidate set shrinks below this, the remaining
     #: coordinates are verified in a single operation — iterating tiny
@@ -107,35 +307,28 @@ class VectorizedScanIndex:
         probe = self._check_movements(probe, "probe")
         if self._count == 0:
             return []
-        ka = np.int32(self.params.interval_width)
-        t = np.int32(self.params.t)
-        matrix = self._matrix[: self._count]
-        survivors: np.ndarray | None = None  # None = every row alive
-
-        start = 0
-        while start < self.params.n:
-            few_survivors = (
-                survivors is not None
-                and survivors.size <= self._FINISH_THRESHOLD
-            )
-            stop = (self.params.n if few_survivors
-                    else min(start + self.chunk, self.params.n))
-            if survivors is None:
-                block = matrix[:, start:stop]
-            else:
-                block = matrix[survivors, start:stop]
-            diff = np.abs(block - probe[start:stop])
-            ring = np.minimum(diff, ka - diff)
-            alive = np.all(ring <= t, axis=1)
-            if survivors is None:
-                survivors = np.nonzero(alive)[0]
-            else:
-                survivors = survivors[alive]
-            if survivors.size == 0:
-                return []
-            start = stop
-        assert survivors is not None
+        survivors = _scan_survivors(
+            self._matrix[: self._count], probe,
+            self.params.interval_width, self.params.t,
+            self.chunk, self._FINISH_THRESHOLD,
+        )
         return survivors.tolist()
+
+    def search_batch(self, probes: IntArray) -> list[list[int]]:
+        """Row ids matching each row of a ``(B, n)`` probe matrix.
+
+        One vectorised pass (:func:`batch_match_rows`) instead of ``B``
+        :meth:`search` calls; the returned lists are identical to the
+        per-probe results.
+        """
+        probes = _as_movement_matrix(self.params, probes, "probes")
+        if self._count == 0:
+            return [[] for _ in range(probes.shape[0])]
+        rows = batch_match_rows(
+            self._matrix[: self._count], probes,
+            self.params.interval_width, self.params.t, self.chunk,
+        )
+        return [r.tolist() for r in rows]
 
 
 class PrefixBucketIndex:
@@ -179,6 +372,24 @@ class PrefixBucketIndex:
             bucket = self._bucket(int(sketch[d]))
             self._postings[d].setdefault(bucket, []).append(row_id)
         return row_id
+
+    def add_many(self, sketches: IntArray) -> list[int]:
+        """Bulk-insert a ``(B, n)`` stack of sketches; returns their row ids.
+
+        Validates the whole block with one ``asarray``, then posts the
+        indexed prefix coordinates column-wise.
+        """
+        block = _as_sketch_matrix(self.params, sketches, "sketches")
+        first = len(self._sketches)
+        stored = block.astype(np.int32)
+        self._sketches.extend(stored)
+        for d in range(self.depth):
+            buckets = (block[:, d] % self.params.interval_width) \
+                // self._bucket_width
+            posting = self._postings[d]
+            for offset, bucket in enumerate(buckets.tolist()):
+                posting.setdefault(bucket, []).append(first + offset)
+        return list(range(first, len(self._sketches)))
 
     def _candidate_buckets(self, value: int) -> list[int]:
         centre = self._bucket(value)
@@ -243,6 +454,13 @@ class NaiveLoopIndex:
             )
         self._sketches.append(sketch)
         return len(self._sketches) - 1
+
+    def add_many(self, sketches: IntArray) -> list[int]:
+        """Bulk-insert a ``(B, n)`` stack of sketches; returns their row ids."""
+        block = _as_sketch_matrix(self.params, sketches, "sketches")
+        first = len(self._sketches)
+        self._sketches.extend(block)
+        return list(range(first, len(self._sketches)))
 
     def search(self, probe: IntArray) -> list[int]:
         """Row ids of all enrolled sketches matching ``probe``."""

@@ -1,0 +1,44 @@
+"""Scale-out identification engine: sharded, batched, mmap-backed search.
+
+The core layer answers "does this probe match these sketches"; this layer
+answers it *at service scale*.  Layering (bottom-up):
+
+* :mod:`repro.engine.sharded` — :class:`ShardedSketchIndex`, hash-partitioned
+  sketch search with batch kernels and an optional worker pool;
+* :mod:`repro.engine.storage` — the mmap shard-file store format
+  (O(1) open, lazy records);
+* :mod:`repro.engine.engine` — :class:`IdentificationEngine`, the facade the
+  protocol layer serves traffic through (drop-in for
+  :class:`~repro.protocols.database.HelperDataStore`, plus batch probes,
+  persistence, warm-up, and counters);
+* :mod:`repro.engine.bench` — the throughput harness behind
+  ``repro engine-bench``.
+
+Import discipline: this package imports :mod:`repro.core` and
+:mod:`repro.protocols.database`; protocol modules that want an engine
+import it lazily (inside the constructor) to keep the package graph
+acyclic.
+"""
+
+from repro.engine.bench import EngineBenchReport, make_workload, run_engine_bench
+from repro.engine.engine import (
+    LATENCY_BUCKET_EDGES_US,
+    EngineStats,
+    IdentificationEngine,
+)
+from repro.engine.sharded import ShardedSketchIndex
+from repro.engine.storage import LazyRecordFile, OpenedStore, open_store, write_store
+
+__all__ = [
+    "EngineBenchReport",
+    "make_workload",
+    "run_engine_bench",
+    "LATENCY_BUCKET_EDGES_US",
+    "EngineStats",
+    "IdentificationEngine",
+    "ShardedSketchIndex",
+    "LazyRecordFile",
+    "OpenedStore",
+    "open_store",
+    "write_store",
+]

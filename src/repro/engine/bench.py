@@ -1,0 +1,146 @@
+"""Throughput harness behind ``repro engine-bench``.
+
+Compares the three ways the repo can answer B identification probes
+against an N-record sketch database:
+
+* ``loop``    — B independent :meth:`VectorizedScanIndex.search` calls
+  (the pre-engine behaviour: protocol layers looping Python-side);
+* ``batch``   — one :meth:`VectorizedScanIndex.search_batch` pass
+  (the bitmask-LUT kernel of :func:`repro.core.index.batch_match_rows`);
+* ``sharded`` — one :meth:`ShardedSketchIndex.search_batch` pass across
+  W hash partitions (optionally scanned by a worker pool).
+
+Sketches are sampled directly as uniform movement vectors — exactly the
+distribution enrolled sketches have for independent templates — and each
+probe is planted as a within-``t`` ring perturbation of a random enrolled
+row, so every probe exercises the full verify path with ≥1 genuine hit.
+All three modes are cross-checked for identical match sets while being
+timed, so a reported speedup can never come from a wrong answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import VectorizedScanIndex
+from repro.core.params import SystemParams
+from repro.engine.sharded import ShardedSketchIndex
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class EngineBenchReport:
+    """Timings for one bench configuration (seconds per full probe set)."""
+
+    n_records: int
+    n_probes: int
+    dimension: int
+    shards: int
+    workers: int | None
+    loop_s: float
+    batch_s: float
+    sharded_s: float
+
+    def throughput(self, mode: str) -> float:
+        """Probes per second for ``mode`` (``loop``/``batch``/``sharded``)."""
+        elapsed = {"loop": self.loop_s, "batch": self.batch_s,
+                   "sharded": self.sharded_s}[mode]
+        return self.n_probes / elapsed if elapsed > 0 else float("inf")
+
+    @property
+    def batch_speedup(self) -> float:
+        """How many times the batch pass beats the single-probe loop."""
+        return self.loop_s / self.batch_s if self.batch_s > 0 else float("inf")
+
+    @property
+    def sharded_speedup(self) -> float:
+        """How many times the sharded batch pass beats the loop."""
+        return self.loop_s / self.sharded_s if self.sharded_s > 0 \
+            else float("inf")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable bench table (one string per line)."""
+        lines = [
+            f"engine bench: {self.n_records:,} records x "
+            f"{self.n_probes} probes (n={self.dimension}, "
+            f"shards={self.shards}, workers={self.workers or 1})",
+        ]
+        for mode, label in (("loop", "single-probe loop"),
+                            ("batch", "batch kernel"),
+                            ("sharded", "sharded batch")):
+            lines.append(
+                f"  {label:<18} {self.throughput(mode):>12,.0f} probes/s"
+            )
+        lines.append(
+            f"  speedup vs loop: batch x{self.batch_speedup:.1f}, "
+            f"sharded x{self.sharded_speedup:.1f}"
+        )
+        return lines
+
+
+def make_workload(params: SystemParams, n_records: int, n_probes: int,
+                  seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesize an enrolled-sketch matrix and a planted probe matrix.
+
+    Enrolled movements are uniform on ``[-ka/2, ka/2]``; each probe is a
+    random enrolled row pushed by ring noise of magnitude ``<= t`` per
+    coordinate, wrapped back into range (a guaranteed match).
+    """
+    if n_records < 1 or n_probes < 1:
+        raise ParameterError("need at least one record and one probe")
+    rng = np.random.default_rng(seed)
+    ka = params.interval_width
+    half = ka // 2
+    matrix = rng.integers(-half, half + 1, size=(n_records, params.n),
+                          dtype=np.int64)
+    targets = rng.integers(0, n_records, size=n_probes)
+    noise = rng.integers(-params.t, params.t + 1,
+                         size=(n_probes, params.n), dtype=np.int64)
+    probes = (matrix[targets] + noise + half) % ka - half
+    return matrix, probes
+
+
+def run_engine_bench(params: SystemParams, n_records: int = 10_000,
+                     n_probes: int = 64, shards: int = 4,
+                     workers: int | None = None,
+                     seed: int = 0) -> EngineBenchReport:
+    """Build the workload, run all three modes, verify parity, time them."""
+    matrix, probes = make_workload(params, n_records, n_probes, seed)
+
+    flat = VectorizedScanIndex(params, capacity=n_records)
+    flat.add_many(matrix)
+    sharded = ShardedSketchIndex(params, shards=shards, workers=workers)
+    sharded.add_many(matrix)
+
+    # Warm both code paths (ufunc dispatch, LUT build) outside the timers.
+    flat.search(probes[0])
+    flat.search_batch(probes[:1])
+    sharded.search_batch(probes[:1])
+
+    start = time.perf_counter()
+    loop_results = [flat.search(probe) for probe in probes]
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_results = flat.search_batch(probes)
+    batch_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded_results = sharded.search_batch(probes)
+    sharded_s = time.perf_counter() - start
+    sharded.close()
+
+    if batch_results != loop_results or sharded_results != loop_results:
+        raise AssertionError(
+            "engine bench parity violation: batch/sharded results differ "
+            "from the single-probe loop"
+        )
+
+    return EngineBenchReport(
+        n_records=n_records, n_probes=n_probes, dimension=params.n,
+        shards=shards, workers=workers,
+        loop_s=loop_s, batch_s=batch_s, sharded_s=sharded_s,
+    )

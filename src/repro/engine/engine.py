@@ -1,0 +1,330 @@
+"""The identification engine facade.
+
+:class:`IdentificationEngine` is the production-shaped front door to the
+paper's identification search: a sharded, batch-capable, mmap-persistable
+replacement for the in-memory
+:class:`~repro.protocols.database.HelperDataStore`.  It exposes the same
+record-store surface (``add`` / ``get`` / ``find_by_sketch`` /
+``all_records`` / iteration / ``replace_helper``), so an
+:class:`~repro.protocols.server.AuthenticationServer` can run on top of it
+unchanged, and adds what a serving deployment needs:
+
+* ``search_batch`` / ``find_by_sketch_batch`` — evaluate a ``(B, n)``
+  probe matrix in one vectorised pass instead of ``B`` Python-level
+  round trips;
+* ``save`` / ``open`` — the mmap shard format of
+  :mod:`repro.engine.storage`; a million-record store opens in O(1) and
+  warms on demand;
+* counters — probes served, candidates per probe, and a latency
+  histogram, snapshotted by :meth:`stats` for dashboards and the
+  ``repro engine-bench`` CLI.
+
+Records loaded from disk stay lazy: the engine materialises a record's
+bytes only when an identification hit (or an explicit lookup) needs it.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.params import SystemParams
+from repro.engine.sharded import ShardedSketchIndex
+from repro.engine.storage import LazyRecordFile, open_store, write_store
+from repro.exceptions import EnrollmentError
+from repro.protocols.database import UserRecord
+
+#: Upper edges (microseconds) of the latency histogram buckets; the last
+#: bucket is open-ended.
+LATENCY_BUCKET_EDGES_US = (100, 1_000, 10_000, 100_000)
+
+_BUCKET_LABELS = tuple(
+    f"<={edge}us" for edge in LATENCY_BUCKET_EDGES_US
+) + (f">{LATENCY_BUCKET_EDGES_US[-1]}us",)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of an engine's lifetime counters.
+
+    ``latency_buckets`` maps histogram labels (``<=100us`` …) to counts
+    of *search calls* (a batch of B probes is one call); ``cold_opened``
+    marks engines restored from an mmap store, ``warmed`` whether
+    :meth:`IdentificationEngine.warm` has pre-touched the pages since.
+    """
+
+    enrolled: int
+    shard_sizes: tuple[int, ...]
+    probes_served: int
+    batches_served: int
+    candidates_returned: int
+    cold_opened: bool
+    warmed: bool
+    latency_buckets: dict[str, int]
+
+    @property
+    def candidates_per_probe(self) -> float:
+        """Mean candidate count per probe (NaN before any probe)."""
+        if self.probes_served == 0:
+            return float("nan")
+        return self.candidates_returned / self.probes_served
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable counter summary (one string per line)."""
+        state = "cold-opened" if self.cold_opened else "built in memory"
+        if self.cold_opened and self.warmed:
+            state += ", warmed"
+        lines = [
+            f"engine: {self.enrolled} enrolled across "
+            f"{len(self.shard_sizes)} shard(s) {list(self.shard_sizes)} "
+            f"({state})",
+            f"probes served: {self.probes_served} "
+            f"in {self.batches_served} search call(s), "
+            f"{self.candidates_per_probe:.2f} candidates/probe",
+        ]
+        histogram = "  ".join(
+            f"{label}:{count}" for label, count in self.latency_buckets.items()
+        )
+        lines.append(f"search latency histogram: {histogram}")
+        return lines
+
+
+class IdentificationEngine:
+    """Sharded, batched, persistable identification store + search facade.
+
+    Parameters
+    ----------
+    params:
+        System geometry.
+    shards:
+        Hash partitions for the sketch index.
+    chunk:
+        Coordinate-chunk width for the scan kernels.
+    workers:
+        Thread pool size for parallel shard scans (``None`` = serial).
+    """
+
+    def __init__(self, params: SystemParams, shards: int = 4,
+                 chunk: int = 8, workers: int | None = None) -> None:
+        self.params = params
+        self._index = ShardedSketchIndex(params, shards=shards, chunk=chunk,
+                                         workers=workers)
+        self._base: LazyRecordFile | list[UserRecord] = []
+        self._extra: list[UserRecord] = []
+        self._overrides: dict[int, UserRecord] = {}
+        self._by_id: dict[str, int] | None = {}
+        self._cold_opened = False
+        self._warmed = False
+        self._probes_served = 0
+        self._batches_served = 0
+        self._candidates_returned = 0
+        self._latency_counts = [0] * len(_BUCKET_LABELS)
+
+    # -- record plumbing ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._extra)
+
+    def _record(self, row: int) -> UserRecord:
+        override = self._overrides.get(row)
+        if override is not None:
+            return override
+        base = len(self._base)
+        return self._base[row] if row < base else self._extra[row - base]
+
+    def __iter__(self) -> Iterator[UserRecord]:
+        for row in range(len(self)):
+            yield self._record(row)
+
+    def all_records(self) -> list[UserRecord]:
+        """Snapshot of every record in enrollment order.
+
+        Materialises lazy records — an O(N) walk, intended for the O(N)
+        baseline protocol and for tests, not the identification hot path.
+        """
+        return [self._record(row) for row in range(len(self))]
+
+    def _identity_map(self) -> dict[str, int]:
+        if self._by_id is None:
+            # Cold-opened store: build the id map once, on first need.
+            self._by_id = {
+                record.user_id: row for row, record in enumerate(self)
+            }
+        return self._by_id
+
+    # -- enrollment ---------------------------------------------------------------
+
+    def add(self, record: UserRecord) -> None:
+        """Enroll a record; refuses duplicate identities.
+
+        Mirrors :meth:`HelperDataStore.add` so the server can use the
+        engine as its store unchanged.
+        """
+        by_id = self._identity_map()
+        if record.user_id in by_id:
+            raise EnrollmentError(f"user {record.user_id!r} already enrolled")
+        helper = record.helper()
+        row = self._index.add(helper.movements)
+        assert row == len(self), "index/record row drift"
+        by_id[record.user_id] = row
+        self._extra.append(record)
+
+    def add_many(self, records: list[UserRecord]) -> None:
+        """Bulk-enroll records with a single index write.
+
+        Validates duplicates (against the store *and* within the batch)
+        before touching the index, so a rejected batch leaves the engine
+        unchanged.
+        """
+        by_id = self._identity_map()
+        seen: set[str] = set()
+        for record in records:
+            if record.user_id in by_id or record.user_id in seen:
+                raise EnrollmentError(
+                    f"user {record.user_id!r} already enrolled"
+                )
+            seen.add(record.user_id)
+        if not records:
+            return
+        movements = np.stack([record.helper().movements
+                              for record in records])
+        rows = self._index.add_many(movements)
+        assert rows[0] == len(self), "index/record row drift"
+        for row, record in zip(rows, records):
+            by_id[record.user_id] = row
+        self._extra.extend(records)
+
+    def get(self, user_id: str) -> UserRecord | None:
+        """The record enrolled under ``user_id``, or ``None``."""
+        row = self._identity_map().get(user_id)
+        return self._record(row) if row is not None else None
+
+    def replace_helper(self, user_id: str, helper_data: bytes) -> None:
+        """Overwrite a stored helper blob (the Section VI insider move).
+
+        Like :meth:`HelperDataStore.replace_helper`, the sketch index is
+        deliberately *not* refreshed — an insider rewrites bytes at rest,
+        not the server's in-memory structures.
+        """
+        row = self._identity_map().get(user_id)
+        if row is None:
+            raise EnrollmentError(f"user {user_id!r} not enrolled")
+        old = self._record(row)
+        new = UserRecord(user_id=old.user_id, verify_key=old.verify_key,
+                         helper_data=helper_data)
+        base = len(self._base)
+        if row < base:
+            self._overrides[row] = new
+        else:
+            self._extra[row - base] = new
+
+    # -- search -------------------------------------------------------------------
+
+    def _observe(self, probes: int, candidates: int, elapsed_s: float) -> None:
+        self._probes_served += probes
+        self._batches_served += 1
+        self._candidates_returned += candidates
+        us = elapsed_s * 1e6
+        self._latency_counts[bisect_left(LATENCY_BUCKET_EDGES_US, us)] += 1
+
+    def search(self, probe: np.ndarray) -> list[int]:
+        """Global row ids whose enrolled sketch matches ``probe``."""
+        start = time.perf_counter()
+        rows = self._index.search(probe)
+        self._observe(1, len(rows), time.perf_counter() - start)
+        return rows
+
+    def search_batch(self, probes: np.ndarray) -> list[list[int]]:
+        """Row ids matching each row of a ``(B, n)`` probe matrix."""
+        start = time.perf_counter()
+        rows = self._index.search_batch(probes)
+        self._observe(len(rows), sum(len(r) for r in rows),
+                      time.perf_counter() - start)
+        return rows
+
+    def find_by_sketch(self, probe: np.ndarray) -> list[UserRecord]:
+        """Records whose enrolled sketch matches the probe (conditions 1-4)."""
+        return [self._record(row) for row in self.search(probe)]
+
+    def find_by_sketch_batch(self,
+                             probes: np.ndarray) -> list[list[UserRecord]]:
+        """Per-probe candidate records for a ``(B, n)`` probe matrix."""
+        return [
+            [self._record(row) for row in rows]
+            for rows in self.search_batch(probes)
+        ]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the engine as an mmap store directory (see storage docs)."""
+        write_store(path, self.params, self._index.shard_parts(), iter(self))
+
+    @classmethod
+    def open(cls, path: str | Path, chunk: int = 8,
+             workers: int | None = None) -> "IdentificationEngine":
+        """Open a saved store in O(1); records and pages load lazily.
+
+        The identity map (``get`` by user id) is built on first use —
+        an O(N) walk the search path never needs.  Enrolling into an
+        opened engine promotes the touched shard to RAM first.
+        """
+        opened = open_store(path)
+        engine = cls.__new__(cls)
+        engine.params = opened.params
+        engine._index = ShardedSketchIndex.from_parts(
+            opened.params, opened.shard_parts, opened.total_records,
+            chunk=chunk, workers=workers,
+        )
+        engine._base = opened.records
+        engine._extra = []
+        engine._overrides = {}
+        engine._by_id = None  # built lazily
+        engine._cold_opened = True
+        engine._warmed = False
+        engine._probes_served = 0
+        engine._batches_served = 0
+        engine._candidates_returned = 0
+        engine._latency_counts = [0] * len(_BUCKET_LABELS)
+        return engine
+
+    def warm(self) -> int:
+        """Touch every sketch page so first searches pay no fault cost.
+
+        Returns the number of sketch bytes resident after warming.
+        """
+        touched = 0
+        for matrix, row_ids in self._index.shard_parts():
+            if matrix.size:
+                np.sum(matrix, dtype=np.int64)  # forces every page in
+            if row_ids.size:
+                np.sum(row_ids, dtype=np.int64)
+            touched += matrix.nbytes + row_ids.nbytes
+        self._warmed = True
+        return touched
+
+    def close(self) -> None:
+        """Release worker threads and lazy file handles."""
+        self._index.close()
+        if isinstance(self._base, LazyRecordFile):
+            self._base.close()
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Counter snapshot for dashboards / the bench CLI."""
+        return EngineStats(
+            enrolled=len(self),
+            shard_sizes=self._index.shard_sizes(),
+            probes_served=self._probes_served,
+            batches_served=self._batches_served,
+            candidates_returned=self._candidates_returned,
+            cold_opened=self._cold_opened,
+            warmed=self._warmed,
+            latency_buckets=dict(zip(_BUCKET_LABELS, self._latency_counts)),
+        )

@@ -1,0 +1,296 @@
+"""mmap-backed persistence for the identification engine.
+
+The JSONL store (:mod:`repro.protocols.database`) re-parses every record
+on load — fine for thousands of users, hopeless for millions.  This module
+writes an engine's state as a *directory* of flat binary files that
+``np.memmap`` can open in O(1):
+
+``manifest.json``
+    Small JSON header: format version, system parameters, shard count,
+    per-shard row counts, total records.  Written last and atomically
+    (temp file + ``os.replace``), so a crashed save never leaves a
+    directory that parses as a valid store.
+``shard-NNNN.sketches`` / ``shard-NNNN.rows``
+    One pair per shard: the ``(count, n)`` int32 sketch matrix and the
+    ``(count,)`` int64 global row ids, raw little-endian, row-major.
+    Opened as read-only memmaps; the OS pages sketch data in on first
+    touch, so opening a million-record store costs only the manifest
+    parse.
+``records.bin`` / ``records.idx``
+    Length-prefixed record blobs (user id, verify key, helper data) plus
+    a ``(N+1,)`` uint64 offset table.  Records are materialised lazily
+    one at a time through :class:`LazyRecordFile`; nothing is parsed at
+    open time.
+
+Everything stored is public helper data (same trust model as the JSONL
+store: integrity matters, confidentiality does not).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
+from repro.ioutil import atomic_replace
+from repro.protocols.database import UserRecord
+
+FORMAT_VERSION = 1
+_MANIFEST = "manifest.json"
+_RECORDS_BIN = "records.bin"
+_RECORDS_IDX = "records.idx"
+
+_SKETCH_DTYPE = np.dtype("<i4")
+_ROWID_DTYPE = np.dtype("<i8")
+_OFFSET_DTYPE = np.dtype("<u8")
+
+
+def _shard_names(index: int) -> tuple[str, str]:
+    return f"shard-{index:04d}.sketches", f"shard-{index:04d}.rows"
+
+
+def _encode_record(record: UserRecord) -> bytes:
+    uid = record.user_id.encode("utf-8")
+    return b"".join([
+        len(uid).to_bytes(2, "little"), uid,
+        len(record.verify_key).to_bytes(4, "little"), record.verify_key,
+        len(record.helper_data).to_bytes(4, "little"), record.helper_data,
+    ])
+
+
+def _decode_record(blob: bytes) -> UserRecord:
+    try:
+        offset = 0
+        uid_len = int.from_bytes(blob[offset: offset + 2], "little")
+        offset += 2
+        uid = blob[offset: offset + uid_len]
+        if len(uid) != uid_len:
+            raise ValueError("truncated user id")
+        offset += uid_len
+        vk_len = int.from_bytes(blob[offset: offset + 4], "little")
+        offset += 4
+        verify_key = blob[offset: offset + vk_len]
+        if len(verify_key) != vk_len:
+            raise ValueError("truncated verify key")
+        offset += vk_len
+        hd_len = int.from_bytes(blob[offset: offset + 4], "little")
+        offset += 4
+        helper_data = blob[offset: offset + hd_len]
+        if len(helper_data) != hd_len or offset + hd_len != len(blob):
+            raise ValueError("truncated or oversized record")
+    except (IndexError, ValueError) as exc:
+        raise ParameterError(f"malformed engine record: {exc}") from exc
+    return UserRecord(user_id=uid.decode("utf-8"), verify_key=verify_key,
+                      helper_data=helper_data)
+
+
+class LazyRecordFile:
+    """Random access to persisted records without parsing them at open.
+
+    Holds the memmapped offset table and reads one record's byte range
+    from ``records.bin`` on demand — the store's record count never
+    influences open time.
+    """
+
+    def __init__(self, path: Path, offsets: np.ndarray) -> None:
+        self._path = path
+        self._offsets = offsets
+        self._handle = None
+
+    def __len__(self) -> int:
+        return max(self._offsets.shape[0] - 1, 0)
+
+    def _file(self):
+        if self._handle is None:
+            self._handle = self._path.open("rb")
+        return self._handle
+
+    def __getitem__(self, row: int) -> UserRecord:
+        if not 0 <= row < len(self):
+            raise IndexError(f"record {row} out of range 0..{len(self) - 1}")
+        start = int(self._offsets[row])
+        stop = int(self._offsets[row + 1])
+        handle = self._file()
+        handle.seek(start)
+        blob = handle.read(stop - start)
+        if len(blob) != stop - start:
+            raise ParameterError(
+                f"record {row}: records.bin truncated "
+                f"(wanted {stop - start} bytes at {start})"
+            )
+        return _decode_record(blob)
+
+    def __iter__(self) -> Iterator[UserRecord]:
+        for row in range(len(self)):
+            yield self[row]
+
+    def close(self) -> None:
+        """Release the underlying file handle (reopened on next access)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class OpenedStore:
+    """Everything :meth:`IdentificationEngine.open` needs, memmap-backed."""
+
+    params: SystemParams
+    shard_parts: list[tuple[np.ndarray, np.ndarray]]
+    records: LazyRecordFile
+    total_records: int
+    manifest: dict
+
+
+def _stage(path: Path, data: bytes,
+           staged: list[tuple[str, Path]]) -> None:
+    """Write ``data`` to a temp file next to ``path``; commit happens later."""
+    handle = tempfile.NamedTemporaryFile(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp", delete=False
+    )
+    with handle:
+        handle.write(data)
+    staged.append((handle.name, path))
+
+
+def write_store(path: str | Path, params: SystemParams,
+                shard_parts: list[tuple[np.ndarray, np.ndarray]],
+                records: Iterable[UserRecord]) -> None:
+    """Persist shards + records as an engine store directory.
+
+    ``shard_parts`` is the per-shard ``(matrix, row_ids)`` list (see
+    :meth:`ShardedSketchIndex.shard_parts`); ``records`` is iterated once
+    in global row order.
+
+    The save is two-phase.  *Stage*: every data file is fully serialised
+    to temp files first, so any failure there (disk full, a record that
+    will not encode) leaves an existing store byte-for-byte untouched.
+    *Commit*: the old manifest is removed, staged files are renamed into
+    place, stale shard files from a previous wider layout are swept, and
+    the new manifest lands last and atomically — a crash inside the
+    commit window leaves a directory with no manifest, which
+    :func:`open_store` cleanly rejects rather than mis-reading a stale
+    manifest over half-replaced data files.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    staged: list[tuple[str, Path]] = []
+    try:
+        counts = []
+        for index, (matrix, row_ids) in enumerate(shard_parts):
+            sketch_name, rows_name = _shard_names(index)
+            block = np.ascontiguousarray(matrix, dtype=_SKETCH_DTYPE)
+            ids = np.ascontiguousarray(row_ids, dtype=_ROWID_DTYPE)
+            _stage(path / sketch_name, block.tobytes(), staged)
+            _stage(path / rows_name, ids.tobytes(), staged)
+            counts.append(int(block.shape[0]))
+
+        offsets = [0]
+        total = 0
+        body = bytearray()
+        for record in records:
+            blob = _encode_record(record)
+            body.extend(blob)
+            offsets.append(offsets[-1] + len(blob))
+            total += 1
+        _stage(path / _RECORDS_BIN, bytes(body), staged)
+        _stage(path / _RECORDS_IDX,
+               np.asarray(offsets, dtype=_OFFSET_DTYPE).tobytes(), staged)
+    except BaseException:
+        for tmp_name, _ in staged:
+            os.unlink(tmp_name)
+        raise
+
+    # Commit: from here on the old store is being replaced.
+    old_manifest = path / _MANIFEST
+    if old_manifest.exists():
+        old_manifest.unlink()
+    for tmp_name, final in staged:
+        os.replace(tmp_name, final)
+    live = {name for index in range(len(shard_parts))
+            for name in _shard_names(index)}
+    for stale in path.glob("shard-*"):
+        if stale.name not in live and not stale.name.endswith(".tmp"):
+            stale.unlink()
+
+    manifest = {
+        "format": FORMAT_VERSION,
+        "kind": "repro-engine-store",
+        "params": params.to_dict(),
+        "shards": len(shard_parts),
+        "shard_counts": counts,
+        "records": total,
+        "coords": params.n,
+    }
+    with atomic_replace(path / _MANIFEST, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+
+
+def _memmap(path: Path, dtype: np.dtype, shape: tuple) -> np.ndarray:
+    if 0 in shape:
+        return np.empty(shape, dtype=dtype)
+    if not path.exists():
+        raise ParameterError(f"engine store missing data file {path.name}")
+    expected = int(np.prod(shape)) * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ParameterError(
+            f"engine store file {path.name} is {actual} bytes, "
+            f"manifest implies {expected}"
+        )
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape)
+
+
+def open_store(path: str | Path) -> OpenedStore:
+    """Open a store directory in O(1): parse the manifest, memmap the rest.
+
+    No sketch or record bytes are read here — pages fault in as search
+    and record access touch them (see :meth:`IdentificationEngine.warm`
+    for deliberate pre-touching).
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise ParameterError(
+            f"{path} is not an engine store (no {_MANIFEST})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"malformed engine manifest: {exc}") from exc
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported engine store format {manifest.get('format')!r}"
+        )
+    params = SystemParams.from_dict(manifest["params"])
+    counts = manifest.get("shard_counts", [])
+    if len(counts) != manifest.get("shards"):
+        raise ParameterError("engine manifest shard_counts/shards mismatch")
+    total = int(manifest.get("records", 0))
+    if sum(counts) != total:
+        raise ParameterError(
+            f"engine manifest records={total} but shard counts sum "
+            f"to {sum(counts)}"
+        )
+
+    shard_parts = []
+    for index, count in enumerate(counts):
+        sketch_name, rows_name = _shard_names(index)
+        matrix = _memmap(path / sketch_name, _SKETCH_DTYPE,
+                         (int(count), params.n))
+        row_ids = _memmap(path / rows_name, _ROWID_DTYPE, (int(count),))
+        shard_parts.append((matrix, row_ids))
+
+    offsets = _memmap(path / _RECORDS_IDX, _OFFSET_DTYPE, (total + 1,))
+    records = LazyRecordFile(path / _RECORDS_BIN, offsets)
+    return OpenedStore(params=params, shard_parts=shard_parts,
+                       records=records, total_records=total,
+                       manifest=manifest)

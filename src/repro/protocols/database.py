@@ -29,6 +29,7 @@ from repro.core.extractor import HelperData
 from repro.core.index import VectorizedScanIndex
 from repro.core.params import SystemParams
 from repro.exceptions import EnrollmentError, ParameterError
+from repro.ioutil import atomic_replace
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,36 @@ class HelperDataStore:
         self._by_id[record.user_id] = row
         self._records.append(record)
 
+    def add_many(self, records: list[UserRecord]) -> None:
+        """Bulk-insert records with one index write.
+
+        Parses every helper blob and validates duplicate identities
+        (against the store and within the batch) *before* touching the
+        index, so a rejected batch leaves the store unchanged.  Used by
+        :meth:`load` so a server restart costs one matrix write instead
+        of a Python call per user.
+        """
+        movements = []
+        seen: set[str] = set()
+        for record in records:
+            if record.user_id in self._by_id or record.user_id in seen:
+                raise EnrollmentError(
+                    f"user {record.user_id!r} already enrolled"
+                )
+            seen.add(record.user_id)
+            movements.append(record.helper().movements)
+        if not records:
+            return
+        bulk = getattr(self._index, "add_many", None)
+        if bulk is not None:
+            rows = bulk(np.stack(movements))
+        else:  # exotic index without bulk support: per-row fallback
+            rows = [self._index.add(m) for m in movements]
+        assert rows[0] == len(self._records), "index/record row drift"
+        for row, record in zip(rows, records):
+            self._by_id[record.user_id] = row
+        self._records.extend(records)
+
     def get(self, user_id: str) -> UserRecord | None:
         """The record enrolled under ``user_id``, or ``None``."""
         row = self._by_id.get(user_id)
@@ -83,6 +114,21 @@ class HelperDataStore:
     def find_by_sketch(self, probe: np.ndarray) -> list[UserRecord]:
         """Records whose enrolled sketch matches the probe (conditions 1-4)."""
         return [self._records[row] for row in self._index.search(probe)]
+
+    def find_by_sketch_batch(self,
+                             probes: np.ndarray) -> list[list[UserRecord]]:
+        """Per-probe candidate records for a ``(B, n)`` probe matrix.
+
+        Uses the index's vectorised ``search_batch`` when it has one
+        (the scan and sharded indexes do), falling back to per-probe
+        searches otherwise; the results are identical either way.
+        """
+        batch = getattr(self._index, "search_batch", None)
+        if batch is not None:
+            row_sets = batch(probes)
+        else:
+            row_sets = [self._index.search(probe) for probe in probes]
+        return [[self._records[row] for row in rows] for rows in row_sets]
 
     def all_records(self) -> list[UserRecord]:
         """Snapshot of every record (baseline protocol ships all of them)."""
@@ -93,9 +139,14 @@ class HelperDataStore:
     _FORMAT_VERSION = 1
 
     def save(self, path: str | Path) -> None:
-        """Write the store to a JSON-lines file (header + one record/line)."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
+        """Write the store to a JSON-lines file (header + one record/line).
+
+        The write is atomic: content goes to a temp file in the same
+        directory and is ``os.replace``-d over the target, so a crash
+        mid-save leaves the previous store intact rather than a
+        truncated file.
+        """
+        with atomic_replace(path, "w", encoding="utf-8") as handle:
             header = {
                 "format": self._FORMAT_VERSION,
                 "params": self.params.to_dict(),
@@ -130,21 +181,22 @@ class HelperDataStore:
                 )
             params = SystemParams.from_dict(header["params"])
             store = cls(params, index_factory=index_factory)
+            records = []
             for line_number, line in enumerate(handle, start=2):
                 if not line.strip():
                     continue
                 try:
                     payload = json.loads(line)
-                    record = UserRecord(
+                    records.append(UserRecord(
                         user_id=payload["user_id"],
                         verify_key=base64.b64decode(payload["verify_key"]),
                         helper_data=base64.b64decode(payload["helper_data"]),
-                    )
+                    ))
                 except (json.JSONDecodeError, KeyError, ValueError) as exc:
                     raise ParameterError(
                         f"malformed record at line {line_number}: {exc}"
                     ) from exc
-                store.add(record)
+            store.add_many(records)
             if len(store) != header.get("records"):
                 raise ParameterError(
                     f"record count mismatch: header says "

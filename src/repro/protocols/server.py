@@ -89,6 +89,11 @@ class AuthenticationServer:
     identification attempt may challenge in sequence; each failed or
     declined challenge moves to the next candidate, so a false-close
     record enrolled ahead of the genuine user cannot deny them service.
+
+    ``store`` may be any object with the :class:`HelperDataStore`
+    surface; in particular
+    :class:`~repro.engine.engine.IdentificationEngine` drops in for
+    scale-out deployments (see :meth:`with_engine`).
     """
 
     def __init__(self, params: SystemParams, scheme: SignatureScheme,
@@ -108,6 +113,29 @@ class AuthenticationServer:
         self._sessions: dict[bytes, _PendingSession] = {}
         self._audit: deque[AuditEvent] = deque(maxlen=audit_capacity)
         self._audit_sequence = itertools.count()
+
+    @classmethod
+    def with_engine(cls, params: SystemParams, scheme: SignatureScheme,
+                    shards: int = 4, workers: int | None = None,
+                    **kwargs) -> "AuthenticationServer":
+        """A server whose store is a sharded
+        :class:`~repro.engine.engine.IdentificationEngine`.
+
+        Extra keyword arguments pass through to the constructor.  The
+        engine import is deliberately lazy — the protocol layer stays
+        importable without the engine layer, keeping the package graph
+        acyclic.
+        """
+        from repro.engine.engine import IdentificationEngine
+
+        store = IdentificationEngine(params, shards=shards, workers=workers)
+        return cls(params, scheme, store=store, **kwargs)
+
+    def engine_stats(self):
+        """The store's :class:`~repro.engine.engine.EngineStats` snapshot,
+        or ``None`` when the store is not an identification engine."""
+        stats = getattr(self.store, "stats", None)
+        return stats() if stats is not None else None
 
     # -- audit trail ---------------------------------------------------------------
 

@@ -21,6 +21,7 @@ outcome counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -116,11 +117,20 @@ class SimulationReport:
 
 
 class WorkloadSimulator:
-    """Seeded identification-traffic generator over the real stack."""
+    """Seeded identification-traffic generator over the real stack.
+
+    ``store_factory`` lets the simulated server run on an alternative
+    helper-data store — most usefully the scale-out
+    :class:`~repro.engine.engine.IdentificationEngine` (see
+    :meth:`with_engine`), so capacity numbers can be taken against the
+    same store a deployment would serve from.
+    """
 
     def __init__(self, params: SystemParams, scheme: SignatureScheme,
                  n_users: int, mix: TrafficMix | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 store_factory: Callable[[SystemParams], object] | None = None,
+                 ) -> None:
         if n_users < 1:
             raise ParameterError("need at least one enrolled user")
         self.params = params
@@ -132,12 +142,35 @@ class WorkloadSimulator:
         )
         self.device = BiometricDevice(params, scheme,
                                       seed=seed.to_bytes(8, "big") + b"dev")
-        self.server = AuthenticationServer(params, scheme,
+        store = store_factory(params) if store_factory is not None else None
+        self.server = AuthenticationServer(params, scheme, store=store,
                                            seed=seed.to_bytes(8, "big") + b"srv")
         for i, user_id in enumerate(self.population.user_ids()):
             run = run_enrollment(self.device, self.server, DuplexLink(),
                                  user_id, self.population.template(i))
             assert run.outcome.accepted
+
+    @classmethod
+    def with_engine(cls, params: SystemParams, scheme: SignatureScheme,
+                    n_users: int, mix: TrafficMix | None = None,
+                    seed: int = 0, shards: int = 4,
+                    workers: int | None = None) -> "WorkloadSimulator":
+        """A simulator whose server stores enrollments in a sharded
+        :class:`~repro.engine.engine.IdentificationEngine`.
+
+        The engine import is lazy to keep the package graph acyclic.
+        """
+        from repro.engine.engine import IdentificationEngine
+
+        def factory(p: SystemParams) -> IdentificationEngine:
+            return IdentificationEngine(p, shards=shards, workers=workers)
+
+        return cls(params, scheme, n_users=n_users, mix=mix, seed=seed,
+                   store_factory=factory)
+
+    def engine_stats(self):
+        """Engine counter snapshot, or ``None`` for the classic store."""
+        return self.server.engine_stats()
 
     def _draw_class(self) -> str:
         roll = self._rng.random()

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.index import NaiveLoopIndex, PrefixBucketIndex, VectorizedScanIndex
+from repro.core.index import (
+    NaiveLoopIndex,
+    PrefixBucketIndex,
+    VectorizedScanIndex,
+    batch_match_rows,
+)
 from repro.core.matching import match_matrix
 from repro.core.params import SystemParams
 from repro.core.sketch import ChebyshevSketch
@@ -72,6 +77,29 @@ class TestSearchCorrectness:
         with pytest.raises(ParameterError):
             index.search(np.zeros(3, dtype=np.int64))
 
+    def test_add_many_equals_sequential_adds(self, factory, paper_params):
+        """Bulk insertion must be indistinguishable from looping add()."""
+        sk, templates, sketches = _population_sketches(paper_params, 12)
+        bulk = factory(paper_params)
+        serial = factory(paper_params)
+        assert bulk.add_many(np.stack(sketches)) == list(range(12))
+        for s in sketches:
+            serial.add(s)
+        assert len(bulk) == len(serial) == 12
+        probe = sk.sketch(templates[7], HmacDrbg(b"bulk"))
+        assert bulk.search(probe) == serial.search(probe) == [7]
+
+    def test_add_many_empty_batch(self, factory, paper_params):
+        index = factory(paper_params)
+        assert index.add_many(np.empty((0, paper_params.n), dtype=np.int64)) \
+            == []
+        assert len(index) == 0
+
+    def test_add_many_rejects_wrong_shape(self, factory, paper_params):
+        index = factory(paper_params)
+        with pytest.raises(ParameterError):
+            index.add_many(np.zeros((2, 3), dtype=np.int64))
+
     def test_duplicate_templates_both_found(self, factory, paper_params):
         """Two users enrolled from identical templates: both must surface."""
         sk, templates, _ = _population_sketches(paper_params, 1)
@@ -102,6 +130,73 @@ class TestAgreementProperty:
             for row in enrolled:
                 index.add(row)
             assert index.search(probe) == expected
+
+
+class TestBatchSearch:
+    @given(seed=st.integers(0, 1000), n_users=st.integers(0, 30),
+           n_probes=st.integers(0, 8))
+    @settings(max_examples=30)
+    def test_search_batch_agrees_with_match_matrix(self, seed, n_users,
+                                                   n_probes):
+        params = SystemParams(a=5, k=4, v=8, t=4, n=6)
+        rng = np.random.default_rng(seed)
+        half = params.interval_width // 2
+        enrolled = rng.integers(-half, half + 1, size=(n_users, params.n))
+        probes = rng.integers(-half, half + 1, size=(n_probes, params.n))
+        index = VectorizedScanIndex(params)
+        if n_users:
+            index.add_many(enrolled)
+        expected = [
+            np.nonzero(match_matrix(enrolled, probe, params))[0].tolist()
+            if n_users else []
+            for probe in probes
+        ]
+        assert index.search_batch(probes) == expected
+
+    def test_search_batch_rejects_out_of_range(self, small_params):
+        index = VectorizedScanIndex(small_params)
+        bad = np.full((1, small_params.n), small_params.interval_width)
+        with pytest.raises(ParameterError, match="movements"):
+            index.search_batch(bad)
+
+    def test_lut_group_loop_exercised_above_pair_threshold(self):
+        """N > pair_threshold keeps the bitmask-LUT group loop active
+        (the benchmark-scale regime), not just the per-probe tail."""
+        params = SystemParams(a=5, k=4, v=8, t=4, n=6)
+        rng = np.random.default_rng(123)
+        half = params.interval_width // 2
+        enrolled = rng.integers(-half, half + 1, size=(2500, params.n))
+        probes = rng.integers(-half, half + 1, size=(5, params.n))
+        index = VectorizedScanIndex(params)
+        index.add_many(enrolled)
+        expected = [
+            np.nonzero(match_matrix(enrolled, probe, params))[0].tolist()
+            for probe in probes
+        ]
+        assert index.search_batch(probes) == expected
+
+    @given(seed=st.integers(0, 300), n_users=st.integers(1, 60))
+    @settings(max_examples=25)
+    def test_kernel_pair_threshold_extremes_agree(self, seed, n_users):
+        """pair_threshold=0 (pure LUT) and huge (pure per-probe tail)
+        must produce identical match sets."""
+        params = SystemParams(a=5, k=4, v=8, t=4, n=6)
+        rng = np.random.default_rng(seed)
+        half = params.interval_width // 2
+        enrolled = rng.integers(-half, half + 1,
+                                size=(n_users, params.n)).astype(np.int32)
+        probes = rng.integers(-half, half + 1, size=(6, params.n))
+        ka, t = params.interval_width, params.t
+        pure_lut = batch_match_rows(enrolled, probes, ka, t, chunk=3,
+                                    pair_threshold=0)
+        pure_scan = batch_match_rows(enrolled, probes, ka, t, chunk=3,
+                                     pair_threshold=10 ** 9)
+        expected = [
+            np.nonzero(match_matrix(enrolled, probe, params))[0]
+            for probe in probes
+        ]
+        for a, b, e in zip(pure_lut, pure_scan, expected):
+            assert np.array_equal(a, e) and np.array_equal(b, e)
 
 
 class TestScanInternals:

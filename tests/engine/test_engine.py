@@ -1,0 +1,189 @@
+"""Tests for the identification-engine facade and its protocol wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.crypto.prng import HmacDrbg
+from repro.engine import IdentificationEngine
+from repro.exceptions import EnrollmentError
+from repro.protocols.database import HelperDataStore, UserRecord
+
+
+@pytest.fixture
+def enrolled_engine(paper_params, rng):
+    """An engine with 8 real enrollments + the matching templates."""
+    fe = SuccinctFuzzyExtractor(paper_params)
+    engine = IdentificationEngine(paper_params, shards=3)
+    templates = {}
+    records = []
+    for i in range(8):
+        name = f"user-{i}"
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, HmacDrbg(name.encode()))
+        templates[name] = x
+        records.append(UserRecord(user_id=name, verify_key=name.encode() * 3,
+                                  helper_data=helper.to_bytes()))
+    engine.add_many(records[:6])
+    for record in records[6:]:
+        engine.add(record)
+    return engine, templates, fe
+
+
+def _probe_for(fe, params, template, rng, tag=b"probe"):
+    noisy = fe.sketcher.line.reduce(
+        template + rng.integers(-params.t, params.t + 1, params.n)
+    )
+    return fe.sketcher.sketch(noisy, HmacDrbg(tag))
+
+
+class TestStoreSurface:
+    def test_find_by_sketch_matches_enrolled_user(self, enrolled_engine,
+                                                  paper_params, rng):
+        engine, templates, fe = enrolled_engine
+        probe = _probe_for(fe, paper_params, templates["user-3"], rng)
+        assert [r.user_id for r in engine.find_by_sketch(probe)] == ["user-3"]
+
+    def test_get_and_iteration(self, enrolled_engine):
+        engine, _, _ = enrolled_engine
+        assert engine.get("user-5").user_id == "user-5"
+        assert engine.get("ghost") is None
+        assert [r.user_id for r in engine] == [f"user-{i}" for i in range(8)]
+        assert len(engine.all_records()) == len(engine) == 8
+
+    def test_duplicate_identity_refused(self, enrolled_engine):
+        engine, _, _ = enrolled_engine
+        record = engine.get("user-0")
+        with pytest.raises(EnrollmentError, match="already enrolled"):
+            engine.add(record)
+        with pytest.raises(EnrollmentError, match="already enrolled"):
+            engine.add_many([record])
+
+    def test_add_many_rejects_in_batch_duplicates_atomically(
+            self, enrolled_engine, paper_params, rng):
+        engine, _, fe = enrolled_engine
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, HmacDrbg(b"dup"))
+        fresh = UserRecord(user_id="fresh", verify_key=b"vk",
+                           helper_data=helper.to_bytes())
+        dup = UserRecord(user_id="fresh", verify_key=b"vk2",
+                         helper_data=helper.to_bytes())
+        before = len(engine)
+        with pytest.raises(EnrollmentError):
+            engine.add_many([fresh, dup])
+        assert len(engine) == before  # nothing half-inserted
+
+    def test_replace_helper_models_insider(self, enrolled_engine):
+        engine, _, _ = enrolled_engine
+        engine.replace_helper("user-2", b"garbage")
+        assert engine.get("user-2").helper_data == b"garbage"
+        with pytest.raises(EnrollmentError, match="not enrolled"):
+            engine.replace_helper("ghost", b"x")
+
+    def test_agrees_with_helper_data_store(self, enrolled_engine,
+                                           paper_params, rng):
+        """Engine candidates == flat-store candidates on the same data."""
+        engine, templates, fe = enrolled_engine
+        store = HelperDataStore(paper_params)
+        for record in engine.all_records():
+            store.add(record)
+        probes = np.stack([
+            _probe_for(fe, paper_params, templates[f"user-{i}"], rng,
+                       tag=b"p%d" % i)
+            for i in range(8)
+        ])
+        flat = store.find_by_sketch_batch(probes)
+        batched = engine.find_by_sketch_batch(probes)
+        assert [[r.user_id for r in row] for row in batched] == \
+            [[r.user_id for r in row] for row in flat]
+
+
+class TestCounters:
+    def test_counters_accumulate(self, enrolled_engine, paper_params, rng):
+        engine, templates, fe = enrolled_engine
+        probe = _probe_for(fe, paper_params, templates["user-1"], rng)
+        engine.find_by_sketch(probe)
+        engine.search_batch(np.stack([probe, probe, probe]))
+        stats = engine.stats()
+        assert stats.probes_served == 4
+        assert stats.batches_served == 2
+        assert stats.candidates_returned == 4
+        assert stats.candidates_per_probe == pytest.approx(1.0)
+        assert sum(stats.latency_buckets.values()) == 2
+        assert not stats.cold_opened
+        assert len(stats.shard_sizes) == 3
+        assert sum(stats.shard_sizes) == 8
+
+    def test_summary_lines_render(self, enrolled_engine):
+        engine, _, _ = enrolled_engine
+        lines = engine.stats().summary_lines()
+        assert any("8 enrolled" in line for line in lines)
+        assert any("latency histogram" in line for line in lines)
+
+
+class TestServerIntegration:
+    def test_identification_over_engine_store(self, paper_params,
+                                              fast_scheme, rng):
+        from repro.protocols.device import BiometricDevice
+        from repro.protocols.runners import run_enrollment, run_identification
+        from repro.protocols.server import AuthenticationServer
+        from repro.protocols.transport import DuplexLink
+
+        server = AuthenticationServer.with_engine(
+            paper_params, fast_scheme, shards=2, seed=b"engine-server")
+        device = BiometricDevice(paper_params, fast_scheme, seed=b"dev")
+        line = SuccinctFuzzyExtractor(paper_params).sketcher.line
+        templates = {}
+        for name in ("alice", "bob", "carol"):
+            templates[name] = line.uniform_vector(rng)
+            run = run_enrollment(device, server, DuplexLink(), name,
+                                 templates[name])
+            assert run.outcome.accepted
+
+        noisy = line.reduce(templates["bob"] + rng.integers(
+            -paper_params.t, paper_params.t + 1, paper_params.n))
+        run = run_identification(device, server, DuplexLink(), noisy)
+        assert run.outcome.identified and run.outcome.user_id == "bob"
+
+        stranger = line.uniform_vector(rng)
+        run = run_identification(device, server, DuplexLink(), stranger)
+        assert not run.outcome.identified
+
+        stats = server.engine_stats()
+        assert stats is not None and stats.probes_served == 2
+
+    def test_classic_store_has_no_engine_stats(self, paper_params,
+                                               fast_scheme):
+        from repro.protocols.server import AuthenticationServer
+
+        server = AuthenticationServer(paper_params, fast_scheme, seed=b"s")
+        assert server.engine_stats() is None
+
+
+class TestSimulationIntegration:
+    def test_workload_over_engine(self, paper_params, fast_scheme):
+        from repro.protocols.simulation import WorkloadSimulator
+
+        simulator = WorkloadSimulator.with_engine(
+            paper_params, fast_scheme, n_users=3, seed=1, shards=2)
+        report = simulator.run(10)
+        assert report.n_requests == 10
+        stats = simulator.engine_stats()
+        assert stats is not None
+        assert stats.enrolled == 3
+        assert stats.probes_served == 10
+
+    def test_engine_and_classic_store_identify_identically(
+            self, paper_params, fast_scheme):
+        from repro.protocols.simulation import WorkloadSimulator
+
+        classic = WorkloadSimulator(paper_params, fast_scheme,
+                                    n_users=4, seed=9)
+        engined = WorkloadSimulator.with_engine(paper_params, fast_scheme,
+                                                n_users=4, seed=9, shards=3)
+        a = classic.run(12)
+        b = engined.run(12)
+        for klass in a.per_class:
+            assert a.per_class[klass].requests == b.per_class[klass].requests
+            assert a.per_class[klass].identified == \
+                b.per_class[klass].identified

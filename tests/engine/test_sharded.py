@@ -1,0 +1,175 @@
+"""Parity and behaviour tests for the sharded sketch index.
+
+The engine's headline guarantee is that sharding and batching are pure
+performance moves: every search mode returns *exactly* the match sets of
+the naive per-record loop, for any shard count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import NaiveLoopIndex, VectorizedScanIndex
+from repro.core.params import SystemParams
+from repro.engine.sharded import ShardedSketchIndex
+from repro.exceptions import ParameterError
+
+SHARD_COUNTS = [1, 2, 7]
+
+SMALL = SystemParams(a=5, k=4, v=8, t=4, n=6)
+
+
+def _random_population(params, n_users, seed):
+    rng = np.random.default_rng(seed)
+    half = params.interval_width // 2
+    enrolled = rng.integers(-half, half + 1, size=(n_users, params.n))
+    probes = rng.integers(-half, half + 1, size=(8, params.n))
+    return enrolled, probes
+
+
+class TestShardedParity:
+    """`ShardedSketchIndex` vs `NaiveLoopIndex`, the satellite property."""
+
+    @given(seed=st.integers(0, 1000), n_users=st.integers(0, 40),
+           shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=40)
+    def test_search_and_batch_match_naive_loop(self, seed, n_users, shards):
+        enrolled, probes = _random_population(SMALL, n_users, seed)
+        naive = NaiveLoopIndex(SMALL)
+        sharded = ShardedSketchIndex(SMALL, shards=shards)
+        if n_users:
+            naive.add_many(enrolled)
+            sharded.add_many(enrolled)
+        expected = [naive.search(probe) for probe in probes]
+        assert [sharded.search(probe) for probe in probes] == expected
+        assert sharded.search_batch(probes) == expected
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_empty_index_all_modes(self, shards):
+        index = ShardedSketchIndex(SMALL, shards=shards)
+        probe = np.zeros(SMALL.n, dtype=np.int64)
+        assert index.search(probe) == []
+        assert index.search_batch(probe.reshape(1, -1)) == [[]]
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_empty_probe_batch(self, shards):
+        index = ShardedSketchIndex(SMALL, shards=shards)
+        index.add(np.zeros(SMALL.n, dtype=np.int64))
+        assert index.search_batch(np.empty((0, SMALL.n), dtype=np.int64)) == []
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_boundary_probes(self, shards):
+        """Probes/sketches pinned at the +-ka/2 range boundary still agree
+        (the two spellings of the same ring point must match)."""
+        half = SMALL.interval_width // 2
+        enrolled = np.array([
+            [half] * SMALL.n,
+            [-half] * SMALL.n,
+            [0] * SMALL.n,
+        ])
+        naive = NaiveLoopIndex(SMALL)
+        sharded = ShardedSketchIndex(SMALL, shards=shards)
+        naive.add_many(enrolled)
+        sharded.add_many(enrolled)
+        probes = np.array([[half] * SMALL.n, [-half] * SMALL.n])
+        expected = [naive.search(probe) for probe in probes]
+        assert sharded.search_batch(probes) == expected
+        # +half and -half are the same ring point: both rows must surface.
+        assert expected[0] == [0, 1]
+
+    def test_worker_pool_matches_serial(self):
+        enrolled, probes = _random_population(SMALL, 60, seed=7)
+        serial = ShardedSketchIndex(SMALL, shards=4)
+        parallel = ShardedSketchIndex(SMALL, shards=4, workers=4)
+        serial.add_many(enrolled)
+        parallel.add_many(enrolled)
+        try:
+            assert parallel.search_batch(probes) == serial.search_batch(probes)
+            for probe in probes:
+                assert parallel.search(probe) == serial.search(probe)
+        finally:
+            parallel.close()
+
+
+class TestShardedBehaviour:
+    def test_global_ids_are_enrollment_order(self):
+        enrolled, _ = _random_population(SMALL, 20, seed=3)
+        index = ShardedSketchIndex(SMALL, shards=3)
+        assert index.add_many(enrolled) == list(range(20))
+        assert index.add(enrolled[0]) == 20
+        assert len(index) == 21
+
+    def test_hash_partition_is_content_stable(self):
+        """The same sketch lands in the same shard regardless of history."""
+        enrolled, _ = _random_population(SMALL, 30, seed=5)
+        a = ShardedSketchIndex(SMALL, shards=4)
+        b = ShardedSketchIndex(SMALL, shards=4)
+        a.add_many(enrolled)
+        for row in enrolled[::-1]:  # reversed insertion order
+            b.add(row)
+        sizes_a = sorted(a.shard_sizes())
+        sizes_b = sorted(b.shard_sizes())
+        assert sizes_a == sizes_b
+        assert sum(sizes_a) == 30
+
+    def test_all_shards_used_at_scale(self):
+        enrolled, _ = _random_population(SMALL, 200, seed=11)
+        index = ShardedSketchIndex(SMALL, shards=4)
+        index.add_many(enrolled)
+        assert all(size > 0 for size in index.shard_sizes())
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ParameterError, match="shards"):
+            ShardedSketchIndex(SMALL, shards=0)
+        with pytest.raises(ParameterError, match="chunk"):
+            ShardedSketchIndex(SMALL, chunk=0)
+        with pytest.raises(ParameterError, match="workers"):
+            ShardedSketchIndex(SMALL, workers=0)
+
+    def test_rejects_wrong_shapes_and_range(self):
+        index = ShardedSketchIndex(SMALL, shards=2)
+        with pytest.raises(ParameterError):
+            index.add(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ParameterError):
+            index.add_many(np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ParameterError):
+            index.search(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ParameterError):
+            index.search_batch(np.zeros((2, 3), dtype=np.int64))
+        too_big = np.full(SMALL.n, SMALL.interval_width, dtype=np.int64)
+        with pytest.raises(ParameterError, match="movements"):
+            index.add(too_big)
+
+
+class TestBatchKernelAgreement:
+    """`VectorizedScanIndex.search_batch` is the shard kernel's flat twin."""
+
+    @given(seed=st.integers(0, 500), n_users=st.integers(0, 40),
+           n_probes=st.integers(0, 6))
+    @settings(max_examples=40)
+    def test_flat_batch_matches_per_probe_search(self, seed, n_users,
+                                                 n_probes):
+        rng = np.random.default_rng(seed)
+        half = SMALL.interval_width // 2
+        enrolled = rng.integers(-half, half + 1, size=(n_users, SMALL.n))
+        probes = rng.integers(-half, half + 1, size=(n_probes, SMALL.n))
+        index = VectorizedScanIndex(SMALL)
+        if n_users:
+            index.add_many(enrolled)
+        expected = [index.search(probe) for probe in probes]
+        assert index.search_batch(probes) == expected
+
+    def test_batch_larger_than_bitmask_group(self):
+        """> 64 probes forces multiple uint64 groups."""
+        rng = np.random.default_rng(42)
+        half = SMALL.interval_width // 2
+        enrolled = rng.integers(-half, half + 1, size=(50, SMALL.n))
+        probes = rng.integers(-half, half + 1, size=(130, SMALL.n))
+        index = ShardedSketchIndex(SMALL, shards=2)
+        index.add_many(enrolled)
+        flat = VectorizedScanIndex(SMALL)
+        flat.add_many(enrolled)
+        expected = [flat.search(probe) for probe in probes]
+        assert index.search_batch(probes) == expected
+        assert flat.search_batch(probes) == expected

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.core.index import VectorizedScanIndex
 from repro.core.params import SystemParams
 from repro.crypto.prng import HmacDrbg
 from repro.exceptions import ParameterError
@@ -90,6 +91,49 @@ class TestStorePersistence:
         path = tmp_path / "empty.jsonl"
         store.save(path)
         assert len(HelperDataStore.load(path)) == 0
+
+    def test_save_is_atomic_under_midwrite_failure(self, populated_store,
+                                                   tmp_path):
+        """A save that dies mid-write must leave the previous file intact
+        and no temp debris behind."""
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        good = path.read_bytes()
+        # A non-bytes verify key makes b64encode explode while this
+        # record's line is serialised — after the header already went out.
+        store._records.append(UserRecord(
+            user_id="broken", verify_key=None, helper_data=b"hd"))
+        with pytest.raises(TypeError):
+            store.save(path)
+        assert path.read_bytes() == good  # old store untouched
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(HelperDataStore.load(path)) == 3
+
+    def test_bulk_load_uses_one_index_write(self, populated_store, tmp_path):
+        """load() goes through add_many: one bulk index insertion."""
+        calls = []
+
+        class CountingIndex:
+            def __init__(self, params):
+                self._inner = VectorizedScanIndex(params)
+
+            def add_many(self, sketches):
+                calls.append(len(sketches))
+                return self._inner.add_many(sketches)
+
+            def add(self, sketch):
+                raise AssertionError("load() must not add row-by-row")
+
+            def search(self, probe):
+                return self._inner.search(probe)
+
+        store, _, _ = populated_store
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        loaded = HelperDataStore.load(path, index_factory=CountingIndex)
+        assert len(loaded) == 3
+        assert calls == [3]
 
     def test_truncated_file_rejected(self, populated_store, tmp_path):
         store, _, _ = populated_store

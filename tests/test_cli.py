@@ -64,7 +64,37 @@ class TestDemo:
         assert "error:" in capsys.readouterr().err
 
 
+class TestEngineBench:
+    def test_runs_and_reports(self, capsys):
+        code = main(["engine-bench", "--records", "300", "--probes", "8",
+                     "-n", "16", "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probes/s" in out
+        assert "speedup vs loop" in out
+        assert "300 records" in out
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["engine-bench"])
+        assert (args.records, args.probes, args.shards,
+                args.dimension) == (10_000, 64, 4, 128)
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["engine-bench", "--records", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSimulate:
+    def test_engine_store_reports_counters(self, capsys):
+        code = main(["simulate", "-n", "100", "--users", "3",
+                     "--requests", "6", "--scheme", "dsa-512",
+                     "--engine-shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "probes served: 6" in out
+        assert "latency histogram" in out
+
     def test_runs_and_reports(self, capsys):
         code = main(["simulate", "-n", "100", "--users", "3",
                      "--requests", "12", "--scheme", "dsa-512",

@@ -19,6 +19,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.crypto",
     "repro.coding",
     "repro.baselines",
