@@ -1,0 +1,139 @@
+"""Benchmark: the rebuilt signature kernel vs the retained affine reference.
+
+The signature back-end dominates end-to-end identification once the
+sketch search is sublinear (paper Table II), so the crypto kernel carries
+the serving latency.  This suite times the kernel's layers and asserts
+the PR's acceptance floors:
+
+* Jacobian/wNAF scalar multiplication on the protocol hot path (the
+  fixed-base generator mult that keygen and signing perform) >= 8x the
+  retained affine double-and-add reference;
+* precomputed-table verification >= 5x the cold affine reference verify
+  for both EC schemes (DSA's fixed-base tables get a smaller floor — its
+  cold baseline is builtin C ``pow``, not Python affine arithmetic).
+
+``run_crypto_bench`` parity-checks every fast path against the reference
+implementations while timing, so a reported speedup can never come from a
+wrong answer.  The acceptance run also appends to the ``BENCH_crypto.json``
+trajectory artifact at the repo root.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job does) to run the same
+assertions at reduced iteration counts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.crypto.bench import run_crypto_bench, write_trajectory
+from repro.crypto.ec import P256
+from repro.crypto.signatures import get_scheme
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+ITERATIONS = 3 if SMOKE else 8
+IDENTIFY_USERS = 4 if SMOKE else 8
+IDENTIFY_REQUESTS = 4 if SMOKE else 8
+EC_SCHEMES = ["ecdsa-p-256", "schnorr-p-256"]
+
+
+@pytest.fixture(scope="module")
+def warm_curve():
+    """P-256 with the comb and generator tables built outside the timers."""
+    P256.multiply_base(1)
+    P256.shamir_multiply(1, 1, P256.generator)
+    return P256
+
+
+class TestBenchScalarMult:
+    K = 0x1CE1522F374F3AA2CE1522F374F3AA2C5D1522F374F3AA2CE1522F374F3AA2C5
+
+    def test_bench_affine_reference(self, benchmark, warm_curve):
+        benchmark.pedantic(
+            lambda: warm_curve.multiply_affine(self.K, warm_curve.generator),
+            rounds=1 if SMOKE else 2, iterations=1,
+        )
+
+    def test_bench_fixed_base(self, benchmark, warm_curve):
+        result = benchmark(warm_curve.multiply, self.K, warm_curve.generator)
+        assert not result.is_infinity
+
+    def test_bench_wnaf_variable_point(self, benchmark, warm_curve):
+        q = warm_curve.multiply(7, warm_curve.generator)
+        result = benchmark(warm_curve.multiply, self.K, q)
+        assert not result.is_infinity
+
+    def test_bench_shamir_warm_table(self, benchmark, warm_curve):
+        q = warm_curve.multiply(7, warm_curve.generator)
+        table = warm_curve.precompute_table(q)
+        result = benchmark(warm_curve.shamir_multiply, self.K, self.K + 1,
+                           table=table)
+        assert not result.is_infinity
+
+
+@pytest.mark.parametrize("scheme_name", EC_SCHEMES + ["dsa-1024"])
+class TestBenchVerifyPaths:
+    def _fixture(self, scheme_name):
+        scheme = get_scheme(scheme_name)
+        keypair = scheme.keygen_from_seed(b"bench" * 8)
+        signature = scheme.sign(keypair.signing_key, b"challenge")
+        table = scheme.precompute(keypair.verify_key)
+        return scheme, keypair, signature, table
+
+    def test_bench_verify_cold_reference(self, benchmark, scheme_name):
+        scheme, keypair, signature, _ = self._fixture(scheme_name)
+        assert benchmark.pedantic(
+            lambda: scheme.verify_reference(keypair.verify_key, b"challenge",
+                                            signature),
+            rounds=1 if SMOKE else 2, iterations=1,
+        )
+
+    def test_bench_verify_warm_table(self, benchmark, scheme_name):
+        scheme, keypair, signature, table = self._fixture(scheme_name)
+        assert benchmark(scheme.verify, keypair.verify_key, b"challenge",
+                         signature, table)
+
+
+def test_kernel_speedup_floors(benchmark, capsys):
+    """Acceptance floors: >= 8x scalar mult, >= 5x warm-table EC verify.
+
+    One ``run_crypto_bench`` pass measures everything (parity-checked
+    against the reference implementations while timed) and appends the
+    run to the BENCH_crypto.json trajectory.
+    """
+    report = benchmark.pedantic(
+        lambda: run_crypto_bench(
+            iterations=ITERATIONS,
+            identify_users=IDENTIFY_USERS,
+            identify_requests=IDENTIFY_REQUESTS,
+        ),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        for line in report.summary_lines():
+            print(line)
+    write_trajectory(report, Path(__file__).resolve().parents[1]
+                     / "BENCH_crypto.json")
+
+    assert report.scalar_mult_speedup >= 8.0, (
+        f"fixed-base wNAF/Jacobian scalar mult only "
+        f"x{report.scalar_mult_speedup:.1f} over the affine reference; "
+        f"the kernel promises >= 8x"
+    )
+    for name in EC_SCHEMES:
+        speedup = report.verify_speedup(name)
+        assert speedup >= 5.0, (
+            f"{name} warm-table verify only x{speedup:.1f} over the cold "
+            f"affine reference; the kernel promises >= 5x"
+        )
+    # DSA's cold baseline is builtin C pow, so the honest floor is lower.
+    assert report.verify_speedup("dsa-1024") >= 2.5
+    # Loose sanity bound only — each pass is a handful of requests, so the
+    # ratio is noisy; this catches "caching made identification terrible",
+    # not jitter.  The ratio itself is recorded in BENCH_crypto.json.
+    identify = report.identify["ecdsa-p-256"]
+    assert identify["identify_warm"] <= identify["identify_cold"] * 3.0

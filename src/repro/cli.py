@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Four subcommands cover the workflows a user reaches for first:
+The subcommands cover the workflows a user reaches for first:
 
 ``report``
     Print the Table II security report for a parameter set
@@ -26,10 +26,18 @@ Four subcommands cover the workflows a user reaches for first:
 ``engine-bench``
     Sketch-search throughput shootout: single-probe loop vs the batch
     kernel vs the sharded engine, on a synthetic N-record database
-    (parity-checked while timed).
+    (parity-checked while timed).  ``--sign-scheme NAME`` appends the
+    signature round-trip (challenge → sign → verify) so the reported
+    latency covers the full Fig. 3 flow.
+
+``crypto-bench``
+    Signature-kernel shootout: affine-reference vs Jacobian/wNAF scalar
+    multiplication, per-scheme sign/verify (cold reference, fast, and
+    precomputed-table paths), and end-to-end identification latency.
+    Appends each run to the ``BENCH_crypto.json`` trajectory artifact.
 
 All numeric arguments default to the paper's Table II values
-(``engine-bench`` defaults to a bench-sized dimension instead).
+(the bench subcommands default to bench-sized dimensions instead).
 """
 
 from __future__ import annotations
@@ -155,9 +163,31 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
                           n=args.dimension)
     report = run_engine_bench(params, n_records=args.records,
                               n_probes=args.probes, shards=args.shards,
-                              workers=args.workers, seed=args.seed)
+                              workers=args.workers, seed=args.seed,
+                              sign_scheme=args.sign_scheme or None)
     for line in report.summary_lines():
         print(line)
+    return 0
+
+
+def _cmd_crypto_bench(args: argparse.Namespace) -> int:
+    from repro.crypto.bench import run_crypto_bench, write_trajectory
+
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    report = run_crypto_bench(
+        iterations=args.iterations,
+        schemes=schemes,
+        identify_scheme=None if args.no_identify else args.identify_scheme,
+        identify_users=args.users,
+        identify_requests=args.requests,
+        dimension=args.dimension,
+        seed=args.seed,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        write_trajectory(report, args.json)
+        print(f"trajectory appended to {args.json}")
     return 0
 
 
@@ -233,7 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
     engine_bench.add_argument("--workers", type=int, default=None,
                               help="shard worker threads (default: serial)")
     engine_bench.add_argument("--seed", type=int, default=0)
+    engine_bench.add_argument("--sign-scheme", default="",
+                              help="append the challenge->sign->verify leg "
+                                   "with this signature scheme (default: "
+                                   "search only)")
     engine_bench.set_defaults(handler=_cmd_engine_bench)
+
+    crypto_bench = subparsers.add_parser(
+        "crypto-bench",
+        help="signature-kernel shootout: affine vs wNAF/Jacobian, "
+             "cold vs warm-table verify, end-to-end identify")
+    crypto_bench.add_argument("--iterations", type=int, default=8,
+                              help="iterations per measurement (default: 8)")
+    crypto_bench.add_argument("--schemes",
+                              default="ecdsa-p-256,schnorr-p-256,dsa-1024",
+                              help="comma-separated scheme names")
+    crypto_bench.add_argument("--identify-scheme", default="ecdsa-p-256",
+                              help="scheme for the end-to-end identification "
+                                   "flow (default: ecdsa-p-256)")
+    crypto_bench.add_argument("--no-identify", action="store_true",
+                              help="skip the end-to-end identification flow")
+    crypto_bench.add_argument("--users", type=int, default=8,
+                              help="enrolled users for the identify flow")
+    crypto_bench.add_argument("--requests", type=int, default=8,
+                              help="identification requests per pass")
+    crypto_bench.add_argument("--dimension", "-n", type=int, default=256,
+                              help="template dimension for the identify flow "
+                                   "(default: 256 — bench-sized)")
+    crypto_bench.add_argument("--seed", type=int, default=0)
+    crypto_bench.add_argument("--json", default="BENCH_crypto.json",
+                              help="trajectory artifact path (empty string "
+                                   "to skip writing)")
+    crypto_bench.set_defaults(handler=_cmd_crypto_bench)
 
     return parser
 

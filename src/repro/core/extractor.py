@@ -142,7 +142,7 @@ class SuccinctFuzzyExtractor:
                             personalization=b"fe-gen")
         x_canonical = self.sketcher.line.validate_vector(x)
         seed = drbg.generate(self.extractor.seed_bytes)
-        movements = self.sketcher.sketch(x_canonical, drbg)
+        movements = self.sketcher.sketch_canonical(x_canonical, drbg)
         tag = self._tag(x_canonical, movements, seed)
         secret = self.extractor.extract(encode_int_vector(x_canonical), seed)
         return secret, HelperData(movements=movements, tag=tag, seed=seed)

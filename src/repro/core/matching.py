@@ -48,10 +48,18 @@ __all__ = [
 
 
 def ring_distance_ka(s: IntArray, s_prime: IntArray, interval_width: int) -> IntArray:
-    """Per-coordinate ring distance between sketch vectors (circumference ``ka``)."""
-    diff = np.abs(np.asarray(s, dtype=np.int64) - np.asarray(s_prime, dtype=np.int64))
-    return np.minimum(diff % interval_width,
-                      (interval_width - diff) % interval_width)
+    """Per-coordinate ring distance between sketch vectors (circumference ``ka``).
+
+    One modulo suffices: with ``r = |s - s'| mod ka`` in ``[0, ka)``, the
+    wrapped distance is ``min(r, ka - r)`` (``r == 0`` gives 0 either way,
+    so the second reduction the literal form needs is redundant).  The
+    augmented assignment reduces the fresh ``|diff|`` buffer in place for
+    array inputs while still accepting scalars / 0-d arrays.
+    """
+    diff = np.abs(np.asarray(s, dtype=np.int64)
+                  - np.asarray(s_prime, dtype=np.int64))
+    diff %= interval_width
+    return np.minimum(diff, interval_width - diff)
 
 
 def sketches_match(s: IntArray, s_prime: IntArray, params: SystemParams) -> bool:
@@ -101,6 +109,8 @@ def match_matrix(enrolled: np.ndarray, probe: IntArray,
     if enrolled.ndim != 2:
         raise ValueError(f"enrolled must be 2-D (N, n), got {enrolled.shape}")
     ka = params.interval_width
-    diff = np.abs(enrolled - np.asarray(probe, dtype=np.int64)[None, :])
-    ring = np.minimum(diff % ka, (ka - diff) % ka)
+    diff = enrolled - np.asarray(probe, dtype=np.int64)[None, :]
+    np.abs(diff, out=diff)
+    np.mod(diff, ka, out=diff)
+    ring = np.minimum(diff, ka - diff)
     return np.all(ring <= params.t, axis=1)

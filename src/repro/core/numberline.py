@@ -40,9 +40,18 @@ class NumberLine:
     # -- canonical representation ------------------------------------------------
 
     def reduce(self, points: IntArray | int) -> IntArray:
-        """Map integers to canonical ring representatives in ``[-kav/2, kav/2)``."""
+        """Map integers to canonical ring representatives in ``[-kav/2, kav/2)``.
+
+        The shift/mod/unshift chain runs on one freshly allocated buffer
+        (``np.add`` makes the copy; the mod and subtraction reuse it) —
+        this is the innermost ring operation, called on every sketch,
+        recover, and distance computation.
+        """
         arr = np.asarray(points, dtype=np.int64)
-        return (arr + self.half_range) % self.circumference - self.half_range
+        out = np.add(arr, self.half_range)
+        out %= self.circumference
+        out -= self.half_range
+        return out
 
     def validate_vector(self, vector: IntArray, dimension: int | None = None) -> IntArray:
         """Check and canonicalise an encoded biometric vector.

@@ -57,7 +57,21 @@ class ChebyshevSketch:
         the same template may differ on boundary coordinates (which is
         exactly the paper's behaviour — the coin is fair and fresh).
         """
-        x = self.line.validate_vector(x)
+        return self.sketch_canonical(self.line.validate_vector(x), drbg)
+
+    def sketch_canonical(self, x: IntArray,
+                         drbg: HmacDrbg | None = None) -> IntArray:
+        """``SS`` for an already-canonicalised template vector.
+
+        The pre-validated entry point for callers that have just run
+        :meth:`NumberLine.validate_vector` themselves —
+        :meth:`SuccinctFuzzyExtractor.generate` canonicalises once and
+        shares the result between the sketch and the robustness tag, so
+        the Gen hot path validates each template exactly once.  ``x``
+        must be a canonical ring-representative int64 vector of dimension
+        ``params.n``; anything else is undefined behaviour (use
+        :meth:`sketch`).
+        """
         if drbg is None:
             drbg = HmacDrbg(np.random.default_rng().bytes(32),
                             personalization=b"sketch-coins")

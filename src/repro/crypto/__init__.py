@@ -9,7 +9,7 @@ arithmetic), so it must not guard real secrets.
 
 from repro.crypto.dsa import Dsa, DsaGroup, generate_group
 from repro.crypto.dsa_groups import GROUP_512, GROUP_1024, GROUP_2048
-from repro.crypto.ec import P256, Curve, Point
+from repro.crypto.ec import P256, Curve, Point, PointTable
 from repro.crypto.ecdsa import Ecdsa
 from repro.crypto.extractors import (
     Sha256Extractor,
@@ -20,9 +20,11 @@ from repro.crypto.extractors import (
 )
 from repro.crypto.prng import HmacDrbg, derive_drbg, rng_from_seed
 from repro.crypto.schnorr import EcSchnorr
+from repro.crypto.numbertheory import FixedBaseExp, sliding_window_pow
 from repro.crypto.signatures import (
     KeyPair,
     SignatureScheme,
+    VerifyTableCache,
     available_schemes,
     get_scheme,
     register_scheme,
@@ -38,6 +40,7 @@ __all__ = [
     "P256",
     "Curve",
     "Point",
+    "PointTable",
     "Ecdsa",
     "EcSchnorr",
     "Sha256Extractor",
@@ -50,6 +53,9 @@ __all__ = [
     "rng_from_seed",
     "KeyPair",
     "SignatureScheme",
+    "VerifyTableCache",
+    "FixedBaseExp",
+    "sliding_window_pow",
     "available_schemes",
     "get_scheme",
     "register_scheme",

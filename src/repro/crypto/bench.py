@@ -1,0 +1,294 @@
+"""Signature-kernel benchmark harness behind ``repro crypto-bench``.
+
+The identification protocol spends one signature per challenge (paper
+Fig. 3), and Table II compares back-ends precisely because sign/verify
+dominates end-to-end time once the sketch search is sublinear.  This
+harness measures the four costs that matter, parity-checking the fast
+paths against the retained reference implementations while timing:
+
+* **scalar multiplication** — the affine double-and-add reference vs the
+  Jacobian/wNAF kernel (fixed-base comb for ``G``, windowed NAF for a
+  variable point, warm-table Shamir for the double-scalar verify shape);
+* **scheme primitives** — keygen / sign / cold reference verify /
+  fast verify / precomputed-table verify for each signature back-end;
+* **end-to-end identification** — the full Fig. 3 flow (probe → sketch
+  search → challenge → ``Rep`` + sign → verify) over a small enrolled
+  stack, cold pass and warm pass (the second pass verifies against the
+  server's key-table cache).
+
+``write_trajectory`` appends each run to a JSON artifact
+(``BENCH_crypto.json``) so speedups can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.crypto.prng import HmacDrbg
+from repro.crypto.signatures import get_scheme
+from repro.ioutil import atomic_replace
+
+#: Scheme names benchmarked by default: the paper's DSA plus the EC drop-ins.
+DEFAULT_SCHEMES = ("ecdsa-p-256", "schnorr-p-256", "dsa-1024")
+
+
+def _mean_time(fn, iterations: int) -> float:
+    """Mean wall-clock seconds of ``iterations`` calls of ``fn``."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+@dataclass(frozen=True)
+class CryptoBenchReport:
+    """Mean latencies (seconds) for one crypto-bench run."""
+
+    iterations: int
+    #: ``affine_reference`` / ``fixed_base`` / ``wnaf_variable`` /
+    #: ``shamir_warm`` mean seconds per scalar multiplication.
+    scalar_mult: dict[str, float]
+    #: scheme name -> ``keygen`` / ``sign`` / ``verify_reference`` /
+    #: ``verify`` / ``verify_table`` / ``precompute`` mean seconds.
+    schemes: dict[str, dict[str, float]]
+    #: scheme name -> ``identify_cold`` / ``identify_warm`` mean seconds
+    #: per end-to-end identification (empty when the flow was skipped).
+    identify: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def scalar_mult_speedup(self) -> float:
+        """Fixed-base Jacobian/wNAF kernel vs the affine reference."""
+        fast = self.scalar_mult["fixed_base"]
+        return self.scalar_mult["affine_reference"] / fast if fast > 0 \
+            else float("inf")
+
+    @property
+    def wnaf_speedup(self) -> float:
+        """Variable-point wNAF vs the affine reference."""
+        fast = self.scalar_mult["wnaf_variable"]
+        return self.scalar_mult["affine_reference"] / fast if fast > 0 \
+            else float("inf")
+
+    def verify_speedup(self, scheme: str) -> float:
+        """Precomputed-table verify vs the scheme's cold reference verify."""
+        timings = self.schemes[scheme]
+        warm = timings["verify_table"]
+        return timings["verify_reference"] / warm if warm > 0 \
+            else float("inf")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable bench table (one string per line)."""
+        sm = self.scalar_mult
+        lines = [
+            f"crypto bench ({self.iterations} iterations/measurement)",
+            "scalar multiplication (P-256):",
+            f"  affine reference   {sm['affine_reference'] * 1e3:8.2f} ms",
+            f"  fixed-base comb    {sm['fixed_base'] * 1e3:8.2f} ms  "
+            f"(x{self.scalar_mult_speedup:.1f})",
+            f"  wNAF variable pt   {sm['wnaf_variable'] * 1e3:8.2f} ms  "
+            f"(x{self.wnaf_speedup:.1f})",
+            f"  Shamir warm table  {sm['shamir_warm'] * 1e3:8.2f} ms",
+        ]
+        for name, t in self.schemes.items():
+            lines.append(
+                f"{name}: keygen {t['keygen'] * 1e3:.2f} ms, "
+                f"sign {t['sign'] * 1e3:.2f} ms, "
+                f"verify {t['verify_reference'] * 1e3:.2f} ms cold-ref / "
+                f"{t['verify'] * 1e3:.2f} ms fast / "
+                f"{t['verify_table'] * 1e3:.2f} ms warm-table "
+                f"(x{self.verify_speedup(name):.1f})"
+            )
+        for name, t in self.identify.items():
+            lines.append(
+                f"identify end-to-end [{name}]: "
+                f"{t['identify_cold'] * 1e3:.1f} ms cold, "
+                f"{t['identify_warm'] * 1e3:.1f} ms warm tables"
+            )
+        return lines
+
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable form (the trajectory artifact's unit entry)."""
+        return {
+            "iterations": self.iterations,
+            "scalar_mult_s": dict(self.scalar_mult),
+            "scalar_mult_speedup": self.scalar_mult_speedup,
+            "wnaf_speedup": self.wnaf_speedup,
+            "schemes_s": {k: dict(v) for k, v in self.schemes.items()},
+            "verify_speedups": {
+                name: self.verify_speedup(name) for name in self.schemes
+            },
+            "identify_s": {k: dict(v) for k, v in self.identify.items()},
+        }
+
+
+def write_trajectory(report: CryptoBenchReport, path: str | Path) -> None:
+    """Append ``report`` to the JSON trajectory artifact at ``path``.
+
+    The artifact is ``{"runs": [...]}``; each run carries a timestamp so
+    the speedup trajectory across commits stays reconstructible.  Only
+    the most recent 50 runs are kept.
+    """
+    path = Path(path)
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+        if not isinstance(runs, list):
+            runs = []  # unreadable artifact: start a fresh trajectory
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
+    entry.update(report.to_json_dict())
+    runs.append(entry)
+    with atomic_replace(path, mode="w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"runs": runs[-50:]}, indent=2) + "\n")
+
+
+def _bench_scalar_mult(iterations: int, seed: int) -> dict[str, float]:
+    """Scalar-mult section; parity-checks fast vs affine while timing."""
+    from repro.crypto.ec import P256
+
+    drbg = HmacDrbg(seed.to_bytes(8, "big"), personalization=b"crypto-bench")
+    g = P256.generator
+    q_point = P256.multiply(drbg.random_int_range(1, P256.n - 1), g)
+    scalars = [drbg.random_int_range(1, P256.n - 1) for _ in range(iterations)]
+    pairs = [(drbg.random_int_range(1, P256.n - 1),
+              drbg.random_int_range(1, P256.n - 1))
+             for _ in range(iterations)]
+    table = P256.precompute_table(q_point)
+    P256.multiply_base(1)  # build the comb outside the timers
+
+    # Parity: a wrong answer must never look like a speedup.
+    for k in scalars[:2]:
+        reference = P256.multiply_affine(k, g)
+        assert P256.multiply(k, g) == reference, "fixed-base parity violation"
+        assert P256.multiply(k, q_point) == \
+            P256.multiply_affine(k, q_point), "wNAF parity violation"
+    u1, u2 = pairs[0]
+    assert P256.shamir_multiply(u1, u2, table=table) == P256.add(
+        P256.multiply_affine(u1, g), P256.multiply_affine(u2, q_point)
+    ), "Shamir parity violation"
+
+    affine_iters = max(2, iterations // 4)  # the reference is ~25x slower
+    it = iter(scalars)
+    times = {
+        "affine_reference": _mean_time(
+            lambda: P256.multiply_affine(scalars[0], g), affine_iters),
+        "fixed_base": _mean_time(lambda: P256.multiply(next(it), g),
+                                 iterations),
+    }
+    it = iter(scalars)
+    times["wnaf_variable"] = _mean_time(
+        lambda: P256.multiply(next(it), q_point), iterations)
+    it2 = iter(pairs)
+    times["shamir_warm"] = _mean_time(
+        lambda: P256.shamir_multiply(*next(it2), table=table), iterations)
+    return times
+
+
+def _bench_scheme(name: str, iterations: int) -> dict[str, float]:
+    """Primitive timings for one scheme; parity-checks every verify path."""
+    scheme = get_scheme(name)
+    seed = b"crypto-bench-" + name.encode()
+    keypair = scheme.keygen_from_seed(seed)
+    message = b"crypto-bench-challenge"
+    signature = scheme.sign(keypair.signing_key, message)
+    table = scheme.precompute(keypair.verify_key)
+    assert table is not None, f"{name}: precompute refused a good key"
+
+    assert scheme.verify(keypair.verify_key, message, signature)
+    assert scheme.verify(keypair.verify_key, message, signature, table=table)
+    assert scheme.verify_reference(keypair.verify_key, message, signature)
+    bad = bytearray(signature)
+    bad[-1] ^= 1
+    assert not scheme.verify(keypair.verify_key, message, bytes(bad),
+                             table=table)
+
+    return {
+        "keygen": _mean_time(lambda: scheme.keygen_from_seed(seed),
+                             iterations),
+        "sign": _mean_time(lambda: scheme.sign(keypair.signing_key, message),
+                           iterations),
+        "verify_reference": _mean_time(
+            lambda: scheme.verify_reference(keypair.verify_key, message,
+                                            signature),
+            max(2, iterations // 4)),
+        "verify": _mean_time(
+            lambda: scheme.verify(keypair.verify_key, message, signature),
+            iterations),
+        "verify_table": _mean_time(
+            lambda: scheme.verify(keypair.verify_key, message, signature,
+                                  table=table),
+            iterations),
+        "precompute": _mean_time(
+            lambda: scheme.precompute(keypair.verify_key),
+            max(2, iterations // 4)),
+    }
+
+
+def _bench_identify(name: str, n_users: int, n_requests: int,
+                    dimension: int, seed: int) -> dict[str, float]:
+    """End-to-end Fig. 3 identification latency, cold and warm passes."""
+    from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+    from repro.core.params import SystemParams
+    from repro.protocols.device import BiometricDevice
+    from repro.protocols.runners import run_enrollment, run_identification
+    from repro.protocols.server import AuthenticationServer
+    from repro.protocols.transport import DuplexLink
+
+    params = SystemParams.paper_defaults(n=dimension)
+    scheme = get_scheme(name)
+    population = UserPopulation(params, size=n_users,
+                                noise=BoundedUniformNoise(params.t),
+                                seed=seed)
+    device = BiometricDevice(params, scheme, seed=b"crypto-bench-device")
+    server = AuthenticationServer(params, scheme, seed=b"crypto-bench-server")
+    for i, user_id in enumerate(population.user_ids()):
+        run = run_enrollment(device, server, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted, f"enrollment refused for {user_id}"
+
+    def one_pass() -> float:
+        start = time.perf_counter()
+        for request in range(n_requests):
+            target = request % n_users
+            run = run_identification(device, server, DuplexLink(),
+                                     population.genuine_reading(target))
+            assert run.outcome.identified, "genuine reading not identified"
+        return (time.perf_counter() - start) / n_requests
+
+    cold = one_pass()   # first pass: every key's first verify, fully cold
+    one_pass()          # second pass: recurring keys get their tables built
+    warm = one_pass()   # third pass: every verify against warm tables
+    return {"identify_cold": cold, "identify_warm": warm}
+
+
+def run_crypto_bench(iterations: int = 8,
+                     schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+                     identify_scheme: str | None = "ecdsa-p-256",
+                     identify_users: int = 8,
+                     identify_requests: int = 8,
+                     dimension: int = 256,
+                     seed: int = 0) -> CryptoBenchReport:
+    """Run every section and return the collected report.
+
+    ``identify_scheme=None`` skips the end-to-end flow (the unit the
+    smoke-mode CI job trims first).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    scheme_times = {name: _bench_scheme(name, iterations) for name in schemes}
+    identify: dict[str, dict[str, float]] = {}
+    if identify_scheme is not None:
+        identify[identify_scheme] = _bench_identify(
+            identify_scheme, identify_users, identify_requests, dimension,
+            seed)
+    return CryptoBenchReport(
+        iterations=iterations,
+        scalar_mult=_bench_scalar_mult(iterations, seed),
+        schemes=scheme_times,
+        identify=identify,
+    )

@@ -6,18 +6,47 @@ signatures have far smaller keys for the same security level, which matters
 in the identification protocol: the verify key is stored per user and the
 signature crosses the wire on every identification.
 
-The implementation is textbook affine-coordinate arithmetic over a prime
-field; points at infinity are represented by ``None`` inside the group-law
-helpers and by :data:`Point.INFINITY` at the public surface.  This is a
-*reproduction-grade* implementation — it is not constant-time and must not
-be used to protect real secrets.
+Two implementations of the group law coexist:
+
+* **Affine reference** — textbook affine-coordinate arithmetic (one modular
+  inversion per addition), kept verbatim from the original reproduction as
+  :meth:`Curve.add` / :meth:`Curve.multiply_affine`.  It is the auditable
+  law the fast kernel is property-tested against.
+* **Jacobian kernel** — projective ``(X, Y, Z)`` coordinates with
+  ``x = X/Z^2, y = Y/Z^3``, so additions and doublings cost field
+  multiplications only; a scalar multiplication performs exactly one
+  inversion, at the final conversion back to affine.  Scalar recoding uses
+  windowed NAF (non-adjacent form), and two precomputation surfaces feed
+  the protocol hot paths:
+
+  - a **fixed-base comb table** for the curve generator ``G`` (keygen and
+    signing multiply ``G`` by a fresh scalar on every call — the comb
+    replaces the doubling chain with ~64 table additions);
+  - per-point **wNAF odd-multiple tables** (:class:`PointTable`), used by
+    Shamir's double-scalar trick (:meth:`Curve.shamir_multiply`) so
+    signature verification evaluates ``u1*G + u2*Q`` in one interleaved
+    doubling pass against warm tables.
+
+Points at infinity are represented by ``None`` coordinates at the public
+surface (:data:`Point.infinity`) and by ``Z == 0`` inside the Jacobian
+kernel.  This is a *reproduction-grade* implementation — it is not
+constant-time and must not be used to protect real secrets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.numbertheory import is_probable_prime, modinv, tonelli_shanks
+
+#: Window width for on-the-fly wNAF multiplication of an arbitrary point.
+_WNAF_WINDOW = 5
+#: Window width for precomputed per-key tables (64 odd multiples).
+_TABLE_WINDOW = 7
+#: Window width (bits per digit) of the fixed-base comb table for ``G``.
+_COMB_WINDOW = 4
+
+_JAC_INFINITY = (1, 1, 0)
 
 
 @dataclass(frozen=True)
@@ -36,6 +65,69 @@ class Point:
         return self.x is None
 
 
+class PointTable:
+    """Precomputed odd multiples ``P, 3P, 5P, ... (2^(w-1)-1)P`` of a point.
+
+    Entries are stored in affine coordinates (batch-inverted at build time)
+    so the Jacobian kernel can use cheap mixed additions.  Build one per
+    long-lived verify key via :meth:`Curve.precompute_table` and pass it to
+    :meth:`Curve.shamir_multiply` / :meth:`Curve.multiply` to verify
+    against warm tables.
+
+    ``verify_key`` optionally records the encoded key the table was built
+    for; the signature schemes set it in ``precompute`` and reject a
+    table/key mismatch in ``verify`` (a mispaired table must fail closed,
+    not authenticate against the wrong key).
+    """
+
+    __slots__ = ("point", "window", "odd", "verify_key")
+
+    def __init__(self, point: Point, window: int,
+                 odd: list[tuple[int, int]],
+                 verify_key: bytes | None = None) -> None:
+        self.point = point
+        self.window = window
+        self.odd = odd
+        self.verify_key = verify_key
+
+    def __len__(self) -> int:
+        return len(self.odd)
+
+
+def _signed_entry(digit: int, odd: list[tuple[int, int]],
+                  p: int) -> tuple[int, int]:
+    """Affine table entry for a non-zero signed wNAF ``digit``.
+
+    ``odd[i]`` holds ``(2i+1) * P``; a negative digit selects the same
+    multiple with the y coordinate negated.
+    """
+    x2, y2 = odd[(digit if digit > 0 else -digit) >> 1]
+    return (x2, y2) if digit > 0 else (x2, p - y2)
+
+
+def _wnaf_digits(scalar: int, window: int) -> list[int]:
+    """Width-``window`` NAF digits of ``scalar``, least significant first.
+
+    Every non-zero digit is odd with ``|digit| < 2^(window-1)``, and any
+    two non-zero digits are separated by at least ``window - 1`` zeros.
+    """
+    digits: list[int] = []
+    full = 1 << window
+    half = full >> 1
+    mask = full - 1
+    while scalar:
+        if scalar & 1:
+            digit = scalar & mask
+            if digit >= half:
+                digit -= full
+            scalar -= digit
+            digits.append(digit)
+        else:
+            digits.append(0)
+        scalar >>= 1
+    return digits
+
+
 @dataclass(frozen=True)
 class Curve:
     """A short-Weierstrass curve ``y^2 = x^3 + a*x + b`` over ``GF(p)``.
@@ -50,6 +142,9 @@ class Curve:
     gx: int
     gy: int
     n: int
+    #: Lazy per-curve precomputation cache (comb and wNAF tables for ``G``).
+    _tables: dict = field(default_factory=dict, init=False, repr=False,
+                          compare=False)
 
     def __post_init__(self) -> None:
         if not self.is_on_curve(Point(self.gx, self.gy)):
@@ -75,14 +170,14 @@ class Curve:
         if not self.multiply(self.n, self.generator).is_infinity:
             raise ValueError("base point order is not n")
 
-    # -- group law ---------------------------------------------------------
+    # -- affine reference group law ---------------------------------------
 
     @property
     def generator(self) -> Point:
         return Point(self.gx, self.gy)
 
     def add(self, lhs: Point, rhs: Point) -> Point:
-        """Group addition in affine coordinates."""
+        """Group addition in affine coordinates (reference law)."""
         if lhs.is_infinity:
             return rhs
         if rhs.is_infinity:
@@ -105,8 +200,14 @@ class Curve:
             return point
         return Point(point.x, (-point.y) % self.p)
 
-    def multiply(self, scalar: int, point: Point) -> Point:
-        """Double-and-add scalar multiplication ``scalar * point``."""
+    def multiply_affine(self, scalar: int, point: Point) -> Point:
+        """Double-and-add scalar multiplication in affine coordinates.
+
+        This is the original reproduction's ``multiply`` — one modular
+        inversion per group operation.  Retained as the reference the
+        Jacobian/wNAF kernel is benchmarked and property-tested against;
+        hot paths use :meth:`multiply`.
+        """
         scalar %= self.n
         result = Point.infinity()
         addend = point
@@ -116,6 +217,298 @@ class Curve:
             addend = self.add(addend, addend)
             scalar >>= 1
         return result
+
+    # -- Jacobian kernel ---------------------------------------------------
+    #
+    # Formulas are the standard dbl-2007-bl / madd-2007-bl / add-2007-bl
+    # from the Explicit-Formulas Database, with the a = -3 shortcut for the
+    # doubling slope.  Points are (X, Y, Z) tuples with Z == 0 for the
+    # identity; all helpers are free functions of plain ints for speed.
+
+    def _jac_double(self, P1: tuple[int, int, int]) -> tuple[int, int, int]:
+        X1, Y1, Z1 = P1
+        if Z1 == 0 or Y1 == 0:
+            return _JAC_INFINITY
+        p = self.p
+        XX = X1 * X1 % p
+        YY = Y1 * Y1 % p
+        YYYY = YY * YY % p
+        ZZ = Z1 * Z1 % p
+        S = 2 * ((X1 + YY) * (X1 + YY) - XX - YYYY) % p
+        if self.a % p == p - 3:
+            M = 3 * (X1 - ZZ) * (X1 + ZZ) % p
+        else:
+            M = (3 * XX + self.a * ZZ * ZZ) % p
+        X3 = (M * M - 2 * S) % p
+        Y3 = (M * (S - X3) - 8 * YYYY) % p
+        Z3 = ((Y1 + Z1) * (Y1 + Z1) - YY - ZZ) % p
+        return X3, Y3, Z3
+
+    def _jac_add(self, P1: tuple[int, int, int],
+                 P2: tuple[int, int, int]) -> tuple[int, int, int]:
+        X1, Y1, Z1 = P1
+        X2, Y2, Z2 = P2
+        if Z1 == 0:
+            return P2
+        if Z2 == 0:
+            return P1
+        p = self.p
+        Z1Z1 = Z1 * Z1 % p
+        Z2Z2 = Z2 * Z2 % p
+        U1 = X1 * Z2Z2 % p
+        U2 = X2 * Z1Z1 % p
+        S1 = Y1 * Z2 * Z2Z2 % p
+        S2 = Y2 * Z1 * Z1Z1 % p
+        H = (U2 - U1) % p
+        r = (S2 - S1) % p
+        if H == 0:
+            if r == 0:
+                return self._jac_double(P1)
+            return _JAC_INFINITY
+        I = 4 * H * H % p
+        J = H * I % p
+        r2 = 2 * r % p
+        V = U1 * I % p
+        X3 = (r2 * r2 - J - 2 * V) % p
+        Y3 = (r2 * (V - X3) - 2 * S1 * J) % p
+        Z3 = ((Z1 + Z2) * (Z1 + Z2) - Z1Z1 - Z2Z2) * H % p
+        return X3, Y3, Z3
+
+    def _jac_add_affine(self, P1: tuple[int, int, int],
+                        x2: int, y2: int) -> tuple[int, int, int]:
+        """Mixed addition: Jacobian ``P1`` plus affine ``(x2, y2)``."""
+        X1, Y1, Z1 = P1
+        if Z1 == 0:
+            return x2, y2, 1
+        p = self.p
+        Z1Z1 = Z1 * Z1 % p
+        U2 = x2 * Z1Z1 % p
+        S2 = y2 * Z1 * Z1Z1 % p
+        H = (U2 - X1) % p
+        r = (S2 - Y1) % p
+        if H == 0:
+            if r == 0:
+                return self._jac_double(P1)
+            return _JAC_INFINITY
+        HH = H * H % p
+        I = 4 * HH % p
+        J = H * I % p
+        r2 = 2 * r % p
+        V = X1 * I % p
+        X3 = (r2 * r2 - J - 2 * V) % p
+        Y3 = (r2 * (V - X3) - 2 * Y1 * J) % p
+        Z3 = ((Z1 + H) * (Z1 + H) - Z1Z1 - HH) % p
+        return X3, Y3, Z3
+
+    def _jac_to_point(self, P1: tuple[int, int, int]) -> Point:
+        """Convert back to affine — the scalar mult's single inversion."""
+        X1, Y1, Z1 = P1
+        if Z1 == 0:
+            return Point.infinity()
+        p = self.p
+        z_inv = modinv(Z1, p)
+        zz_inv = z_inv * z_inv % p
+        return Point(X1 * zz_inv % p, Y1 * zz_inv * z_inv % p)
+
+    def _batch_to_affine(
+        self, points: list[tuple[int, int, int]],
+    ) -> list[tuple[int, int]]:
+        """Convert Jacobian points to affine with one shared inversion.
+
+        Montgomery's trick: invert the product of all Z's, then peel off
+        the individual inverses with two multiplications each.  ``points``
+        must not contain the identity.
+        """
+        p = self.p
+        prefix: list[int] = []
+        acc = 1
+        for _, _, Z in points:
+            acc = acc * Z % p
+            prefix.append(acc)
+        inv = modinv(acc, p)
+        affine: list[tuple[int, int]] = [(0, 0)] * len(points)
+        for i in range(len(points) - 1, -1, -1):
+            X, Y, Z = points[i]
+            z_inv = inv * (prefix[i - 1] if i else 1) % p
+            inv = inv * Z % p
+            zz_inv = z_inv * z_inv % p
+            affine[i] = (X * zz_inv % p, Y * zz_inv * z_inv % p)
+        return affine
+
+    # -- precomputation ----------------------------------------------------
+
+    def precompute_table(self, point: Point,
+                         window: int = _TABLE_WINDOW) -> PointTable:
+        """Build the wNAF odd-multiple table for a long-lived point.
+
+        Verification against a stored per-user key calls this once and
+        reuses the result (see ``SignatureScheme.precompute`` and the
+        protocol layer's key-table caches).
+        """
+        if point.is_infinity:
+            raise ValueError("cannot precompute a table for the identity")
+        jac = (point.x, point.y, 1)
+        twice = self._jac_double(jac)
+        odd_jac = [jac]
+        for _ in range((1 << (window - 2)) - 1):
+            odd_jac.append(self._jac_add(odd_jac[-1], twice))
+        return PointTable(point, window, self._batch_to_affine(odd_jac))
+
+    def precompute_verify_key(self, verify_key: bytes) -> PointTable | None:
+        """:meth:`precompute_table` for a SEC1-encoded verify key.
+
+        The shared body of the EC schemes' ``precompute``: decodes the
+        key, rejects malformed encodings and the identity with ``None``
+        (mirroring ``verify``'s tolerance), and tags the table with the
+        exact key bytes so a mispaired table fails closed at verify time.
+        """
+        try:
+            q = self.decode_point(verify_key)
+        except ValueError:
+            return None
+        if q.is_infinity:
+            return None
+        table = self.precompute_table(q)
+        table.verify_key = verify_key
+        return table
+
+    def _generator_table(self) -> PointTable:
+        """Cached wNAF table for ``G`` (the Shamir ``u1`` side)."""
+        table = self._tables.get("g-wnaf")
+        if table is None:
+            table = self.precompute_table(self.generator, _TABLE_WINDOW)
+            self._tables["g-wnaf"] = table
+        return table
+
+    def _comb_table(self) -> list[list[tuple[int, int]]]:
+        """Cached fixed-base comb for ``G``.
+
+        ``comb[j][d-1] = (d << (w*j)) * G`` in affine coordinates, for
+        every ``w``-bit window position ``j`` and digit ``d in 1..2^w-1``.
+        A fixed-base multiplication then needs no doublings at all — one
+        mixed addition per non-zero scalar digit (~``256/w`` on average).
+        """
+        comb = self._tables.get("g-comb")
+        if comb is None:
+            w = _COMB_WINDOW
+            windows = (self.n.bit_length() + w - 1) // w
+            flat: list[tuple[int, int, int]] = []
+            base = (self.gx, self.gy, 1)
+            for _ in range(windows):
+                entry = base
+                for _ in range((1 << w) - 1):
+                    flat.append(entry)
+                    entry = self._jac_add(entry, base)
+                base = entry  # (2^w) * previous base
+            affine = self._batch_to_affine(flat)
+            per = (1 << w) - 1
+            comb = [affine[j * per:(j + 1) * per] for j in range(windows)]
+            self._tables["g-comb"] = comb
+        return comb
+
+    # -- scalar multiplication --------------------------------------------
+
+    def multiply_base(self, scalar: int) -> Point:
+        """Fixed-base multiplication ``scalar * G`` via the comb table."""
+        scalar %= self.n
+        if scalar == 0:
+            return Point.infinity()
+        comb = self._comb_table()
+        w = _COMB_WINDOW
+        mask = (1 << w) - 1
+        acc = _JAC_INFINITY
+        j = 0
+        while scalar:
+            digit = scalar & mask
+            if digit:
+                x2, y2 = comb[j][digit - 1]
+                acc = self._jac_add_affine(acc, x2, y2)
+            scalar >>= w
+            j += 1
+        return self._jac_to_point(acc)
+
+    def _multiply_wnaf(self, scalar: int, point: Point,
+                       table: PointTable | None = None) -> Point:
+        """wNAF scalar multiplication of an arbitrary point."""
+        if table is None:
+            table = self.precompute_table(point, _WNAF_WINDOW)
+        digits = _wnaf_digits(scalar, table.window)
+        odd = table.odd
+        p = self.p
+        acc = _JAC_INFINITY
+        for digit in reversed(digits):
+            acc = self._jac_double(acc)
+            if digit:
+                acc = self._jac_add_affine(acc, *_signed_entry(digit, odd, p))
+        return self._jac_to_point(acc)
+
+    def multiply(self, scalar: int, point: Point,
+                 table: PointTable | None = None) -> Point:
+        """Scalar multiplication ``scalar * point`` (Jacobian fast path).
+
+        The generator is routed through the fixed-base comb (keygen and
+        signing always multiply ``G``); other points run windowed-NAF with
+        an on-the-fly odd-multiple table, or a caller-provided
+        :class:`PointTable` built by :meth:`precompute_table`.
+        Agrees with :meth:`multiply_affine` on every input (property-tested
+        in ``tests/crypto/test_ec_fast.py``).
+        """
+        scalar %= self.n
+        if scalar == 0 or point.is_infinity:
+            return Point.infinity()
+        if table is None:
+            if point.x == self.gx and point.y == self.gy:
+                return self.multiply_base(scalar)
+        elif table.point != point:
+            raise ValueError("table was precomputed for a different point")
+        return self._multiply_wnaf(scalar, point, table)
+
+    def shamir_multiply(self, u1: int, u2: int, point: Point | None = None,
+                        table: PointTable | None = None) -> Point:
+        """Shamir's trick: ``u1*G + u2*Q`` in one interleaved pass.
+
+        The doubling chain is shared between both scalars, so the combined
+        multiplication costs one chain of ~256 doublings plus one table
+        addition per non-zero wNAF digit of either scalar — roughly the
+        price of a single scalar multiplication.  ``Q`` is given either as
+        a point (a throwaway window table is built) or as a warm
+        :class:`PointTable` from :meth:`precompute_table`.
+        """
+        u1 %= self.n
+        u2 %= self.n
+        if table is None:
+            if point is None:
+                raise ValueError("shamir_multiply needs a point or a table")
+            if point.is_infinity:
+                raise ValueError("Q must not be the identity")
+            table = self.precompute_table(point, _WNAF_WINDOW)
+        elif point is not None and table.point != point:
+            raise ValueError("table was precomputed for a different point")
+        if u2 == 0:
+            return self.multiply_base(u1)
+        if u1 == 0:
+            return self._multiply_wnaf(u2, table.point, table)
+        g_table = self._generator_table()
+        d1 = _wnaf_digits(u1, g_table.window)
+        d2 = _wnaf_digits(u2, table.window)
+        length = max(len(d1), len(d2))
+        d1 += [0] * (length - len(d1))
+        d2 += [0] * (length - len(d2))
+        g_odd = g_table.odd
+        q_odd = table.odd
+        p = self.p
+        acc = _JAC_INFINITY
+        for i in range(length - 1, -1, -1):
+            acc = self._jac_double(acc)
+            digit = d1[i]
+            if digit:
+                acc = self._jac_add_affine(
+                    acc, *_signed_entry(digit, g_odd, p))
+            digit = d2[i]
+            if digit:
+                acc = self._jac_add_affine(
+                    acc, *_signed_entry(digit, q_odd, p))
+        return self._jac_to_point(acc)
 
     # -- encodings ---------------------------------------------------------
 

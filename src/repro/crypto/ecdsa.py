@@ -8,7 +8,7 @@ canonical byte encodings for keys and signatures.
 
 from __future__ import annotations
 
-from repro.crypto.ec import Curve, P256
+from repro.crypto.ec import Curve, P256, PointTable
 from repro.crypto.hashing import sha256
 from repro.crypto.numbertheory import modinv
 from repro.crypto.prng import HmacDrbg
@@ -83,8 +83,60 @@ class Ecdsa(SignatureScheme):
             return (r.to_bytes(self._n_len, "big")
                     + s.to_bytes(self._n_len, "big"))
 
-    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
-        """Check an ECDSA signature; ``False`` on any malformation."""
+    def precompute(self, verify_key: bytes) -> PointTable | None:
+        """Build the wNAF window table for a long-lived verify key.
+
+        Returns ``None`` for a malformed key (mirroring :meth:`verify`'s
+        tolerance).  Pass the table back through ``verify(..., table=)`` —
+        or let the protocol layer's key-table cache do it — to verify
+        against warm precomputation.
+        """
+        return self.curve.precompute_verify_key(verify_key)
+
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes,
+               table: PointTable | None = None) -> bool:
+        """Check an ECDSA signature; ``False`` on any malformation.
+
+        ``u1*G + u2*Q`` is evaluated with Shamir's double-scalar trick in
+        one interleaved pass; a ``table`` from :meth:`precompute` skips
+        both the point decompression and the per-call window build.  A
+        table built for a *different* key fails closed.
+        """
+        curve = self.curve
+        if len(signature) != 2 * self._n_len:
+            return False
+        if table is None:
+            try:
+                q = curve.decode_point(verify_key)
+            except ValueError:
+                return False
+            if q.is_infinity:
+                return False
+        else:
+            if table.verify_key != verify_key:
+                return False
+            q = table.point
+        r = int.from_bytes(signature[: self._n_len], "big")
+        s = int.from_bytes(signature[self._n_len:], "big")
+        if not (0 < r < curve.n and 0 < s < curve.n):
+            return False
+        h = self._hash_to_zn(message)
+        w = modinv(s, curve.n)
+        u1 = h * w % curve.n
+        u2 = r * w % curve.n
+        point = curve.shamir_multiply(u1, u2, q, table)
+        if point.is_infinity:
+            return False
+        return point.x % curve.n == r
+
+    def verify_reference(self, verify_key: bytes, message: bytes,
+                         signature: bytes) -> bool:
+        """The original affine-arithmetic verify, retained verbatim.
+
+        Two independent double-and-add multiplications with one modular
+        inversion per group operation.  Benchmarks and parity tests use
+        this as the cold baseline for the Shamir/table fast path.
+        """
         curve = self.curve
         if len(signature) != 2 * self._n_len:
             return False
@@ -103,8 +155,8 @@ class Ecdsa(SignatureScheme):
         u1 = h * w % curve.n
         u2 = r * w % curve.n
         point = curve.add(
-            curve.multiply(u1, curve.generator),
-            curve.multiply(u2, q),
+            curve.multiply_affine(u1, curve.generator),
+            curve.multiply_affine(u2, q),
         )
         if point.is_infinity:
             return False

@@ -39,6 +39,111 @@ def modinv(a: int, modulus: int) -> int:
         raise ValueError(f"{a} has no inverse modulo {modulus}") from exc
 
 
+def sliding_window_pow(base: int, exponent: int, modulus: int,
+                       window: int = 4) -> int:
+    """Sliding-window modular exponentiation ``base**exponent % modulus``.
+
+    Precomputes the odd powers ``base^1, base^3, ..., base^(2^window - 1)``
+    and consumes the exponent in maximal odd windows, so the multiplication
+    count drops from ``~bits/2`` (square-and-multiply) to
+    ``~bits/(window+1)``.  For a one-shot exponentiation CPython's builtin
+    ``pow`` (same algorithm, in C) is faster — this exists as the auditable
+    reference for :class:`FixedBaseExp` and for repeated-base callers that
+    want the table shape without fixing the base at construction time.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if exponent < 0:
+        raise ValueError("negative exponents are not supported")
+    if modulus == 1:
+        return 0
+    base %= modulus
+    if exponent == 0:
+        return 1
+    # odd[i] = base ** (2*i + 1)
+    base_sq = base * base % modulus
+    odd = [base]
+    for _ in range((1 << (window - 1)) - 1):
+        odd.append(odd[-1] * base_sq % modulus)
+    result = 1
+    bits = exponent.bit_length()
+    i = bits - 1
+    while i >= 0:
+        if not (exponent >> i) & 1:
+            result = result * result % modulus
+            i -= 1
+            continue
+        # Take the widest window ending in a set bit.
+        j = max(0, i - window + 1)
+        while not (exponent >> j) & 1:
+            j += 1
+        chunk = (exponent >> j) & ((1 << (i - j + 1)) - 1)
+        for _ in range(i - j + 1):
+            result = result * result % modulus
+        result = result * odd[chunk >> 1] % modulus
+        i = j - 1
+    return result
+
+
+class FixedBaseExp:
+    """Fixed-base modular exponentiation via a precomputed digit table.
+
+    For a base that is exponentiated many times (a DSA group generator, or
+    a stored per-user public key during verification), precompute
+    ``table[j][d-1] = base ** (d << (window*j)) % modulus`` for every
+    ``window``-bit digit position ``j``.  An exponentiation then needs no
+    squarings at all — just one modular multiplication per non-zero digit
+    of the exponent (~``bits/window`` products), which beats builtin
+    ``pow``'s full square-and-multiply chain despite the Python-level loop.
+    """
+
+    __slots__ = ("base", "modulus", "window", "_mask", "_table")
+
+    def __init__(self, base: int, modulus: int, exponent_bits: int,
+                 window: int = 4) -> None:
+        if modulus <= 1:
+            raise ValueError("modulus must be > 1")
+        if exponent_bits < 1:
+            raise ValueError("exponent_bits must be >= 1")
+        if not (1 <= window <= 16):
+            raise ValueError("window must be in [1, 16]")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self._mask = (1 << window) - 1
+        windows = (exponent_bits + window - 1) // window
+        table: list[list[int]] = []
+        digit_base = self.base
+        for _ in range(windows):
+            entry = digit_base
+            row = []
+            for _ in range(self._mask):
+                row.append(entry)
+                entry = entry * digit_base % modulus
+            table.append(row)
+            digit_base = entry  # base ** (2^window) ** (j+1)
+        self._table = table
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent % modulus`` for ``0 <= exponent < 2^bits``."""
+        if exponent < 0:
+            raise ValueError("negative exponents are not supported")
+        if exponent >> (self.window * len(self._table)):
+            raise ValueError("exponent exceeds the precomputed table range")
+        result = 1
+        table = self._table
+        mask = self._mask
+        modulus = self.modulus
+        j = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * table[j][digit - 1] % modulus
+            exponent >>= self.window
+            j += 1
+        return result
+
+
 def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
     """One Miller-Rabin round; ``n - 1 = d * 2**r`` with ``d`` odd.
 

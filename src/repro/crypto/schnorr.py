@@ -17,7 +17,7 @@ identification protocol:
 
 from __future__ import annotations
 
-from repro.crypto.ec import Curve, P256
+from repro.crypto.ec import Curve, P256, PointTable
 from repro.crypto.hashing import hash_concat
 from repro.crypto.prng import HmacDrbg
 from repro.crypto.signatures import KeyPair, SignatureScheme
@@ -70,8 +70,54 @@ class EcSchnorr(SignatureScheme):
                 continue
             return commitment + s.to_bytes(self._n_len, "big")
 
-    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
-        """Check ``s*G == R + e*Q``; ``False`` on any malformation."""
+    def precompute(self, verify_key: bytes) -> PointTable | None:
+        """Build the wNAF window table for a long-lived verify key.
+
+        Returns ``None`` for a malformed key (mirroring :meth:`verify`'s
+        tolerance); see :meth:`verify`'s ``table`` parameter.
+        """
+        return self.curve.precompute_verify_key(verify_key)
+
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes,
+               table: PointTable | None = None) -> bool:
+        """Check ``s*G == R + e*Q``; ``False`` on any malformation.
+
+        The check is rearranged to ``s*G + (n-e)*Q == R`` so both scalar
+        multiplications run as one Shamir double-scalar pass; a ``table``
+        from :meth:`precompute` serves ``Q`` from warm precomputation.  A
+        table built for a *different* key fails closed.
+        """
+        curve = self.curve
+        point_len = 1 + curve.coordinate_bytes
+        if len(signature) != point_len + self._n_len:
+            return False
+        commitment_bytes = signature[:point_len]
+        s = int.from_bytes(signature[point_len:], "big")
+        if not (0 < s < curve.n):
+            return False
+        if table is not None and table.verify_key != verify_key:
+            return False
+        try:
+            commitment = curve.decode_point(commitment_bytes)
+            if table is None:
+                q = curve.decode_point(verify_key)
+            else:
+                q = table.point
+        except ValueError:
+            return False
+        if q.is_infinity:
+            return False
+        e = self._challenge(commitment_bytes, verify_key, message)
+        return curve.shamir_multiply(s, curve.n - e, q, table) == commitment
+
+    def verify_reference(self, verify_key: bytes, message: bytes,
+                         signature: bytes) -> bool:
+        """The original affine-arithmetic verify, retained verbatim.
+
+        Checks ``s*G == R + e*Q`` with two independent affine
+        double-and-add multiplications (one inversion per group op);
+        the cold baseline for benchmarks and parity tests.
+        """
         curve = self.curve
         point_len = 1 + curve.coordinate_bytes
         if len(signature) != point_len + self._n_len:
@@ -88,6 +134,6 @@ class EcSchnorr(SignatureScheme):
         if q.is_infinity:
             return False
         e = self._challenge(commitment_bytes, verify_key, message)
-        lhs = curve.multiply(s, curve.generator)
-        rhs = curve.add(commitment, curve.multiply(e, q))
+        lhs = curve.multiply_affine(s, curve.generator)
+        rhs = curve.add(commitment, curve.multiply_affine(e, q))
         return lhs == rhs

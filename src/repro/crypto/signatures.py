@@ -12,7 +12,14 @@ All schemes implement the same small surface:
   crux of the paper's design: the private key is *never stored*; it is
   re-derived from the biometric on every identification via ``Rep``.
 * ``sign(signing_key, message) -> bytes``
-* ``verify(verify_key, message, signature) -> bool``
+* ``verify(verify_key, message, signature, table=None) -> bool``
+* ``precompute(verify_key) -> table | None`` — build a reusable
+  verification table for a long-lived key (wNAF window tables for the EC
+  schemes, fixed-base exponentiation tables for DSA).  Passing the result
+  back through ``verify``'s ``table`` argument skips the per-call
+  precomputation; :class:`VerifyTableCache` automates this for the
+  protocol layer, which verifies against the *same* stored per-user key on
+  every identification.
 
 Keys and signatures cross the (simulated) wire, so both have canonical byte
 encodings.
@@ -20,8 +27,9 @@ encodings.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 
 @dataclass(frozen=True)
@@ -47,9 +55,128 @@ class SignatureScheme(Protocol):
         """Sign ``message`` and return the encoded signature."""
         ...
 
-    def verify(self, verify_key: bytes, message: bytes, signature: bytes) -> bool:
-        """Return ``True`` iff ``signature`` is valid for ``message``."""
+    def verify(self, verify_key: bytes, message: bytes, signature: bytes,
+               table: Any | None = None) -> bool:
+        """Return ``True`` iff ``signature`` is valid for ``message``.
+
+        ``table``, when given, must come from ``precompute(verify_key)``
+        for the *same* key; it short-circuits the per-call precomputation.
+        """
         ...
+
+    def precompute(self, verify_key: bytes) -> Any | None:
+        """Build a reusable verification table for ``verify_key``.
+
+        Returns ``None`` when the key is malformed (``verify`` would
+        reject it anyway).
+        """
+        ...
+
+
+class VerifyTableCache:
+    """Bounded LRU cache of per-key verification tables.
+
+    The identification server verifies every challenge response against a
+    *stored* per-user verify key, so in steady state the same keys recur
+    request after request.  Tables are built on a key's *second* verify
+    (build-on-second-use): a key seen once costs nothing extra — the
+    one-time table build is only paid for keys that demonstrably recur, so
+    a stranger probing with a throwaway key cannot make the server
+    precompute on their behalf.  Cached tables are evicted in LRU order
+    past ``capacity`` entries.  Nothing here is persisted — tables are
+    pure precomputation, rebuilt on demand after a restart.
+
+    Entries are keyed by ``(scheme.name, verify_key)`` so one cache can
+    front stores that mix signature back-ends.  A scheme without a
+    ``precompute`` surface degrades gracefully to cold verifies.
+
+    ``capacity`` bounds *entries*, not bytes — table weight varies by
+    scheme (a P-256 wNAF table is a few KB; a dsa-2048 ``FixedBaseExp``
+    table runs to hundreds of KB), so size the cap to the heaviest
+    scheme the store serves.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._tables: OrderedDict[tuple[str, bytes], Any] = OrderedDict()
+        self._seen_once: OrderedDict[tuple[str, bytes], None] = OrderedDict()
+        # Keys whose precompute returned None, tracked apart from real
+        # tables: a flood of garbage keys must not evict warm tables.
+        self._rejected: OrderedDict[tuple[str, bytes], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_for(self, scheme: SignatureScheme, verify_key: bytes) -> Any | None:
+        """The cached table for ``verify_key``; builds on the second use.
+
+        Returns ``None`` when the key has only been seen once, the scheme
+        offers no precomputation, or the key is malformed (negative
+        results are remembered too — in a side structure that does not
+        consume table capacity — so a garbage key costs neither a rebuild
+        attempt per request nor a genuine key's warm slot).
+        """
+        builder = getattr(scheme, "precompute", None)
+        if builder is None:
+            return None
+        key = (scheme.name, verify_key)
+        tables = self._tables
+        if key in tables:
+            self.hits += 1
+            tables.move_to_end(key)
+            return tables[key]
+        if key in self._rejected:
+            self.hits += 1
+            self._rejected.move_to_end(key)
+            return None
+        self.misses += 1
+        seen = self._seen_once
+        if key not in seen:
+            seen[key] = None
+            if len(seen) > self.capacity:
+                seen.popitem(last=False)
+            return None
+        del seen[key]
+        table = builder(verify_key)
+        if table is None:
+            self._rejected[key] = None
+            if len(self._rejected) > self.capacity:
+                self._rejected.popitem(last=False)
+            return None
+        tables[key] = table
+        if len(tables) > self.capacity:
+            tables.popitem(last=False)
+            self.evictions += 1
+        return table
+
+    def verify(self, scheme: SignatureScheme, verify_key: bytes,
+               message: bytes, signature: bytes) -> bool:
+        """``scheme.verify`` against the cached (or newly built) table."""
+        table = self.table_for(scheme, verify_key)
+        if table is None:
+            return scheme.verify(verify_key, message, signature)
+        return scheme.verify(verify_key, message, signature, table=table)
+
+    def clear(self) -> None:
+        """Drop every cached table and key marker (counters are kept)."""
+        self._tables.clear()
+        self._seen_once.clear()
+        self._rejected.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: entries, capacity, hits, misses, evictions."""
+        return {
+            "entries": len(self._tables),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 _REGISTRY: dict[str, "SignatureScheme"] = {}

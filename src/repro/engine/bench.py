@@ -16,6 +16,12 @@ probe is planted as a within-``t`` ring perturbation of a random enrolled
 row, so every probe exercises the full verify path with ≥1 genuine hit.
 All three modes are cross-checked for identical match sets while being
 timed, so a reported speedup can never come from a wrong answer.
+
+``sign_scheme`` optionally appends the signature round-trip (challenge →
+sign → verify, Fig. 3's cryptographic leg) per probe, so the reported
+latency covers the whole identification flow rather than the search
+alone.  Verification runs through a
+:class:`~repro.crypto.signatures.VerifyTableCache`, as the server does.
 """
 
 from __future__ import annotations
@@ -43,6 +49,10 @@ class EngineBenchReport:
     loop_s: float
     batch_s: float
     sharded_s: float
+    #: Signature round-trip timings (``None`` unless ``sign_scheme`` set).
+    sign_scheme: str | None = None
+    sign_s: float | None = None
+    verify_s: float | None = None
 
     def throughput(self, mode: str) -> float:
         """Probes per second for ``mode`` (``loop``/``batch``/``sharded``)."""
@@ -78,6 +88,16 @@ class EngineBenchReport:
             f"  speedup vs loop: batch x{self.batch_speedup:.1f}, "
             f"sharded x{self.sharded_speedup:.1f}"
         )
+        if self.sign_scheme is not None:
+            sign_ms = self.sign_s / self.n_probes * 1e3
+            verify_ms = self.verify_s / self.n_probes * 1e3
+            search_ms = self.batch_s / self.n_probes * 1e3
+            lines.append(
+                f"  signature round-trip [{self.sign_scheme}]: "
+                f"sign {sign_ms:.2f} ms + verify {verify_ms:.2f} ms "
+                f"per probe (search {search_ms:.3f} ms -> full flow "
+                f"{search_ms + sign_ms + verify_ms:.2f} ms)"
+            )
         return lines
 
 
@@ -103,11 +123,66 @@ def make_workload(params: SystemParams, n_records: int, n_probes: int,
     return matrix, probes
 
 
+def _time_signature_round_trip(
+    sign_scheme: str, n_probes: int, seed: int,
+) -> tuple[float, float]:
+    """Fig. 3's cryptographic leg: per-probe challenge → sign → verify.
+
+    A small key pool stands in for the matched users (steady-state
+    identification hits enrolled keys repeatedly, which is exactly what
+    the verify-table cache exploits); returns total (sign_s, verify_s).
+    """
+    from repro.crypto.prng import HmacDrbg
+    from repro.crypto.signatures import VerifyTableCache, get_scheme
+    from repro.protocols.device import signed_payload
+
+    scheme = get_scheme(sign_scheme)
+    drbg = HmacDrbg(seed.to_bytes(8, "big"), personalization=b"engine-bench")
+    keypairs = [scheme.keygen_from_seed(drbg.generate(32))
+                for _ in range(min(8, n_probes))]
+    challenges = [drbg.generate(16) for _ in range(n_probes)]
+    nonce = drbg.generate(16)
+    tables = VerifyTableCache(capacity=len(keypairs))
+
+    start = time.perf_counter()
+    signatures = [
+        scheme.sign(keypairs[i % len(keypairs)].signing_key,
+                    signed_payload(challenges[i], nonce))
+        for i in range(n_probes)
+    ]
+    sign_s = time.perf_counter() - start
+
+    # Promote every key's table outside the timer (steady-state serving
+    # verifies enrolled keys repeatedly; the cache builds on second use).
+    for i in range(2 * len(keypairs)):
+        j = i % len(keypairs)  # signatures[j] was signed by keypairs[j]
+        ok = tables.verify(scheme, keypairs[j].verify_key,
+                           signed_payload(challenges[j], nonce),
+                           signatures[j])
+        if not ok:
+            raise AssertionError("engine bench warm-up verify failed")
+
+    start = time.perf_counter()
+    for i in range(n_probes):
+        ok = tables.verify(scheme, keypairs[i % len(keypairs)].verify_key,
+                           signed_payload(challenges[i], nonce),
+                           signatures[i])
+        if not ok:
+            raise AssertionError("engine bench signature round-trip failed")
+    verify_s = time.perf_counter() - start
+    return sign_s, verify_s
+
+
 def run_engine_bench(params: SystemParams, n_records: int = 10_000,
                      n_probes: int = 64, shards: int = 4,
                      workers: int | None = None,
-                     seed: int = 0) -> EngineBenchReport:
+                     seed: int = 0,
+                     sign_scheme: str | None = None) -> EngineBenchReport:
     """Build the workload, run all three modes, verify parity, time them."""
+    if sign_scheme is not None:
+        from repro.crypto.signatures import get_scheme
+
+        get_scheme(sign_scheme)  # fail fast before the multi-minute search
     matrix, probes = make_workload(params, n_records, n_probes, seed)
 
     flat = VectorizedScanIndex(params, capacity=n_records)
@@ -139,8 +214,14 @@ def run_engine_bench(params: SystemParams, n_records: int = 10_000,
             "from the single-probe loop"
         )
 
+    sign_s = verify_s = None
+    if sign_scheme is not None:
+        sign_s, verify_s = _time_signature_round_trip(
+            sign_scheme, n_probes, seed)
+
     return EngineBenchReport(
         n_records=n_records, n_probes=n_probes, dimension=params.n,
         shards=shards, workers=workers,
         loop_s=loop_s, batch_s=batch_s, sharded_s=sharded_s,
+        sign_scheme=sign_scheme, sign_s=sign_s, verify_s=verify_s,
     )

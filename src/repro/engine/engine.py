@@ -34,6 +34,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.params import SystemParams
+from repro.crypto.signatures import VerifyTableCache
 from repro.engine.sharded import ShardedSketchIndex
 from repro.engine.storage import LazyRecordFile, open_store, write_store
 from repro.exceptions import EnrollmentError
@@ -66,6 +67,10 @@ class EngineStats:
     cold_opened: bool
     warmed: bool
     latency_buckets: dict[str, int]
+    #: Verify-key table cache counters (see ``IdentificationEngine.key_tables``).
+    key_table_entries: int = 0
+    key_table_hits: int = 0
+    key_table_misses: int = 0
 
     @property
     def candidates_per_probe(self) -> float:
@@ -91,6 +96,12 @@ class EngineStats:
             f"{label}:{count}" for label, count in self.latency_buckets.items()
         )
         lines.append(f"search latency histogram: {histogram}")
+        if self.key_table_hits or self.key_table_misses:
+            lines.append(
+                f"verify-key tables: {self.key_table_entries} cached, "
+                f"{self.key_table_hits} hit(s) / "
+                f"{self.key_table_misses} miss(es)"
+            )
         return lines
 
 
@@ -107,13 +118,22 @@ class IdentificationEngine:
         Coordinate-chunk width for the scan kernels.
     workers:
         Thread pool size for parallel shard scans (``None`` = serial).
+    key_table_capacity:
+        LRU bound on the per-user verify-key table cache
+        (:attr:`key_tables`).  Tables are built lazily once a key's
+        signature verifications recur and live alongside the records, so every
+        :class:`~repro.protocols.server.AuthenticationServer` mounted on
+        this engine verifies against the same warm tables.  Purely
+        in-memory precomputation — never persisted by :meth:`save`.
     """
 
     def __init__(self, params: SystemParams, shards: int = 4,
-                 chunk: int = 8, workers: int | None = None) -> None:
+                 chunk: int = 8, workers: int | None = None,
+                 key_table_capacity: int = 1024) -> None:
         self.params = params
         self._index = ShardedSketchIndex(params, shards=shards, chunk=chunk,
                                          workers=workers)
+        self.key_tables = VerifyTableCache(key_table_capacity)
         self._base: LazyRecordFile | list[UserRecord] = []
         self._extra: list[UserRecord] = []
         self._overrides: dict[int, UserRecord] = {}
@@ -267,7 +287,8 @@ class IdentificationEngine:
 
     @classmethod
     def open(cls, path: str | Path, chunk: int = 8,
-             workers: int | None = None) -> "IdentificationEngine":
+             workers: int | None = None,
+             key_table_capacity: int = 1024) -> "IdentificationEngine":
         """Open a saved store in O(1); records and pages load lazily.
 
         The identity map (``get`` by user id) is built on first use —
@@ -281,6 +302,7 @@ class IdentificationEngine:
             opened.params, opened.shard_parts, opened.total_records,
             chunk=chunk, workers=workers,
         )
+        engine.key_tables = VerifyTableCache(key_table_capacity)
         engine._base = opened.records
         engine._extra = []
         engine._overrides = {}
@@ -327,4 +349,7 @@ class IdentificationEngine:
             cold_opened=self._cold_opened,
             warmed=self._warmed,
             latency_buckets=dict(zip(_BUCKET_LABELS, self._latency_counts)),
+            key_table_entries=len(self.key_tables),
+            key_table_hits=self.key_tables.hits,
+            key_table_misses=self.key_tables.misses,
         )

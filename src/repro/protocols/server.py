@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.params import SystemParams
 from repro.crypto.prng import HmacDrbg
-from repro.crypto.signatures import SignatureScheme
+from repro.crypto.signatures import SignatureScheme, VerifyTableCache
 from repro.exceptions import EnrollmentError
 from repro.protocols.database import HelperDataStore, UserRecord
 from repro.protocols.device import signed_payload
@@ -94,25 +94,54 @@ class AuthenticationServer:
     surface; in particular
     :class:`~repro.engine.engine.IdentificationEngine` drops in for
     scale-out deployments (see :meth:`with_engine`).
+
+    Every signature verification runs through a
+    :class:`~repro.crypto.signatures.VerifyTableCache`: the per-user
+    verify-key tables are built lazily once a key recurs and reused warm,
+    bounded to ``key_table_capacity`` entries (LRU).  When the store
+    itself carries a ``key_tables`` cache (the identification engine
+    does), that cache is adopted so the tables live alongside the
+    helper-data records and survive server re-instantiation over the same
+    engine; passing an explicit ``key_table_capacity`` alongside such a
+    store is rejected (size the cache on the store instead).
     """
 
     def __init__(self, params: SystemParams, scheme: SignatureScheme,
                  store: HelperDataStore | None = None,
                  seed: bytes | None = None,
                  max_candidates: int = 4,
-                 audit_capacity: int = 10_000) -> None:
+                 audit_capacity: int = 10_000,
+                 key_table_capacity: int | None = None) -> None:
         if max_candidates < 1:
             raise ValueError("max_candidates must be >= 1")
         self.params = params
         self.scheme = scheme
         self.store = store if store is not None else HelperDataStore(params)
         self.max_candidates = max_candidates
+        store_cache = getattr(self.store, "key_tables", None)
+        if store_cache is not None:
+            if key_table_capacity is not None:
+                raise ValueError(
+                    "the store provides its own key_tables cache; pass "
+                    "key_table_capacity to the store, not the server"
+                )
+            self.key_tables: VerifyTableCache = store_cache
+        else:
+            self.key_tables = VerifyTableCache(
+                1024 if key_table_capacity is None else key_table_capacity
+            )
         if seed is None:
             seed = np.random.default_rng().bytes(32)
         self._drbg = HmacDrbg(seed, personalization=b"auth-server")
         self._sessions: dict[bytes, _PendingSession] = {}
         self._audit: deque[AuditEvent] = deque(maxlen=audit_capacity)
         self._audit_sequence = itertools.count()
+
+    def _verify(self, record: UserRecord, payload: bytes,
+                signature: bytes) -> bool:
+        """Signature check against ``record``'s key via the warm-table cache."""
+        return self.key_tables.verify(self.scheme, record.verify_key,
+                                      payload, signature)
 
     @classmethod
     def with_engine(cls, params: SystemParams, scheme: SignatureScheme,
@@ -226,7 +255,7 @@ class AuthenticationServer:
             return IdentificationOutcome(identified=False, user_id=None)
         record = session.records[0]
         payload = signed_payload(session.challenges[0], response.nonce)
-        if self.scheme.verify(record.verify_key, payload, response.signature):
+        if self._verify(record, payload, response.signature):
             self._record_event("identify-ok", record.user_id)
             return IdentificationOutcome(identified=True, user_id=record.user_id)
         self._record_event("identify-fail", record.user_id,
@@ -274,9 +303,7 @@ class AuthenticationServer:
             return VerificationOutcome(verified=False, user_id="")
         record = session.records[0]
         payload = signed_payload(session.challenges[0], response.nonce)
-        verified = self.scheme.verify(
-            record.verify_key, payload, response.signature
-        )
+        verified = self._verify(record, payload, response.signature)
         self._record_event("verify-ok" if verified else "verify-fail",
                            record.user_id)
         return VerificationOutcome(verified=verified, user_id=record.user_id)
@@ -324,7 +351,7 @@ class AuthenticationServer:
             if not signature:
                 continue
             payload = signed_payload(challenge, response.nonce)
-            if self.scheme.verify(record.verify_key, payload, signature):
+            if self._verify(record, payload, signature):
                 return IdentificationOutcome(
                     identified=True, user_id=record.user_id
                 )

@@ -120,6 +120,11 @@ class TestRingDistance:
     def test_zero_for_equal(self):
         assert np.all(ring_distance_ka(np.array([3]), np.array([3]), 40) == 0)
 
+    def test_scalar_inputs_supported(self):
+        assert ring_distance_ka(5, 3, 20) == 2
+        assert ring_distance_ka(-19, 19, 40) == 2
+        assert ring_distance_ka(7, 7, 40) == 0
+
     def test_wraps(self):
         # distance between -19 and 19 on a ring of 40 is 2.
         assert ring_distance_ka(np.array([-19]), np.array([19]), 40)[0] == 2

@@ -37,6 +37,18 @@ class TestSketchStructure:
         deviation = sk.line.ring_distance(sk.line.identifier_of(landed), landed)
         assert int(np.max(deviation)) == 0
 
+    def test_sketch_canonical_matches_sketch(self, small_params, rng):
+        """The pre-validated entry point (the Gen hot path's single-
+        canonicalisation route) agrees with the validating one."""
+        sk = _sketcher(small_params)
+        for i in range(10):
+            x = sk.line.uniform_vector(rng)
+            canonical = sk.line.validate_vector(x)
+            coins = HmacDrbg(b"canon-%d" % i)
+            coins2 = HmacDrbg(b"canon-%d" % i)
+            assert np.array_equal(sk.sketch(x, coins),
+                                  sk.sketch_canonical(canonical, coins2))
+
     def test_interior_points_deterministic(self, small_params):
         """Non-boundary coordinates sketch identically under any coins."""
         sk = _sketcher(small_params)

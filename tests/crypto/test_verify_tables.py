@@ -1,0 +1,240 @@
+"""Precompute surfaces, fast-vs-reference verify parity for every scheme,
+the fixed-base/sliding-window modexp kernels, and the LRU verify-table
+cache the protocol layer serves warm verifies from."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dsa import Dsa
+from repro.crypto.dsa_groups import GROUP_512
+from repro.crypto.numbertheory import FixedBaseExp, sliding_window_pow
+from repro.crypto.signatures import VerifyTableCache, get_scheme
+
+ALL_SCHEMES = ["dsa-512", "dsa-1024", "ecdsa-p-256", "schnorr-p-256"]
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+class TestVerifyPathParity:
+    """fast verify == table verify == retained reference, bit for bit."""
+
+    def _fixture(self, name):
+        scheme = get_scheme(name)
+        keypair = scheme.keygen_from_seed(name.encode() * 4)
+        signature = scheme.sign(keypair.signing_key, b"m")
+        return scheme, keypair, signature
+
+    def test_all_paths_accept_good_signature(self, name):
+        scheme, keypair, signature = self._fixture(name)
+        table = scheme.precompute(keypair.verify_key)
+        assert table is not None
+        assert scheme.verify(keypair.verify_key, b"m", signature)
+        assert scheme.verify(keypair.verify_key, b"m", signature, table=table)
+        assert scheme.verify_reference(keypair.verify_key, b"m", signature)
+
+    def test_all_paths_reject_bitflips(self, name):
+        scheme, keypair, signature = self._fixture(name)
+        table = scheme.precompute(keypair.verify_key)
+        for pos in range(0, len(signature), max(1, len(signature) // 6)):
+            mutated = bytearray(signature)
+            mutated[pos] ^= 0x20
+            mutated = bytes(mutated)
+            cold = scheme.verify(keypair.verify_key, b"m", mutated)
+            warm = scheme.verify(keypair.verify_key, b"m", mutated,
+                                 table=table)
+            reference = scheme.verify_reference(keypair.verify_key, b"m",
+                                                mutated)
+            assert cold == warm == reference == False  # noqa: E712
+
+    def test_all_paths_reject_wrong_message(self, name):
+        scheme, keypair, signature = self._fixture(name)
+        table = scheme.precompute(keypair.verify_key)
+        assert not scheme.verify(keypair.verify_key, b"other", signature,
+                                 table=table)
+        assert not scheme.verify_reference(keypair.verify_key, b"other",
+                                           signature)
+
+    def test_mispaired_table_fails_closed(self, name):
+        """A table built for key A must never authenticate under key B."""
+        scheme = get_scheme(name)
+        kp_a = scheme.keygen_from_seed(b"pair-a" * 6)
+        kp_b = scheme.keygen_from_seed(b"pair-b" * 6)
+        sig_a = scheme.sign(kp_a.signing_key, b"m")
+        table_a = scheme.precompute(kp_a.verify_key)
+        # Correct pairing verifies; swapping in B's key with A's table
+        # must fail even though the table alone would check out.
+        assert scheme.verify(kp_a.verify_key, b"m", sig_a, table=table_a)
+        assert not scheme.verify(kp_b.verify_key, b"m", sig_a,
+                                 table=table_a)
+
+    def test_precompute_rejects_malformed_key(self, name):
+        scheme, keypair, _ = self._fixture(name)
+        assert scheme.precompute(b"\x01" * len(keypair.verify_key)) is None
+        assert scheme.precompute(b"") is None
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=5)
+    def test_paths_agree_on_random_messages(self, name, message):
+        scheme, keypair, _ = self._fixture(name)
+        table = scheme.precompute(keypair.verify_key)
+        signature = scheme.sign(keypair.signing_key, message)
+        assert scheme.verify(keypair.verify_key, message, signature,
+                             table=table)
+        assert scheme.verify_reference(keypair.verify_key, message,
+                                       signature)
+
+
+class TestModexpKernels:
+    P = GROUP_512.p
+    G = GROUP_512.g
+    Q = GROUP_512.q
+
+    @given(st.integers(2, 2 ** 512), st.integers(0, 2 ** 200))
+    @settings(max_examples=25)
+    def test_sliding_window_matches_builtin(self, base, exponent):
+        assert sliding_window_pow(base, exponent, self.P) == \
+            pow(base, exponent, self.P)
+
+    @pytest.mark.parametrize("window", [1, 3, 6])
+    def test_sliding_window_widths(self, window):
+        assert sliding_window_pow(7, 0xABCDEF0123, self.P, window) == \
+            pow(7, 0xABCDEF0123, self.P)
+
+    def test_sliding_window_edge_cases(self):
+        assert sliding_window_pow(5, 0, self.P) == 1
+        assert sliding_window_pow(5, 1, self.P) == 5
+        assert sliding_window_pow(5, 3, 1) == 0
+        with pytest.raises(ValueError):
+            sliding_window_pow(5, -1, self.P)
+
+    @given(st.integers(0, 2 ** 160 - 1))
+    @settings(max_examples=25)
+    def test_fixed_base_matches_builtin(self, exponent):
+        fb = FixedBaseExp(self.G, self.P, 160, window=5)
+        assert fb.pow(exponent) == pow(self.G, exponent, self.P)
+
+    def test_fixed_base_rejects_out_of_range(self):
+        fb = FixedBaseExp(self.G, self.P, 16)
+        with pytest.raises(ValueError, match="exceeds"):
+            fb.pow(1 << 32)
+        with pytest.raises(ValueError):
+            fb.pow(-1)
+
+    def test_fixed_base_q_boundary(self):
+        fb = FixedBaseExp(self.G, self.P, self.Q.bit_length())
+        assert fb.pow(self.Q - 1) == pow(self.G, self.Q - 1, self.P)
+        assert fb.pow(0) == 1
+
+
+class TestDsaGeneratorTable:
+    def test_sign_and_keygen_unchanged_by_table(self):
+        """The cached g-table must not change any byte of the outputs."""
+        scheme = Dsa(GROUP_512)
+        keypair = scheme.keygen_from_seed(b"table-parity" * 3)
+        signature = scheme.sign(keypair.signing_key, b"m")
+        fresh = Dsa(GROUP_512)  # no table built yet
+        assert fresh.keygen_from_seed(b"table-parity" * 3) == keypair
+        # Reference check: y = g^x with builtin pow.
+        x = int.from_bytes(keypair.signing_key, "big")
+        y = int.from_bytes(keypair.verify_key, "big")
+        assert pow(GROUP_512.g, x, GROUP_512.p) == y
+        assert scheme.verify_reference(keypair.verify_key, b"m", signature)
+
+
+class TestVerifyTableCache:
+    def _scheme(self):
+        return get_scheme("dsa-512")
+
+    def _keypair(self, tag=b"cache-key"):
+        return self._scheme().keygen_from_seed(tag * 4)
+
+    def test_builds_on_second_use(self):
+        scheme, keypair = self._scheme(), self._keypair()
+        cache = VerifyTableCache(capacity=4)
+        assert cache.table_for(scheme, keypair.verify_key) is None  # seen once
+        assert cache.table_for(scheme, keypair.verify_key) is not None
+        assert len(cache) == 1
+        assert cache.misses == 2 and cache.hits == 0
+        assert cache.table_for(scheme, keypair.verify_key) is not None
+        assert cache.hits == 1
+
+    def test_verify_through_cache(self):
+        scheme, keypair = self._scheme(), self._keypair()
+        cache = VerifyTableCache(capacity=4)
+        signature = scheme.sign(keypair.signing_key, b"m")
+        for _ in range(3):  # cold, promoting, warm
+            assert cache.verify(scheme, keypair.verify_key, b"m", signature)
+        assert not cache.verify(scheme, keypair.verify_key, b"x", signature)
+        assert len(cache) == 1
+
+    def test_lru_eviction(self):
+        scheme = self._scheme()
+        cache = VerifyTableCache(capacity=2)
+        keys = [self._keypair(bytes([65 + i]) * 9).verify_key
+                for i in range(3)]
+        for key in keys:
+            cache.table_for(scheme, key)
+            cache.table_for(scheme, key)  # promote
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # keys[0] was evicted; keys[1] and keys[2] still warm.
+        assert cache.hits == 0
+        cache.table_for(scheme, keys[2])
+        assert cache.hits == 1
+
+    def test_malformed_key_cached_as_negative(self):
+        scheme = self._scheme()
+        cache = VerifyTableCache(capacity=4)
+        junk = b"\x00" * 64
+        cache.table_for(scheme, junk)
+        assert cache.table_for(scheme, junk) is None  # built: None
+        assert cache.table_for(scheme, junk) is None  # cached negative
+        assert cache.hits == 1
+        assert len(cache) == 0  # negatives never occupy table capacity
+        assert not cache.verify(scheme, junk, b"m", b"sig")
+
+    def test_garbage_key_flood_cannot_evict_warm_tables(self):
+        scheme, keypair = self._scheme(), self._keypair()
+        cache = VerifyTableCache(capacity=2)
+        cache.table_for(scheme, keypair.verify_key)
+        assert cache.table_for(scheme, keypair.verify_key) is not None
+        for i in range(10):  # 5 junk keys, each seen twice
+            junk = bytes([i]) * 64
+            cache.table_for(scheme, junk)
+            cache.table_for(scheme, junk)
+        assert cache.evictions == 0
+        assert cache.table_for(scheme, keypair.verify_key) is not None
+        assert len(cache) == 1
+
+    def test_scheme_without_precompute_degrades(self):
+        class Bare:
+            name = "bare"
+
+            def verify(self, verify_key, message, signature):
+                return message == b"ok"
+
+        cache = VerifyTableCache(capacity=2)
+        assert cache.table_for(Bare(), b"key") is None
+        assert cache.verify(Bare(), b"key", b"ok", b"sig")
+        assert not cache.verify(Bare(), b"key", b"no", b"sig")
+        assert len(cache) == 0
+
+    def test_clear_drops_tables_keeps_counters(self):
+        scheme, keypair = self._scheme(), self._keypair()
+        cache = VerifyTableCache(capacity=4)
+        cache.table_for(scheme, keypair.verify_key)
+        cache.table_for(scheme, keypair.verify_key)
+        misses = cache.misses
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == misses
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            VerifyTableCache(capacity=0)
+
+    def test_stats_snapshot(self):
+        cache = VerifyTableCache(capacity=8)
+        stats = cache.stats()
+        assert stats == {"entries": 0, "capacity": 8, "hits": 0,
+                         "misses": 0, "evictions": 0}

@@ -160,6 +160,97 @@ class TestServerIntegration:
         assert server.engine_stats() is None
 
 
+class TestKeyTableCache:
+    def test_server_adopts_engine_cache(self, paper_params, fast_scheme):
+        from repro.protocols.server import AuthenticationServer
+
+        server = AuthenticationServer.with_engine(
+            paper_params, fast_scheme, shards=2, seed=b"s")
+        assert server.key_tables is server.store.key_tables
+
+    def test_classic_store_gets_private_cache(self, paper_params,
+                                              fast_scheme):
+        from repro.protocols.server import AuthenticationServer
+
+        server = AuthenticationServer(paper_params, fast_scheme, seed=b"s",
+                                      key_table_capacity=16)
+        assert server.key_tables is not None
+        assert server.key_tables.capacity == 16
+        assert len(server.key_tables) == 0
+
+    def test_explicit_capacity_with_engine_store_rejected(
+            self, paper_params, fast_scheme):
+        from repro.protocols.server import AuthenticationServer
+
+        engine = IdentificationEngine(paper_params, shards=2,
+                                      key_table_capacity=8)
+        with pytest.raises(ValueError, match="key_tables"):
+            AuthenticationServer(paper_params, fast_scheme, store=engine,
+                                 seed=b"s", key_table_capacity=16)
+        # Sizing the cache on the store is the supported spelling.
+        server = AuthenticationServer(paper_params, fast_scheme,
+                                      store=engine, seed=b"s")
+        assert server.key_tables.capacity == 8
+
+    def test_repeated_identification_warms_tables(self, paper_params,
+                                                  fast_scheme, rng):
+        from repro.protocols.device import BiometricDevice
+        from repro.protocols.runners import run_enrollment, run_identification
+        from repro.protocols.server import AuthenticationServer
+        from repro.protocols.transport import DuplexLink
+
+        server = AuthenticationServer.with_engine(
+            paper_params, fast_scheme, shards=2, seed=b"warm-server")
+        device = BiometricDevice(paper_params, fast_scheme, seed=b"dev")
+        line = SuccinctFuzzyExtractor(paper_params).sketcher.line
+        template = line.uniform_vector(rng)
+        run_enrollment(device, server, DuplexLink(), "alice", template)
+
+        for _ in range(3):
+            noisy = line.reduce(template + rng.integers(
+                -paper_params.t, paper_params.t + 1, paper_params.n))
+            run = run_identification(device, server, DuplexLink(), noisy)
+            assert run.outcome.identified
+
+        stats = server.engine_stats()
+        # 1st verify: cold (seen once); 2nd: table built; 3rd: warm hit.
+        assert stats.key_table_entries == 1
+        assert stats.key_table_hits == 1
+        assert stats.key_table_misses == 2
+        assert any("verify-key tables" in line
+                   for line in stats.summary_lines())
+
+    def test_tables_shared_across_servers_on_one_engine(
+            self, paper_params, fast_scheme, rng):
+        from repro.protocols.device import BiometricDevice
+        from repro.protocols.runners import run_enrollment, run_identification
+        from repro.protocols.server import AuthenticationServer
+        from repro.protocols.transport import DuplexLink
+
+        engine = IdentificationEngine(paper_params, shards=2)
+        first = AuthenticationServer(paper_params, fast_scheme,
+                                     store=engine, seed=b"a")
+        device = BiometricDevice(paper_params, fast_scheme, seed=b"dev")
+        line = SuccinctFuzzyExtractor(paper_params).sketcher.line
+        template = line.uniform_vector(rng)
+        run_enrollment(device, first, DuplexLink(), "bob", template)
+        for _ in range(2):
+            noisy = line.reduce(template + rng.integers(
+                -paper_params.t, paper_params.t + 1, paper_params.n))
+            assert run_identification(device, first, DuplexLink(),
+                                      noisy).outcome.identified
+
+        # A second server over the same engine starts with warm tables.
+        second = AuthenticationServer(paper_params, fast_scheme,
+                                      store=engine, seed=b"b")
+        assert second.key_tables is engine.key_tables
+        noisy = line.reduce(template + rng.integers(
+            -paper_params.t, paper_params.t + 1, paper_params.n))
+        assert run_identification(device, second, DuplexLink(),
+                                  noisy).outcome.identified
+        assert engine.key_tables.hits >= 1
+
+
 class TestSimulationIntegration:
     def test_workload_over_engine(self, paper_params, fast_scheme):
         from repro.protocols.simulation import WorkloadSimulator

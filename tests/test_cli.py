@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -81,6 +83,61 @@ class TestEngineBench:
 
     def test_bad_parameters_exit_2(self, capsys):
         assert main(["engine-bench", "--records", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sign_scheme_appends_round_trip(self, capsys):
+        code = main(["engine-bench", "--records", "300", "--probes", "8",
+                     "-n", "16", "--shards", "2",
+                     "--sign-scheme", "dsa-512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "signature round-trip [dsa-512]" in out
+        assert "full flow" in out
+
+    def test_unknown_sign_scheme_exits_2(self, capsys):
+        assert main(["engine-bench", "--records", "300", "--probes", "8",
+                     "-n", "16", "--sign-scheme", "rsa-4096"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCryptoBench:
+    def test_runs_reports_and_writes_trajectory(self, capsys, tmp_path):
+        artifact = tmp_path / "BENCH_crypto.json"
+        code = main(["crypto-bench", "--iterations", "2",
+                     "--schemes", "dsa-512",
+                     "--identify-scheme", "dsa-512",
+                     "--users", "2", "--requests", "2", "-n", "64",
+                     "--json", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scalar multiplication" in out
+        assert "dsa-512" in out
+        assert "identify end-to-end" in out
+        data = json.loads(artifact.read_text())
+        assert len(data["runs"]) == 1
+        run = data["runs"][0]
+        assert run["scalar_mult_speedup"] > 1.0
+        assert "dsa-512" in run["verify_speedups"]
+
+    def test_trajectory_appends_across_runs(self, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_crypto.json"
+        args = ["crypto-bench", "--iterations", "2", "--schemes", "dsa-512",
+                "--no-identify", "--json", str(artifact)]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        assert len(json.loads(artifact.read_text())["runs"]) == 2
+
+    def test_empty_json_skips_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["crypto-bench", "--iterations", "2",
+                     "--schemes", "dsa-512", "--no-identify", "--json", ""])
+        assert code == 0
+        assert not (tmp_path / "BENCH_crypto.json").exists()
+
+    def test_unknown_scheme_exits_2(self, capsys):
+        assert main(["crypto-bench", "--schemes", "rsa-4096",
+                     "--no-identify"]) == 2
         assert "error:" in capsys.readouterr().err
 
 
