@@ -83,7 +83,11 @@ def test_search_is_negligible_next_to_signature(benchmark, capsys):
 
 
 def _measure_search_vs_sign():
-    from conftest import paper_scheme
+    # Constructed directly (not via the benchmarks conftest): a bare
+    # ``import conftest`` resolves to whichever suite's conftest pytest
+    # loaded last once several test roots are collected together.
+    from repro.crypto.dsa import Dsa
+    from repro.crypto.dsa_groups import GROUP_1024
 
     index, probe, expected = _build("scan", 5000)
     reps = 20
@@ -94,7 +98,7 @@ def _measure_search_vs_sign():
 
     # The crypto constant per challenge: the device signs, the server
     # verifies (cache-cold — the conservative serving cost).
-    scheme = paper_scheme()
+    scheme = Dsa(GROUP_1024)
     keypair = scheme.keygen_from_seed(b"R" * 32)
     signature = scheme.sign(keypair.signing_key, b"challenge")
     start = time.perf_counter()

@@ -26,6 +26,12 @@ Layering (bottom-up):
   builds on the core kernels and the protocol layer's record type, and
   drops in as the server's store (``AuthenticationServer.with_engine``;
   server/simulation import it lazily to keep the graph acyclic);
+* :mod:`repro.service` — the concurrent serving layer on top of both:
+  a bounded-admission ``ServiceFrontend`` that micro-batches concurrent
+  identification probes through the engine's batch kernel and fans
+  signature checks out to a worker pool over the shared verify-table
+  cache, plus the ``repro service-bench`` closed-loop load harness.
+  Protocols never import service; service imports protocols + engine;
 * :mod:`repro.baselines` / :mod:`repro.biometrics` / :mod:`repro.analysis`
   — comparison schemes, synthetic workloads, and security accounting.
 

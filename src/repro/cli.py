@@ -36,6 +36,13 @@ The subcommands cover the workflows a user reaches for first:
     precomputed-table paths), and end-to-end identification latency.
     Appends each run to the ``BENCH_crypto.json`` trajectory artifact.
 
+``service-bench``
+    Closed-loop concurrent-serving shootout: the serial one-request-at-
+    a-time loop vs the micro-batching service frontend, same engine and
+    scheme, with throughput and p50/p95/p99 latency per phase.  Appends
+    each run to the ``BENCH_service.json`` trajectory artifact;
+    ``REPRO_BENCH_SMOKE=1`` shrinks the default sizes.
+
 All numeric arguments default to the paper's Table II values
 (the bench subcommands default to bench-sized dimensions instead).
 """
@@ -138,20 +145,59 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     mix = TrafficMix(genuine=args.genuine, stranger=args.stranger,
                      noisy_genuine=round(1.0 - args.genuine - args.stranger, 9))
     scheme = get_scheme(args.scheme)
+    store_factory = None
     if args.engine_shards:
-        simulator = WorkloadSimulator.with_engine(
+        from repro.engine.engine import IdentificationEngine
+
+        def store_factory(p):
+            return IdentificationEngine(p, shards=args.engine_shards,
+                                        workers=args.workers)
+    if args.frontend:
+        simulator = WorkloadSimulator.with_frontend(
             params, scheme, n_users=args.users, mix=mix, seed=args.seed,
-            shards=args.engine_shards, workers=args.workers)
+            store_factory=store_factory)
     else:
         simulator = WorkloadSimulator(params, scheme, n_users=args.users,
-                                      mix=mix, seed=args.seed)
-    report = simulator.run(args.requests)
+                                      mix=mix, seed=args.seed,
+                                      store_factory=store_factory)
+    try:
+        report = simulator.run(args.requests)
+    finally:
+        simulator.close()
     for line in report.summary_lines():
         print(line)
     stats = simulator.engine_stats()
     if stats is not None:
         for line in stats.summary_lines():
             print(line)
+    if args.frontend:
+        for line in simulator.endpoint.stats().summary_lines():
+            print(line)
+    return 0
+
+
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    from repro.service.bench import run_service_bench, write_trajectory
+
+    report = run_service_bench(
+        dimension=args.dimension,
+        n_users=args.users,
+        pool_users=args.pool_users,
+        n_requests=args.requests,
+        clients=args.clients,
+        shards=args.shards,
+        scheme=args.scheme,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        batch_linger_s=args.linger_ms / 1e3,
+        frontend_workers=args.workers,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        write_trajectory(report, args.json)
+        print(f"trajectory appended to {args.json}")
     return 0
 
 
@@ -237,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "with this many shards (0 = classic store)")
     simulate.add_argument("--workers", type=int, default=None,
                           help="engine worker threads (default: serial)")
+    simulate.add_argument("--frontend", action="store_true",
+                          help="route every request through the concurrent "
+                               "service frontend (admission queue + "
+                               "micro-batcher + verify pool) instead of "
+                               "calling the server directly")
     simulate.set_defaults(handler=_cmd_simulate)
 
     engine_bench = subparsers.add_parser(
@@ -295,6 +346,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="trajectory artifact path (empty string "
                                    "to skip writing)")
     crypto_bench.set_defaults(handler=_cmd_crypto_bench)
+
+    service_bench = subparsers.add_parser(
+        "service-bench",
+        help="concurrent serving shootout: serial loop vs micro-batched "
+             "frontend on one engine, throughput + latency percentiles")
+    service_bench.add_argument("--users", type=int, default=None,
+                               help="enrolled records in the engine "
+                                    "(default: 100000; 30000 under "
+                                    "REPRO_BENCH_SMOKE=1)")
+    service_bench.add_argument("--pool-users", type=int, default=16,
+                               help="genuinely enrolled users driving the "
+                                    "probes (default: 16)")
+    service_bench.add_argument("--requests", type=int, default=None,
+                               help="identifications per phase (default: "
+                                    "256; 128 under smoke)")
+    service_bench.add_argument("--clients", type=int, default=None,
+                               help="closed-loop client threads (default: "
+                                    "32; 16 under smoke)")
+    service_bench.add_argument("--dimension", "-n", type=int, default=128,
+                               help="template dimension (default: 128 — "
+                                    "bench-sized, not the paper's 5000)")
+    service_bench.add_argument("--shards", type=int, default=4,
+                               help="engine shard count (default: 4)")
+    service_bench.add_argument("--scheme", default="dsa-1024",
+                               help="signature scheme for both phases "
+                                    "(default: dsa-1024)")
+    service_bench.add_argument("--max-batch", type=int, default=64,
+                               help="micro-batch size cap (default: 64)")
+    service_bench.add_argument("--window-ms", type=float, default=50.0,
+                               help="micro-batch window cap, ms (default: 50)")
+    service_bench.add_argument("--linger-ms", type=float, default=4.0,
+                               help="micro-batch idle-gap linger, ms "
+                                    "(default: 4)")
+    service_bench.add_argument("--workers", type=int, default=4,
+                               help="frontend verify workers (default: 4)")
+    service_bench.add_argument("--seed", type=int, default=0)
+    service_bench.add_argument("--json", default="BENCH_service.json",
+                               help="trajectory artifact path (empty string "
+                                    "to skip writing)")
+    service_bench.set_defaults(handler=_cmd_service_bench)
 
     return parser
 

@@ -27,6 +27,7 @@ encodings.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
@@ -94,12 +95,20 @@ class VerifyTableCache:
     scheme (a P-256 wNAF table is a few KB; a dsa-2048 ``FixedBaseExp``
     table runs to hundreds of KB), so size the cap to the heaviest
     scheme the store serves.
+
+    The cache is thread-safe: one internal lock guards the table maps and
+    the hit/miss counters, so the concurrent service frontend's verify
+    workers can share a single cache.  The lock covers bookkeeping only —
+    table *builds* and the signature verifications themselves run outside
+    it (two threads racing an unbuilt key may both build the table; the
+    result is identical and the loser's copy is simply dropped).
     """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._tables: OrderedDict[tuple[str, bytes], Any] = OrderedDict()
         self._seen_once: OrderedDict[tuple[str, bytes], None] = OrderedDict()
         # Keys whose precompute returned None, tracked apart from real
@@ -110,7 +119,8 @@ class VerifyTableCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._tables)
+        with self._lock:
+            return len(self._tables)
 
     def table_for(self, scheme: SignatureScheme, verify_key: bytes) -> Any | None:
         """The cached table for ``verify_key``; builds on the second use.
@@ -125,33 +135,38 @@ class VerifyTableCache:
         if builder is None:
             return None
         key = (scheme.name, verify_key)
-        tables = self._tables
-        if key in tables:
-            self.hits += 1
-            tables.move_to_end(key)
-            return tables[key]
-        if key in self._rejected:
-            self.hits += 1
-            self._rejected.move_to_end(key)
-            return None
-        self.misses += 1
-        seen = self._seen_once
-        if key not in seen:
-            seen[key] = None
-            if len(seen) > self.capacity:
-                seen.popitem(last=False)
-            return None
-        del seen[key]
+        with self._lock:
+            tables = self._tables
+            if key in tables:
+                self.hits += 1
+                tables.move_to_end(key)
+                return tables[key]
+            if key in self._rejected:
+                self.hits += 1
+                self._rejected.move_to_end(key)
+                return None
+            self.misses += 1
+            seen = self._seen_once
+            if key not in seen:
+                seen[key] = None
+                if len(seen) > self.capacity:
+                    seen.popitem(last=False)
+                return None
+            del seen[key]
+        # Build outside the lock: precompute is the expensive step, and
+        # two threads racing an unbuilt key derive identical tables from
+        # the same public key — the slower writer just overwrites.
         table = builder(verify_key)
-        if table is None:
-            self._rejected[key] = None
-            if len(self._rejected) > self.capacity:
-                self._rejected.popitem(last=False)
-            return None
-        tables[key] = table
-        if len(tables) > self.capacity:
-            tables.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if table is None:
+                self._rejected[key] = None
+                if len(self._rejected) > self.capacity:
+                    self._rejected.popitem(last=False)
+                return None
+            self._tables[key] = table
+            if len(self._tables) > self.capacity:
+                self._tables.popitem(last=False)
+                self.evictions += 1
         return table
 
     def verify(self, scheme: SignatureScheme, verify_key: bytes,
@@ -164,19 +179,21 @@ class VerifyTableCache:
 
     def clear(self) -> None:
         """Drop every cached table and key marker (counters are kept)."""
-        self._tables.clear()
-        self._seen_once.clear()
-        self._rejected.clear()
+        with self._lock:
+            self._tables.clear()
+            self._seen_once.clear()
+            self._rejected.clear()
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot: entries, capacity, hits, misses, evictions."""
-        return {
-            "entries": len(self._tables),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._tables),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 _REGISTRY: dict[str, "SignatureScheme"] = {}

@@ -25,6 +25,7 @@ bytes only when an identification hit (or an explicit lookup) needs it.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -140,6 +141,11 @@ class IdentificationEngine:
         self._by_id: dict[str, int] | None = {}
         self._cold_opened = False
         self._warmed = False
+        # One lock covers the serving counters and the lazy identity-map
+        # build, so concurrent searches/lookups (the service frontend's
+        # worker pool) keep the stats snapshot consistent.  Enrollment
+        # writes are *not* covered — callers serialise those.
+        self._lock = threading.Lock()
         self._probes_served = 0
         self._batches_served = 0
         self._candidates_returned = 0
@@ -171,10 +177,14 @@ class IdentificationEngine:
 
     def _identity_map(self) -> dict[str, int]:
         if self._by_id is None:
-            # Cold-opened store: build the id map once, on first need.
-            self._by_id = {
-                record.user_id: row for row, record in enumerate(self)
-            }
+            # Cold-opened store: build the id map once, on first need
+            # (double-checked under the lock so two concurrent lookups
+            # don't build it twice).
+            with self._lock:
+                if self._by_id is None:
+                    self._by_id = {
+                        record.user_id: row for row, record in enumerate(self)
+                    }
         return self._by_id
 
     # -- enrollment ---------------------------------------------------------------
@@ -191,8 +201,11 @@ class IdentificationEngine:
         helper = record.helper()
         row = self._index.add(helper.movements)
         assert row == len(self), "index/record row drift"
-        by_id[record.user_id] = row
+        # Record first, then the id-map entry: a concurrent get() (the
+        # service layer's verify pool) must never see a row id whose
+        # backing record has not landed yet.
         self._extra.append(record)
+        by_id[record.user_id] = row
 
     def add_many(self, records: list[UserRecord]) -> None:
         """Bulk-enroll records with a single index write.
@@ -215,9 +228,10 @@ class IdentificationEngine:
                               for record in records])
         rows = self._index.add_many(movements)
         assert rows[0] == len(self), "index/record row drift"
+        # Records before id-map entries (see add()).
+        self._extra.extend(records)
         for row, record in zip(rows, records):
             by_id[record.user_id] = row
-        self._extra.extend(records)
 
     def get(self, user_id: str) -> UserRecord | None:
         """The record enrolled under ``user_id``, or ``None``."""
@@ -246,11 +260,13 @@ class IdentificationEngine:
     # -- search -------------------------------------------------------------------
 
     def _observe(self, probes: int, candidates: int, elapsed_s: float) -> None:
-        self._probes_served += probes
-        self._batches_served += 1
-        self._candidates_returned += candidates
         us = elapsed_s * 1e6
-        self._latency_counts[bisect_left(LATENCY_BUCKET_EDGES_US, us)] += 1
+        bucket = bisect_left(LATENCY_BUCKET_EDGES_US, us)
+        with self._lock:
+            self._probes_served += probes
+            self._batches_served += 1
+            self._candidates_returned += candidates
+            self._latency_counts[bucket] += 1
 
     def search(self, probe: np.ndarray) -> list[int]:
         """Global row ids whose enrolled sketch matches ``probe``."""
@@ -309,6 +325,7 @@ class IdentificationEngine:
         engine._by_id = None  # built lazily
         engine._cold_opened = True
         engine._warmed = False
+        engine._lock = threading.Lock()
         engine._probes_served = 0
         engine._batches_served = 0
         engine._candidates_returned = 0
@@ -340,15 +357,20 @@ class IdentificationEngine:
 
     def stats(self) -> EngineStats:
         """Counter snapshot for dashboards / the bench CLI."""
+        with self._lock:
+            probes = self._probes_served
+            batches = self._batches_served
+            candidates = self._candidates_returned
+            latency = dict(zip(_BUCKET_LABELS, self._latency_counts))
         return EngineStats(
             enrolled=len(self),
             shard_sizes=self._index.shard_sizes(),
-            probes_served=self._probes_served,
-            batches_served=self._batches_served,
-            candidates_returned=self._candidates_returned,
+            probes_served=probes,
+            batches_served=batches,
+            candidates_returned=candidates,
             cold_opened=self._cold_opened,
             warmed=self._warmed,
-            latency_buckets=dict(zip(_BUCKET_LABELS, self._latency_counts)),
+            latency_buckets=latency,
             key_table_entries=len(self.key_tables),
             key_table_hits=self.key_tables.hits,
             key_table_misses=self.key_tables.misses,

@@ -27,6 +27,7 @@ re-opened and appended to.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -157,6 +158,7 @@ class ShardedSketchIndex:
         self._shards = [_Shard(params) for _ in range(shards)]
         self._total = 0
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()  # lazy pool creation race guard
         rng = np.random.default_rng(_SHARD_HASH_SEED)
         self._hash_weights = rng.integers(
             1, np.iinfo(np.int64).max, size=params.n
@@ -255,18 +257,21 @@ class ShardedSketchIndex:
             return []
         if self.workers is None or self.workers <= 1 or len(live) == 1:
             return [task(shard) for shard in live]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=min(self.workers, len(self._shards)),
-                thread_name_prefix="sketch-shard",
-            )
-        return list(self._pool.map(task, live))
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(self._shards)),
+                    thread_name_prefix="sketch-shard",
+                )
+            pool = self._pool
+        return list(pool.map(task, live))
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; pool restarts on use)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def search(self, probe: IntArray) -> list[int]:
         """Global row ids of all enrolled sketches matching ``probe``.

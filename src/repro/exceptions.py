@@ -67,3 +67,18 @@ class IdentificationError(ProtocolError):
 
 class EnrollmentError(ProtocolError):
     """User enrollment could not be completed (e.g. duplicate identity)."""
+
+
+class ServiceError(ReproError):
+    """Base class for concurrent-service-layer failures."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service frontend's admission queue stayed full past the
+    submit timeout — the caller should back off and retry (backpressure
+    is the bounded queue doing its job, not a server fault)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request reached the service frontend after (or while) it shut
+    down; the request was not processed."""

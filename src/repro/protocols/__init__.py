@@ -43,6 +43,7 @@ from repro.protocols.runners import (
     run_verification,
 )
 from repro.protocols.server import AuditEvent, AuthenticationServer
+from repro.protocols.sessions import EvictedSession, PendingSession, SessionStore
 from repro.protocols.simulation import (
     ClassStats,
     SimulationReport,
@@ -82,6 +83,9 @@ __all__ = [
     "run_verification",
     "AuditEvent",
     "AuthenticationServer",
+    "EvictedSession",
+    "PendingSession",
+    "SessionStore",
     "ClassStats",
     "SimulationReport",
     "TrafficMix",

@@ -73,8 +73,11 @@ class HelperDataStore:
         helper = record.helper()
         row = self._index.add(helper.movements)
         assert row == len(self._records), "index/record row drift"
-        self._by_id[record.user_id] = row
+        # Record first, then the id-map entry: a concurrent get() (the
+        # service layer's verify pool) must never see a row id whose
+        # backing record has not landed yet.
         self._records.append(record)
+        self._by_id[record.user_id] = row
 
     def add_many(self, records: list[UserRecord]) -> None:
         """Bulk-insert records with one index write.
@@ -102,9 +105,10 @@ class HelperDataStore:
         else:  # exotic index without bulk support: per-row fallback
             rows = [self._index.add(m) for m in movements]
         assert rows[0] == len(self._records), "index/record row drift"
+        # Records before id-map entries (see add()).
+        self._records.extend(records)
         for row, record in zip(rows, records):
             self._by_id[record.user_id] = row
-        self._records.extend(records)
 
     def get(self, user_id: str) -> UserRecord | None:
         """The record enrolled under ``user_id``, or ``None``."""

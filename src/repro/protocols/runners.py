@@ -1,13 +1,20 @@
 """Protocol orchestration: run a full exchange and account its cost.
 
 Each runner plays one of the paper's protocols between a
-:class:`~repro.protocols.device.BiometricDevice` and an
-:class:`~repro.protocols.server.AuthenticationServer` over a
-:class:`~repro.protocols.transport.DuplexLink`, timing every phase with a
-monotonic clock and collecting wire statistics.  The benchmark suite calls
-these runners directly; Fig. 4 is a sweep of
+:class:`~repro.protocols.device.BiometricDevice` and a server endpoint
+over a :class:`~repro.protocols.transport.DuplexLink`, timing every phase
+with a monotonic clock and collecting wire statistics.  The benchmark
+suite calls these runners directly; Fig. 4 is a sweep of
 :func:`run_identification` / :func:`run_baseline_identification` over
 database sizes.
+
+The ``server`` argument is duck-typed against :class:`ServerEndpoint` —
+the handler surface of
+:class:`~repro.protocols.server.AuthenticationServer`, which the
+concurrent :class:`~repro.service.frontend.ServiceFrontend` implements
+verbatim.  One runner body therefore drives both the serial server and
+the micro-batching service pipeline, so phase-timing sweeps and the
+concurrent load bench measure the *same* protocol code path.
 
 Phase names are stable (tests and benches key on them):
 
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
@@ -39,8 +47,41 @@ from repro.protocols.messages import (
     VerificationChallenge,
     VerificationOutcome,
 )
-from repro.protocols.server import AuthenticationServer
 from repro.protocols.transport import DuplexLink
+
+
+class ServerEndpoint(Protocol):
+    """Structural type for anything a runner can play a protocol against.
+
+    :class:`~repro.protocols.server.AuthenticationServer` is the
+    canonical implementation; the service layer's ``ServiceFrontend``
+    satisfies it with blocking submit-and-wait wrappers, which is what
+    lets every runner drive the concurrent pipeline unchanged.
+    """
+
+    def handle_enrollment(self, submission):
+        """Store ``(ID, pk, P)``; ack or refuse (Fig. 1)."""
+
+    def handle_identification_request(self, request):
+        """Sketch search; challenge on a hit, ``⊥`` on a miss (Fig. 3)."""
+
+    def handle_identification_response(self, response):
+        """Verify ``σ``; outcome, or the next candidate's challenge."""
+
+    def handle_identification_decline(self, decline):
+        """Device could not run ``Rep``; advance to the next candidate."""
+
+    def handle_verification_request(self, request):
+        """Look the claimed ``ID`` up and challenge it (1:1 mode)."""
+
+    def handle_verification_response(self, response):
+        """Verify the claimed identity's challenge signature."""
+
+    def handle_baseline_request(self, request):
+        """Ship every ``(ID_i, P_i, c_i)`` (the Fig. 2 baseline)."""
+
+    def handle_baseline_response(self, response):
+        """Verify the baseline batch's signatures one by one."""
 
 
 @dataclass
@@ -93,7 +134,7 @@ def _finalize(outcome, timer: _PhaseTimer, link: DuplexLink) -> ProtocolRun:
 # Enrollment (Fig. 1)
 # ----------------------------------------------------------------------------
 
-def run_enrollment(device: BiometricDevice, server: AuthenticationServer,
+def run_enrollment(device: BiometricDevice, server: ServerEndpoint,
                    link: DuplexLink, user_id: str,
                    bio: np.ndarray) -> ProtocolRun:
     """``UserEnro``: device-side ``Gen`` + keygen, server-side store."""
@@ -111,7 +152,7 @@ def run_enrollment(device: BiometricDevice, server: AuthenticationServer,
 # Proposed identification (Fig. 3)
 # ----------------------------------------------------------------------------
 
-def run_identification(device: BiometricDevice, server: AuthenticationServer,
+def run_identification(device: BiometricDevice, server: ServerEndpoint,
                        link: DuplexLink, bio: np.ndarray) -> ProtocolRun:
     """``BioIden``: sketch -> search -> challenge-response -> outcome.
 
@@ -162,7 +203,7 @@ def run_identification(device: BiometricDevice, server: AuthenticationServer,
 # Verification mode (1:1)
 # ----------------------------------------------------------------------------
 
-def run_verification(device: BiometricDevice, server: AuthenticationServer,
+def run_verification(device: BiometricDevice, server: ServerEndpoint,
                      link: DuplexLink, user_id: str,
                      bio: np.ndarray) -> ProtocolRun:
     """Claimed-identity verification: lookup -> challenge-response."""
@@ -203,7 +244,7 @@ def run_verification(device: BiometricDevice, server: AuthenticationServer,
 # ----------------------------------------------------------------------------
 
 def run_baseline_identification(device: BiometricDevice,
-                                server: AuthenticationServer,
+                                server: ServerEndpoint,
                                 link: DuplexLink,
                                 bio: np.ndarray,
                                 pessimistic: bool = True) -> ProtocolRun:

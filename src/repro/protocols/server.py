@@ -12,14 +12,28 @@ Holds the helper-data store and drives the server side of every protocol:
 
 Challenges are one-shot: each outstanding session is consumed by the first
 response that references it, giving replay protection (a replayed
-signature names a dead session and is rejected).
+signature names a dead session and is rejected).  Outstanding sessions
+live in a bounded, TTL-expiring :class:`~repro.protocols.sessions.SessionStore`
+— a challenged device that never responds costs memory only until its
+session expires (or is LRU-evicted past the cap), and every such drop is
+audited (``identify-expired`` / ``verify-expired`` / ``baseline-expired``).
+
+Handlers are stateless over that store and safe to call from multiple
+threads: the session store, the DRBG, and the audit trail each take a
+small internal lock, and signature verification shares the lock-safe
+:class:`~repro.crypto.signatures.VerifyTableCache`.  The one exception is
+enrollment, which mutates the record store — callers that enroll
+concurrently must serialise those calls (the service frontend routes them
+through its single batcher thread).
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -45,6 +59,7 @@ from repro.protocols.messages import (
     VerificationRequest,
     VerificationResponse,
 )
+from repro.protocols.sessions import EvictedSession, PendingSession, SessionStore
 
 _CHALLENGE_BYTES = 16
 
@@ -55,8 +70,9 @@ class AuditEvent:
 
     ``kind`` is a stable machine-readable tag (``enroll-ok``,
     ``enroll-refused``, ``identify-challenge``, ``identify-ok``,
-    ``identify-fail``, ``identify-decline``, ``verify-ok``,
-    ``verify-fail``, ``baseline-batch``); ``sequence`` orders events
+    ``identify-fail``, ``identify-decline``, ``identify-expired``,
+    ``verify-ok``, ``verify-fail``, ``verify-expired``,
+    ``baseline-batch``, ``baseline-expired``); ``sequence`` orders events
     within one server instance.
     """
 
@@ -64,22 +80,6 @@ class AuditEvent:
     kind: str
     user_id: str | None = None
     detail: str = ""
-
-
-@dataclass(frozen=True)
-class _PendingSession:
-    """Server-side state for an outstanding challenge.
-
-    For identification, ``records`` holds the *remaining* candidate queue:
-    the record currently under challenge first, false-close alternates
-    after it (Theorem 2 makes multiple matches astronomically rare at
-    paper parameters, but the protocol resolves them cryptographically
-    rather than assuming them away).
-    """
-
-    mode: str                       # "identify" | "verify" | "baseline"
-    records: tuple[UserRecord, ...]
-    challenges: tuple[bytes, ...]
 
 
 class AuthenticationServer:
@@ -104,6 +104,11 @@ class AuthenticationServer:
     helper-data records and survive server re-instantiation over the same
     engine; passing an explicit ``key_table_capacity`` alongside such a
     store is rejected (size the cache on the store instead).
+
+    ``session_ttl_s`` / ``max_sessions`` bound the outstanding-challenge
+    state (see the module docstring); pass a pre-built ``sessions`` store
+    instead to control the clock or share a store — the server installs
+    its audit hook as the store's ``on_evict`` either way.
     """
 
     def __init__(self, params: SystemParams, scheme: SignatureScheme,
@@ -111,7 +116,10 @@ class AuthenticationServer:
                  seed: bytes | None = None,
                  max_candidates: int = 4,
                  audit_capacity: int = 10_000,
-                 key_table_capacity: int | None = None) -> None:
+                 key_table_capacity: int | None = None,
+                 session_ttl_s: float | None = 300.0,
+                 max_sessions: int = 10_000,
+                 sessions: SessionStore | None = None) -> None:
         if max_candidates < 1:
             raise ValueError("max_candidates must be >= 1")
         self.params = params
@@ -133,8 +141,14 @@ class AuthenticationServer:
         if seed is None:
             seed = np.random.default_rng().bytes(32)
         self._drbg = HmacDrbg(seed, personalization=b"auth-server")
-        self._sessions: dict[bytes, _PendingSession] = {}
+        self._drbg_lock = threading.Lock()
+        if sessions is None:
+            sessions = SessionStore(capacity=max_sessions,
+                                    ttl_s=session_ttl_s)
+        self._sessions = sessions
+        self._sessions.on_evict = self._session_evicted
         self._audit: deque[AuditEvent] = deque(maxlen=audit_capacity)
+        self._audit_lock = threading.Lock()
         self._audit_sequence = itertools.count()
 
     def _verify(self, record: UserRecord, payload: bytes,
@@ -166,18 +180,42 @@ class AuthenticationServer:
         stats = getattr(self.store, "stats", None)
         return stats() if stats is not None else None
 
+    # -- sessions -----------------------------------------------------------------
+
+    def _new_tokens(self, count: int = 1) -> tuple[bytes, ...]:
+        """``count`` challenge bytes plus a session id, atomically drawn."""
+        with self._drbg_lock:
+            return tuple(self._drbg.generate(_CHALLENGE_BYTES)
+                         for _ in range(count)) + (self._drbg.generate(16),)
+
+    def _session_evicted(self, evicted: EvictedSession) -> None:
+        """Audit hook the session store calls on TTL expiry / LRU eviction."""
+        session = evicted.session
+        user_id = session.records[0].user_id if session.records else None
+        self._record_event(
+            f"{session.mode}-expired", user_id,
+            "challenge abandoned (ttl)" if evicted.reason == "expired"
+            else "challenge abandoned (capacity eviction)",
+        )
+
+    def outstanding_sessions(self) -> int:
+        """How many challenges are currently awaiting a response."""
+        return len(self._sessions)
+
     # -- audit trail ---------------------------------------------------------------
 
     def _record_event(self, kind: str, user_id: str | None = None,
                       detail: str = "") -> None:
-        self._audit.append(AuditEvent(
-            sequence=next(self._audit_sequence), kind=kind,
-            user_id=user_id, detail=detail,
-        ))
+        with self._audit_lock:
+            self._audit.append(AuditEvent(
+                sequence=next(self._audit_sequence), kind=kind,
+                user_id=user_id, detail=detail,
+            ))
 
     def audit_log(self, kind: str | None = None) -> list[AuditEvent]:
         """Snapshot of the audit trail, optionally filtered by kind."""
-        events = list(self._audit)
+        with self._audit_lock:
+            events = list(self._audit)
         if kind is not None:
             events = [e for e in events if e.kind == kind]
         return events
@@ -205,27 +243,20 @@ class AuthenticationServer:
         self, candidates: tuple[UserRecord, ...],
     ) -> IdentificationChallenge:
         """Open a session challenging ``candidates[0]``."""
-        challenge = self._drbg.generate(_CHALLENGE_BYTES)
-        session_id = self._drbg.generate(16)
-        self._sessions[session_id] = _PendingSession(
+        challenge, session_id = self._new_tokens()
+        self._sessions.put(session_id, PendingSession(
             mode="identify", records=candidates, challenges=(challenge,)
-        )
+        ))
         return IdentificationChallenge(
             helper_data=candidates[0].helper_data,
             challenge=challenge,
             session_id=session_id,
         )
 
-    def handle_identification_request(
-        self, request: IdentificationRequest,
+    def _respond_to_matches(
+        self, matches: list[UserRecord],
     ) -> IdentificationChallenge | IdentificationOutcome:
-        """Sketch search; challenge on a hit, ``⊥`` on a miss.
-
-        Multiple matches are theoretically possible (false-close
-        probability, Theorem 2); matches are challenged in enrollment
-        order, moving to the next on a failed or declined response.
-        """
-        matches = self.store.find_by_sketch(request.sketch)
+        """Challenge the first sketch match, or return ``⊥`` on a miss."""
         if not matches:
             self._record_event("identify-fail", None, "no sketch match")
             return IdentificationOutcome(identified=False, user_id=None)
@@ -237,8 +268,43 @@ class AuthenticationServer:
             tuple(matches[: self.max_candidates])
         )
 
+    def handle_identification_request(
+        self, request: IdentificationRequest,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Sketch search; challenge on a hit, ``⊥`` on a miss.
+
+        Multiple matches are theoretically possible (false-close
+        probability, Theorem 2); matches are challenged in enrollment
+        order, moving to the next on a failed or declined response.
+        """
+        return self._respond_to_matches(self.store.find_by_sketch(request.sketch))
+
+    def handle_identification_batch(
+        self, requests: Sequence[IdentificationRequest],
+    ) -> list[IdentificationChallenge | IdentificationOutcome]:
+        """Answer ``B`` identification requests with one batched search.
+
+        Routes the stacked ``(B, n)`` probe matrix through the store's
+        ``find_by_sketch_batch`` kernel when it has one (both
+        :class:`HelperDataStore` and the identification engine do), so
+        the per-probe scan cost is amortised across the batch; the
+        per-request challenge/outcome logic is exactly
+        :meth:`handle_identification_request`'s.  This is the entry point
+        the service frontend's micro-batcher drives.
+        """
+        if not requests:
+            return []
+        batch = getattr(self.store, "find_by_sketch_batch", None)
+        if batch is not None:
+            probes = np.stack([request.sketch for request in requests])
+            per_probe = batch(probes)
+        else:
+            per_probe = [self.store.find_by_sketch(request.sketch)
+                         for request in requests]
+        return [self._respond_to_matches(matches) for matches in per_probe]
+
     def _advance_or_fail(
-        self, session: _PendingSession,
+        self, session: PendingSession,
     ) -> IdentificationChallenge | IdentificationOutcome:
         remaining = session.records[1:]
         if remaining:
@@ -250,7 +316,7 @@ class AuthenticationServer:
     ) -> IdentificationChallenge | IdentificationOutcome:
         """Verify ``σ`` over ``(c, a)`` against the current candidate's
         ``pk``; on failure, fall through to the next candidate."""
-        session = self._sessions.pop(response.session_id, None)
+        session = self._sessions.pop(response.session_id)
         if session is None or session.mode != "identify":
             return IdentificationOutcome(identified=False, user_id=None)
         record = session.records[0]
@@ -267,7 +333,7 @@ class AuthenticationServer:
     ) -> IdentificationChallenge | IdentificationOutcome:
         """The device could not run ``Rep`` for the offered helper data
         (tampered record or false sketch match): try the next candidate."""
-        session = self._sessions.pop(decline.session_id, None)
+        session = self._sessions.pop(decline.session_id)
         if session is None or session.mode != "identify":
             return IdentificationOutcome(identified=False, user_id=None)
         self._record_event("identify-decline", session.records[0].user_id,
@@ -283,11 +349,10 @@ class AuthenticationServer:
         record = self.store.get(request.user_id)
         if record is None:
             return VerificationOutcome(verified=False, user_id=request.user_id)
-        challenge = self._drbg.generate(_CHALLENGE_BYTES)
-        session_id = self._drbg.generate(16)
-        self._sessions[session_id] = _PendingSession(
+        challenge, session_id = self._new_tokens()
+        self._sessions.put(session_id, PendingSession(
             mode="verify", records=(record,), challenges=(challenge,)
-        )
+        ))
         return VerificationChallenge(
             helper_data=record.helper_data,
             challenge=challenge,
@@ -298,7 +363,7 @@ class AuthenticationServer:
         self, response: VerificationResponse,
     ) -> VerificationOutcome:
         """Verify the signature for the claimed identity's session."""
-        session = self._sessions.pop(response.session_id, None)
+        session = self._sessions.pop(response.session_id)
         if session is None or session.mode != "verify":
             return VerificationOutcome(verified=False, user_id="")
         record = session.records[0]
@@ -317,13 +382,11 @@ class AuthenticationServer:
         records = tuple(self.store.all_records())
         self._record_event("baseline-batch", None,
                            f"shipping {len(records)} records")
-        challenges = tuple(
-            self._drbg.generate(_CHALLENGE_BYTES) for _ in records
-        )
-        session_id = self._drbg.generate(16)
-        self._sessions[session_id] = _PendingSession(
+        *challenges, session_id = self._new_tokens(count=len(records))
+        challenges = tuple(challenges)
+        self._sessions.put(session_id, PendingSession(
             mode="baseline", records=records, challenges=challenges
-        )
+        ))
         return BaselineChallengeBatch(
             user_ids=BaselineChallengeBatch.pack_list(
                 [r.user_id.encode("utf-8") for r in records]
@@ -339,7 +402,7 @@ class AuthenticationServer:
         self, response: BaselineResponseBatch,
     ) -> IdentificationOutcome:
         """Verify per-record signatures until one validates."""
-        session = self._sessions.pop(response.session_id, None)
+        session = self._sessions.pop(response.session_id)
         if session is None or session.mode != "baseline":
             return IdentificationOutcome(identified=False, user_id=None)
         signatures = BaselineChallengeBatch.unpack_list(response.signatures)

@@ -1,0 +1,188 @@
+"""Server-side challenge-session bookkeeping.
+
+The authentication server opens one *pending session* per outstanding
+challenge (identification, verification, or baseline batch) and consumes
+it with the first response that references it — the one-shot property the
+replay-protection argument rests on.  Before this module the server kept
+those sessions in a bare dict, which leaked: a device that receives a
+challenge and never answers (crashed sensor, walked-away user, probing
+adversary) left its session behind forever.
+
+:class:`SessionStore` is the extracted, thread-safe replacement:
+
+* **TTL expiry** — every session carries a deadline; stale sessions are
+  swept on each store operation (and on demand via :meth:`sweep`), so an
+  abandoned challenge costs memory only until its TTL lapses;
+* **bounded occupancy** — at most ``capacity`` sessions are ever
+  outstanding; inserting past the cap evicts the oldest outstanding
+  session (sessions are one-shot and never touched between ``put`` and
+  ``pop``, so insertion order *is* LRU order);
+* **eviction audit** — every TTL expiry or capacity eviction is reported
+  through the ``on_evict`` hook, which the server wires into its audit
+  trail (``identify-expired`` and friends), so operators can see
+  abandonment rates rather than silently shedding state;
+* **thread safety** — a single internal lock makes ``put``/``pop``/
+  ``sweep`` safe under the concurrent service frontend, whose worker pool
+  pops sessions while the batcher thread opens new ones.
+
+The store is deliberately mechanism-only: it never inspects session
+contents beyond the ``mode`` tag and never talks to the clock directly
+except through the injectable ``clock`` callable (tests drive expiry with
+a fake clock instead of sleeping).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.protocols.database import UserRecord
+
+
+@dataclass(frozen=True)
+class PendingSession:
+    """Server-side state for an outstanding challenge.
+
+    For identification, ``records`` holds the *remaining* candidate queue:
+    the record currently under challenge first, false-close alternates
+    after it (Theorem 2 makes multiple matches astronomically rare at
+    paper parameters, but the protocol resolves them cryptographically
+    rather than assuming them away).
+    """
+
+    mode: str                       # "identify" | "verify" | "baseline"
+    records: tuple[UserRecord, ...]
+    challenges: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class EvictedSession:
+    """One session the store dropped without a response consuming it.
+
+    ``reason`` is ``"expired"`` (TTL lapsed) or ``"capacity"`` (evicted
+    as the oldest outstanding session when the store was full).
+    """
+
+    session_id: bytes
+    session: PendingSession
+    reason: str
+
+
+class SessionStore:
+    """Bounded, TTL-expiring, thread-safe map of outstanding sessions.
+
+    Parameters
+    ----------
+    capacity:
+        Hard cap on outstanding sessions; inserting past it evicts the
+        oldest one first.
+    ttl_s:
+        Seconds a session may stay outstanding; ``None`` disables TTL
+        expiry (the capacity bound still holds).
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    on_evict:
+        Called with an :class:`EvictedSession` for every expiry or
+        capacity eviction — *outside* the store lock, so the callback may
+        itself take locks (the server's audit trail does).
+    """
+
+    def __init__(self, capacity: int = 10_000, ttl_s: float | None = 300.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_evict: Callable[[EvictedSession], None] | None = None,
+                 ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.on_evict = on_evict
+        self._clock = clock
+        self._lock = threading.Lock()
+        # id -> (deadline, session); insertion order == expiry order
+        # (constant TTL) == LRU order (sessions are one-shot, never
+        # refreshed), so one OrderedDict serves both policies.
+        self._sessions: OrderedDict[bytes, tuple[float, PendingSession]] = \
+            OrderedDict()
+        self.expired = 0
+        self.capacity_evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def _sweep_locked(self, now: float) -> list[EvictedSession]:
+        """Drop every expired session; caller holds the lock."""
+        if self.ttl_s is None:
+            return []
+        evicted = []
+        while self._sessions:
+            session_id, (deadline, session) = next(iter(self._sessions.items()))
+            if deadline > now:
+                break
+            del self._sessions[session_id]
+            self.expired += 1
+            evicted.append(EvictedSession(session_id, session, "expired"))
+        return evicted
+
+    def _notify(self, evicted: list[EvictedSession]) -> None:
+        if self.on_evict is not None:
+            for ev in evicted:
+                self.on_evict(ev)
+
+    def put(self, session_id: bytes, session: PendingSession) -> None:
+        """Insert a session, sweeping stale ones and enforcing the cap."""
+        now = self._clock()
+        with self._lock:
+            evicted = self._sweep_locked(now)
+            deadline = float("inf") if self.ttl_s is None else now + self.ttl_s
+            self._sessions[session_id] = (deadline, session)
+            while len(self._sessions) > self.capacity:
+                old_id, (_, old) = self._sessions.popitem(last=False)
+                self.capacity_evicted += 1
+                evicted.append(EvictedSession(old_id, old, "capacity"))
+        self._notify(evicted)
+
+    def pop(self, session_id: bytes) -> PendingSession | None:
+        """Consume and return a live session, or ``None``.
+
+        A session whose TTL already lapsed is treated exactly like an
+        unknown id — the response referencing it is rejected — and is
+        reported through ``on_evict`` like any other expiry.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._sessions.pop(session_id, None)
+            evicted = self._sweep_locked(now)
+            if entry is not None:
+                deadline, session = entry
+                if deadline <= now:
+                    self.expired += 1
+                    evicted.append(
+                        EvictedSession(session_id, session, "expired"))
+                    session = None
+            else:
+                session = None
+        self._notify(evicted)
+        return session
+
+    def sweep(self) -> int:
+        """Expire every stale session now; returns how many were dropped."""
+        with self._lock:
+            evicted = self._sweep_locked(self._clock())
+        self._notify(evicted)
+        return len(evicted)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: outstanding, capacity, expired, evicted."""
+        with self._lock:
+            return {
+                "outstanding": len(self._sessions),
+                "capacity": self.capacity,
+                "expired": self.expired,
+                "capacity_evicted": self.capacity_evicted,
+            }

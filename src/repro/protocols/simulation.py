@@ -124,12 +124,23 @@ class WorkloadSimulator:
     :class:`~repro.engine.engine.IdentificationEngine` (see
     :meth:`with_engine`), so capacity numbers can be taken against the
     same store a deployment would serve from.
+
+    ``server_wrapper`` routes every protocol exchange (enrollment
+    included) through a wrapper endpoint instead of the bare server —
+    most usefully the concurrent
+    :class:`~repro.service.frontend.ServiceFrontend` (see
+    :meth:`with_frontend`), so the simulated workload exercises the same
+    admission/batching pipeline a deployment would.  The simulator's
+    request loop stays single-threaded either way (determinism is the
+    point of a seeded simulation); call :meth:`close` when done so a
+    wrapping frontend's threads shut down.
     """
 
     def __init__(self, params: SystemParams, scheme: SignatureScheme,
                  n_users: int, mix: TrafficMix | None = None,
                  seed: int = 0,
                  store_factory: Callable[[SystemParams], object] | None = None,
+                 server_wrapper: Callable[[AuthenticationServer], object] | None = None,
                  ) -> None:
         if n_users < 1:
             raise ParameterError("need at least one enrolled user")
@@ -145,8 +156,10 @@ class WorkloadSimulator:
         store = store_factory(params) if store_factory is not None else None
         self.server = AuthenticationServer(params, scheme, store=store,
                                            seed=seed.to_bytes(8, "big") + b"srv")
+        self.endpoint = self.server if server_wrapper is None \
+            else server_wrapper(self.server)
         for i, user_id in enumerate(self.population.user_ids()):
-            run = run_enrollment(self.device, self.server, DuplexLink(),
+            run = run_enrollment(self.device, self.endpoint, DuplexLink(),
                                  user_id, self.population.template(i))
             assert run.outcome.accepted
 
@@ -167,6 +180,36 @@ class WorkloadSimulator:
 
         return cls(params, scheme, n_users=n_users, mix=mix, seed=seed,
                    store_factory=factory)
+
+    @classmethod
+    def with_frontend(cls, params: SystemParams, scheme: SignatureScheme,
+                      n_users: int, mix: TrafficMix | None = None,
+                      seed: int = 0,
+                      store_factory: Callable[[SystemParams], object] | None = None,
+                      **frontend_kwargs) -> "WorkloadSimulator":
+        """A simulator routed through the concurrent service frontend.
+
+        The driving loop is still serial, so reports stay deterministic
+        — what changes is the code path: every request crosses the
+        frontend's admission queue, micro-batcher, and verify pool,
+        which is exactly the parity a pipeline refactor needs a seeded
+        baseline for.  The service import is lazy (call-time) because
+        the layering runs service → protocols, never the reverse.
+        """
+        from repro.service.frontend import ServiceFrontend
+
+        def wrapper(server: AuthenticationServer) -> ServiceFrontend:
+            return ServiceFrontend(server, **frontend_kwargs)
+
+        return cls(params, scheme, n_users=n_users, mix=mix, seed=seed,
+                   store_factory=store_factory, server_wrapper=wrapper)
+
+    def close(self) -> None:
+        """Shut down a wrapping endpoint (no-op for the bare server)."""
+        if self.endpoint is not self.server:
+            closer = getattr(self.endpoint, "close", None)
+            if closer is not None:
+                closer()
 
     def engine_stats(self):
         """Engine counter snapshot, or ``None`` for the classic store."""
@@ -213,7 +256,7 @@ class WorkloadSimulator:
             klass = self._draw_class()
             reading, expected_user = self._reading_for(klass)
             run: ProtocolRun = run_identification(
-                self.device, self.server, DuplexLink(), reading
+                self.device, self.endpoint, DuplexLink(), reading
             )
             stats = per_class[klass]
             stats.requests += 1

@@ -1,0 +1,41 @@
+"""Concurrent service layer: the protocol stack's multi-client front door.
+
+The protocol layer answers one request at a time; this layer answers
+*traffic*.  It composes the two scale pieces the earlier layers built —
+the engine's batched sketch search and the crypto layer's warm
+verify-table cache — under real concurrency:
+
+* :mod:`repro.service.frontend` — :class:`ServiceFrontend`, a bounded
+  admission queue feeding a micro-batching scheduler: concurrent
+  identification probes coalesce into one
+  ``handle_identification_batch`` search per tick, store writes are
+  serialised on the batcher thread, and challenge verifications fan out
+  to a worker pool sharing the server's lock-safe
+  :class:`~repro.crypto.signatures.VerifyTableCache`.  The frontend
+  exposes the :class:`~repro.protocols.server.AuthenticationServer`
+  handler surface, so runners and simulators drive either one unchanged;
+* :mod:`repro.service.bench` — the closed-loop multi-client load
+  generator behind ``repro service-bench`` (serial loop vs micro-batched
+  frontend on the same engine, throughput + latency percentiles,
+  ``BENCH_service.json`` trajectory).
+
+Import discipline (enforced by the package graph, relied on by tests):
+**protocols may not import service** — the protocol layer stays complete
+and importable on its own, and a bare ``AuthenticationServer`` must never
+need the concurrent machinery.  **Service imports protocols and engine**
+freely; it sits above both.  The only references the lower layers hold
+are lazy, call-time imports in convenience constructors
+(``WorkloadSimulator.with_frontend``), mirroring how the protocol layer
+reaches the engine.
+"""
+
+from repro.service.bench import ServiceBenchReport, run_service_bench, write_trajectory
+from repro.service.frontend import FrontendStats, ServiceFrontend
+
+__all__ = [
+    "FrontendStats",
+    "ServiceFrontend",
+    "ServiceBenchReport",
+    "run_service_bench",
+    "write_trajectory",
+]

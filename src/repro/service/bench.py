@@ -1,0 +1,335 @@
+"""Closed-loop service benchmark behind ``repro service-bench``.
+
+The question this harness answers is the ROADMAP's: what does the stack
+sustain as a *service* — many concurrent clients, one shared engine —
+and what did the micro-batching frontend buy over the one-request-at-a-
+time loop the protocol layer started with?
+
+Setup: one sharded :class:`~repro.engine.engine.IdentificationEngine`
+holding ``n_users`` enrolled records (a small pool of genuinely enrolled
+users whose readings drive the probes, padded to serving scale with
+synthetic filler sketches drawn from the same uniform distribution
+enrolled sketches have), one :class:`AuthenticationServer` on top, one
+signature scheme.  Two measured phases drive the *same* server through
+the *same* ``run_identification`` runner:
+
+* **serial** — one client, one request at a time, exactly the
+  pre-service behaviour (every probe pays a full single-probe scan);
+* **frontend** — ``clients`` closed-loop client threads through a
+  :class:`~repro.service.frontend.ServiceFrontend`, whose batcher
+  coalesces concurrent probes into one batched scan per tick and fans
+  signature checks out to its verify pool.
+
+Every identification is checked to land on the presented user, so a
+reported speedup can never come from a wrong answer.  The report carries
+identifications/sec plus p50/p95/p99 client-observed latency for both
+phases; ``write_trajectory`` appends runs to ``BENCH_service.json``.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the default sizes (CI's service-smoke
+job) — explicit arguments always win.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.extractor import HelperData
+from repro.core.params import SystemParams
+from repro.crypto.signatures import get_scheme
+from repro.engine.engine import IdentificationEngine
+from repro.exceptions import ParameterError
+from repro.protocols.database import UserRecord
+from repro.protocols.device import BiometricDevice
+from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+from repro.service.frontend import ServiceFrontend
+
+#: (full, smoke) default sizes; smoke is CI's reduced service-smoke shape.
+_DEFAULTS = {
+    "n_users": (100_000, 30_000),
+    "n_requests": (256, 128),
+    "clients": (32, 16),
+}
+
+
+def _default(name: str, value: int | None) -> int:
+    if value is not None:
+        return value
+    full, smoke = _DEFAULTS[name]
+    return smoke if os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0") \
+        else full
+
+
+def _percentiles(latencies_ms: list[float]) -> tuple[float, float, float]:
+    return tuple(float(np.percentile(latencies_ms, q)) for q in (50, 95, 99))
+
+
+@dataclass(frozen=True)
+class ServiceBenchReport:
+    """Throughput + latency for the serial and frontend phases."""
+
+    n_enrolled: int
+    pool_users: int
+    n_requests: int
+    clients: int
+    dimension: int
+    shards: int
+    scheme: str
+    max_batch: int
+    batch_window_s: float
+    serial_s: float
+    frontend_s: float
+    #: (p50, p95, p99) client-observed identification latency, ms.
+    serial_latency_ms: tuple[float, float, float]
+    frontend_latency_ms: tuple[float, float, float]
+    #: Realised micro-batch coalescing (from the frontend's counters).
+    mean_batch: float
+    max_batch_seen: int
+
+    @property
+    def serial_ids_per_s(self) -> float:
+        """Identifications/sec the one-at-a-time loop sustained."""
+        return self.n_requests / self.serial_s if self.serial_s > 0 \
+            else float("inf")
+
+    @property
+    def frontend_ids_per_s(self) -> float:
+        """Identifications/sec the micro-batched frontend sustained."""
+        return self.n_requests / self.frontend_s if self.frontend_s > 0 \
+            else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        """Frontend throughput over the serial loop (same engine+scheme)."""
+        return self.serial_s / self.frontend_s if self.frontend_s > 0 \
+            else float("inf")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable bench table (one string per line)."""
+        rows = [
+            ("serial loop", self.serial_ids_per_s, self.serial_latency_ms),
+            ("frontend", self.frontend_ids_per_s, self.frontend_latency_ms),
+        ]
+        lines = [
+            f"service bench: {self.n_enrolled:,} enrolled "
+            f"(n={self.dimension}, shards={self.shards}, "
+            f"scheme={self.scheme}), {self.n_requests} identifications, "
+            f"{self.clients} concurrent clients",
+        ]
+        for label, rate, (p50, p95, p99) in rows:
+            lines.append(
+                f"  {label:<12} {rate:>8,.0f} ids/s   "
+                f"p50 {p50:7.1f} ms  p95 {p95:7.1f} ms  p99 {p99:7.1f} ms"
+            )
+        lines.append(
+            f"  speedup x{self.speedup:.1f} "
+            f"(micro-batches: {self.mean_batch:.1f} probes mean, "
+            f"{self.max_batch_seen} max)"
+        )
+        return lines
+
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable form (the trajectory artifact's unit entry)."""
+        return {
+            "n_enrolled": self.n_enrolled,
+            "pool_users": self.pool_users,
+            "n_requests": self.n_requests,
+            "clients": self.clients,
+            "dimension": self.dimension,
+            "shards": self.shards,
+            "scheme": self.scheme,
+            "max_batch": self.max_batch,
+            "batch_window_s": self.batch_window_s,
+            "serial_s": self.serial_s,
+            "frontend_s": self.frontend_s,
+            "serial_ids_per_s": self.serial_ids_per_s,
+            "frontend_ids_per_s": self.frontend_ids_per_s,
+            "speedup": self.speedup,
+            "serial_latency_ms": list(self.serial_latency_ms),
+            "frontend_latency_ms": list(self.frontend_latency_ms),
+            "mean_batch": self.mean_batch,
+            "max_batch_seen": self.max_batch_seen,
+        }
+
+
+def _filler_records(params: SystemParams, count: int,
+                    rng: np.random.Generator) -> list[UserRecord]:
+    """Synthetic at-scale padding: uniform sketches, never probed.
+
+    Independent templates yield uniform movement vectors, so filler rows
+    cost a genuine probe exactly what real strangers would (the
+    false-close probability of matching one is Theorem 2-negligible).
+    """
+    half = params.interval_width // 2
+    movements = rng.integers(-half, half + 1, size=(count, params.n),
+                             dtype=np.int64)
+    return [
+        UserRecord(
+            user_id=f"filler-{i}",
+            verify_key=b"",  # never challenged: sketches never match
+            helper_data=HelperData(movements=movements[i], tag=b"",
+                                   seed=b"").to_bytes(),
+        )
+        for i in range(count)
+    ]
+
+
+def run_service_bench(dimension: int = 128, n_users: int | None = None,
+                      pool_users: int = 16, n_requests: int | None = None,
+                      clients: int | None = None, shards: int = 4,
+                      scheme: str = "dsa-1024", seed: int = 0,
+                      max_batch: int = 64, batch_window_s: float = 0.05,
+                      batch_linger_s: float = 0.004,
+                      frontend_workers: int = 4) -> ServiceBenchReport:
+    """Build the stack, run the serial and frontend phases, report both."""
+    n_users = _default("n_users", n_users)
+    n_requests = _default("n_requests", n_requests)
+    clients = _default("clients", clients)
+    if pool_users < 1 or n_users < pool_users:
+        raise ParameterError("need 1 <= pool_users <= n_users")
+    if clients < 1 or n_requests < clients:
+        raise ParameterError("need 1 <= clients <= n_requests")
+    params = SystemParams.paper_defaults(n=dimension)
+    sig_scheme = get_scheme(scheme)
+    rng = np.random.default_rng(seed)
+
+    # -- one engine, one server, shared by both phases -------------------
+    engine = IdentificationEngine(params, shards=shards)
+    server = AuthenticationServer(params, sig_scheme, store=engine,
+                                  seed=seed.to_bytes(8, "big") + b"svc-srv")
+    population = UserPopulation(params, size=pool_users,
+                                noise=BoundedUniformNoise(params.t),
+                                seed=seed)
+    enroll_device = BiometricDevice(params, sig_scheme,
+                                    seed=seed.to_bytes(8, "big") + b"enroll")
+    for i, user_id in enumerate(population.user_ids()):
+        run = run_enrollment(enroll_device, server, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted
+    engine.add_many(_filler_records(params, n_users - pool_users, rng))
+
+    user_ids = population.user_ids()
+
+    def readings(count: int, phase_rng: np.random.Generator):
+        picks = phase_rng.integers(0, pool_users, size=count)
+        return [(user_ids[u], population.genuine_reading(int(u), phase_rng))
+                for u in picks]
+
+    def identify(device: BiometricDevice, endpoint, expected: str,
+                 reading: np.ndarray) -> float:
+        start = time.perf_counter()
+        run = run_identification(device, endpoint, DuplexLink(), reading)
+        elapsed = time.perf_counter() - start
+        if not run.outcome.identified or run.outcome.user_id != expected:
+            raise AssertionError(
+                f"service bench mis-identification: expected {expected!r}, "
+                f"got {run.outcome!r}"
+            )
+        return elapsed * 1e3
+
+    # Warm-up: promote every pool key's verify table (built on a key's
+    # *second* use, so each user must be identified exactly twice) and
+    # the scan kernels' LUTs — neither phase may pay one-time costs
+    # inside its timer, and random sampling here would leave unlucky
+    # keys cold for the serial phase to build, biasing the speedup.
+    warm_rng = np.random.default_rng(seed + 1)
+    for _ in range(2):
+        for user in range(pool_users):
+            identify(enroll_device, server, user_ids[user],
+                     population.genuine_reading(user, warm_rng))
+
+    # -- phase 1: the serial one-at-a-time loop --------------------------
+    serial_work = readings(n_requests, np.random.default_rng(seed + 2))
+    serial_latencies: list[float] = []
+    start = time.perf_counter()
+    for expected, reading in serial_work:
+        serial_latencies.append(
+            identify(enroll_device, server, expected, reading))
+    serial_s = time.perf_counter() - start
+
+    # -- phase 2: closed-loop clients through the micro-batching frontend
+    frontend_work = readings(n_requests, np.random.default_rng(seed + 3))
+    per_client = [frontend_work[c::clients] for c in range(clients)]
+    devices = [
+        BiometricDevice(params, sig_scheme,
+                        seed=seed.to_bytes(8, "big") + b"cli%d" % c)
+        for c in range(clients)
+    ]
+    frontend_latencies: list[float] = []
+    latency_lock = threading.Lock()
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client(c: int) -> None:
+        mine: list[float] = []
+        try:
+            barrier.wait()
+            for expected, reading in per_client[c]:
+                mine.append(identify(devices[c], frontend, expected, reading))
+        except BaseException as exc:  # noqa: BLE001 — surface in the main thread
+            errors.append(exc)
+        with latency_lock:
+            frontend_latencies.extend(mine)
+
+    with ServiceFrontend(server, max_batch=max_batch,
+                         batch_window_s=batch_window_s,
+                         batch_linger_s=batch_linger_s,
+                         workers=frontend_workers,
+                         max_queue=max(256, 2 * clients)) as frontend:
+        threads = [threading.Thread(target=client, args=(c,),
+                                    name=f"svc-client-{c}")
+                   for c in range(clients)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        frontend_s = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        stats = frontend.stats()
+
+    return ServiceBenchReport(
+        n_enrolled=n_users, pool_users=pool_users, n_requests=n_requests,
+        clients=clients, dimension=dimension, shards=shards,
+        scheme=scheme, max_batch=max_batch, batch_window_s=batch_window_s,
+        serial_s=serial_s, frontend_s=frontend_s,
+        serial_latency_ms=_percentiles(serial_latencies),
+        frontend_latency_ms=_percentiles(frontend_latencies),
+        mean_batch=stats.mean_batch, max_batch_seen=stats.max_batch,
+    )
+
+
+def write_trajectory(report: ServiceBenchReport, path) -> None:
+    """Append ``report`` to the ``BENCH_service.json`` trajectory.
+
+    Same artifact shape as the crypto trajectory: ``{"runs": [...]}``
+    with timestamps, capped to the most recent 50 runs.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.ioutil import atomic_replace
+
+    path = Path(path)
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+        if not isinstance(runs, list):
+            runs = []  # unreadable artifact: start a fresh trajectory
+    entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
+    entry.update(report.to_json_dict())
+    runs.append(entry)
+    with atomic_replace(path, mode="w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"runs": runs[-50:]}, indent=2) + "\n")

@@ -1,0 +1,436 @@
+"""The concurrent service frontend.
+
+:class:`ServiceFrontend` is the server's concurrent front door: it
+accepts protocol requests from many client threads, applies admission
+control (a bounded queue — callers feel backpressure instead of the
+server hoarding unbounded work), and schedules the work the way a
+single-process deployment wants it scheduled:
+
+* **identification probes are micro-batched** — concurrent
+  ``IdentificationRequest``\\ s that arrive within one batching window are
+  coalesced and answered through a single
+  :meth:`~repro.protocols.server.AuthenticationServer.handle_identification_batch`
+  call, so the sketch-scan cost the engine's batch kernel amortises so
+  well is actually amortised under live traffic (one LUT pass per tick
+  instead of one full scan per request);
+* **store writes are serialised** — enrollments run on the batcher
+  thread, so the record store and sketch index never see concurrent
+  mutation and need no locks of their own;
+* **challenge responses fan out** — signature verifications (and
+  verification-mode lookups) go to a worker pool sharing the server's
+  lock-safe :class:`~repro.crypto.signatures.VerifyTableCache`, so every
+  worker verifies against the same warm per-user tables.
+
+The frontend exposes *the same blocking handler surface* as
+:class:`~repro.protocols.server.AuthenticationServer` (``handle_enrollment``,
+``handle_identification_request``, …), each call submitting to the
+pipeline and waiting for its result.  That duck-type equivalence is the
+point: :mod:`repro.protocols.runners` and the workload simulator drive a
+frontend exactly as they drive a bare server, so the serial and
+concurrent paths share one protocol code path and can be compared
+apples-to-apples (``repro service-bench`` does exactly that).
+
+The O(N) baseline protocol (Fig. 2) is deliberately *not* queued: it
+ships the whole database and exists for comparison benchmarks, not
+serving.  Its two handlers delegate straight to the wrapped server.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServiceClosedError, ServiceOverloadError
+from repro.protocols.messages import (
+    BaselineChallengeBatch,
+    BaselineIdentificationRequest,
+    BaselineResponseBatch,
+    EnrollmentAck,
+    EnrollmentSubmission,
+    IdentificationChallenge,
+    IdentificationDecline,
+    IdentificationOutcome,
+    IdentificationRequest,
+    IdentificationResponse,
+    VerificationChallenge,
+    VerificationOutcome,
+    VerificationRequest,
+    VerificationResponse,
+)
+from repro.protocols.server import AuthenticationServer
+
+#: Queue sentinel telling the batcher thread to drain out.
+_STOP = object()
+
+#: Op kinds the batcher hands to the verify worker pool (everything that
+#: only reads the record store and pops/opens sessions).
+_POOLED_HANDLERS = {
+    "respond": "handle_identification_response",
+    "decline": "handle_identification_decline",
+    "verify-request": "handle_verification_request",
+    "verify-response": "handle_verification_response",
+}
+
+
+@dataclass
+class _Op:
+    """One queued request: kind tag, wire message, completion future."""
+
+    kind: str
+    payload: object
+    future: Future = field(default_factory=Future)
+
+
+@dataclass(frozen=True)
+class FrontendStats:
+    """Lifetime counters for one frontend instance.
+
+    ``identify_batches`` counts micro-batched search calls;
+    ``identify_probes / identify_batches`` is the realised coalescing
+    factor — the closer it sits to the concurrent client count, the more
+    scan cost the batch kernel is amortising.
+    """
+
+    submitted: int
+    completed: int
+    rejected: int
+    identify_probes: int
+    identify_batches: int
+    max_batch: int
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean probes per micro-batch (NaN before any batch)."""
+        if self.identify_batches == 0:
+            return float("nan")
+        return self.identify_probes / self.identify_batches
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable counter summary (one string per line)."""
+        lines = [
+            f"frontend: {self.completed}/{self.submitted} requests "
+            f"completed, {self.rejected} rejected (queue full)",
+        ]
+        if self.identify_batches:
+            lines.append(
+                f"identification micro-batches: {self.identify_batches} "
+                f"({self.mean_batch:.1f} probes/batch mean, "
+                f"{self.max_batch} max)"
+            )
+        return lines
+
+
+class ServiceFrontend:
+    """Concurrent, micro-batching request pipeline over one server.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.protocols.server.AuthenticationServer` to
+        serve through (its handlers are thread-safe; enrollment is the
+        exception and is serialised here).
+    max_queue:
+        Admission-control bound: at most this many requests may be
+        queued awaiting the batcher.  Full-queue submits block for
+        ``submit_timeout_s`` and then raise
+        :class:`~repro.exceptions.ServiceOverloadError`.
+    max_batch:
+        Cap on probes coalesced into one identification micro-batch.
+    batch_window_s / batch_linger_s:
+        Coalescing policy.  From the first queued probe, the batcher
+        keeps accumulating while probes arrive within ``batch_linger_s``
+        of each other, bounded by ``batch_window_s`` total (and by
+        ``max_batch``).  The linger gap means a quiet queue flushes
+        almost immediately — closed-loop clients that have all submitted
+        are not kept waiting for arrivals that cannot come — while the
+        window caps worst-case added latency under sustained traffic.
+        Non-identification requests are dispatched the moment they are
+        dequeued and never wait on the window.
+    workers:
+        Verify worker-pool size.  More workers than cores does not add
+        signature throughput (the big-int math holds the GIL) but keeps
+        verifications from queueing behind one slow response.
+    submit_timeout_s / result_timeout_s:
+        Backpressure and fail-fast bounds.  ``result_timeout_s`` caps how
+        long a blocking handler call waits before raising — a wedged
+        pipeline surfaces as a timeout, never a hang.
+    """
+
+    def __init__(self, server: AuthenticationServer,
+                 max_queue: int = 256,
+                 max_batch: int = 64,
+                 batch_window_s: float = 0.02,
+                 batch_linger_s: float = 0.002,
+                 workers: int = 4,
+                 submit_timeout_s: float = 10.0,
+                 result_timeout_s: float = 60.0) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.server = server
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.batch_linger_s = batch_linger_s
+        self.submit_timeout_s = submit_timeout_s
+        self.result_timeout_s = result_timeout_s
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._closed = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._identify_probes = 0
+        self._identify_batches = 0
+        self._max_batch_seen = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="service-verify")
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="service-batcher", daemon=True)
+        self._batcher.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "ServiceFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting work, drain in-flight requests, join threads.
+
+        Requests already queued complete normally (FIFO order puts them
+        ahead of the stop sentinel); anything racing past the closed
+        check fails with :class:`~repro.exceptions.ServiceClosedError`
+        rather than hanging its caller.  Idempotent.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_STOP)
+        self._batcher.join()
+        self._pool.shutdown(wait=True)
+        # A submit may have raced the closed flag and queued behind the
+        # sentinel; fail those futures so no caller waits forever.
+        while True:
+            try:
+                op = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(op, _Op):
+                self._fail_closed(op)
+
+    @staticmethod
+    def _fail_closed(op: _Op) -> None:
+        """Fail a never-dispatched op (no-op if someone else beat us)."""
+        try:
+            op.future.set_exception(
+                ServiceClosedError("frontend closed before dispatch"))
+        except Exception:  # noqa: BLE001 — future already resolved elsewhere
+            pass
+
+    # -- submission --------------------------------------------------------------
+
+    def _submit(self, kind: str, payload: object) -> Future:
+        if self._closed.is_set():
+            raise ServiceClosedError("frontend is closed")
+        op = _Op(kind=kind, payload=payload)
+        try:
+            self._queue.put(op, timeout=self.submit_timeout_s)
+        except queue.Full:
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServiceOverloadError(
+                f"request queue full ({self._queue.maxsize}) for "
+                f"{self.submit_timeout_s}s"
+            ) from None
+        if self._closed.is_set() and not self._batcher.is_alive():
+            # Raced close(): the op may have landed after the shutdown
+            # drain, with no consumer left.  Fail it here (idempotent —
+            # the drain may have caught it first) so the caller gets
+            # ServiceClosedError now, not a timeout later.
+            self._fail_closed(op)
+        with self._stats_lock:
+            self._submitted += 1
+        return op.future
+
+    def _call(self, kind: str, payload: object):
+        return self._submit(kind, payload).result(self.result_timeout_s)
+
+    # -- the server handler surface (blocking, drop-in) --------------------------
+
+    def handle_enrollment(
+        self, submission: EnrollmentSubmission,
+    ) -> EnrollmentAck:
+        """Enroll through the pipeline (serialised on the batcher)."""
+        return self._call("enroll", submission)
+
+    def handle_identification_request(
+        self, request: IdentificationRequest,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Identify through the pipeline (micro-batched sketch search)."""
+        return self._call("identify", request)
+
+    def handle_identification_response(
+        self, response: IdentificationResponse,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Signature check on the verify worker pool."""
+        return self._call("respond", response)
+
+    def handle_identification_decline(
+        self, decline: IdentificationDecline,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Candidate fall-through on the verify worker pool."""
+        return self._call("decline", decline)
+
+    def handle_verification_request(
+        self, request: VerificationRequest,
+    ) -> VerificationChallenge | VerificationOutcome:
+        """Claimed-identity lookup + challenge on the worker pool."""
+        return self._call("verify-request", request)
+
+    def handle_verification_response(
+        self, response: VerificationResponse,
+    ) -> VerificationOutcome:
+        """Verification-mode signature check on the worker pool."""
+        return self._call("verify-response", response)
+
+    def handle_baseline_request(
+        self, request: BaselineIdentificationRequest,
+    ) -> BaselineChallengeBatch:
+        """O(N) baseline, pass-through (a benchmark path, not a serving
+        path — it ships the whole database and is not queued)."""
+        return self.server.handle_baseline_request(request)
+
+    def handle_baseline_response(
+        self, response: BaselineResponseBatch,
+    ) -> IdentificationOutcome:
+        """O(N) baseline second leg, pass-through like the first."""
+        return self.server.handle_baseline_response(response)
+
+    # -- delegation (so the frontend is a drop-in server) ------------------------
+
+    @property
+    def params(self):
+        """The wrapped server's system parameters."""
+        return self.server.params
+
+    @property
+    def scheme(self):
+        """The wrapped server's signature scheme."""
+        return self.server.scheme
+
+    @property
+    def store(self):
+        """The wrapped server's record store."""
+        return self.server.store
+
+    def audit_log(self, kind: str | None = None):
+        """The wrapped server's audit trail (optionally filtered)."""
+        return self.server.audit_log(kind)
+
+    def engine_stats(self):
+        """The wrapped server's engine counters (``None`` off-engine)."""
+        return self.server.engine_stats()
+
+    def outstanding_sessions(self) -> int:
+        """Outstanding challenge count on the wrapped server."""
+        return self.server.outstanding_sessions()
+
+    # -- the batcher -------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        """Pull requests, coalesce identification probes, dispatch."""
+        while True:
+            op = self._queue.get()
+            if op is _STOP:
+                return
+            if op.kind != "identify":
+                self._dispatch(op)
+                continue
+            batch = [op]
+            deadline = time.monotonic() + self.batch_window_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(
+                        timeout=min(self.batch_linger_s, remaining))
+                except queue.Empty:
+                    break  # queue went idle: flush what we have
+                if nxt is _STOP:
+                    stop = True  # FIFO: everything earlier was dequeued
+                    break
+                if nxt.kind == "identify":
+                    batch.append(nxt)
+                else:
+                    self._dispatch(nxt)  # never held back by the window
+            self._identify_batch(batch)
+            if stop:
+                return
+
+    def _dispatch(self, op: _Op) -> None:
+        """Route one non-identification request the moment it arrives."""
+        if op.kind == "enroll":
+            # Store writes stay on this thread — the one place the
+            # record store and sketch index are ever mutated.
+            self._complete(op, self.server.handle_enrollment)
+        else:
+            handler = getattr(self.server, _POOLED_HANDLERS[op.kind])
+            self._pool.submit(self._complete, op, handler)
+
+    def _identify_batch(self, ops: list[_Op]) -> None:
+        """One batched sketch search answers every coalesced probe.
+
+        If the batched call fails (one malformed probe poisons the whole
+        ``np.stack``), each probe is retried individually so the error
+        lands only on the request that caused it — coalescing must never
+        turn one client's garbage into every client's failure.
+        """
+        with self._stats_lock:
+            self._identify_probes += len(ops)
+            self._identify_batches += 1
+            self._max_batch_seen = max(self._max_batch_seen, len(ops))
+        try:
+            replies = self.server.handle_identification_batch(
+                [op.payload for op in ops])
+        except Exception:  # noqa: BLE001 — isolate, then fail only the culprit
+            for op in ops:
+                self._complete(op, self.server.handle_identification_request)
+            return
+        for op, reply in zip(ops, replies):
+            op.future.set_result(reply)
+        with self._stats_lock:
+            self._completed += len(ops)
+
+    def _complete(self, op: _Op, handler) -> None:
+        """Run one handler, routing result/exception into the future."""
+        try:
+            op.future.set_result(handler(op.payload))
+        except Exception as exc:  # noqa: BLE001 — fail the caller, not the loop
+            op.future.set_exception(exc)
+            return
+        with self._stats_lock:
+            self._completed += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> FrontendStats:
+        """Counter snapshot (see :class:`FrontendStats`)."""
+        with self._stats_lock:
+            return FrontendStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                identify_probes=self._identify_probes,
+                identify_batches=self._identify_batches,
+                max_batch=self._max_batch_seen,
+            )

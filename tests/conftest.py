@@ -48,3 +48,27 @@ def drbg() -> HmacDrbg:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def watchdog():
+    """Per-test deadline for concurrency tests: a deadlocked queue or
+    lost wakeup raises ``TimeoutError`` inside the test instead of
+    hanging the whole suite.  SIGALRM-based (no-op where unavailable);
+    the main thread's blocking waits are interruptible by signals."""
+    import signal
+
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX fallback: no guard
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError("concurrency test exceeded its 90s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, 90.0)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

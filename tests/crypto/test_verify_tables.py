@@ -238,3 +238,44 @@ class TestVerifyTableCache:
         stats = cache.stats()
         assert stats == {"entries": 0, "capacity": 8, "hits": 0,
                          "misses": 0, "evictions": 0}
+
+
+class TestVerifyTableCacheThreadSafety:
+    """The cache is shared by the service frontend's verify workers."""
+
+    def test_concurrent_verifies_keep_counters_consistent(self, watchdog):
+        import threading
+
+        scheme = Dsa(GROUP_512)
+        keypairs = [scheme.keygen_from_seed(f"vt-{i}".encode() * 4)
+                    for i in range(4)]
+        signatures = [scheme.sign(kp.signing_key, b"stress")
+                      for kp in keypairs]
+        cache = VerifyTableCache(capacity=8)
+        n_threads, per_thread = 6, 30
+        failures: list[str] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                j = (tid + i) % len(keypairs)
+                ok = cache.verify(scheme, keypairs[j].verify_key,
+                                  b"stress", signatures[j])
+                if not ok:
+                    failures.append(f"thread {tid} verify {i} failed")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        # Every table_for call counts exactly one hit or one miss, even
+        # under contention — lost updates would break this invariant.
+        assert cache.hits + cache.misses == n_threads * per_thread
+        assert len(cache) == len(keypairs)  # all four keys promoted
+        # Per key: one seen-once miss, one build miss, plus at most one
+        # straggler miss per racing thread in the build window.
+        assert cache.misses <= (2 + n_threads) * len(keypairs)

@@ -278,3 +278,72 @@ class TestSimulationIntegration:
             assert a.per_class[klass].requests == b.per_class[klass].requests
             assert a.per_class[klass].identified == \
                 b.per_class[klass].identified
+
+
+class TestCounterThreadSafety:
+    """Concurrent searches must not lose counter updates (service layer
+    worker pools drive one engine from many threads)."""
+
+    def test_concurrent_search_counters_consistent(self, enrolled_engine,
+                                                   paper_params, rng,
+                                                   watchdog):
+        import threading
+
+        engine, templates, fe = enrolled_engine
+        probes = {
+            name: _probe_for(fe, paper_params, template, rng,
+                             tag=name.encode())
+            for name, template in templates.items()
+        }
+        probe_list = list(probes.values())
+        n_threads, per_thread = 6, 25
+        errors: list[str] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                probe = probe_list[(tid + i) % len(probe_list)]
+                if len(engine.search(probe)) != 1:
+                    errors.append(f"thread {tid} probe {i}: wrong hit count")
+                engine.get(f"user-{(tid + i) % 8}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = engine.stats()
+        total = n_threads * per_thread
+        assert stats.probes_served == total
+        assert stats.batches_served == total
+        assert stats.candidates_returned == total
+        assert sum(stats.latency_buckets.values()) == total
+
+    def test_cold_open_identity_map_race(self, enrolled_engine, tmp_path,
+                                         watchdog):
+        """Two threads racing the lazy id-map build both see every user."""
+        import threading
+
+        engine, _, _ = enrolled_engine
+        engine.save(tmp_path / "store")
+        opened = IdentificationEngine.open(tmp_path / "store")
+        results: list[set] = []
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            barrier.wait()
+            found = {f"user-{i}" for i in range(8)
+                     if opened.get(f"user-{i}") is not None}
+            results.append(found)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        opened.close()
+        assert all(found == {f"user-{i}" for i in range(8)}
+                   for found in results)

@@ -1,0 +1,198 @@
+"""SessionStore: TTL expiry, capacity eviction, audit hooks, thread safety.
+
+The regression these tests pin down: before the store existed, a device
+that received a challenge and never responded leaked its server-side
+session forever.  Now abandonment is bounded (cap) and temporary (TTL),
+and every drop is observable (``on_evict`` → ``identify-expired`` audit).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import IdentificationChallenge, IdentificationResponse
+from repro.protocols.runners import run_enrollment
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.sessions import PendingSession, SessionStore
+from repro.protocols.transport import DuplexLink
+
+
+def _session(mode: str = "identify") -> PendingSession:
+    return PendingSession(mode=mode, records=(), challenges=(b"c",))
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSessionStore:
+    def test_put_pop_round_trip(self):
+        store = SessionStore(capacity=4, ttl_s=None)
+        session = _session()
+        store.put(b"sid", session)
+        assert len(store) == 1
+        assert store.pop(b"sid") is session
+        assert store.pop(b"sid") is None          # one-shot
+        assert len(store) == 0
+
+    def test_ttl_expiry_is_lazy_and_audited(self):
+        clock = FakeClock()
+        dropped = []
+        store = SessionStore(capacity=8, ttl_s=10.0, clock=clock,
+                             on_evict=dropped.append)
+        store.put(b"old", _session())
+        clock.now = 5.0
+        store.put(b"young", _session())
+        clock.now = 11.0                           # "old" is past deadline
+        assert store.sweep() == 1
+        assert [ev.session_id for ev in dropped] == [b"old"]
+        assert dropped[0].reason == "expired"
+        assert store.pop(b"young") is not None     # still within its TTL
+
+    def test_pop_of_expired_session_rejects_and_audits(self):
+        clock = FakeClock()
+        dropped = []
+        store = SessionStore(capacity=8, ttl_s=10.0, clock=clock,
+                             on_evict=dropped.append)
+        store.put(b"sid", _session())
+        clock.now = 10.0                           # deadline is inclusive
+        assert store.pop(b"sid") is None
+        assert dropped[0].reason == "expired"
+        assert store.expired == 1
+
+    def test_capacity_evicts_oldest_first(self):
+        dropped = []
+        store = SessionStore(capacity=2, ttl_s=None, on_evict=dropped.append)
+        store.put(b"a", _session())
+        store.put(b"b", _session())
+        store.put(b"c", _session())
+        assert len(store) == 2
+        assert [ev.session_id for ev in dropped] == [b"a"]
+        assert dropped[0].reason == "capacity"
+        assert store.pop(b"a") is None
+        assert store.pop(b"b") is not None
+        assert store.stats()["capacity_evicted"] == 1
+
+    def test_put_sweeps_before_counting_occupancy(self):
+        """Expired sessions never crowd out fresh ones via the cap."""
+        clock = FakeClock()
+        store = SessionStore(capacity=2, ttl_s=1.0, clock=clock)
+        store.put(b"a", _session())
+        store.put(b"b", _session())
+        clock.now = 2.0
+        store.put(b"c", _session())
+        assert store.capacity_evicted == 0         # expiry, not eviction
+        assert store.expired == 2
+        assert store.pop(b"c") is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SessionStore(capacity=0)
+        with pytest.raises(ValueError):
+            SessionStore(ttl_s=0.0)
+
+    def test_concurrent_put_pop_conserves_sessions(self):
+        """Every session is popped exactly once across racing threads."""
+        store = SessionStore(capacity=10_000, ttl_s=None)
+        n_threads, per_thread = 8, 200
+        won: list[bytes] = []
+        lock = threading.Lock()
+        ids = [f"s{i}".encode() for i in range(per_thread)]
+        for sid in ids:
+            store.put(sid, _session())
+
+        def worker() -> None:
+            for sid in ids:
+                if store.pop(sid) is not None:
+                    with lock:
+                        won.append(sid)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(won) == sorted(ids)          # each popped exactly once
+        assert len(store) == 0
+
+
+class TestServerSessionLeak:
+    """The satellite regression: abandoning N challenges stays bounded."""
+
+    @pytest.fixture()
+    def stack(self, paper_params, fast_scheme):
+        population = UserPopulation(paper_params, size=4,
+                                    noise=BoundedUniformNoise(paper_params.t),
+                                    seed=7)
+        device = BiometricDevice(paper_params, fast_scheme, seed=b"leak-dev")
+        server = AuthenticationServer(paper_params, fast_scheme,
+                                      seed=b"leak-srv", max_sessions=8)
+        for i, user_id in enumerate(population.user_ids()):
+            run = run_enrollment(device, server, DuplexLink(), user_id,
+                                 population.template(i))
+            assert run.outcome.accepted
+        return device, server, population
+
+    def test_abandoned_challenges_stay_bounded_and_audited(self, stack):
+        device, server, population = stack
+        n_abandoned = 40
+        for _ in range(n_abandoned):
+            request = device.probe_sketch(population.genuine_reading(0))
+            reply = server.handle_identification_request(request)
+            assert isinstance(reply, IdentificationChallenge)
+            # ... and the device never responds.
+        assert server.outstanding_sessions() <= 8
+        expired = server.audit_log(kind="identify-expired")
+        assert len(expired) == n_abandoned - server.outstanding_sessions()
+        assert all("capacity" in e.detail for e in expired)
+
+    def test_expired_session_response_is_rejected(self, stack, paper_params,
+                                                  fast_scheme):
+        """A response naming a TTL-expired session fails like a replay."""
+        clock = FakeClock()
+        server = AuthenticationServer(
+            paper_params, fast_scheme, seed=b"ttl-srv",
+            sessions=SessionStore(capacity=8, ttl_s=30.0, clock=clock))
+        device, _, population = stack
+        run = run_enrollment(device, server, DuplexLink(), "ttl-user",
+                             population.template(0))
+        assert run.outcome.accepted
+        reading = population.genuine_reading(0)
+        request = device.probe_sketch(reading)
+        reply = server.handle_identification_request(request)
+        assert isinstance(reply, IdentificationChallenge)
+        response = device.respond_identification(
+            reading, reply.helper_data, reply.challenge, reply.session_id)
+        clock.now = 31.0                           # challenge went stale
+        outcome = server.handle_identification_response(response)
+        assert not outcome.identified
+        assert server.audit_log(kind="identify-expired")
+        # A fresh round still works: expiry is per-session, not global.
+        reply = server.handle_identification_request(
+            device.probe_sketch(reading))
+        response = device.respond_identification(
+            reading, reply.helper_data, reply.challenge, reply.session_id)
+        assert server.handle_identification_response(response).identified
+
+    def test_identification_response_type(self, stack):
+        """Sanity: the happy path still authenticates under the new store."""
+        device, server, population = stack
+        reading = population.genuine_reading(1)
+        reply = server.handle_identification_request(
+            device.probe_sketch(reading))
+        response = device.respond_identification(
+            reading, reply.helper_data, reply.challenge, reply.session_id)
+        assert isinstance(response, IdentificationResponse)
+        outcome = server.handle_identification_response(response)
+        assert outcome.identified
+        assert outcome.user_id == population.user_ids()[1]

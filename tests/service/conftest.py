@@ -1,0 +1,12 @@
+"""Service-layer test fixtures: every test here runs under the watchdog
+(the concurrency machinery must fail fast, never hang the suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _service_watchdog(watchdog):
+    """Arm the shared per-test deadline for every service test."""
+    yield

@@ -165,3 +165,49 @@ class TestSimulate:
         assert main(["simulate", "--genuine", "0.9", "--stranger", "0.9",
                      "--scheme", "dsa-512", "-n", "100"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServiceBench:
+    _SMALL = ["service-bench", "--users", "1500", "--pool-users", "6",
+              "--requests", "24", "--clients", "6", "-n", "64",
+              "--scheme", "dsa-512", "--window-ms", "10", "--linger-ms", "1"]
+
+    def test_runs_reports_and_writes_trajectory(self, capsys, tmp_path,
+                                                watchdog):
+        artifact = tmp_path / "BENCH_service.json"
+        code = main(self._SMALL + ["--json", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service bench: 1,500 enrolled" in out
+        assert "serial loop" in out and "frontend" in out
+        assert "speedup" in out
+        data = json.loads(artifact.read_text())
+        assert len(data["runs"]) == 1
+        run = data["runs"][0]
+        assert run["n_enrolled"] == 1500
+        assert run["serial_ids_per_s"] > 0
+        assert run["frontend_ids_per_s"] > 0
+        assert len(run["frontend_latency_ms"]) == 3
+
+    def test_empty_json_skips_artifact(self, capsys, tmp_path, monkeypatch,
+                                       watchdog):
+        monkeypatch.chdir(tmp_path)
+        assert main(self._SMALL + ["--json", ""]) == 0
+        assert not (tmp_path / "BENCH_service.json").exists()
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["service-bench", "--users", "4",
+                     "--pool-users", "8"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateFrontend:
+    def test_frontend_routing_reports_batches(self, capsys, watchdog):
+        code = main(["simulate", "-n", "100", "--users", "3",
+                     "--requests", "8", "--scheme", "dsa-512",
+                     "--engine-shards", "2", "--frontend"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "probes served: 8" in out       # engine counters intact
+        assert "identification micro-batches" in out

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.biometrics",
     "repro.protocols",
     "repro.analysis",
+    "repro.service",
 ]
 
 
