@@ -32,6 +32,11 @@ Layering (bottom-up):
   signature checks out to a worker pool over the shared verify-table
   cache, plus the ``repro service-bench`` closed-loop load harness.
   Protocols never import service; service imports protocols + engine;
+* :mod:`repro.net` — the TCP transport: length-prefixed framing of the
+  canonical message encodings, an asyncio ``NetworkServer`` fronting
+  either the plain server or the service frontend, and the blocking
+  ``NetworkClient`` / ``RemoteEndpoint`` adapter that lets every runner
+  drive a remote server unchanged.  Nothing below imports net;
 * :mod:`repro.baselines` / :mod:`repro.biometrics` / :mod:`repro.analysis`
   — comparison schemes, synthetic workloads, and security accounting.
 

@@ -43,6 +43,21 @@ The subcommands cover the workflows a user reaches for first:
     each run to the ``BENCH_service.json`` trajectory artifact;
     ``REPRO_BENCH_SMOKE=1`` shrinks the default sizes.
 
+``serve``
+    Run the stack as an actual TCP service: an asyncio
+    :class:`~repro.net.server.NetworkServer` fronting the
+    micro-batching service frontend (or the serial server with
+    ``--serial``) over a fresh engine or an mmap store directory
+    (``--store``).  ``--self-test`` drives one enrollment +
+    identification + verification through a real client connection and
+    exits — a one-command proof the wire works.
+
+``net-bench``
+    Closed-loop multi-client identification bench over localhost TCP,
+    plus an overload probe showing queue-full backpressure surfacing
+    client-side as ``ServiceOverloadError``.  Appends to the
+    ``BENCH_service.json`` trajectory with ``"transport": "tcp"``.
+
 All numeric arguments default to the paper's Table II values
 (the bench subcommands default to bench-sized dimensions instead).
 """
@@ -180,6 +195,119 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     from repro.service.bench import run_service_bench, write_trajectory
 
     report = run_service_bench(
+        dimension=args.dimension,
+        n_users=args.users,
+        pool_users=args.pool_users,
+        n_requests=args.requests,
+        clients=args.clients,
+        shards=args.shards,
+        scheme=args.scheme,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        batch_linger_s=args.linger_ms / 1e3,
+        frontend_workers=args.workers,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        write_trajectory(report, args.json)
+        print(f"trajectory appended to {args.json}")
+    return 0
+
+
+def _serve_self_test(params, scheme, host: str, port: int) -> None:
+    """One enrollment + identification + verification over a real socket."""
+    import os
+
+    from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+    from repro.exceptions import ReproError
+    from repro.net.client import RemoteEndpoint
+    from repro.protocols.device import BiometricDevice
+    from repro.protocols.runners import (
+        run_enrollment,
+        run_identification,
+        run_verification,
+    )
+    from repro.protocols.transport import DuplexLink
+
+    user_id = f"selftest-{os.getpid()}"
+    population = UserPopulation(params, size=1,
+                                noise=BoundedUniformNoise(params.t), seed=7)
+    device = BiometricDevice(params, scheme, seed=b"serve-selftest")
+    with RemoteEndpoint.connect(host, port) as remote:
+        run = run_enrollment(device, remote, DuplexLink(), user_id,
+                             population.template(0))
+        if not run.outcome.accepted:
+            raise ReproError(f"self-test enrollment refused for {user_id!r}")
+        print(f"self-test enroll:   accepted={run.outcome.accepted} "
+              f"({run.wire_bytes:,} wire bytes)")
+        run = run_identification(device, remote, DuplexLink(),
+                                 population.genuine_reading(0))
+        if not run.outcome.identified or run.outcome.user_id != user_id:
+            raise ReproError(f"self-test identification failed: "
+                             f"{run.outcome!r}")
+        print(f"self-test identify: identified=True ({run.outcome.user_id}, "
+              f"{run.wire_bytes:,} wire bytes)")
+        run = run_verification(device, remote, DuplexLink(), user_id,
+                               population.genuine_reading(0))
+        if not run.outcome.verified:
+            raise ReproError(f"self-test verification failed: "
+                             f"{run.outcome!r}")
+        print(f"self-test verify:   verified={run.outcome.verified}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.crypto.signatures import get_scheme
+    from repro.engine.engine import IdentificationEngine
+    from repro.net.server import NetworkServer
+    from repro.protocols.server import AuthenticationServer
+    from repro.service.frontend import ServiceFrontend
+
+    scheme = get_scheme(args.scheme)
+    if args.store:
+        engine = IdentificationEngine.open(args.store, workers=args.workers)
+        params = engine.params
+    else:
+        params = _params_from(args)
+        engine = IdentificationEngine(params, shards=args.shards,
+                                      workers=args.workers)
+    server = AuthenticationServer(params, scheme, store=engine)
+    endpoint = server if args.serial else ServiceFrontend(
+        server, max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        batch_linger_s=args.linger_ms / 1e3,
+        workers=args.frontend_workers)
+    net = NetworkServer(endpoint, host=args.host, port=args.port,
+                        handler_threads=args.handler_threads)
+    try:
+        host, port = net.start()
+        mode = "serial server" if args.serial else "micro-batching frontend"
+        print(f"serving {len(engine):,} enrolled record(s) "
+              f"on {host}:{port} ({mode}, scheme={scheme.name}, "
+              f"n={params.n})")
+        if args.self_test:
+            _serve_self_test(params, scheme, host, port)
+        else:
+            print("press Ctrl-C to stop")
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        net.close()
+        if endpoint is not server:
+            endpoint.close()
+        engine.close()
+    return 0
+
+
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    from repro.net.bench import run_net_bench, write_trajectory
+
+    report = run_net_bench(
         dimension=args.dimension,
         n_users=args.users,
         pool_users=args.pool_users,
@@ -386,6 +514,89 @@ def build_parser() -> argparse.ArgumentParser:
                                help="trajectory artifact path (empty string "
                                     "to skip writing)")
     service_bench.set_defaults(handler=_cmd_service_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the stack over asyncio TCP (frontend or serial "
+             "server, fresh engine or an mmap store directory)")
+    _add_param_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = ephemeral, printed "
+                            "on startup)")
+    serve.add_argument("--store", default="",
+                       help="open this engine store directory instead of "
+                            "starting empty (parameters come from its "
+                            "manifest; --scheme must match the scheme the "
+                            "store's users enrolled under — stored verify "
+                            "keys are opaque bytes, so a mismatch is only "
+                            "caught at challenge time)")
+    serve.add_argument("--scheme", default="dsa-1024",
+                       help="signature scheme name (default: dsa-1024)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="engine shard count for a fresh engine "
+                            "(default: 4)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="engine shard worker threads (default: serial)")
+    serve.add_argument("--serial", action="store_true",
+                       help="serve the plain server directly instead of "
+                            "the micro-batching frontend")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="frontend micro-batch size cap (default: 64)")
+    serve.add_argument("--window-ms", type=float, default=20.0,
+                       help="frontend micro-batch window cap, ms "
+                            "(default: 20)")
+    serve.add_argument("--linger-ms", type=float, default=2.0,
+                       help="frontend micro-batch idle-gap linger, ms "
+                            "(default: 2)")
+    serve.add_argument("--frontend-workers", type=int, default=4,
+                       help="frontend verify workers (default: 4)")
+    serve.add_argument("--handler-threads", type=int, default=16,
+                       help="transport handler thread bound (default: 16)")
+    serve.add_argument("--self-test", action="store_true",
+                       help="enroll + identify + verify once through a "
+                            "real client connection, then exit")
+    serve.set_defaults(handler=_cmd_serve)
+
+    net_bench = subparsers.add_parser(
+        "net-bench",
+        help="closed-loop multi-client identification bench over "
+             "localhost TCP, with a queue-full backpressure probe")
+    net_bench.add_argument("--users", type=int, default=None,
+                           help="enrolled records in the engine "
+                                "(default: 50000; 10000 under "
+                                "REPRO_BENCH_SMOKE=1)")
+    net_bench.add_argument("--pool-users", type=int, default=16,
+                           help="genuinely enrolled users driving the "
+                                "probes (default: 16)")
+    net_bench.add_argument("--requests", type=int, default=None,
+                           help="identifications in the measured phase "
+                                "(default: 192; 64 under smoke)")
+    net_bench.add_argument("--clients", type=int, default=None,
+                           help="closed-loop client connections (default: "
+                                "16; 8 under smoke)")
+    net_bench.add_argument("--dimension", "-n", type=int, default=128,
+                           help="template dimension (default: 128 — "
+                                "bench-sized, not the paper's 5000)")
+    net_bench.add_argument("--shards", type=int, default=4,
+                           help="engine shard count (default: 4)")
+    net_bench.add_argument("--scheme", default="dsa-1024",
+                           help="signature scheme (default: dsa-1024)")
+    net_bench.add_argument("--max-batch", type=int, default=64,
+                           help="micro-batch size cap (default: 64)")
+    net_bench.add_argument("--window-ms", type=float, default=50.0,
+                           help="micro-batch window cap, ms (default: 50)")
+    net_bench.add_argument("--linger-ms", type=float, default=4.0,
+                           help="micro-batch idle-gap linger, ms "
+                                "(default: 4)")
+    net_bench.add_argument("--workers", type=int, default=4,
+                           help="frontend verify workers (default: 4)")
+    net_bench.add_argument("--seed", type=int, default=0)
+    net_bench.add_argument("--json", default="BENCH_service.json",
+                           help="trajectory artifact path (empty string "
+                                "to skip writing)")
+    net_bench.set_defaults(handler=_cmd_net_bench)
 
     return parser
 

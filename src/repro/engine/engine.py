@@ -37,7 +37,12 @@ import numpy as np
 from repro.core.params import SystemParams
 from repro.crypto.signatures import VerifyTableCache
 from repro.engine.sharded import ShardedSketchIndex
-from repro.engine.storage import LazyRecordFile, open_store, write_store
+from repro.engine.storage import (
+    LazyRecordFile,
+    OpenedStore,
+    open_store,
+    write_store,
+)
 from repro.exceptions import EnrollmentError
 from repro.protocols.database import UserRecord
 
@@ -139,6 +144,7 @@ class IdentificationEngine:
         self._extra: list[UserRecord] = []
         self._overrides: dict[int, UserRecord] = {}
         self._by_id: dict[str, int] | None = {}
+        self._opened: OpenedStore | None = None
         self._cold_opened = False
         self._warmed = False
         # One lock covers the serving counters and the lazy identity-map
@@ -323,6 +329,7 @@ class IdentificationEngine:
         engine._extra = []
         engine._overrides = {}
         engine._by_id = None  # built lazily
+        engine._opened = opened
         engine._cold_opened = True
         engine._warmed = False
         engine._lock = threading.Lock()
@@ -348,10 +355,32 @@ class IdentificationEngine:
         return touched
 
     def close(self) -> None:
-        """Release worker threads and lazy file handles."""
-        self._index.close()
+        """Release worker threads, lazy file handles, and store memmaps.
+
+        Terminal: the index drops its shard arrays and the backing
+        :class:`~repro.engine.storage.OpenedStore` (when the engine was
+        cold-opened) drops its maps, so every shard/offset memmap — and
+        the duplicated fd each one holds — is freed and serve/restart
+        cycles over one store directory do not accumulate mappings.
+        Idempotent; a closed engine reads as empty rather than serving
+        dangling memory.
+        """
+        self._index.release()
         if isinstance(self._base, LazyRecordFile):
-            self._base.close()
+            self._base.release()
+        self._base = []
+        self._extra = []
+        self._overrides = {}
+        self._by_id = {}
+        if self._opened is not None:
+            self._opened.close()
+            self._opened = None
+
+    def __enter__(self) -> "IdentificationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- introspection ------------------------------------------------------------
 

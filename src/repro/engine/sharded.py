@@ -121,6 +121,17 @@ class _Shard:
         self._row_ids[self._count: self._count + block.shape[0]] = row_ids
         self._count += block.shape[0]
 
+    def release(self) -> None:
+        """Drop the backing arrays (terminal; the shard reads as empty).
+
+        For memmap-backed shards this is what lets the mapping and its
+        fd be freed — the shard's reference is usually the last one.
+        """
+        self._matrix = np.empty((0, self.params.n), dtype=np.int32)
+        self._row_ids = np.empty(0, dtype=np.int64)
+        self._count = 0
+        self._frozen = False
+
 
 class ShardedSketchIndex:
     """W-way hash-partitioned sketch index with batch and parallel search.
@@ -272,6 +283,18 @@ class ShardedSketchIndex:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def release(self) -> None:
+        """Terminal close: the pool *and* every shard's backing arrays.
+
+        Memmap-backed shards drop their array references so the store's
+        mappings (and duplicated fds) can be freed; the index afterwards
+        reads as empty.  The engine calls this from its own ``close``.
+        """
+        self.close()
+        for shard in self._shards:
+            shard.release()
+        self._total = 0
 
     def search(self, probe: IntArray) -> list[int]:
         """Global row ids of all enrolled sketches matching ``probe``.

@@ -137,16 +137,61 @@ class LazyRecordFile:
             self._handle.close()
             self._handle = None
 
+    def release(self) -> None:
+        """Terminal close: the file handle *and* the offset memmap.
+
+        The offset table is swapped for an empty array before the memmap
+        reference drops, so a read through a released file raises
+        ``IndexError`` (the file reports zero records) instead of
+        touching unmapped memory.
+        """
+        self.close()
+        self._offsets = np.empty(0, dtype=_OFFSET_DTYPE)
+
 
 @dataclass
 class OpenedStore:
-    """Everything :meth:`IdentificationEngine.open` needs, memmap-backed."""
+    """Everything :meth:`IdentificationEngine.open` needs, memmap-backed.
+
+    Holds one ``np.memmap`` — one mapped region plus one duplicated file
+    descriptor — per shard file, and one for the record offset table.
+    A long-running process that opens stores repeatedly (``repro serve``
+    restarts, engine swap-overs) must :meth:`close` each one or the
+    mappings and fds accumulate: use the store as a context manager, or
+    rely on :meth:`~repro.engine.engine.IdentificationEngine.close`,
+    which closes the store it was opened from.
+
+    Release is by reference dropping, never by unmapping under live
+    arrays: a mapping is freed (and its fd closed) the moment the last
+    array referencing it goes away, so a straggler view someone kept
+    past :meth:`close` stays readable and keeps only its own shard
+    alive — a bounded leak instead of a use-after-unmap crash.
+    """
 
     params: SystemParams
     shard_parts: list[tuple[np.ndarray, np.ndarray]]
     records: LazyRecordFile
     total_records: int
     manifest: dict
+
+    def close(self) -> None:
+        """Drop every memmap reference and file handle this store holds.
+
+        Idempotent.  After close the store reports no shards and no
+        records; mappings whose only holder was this store are freed
+        immediately (consumers like the identification engine drop
+        their index references in the same motion — see
+        ``IdentificationEngine.close``).
+        """
+        self.records.release()
+        self.shard_parts.clear()
+        self.total_records = 0
+
+    def __enter__(self) -> "OpenedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _stage(path: Path, data: bytes,

@@ -1,0 +1,360 @@
+"""Closed-loop TCP bench behind ``repro net-bench``.
+
+The service bench (:mod:`repro.service.bench`) established what the
+micro-batching frontend sustains with clients calling it *in process*;
+this harness asks the deployment question on top: what survives once
+every request is framed, written to a socket, read back, and decoded —
+and does the backpressure story actually reach a remote client?
+
+Setup mirrors the service bench: one sharded
+:class:`~repro.engine.engine.IdentificationEngine` with ``n_users``
+records (a small genuinely-enrolled pool plus uniform filler), one
+:class:`~repro.protocols.server.AuthenticationServer`, one
+:class:`~repro.service.frontend.ServiceFrontend` — but mounted behind a
+:class:`~repro.net.server.NetworkServer` on localhost TCP.  Phases:
+
+* **enroll + warm** — the pool enrolls *over the wire* (exercising the
+  enrollment frames), then two warm rounds promote verify-key tables
+  and scan LUTs so the measured phase pays no one-time costs;
+* **measured** — ``clients`` threads, each with its own
+  :class:`~repro.net.client.NetworkClient` connection and device, drive
+  ``run_identification`` closed-loop through
+  :class:`~repro.net.client.RemoteEndpoint`; every outcome is
+  parity-checked against the presented user, and client-side wire bytes
+  are averaged into a per-identification cost;
+* **overload probe** — a second server fronts a deliberately tiny
+  frontend (queue of 1, one worker, throttled scans); hammering it must
+  surface queue-full rejections as client-side
+  :class:`~repro.exceptions.ServiceOverloadError`, proving the typed
+  error frames carry admission control end-to-end.
+
+``REPRO_BENCH_SMOKE=1`` shrinks defaults (CI's net-smoke job); explicit
+arguments always win.  ``write_trajectory`` appends to the shared
+``BENCH_service.json`` artifact with ``"transport": "tcp"`` marking the
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.crypto.signatures import get_scheme
+from repro.engine.engine import IdentificationEngine
+from repro.exceptions import ParameterError, ServiceOverloadError
+from repro.net.client import RemoteEndpoint
+from repro.net.server import NetworkServer
+from repro.protocols.device import BiometricDevice
+from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+from repro.service.bench import _filler_records, write_trajectory  # noqa: F401
+from repro.service.frontend import ServiceFrontend
+
+#: (full, smoke) default sizes; smoke is CI's reduced net-smoke shape.
+_DEFAULTS = {
+    "n_users": (50_000, 10_000),
+    "n_requests": (192, 64),
+    "clients": (16, 8),
+}
+
+
+def _default(name: str, value: int | None) -> int:
+    if value is not None:
+        return value
+    full, smoke = _DEFAULTS[name]
+    return smoke if os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0") \
+        else full
+
+
+def _percentiles(latencies_ms: list[float]) -> tuple[float, float, float]:
+    return tuple(float(np.percentile(latencies_ms, q)) for q in (50, 95, 99))
+
+
+class _ThrottledServer:
+    """Delay identification scans on a wrapped server (overload probe).
+
+    Slowing the batcher's dispatch is what lets a bounded queue actually
+    fill under closed-loop load; everything else delegates, so the few
+    requests that are admitted still answer correctly.
+    """
+
+    def __init__(self, server: AuthenticationServer, delay_s: float) -> None:
+        self._server = server
+        self._delay_s = delay_s
+
+    def handle_identification_request(self, request):
+        """Single-probe scan, throttled."""
+        time.sleep(self._delay_s)
+        return self._server.handle_identification_request(request)
+
+    def handle_identification_batch(self, requests):
+        """Batched scan, throttled."""
+        time.sleep(self._delay_s)
+        return self._server.handle_identification_batch(requests)
+
+    def __getattr__(self, name):
+        return getattr(self._server, name)
+
+
+@dataclass(frozen=True)
+class NetBenchReport:
+    """Throughput, latency, wire cost, and backpressure over real TCP."""
+
+    n_enrolled: int
+    pool_users: int
+    n_requests: int
+    clients: int
+    dimension: int
+    shards: int
+    scheme: str
+    max_batch: int
+    batch_window_s: float
+    elapsed_s: float
+    #: (p50, p95, p99) client-observed identification latency, ms.
+    latency_ms: tuple[float, float, float]
+    #: Realised micro-batch coalescing (from the frontend's counters).
+    mean_batch: float
+    max_batch_seen: int
+    #: Mean client-side wire bytes per identification (both directions).
+    wire_bytes_per_id: float
+    #: Overload-probe outcome: attempts made / rejections that surfaced
+    #: client-side as ServiceOverloadError.
+    overload_attempts: int
+    overload_rejections: int
+
+    @property
+    def ids_per_s(self) -> float:
+        """Identifications/sec sustained over TCP."""
+        return self.n_requests / self.elapsed_s if self.elapsed_s > 0 \
+            else float("inf")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable bench table (one string per line)."""
+        p50, p95, p99 = self.latency_ms
+        return [
+            f"net bench (tcp): {self.n_enrolled:,} enrolled "
+            f"(n={self.dimension}, shards={self.shards}, "
+            f"scheme={self.scheme}), {self.n_requests} identifications, "
+            f"{self.clients} concurrent client connections",
+            f"  throughput {self.ids_per_s:>8,.0f} ids/s   "
+            f"p50 {p50:7.1f} ms  p95 {p95:7.1f} ms  p99 {p99:7.1f} ms",
+            f"  wire cost  {self.wire_bytes_per_id:>8,.0f} bytes/id   "
+            f"micro-batches: {self.mean_batch:.1f} probes mean, "
+            f"{self.max_batch_seen} max",
+            f"  backpressure probe: {self.overload_rejections}/"
+            f"{self.overload_attempts} requests rejected with "
+            f"ServiceOverloadError (queue-full -> typed error frame -> "
+            f"client exception)",
+        ]
+
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable form for the shared service trajectory."""
+        return {
+            "transport": "tcp",
+            "n_enrolled": self.n_enrolled,
+            "pool_users": self.pool_users,
+            "n_requests": self.n_requests,
+            "clients": self.clients,
+            "dimension": self.dimension,
+            "shards": self.shards,
+            "scheme": self.scheme,
+            "max_batch": self.max_batch,
+            "batch_window_s": self.batch_window_s,
+            "elapsed_s": self.elapsed_s,
+            "ids_per_s": self.ids_per_s,
+            "latency_ms": list(self.latency_ms),
+            "mean_batch": self.mean_batch,
+            "max_batch_seen": self.max_batch_seen,
+            "wire_bytes_per_id": self.wire_bytes_per_id,
+            "overload_attempts": self.overload_attempts,
+            "overload_rejections": self.overload_rejections,
+        }
+
+
+def _overload_probe(server: AuthenticationServer, params: SystemParams,
+                    seed: int, attempts_per_client: int = 8,
+                    probe_clients: int = 4,
+                    delay_s: float = 0.03) -> tuple[int, int]:
+    """Hammer a tiny frontend over TCP; count client-side overloads.
+
+    Queue of 1, one worker, throttled scans: with several closed-loop
+    clients the admission queue is full essentially always, so most
+    attempts must come back as ``ErrorReply(code="overload")`` and
+    re-raise client-side.  Returns ``(attempts, rejections)``.
+    """
+    rng = np.random.default_rng(seed ^ 0x6F76)
+    half = params.interval_width // 2
+    probes = rng.integers(-half, half + 1,
+                          size=(probe_clients, attempts_per_client, params.n),
+                          dtype=np.int64)
+    frontend = ServiceFrontend(_ThrottledServer(server, delay_s),
+                               max_queue=1, max_batch=1,
+                               batch_window_s=0.0, batch_linger_s=0.0,
+                               workers=1, submit_timeout_s=0.01)
+    rejections = 0
+    count_lock = threading.Lock()
+    errors: list[BaseException] = []
+    device = BiometricDevice(params, server.scheme, seed=b"overload-probe")
+
+    def client(c: int) -> None:
+        nonlocal rejections
+        mine = 0
+        try:
+            with RemoteEndpoint.connect(host, port) as remote:
+                for a in range(attempts_per_client):
+                    request = device.probe_sketch(probes[c, a])
+                    try:
+                        remote.handle_identification_request(request)
+                    except ServiceOverloadError:
+                        mine += 1
+        except BaseException as exc:  # noqa: BLE001 — surface in main thread
+            errors.append(exc)
+        with count_lock:
+            rejections += mine
+
+    with NetworkServer(frontend, owns_endpoint=True,
+                       handler_threads=probe_clients + 1) as net:
+        host, port = net.address
+        threads = [threading.Thread(target=client, args=(c,),
+                                    name=f"overload-{c}")
+                   for c in range(probe_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    if errors:
+        raise errors[0]
+    return probe_clients * attempts_per_client, rejections
+
+
+def run_net_bench(dimension: int = 128, n_users: int | None = None,
+                  pool_users: int = 16, n_requests: int | None = None,
+                  clients: int | None = None, shards: int = 4,
+                  scheme: str = "dsa-1024", seed: int = 0,
+                  max_batch: int = 64, batch_window_s: float = 0.05,
+                  batch_linger_s: float = 0.004,
+                  frontend_workers: int = 4,
+                  host: str = "127.0.0.1") -> NetBenchReport:
+    """Build the stack behind TCP, drive it closed-loop, report."""
+    n_users = _default("n_users", n_users)
+    n_requests = _default("n_requests", n_requests)
+    clients = _default("clients", clients)
+    if pool_users < 1 or n_users < pool_users:
+        raise ParameterError("need 1 <= pool_users <= n_users")
+    if clients < 1 or n_requests < clients:
+        raise ParameterError("need 1 <= clients <= n_requests")
+    params = SystemParams.paper_defaults(n=dimension)
+    sig_scheme = get_scheme(scheme)
+    rng = np.random.default_rng(seed)
+
+    engine = IdentificationEngine(params, shards=shards)
+    server = AuthenticationServer(params, sig_scheme, store=engine,
+                                  seed=seed.to_bytes(8, "big") + b"net-srv")
+    population = UserPopulation(params, size=pool_users,
+                                noise=BoundedUniformNoise(params.t),
+                                seed=seed)
+    enroll_device = BiometricDevice(params, sig_scheme,
+                                    seed=seed.to_bytes(8, "big") + b"enroll")
+    frontend = ServiceFrontend(server, max_batch=max_batch,
+                               batch_window_s=batch_window_s,
+                               batch_linger_s=batch_linger_s,
+                               workers=frontend_workers,
+                               max_queue=max(256, 2 * clients))
+    user_ids = population.user_ids()
+
+    def identify(device: BiometricDevice, endpoint, expected: str,
+                 reading: np.ndarray) -> float:
+        start = time.perf_counter()
+        run = run_identification(device, endpoint, DuplexLink(), reading)
+        elapsed = time.perf_counter() - start
+        if not run.outcome.identified or run.outcome.user_id != expected:
+            raise AssertionError(
+                f"net bench mis-identification: expected {expected!r}, "
+                f"got {run.outcome!r}"
+            )
+        return elapsed * 1e3
+
+    def readings(count: int, phase_rng: np.random.Generator):
+        picks = phase_rng.integers(0, pool_users, size=count)
+        return [(user_ids[u], population.genuine_reading(int(u), phase_rng))
+                for u in picks]
+
+    with NetworkServer(frontend, host=host, owns_endpoint=True,
+                       handler_threads=max(8, clients + 2)) as net:
+        bound_host, port = net.address
+
+        # -- enrollment over the wire + filler + warm-up ------------------
+        with RemoteEndpoint.connect(bound_host, port) as remote:
+            for i, user_id in enumerate(user_ids):
+                run = run_enrollment(enroll_device, remote, DuplexLink(),
+                                     user_id, population.template(i))
+                assert run.outcome.accepted
+            engine.add_many(_filler_records(params, n_users - pool_users,
+                                            rng))
+            warm_rng = np.random.default_rng(seed + 1)
+            for _ in range(2):
+                for user in range(pool_users):
+                    identify(enroll_device, remote, user_ids[user],
+                             population.genuine_reading(user, warm_rng))
+
+        # -- measured phase: closed-loop clients over TCP -----------------
+        work = readings(n_requests, np.random.default_rng(seed + 2))
+        per_client = [work[c::clients] for c in range(clients)]
+        devices = [
+            BiometricDevice(params, sig_scheme,
+                            seed=seed.to_bytes(8, "big") + b"net%d" % c)
+            for c in range(clients)
+        ]
+        latencies: list[float] = []
+        wire_bytes = [0] * clients
+        latency_lock = threading.Lock()
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def client(c: int) -> None:
+            mine: list[float] = []
+            try:
+                with RemoteEndpoint.connect(bound_host, port) as remote:
+                    barrier.wait()
+                    for expected, reading in per_client[c]:
+                        mine.append(identify(devices[c], remote,
+                                             expected, reading))
+                    wire_bytes[c] = remote.client.total_bytes
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+            with latency_lock:
+                latencies.extend(mine)
+
+        threads = [threading.Thread(target=client, args=(c,),
+                                    name=f"net-client-{c}")
+                   for c in range(clients)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed_s = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        stats = frontend.stats()
+
+        # -- backpressure probe on a second, tiny server ------------------
+        attempts, rejections = _overload_probe(server, params, seed)
+
+    return NetBenchReport(
+        n_enrolled=n_users, pool_users=pool_users, n_requests=n_requests,
+        clients=clients, dimension=dimension, shards=shards, scheme=scheme,
+        max_batch=max_batch, batch_window_s=batch_window_s,
+        elapsed_s=elapsed_s, latency_ms=_percentiles(latencies),
+        mean_batch=stats.mean_batch, max_batch_seen=stats.max_batch,
+        wire_bytes_per_id=sum(wire_bytes) / n_requests,
+        overload_attempts=attempts, overload_rejections=rejections,
+    )

@@ -1,0 +1,271 @@
+"""The blocking TCP client and its ``ServerEndpoint`` adapter.
+
+:class:`NetworkClient` is deliberately synchronous: the device side of
+this codebase — runners, the workload simulator, the closed-loop bench
+clients — is plain threaded Python, and a blocking socket drops into it
+without an event loop.  One client is one TCP connection carrying a
+strict request/reply stream; a lock serialises round trips so a client
+instance is safe to share between threads, but closed-loop load wants
+one client (one connection) per thread to keep requests concurrent on
+the server.
+
+:class:`RemoteEndpoint` wraps a client in the ``ServerEndpoint`` duck
+type from :mod:`repro.protocols.runners`, so ``run_identification`` and
+friends drive a remote server over TCP with the same code path they use
+in-process — the end-to-end parity the transport tests assert.
+
+Error mapping: a typed :class:`~repro.protocols.messages.ErrorReply`
+frame from the server re-raises client-side as the exception the
+in-process stack would have thrown — ``overload`` becomes
+:class:`~repro.exceptions.ServiceOverloadError` (the frontend's
+backpressure, now end-to-end), ``closed`` becomes
+:class:`~repro.exceptions.ServiceClosedError`, ``protocol`` becomes
+:class:`~repro.exceptions.ProtocolError`, and anything else surfaces as
+:class:`~repro.exceptions.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.exceptions import (
+    ProtocolError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    PREFIX_BYTES,
+    frame_message,
+    recv_frame,
+)
+from repro.protocols.messages import (
+    BaselineChallengeBatch,
+    BaselineIdentificationRequest,
+    BaselineResponseBatch,
+    EnrollmentAck,
+    EnrollmentSubmission,
+    ErrorReply,
+    IdentificationChallenge,
+    IdentificationDecline,
+    IdentificationOutcome,
+    IdentificationRequest,
+    IdentificationResponse,
+    Message,
+    VerificationChallenge,
+    VerificationOutcome,
+    VerificationRequest,
+    VerificationResponse,
+)
+from repro.protocols.transport import ChannelStats
+
+
+def _raise_error_reply(reply: ErrorReply) -> None:
+    """Re-raise a server error frame as its in-process exception type."""
+    if reply.code == "overload":
+        raise ServiceOverloadError(reply.detail)
+    if reply.code == "closed":
+        raise ServiceClosedError(reply.detail)
+    if reply.code == "protocol":
+        raise ProtocolError(reply.detail)
+    raise ServiceError(f"server error [{reply.code}]: {reply.detail}")
+
+
+class NetworkClient:
+    """One blocking TCP connection speaking length-prefixed messages.
+
+    Parameters
+    ----------
+    host / port:
+        The :class:`~repro.net.server.NetworkServer` address.
+    timeout_s:
+        Socket timeout for connect and every read/write; a wedged
+        server surfaces as the stdlib ``TimeoutError``, never a hang.
+        Any mid-exchange failure — timeout, reset, malformed frame —
+        closes the connection: a strict request/reply stream cannot be
+        resynchronised once an exchange is abandoned, so a later
+        :meth:`request` raises
+        :class:`~repro.exceptions.ServiceClosedError` rather than
+        risking a stale reply.  Reconnect with a fresh client.
+    max_frame:
+        Per-frame cap, matching the server's.
+
+    Traffic is accounted per direction in
+    :class:`~repro.protocols.transport.ChannelStats` (``to_server`` /
+    ``to_device``), the shape the in-process
+    :class:`~repro.protocols.transport.DuplexLink` uses, so wire-cost
+    comparisons between simulated and real transport line up.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self.to_server = ChannelStats()
+        self.to_device = ChannelStats()
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = socket.create_connection(
+            (host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire bytes moved in both directions (frame prefixes included)."""
+        return self.to_server.wire_bytes + self.to_device.wire_bytes
+
+    def request(self, message: Message) -> Message:
+        """One round trip: send ``message``, return the decoded reply.
+
+        Raises the mapped exception for a typed error frame, and
+        :class:`~repro.exceptions.ProtocolError` for a malformed reply
+        or a connection dropped mid-exchange.
+        """
+        # Framing refusals (over-cap encodings) happen before any byte
+        # hits the wire and leave the connection usable.
+        frame = frame_message(message, self.max_frame)
+        with self._lock:
+            if self._sock is None:
+                raise ServiceClosedError("client connection is closed")
+            try:
+                self._sock.sendall(frame)
+                self.to_server.record(len(frame), 0.0)
+                payload = recv_frame(self._sock, self.max_frame)
+            except Exception:
+                # A failed round trip (timeout, reset, malformed frame)
+                # desynchronises the strict request/reply stream: poison
+                # the connection so a retried request can never read the
+                # abandoned exchange's stale reply as its own.
+                self._sock.close()
+                self._sock = None
+                raise
+            if payload is None:
+                # EOF mid-conversation: the connection is spent.
+                self._sock.close()
+                self._sock = None
+                raise ProtocolError(
+                    "server closed the connection without replying")
+        self.to_device.record(len(payload) + PREFIX_BYTES, 0.0)
+        reply = Message.decode(payload)
+        if isinstance(reply, ErrorReply):
+            _raise_error_reply(reply)
+        return reply
+
+    def close(self) -> None:
+        """Close the connection.  Idempotent."""
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteEndpoint:
+    """A ``ServerEndpoint`` whose handlers live across a TCP connection.
+
+    Each ``handle_*`` method sends its request through the wrapped
+    :class:`NetworkClient` and type-checks the reply against what the
+    in-process handler would have returned, raising
+    :class:`~repro.exceptions.ProtocolError` on anything else — a
+    remote server cannot smuggle an unexpected message past the runner
+    layer.  Use :meth:`connect` to build the adapter and its connection
+    in one step (closing the endpoint then closes the connection).
+    """
+
+    def __init__(self, client: NetworkClient,
+                 owns_client: bool = False) -> None:
+        self._client = client
+        self._owns_client = owns_client
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout_s: float = 30.0,
+                max_frame: int = DEFAULT_MAX_FRAME) -> "RemoteEndpoint":
+        """Open a connection to ``host:port`` and wrap it as an endpoint."""
+        return cls(NetworkClient(host, port, timeout_s=timeout_s,
+                                 max_frame=max_frame), owns_client=True)
+
+    @property
+    def client(self) -> NetworkClient:
+        """The underlying connection (for wire accounting)."""
+        return self._client
+
+    def close(self) -> None:
+        """Close the underlying connection if this endpoint owns it."""
+        if self._owns_client:
+            self._client.close()
+
+    def __enter__(self) -> "RemoteEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _expect(self, message: Message, expected: tuple[type, ...]):
+        reply = self._client.request(message)
+        if not isinstance(reply, expected):
+            names = " | ".join(t.__name__ for t in expected)
+            raise ProtocolError(
+                f"expected {names}, server sent {type(reply).__name__}"
+            )
+        return reply
+
+    # -- the ServerEndpoint surface -----------------------------------------
+
+    def handle_enrollment(
+        self, submission: EnrollmentSubmission,
+    ) -> EnrollmentAck:
+        """Enroll over the wire (Fig. 1's server leg, remote)."""
+        return self._expect(submission, (EnrollmentAck,))
+
+    def handle_identification_request(
+        self, request: IdentificationRequest,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Sketch search over the wire; challenge or ``⊥`` comes back."""
+        return self._expect(
+            request, (IdentificationChallenge, IdentificationOutcome))
+
+    def handle_identification_response(
+        self, response: IdentificationResponse,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Challenge response over the wire; outcome or next candidate."""
+        return self._expect(
+            response, (IdentificationChallenge, IdentificationOutcome))
+
+    def handle_identification_decline(
+        self, decline: IdentificationDecline,
+    ) -> IdentificationChallenge | IdentificationOutcome:
+        """Candidate decline over the wire; outcome or next candidate."""
+        return self._expect(
+            decline, (IdentificationChallenge, IdentificationOutcome))
+
+    def handle_verification_request(
+        self, request: VerificationRequest,
+    ) -> VerificationChallenge | VerificationOutcome:
+        """Claimed-identity lookup over the wire."""
+        return self._expect(
+            request, (VerificationChallenge, VerificationOutcome))
+
+    def handle_verification_response(
+        self, response: VerificationResponse,
+    ) -> VerificationOutcome:
+        """Verification-mode challenge response over the wire."""
+        return self._expect(response, (VerificationOutcome,))
+
+    def handle_baseline_request(
+        self, request: BaselineIdentificationRequest,
+    ) -> BaselineChallengeBatch:
+        """The O(N) baseline's first leg over the wire (bench use)."""
+        return self._expect(request, (BaselineChallengeBatch,))
+
+    def handle_baseline_response(
+        self, response: BaselineResponseBatch,
+    ) -> IdentificationOutcome:
+        """The O(N) baseline's second leg over the wire (bench use)."""
+        return self._expect(response, (IdentificationOutcome,))

@@ -1,0 +1,407 @@
+"""The asyncio TCP server.
+
+:class:`NetworkServer` fronts any ``ServerEndpoint`` — the duck type
+:mod:`repro.protocols.runners` defines — so one transport serves both
+the plain :class:`~repro.protocols.server.AuthenticationServer` and the
+concurrent :class:`~repro.service.frontend.ServiceFrontend`.  Request
+routing is by message type: each decoded frame dispatches to the handler
+the in-process stack would have called, and the handler's reply goes
+back as the next frame on the connection (the protocols are strict
+request/reply, so one in-flight request per connection is the contract,
+exactly like the in-process runners).
+
+Design points:
+
+* **blocking handlers never run on the event loop.**  Both endpoints
+  block (the server computes, the frontend waits on its pipeline
+  future), so every handler call is pushed to a bounded thread pool via
+  ``run_in_executor`` — slow signature math on one connection cannot
+  stall another connection's reads, and the frontend's micro-batcher
+  still sees *concurrent* submissions to coalesce;
+* **a bad frame never kills the loop.**  Malformed bytes surface as
+  :class:`~repro.exceptions.ProtocolError` (the decode layer's
+  hardened contract), which the server answers with a typed
+  :class:`~repro.protocols.messages.ErrorReply` frame before dropping
+  only that connection; handler-level failures (overload, closed,
+  unexpected) answer with their own error codes and keep the
+  connection.  The accept loop itself never sees an exception;
+* **backpressure crosses the wire.**  A full frontend queue raises
+  :class:`~repro.exceptions.ServiceOverloadError` in the handler
+  thread; the connection answers ``ErrorReply(code="overload")`` and
+  the client re-raises the same exception type — the PR-3 admission
+  story, end-to-end;
+* **traffic is accounted per connection** in the same
+  :class:`~repro.protocols.transport.ChannelStats` shape the simulated
+  transport uses (real wire bytes including the frame prefix; the
+  simulated-latency field stays zero because network time here is
+  real), aggregated across closed connections for the server totals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exceptions import (
+    ProtocolError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    PREFIX_BYTES,
+    frame_message,
+    read_frame,
+)
+from repro.protocols.messages import (
+    BaselineIdentificationRequest,
+    BaselineResponseBatch,
+    EnrollmentSubmission,
+    ErrorReply,
+    IdentificationDecline,
+    IdentificationRequest,
+    IdentificationResponse,
+    Message,
+    VerificationRequest,
+    VerificationResponse,
+)
+from repro.protocols.transport import ChannelStats
+
+#: Request message type -> the ServerEndpoint handler that answers it.
+#: Reply-direction messages are deliberately absent: a client sending a
+#: server-to-device message is a protocol violation, not a dispatch.
+REQUEST_HANDLERS: dict[type, str] = {
+    EnrollmentSubmission: "handle_enrollment",
+    IdentificationRequest: "handle_identification_request",
+    IdentificationResponse: "handle_identification_response",
+    IdentificationDecline: "handle_identification_decline",
+    VerificationRequest: "handle_verification_request",
+    VerificationResponse: "handle_verification_response",
+    BaselineIdentificationRequest: "handle_baseline_request",
+    BaselineResponseBatch: "handle_baseline_response",
+}
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection wire accounting, one counter set per direction.
+
+    The same shape :class:`~repro.protocols.transport.DuplexLink`
+    exposes for the simulated wire, so byte-for-byte comparisons between
+    in-process and TCP runs are direct.
+    """
+
+    peer: str
+    to_server: ChannelStats = field(default_factory=ChannelStats)
+    to_device: ChannelStats = field(default_factory=ChannelStats)
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire bytes moved in both directions (frame prefixes included)."""
+        return self.to_server.wire_bytes + self.to_device.wire_bytes
+
+    @property
+    def total_messages(self) -> int:
+        """Frames moved in both directions."""
+        return self.to_server.messages + self.to_device.messages
+
+
+class NetworkServer:
+    """Serve a ``ServerEndpoint`` over asyncio TCP.
+
+    The event loop runs on a dedicated background thread so the server
+    composes with the rest of the (threaded, blocking) stack: tests,
+    benches, and the CLI call :meth:`start` / :meth:`close` from
+    ordinary synchronous code, or use the instance as a context
+    manager.
+
+    Parameters
+    ----------
+    endpoint:
+        Any object with the ``ServerEndpoint`` handler surface.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (the bound address
+        is returned by :meth:`start` and kept in :attr:`address`).
+    max_frame:
+        Per-frame byte cap, enforced on read and write.
+    handler_threads:
+        Bound on concurrently executing handler calls.  With the
+        service frontend behind it this should be at least the expected
+        concurrent client count, or the executor queue becomes an
+        unaccounted admission stage in front of the frontend's.
+    owns_endpoint:
+        When true, :meth:`close` also calls ``endpoint.close()`` (if it
+        has one) after the transport is down — handy for benches that
+        build a frontend just for one server.
+    """
+
+    def __init__(self, endpoint, host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 handler_threads: int = 8,
+                 owns_endpoint: bool = False) -> None:
+        if handler_threads < 1:
+            raise ValueError("handler_threads must be >= 1")
+        self.endpoint = endpoint
+        self.max_frame = max_frame
+        self.owns_endpoint = owns_endpoint
+        self._host = host
+        self._port = port
+        self._pool = ThreadPoolExecutor(
+            max_workers=handler_threads, thread_name_prefix="net-handler")
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._live_stats: list[ConnectionStats] = []
+        self._stats_lock = threading.Lock()
+        self._connections_served = 0
+        self._open_connections = 0
+        self._total = ConnectionStats(peer="*")
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and return the bound ``(host, port)``.
+
+        Idempotent once started; raises the underlying ``OSError`` if
+        the bind fails.
+        """
+        if self._thread is not None:
+            if self._startup_error is not None:
+                raise self._startup_error
+            assert self._address is not None
+            return self._address
+        self._thread = threading.Thread(
+            target=self._thread_main, name="net-server", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        assert self._address is not None
+        return self._address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; raises before :meth:`start`."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    def close(self) -> None:
+        """Stop accepting, drain connections, join threads.  Idempotent.
+
+        In-flight handler calls finish (their replies are dropped with
+        the cancelled connections); then the executor shuts down, and
+        the endpoint too when ``owns_endpoint`` was set.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if (self._loop is not None and self._stop is not None
+                and not self._loop.is_closed()):
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+                # (failed start(): the bind error is the story, not this)
+        if self._thread is not None:
+            self._thread.join()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        if self.owns_endpoint:
+            endpoint_close = getattr(self.endpoint, "close", None)
+            if endpoint_close is not None:
+                endpoint_close()
+
+    def __enter__(self) -> "NetworkServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- event-loop thread --------------------------------------------------
+
+    def _thread_main(self) -> None:
+        """Run the accept loop on a private event loop until stopped."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced via start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+        finally:
+            self._ready.set()
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _main(self) -> None:
+        """Bind, publish readiness, serve until the stop event fires."""
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_connection, self._host, self._port)
+        sockname = server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Track, serve, and account one client connection."""
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        peername = writer.get_extra_info("peername")
+        stats = ConnectionStats(
+            peer=f"{peername[0]}:{peername[1]}" if peername else "?")
+        with self._stats_lock:
+            self._connections_served += 1
+            self._open_connections += 1
+            self._live_stats.append(stats)
+        try:
+            await self._serve_connection(reader, writer, stats)
+        except asyncio.CancelledError:
+            pass  # server shutdown: drop the connection quietly
+        finally:
+            self._conn_tasks.discard(task)
+            with self._stats_lock:
+                self._open_connections -= 1
+                self._live_stats = [s for s in self._live_stats
+                                    if s is not stats]
+                for mine, total in (
+                    (stats.to_server, self._total.to_server),
+                    (stats.to_device, self._total.to_device),
+                ):
+                    total.messages += mine.messages
+                    total.wire_bytes += mine.wire_bytes
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone; nothing left to flush
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter,
+                                stats: ConnectionStats) -> None:
+        """The request/reply loop for one connection."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                payload = await read_frame(reader, self.max_frame)
+            except ProtocolError as exc:
+                # Framing is no longer trustworthy: answer once, hang up.
+                await self._send(writer, stats, ErrorReply(
+                    code="protocol", detail=str(exc)))
+                return
+            if payload is None:
+                return  # clean EOF between frames
+            stats.to_server.record(len(payload) + PREFIX_BYTES, 0.0)
+            try:
+                message = Message.decode(payload)
+                handler_name = REQUEST_HANDLERS.get(type(message))
+                if handler_name is None:
+                    raise ProtocolError(
+                        f"{type(message).__name__} is not a request message"
+                    )
+            except ProtocolError as exc:
+                # The frame parsed as a frame, so the stream is still in
+                # sync: report the bad request and keep serving.
+                await self._send(writer, stats, ErrorReply(
+                    code="protocol", detail=str(exc)))
+                continue
+            handler = getattr(self.endpoint, handler_name)
+            try:
+                reply = await loop.run_in_executor(
+                    self._pool, handler, message)
+            except ServiceOverloadError as exc:
+                reply = ErrorReply(code="overload", detail=str(exc))
+            except ServiceClosedError as exc:
+                reply = ErrorReply(code="closed", detail=str(exc))
+            except ProtocolError as exc:
+                reply = ErrorReply(code="protocol", detail=str(exc))
+            except Exception as exc:  # noqa: BLE001 — the loop must survive
+                reply = ErrorReply(
+                    code="internal",
+                    detail=f"{type(exc).__name__}: {exc}")
+            await self._send(writer, stats, reply)
+
+    def _frame_reply(self, message: Message) -> bytes | None:
+        """Frame a reply, degrading to a trimmed error frame if over cap.
+
+        A reply larger than ``max_frame`` (a tiny configured cap, or an
+        O(N) baseline batch outgrowing it) must not kill the connection
+        silently: the client gets a ``protocol`` error frame whose
+        detail is cut to fit.  Returns ``None`` only when the cap is too
+        small for even an empty error frame.
+        """
+        try:
+            return frame_message(message, self.max_frame)
+        except ProtocolError as exc:
+            code = message.code if isinstance(message, ErrorReply) \
+                else "protocol"
+            detail = str(exc)
+            # Payload: 2B tag + two 8B chunk lengths + code + detail.
+            room = self.max_frame - 2 - 8 - len(code.encode()) - 8
+            try:
+                return frame_message(
+                    ErrorReply(code=code, detail=detail[:max(room, 0)]),
+                    self.max_frame)
+            except ProtocolError:
+                return None
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    stats: ConnectionStats, message: Message) -> None:
+        """Frame, account, and flush one server-to-device message."""
+        frame = self._frame_reply(message)
+        if frame is None:
+            return
+        writer.write(frame)
+        stats.to_device.record(len(frame), 0.0)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-reply; the read side will see EOF
+
+    # -- introspection ------------------------------------------------------
+
+    def wire_stats(self) -> ConnectionStats:
+        """Aggregate traffic across all connections, live and closed.
+
+        Live connections' counters are sampled without synchronising the
+        event loop, so a snapshot taken mid-request can lag by a frame.
+        """
+        with self._stats_lock:
+            total = ConnectionStats(peer="*")
+            for conn in [self._total, *self._live_stats]:
+                for mine, agg in ((conn.to_server, total.to_server),
+                                  (conn.to_device, total.to_device)):
+                    agg.messages += mine.messages
+                    agg.wire_bytes += mine.wire_bytes
+            return total
+
+    def connections_served(self) -> int:
+        """Connections accepted over the server's lifetime."""
+        with self._stats_lock:
+            return self._connections_served
+
+    def open_connections(self) -> int:
+        """Connections currently being served."""
+        with self._stats_lock:
+            return self._open_connections

@@ -30,6 +30,16 @@ _M = TypeVar("_M", bound="Message")
 _REGISTRY: dict[int, Type["Message"]] = {}
 
 
+def registered_message_types() -> dict[int, Type["Message"]]:
+    """Snapshot of the type-tag registry (tag -> message class).
+
+    The wire-fuzz suite iterates this so every registered encoding is
+    exercised; transports can use it to enumerate what may legally
+    arrive on a connection.
+    """
+    return dict(_REGISTRY)
+
+
 def _pack_chunks(chunks: list[bytes]) -> bytes:
     out = []
     for chunk in chunks:
@@ -116,7 +126,16 @@ class Message:
         chunks = _unpack_chunks(data[2:], len(field_list))
         kwargs = {}
         for f, chunk in zip(field_list, chunks):
-            kwargs[f.name] = target._decode_field(f.name, chunk)
+            try:
+                kwargs[f.name] = target._decode_field(f.name, chunk)
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                # Per the module contract, malformed wire data surfaces as
+                # ProtocolError only — a server loop must survive any frame.
+                raise ProtocolError(
+                    f"{target.__name__}.{f.name}: malformed field ({exc})"
+                ) from exc
         return target(**kwargs)  # type: ignore[return-value]
 
     @classmethod
@@ -129,7 +148,13 @@ class Message:
         if text in ("str", "builtins.str"):
             return chunk.decode("utf-8")
         if text in ("bool", "builtins.bool"):
-            return chunk == b"\x01"
+            if chunk == b"\x01":
+                return True
+            if chunk == b"\x00":
+                return False
+            raise ProtocolError(
+                f"invalid bool encoding {chunk!r} for field {name}"
+            )
         if "str | None" in text or "Optional[str]" in text:
             return None if chunk == b"\xff" else chunk.decode("utf-8")
         return chunk
@@ -319,3 +344,28 @@ class BaselineResponseBatch(Message):
     session_id: bytes
     signatures: bytes  # packed list; empty chunk = Rep failed for that record
     nonce: bytes
+
+
+# --------------------------------------------------------------------------
+# Transport-level error reporting
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """``AS -> BioD``: a typed failure frame from a network server.
+
+    The TCP transport answers a request it cannot serve with one of
+    these instead of tearing the connection down silently, so clients
+    can map server-side conditions back onto the exception the
+    in-process stack would have raised (``code="overload"`` becomes
+    :class:`~repro.exceptions.ServiceOverloadError`, which is how the
+    service frontend's backpressure crosses the wire).
+
+    ``code`` is a stable machine-readable tag (``overload``, ``closed``,
+    ``protocol``, ``internal``); ``detail`` is human-readable context.
+    """
+
+    TYPE_TAG: ClassVar[int] = 15
+
+    code: str
+    detail: str

@@ -211,3 +211,110 @@ class TestManifestValidation:
         candidates[0].unlink()
         with pytest.raises(ParameterError, match="missing"):
             open_store(store_dir)
+
+
+class TestStoreLifecycle:
+    """OpenedStore.close / engine shutdown: no leaked maps or fds."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        import gc
+        import os
+
+        gc.collect()
+        return len(os.listdir("/proc/self/fd"))
+
+    @staticmethod
+    def _needs_proc():
+        import os
+
+        if not os.path.isdir("/proc/self/fd"):  # pragma: no cover
+            pytest.skip("needs /proc (Linux)")
+
+    def test_close_releases_fds(self, saved_engine):
+        self._needs_proc()
+        store_dir, _, _, _ = saved_engine
+        before = self._open_fds()
+        opened = open_store(store_dir)
+        assert opened.records[0].user_id == "user-0"  # record handle too
+        while_open = self._open_fds()
+        assert while_open > before  # shard + offset maps hold dup'd fds
+        opened.close()
+        assert self._open_fds() == before
+
+    def test_close_is_idempotent(self, saved_engine):
+        store_dir, _, _, _ = saved_engine
+        opened = open_store(store_dir)
+        opened.close()
+        opened.close()
+
+    def test_context_manager_closes(self, saved_engine):
+        self._needs_proc()
+        store_dir, _, _, _ = saved_engine
+        before = self._open_fds()
+        with open_store(store_dir) as opened:
+            assert len(opened.records) == 10
+            assert opened.total_records == 10
+        assert opened.total_records == 0
+        assert self._open_fds() == before
+
+    def test_records_read_as_empty_after_close(self, saved_engine):
+        store_dir, _, _, _ = saved_engine
+        opened = open_store(store_dir)
+        assert opened.records[0].user_id == "user-0"
+        opened.close()
+        assert len(opened.records) == 0
+        with pytest.raises(IndexError):
+            opened.records[0]
+
+    def test_straggler_view_stays_readable(self, saved_engine):
+        """Release is by reference dropping: a view kept past close()
+        still reads (keeping only its own mapping alive) instead of
+        touching unmapped memory."""
+        store_dir, _, _, _ = saved_engine
+        opened = open_store(store_dir)
+        matrix, _ = opened.shard_parts[0]
+        checksum = int(matrix.sum())
+        opened.close()
+        assert int(matrix.sum()) == checksum
+
+    def test_engine_close_releases_store_fds(self, saved_engine):
+        self._needs_proc()
+        store_dir, _, _, _ = saved_engine
+        before = self._open_fds()
+        engine = IdentificationEngine.open(store_dir)
+        assert engine.get("user-3") is not None
+        assert self._open_fds() > before
+        engine.close()
+        engine.close()  # idempotent through the engine too
+        assert self._open_fds() == before
+        assert len(engine) == 0  # closed engines read as empty
+
+    def test_open_close_cycles_do_not_leak(self, saved_engine):
+        self._needs_proc()
+        store_dir, _, _, _ = saved_engine
+        # Prime any lazily created fds, then measure a steady state.
+        for _ in range(2):
+            engine = IdentificationEngine.open(store_dir)
+            engine.get("user-0")
+            engine.close()
+        before = self._open_fds()
+        for _ in range(20):
+            engine = IdentificationEngine.open(store_dir)
+            engine.get("user-5")  # touches the record file handle too
+            engine.close()
+        assert self._open_fds() <= before
+
+    def test_unclosed_opens_do_accumulate_fds(self, saved_engine):
+        """The regression the close path exists to stop, inverted:
+        *without* close(), repeated opens pile up file descriptors."""
+        self._needs_proc()
+        store_dir, _, _, _ = saved_engine
+        before = self._open_fds()
+        kept = [IdentificationEngine.open(store_dir) for _ in range(5)]
+        leaked = self._open_fds() - before
+        for engine in kept:
+            engine.close()
+        kept.clear()
+        assert leaked >= 5  # several maps per open stayed alive
+        assert self._open_fds() <= before

@@ -1,0 +1,136 @@
+"""Tests for the TCP frame format (both the async and blocking helpers)."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    PREFIX_BYTES,
+    frame_message,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.protocols.messages import EnrollmentAck, Message, VerificationRequest
+
+MSG = VerificationRequest(user_id="frame-test")
+
+
+def _async_read(data: bytes, max_frame: int = DEFAULT_MAX_FRAME):
+    """Feed raw bytes to a StreamReader and read one frame from it."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader, max_frame)
+    return asyncio.run(go())
+
+
+class TestFrameLayout:
+    def test_prefix_plus_canonical_payload(self):
+        frame = frame_message(MSG)
+        payload = MSG.encode()
+        assert frame[:PREFIX_BYTES] == len(payload).to_bytes(
+            PREFIX_BYTES, "big")
+        assert frame[PREFIX_BYTES:] == payload
+
+    def test_sender_refuses_over_cap(self):
+        with pytest.raises(ProtocolError, match="frame cap"):
+            frame_message(MSG, max_frame=4)
+
+    def test_payload_decodes_back(self):
+        frame = frame_message(MSG)
+        assert Message.decode(frame[PREFIX_BYTES:]) == MSG
+
+
+class TestAsyncRead:
+    def test_round_trip(self):
+        assert _async_read(frame_message(MSG)) == MSG.encode()
+
+    def test_clean_eof_returns_none(self):
+        assert _async_read(b"") is None
+
+    def test_mid_prefix_close(self):
+        with pytest.raises(ProtocolError, match="mid frame prefix"):
+            _async_read(b"\x00\x00")
+
+    def test_mid_body_close(self):
+        frame = frame_message(MSG)
+        with pytest.raises(ProtocolError, match="mid frame body"):
+            _async_read(frame[:-3])
+
+    def test_hostile_length_prefix_rejected_before_body(self):
+        # Claims ~4 GiB; must be refused on the prefix alone.
+        with pytest.raises(ProtocolError, match="over the"):
+            _async_read((0xFFFFFFF0).to_bytes(4, "big") + b"tiny",
+                        max_frame=1024)
+
+    def test_two_frames_back_to_back(self):
+        other = EnrollmentAck(user_id="x", accepted=True)
+        data = frame_message(MSG) + frame_message(other)
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(go())
+        assert Message.decode(first) == MSG
+        assert Message.decode(second) == other
+        assert third is None
+
+
+class TestBlockingHelpers:
+    def test_socketpair_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            sent = send_frame(left, MSG)
+            assert sent == len(frame_message(MSG))
+            assert recv_frame(right) == MSG.encode()
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame_message(MSG)[:-2])
+            left.close()
+            with pytest.raises(ProtocolError, match="closed after"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_over_cap_length_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((1 << 30).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="over the"):
+                recv_frame(right, max_frame=1024)
+        finally:
+            left.close()
+            right.close()
+
+    def test_sender_cap_matches_receiver_cap(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="frame cap"):
+                send_frame(left, MSG, max_frame=2)
+        finally:
+            left.close()
+            right.close()

@@ -1,0 +1,113 @@
+"""Tests for the TCP bench harness and the serve/net-bench CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.net.bench import NetBenchReport, run_net_bench, write_trajectory
+
+
+@pytest.fixture(scope="module")
+def tiny_report() -> NetBenchReport:
+    """One tiny closed-loop TCP bench run, shared across assertions."""
+    return run_net_bench(dimension=32, n_users=400, pool_users=4,
+                         n_requests=12, clients=4, shards=2,
+                         scheme="dsa-512", seed=3)
+
+
+class TestRunNetBench:
+    def test_completes_with_positive_throughput(self, tiny_report, watchdog):
+        assert tiny_report.n_requests == 12
+        assert tiny_report.elapsed_s > 0
+        assert tiny_report.ids_per_s > 0
+        p50, p95, p99 = tiny_report.latency_ms
+        assert 0 < p50 <= p95 <= p99
+
+    def test_wire_cost_accounted(self, tiny_report):
+        # Every identification moves at least a sketch and a challenge.
+        assert tiny_report.wire_bytes_per_id > 100
+
+    def test_backpressure_surfaces_client_side(self, tiny_report):
+        """The acceptance criterion: queue-full must reach remote
+        clients as ServiceOverloadError at least once."""
+        assert tiny_report.overload_attempts > 0
+        assert tiny_report.overload_rejections >= 1
+
+    def test_trajectory_marks_transport(self, tiny_report, tmp_path):
+        path = tmp_path / "traj.json"
+        write_trajectory(tiny_report, path)
+        write_trajectory(tiny_report, path)
+        data = json.loads(path.read_text())
+        assert len(data["runs"]) == 2
+        assert data["runs"][0]["transport"] == "tcp"
+        assert data["runs"][1]["overload_rejections"] >= 1
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(Exception, match="pool_users"):
+            run_net_bench(n_users=2, pool_users=8, n_requests=8, clients=2)
+        with pytest.raises(Exception, match="clients"):
+            run_net_bench(n_users=100, pool_users=4, n_requests=2,
+                          clients=8)
+
+
+class TestServeCli:
+    def test_self_test_round_trip(self, capsys, watchdog):
+        code = main(["serve", "--self-test", "-n", "48",
+                     "--scheme", "dsa-512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving 0 enrolled record(s)" in out
+        assert "identified=True" in out
+        assert "verified=True" in out
+
+    def test_self_test_serial_mode(self, capsys, watchdog):
+        code = main(["serve", "--self-test", "--serial", "-n", "48",
+                     "--scheme", "dsa-512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serial server" in out
+        assert "verified=True" in out
+
+    def test_self_test_from_saved_store(self, capsys, tmp_path, watchdog,
+                                        paper_params):
+        from repro.engine.engine import IdentificationEngine
+
+        store = tmp_path / "serve-store"
+        engine = IdentificationEngine(paper_params, shards=2)
+        engine.save(store)
+        engine.close()
+        code = main(["serve", "--self-test", "--store", str(store),
+                     "--scheme", "dsa-512"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified=True" in out
+
+    def test_bad_store_fails_cleanly(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path / "nope"),
+                     "--self-test"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert not args.serial
+        assert not args.self_test
+
+
+class TestNetBenchCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["net-bench"])
+        assert args.users is None
+        assert args.json == "BENCH_service.json"
+
+    def test_runs_and_reports(self, capsys, watchdog):
+        code = main(["net-bench", "--users", "300", "--pool-users", "4",
+                     "--requests", "8", "--clients", "2", "-n", "32",
+                     "--shards", "2", "--scheme", "dsa-512", "--json", ""])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "net bench (tcp)" in out
+        assert "backpressure probe" in out
+        assert "ServiceOverloadError" in out

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.protocols",
     "repro.analysis",
     "repro.service",
+    "repro.net",
 ]
 
 
