@@ -33,15 +33,19 @@ The subcommands cover the workflows a user reaches for first:
 ``crypto-bench``
     Signature-kernel shootout: affine-reference vs Jacobian/wNAF scalar
     multiplication, per-scheme sign/verify (cold reference, fast, and
-    precomputed-table paths), and end-to-end identification latency.
-    Appends each run to the ``BENCH_crypto.json`` trajectory artifact.
+    precomputed-table paths), randomized batch verification at
+    ``--batch-k`` signatures per multi-scalar pass, and end-to-end
+    identification latency.  Appends each run to the
+    ``BENCH_crypto.json`` trajectory artifact.
 
 ``service-bench``
     Closed-loop concurrent-serving shootout: the serial one-request-at-
     a-time loop vs the micro-batching service frontend, same engine and
-    scheme, with throughput and p50/p95/p99 latency per phase.  Appends
-    each run to the ``BENCH_service.json`` trajectory artifact;
-    ``REPRO_BENCH_SMOKE=1`` shrinks the default sizes.
+    scheme, with throughput and p50/p95/p99 latency per phase, plus a
+    verification leg measuring what the frontend's batched signature
+    verification buys (``--verify-requests``).  Appends each run to the
+    ``BENCH_service.json`` trajectory artifact; ``REPRO_BENCH_SMOKE=1``
+    shrinks the default sizes.
 
 ``serve``
     Run the stack as an actual TCP service: an asyncio
@@ -53,10 +57,12 @@ The subcommands cover the workflows a user reaches for first:
     exits — a one-command proof the wire works.
 
 ``net-bench``
-    Closed-loop multi-client identification bench over localhost TCP,
-    plus an overload probe showing queue-full backpressure surfacing
-    client-side as ``ServiceOverloadError``.  Appends to the
-    ``BENCH_service.json`` trajectory with ``"transport": "tcp"``.
+    Closed-loop multi-client identification bench over localhost TCP
+    (``--verify-heavy`` switches to a 3:1 verification mix exercising
+    the batched signature verification end-to-end), plus an overload
+    probe showing queue-full backpressure surfacing client-side as
+    ``ServiceOverloadError``.  Appends to the ``BENCH_service.json``
+    trajectory with ``"transport": "tcp"`` and the mix tag.
 
 All numeric arguments default to the paper's Table II values
 (the bench subcommands default to bench-sized dimensions instead).
@@ -207,6 +213,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         batch_window_s=args.window_ms / 1e3,
         batch_linger_s=args.linger_ms / 1e3,
         frontend_workers=args.workers,
+        verify_requests=args.verify_requests,
     )
     for line in report.summary_lines():
         print(line)
@@ -320,6 +327,7 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
         batch_window_s=args.window_ms / 1e3,
         batch_linger_s=args.linger_ms / 1e3,
         frontend_workers=args.workers,
+        verify_heavy=args.verify_heavy,
     )
     for line in report.summary_lines():
         print(line)
@@ -355,6 +363,8 @@ def _cmd_crypto_bench(args: argparse.Namespace) -> int:
         identify_users=args.users,
         identify_requests=args.requests,
         dimension=args.dimension,
+        batch_scheme=args.batch_scheme or None,
+        batch_k=args.batch_k,
         seed=args.seed,
     )
     for line in report.summary_lines():
@@ -462,6 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "flow (default: ecdsa-p-256)")
     crypto_bench.add_argument("--no-identify", action="store_true",
                               help="skip the end-to-end identification flow")
+    crypto_bench.add_argument("--batch-scheme", default="schnorr-p-256",
+                              help="scheme for the randomized batch-verify "
+                                   "leg (default: schnorr-p-256; empty "
+                                   "string to skip)")
+    crypto_bench.add_argument("--batch-k", type=int, default=32,
+                              help="batch size for the batch-verify leg "
+                                   "(default: 32)")
     crypto_bench.add_argument("--users", type=int, default=8,
                               help="enrolled users for the identify flow")
     crypto_bench.add_argument("--requests", type=int, default=8,
@@ -509,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default: 4)")
     service_bench.add_argument("--workers", type=int, default=4,
                                help="frontend verify workers (default: 4)")
+    service_bench.add_argument("--verify-requests", type=int, default=None,
+                               help="verifications for the batched-verify "
+                                    "leg (default: same as --requests; 0 "
+                                    "skips the leg)")
     service_bench.add_argument("--seed", type=int, default=0)
     service_bench.add_argument("--json", default="BENCH_service.json",
                                help="trajectory artifact path (empty string "
@@ -592,6 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: 4)")
     net_bench.add_argument("--workers", type=int, default=4,
                            help="frontend verify workers (default: 4)")
+    net_bench.add_argument("--verify-heavy", action="store_true",
+                           help="switch the measured mix to 3 claimed-"
+                                "identity verifications per identification, "
+                                "exercising the frontend's batched signature "
+                                "verification over the wire (rows tagged "
+                                "'verify-heavy' in the trajectory)")
     net_bench.add_argument("--seed", type=int, default=0)
     net_bench.add_argument("--json", default="BENCH_service.json",
                            help="trajectory artifact path (empty string "

@@ -11,6 +11,11 @@ paths against the retained reference implementations while timing:
   variable point, warm-table Shamir for the double-scalar verify shape);
 * **scheme primitives** — keygen / sign / cold reference verify /
   fast verify / precomputed-table verify for each signature back-end;
+* **batch verification** — ``verify_batch`` at batch size ``k`` vs ``k``
+  warm single-table verifies (the Schnorr back-end collapses the batch
+  into one randomized multi-scalar multiplication; the speedup is the
+  per-signature crypto floor the service frontend's verify micro-batcher
+  buys under bursty traffic);
 * **end-to-end identification** — the full Fig. 3 flow (probe → sketch
   search → challenge → ``Rep`` + sign → verify) over a small enrolled
   stack, cold pass and warm pass (the second pass verifies against the
@@ -57,6 +62,10 @@ class CryptoBenchReport:
     #: scheme name -> ``identify_cold`` / ``identify_warm`` mean seconds
     #: per end-to-end identification (empty when the flow was skipped).
     identify: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: scheme name -> ``k`` / ``batch_s`` / ``batch_per_sig`` /
+    #: ``single_per_sig`` for the randomized batch-verification leg
+    #: (empty when the leg was skipped).
+    batch_verify: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def scalar_mult_speedup(self) -> float:
@@ -77,6 +86,13 @@ class CryptoBenchReport:
         timings = self.schemes[scheme]
         warm = timings["verify_table"]
         return timings["verify_reference"] / warm if warm > 0 \
+            else float("inf")
+
+    def batch_verify_speedup(self, scheme: str) -> float:
+        """Per-signature batch verify vs the warm single-table verify."""
+        timings = self.batch_verify[scheme]
+        batch = timings["batch_per_sig"]
+        return timings["single_per_sig"] / batch if batch > 0 \
             else float("inf")
 
     def summary_lines(self) -> list[str]:
@@ -101,6 +117,13 @@ class CryptoBenchReport:
                 f"{t['verify_table'] * 1e3:.2f} ms warm-table "
                 f"(x{self.verify_speedup(name):.1f})"
             )
+        for name, t in self.batch_verify.items():
+            lines.append(
+                f"batch verify [{name}] k={t['k']:.0f}: "
+                f"{t['batch_per_sig'] * 1e3:.2f} ms/sig batched vs "
+                f"{t['single_per_sig'] * 1e3:.2f} ms/sig warm single "
+                f"(x{self.batch_verify_speedup(name):.1f})"
+            )
         for name, t in self.identify.items():
             lines.append(
                 f"identify end-to-end [{name}]: "
@@ -119,6 +142,12 @@ class CryptoBenchReport:
             "schemes_s": {k: dict(v) for k, v in self.schemes.items()},
             "verify_speedups": {
                 name: self.verify_speedup(name) for name in self.schemes
+            },
+            "batch_verify_s": {k: dict(v)
+                               for k, v in self.batch_verify.items()},
+            "batch_verify_speedups": {
+                name: self.batch_verify_speedup(name)
+                for name in self.batch_verify
             },
             "identify_s": {k: dict(v) for k, v in self.identify.items()},
         }
@@ -229,6 +258,46 @@ def _bench_scheme(name: str, iterations: int) -> dict[str, float]:
     }
 
 
+def _bench_batch_verify(name: str, k: int, iterations: int) -> dict[str, float]:
+    """Batch-verification leg: ``verify_batch`` at size ``k`` vs ``k``
+    warm single-table verifies, parity-checked both honest and forged."""
+    scheme = get_scheme(name)
+    message = b"crypto-bench-batch"
+    keypairs = [scheme.keygen_from_seed(b"batch-%02d-" % i + name.encode())
+                for i in range(k)]
+    signatures = [scheme.sign(kp.signing_key, message) for kp in keypairs]
+    tables = [scheme.precompute(kp.verify_key) for kp in keypairs]
+    items = [(kp.verify_key, message, sig)
+             for kp, sig in zip(keypairs, signatures)]
+
+    # Parity: all-honest accepts; a forged member is pinpointed, not
+    # hidden (the randomized-weights guarantee) — a wrong answer must
+    # never look like a speedup.
+    assert scheme.verify_batch(items, tables=tables) == [True] * k
+    forged = list(items)
+    bad = bytearray(signatures[k // 2])
+    bad[-1] ^= 1
+    forged[k // 2] = (keypairs[k // 2].verify_key, message, bytes(bad))
+    assert scheme.verify_batch(forged, tables=tables) == \
+        [i != k // 2 for i in range(k)]
+
+    batch_iters = max(2, iterations // 2)
+
+    def singles() -> list[bool]:
+        return [scheme.verify(key, msg, sig, table=table)
+                for (key, msg, sig), table in zip(items, tables)]
+
+    batch_s = _mean_time(lambda: scheme.verify_batch(items, tables=tables),
+                         batch_iters)
+    single_s = _mean_time(singles, batch_iters)
+    return {
+        "k": float(k),
+        "batch_s": batch_s,
+        "batch_per_sig": batch_s / k,
+        "single_per_sig": single_s / k,
+    }
+
+
 def _bench_identify(name: str, n_users: int, n_requests: int,
                     dimension: int, seed: int) -> dict[str, float]:
     """End-to-end Fig. 3 identification latency, cold and warm passes."""
@@ -272,15 +341,24 @@ def run_crypto_bench(iterations: int = 8,
                      identify_users: int = 8,
                      identify_requests: int = 8,
                      dimension: int = 256,
+                     batch_scheme: str | None = "schnorr-p-256",
+                     batch_k: int = 32,
                      seed: int = 0) -> CryptoBenchReport:
     """Run every section and return the collected report.
 
     ``identify_scheme=None`` skips the end-to-end flow (the unit the
-    smoke-mode CI job trims first).
+    smoke-mode CI job trims first); ``batch_scheme=None`` skips the
+    batch-verification leg, and ``batch_k`` sets its batch size.
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    if batch_k < 1:
+        raise ValueError("batch_k must be >= 1")
     scheme_times = {name: _bench_scheme(name, iterations) for name in schemes}
+    batch_verify: dict[str, dict[str, float]] = {}
+    if batch_scheme is not None:
+        batch_verify[batch_scheme] = _bench_batch_verify(
+            batch_scheme, batch_k, iterations)
     identify: dict[str, dict[str, float]] = {}
     if identify_scheme is not None:
         identify[identify_scheme] = _bench_identify(
@@ -291,4 +369,5 @@ def run_crypto_bench(iterations: int = 8,
         scalar_mult=_bench_scalar_mult(iterations, seed),
         schemes=scheme_times,
         identify=identify,
+        batch_verify=batch_verify,
     )

@@ -27,6 +27,12 @@ Two implementations of the group law coexist:
     signature verification evaluates ``u1*G + u2*Q`` in one interleaved
     doubling pass against warm tables.
 
+  :meth:`Curve.multi_multiply` generalises the same interleaving to an
+  arbitrary number of terms (Straus' algorithm): one shared doubling
+  chain, warm tables where available, on-the-fly window tables built
+  with a single batched inversion otherwise.  Randomized Schnorr batch
+  verification rides on it.
+
 Points at infinity are represented by ``None`` coordinates at the public
 surface (:data:`Point.infinity`) and by ``Z == 0`` inside the Jacobian
 kernel.  This is a *reproduction-grade* implementation — it is not
@@ -463,6 +469,113 @@ class Curve:
             raise ValueError("table was precomputed for a different point")
         return self._multiply_wnaf(scalar, point, table)
 
+    def multi_multiply(self, terms, tables=None) -> Point:
+        """Interleaved multi-scalar multiplication ``sum_i k_i * P_i``.
+
+        The Straus trick generalised to ``m`` terms: every scalar is
+        recoded to wNAF and all terms share **one** doubling chain, so a
+        batch of ``m`` multiplications costs ~256 doublings total (not
+        per term) plus one table addition per non-zero digit of any
+        scalar.  This is the kernel behind randomized Schnorr batch
+        verification, where ``2k + 1`` terms collapse ``k`` signature
+        checks into one pass.
+
+        ``terms`` is a sequence of ``(scalar, point)`` pairs; ``tables``
+        (optional, parallel) supplies a warm :class:`PointTable` per
+        term.  Terms without a table get an on-the-fly width-5 window
+        built in Jacobian coordinates; all such builds share a *single*
+        batch inversion (Montgomery's trick), so the whole call performs
+        two inversions total — one for the deferred table conversions,
+        one for the final result — regardless of batch size.  The
+        generator is served from its cached table automatically.
+
+        Scalars may be **negative**: ``-k`` flips the signs of ``k``'s
+        wNAF digits instead of reducing ``n - k`` to full width, so a
+        short negative weight (the batch-verification shape ``-z_i *
+        R_i`` with 128-bit ``z_i``) keeps its short digit string.
+        """
+        n = self.n
+        p = self.p
+        if tables is None:
+            tables = (None,) * len(terms)
+        elif len(tables) != len(terms):
+            raise ValueError("tables must parallel terms")
+        window_odd = (1 << (_WNAF_WINDOW - 2))
+        resolved: list[list] = []  # [scalar, negative, window, odd]
+        deferred: list[tuple[int, int]] = []  # (resolved slot, flat offset)
+        flat: list[tuple[int, int, int]] = []
+        for (scalar, point), table in zip(terms, tables):
+            negative = scalar < 0
+            k = (-scalar if negative else scalar) % n
+            if k == 0 or point.is_infinity:
+                continue
+            if table is not None:
+                if table.point != point:
+                    raise ValueError(
+                        "table was precomputed for a different point")
+                window, odd = table.window, table.odd
+            elif point.x == self.gx and point.y == self.gy:
+                g_table = self._generator_table()
+                window, odd = g_table.window, g_table.odd
+            else:
+                # Build the odd multiples in Jacobian coordinates now,
+                # convert to affine later in one shared inversion.
+                jac = (point.x, point.y, 1)
+                twice = self._jac_double(jac)
+                deferred.append((len(resolved), len(flat)))
+                flat.append(jac)
+                for _ in range(window_odd - 1):
+                    flat.append(self._jac_add(flat[-1], twice))
+                window, odd = _WNAF_WINDOW, None
+            resolved.append([k, negative, window, odd])
+        if not resolved:
+            return Point.infinity()
+        if flat:
+            affine = self._batch_to_affine(flat)
+            for slot, offset in deferred:
+                resolved[slot][3] = affine[offset:offset + window_odd]
+        # Recode every scalar and build the addition schedule in one
+        # pass: digit position -> the affine entries to mix-add there,
+        # with table lookups and digit signs already resolved.  Zero
+        # runs are skipped arithmetically (``k & -k`` isolates the
+        # lowest set bit) rather than one Python iteration per bit —
+        # with ``2k + 1`` scalars per signature batch the recoding
+        # would otherwise rival the group arithmetic itself.
+        schedule: dict[int, list[tuple[int, int]]] = {}
+        setdefault = schedule.setdefault
+        top = 0
+        for k, negative, window, odd in resolved:
+            full = 1 << window
+            half = full >> 1
+            mask = full - 1
+            position = 0
+            while k:
+                if k & 1:
+                    digit = k & mask
+                    if digit >= half:
+                        digit -= full
+                    k = (k - digit) >> window
+                    x2, y2 = odd[(digit if digit > 0 else -digit) >> 1]
+                    if (digit < 0) ^ negative:  # a negative term flips signs
+                        y2 = p - y2
+                    setdefault(position, []).append((x2, y2))
+                    if position > top:
+                        top = position
+                    position += window
+                else:
+                    run = (k & -k).bit_length() - 1
+                    k >>= run
+                    position += run
+        jac_double = self._jac_double
+        jac_add_affine = self._jac_add_affine
+        get = schedule.get
+        acc = _JAC_INFINITY
+        for i in range(top, -1, -1):
+            acc = jac_double(acc)
+            for x2, y2 in get(i, ()):
+                acc = jac_add_affine(acc, x2, y2)
+        return self._jac_to_point(acc)
+
     def shamir_multiply(self, u1: int, u2: int, point: Point | None = None,
                         table: PointTable | None = None) -> Point:
         """Shamir's trick: ``u1*G + u2*Q`` in one interleaved pass.
@@ -535,8 +648,19 @@ class Curve:
         x = int.from_bytes(data[1:], "big")
         if x >= self.p:
             raise ValueError("x coordinate out of field range")
-        rhs = (x * x * x + self.a * x + self.b) % self.p
-        y = tonelli_shanks(rhs, self.p)
+        p = self.p
+        rhs = (x * x * x + self.a * x + self.b) % p
+        if p & 3 == 3:
+            # One modexp instead of tonelli_shanks' Legendre check plus
+            # root: candidate y = rhs^((p+1)/4), validated by squaring.
+            # Decompression runs on every signature verification (the
+            # commitment R rides the wire compressed), so this halves
+            # the decode cost on the protocol hot path.
+            y = pow(rhs, (p + 1) >> 2, p)
+            if y * y % p != rhs:
+                raise ValueError("x is not on the curve")
+        else:
+            y = tonelli_shanks(rhs, p)
         if (y & 1) != (data[0] & 1):
             y = self.p - y
         point = Point(x, y)

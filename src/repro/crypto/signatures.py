@@ -30,7 +30,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+#: One batch-verification item: ``(verify_key, message, signature)``.
+VerifyItem = tuple[bytes, bytes, bytes]
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,34 @@ class SignatureScheme(Protocol):
         reject it anyway).
         """
         ...
+
+    def verify_batch(self, items: Sequence[VerifyItem],
+                     tables: Sequence[Any | None] | None = None) -> list[bool]:
+        """Per-item verdicts for a batch of ``(key, message, signature)``.
+
+        The contract is *exact per-item equivalence* with :meth:`verify`:
+        ``verify_batch(items)[i] == verify(*items[i])`` for every batch
+        composition — a scheme may amortise work across the batch (the
+        Schnorr back-end collapses the batch into one randomized
+        multi-scalar multiplication) but must isolate which members are
+        invalid rather than rejecting the batch wholesale.
+
+        This default implementation simply loops :meth:`verify`, so
+        every scheme supports the surface; back-ends with an algebraic
+        batch trick override it.  ``tables`` (optional, parallel to
+        ``items``) carries per-item precomputed tables, ``None`` entries
+        meaning cold; a ``tables`` list that does not parallel ``items``
+        is an error (a silent ``zip`` truncation would report honest
+        tail signatures as forged).
+        """
+        if tables is None:
+            tables = (None,) * len(items)
+        elif len(tables) != len(items):
+            raise ValueError("tables must parallel items")
+        return [
+            self.verify(key, message, signature, table=table)
+            for (key, message, signature), table in zip(items, tables)
+        ]
 
 
 class VerifyTableCache:
@@ -117,6 +148,13 @@ class VerifyTableCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Batch-path counters: calls/items through verify_batch, the
+        # largest batch seen, and how many batched items verified
+        # against a warm table (the batch-hit rate).
+        self.batch_calls = 0
+        self.batch_items = 0
+        self.batch_max = 0
+        self.batch_warm = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -177,6 +215,38 @@ class VerifyTableCache:
             return scheme.verify(verify_key, message, signature)
         return scheme.verify(verify_key, message, signature, table=table)
 
+    def verify_batch(self, scheme: SignatureScheme,
+                     items: Sequence[VerifyItem]) -> list[bool]:
+        """Per-item verdicts for a batch, each against its cached table.
+
+        The batched analogue of :meth:`verify`: every item's key runs
+        through :meth:`table_for` (so warm tables are used, recurring
+        keys get promoted, and the hit/miss counters advance exactly as
+        they would for serial verifies), then the whole batch goes to
+        ``scheme.verify_batch`` in one call — for the Schnorr back-end
+        that is one randomized multi-scalar multiplication for the whole
+        burst.  A scheme without a ``verify_batch`` surface degrades to
+        a per-item loop, mirroring :meth:`verify`'s tolerance of
+        table-less schemes.
+        """
+        if not items:
+            return []
+        tables = [self.table_for(scheme, key) for key, _, _ in items]
+        with self._lock:
+            self.batch_calls += 1
+            self.batch_items += len(items)
+            if len(items) > self.batch_max:
+                self.batch_max = len(items)
+            self.batch_warm += sum(1 for table in tables if table is not None)
+        batch = getattr(scheme, "verify_batch", None)
+        if batch is not None:
+            return batch(items, tables=tables)
+        return [
+            scheme.verify(key, message, signature) if table is None
+            else scheme.verify(key, message, signature, table=table)
+            for (key, message, signature), table in zip(items, tables)
+        ]
+
     def clear(self) -> None:
         """Drop every cached table and key marker (counters are kept)."""
         with self._lock:
@@ -185,7 +255,9 @@ class VerifyTableCache:
             self._rejected.clear()
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot: entries, capacity, hits, misses, evictions."""
+        """Counter snapshot: entries, capacity, hits, misses, evictions,
+        plus the batch-path counters (calls, items, max size, warm-table
+        items)."""
         with self._lock:
             return {
                 "entries": len(self._tables),
@@ -193,6 +265,10 @@ class VerifyTableCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "batch_calls": self.batch_calls,
+                "batch_items": self.batch_items,
+                "batch_max": self.batch_max,
+                "batch_warm": self.batch_warm,
             }
 
 

@@ -77,6 +77,11 @@ class EngineStats:
     key_table_entries: int = 0
     key_table_hits: int = 0
     key_table_misses: int = 0
+    #: Batched-verification counters: ``verify_batch`` calls through the
+    #: cache and the signatures they covered (items/calls is the realised
+    #: crypto coalescing, the verify-side analogue of probes/batch).
+    key_table_batch_calls: int = 0
+    key_table_batch_items: int = 0
 
     @property
     def candidates_per_probe(self) -> float:
@@ -103,11 +108,17 @@ class EngineStats:
         )
         lines.append(f"search latency histogram: {histogram}")
         if self.key_table_hits or self.key_table_misses:
-            lines.append(
+            line = (
                 f"verify-key tables: {self.key_table_entries} cached, "
                 f"{self.key_table_hits} hit(s) / "
                 f"{self.key_table_misses} miss(es)"
             )
+            if self.key_table_batch_calls:
+                line += (
+                    f", {self.key_table_batch_items} signature(s) in "
+                    f"{self.key_table_batch_calls} batched verify call(s)"
+                )
+            lines.append(line)
         return lines
 
 
@@ -403,4 +414,6 @@ class IdentificationEngine:
             key_table_entries=len(self.key_tables),
             key_table_hits=self.key_tables.hits,
             key_table_misses=self.key_tables.misses,
+            key_table_batch_calls=self.key_tables.batch_calls,
+            key_table_batch_items=self.key_tables.batch_items,
         )

@@ -21,7 +21,12 @@ records (a small genuinely-enrolled pool plus uniform filler), one
   ``run_identification`` closed-loop through
   :class:`~repro.net.client.RemoteEndpoint`; every outcome is
   parity-checked against the presented user, and client-side wire bytes
-  are averaged into a per-identification cost;
+  are averaged into a per-identification cost.  ``verify_heavy=True``
+  (CLI ``--verify-heavy``) switches the mix to three claimed-identity
+  verifications per identification, so the frontend's verify-response
+  micro-batcher — and the Schnorr batch-verification kernel under it —
+  is exercised end-to-end over the wire (rows in the trajectory are
+  tagged ``"mix": "verify-heavy"``);
 * **overload probe** — a second server fronts a deliberately tiny
   frontend (queue of 1, one worker, throttled scans); hammering it must
   surface queue-full rejections as client-side
@@ -51,7 +56,11 @@ from repro.exceptions import ParameterError, ServiceOverloadError
 from repro.net.client import RemoteEndpoint
 from repro.net.server import NetworkServer
 from repro.protocols.device import BiometricDevice
-from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.runners import (
+    run_enrollment,
+    run_identification,
+    run_verification,
+)
 from repro.protocols.server import AuthenticationServer
 from repro.protocols.transport import DuplexLink
 from repro.service.bench import _filler_records, write_trajectory  # noqa: F401
@@ -128,31 +137,46 @@ class NetBenchReport:
     #: client-side as ServiceOverloadError.
     overload_attempts: int
     overload_rejections: int
+    #: Traffic mix: ``"identify"`` (default) or ``"verify-heavy"``
+    #: (3 claimed-identity verifications per identification).
+    mix: str = "identify"
+    #: Realised verify-response coalescing (frontend counters; NaN/0
+    #: when the mix carried no verifications).
+    verify_mean_batch: float = float("nan")
+    verify_max_batch_seen: int = 0
 
     @property
     def ids_per_s(self) -> float:
-        """Identifications/sec sustained over TCP."""
+        """Requests/sec sustained over TCP (whatever the mix)."""
         return self.n_requests / self.elapsed_s if self.elapsed_s > 0 \
             else float("inf")
 
     def summary_lines(self) -> list[str]:
         """Human-readable bench table (one string per line)."""
         p50, p95, p99 = self.latency_ms
-        return [
-            f"net bench (tcp): {self.n_enrolled:,} enrolled "
+        lines = [
+            f"net bench (tcp, {self.mix} mix): {self.n_enrolled:,} enrolled "
             f"(n={self.dimension}, shards={self.shards}, "
-            f"scheme={self.scheme}), {self.n_requests} identifications, "
+            f"scheme={self.scheme}), {self.n_requests} requests, "
             f"{self.clients} concurrent client connections",
-            f"  throughput {self.ids_per_s:>8,.0f} ids/s   "
+            f"  throughput {self.ids_per_s:>8,.0f} req/s   "
             f"p50 {p50:7.1f} ms  p95 {p95:7.1f} ms  p99 {p99:7.1f} ms",
-            f"  wire cost  {self.wire_bytes_per_id:>8,.0f} bytes/id   "
+            f"  wire cost  {self.wire_bytes_per_id:>8,.0f} bytes/req   "
             f"micro-batches: {self.mean_batch:.1f} probes mean, "
             f"{self.max_batch_seen} max",
+        ]
+        if self.verify_max_batch_seen:
+            lines.append(
+                f"  verify micro-batches: {self.verify_mean_batch:.1f} "
+                f"responses mean, {self.verify_max_batch_seen} max"
+            )
+        lines.append(
             f"  backpressure probe: {self.overload_rejections}/"
             f"{self.overload_attempts} requests rejected with "
             f"ServiceOverloadError (queue-full -> typed error frame -> "
-            f"client exception)",
-        ]
+            f"client exception)"
+        )
+        return lines
 
     def to_json_dict(self) -> dict:
         """JSON-serialisable form for the shared service trajectory."""
@@ -175,6 +199,13 @@ class NetBenchReport:
             "wire_bytes_per_id": self.wire_bytes_per_id,
             "overload_attempts": self.overload_attempts,
             "overload_rejections": self.overload_rejections,
+            "mix": self.mix,
+            # No verify batches (the identify mix) means a NaN mean,
+            # which json.dumps would emit as a bare non-spec literal —
+            # record 0.0 so the artifact stays strictly parseable.
+            "verify_mean_batch":
+                self.verify_mean_batch if self.verify_max_batch_seen else 0.0,
+            "verify_max_batch_seen": self.verify_max_batch_seen,
         }
 
 
@@ -241,8 +272,13 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
                   max_batch: int = 64, batch_window_s: float = 0.05,
                   batch_linger_s: float = 0.004,
                   frontend_workers: int = 4,
+                  verify_heavy: bool = False,
                   host: str = "127.0.0.1") -> NetBenchReport:
-    """Build the stack behind TCP, drive it closed-loop, report."""
+    """Build the stack behind TCP, drive it closed-loop, report.
+
+    ``verify_heavy=True`` switches the measured phase to a 3:1
+    verification:identification mix (see the module docstring).
+    """
     n_users = _default("n_users", n_users)
     n_requests = _default("n_requests", n_requests)
     clients = _default("clients", clients)
@@ -281,6 +317,19 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
             )
         return elapsed * 1e3
 
+    def verify(device: BiometricDevice, endpoint, expected: str,
+               reading: np.ndarray) -> float:
+        start = time.perf_counter()
+        run = run_verification(device, endpoint, DuplexLink(), expected,
+                               reading)
+        elapsed = time.perf_counter() - start
+        if not run.outcome.verified or run.outcome.user_id != expected:
+            raise AssertionError(
+                f"net bench verification rejected a genuine reading of "
+                f"{expected!r}: {run.outcome!r}"
+            )
+        return elapsed * 1e3
+
     def readings(count: int, phase_rng: np.random.Generator):
         picks = phase_rng.integers(0, pool_users, size=count)
         return [(user_ids[u], population.genuine_reading(int(u), phase_rng))
@@ -305,7 +354,13 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
                              population.genuine_reading(user, warm_rng))
 
         # -- measured phase: closed-loop clients over TCP -----------------
-        work = readings(n_requests, np.random.default_rng(seed + 2))
+        # In the verify-heavy mix, every 4th request identifies and the
+        # rest run the 1:1 verification flow, so the frontend's
+        # verify-response batcher sees sustained concurrent bursts.
+        ops = [(verify if verify_heavy and i % 4 else identify)
+               for i in range(n_requests)]
+        work = [(op, expected, reading) for op, (expected, reading) in
+                zip(ops, readings(n_requests, np.random.default_rng(seed + 2)))]
         per_client = [work[c::clients] for c in range(clients)]
         devices = [
             BiometricDevice(params, sig_scheme,
@@ -323,9 +378,9 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
             try:
                 with RemoteEndpoint.connect(bound_host, port) as remote:
                     barrier.wait()
-                    for expected, reading in per_client[c]:
-                        mine.append(identify(devices[c], remote,
-                                             expected, reading))
+                    for op, expected, reading in per_client[c]:
+                        mine.append(op(devices[c], remote,
+                                       expected, reading))
                     wire_bytes[c] = remote.client.total_bytes
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 errors.append(exc)
@@ -357,4 +412,7 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
         mean_batch=stats.mean_batch, max_batch_seen=stats.max_batch,
         wire_bytes_per_id=sum(wire_bytes) / n_requests,
         overload_attempts=attempts, overload_rejections=rejections,
+        mix="verify-heavy" if verify_heavy else "identify",
+        verify_mean_batch=stats.mean_verify_batch,
+        verify_max_batch_seen=stats.max_verify_batch,
     )

@@ -373,6 +373,66 @@ class AuthenticationServer:
                            record.user_id)
         return VerificationOutcome(verified=verified, user_id=record.user_id)
 
+    def handle_verification_response_batch(
+        self, responses: Sequence[VerificationResponse],
+    ) -> list[VerificationOutcome]:
+        """Answer ``B`` verification responses with one batched verify.
+
+        Per-response semantics are exactly
+        :meth:`handle_verification_response`'s — each session is popped
+        (one-shot, so a replay inside the batch dies like a replay
+        across requests), dead or wrong-mode sessions fail closed, and
+        every live response contributes one ``verify-ok``/``verify-fail``
+        audit event — but the signature checks for the whole batch go
+        through :meth:`VerifyTableCache.verify_batch
+        <repro.crypto.signatures.VerifyTableCache.verify_batch>` in a
+        single call, which the Schnorr back-end collapses into one
+        randomized multi-scalar multiplication.  This is the entry point
+        the service frontend's verify micro-batcher drives.
+
+        Every response's fields are read *before* the first session pop:
+        a malformed response object raises without consuming any
+        session, so a caller that falls back to per-response handling
+        never finds a batchmate's challenge already spent.  If the
+        batched crypto call itself raises (a scheme whose ``verify``
+        throws on garbage input), the sessions *are* already spent, so
+        each item is retried individually right here — the raising item
+        fails closed (audited ``verify-fail``), honest batchmates keep
+        their true verdicts, and no challenge is double-consumed.
+        """
+        fields = [(response.session_id, response.nonce, response.signature)
+                  for response in responses]
+        outcomes: list[VerificationOutcome | None] = [None] * len(responses)
+        items = []
+        live: list[tuple[int, UserRecord]] = []
+        for i, (session_id, nonce, signature) in enumerate(fields):
+            session = self._sessions.pop(session_id)
+            if session is None or session.mode != "verify":
+                outcomes[i] = VerificationOutcome(verified=False, user_id="")
+                continue
+            record = session.records[0]
+            payload = signed_payload(session.challenges[0], nonce)
+            items.append((record.verify_key, payload, signature))
+            live.append((i, record))
+        if items:
+            try:
+                verdicts = self.key_tables.verify_batch(self.scheme, items)
+            except Exception:  # noqa: BLE001 — isolate the culprit item
+                verdicts = []
+                for key, payload, signature in items:
+                    try:
+                        verdicts.append(self.key_tables.verify(
+                            self.scheme, key, payload, signature))
+                    except Exception:  # noqa: BLE001 — fail that item closed
+                        verdicts.append(False)
+            for (i, record), verified in zip(live, verdicts):
+                self._record_event(
+                    "verify-ok" if verified else "verify-fail",
+                    record.user_id)
+                outcomes[i] = VerificationOutcome(verified=verified,
+                                                  user_id=record.user_id)
+        return outcomes
+
     # -- normal approach (Fig. 2) ---------------------------------------------------------
 
     def handle_baseline_request(

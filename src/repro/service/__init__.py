@@ -8,15 +8,21 @@ verify-table cache — under real concurrency:
 * :mod:`repro.service.frontend` — :class:`ServiceFrontend`, a bounded
   admission queue feeding a micro-batching scheduler: concurrent
   identification probes coalesce into one
-  ``handle_identification_batch`` search per tick, store writes are
-  serialised on the batcher thread, and challenge verifications fan out
-  to a worker pool sharing the server's lock-safe
-  :class:`~repro.crypto.signatures.VerifyTableCache`.  The frontend
-  exposes the :class:`~repro.protocols.server.AuthenticationServer`
+  ``handle_identification_batch`` search per tick, concurrent
+  verification responses coalesce into one
+  ``handle_verification_response_batch`` signature check per tick
+  (which the Schnorr back-end collapses into a single randomized
+  multi-scalar multiplication — the crypto-layer batch surface
+  ``SignatureScheme.verify_batch`` reached through the shared
+  :class:`~repro.crypto.signatures.VerifyTableCache`), store writes are
+  serialised on the batcher thread, and the remaining challenge ops fan
+  out to a worker pool.  The frontend exposes the
+  :class:`~repro.protocols.server.AuthenticationServer`
   handler surface, so runners and simulators drive either one unchanged;
 * :mod:`repro.service.bench` — the closed-loop multi-client load
   generator behind ``repro service-bench`` (serial loop vs micro-batched
-  frontend on the same engine, throughput + latency percentiles,
+  frontend on the same engine, throughput + latency percentiles for
+  both the identification and the batched-verification legs,
   ``BENCH_service.json`` trajectory).
 
 Import discipline (enforced by the package graph, relied on by tests):

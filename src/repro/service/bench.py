@@ -20,10 +20,19 @@ the *same* ``run_identification`` runner:
   coalesces concurrent probes into one batched scan per tick and fans
   signature checks out to its verify pool.
 
-Every identification is checked to land on the presented user, so a
-reported speedup can never come from a wrong answer.  The report carries
-identifications/sec plus p50/p95/p99 client-observed latency for both
-phases; ``write_trajectory`` appends runs to ``BENCH_service.json``.
+A third and fourth phase repeat the shootout for **verification** (the
+1:1 claimed-identity flow): serial ``run_verification`` loop vs the
+same closed-loop clients through the frontend, whose batcher coalesces
+concurrent ``VerificationResponse``\\ s into one batched signature check
+per tick — with a Schnorr scheme that is one randomized multi-scalar
+multiplication per burst, so this leg measures what batched
+verification buys under live traffic (``verify_requests=0`` skips it).
+
+Every identification is checked to land on the presented user and every
+verification to accept it, so a reported speedup can never come from a
+wrong answer.  The report carries identifications/sec plus p50/p95/p99
+client-observed latency for both phases; ``write_trajectory`` appends
+runs to ``BENCH_service.json``.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the default sizes (CI's service-smoke
 job) — explicit arguments always win.
@@ -46,7 +55,11 @@ from repro.engine.engine import IdentificationEngine
 from repro.exceptions import ParameterError
 from repro.protocols.database import UserRecord
 from repro.protocols.device import BiometricDevice
-from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.runners import (
+    run_enrollment,
+    run_identification,
+    run_verification,
+)
 from repro.protocols.server import AuthenticationServer
 from repro.protocols.transport import DuplexLink
 from repro.service.frontend import ServiceFrontend
@@ -92,6 +105,15 @@ class ServiceBenchReport:
     #: Realised micro-batch coalescing (from the frontend's counters).
     mean_batch: float
     max_batch_seen: int
+    #: Verification-leg shape and timings (0/NaN when the leg was skipped).
+    verify_requests: int = 0
+    verify_serial_s: float = 0.0
+    verify_frontend_s: float = 0.0
+    verify_serial_latency_ms: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    verify_frontend_latency_ms: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: Realised verify-response coalescing (frontend counters).
+    verify_mean_batch: float = float("nan")
+    verify_max_batch_seen: int = 0
 
     @property
     def serial_ids_per_s(self) -> float:
@@ -110,6 +132,24 @@ class ServiceBenchReport:
         """Frontend throughput over the serial loop (same engine+scheme)."""
         return self.serial_s / self.frontend_s if self.frontend_s > 0 \
             else float("inf")
+
+    @property
+    def verify_serial_per_s(self) -> float:
+        """Verifications/sec of the serial loop (inf when skipped)."""
+        return self.verify_requests / self.verify_serial_s \
+            if self.verify_serial_s > 0 else float("inf")
+
+    @property
+    def verify_frontend_per_s(self) -> float:
+        """Verifications/sec through the batching frontend."""
+        return self.verify_requests / self.verify_frontend_s \
+            if self.verify_frontend_s > 0 else float("inf")
+
+    @property
+    def verify_speedup(self) -> float:
+        """Frontend verification throughput over the serial loop."""
+        return self.verify_serial_s / self.verify_frontend_s \
+            if self.verify_frontend_s > 0 else float("inf")
 
     def summary_lines(self) -> list[str]:
         """Human-readable bench table (one string per line)."""
@@ -133,6 +173,28 @@ class ServiceBenchReport:
             f"(micro-batches: {self.mean_batch:.1f} probes mean, "
             f"{self.max_batch_seen} max)"
         )
+        if self.verify_requests:
+            verify_rows = [
+                ("serial loop", self.verify_serial_per_s,
+                 self.verify_serial_latency_ms),
+                ("frontend", self.verify_frontend_per_s,
+                 self.verify_frontend_latency_ms),
+            ]
+            lines.append(
+                f"verification leg: {self.verify_requests} claimed-identity "
+                f"checks, same clients"
+            )
+            for label, rate, (p50, p95, p99) in verify_rows:
+                lines.append(
+                    f"  {label:<12} {rate:>8,.0f} ver/s   "
+                    f"p50 {p50:7.1f} ms  p95 {p95:7.1f} ms  "
+                    f"p99 {p99:7.1f} ms"
+                )
+            lines.append(
+                f"  speedup x{self.verify_speedup:.1f} "
+                f"(verify micro-batches: {self.verify_mean_batch:.1f} "
+                f"responses mean, {self.verify_max_batch_seen} max)"
+            )
         return lines
 
     def to_json_dict(self) -> dict:
@@ -156,6 +218,24 @@ class ServiceBenchReport:
             "frontend_latency_ms": list(self.frontend_latency_ms),
             "mean_batch": self.mean_batch,
             "max_batch_seen": self.max_batch_seen,
+            "verify_requests": self.verify_requests,
+            "verify_serial_s": self.verify_serial_s,
+            "verify_frontend_s": self.verify_frontend_s,
+            # A skipped leg yields inf/NaN rates, which json.dumps would
+            # write as bare non-spec literals — record zeros instead so
+            # the trajectory artifact stays parseable by strict readers.
+            "verify_serial_per_s":
+                self.verify_serial_per_s if self.verify_serial_s else 0.0,
+            "verify_frontend_per_s":
+                self.verify_frontend_per_s if self.verify_frontend_s else 0.0,
+            "verify_speedup":
+                self.verify_speedup if self.verify_frontend_s else 0.0,
+            "verify_serial_latency_ms": list(self.verify_serial_latency_ms),
+            "verify_frontend_latency_ms":
+                list(self.verify_frontend_latency_ms),
+            "verify_mean_batch":
+                self.verify_mean_batch if self.verify_max_batch_seen else 0.0,
+            "verify_max_batch_seen": self.verify_max_batch_seen,
         }
 
 
@@ -187,15 +267,25 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
                       scheme: str = "dsa-1024", seed: int = 0,
                       max_batch: int = 64, batch_window_s: float = 0.05,
                       batch_linger_s: float = 0.004,
-                      frontend_workers: int = 4) -> ServiceBenchReport:
-    """Build the stack, run the serial and frontend phases, report both."""
+                      frontend_workers: int = 4,
+                      verify_requests: int | None = None,
+                      ) -> ServiceBenchReport:
+    """Build the stack, run the serial and frontend phases, report both.
+
+    ``verify_requests`` sizes the verification leg (default: same as
+    ``n_requests``; ``0`` skips the leg entirely).
+    """
     n_users = _default("n_users", n_users)
     n_requests = _default("n_requests", n_requests)
     clients = _default("clients", clients)
+    if verify_requests is None:
+        verify_requests = n_requests
     if pool_users < 1 or n_users < pool_users:
         raise ParameterError("need 1 <= pool_users <= n_users")
     if clients < 1 or n_requests < clients:
         raise ParameterError("need 1 <= clients <= n_requests")
+    if verify_requests and verify_requests < clients:
+        raise ParameterError("need verify_requests == 0 or >= clients")
     params = SystemParams.paper_defaults(n=dimension)
     sig_scheme = get_scheme(scheme)
     rng = np.random.default_rng(seed)
@@ -234,6 +324,19 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
             )
         return elapsed * 1e3
 
+    def verify(device: BiometricDevice, endpoint, expected: str,
+               reading: np.ndarray) -> float:
+        start = time.perf_counter()
+        run = run_verification(device, endpoint, DuplexLink(), expected,
+                               reading)
+        elapsed = time.perf_counter() - start
+        if not run.outcome.verified or run.outcome.user_id != expected:
+            raise AssertionError(
+                f"service bench verification rejected a genuine reading "
+                f"of {expected!r}: {run.outcome!r}"
+            )
+        return elapsed * 1e3
+
     # Warm-up: promote every pool key's verify table (built on a key's
     # *second* use, so each user must be identified exactly twice) and
     # the scan kernels' LUTs — neither phase may pay one-time costs
@@ -254,35 +357,45 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
             identify(enroll_device, server, expected, reading))
     serial_s = time.perf_counter() - start
 
+    # -- phase 1b: the serial verification loop --------------------------
+    verify_serial_latencies: list[float] = []
+    verify_serial_s = 0.0
+    if verify_requests:
+        verify_serial_work = readings(verify_requests,
+                                      np.random.default_rng(seed + 4))
+        start = time.perf_counter()
+        for expected, reading in verify_serial_work:
+            verify_serial_latencies.append(
+                verify(enroll_device, server, expected, reading))
+        verify_serial_s = time.perf_counter() - start
+
     # -- phase 2: closed-loop clients through the micro-batching frontend
     frontend_work = readings(n_requests, np.random.default_rng(seed + 3))
-    per_client = [frontend_work[c::clients] for c in range(clients)]
     devices = [
         BiometricDevice(params, sig_scheme,
                         seed=seed.to_bytes(8, "big") + b"cli%d" % c)
         for c in range(clients)
     ]
-    frontend_latencies: list[float] = []
     latency_lock = threading.Lock()
-    errors: list[BaseException] = []
-    barrier = threading.Barrier(clients + 1)
 
-    def client(c: int) -> None:
-        mine: list[float] = []
-        try:
-            barrier.wait()
-            for expected, reading in per_client[c]:
-                mine.append(identify(devices[c], frontend, expected, reading))
-        except BaseException as exc:  # noqa: BLE001 — surface in the main thread
-            errors.append(exc)
-        with latency_lock:
-            frontend_latencies.extend(mine)
+    def closed_loop(work, op) -> tuple[list[float], float]:
+        """Drive ``work`` through ``clients`` closed-loop threads."""
+        per_client = [work[c::clients] for c in range(clients)]
+        latencies: list[float] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
 
-    with ServiceFrontend(server, max_batch=max_batch,
-                         batch_window_s=batch_window_s,
-                         batch_linger_s=batch_linger_s,
-                         workers=frontend_workers,
-                         max_queue=max(256, 2 * clients)) as frontend:
+        def client(c: int) -> None:
+            mine: list[float] = []
+            try:
+                barrier.wait()
+                for expected, reading in per_client[c]:
+                    mine.append(op(devices[c], frontend, expected, reading))
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+            with latency_lock:
+                latencies.extend(mine)
+
         threads = [threading.Thread(target=client, args=(c,),
                                     name=f"svc-client-{c}")
                    for c in range(clients)]
@@ -292,10 +405,28 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
         start = time.perf_counter()
         for t in threads:
             t.join()
-        frontend_s = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
         if errors:
             raise errors[0]
+        return latencies, elapsed
+
+    with ServiceFrontend(server, max_batch=max_batch,
+                         batch_window_s=batch_window_s,
+                         batch_linger_s=batch_linger_s,
+                         workers=frontend_workers,
+                         max_queue=max(256, 2 * clients)) as frontend:
+        frontend_latencies, frontend_s = closed_loop(frontend_work, identify)
+        verify_frontend_latencies: list[float] = []
+        verify_frontend_s = 0.0
+        if verify_requests:
+            verify_work = readings(verify_requests,
+                                   np.random.default_rng(seed + 5))
+            verify_frontend_latencies, verify_frontend_s = closed_loop(
+                verify_work, verify)
         stats = frontend.stats()
+
+    def pct(latencies: list[float]) -> tuple[float, float, float]:
+        return _percentiles(latencies) if latencies else (0.0, 0.0, 0.0)
 
     return ServiceBenchReport(
         n_enrolled=n_users, pool_users=pool_users, n_requests=n_requests,
@@ -305,6 +436,13 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
         serial_latency_ms=_percentiles(serial_latencies),
         frontend_latency_ms=_percentiles(frontend_latencies),
         mean_batch=stats.mean_batch, max_batch_seen=stats.max_batch,
+        verify_requests=verify_requests,
+        verify_serial_s=verify_serial_s,
+        verify_frontend_s=verify_frontend_s,
+        verify_serial_latency_ms=pct(verify_serial_latencies),
+        verify_frontend_latency_ms=pct(verify_frontend_latencies),
+        verify_mean_batch=stats.mean_verify_batch,
+        verify_max_batch_seen=stats.max_verify_batch,
     )
 
 

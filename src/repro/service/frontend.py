@@ -19,7 +19,15 @@ single-process deployment wants it scheduled:
 * **challenge responses fan out** — signature verifications (and
   verification-mode lookups) go to a worker pool sharing the server's
   lock-safe :class:`~repro.crypto.signatures.VerifyTableCache`, so every
-  worker verifies against the same warm per-user tables.
+  worker verifies against the same warm per-user tables;
+* **verification responses are micro-batched too** — concurrent
+  ``VerificationResponse``\\ s coalesce under the same window+linger
+  policy and are answered through one
+  :meth:`~repro.protocols.server.AuthenticationServer.handle_verification_response_batch`
+  call on the pool, so the Schnorr back-end's randomized batch
+  verification (one multi-scalar multiplication for the whole burst)
+  sees real bursts — the per-signature EC floor gets the same
+  amortisation treatment the sketch scan already enjoys.
 
 The frontend exposes *the same blocking handler surface* as
 :class:`~repro.protocols.server.AuthenticationServer` (``handle_enrollment``,
@@ -74,6 +82,9 @@ _POOLED_HANDLERS = {
     "verify-response": "handle_verification_response",
 }
 
+#: Op kinds the batcher coalesces under the window+linger policy.
+_COALESCED = ("identify", "verify-response")
+
 
 @dataclass
 class _Op:
@@ -91,7 +102,9 @@ class FrontendStats:
     ``identify_batches`` counts micro-batched search calls;
     ``identify_probes / identify_batches`` is the realised coalescing
     factor — the closer it sits to the concurrent client count, the more
-    scan cost the batch kernel is amortising.
+    scan cost the batch kernel is amortising.  ``verify_batches`` /
+    ``verify_ops`` are the same pair for the verification-response path
+    (one batched signature check per tick).
     """
 
     submitted: int
@@ -100,6 +113,9 @@ class FrontendStats:
     identify_probes: int
     identify_batches: int
     max_batch: int
+    verify_ops: int = 0
+    verify_batches: int = 0
+    max_verify_batch: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -107,6 +123,13 @@ class FrontendStats:
         if self.identify_batches == 0:
             return float("nan")
         return self.identify_probes / self.identify_batches
+
+    @property
+    def mean_verify_batch(self) -> float:
+        """Mean responses per verify micro-batch (NaN before any batch)."""
+        if self.verify_batches == 0:
+            return float("nan")
+        return self.verify_ops / self.verify_batches
 
     def summary_lines(self) -> list[str]:
         """Human-readable counter summary (one string per line)."""
@@ -119,6 +142,12 @@ class FrontendStats:
                 f"identification micro-batches: {self.identify_batches} "
                 f"({self.mean_batch:.1f} probes/batch mean, "
                 f"{self.max_batch} max)"
+            )
+        if self.verify_batches:
+            lines.append(
+                f"verification micro-batches: {self.verify_batches} "
+                f"({self.mean_verify_batch:.1f} responses/batch mean, "
+                f"{self.max_verify_batch} max)"
             )
         return lines
 
@@ -188,6 +217,9 @@ class ServiceFrontend:
         self._identify_probes = 0
         self._identify_batches = 0
         self._max_batch_seen = 0
+        self._verify_ops = 0
+        self._verify_batches = 0
+        self._max_verify_batch_seen = 0
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="service-verify")
         self._batcher = threading.Thread(
@@ -298,7 +330,8 @@ class ServiceFrontend:
     def handle_verification_response(
         self, response: VerificationResponse,
     ) -> VerificationOutcome:
-        """Verification-mode signature check on the worker pool."""
+        """Verification-mode signature check (micro-batched: concurrent
+        responses coalesce into one batched verify on the pool)."""
         return self._call("verify-response", response)
 
     def handle_baseline_request(
@@ -346,18 +379,22 @@ class ServiceFrontend:
     # -- the batcher -------------------------------------------------------------
 
     def _batch_loop(self) -> None:
-        """Pull requests, coalesce identification probes, dispatch."""
+        """Pull requests, coalesce identification probes and verification
+        responses (each into its own batch), dispatch everything else."""
         while True:
             op = self._queue.get()
             if op is _STOP:
                 return
-            if op.kind != "identify":
+            if op.kind not in _COALESCED:
                 self._dispatch(op)
                 continue
-            batch = [op]
+            # One window collects both coalescable kinds — mixed bursts
+            # flush as one batched scan plus one batched verify.
+            batches: dict[str, list[_Op]] = {kind: [] for kind in _COALESCED}
+            batches[op.kind].append(op)
             deadline = time.monotonic() + self.batch_window_s
             stop = False
-            while len(batch) < self.max_batch:
+            while max(len(b) for b in batches.values()) < self.max_batch:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -369,11 +406,16 @@ class ServiceFrontend:
                 if nxt is _STOP:
                     stop = True  # FIFO: everything earlier was dequeued
                     break
-                if nxt.kind == "identify":
-                    batch.append(nxt)
+                if nxt.kind in batches:
+                    batches[nxt.kind].append(nxt)
                 else:
                     self._dispatch(nxt)  # never held back by the window
-            self._identify_batch(batch)
+            if batches["verify-response"]:
+                # Hand the crypto to the pool first, then run the scan on
+                # this thread — both batches overlap instead of queueing.
+                self._verify_batch(batches["verify-response"])
+            if batches["identify"]:
+                self._identify_batch(batches["identify"])
             if stop:
                 return
 
@@ -411,6 +453,36 @@ class ServiceFrontend:
         with self._stats_lock:
             self._completed += len(ops)
 
+    def _verify_batch(self, ops: list[_Op]) -> None:
+        """Schedule one batched signature check for coalesced responses."""
+        with self._stats_lock:
+            self._verify_ops += len(ops)
+            self._verify_batches += 1
+            self._max_verify_batch_seen = max(self._max_verify_batch_seen,
+                                              len(ops))
+        self._pool.submit(self._run_verify_batch, ops)
+
+    def _run_verify_batch(self, ops: list[_Op]) -> None:
+        """One ``handle_verification_response_batch`` answers every op.
+
+        On failure each response is retried individually so the error
+        lands only on the request that caused it — safe because the
+        batch handler reads every response's fields *before* popping any
+        session, so a malformed batchmate cannot have consumed another
+        client's challenge.
+        """
+        try:
+            outcomes = self.server.handle_verification_response_batch(
+                [op.payload for op in ops])
+        except Exception:  # noqa: BLE001 — isolate, then fail only the culprit
+            for op in ops:
+                self._complete(op, self.server.handle_verification_response)
+            return
+        for op, outcome in zip(ops, outcomes):
+            op.future.set_result(outcome)
+        with self._stats_lock:
+            self._completed += len(ops)
+
     def _complete(self, op: _Op, handler) -> None:
         """Run one handler, routing result/exception into the future."""
         try:
@@ -433,4 +505,7 @@ class ServiceFrontend:
                 identify_probes=self._identify_probes,
                 identify_batches=self._identify_batches,
                 max_batch=self._max_batch_seen,
+                verify_ops=self._verify_ops,
+                verify_batches=self._verify_batches,
+                max_verify_batch=self._max_verify_batch_seen,
             )

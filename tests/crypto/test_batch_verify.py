@@ -1,0 +1,192 @@
+"""Randomized Schnorr batch verification: adversarial soundness (a forged
+signature must not hide in a batch of honest ones; a crafted cancellation
+pair must be caught), bisection correctness (exactly the bad indices are
+isolated), and per-item parity with single ``verify`` across every scheme
+and awkward batch sizes.
+
+The concurrency-free tests here still take the ``watchdog`` fixture where
+they recurse (bisection) or loop adversarially — a kernel bug that turned
+bisection into infinite recursion or an unbounded retry must fail the
+suite in seconds, not hang it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.crypto.schnorr as schnorr_mod
+from repro.crypto.signatures import get_scheme
+
+ALL_SCHEMES = ["dsa-512", "ecdsa-p-256", "schnorr-p-256"]
+#: Edge batch sizes: singleton, pair, odd, non-power-of-two, past one
+#: bisection level.
+BATCH_SIZES = [1, 2, 3, 5, 7, 12]
+
+
+def _stack(name: str, k: int, message: bytes = b"batch-m"):
+    scheme = get_scheme(name)
+    keypairs = [scheme.keygen_from_seed(f"bv-{name}-{i}".encode() * 3)
+                for i in range(k)]
+    signatures = [scheme.sign(kp.signing_key, message) for kp in keypairs]
+    items = [(kp.verify_key, message, sig)
+             for kp, sig in zip(keypairs, signatures)]
+    tables = [scheme.precompute(kp.verify_key) for kp in keypairs]
+    return scheme, keypairs, items, tables
+
+
+def _corrupt(item, flip_last=True):
+    key, message, signature = item
+    mutated = bytearray(signature)
+    mutated[-1 if flip_last else 0] ^= 1
+    return (key, message, bytes(mutated))
+
+
+class TestBatchParity:
+    """verify_batch(items)[i] == verify(*items[i]) for every composition."""
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    @pytest.mark.parametrize("k", BATCH_SIZES)
+    def test_all_honest_batches_accept(self, name, k):
+        scheme, _, items, tables = _stack(name, k)
+        assert scheme.verify_batch(items) == [True] * k
+        assert scheme.verify_batch(items, tables=tables) == [True] * k
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_mixed_batch_matches_single_verify(self, name):
+        scheme, _, items, tables = _stack(name, 6)
+        items[1] = _corrupt(items[1])
+        items[4] = _corrupt(items[4], flip_last=False)
+        want = [scheme.verify(*item) for item in items]
+        assert scheme.verify_batch(items) == want
+        assert scheme.verify_batch(items, tables=tables) == want
+        assert want.count(False) == 2
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_empty_batch(self, name):
+        scheme = get_scheme(name)
+        assert scheme.verify_batch([]) == []
+
+    def test_wrong_message_rejected_per_item(self):
+        scheme, _, items, tables = _stack("schnorr-p-256", 4)
+        key, _, sig = items[2]
+        items[2] = (key, b"a different message", sig)
+        assert scheme.verify_batch(items, tables=tables) == \
+            [True, True, False, True]
+
+
+class TestBatchAdversarial:
+    """The randomized-weights soundness story."""
+
+    def test_forged_signature_cannot_hide_among_honest(self, watchdog):
+        scheme, keypairs, items, tables = _stack("schnorr-p-256", 8)
+        for bad in (0, 3, 7):  # first, middle, last position
+            forged = list(items)
+            forged[bad] = _corrupt(items[bad])
+            verdicts = scheme.verify_batch(forged, tables=tables)
+            assert verdicts == [i != bad for i in range(8)]
+
+    def test_bisection_isolates_exactly_the_bad_indices(self, watchdog):
+        scheme, _, items, tables = _stack("schnorr-p-256", 12)
+        for bad_set in ({0}, {11}, {0, 11}, {2, 3, 4}, {1, 5, 6, 10},
+                        set(range(12))):
+            forged = [(_corrupt(item) if i in bad_set else item)
+                      for i, item in enumerate(items)]
+            verdicts = scheme.verify_batch(forged, tables=tables)
+            assert verdicts == [i not in bad_set for i in range(12)], bad_set
+
+    def test_cancellation_pair_defeats_fixed_weights_not_random(
+            self, monkeypatch, watchdog):
+        """The attack the random weights exist to stop: two signatures
+        with responses ``s_1 + δ`` and ``s_2 - δ`` are individually
+        invalid but cancel in an *unweighted* (or equal-weighted)
+        aggregate.  Pinning the weight source makes the forged batch
+        pass — demonstrating the attack — and restoring real randomness
+        makes both members fail."""
+        scheme, keypairs, items, tables = _stack("schnorr-p-256", 5)
+        n = scheme.curve.n
+        point_len = 1 + scheme.curve.coordinate_bytes
+        delta = 0xDEADBEEF
+
+        def shift(item, d):
+            key, message, signature = item
+            s = int.from_bytes(signature[point_len:], "big")
+            return (key, message,
+                    signature[:point_len] + ((s + d) % n).to_bytes(32, "big"))
+
+        forged = list(items)
+        forged[1] = shift(items[1], delta)
+        forged[3] = shift(items[3], -delta)
+        # Sanity: each member alone is an invalid signature.
+        assert not scheme.verify(*forged[1])
+        assert not scheme.verify(*forged[3])
+
+        monkeypatch.setattr(schnorr_mod, "_batch_weight", lambda: 1)
+        assert scheme.verify_batch(forged, tables=tables) == [True] * 5, \
+            "equal weights must admit the cancellation pair (the attack)"
+        monkeypatch.undo()
+
+        verdicts = scheme.verify_batch(forged, tables=tables)
+        assert verdicts == [True, False, True, False, True]
+
+    def test_weights_are_fresh_per_check(self):
+        """Two aggregate evaluations must not reuse weights — a repeated
+        weight vector would let an observer of one accepted batch craft
+        the cancellation pair for the next."""
+        seen: list[int] = []
+        original = schnorr_mod._batch_weight
+
+        def spy():
+            weight = original()
+            seen.append(weight)
+            return weight
+
+        scheme, _, items, tables = _stack("schnorr-p-256", 3)
+        try:
+            schnorr_mod._batch_weight = spy
+            scheme.verify_batch(items, tables=tables)
+            scheme.verify_batch(items, tables=tables)
+        finally:
+            schnorr_mod._batch_weight = original
+        assert len(seen) == 6
+        assert len(set(seen)) == 6  # 128-bit draws: collisions are a bug
+        assert all(w >= 1 for w in seen)
+
+
+class TestBatchStructuralRejects:
+    """Malformed members fail closed, alone, before any curve work."""
+
+    def test_structural_garbage_is_isolated(self):
+        scheme, keypairs, items, tables = _stack("schnorr-p-256", 6)
+        items[0] = (items[0][0], items[0][1], b"")               # empty
+        items[2] = (items[2][0], items[2][1], items[2][2][:-5])  # truncated
+        zero_s = items[4][2][:33] + (0).to_bytes(32, "big")      # s == 0
+        items[4] = (items[4][0], items[4][1], zero_s)
+        assert scheme.verify_batch(items, tables=tables) == \
+            [False, True, False, True, False, True]
+
+    def test_garbage_commitment_point(self):
+        scheme, _, items, _ = _stack("schnorr-p-256", 3)
+        bad = b"\x02" + b"\xff" * 32 + items[1][2][33:]
+        items[1] = (items[1][0], items[1][1], bad)
+        assert scheme.verify_batch(items) == [True, False, True]
+
+    def test_mispaired_table_fails_that_item_only(self):
+        scheme, keypairs, items, tables = _stack("schnorr-p-256", 4)
+        swapped = [tables[0], tables[2], tables[1], tables[3]]
+        assert scheme.verify_batch(items, tables=swapped) == \
+            [True, False, False, True]
+
+    def test_malformed_verify_key(self):
+        scheme, _, items, _ = _stack("schnorr-p-256", 3)
+        items[1] = (b"\x01" * 33, items[1][1], items[1][2])
+        assert scheme.verify_batch(items) == [True, False, True]
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_mismatched_tables_length_raises(self, name):
+        """A short tables list must raise, not silently report the
+        zip-truncated tail as forged."""
+        scheme, _, items, tables = _stack(name, 3)
+        with pytest.raises(ValueError, match="parallel"):
+            scheme.verify_batch(items, tables=tables[:2])
+        with pytest.raises(ValueError, match="parallel"):
+            scheme.verify_batch(items, tables=tables + [None])

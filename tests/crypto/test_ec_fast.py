@@ -147,6 +147,63 @@ class TestShamirParity:
             P256.shamir_multiply(1, 2)
 
 
+class TestMultiMultiplyParity:
+    """The Straus multi-scalar kernel vs the affine reference."""
+
+    def _reference(self, terms):
+        acc = Point.infinity()
+        for scalar, point in terms:
+            acc = P256.add(acc, P256.multiply_affine(scalar % P256.n, point))
+        return acc
+
+    @given(st.lists(st.tuples(
+        st.integers(-(1 << 130), P256.n + 10),
+        st.sampled_from([0, 1])), min_size=0, max_size=6))
+    @settings(max_examples=15)
+    def test_parity_random_terms(self, raw):
+        points = [P256.generator, Q_POINT]
+        terms = [(k, points[which]) for k, which in raw]
+        assert P256.multi_multiply(terms) == self._reference(terms)
+
+    def test_parity_with_warm_tables(self):
+        table = P256.precompute_table(Q_POINT)
+        terms = [(0xDEADBEEF, P256.generator), (0xCAFEF00D, Q_POINT),
+                 (-0x1234567890ABCDEF, Q_POINT)]
+        tables = [None, table, table]
+        assert P256.multi_multiply(terms, tables) == self._reference(terms)
+
+    def test_negative_scalar_is_the_group_inverse(self):
+        assert P256.multi_multiply([(7, Q_POINT), (-7, Q_POINT)]).is_infinity
+        assert P256.multi_multiply([(-3, Q_POINT)]) == \
+            P256.multiply_affine(P256.n - 3, Q_POINT)
+
+    def test_empty_zero_and_infinity_terms(self):
+        assert P256.multi_multiply([]).is_infinity
+        assert P256.multi_multiply([(0, Q_POINT)]).is_infinity
+        assert P256.multi_multiply(
+            [(5, Point.infinity()), (P256.n, Q_POINT)]).is_infinity
+
+    def test_many_terms_shared_chain(self):
+        points = [P256.multiply_affine(3 + i, P256.generator)
+                  for i in range(9)]
+        terms = [((i + 1) * 0x0123456789ABCDEF ^ (1 << (120 + i)), pt)
+                 for i, pt in enumerate(points)]
+        assert P256.multi_multiply(terms) == self._reference(terms)
+
+    def test_mismatched_tables_rejected(self):
+        table = P256.precompute_table(Q_POINT)
+        with pytest.raises(ValueError, match="different point"):
+            P256.multi_multiply([(5, P256.generator)], [table])
+        with pytest.raises(ValueError, match="parallel"):
+            P256.multi_multiply([(5, Q_POINT)], [])
+
+    def test_shamir_shape_agreement(self):
+        """The 2-term case must agree with shamir_multiply exactly."""
+        u1, u2 = 0xFEEDFACE, 0xBADDCAFE
+        assert P256.multi_multiply([(u1, P256.generator), (u2, Q_POINT)]) \
+            == P256.shamir_multiply(u1, u2, Q_POINT)
+
+
 class TestNistP256KnownAnswers:
     """RFC 6979 appendix A.2.5 (ECDSA, NIST P-256, SHA-256).
 

@@ -237,7 +237,111 @@ class TestVerifyTableCache:
         cache = VerifyTableCache(capacity=8)
         stats = cache.stats()
         assert stats == {"entries": 0, "capacity": 8, "hits": 0,
-                         "misses": 0, "evictions": 0}
+                         "misses": 0, "evictions": 0, "batch_calls": 0,
+                         "batch_items": 0, "batch_max": 0, "batch_warm": 0}
+
+
+class TestVerifyTableCacheBatch:
+    """The batched verify surface and its counters."""
+
+    def _stack(self, name="schnorr-p-256", k=4, message=b"batch"):
+        scheme = get_scheme(name)
+        keypairs = [scheme.keygen_from_seed(f"cb-{i}".encode() * 6)
+                    for i in range(k)]
+        items = [(kp.verify_key, message,
+                  scheme.sign(kp.signing_key, message)) for kp in keypairs]
+        return scheme, keypairs, items
+
+    def test_batch_counters_advance(self):
+        scheme, _, items = self._stack()
+        cache = VerifyTableCache(capacity=8)
+        assert cache.verify_batch(scheme, items) == [True] * 4
+        assert cache.verify_batch(scheme, items[:3]) == [True] * 3
+        stats = cache.stats()
+        assert stats["batch_calls"] == 2
+        assert stats["batch_items"] == 7
+        assert stats["batch_max"] == 4
+        # First call: every key seen once (cold).  Second call: the three
+        # recurring keys get tables built and verify warm.
+        assert stats["batch_warm"] == 3
+        # Each batched item still counts one hit or miss via table_for.
+        assert stats["hits"] + stats["misses"] == 7
+
+    def test_batch_parity_with_serial_cache_verify(self):
+        scheme, keypairs, items = self._stack()
+        bad = bytearray(items[2][2])
+        bad[-1] ^= 1
+        items[2] = (items[2][0], items[2][1], bytes(bad))
+        batched = VerifyTableCache(capacity=8)
+        serial = VerifyTableCache(capacity=8)
+        for _ in range(3):  # cold, promoting, warm
+            got = batched.verify_batch(scheme, items)
+            want = [serial.verify(scheme, *item) for item in items]
+            assert got == want == [True, True, False, True]
+
+    def test_empty_batch_is_free(self):
+        scheme, _, _ = self._stack(k=1)
+        cache = VerifyTableCache(capacity=2)
+        assert cache.verify_batch(scheme, []) == []
+        assert cache.stats()["batch_calls"] == 0
+
+    def test_batch_degrades_without_scheme_batch_surface(self):
+        class Bare:
+            name = "bare"
+
+            def verify(self, verify_key, message, signature):
+                return message == b"ok"
+
+        cache = VerifyTableCache(capacity=2)
+        verdicts = cache.verify_batch(
+            Bare(), [(b"k1", b"ok", b"s"), (b"k2", b"no", b"s")])
+        assert verdicts == [True, False]
+        assert cache.stats()["batch_calls"] == 1
+
+    def test_batch_with_garbage_keys_fails_those_items_only(self):
+        scheme, _, items = self._stack(k=3)
+        items[1] = (b"\x00" * 33, items[1][1], items[1][2])
+        cache = VerifyTableCache(capacity=8)
+        for _ in range(3):
+            assert cache.verify_batch(scheme, items) == [True, False, True]
+        assert len(cache) == 2  # the garbage key never occupies a slot
+
+    def test_concurrent_batches_keep_counters_consistent(self, watchdog):
+        """Satellite: lock-safety stress over the new batch path —
+        verify workers batching against one shared cache must neither
+        produce a wrong verdict nor lose a counter update."""
+        import threading
+
+        scheme, keypairs, items = self._stack(k=6, message=b"stress")
+        cache = VerifyTableCache(capacity=16)
+        n_threads, per_thread = 6, 20
+        failures: list[str] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                lo = (tid + i) % len(items)
+                batch = items[lo:] + items[:lo]  # rotated: all keys, every call
+                verdicts = cache.verify_batch(scheme, batch)
+                if verdicts != [True] * len(batch):
+                    failures.append(f"thread {tid} call {i}: {verdicts}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        stats = cache.stats()
+        total_calls = n_threads * per_thread
+        assert stats["batch_calls"] == total_calls
+        assert stats["batch_items"] == total_calls * len(items)
+        assert stats["batch_max"] == len(items)
+        # Every batched item resolves to exactly one hit or one miss.
+        assert stats["hits"] + stats["misses"] == total_calls * len(items)
+        assert len(cache) == len(items)  # all six keys promoted
 
 
 class TestVerifyTableCacheThreadSafety:

@@ -43,12 +43,49 @@ class TestRunNetBench:
         assert data["runs"][0]["transport"] == "tcp"
         assert data["runs"][1]["overload_rejections"] >= 1
 
+    def test_trajectory_is_strict_json(self, tiny_report, tmp_path):
+        """The identify mix has no verify batches (NaN mean); the
+        artifact must still parse under a strict reader — no bare
+        NaN/Infinity literals."""
+        path = tmp_path / "traj.json"
+        write_trajectory(tiny_report, path)
+
+        def reject(constant):
+            raise AssertionError(f"non-spec JSON literal {constant!r}")
+
+        row = json.loads(path.read_text(), parse_constant=reject)["runs"][0]
+        assert row["mix"] == "identify"
+        assert row["verify_mean_batch"] == 0.0
+
     def test_rejects_bad_shapes(self):
         with pytest.raises(Exception, match="pool_users"):
             run_net_bench(n_users=2, pool_users=8, n_requests=8, clients=2)
         with pytest.raises(Exception, match="clients"):
             run_net_bench(n_users=100, pool_users=4, n_requests=2,
                           clients=8)
+
+
+class TestVerifyHeavyMix:
+    def test_verify_heavy_exercises_batched_verification(self, tmp_path,
+                                                         watchdog):
+        """The --verify-heavy mix drives the frontend's verify-response
+        micro-batcher — and the Schnorr multi-scalar kernel under it —
+        end-to-end over TCP, with rows tagged in the trajectory."""
+        report = run_net_bench(dimension=32, n_users=300, pool_users=4,
+                               n_requests=16, clients=4, shards=2,
+                               scheme="schnorr-p-256", seed=5,
+                               verify_heavy=True)
+        assert report.mix == "verify-heavy"
+        # 12 of 16 requests are verifications; every one parity-checked
+        # inside the harness, so completing is the accept/reject parity.
+        assert report.ids_per_s > 0
+        assert report.verify_max_batch_seen >= 1
+        path = tmp_path / "traj.json"
+        write_trajectory(report, path)
+        row = json.loads(path.read_text())["runs"][0]
+        assert row["mix"] == "verify-heavy"
+        assert row["transport"] == "tcp"
+        assert row["verify_max_batch_seen"] >= 1
 
 
 class TestServeCli:
@@ -108,6 +145,6 @@ class TestNetBenchCli:
                      "--shards", "2", "--scheme", "dsa-512", "--json", ""])
         out = capsys.readouterr().out
         assert code == 0
-        assert "net bench (tcp)" in out
+        assert "net bench (tcp, identify mix)" in out
         assert "backpressure probe" in out
         assert "ServiceOverloadError" in out

@@ -1,0 +1,296 @@
+"""The frontend's verification-response micro-batcher: batched and serial
+verification must return identical accept/reject decisions (the PR's
+parity criterion), coalescing must actually happen under concurrency, and
+a poisoned batchmate must fail alone — all on top of the server's
+``handle_verification_response_batch`` and the cache's ``verify_batch``.
+
+Runs under the service conftest's autouse watchdog.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.crypto.signatures import get_scheme
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import (
+    VerificationChallenge,
+    VerificationOutcome,
+    VerificationRequest,
+    VerificationResponse,
+)
+from repro.protocols.runners import run_enrollment, run_verification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+from repro.service import ServiceFrontend
+
+N_USERS = 6
+
+
+def _build_stack(params, scheme, seed=b"vb-srv"):
+    population = UserPopulation(params, size=N_USERS,
+                                noise=BoundedUniformNoise(params.t),
+                                seed=23)
+    server = AuthenticationServer(params, scheme, seed=seed)
+    devices = {}
+    for i, user_id in enumerate(population.user_ids()):
+        devices[user_id] = BiometricDevice(params, scheme,
+                                           seed=user_id.encode() + b"-vbd")
+        run = run_enrollment(devices[user_id], server, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted
+    return server, population, devices
+
+
+@pytest.fixture(params=["schnorr-p-256", "dsa-512"],
+                ids=["schnorr-msm", "dsa-loop"])
+def stack(request, paper_params):
+    """One stack per back-end: the MSM batch path and the loop fallback."""
+    scheme = get_scheme(request.param)
+    return _build_stack(paper_params, scheme)
+
+
+def _tampered_response(endpoint, user_id) -> VerificationOutcome:
+    """Open a real session, answer with a garbage signature."""
+    challenge = endpoint.handle_verification_request(
+        VerificationRequest(user_id=user_id))
+    assert isinstance(challenge, VerificationChallenge)
+    return endpoint.handle_verification_response(VerificationResponse(
+        session_id=challenge.session_id, signature=b"\x01" * 65,
+        nonce=b"\x02" * 16))
+
+
+class TestBatchedSerialParity:
+    """Acceptance criterion: batched and serial verification return
+    identical accept/reject decisions, genuine and tampered alike."""
+
+    def test_concurrent_mixed_verdicts_match_serial(self, stack):
+        server, population, devices = stack
+        user_ids = population.user_ids()
+
+        # Serial ground truth on the bare server: genuine readings
+        # accept, tampered responses reject.
+        serial: list[tuple[str, bool]] = []
+        for i, user_id in enumerate(user_ids):
+            run = run_verification(devices[user_id], server, DuplexLink(),
+                                   user_id, population.genuine_reading(i))
+            serial.append((user_id, run.outcome.verified))
+        for user_id in user_ids[:3]:
+            outcome = _tampered_response(server, user_id)
+            serial.append((user_id, outcome.verified))
+        serial_audit = Counter(e.kind for e in server.audit_log()
+                               if e.kind.startswith("verify"))
+
+        # The same workload, concurrent, through the batching frontend
+        # on an identically seeded fresh stack.
+        server2, population2, devices2 = _build_stack(
+            server.params, server.scheme)
+        concurrent: list[tuple[str, bool]] = []
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+        with ServiceFrontend(server2, batch_window_s=0.05,
+                             batch_linger_s=0.01,
+                             result_timeout_s=30.0) as frontend:
+            barrier = threading.Barrier(N_USERS + 3)
+
+            def genuine(i: int) -> None:
+                user_id = user_ids[i]
+                try:
+                    barrier.wait()
+                    run = run_verification(
+                        devices2[user_id], frontend, DuplexLink(), user_id,
+                        population2.genuine_reading(i))
+                    with lock:
+                        concurrent.append((user_id, run.outcome.verified))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            def tampered(i: int) -> None:
+                user_id = user_ids[i]
+                try:
+                    barrier.wait()
+                    outcome = _tampered_response(frontend, user_id)
+                    with lock:
+                        concurrent.append((user_id, outcome.verified))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=genuine, args=(i,))
+                       for i in range(N_USERS)]
+            threads += [threading.Thread(target=tampered, args=(i,))
+                        for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            stats = frontend.stats()
+        assert Counter(concurrent) == Counter(serial)
+        frontend_audit = Counter(e.kind for e in server2.audit_log()
+                                 if e.kind.startswith("verify"))
+        assert frontend_audit == serial_audit
+        assert stats.verify_batches >= 1
+        assert stats.verify_ops == N_USERS + 3
+
+    def test_batch_counters_reach_cache_and_engine_stats(self, paper_params):
+        scheme = get_scheme("schnorr-p-256")
+        server, population, devices = _build_stack(paper_params, scheme)
+        with ServiceFrontend(server, batch_window_s=0.05,
+                             batch_linger_s=0.01) as frontend:
+            futures = []
+            for i, user_id in enumerate(population.user_ids()):
+                challenge = frontend.handle_verification_request(
+                    VerificationRequest(user_id=user_id))
+                response = devices[user_id].respond_verification(
+                    population.genuine_reading(i), challenge.helper_data,
+                    challenge.challenge, challenge.session_id)
+                futures.append(frontend._submit("verify-response", response))
+            outcomes = [f.result(timeout=20.0) for f in futures]
+        assert all(o.verified for o in outcomes)
+        cache_stats = server.key_tables.stats()
+        assert cache_stats["batch_calls"] >= 1
+        assert cache_stats["batch_items"] == N_USERS
+
+
+class TestBatchIsolation:
+    def test_poisoned_response_fails_alone_not_its_batchmates(self, stack):
+        """A garbage payload coalesced with a genuine response must error
+        only its own caller — and must not consume the genuine response's
+        session (the batch handler reads fields before popping)."""
+        server, population, devices = stack
+        user_id = population.user_ids()[0]
+        challenge = server.handle_verification_request(
+            VerificationRequest(user_id=user_id))
+        good_response = devices[user_id].respond_verification(
+            population.genuine_reading(0), challenge.helper_data,
+            challenge.challenge, challenge.session_id)
+        with ServiceFrontend(server, batch_linger_s=0.05,
+                             batch_window_s=0.2) as frontend:
+            bad = frontend._submit("verify-response", object())  # no fields
+            good = frontend._submit("verify-response", good_response)
+            with pytest.raises(AttributeError):
+                bad.result(timeout=10.0)
+            outcome = good.result(timeout=10.0)
+            assert outcome.verified and outcome.user_id == user_id
+        assert frontend.stats().max_verify_batch == 2  # they shared a batch
+
+    def test_dead_session_in_batch_fails_closed(self, stack):
+        server, population, devices = stack
+        user_id = population.user_ids()[0]
+        challenge = server.handle_verification_request(
+            VerificationRequest(user_id=user_id))
+        response = devices[user_id].respond_verification(
+            population.genuine_reading(0), challenge.helper_data,
+            challenge.challenge, challenge.session_id)
+        dead = VerificationResponse(session_id=b"\x00" * 16,
+                                    signature=response.signature,
+                                    nonce=response.nonce)
+        with ServiceFrontend(server, batch_linger_s=0.05,
+                             batch_window_s=0.2) as frontend:
+            dead_future = frontend._submit("verify-response", dead)
+            good_future = frontend._submit("verify-response", response)
+            dead_outcome = dead_future.result(timeout=10.0)
+            good_outcome = good_future.result(timeout=10.0)
+        assert not dead_outcome.verified and dead_outcome.user_id == ""
+        assert good_outcome.verified and good_outcome.user_id == user_id
+
+    def test_replay_within_one_batch_is_rejected_once(self, stack):
+        """Two responses naming the same session coalesced together: the
+        first consumes the one-shot challenge, the replay fails closed —
+        exactly the serial replay-protection semantics."""
+        server, population, devices = stack
+        user_id = population.user_ids()[0]
+        challenge = server.handle_verification_request(
+            VerificationRequest(user_id=user_id))
+        response = devices[user_id].respond_verification(
+            population.genuine_reading(0), challenge.helper_data,
+            challenge.challenge, challenge.session_id)
+        with ServiceFrontend(server, batch_linger_s=0.05,
+                             batch_window_s=0.2) as frontend:
+            first = frontend._submit("verify-response", response)
+            replay = frontend._submit("verify-response", response)
+            outcomes = [first.result(timeout=10.0),
+                        replay.result(timeout=10.0)]
+        verdicts = sorted(o.verified for o in outcomes)
+        assert verdicts == [False, True]
+
+    def test_raising_scheme_fails_its_item_closed_not_the_batch(
+            self, paper_params):
+        """A scheme whose ``verify`` *raises* on garbage (instead of
+        returning False) must not take honest batchmates down with it:
+        their sessions are already spent when the batched crypto call
+        explodes, so the server retries per item in place — the culprit
+        fails closed, the honest response keeps its true verdict."""
+        base = get_scheme("dsa-512")
+
+        class Prickly:
+            """dsa-512, except garbage signatures raise."""
+
+            name = "prickly-dsa-512"
+
+            def keygen_from_seed(self, seed):
+                return base.keygen_from_seed(seed)
+
+            def sign(self, signing_key, message):
+                return base.sign(signing_key, message)
+
+            def precompute(self, verify_key):
+                return base.precompute(verify_key)
+
+            def verify(self, verify_key, message, signature, table=None):
+                if signature == b"\x07" * 40:
+                    raise RuntimeError("garbage signature")
+                return base.verify(verify_key, message, signature,
+                                   table=table)
+
+            def verify_batch(self, items, tables=None):
+                return [self.verify(k, m, s) for k, m, s in items]
+
+        server, population, devices = _build_stack(paper_params, Prickly())
+        user_ids = population.user_ids()
+        challenge_a = server.handle_verification_request(
+            VerificationRequest(user_id=user_ids[0]))
+        good = devices[user_ids[0]].respond_verification(
+            population.genuine_reading(0), challenge_a.helper_data,
+            challenge_a.challenge, challenge_a.session_id)
+        challenge_b = server.handle_verification_request(
+            VerificationRequest(user_id=user_ids[1]))
+        bad = VerificationResponse(session_id=challenge_b.session_id,
+                                   signature=b"\x07" * 40,
+                                   nonce=b"\x01" * 16)
+        outcomes = server.handle_verification_response_batch([good, bad])
+        assert outcomes[0].verified and outcomes[0].user_id == user_ids[0]
+        assert not outcomes[1].verified
+        assert outcomes[1].user_id == user_ids[1]  # audited, fail-closed
+        kinds = Counter(e.kind for e in server.audit_log()
+                        if e.kind.startswith("verify"))
+        assert kinds["verify-ok"] == 1 and kinds["verify-fail"] == 1
+
+    def test_mixed_identify_and_verify_burst_flushes_both(self, stack):
+        """One window collecting both coalescable kinds dispatches one
+        scan batch and one verify batch, nothing starved."""
+        server, population, devices = stack
+        user_id = population.user_ids()[0]
+        device = devices[user_id]
+        challenge = server.handle_verification_request(
+            VerificationRequest(user_id=user_id))
+        response = device.respond_verification(
+            population.genuine_reading(0), challenge.helper_data,
+            challenge.challenge, challenge.session_id)
+        with ServiceFrontend(server, batch_linger_s=0.05,
+                             batch_window_s=0.2) as frontend:
+            probe = frontend._submit(
+                "identify", device.probe_sketch(
+                    population.genuine_reading(0)))
+            verify_future = frontend._submit("verify-response", response)
+            reply = probe.result(timeout=10.0)
+            outcome = verify_future.result(timeout=10.0)
+        assert hasattr(reply, "session_id")  # challenged, not dropped
+        assert outcome.verified
+        stats = frontend.stats()
+        assert stats.identify_batches == 1
+        assert stats.verify_batches == 1
