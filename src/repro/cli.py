@@ -56,6 +56,12 @@ The subcommands cover the workflows a user reaches for first:
     identification + verification through a real client connection and
     exits — a one-command proof the wire works.
 
+``stats``
+    Scrape a running ``repro serve`` instance over the stats admin
+    frames: human-readable metric table by default, ``--prometheus``
+    for text exposition, ``--traces`` for recent per-request span
+    listings, ``--json`` for the raw payload.
+
 ``net-bench``
     Closed-loop multi-client identification bench over localhost TCP
     (``--verify-heavy`` switches to a 3:1 verification mix exercising
@@ -198,9 +204,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_service_bench(args: argparse.Namespace) -> int:
-    from repro.service.bench import run_service_bench, write_trajectory
+    from repro.service.bench import (
+        run_obs_overhead_bench,
+        run_service_bench,
+        write_trajectory,
+    )
 
-    report = run_service_bench(
+    kwargs = dict(
         dimension=args.dimension,
         n_users=args.users,
         pool_users=args.pool_users,
@@ -215,11 +225,62 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         frontend_workers=args.workers,
         verify_requests=args.verify_requests,
     )
+    if args.obs_overhead:
+        overhead = run_obs_overhead_bench(repeats=args.obs_repeats, **kwargs)
+        for line in overhead.instrumented.summary_lines():
+            print(line)
+        for line in overhead.summary_lines():
+            print(line)
+        if args.json:
+            write_trajectory(overhead.instrumented, args.json,
+                             extra={"obs": "instrumented"})
+            write_trajectory(overhead.disabled, args.json,
+                             extra={"obs": "disabled"})
+            print(f"instrumented/disabled row pair appended to {args.json}")
+        return 0
+    report = run_service_bench(**kwargs)
     for line in report.summary_lines():
         print(line)
     if args.json:
         write_trajectory(report, args.json)
         print(f"trajectory appended to {args.json}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.client import NetworkClient
+    from repro.obs.export import (
+        render_prometheus,
+        render_table,
+        render_traces,
+    )
+
+    query = "traces" if args.traces else \
+        ("metrics" if args.prometheus else "all")
+    with NetworkClient(args.host, args.port,
+                       timeout_s=args.timeout) as client:
+        payload = client.stats(query=query, limit=args.limit)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        print(render_prometheus(payload.get("metrics", [])), end="")
+        return 0
+    if args.traces:
+        print(render_traces(payload.get("traces", [])), end="")
+        return 0
+    print(render_table(payload.get("metrics", [])), end="")
+    server_stats = payload.get("server")
+    if server_stats:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(server_stats.items()))
+        print(f"server: {parts}")
+    endpoint = payload.get("endpoint")
+    if endpoint:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(endpoint.items())
+                          if not isinstance(v, (dict, list)))
+        print(f"endpoint: {parts}")
     return 0
 
 
@@ -267,12 +328,15 @@ def _serve_self_test(params, scheme, host: str, port: int) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    from repro import obs
     from repro.crypto.signatures import get_scheme
     from repro.engine.engine import IdentificationEngine
     from repro.net.server import NetworkServer
     from repro.protocols.server import AuthenticationServer
     from repro.service.frontend import ServiceFrontend
 
+    obs.configure(tracing_enabled=not args.no_trace,
+                  events_path=args.events or None)
     scheme = get_scheme(args.scheme)
     if args.store:
         engine = IdentificationEngine.open(args.store, workers=args.workers)
@@ -308,6 +372,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if endpoint is not server:
             endpoint.close()
         engine.close()
+        obs.events.close()
     return 0
 
 
@@ -534,6 +599,15 @@ def build_parser() -> argparse.ArgumentParser:
     service_bench.add_argument("--json", default="BENCH_service.json",
                                help="trajectory artifact path (empty string "
                                     "to skip writing)")
+    service_bench.add_argument("--obs-overhead", action="store_true",
+                               help="run the bench twice — observability "
+                                    "on vs off — and append the row pair "
+                                    "(tagged obs=instrumented/disabled) "
+                                    "with the fractional overhead")
+    service_bench.add_argument("--obs-repeats", type=int, default=1,
+                               help="repeats per mode for --obs-overhead; "
+                                    "the fastest run per mode is kept "
+                                    "(default: 1)")
     service_bench.set_defaults(handler=_cmd_service_bench)
 
     serve = subparsers.add_parser(
@@ -578,7 +652,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--self-test", action="store_true",
                        help="enroll + identify + verify once through a "
                             "real client connection, then exit")
+    serve.add_argument("--events", default="",
+                       help="append JSONL observability events (spans + "
+                            "audit) to this path (default: off)")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing (metrics stay on)")
     serve.set_defaults(handler=_cmd_serve)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="scrape a running server's metrics and traces over the "
+             "stats admin frames")
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server address (default: 127.0.0.1)")
+    stats.add_argument("--port", type=int, required=True,
+                       help="server port (printed by 'repro serve')")
+    stats.add_argument("--timeout", type=float, default=10.0,
+                       help="socket timeout, seconds (default: 10)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="emit Prometheus text exposition instead of "
+                            "the human table")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the full stats payload as JSON")
+    stats.add_argument("--traces", action="store_true",
+                       help="list recent request traces (per-span "
+                            "durations) instead of metrics")
+    stats.add_argument("--limit", type=int, default=0,
+                       help="trace count cap for --traces (default: "
+                            "server-side 50)")
+    stats.set_defaults(handler=_cmd_stats)
 
     net_bench = subparsers.add_parser(
         "net-bench",

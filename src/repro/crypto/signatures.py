@@ -28,9 +28,12 @@ encodings.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Protocol, Sequence, runtime_checkable
+
+from repro import obs
 
 #: One batch-verification item: ``(verify_key, message, signature)``.
 VerifyItem = tuple[bytes, bytes, bytes]
@@ -105,6 +108,36 @@ class SignatureScheme(Protocol):
         ]
 
 
+@dataclass(frozen=True)
+class VerifyCacheStats:
+    """Frozen snapshot of :meth:`VerifyTableCache.stats`.
+
+    The same snapshot-dataclass convention as ``EngineStats`` /
+    ``FrontendStats``; :meth:`as_dict` and item access keep the former
+    raw-dict consumers (bench rows, tests) working unchanged.
+    """
+
+    entries: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    batch_calls: int
+    batch_items: int
+    batch_max: int
+    batch_warm: int
+
+    def as_dict(self) -> dict[str, int]:
+        """The snapshot as a plain dict (JSON-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __getitem__(self, key: str) -> int:
+        """Dict-style access for pre-dataclass consumers."""
+        if key not in self.__dataclass_fields__:
+            raise KeyError(key)
+        return getattr(self, key)
+
+
 class VerifyTableCache:
     """Bounded LRU cache of per-key verification tables.
 
@@ -145,16 +178,83 @@ class VerifyTableCache:
         # Keys whose precompute returned None, tracked apart from real
         # tables: a flood of garbage keys must not evict warm tables.
         self._rejected: OrderedDict[tuple[str, bytes], None] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Counters live on the process-wide metrics registry (one
+        # labelled series per cache instance); the former plain-int
+        # attributes survive as read-only properties below.
+        instance = obs.registry.next_instance("verify-cache")
+        reg = obs.registry
+        self._hits = reg.counter(
+            "repro_verify_cache_hits_total",
+            "Table lookups answered from the cache.", labels=instance)
+        self._misses = reg.counter(
+            "repro_verify_cache_misses_total",
+            "Table lookups that found no cached entry.", labels=instance)
+        self._evictions = reg.counter(
+            "repro_verify_cache_evictions_total",
+            "Warm tables dropped past the LRU capacity.", labels=instance)
         # Batch-path counters: calls/items through verify_batch, the
         # largest batch seen, and how many batched items verified
         # against a warm table (the batch-hit rate).
-        self.batch_calls = 0
-        self.batch_items = 0
-        self.batch_max = 0
-        self.batch_warm = 0
+        self._batch_calls = reg.counter(
+            "repro_verify_cache_batch_calls_total",
+            "verify_batch invocations.", labels=instance)
+        self._batch_items = reg.counter(
+            "repro_verify_cache_batch_items_total",
+            "Signatures checked through verify_batch.", labels=instance)
+        self._batch_max = reg.gauge(
+            "repro_verify_cache_batch_max",
+            "Largest verify batch seen.", labels=instance)
+        self._batch_warm = reg.counter(
+            "repro_verify_cache_batch_warm_total",
+            "Batched items verified against a warm table.", labels=instance)
+        self._entries_gauge = reg.gauge(
+            "repro_verify_cache_entries",
+            "Warm tables currently cached.", labels=instance,
+            owner=self, fn=len)
+        #: Latency distribution of signature verification through this
+        #: cache (one observation per ``verify`` call / ``verify_batch``
+        #: item-amortised call).
+        self.verify_seconds = reg.histogram(
+            "repro_verify_latency_seconds",
+            "Signature verification latency through the table cache.",
+            labels=instance)
+
+    # Former plain-int counter attributes, now read through the registry.
+
+    @property
+    def hits(self) -> int:
+        """Table lookups answered from the cache."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Table lookups that found no cached entry."""
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        """Warm tables dropped past the LRU capacity."""
+        return self._evictions.value
+
+    @property
+    def batch_calls(self) -> int:
+        """``verify_batch`` invocations."""
+        return self._batch_calls.value
+
+    @property
+    def batch_items(self) -> int:
+        """Signatures checked through ``verify_batch``."""
+        return self._batch_items.value
+
+    @property
+    def batch_max(self) -> int:
+        """Largest verify batch seen."""
+        return int(self._batch_max.value)
+
+    @property
+    def batch_warm(self) -> int:
+        """Batched items verified against a warm table."""
+        return self._batch_warm.value
 
     def __len__(self) -> int:
         with self._lock:
@@ -176,14 +276,14 @@ class VerifyTableCache:
         with self._lock:
             tables = self._tables
             if key in tables:
-                self.hits += 1
+                self._hits.inc()
                 tables.move_to_end(key)
                 return tables[key]
             if key in self._rejected:
-                self.hits += 1
+                self._hits.inc()
                 self._rejected.move_to_end(key)
                 return None
-            self.misses += 1
+            self._misses.inc()
             seen = self._seen_once
             if key not in seen:
                 seen[key] = None
@@ -204,16 +304,28 @@ class VerifyTableCache:
             self._tables[key] = table
             if len(self._tables) > self.capacity:
                 self._tables.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
         return table
 
     def verify(self, scheme: SignatureScheme, verify_key: bytes,
                message: bytes, signature: bytes) -> bool:
-        """``scheme.verify`` against the cached (or newly built) table."""
+        """``scheme.verify`` against the cached (or newly built) table.
+
+        The call is timed into the verify latency histogram and, when a
+        request trace is bound to the calling thread, recorded as that
+        trace's ``verify`` span.
+        """
+        start = time.perf_counter()
         table = self.table_for(scheme, verify_key)
         if table is None:
-            return scheme.verify(verify_key, message, signature)
-        return scheme.verify(verify_key, message, signature, table=table)
+            ok = scheme.verify(verify_key, message, signature)
+        else:
+            ok = scheme.verify(verify_key, message, signature, table=table)
+        elapsed = time.perf_counter() - start
+        self.verify_seconds.observe(elapsed)
+        obs.tracer.record("verify", elapsed,
+                          detail="warm" if table is not None else "cold")
+        return ok
 
     def verify_batch(self, scheme: SignatureScheme,
                      items: Sequence[VerifyItem]) -> list[bool]:
@@ -231,21 +343,29 @@ class VerifyTableCache:
         """
         if not items:
             return []
+        start = time.perf_counter()
         tables = [self.table_for(scheme, key) for key, _, _ in items]
-        with self._lock:
-            self.batch_calls += 1
-            self.batch_items += len(items)
-            if len(items) > self.batch_max:
-                self.batch_max = len(items)
-            self.batch_warm += sum(1 for table in tables if table is not None)
+        self._batch_calls.inc()
+        self._batch_items.inc(len(items))
+        self._batch_max.track_max(len(items))
+        self._batch_warm.inc(sum(1 for table in tables if table is not None))
         batch = getattr(scheme, "verify_batch", None)
         if batch is not None:
-            return batch(items, tables=tables)
-        return [
-            scheme.verify(key, message, signature) if table is None
-            else scheme.verify(key, message, signature, table=table)
-            for (key, message, signature), table in zip(items, tables)
-        ]
+            verdicts = batch(items, tables=tables)
+        else:
+            verdicts = [
+                scheme.verify(key, message, signature) if table is None
+                else scheme.verify(key, message, signature, table=table)
+                for (key, message, signature), table in zip(items, tables)
+            ]
+        # One amortised observation per item keeps the verify latency
+        # histogram comparable between the serial and batched paths.
+        elapsed = time.perf_counter() - start
+        per_item = elapsed / len(items)
+        for _ in items:
+            self.verify_seconds.observe(per_item)
+        obs.tracer.record("verify", elapsed, detail=f"batch={len(items)}")
+        return verdicts
 
     def clear(self) -> None:
         """Drop every cached table and key marker (counters are kept)."""
@@ -254,22 +374,27 @@ class VerifyTableCache:
             self._seen_once.clear()
             self._rejected.clear()
 
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot: entries, capacity, hits, misses, evictions,
-        plus the batch-path counters (calls, items, max size, warm-table
-        items)."""
+    def stats(self) -> VerifyCacheStats:
+        """Snapshot of the cache counters as :class:`VerifyCacheStats`.
+
+        Covers entries, capacity, hits, misses, evictions, plus the
+        batch-path counters (calls, items, max size, warm-table items);
+        the snapshot supports ``as_dict()`` and item access for
+        dict-era consumers.
+        """
         with self._lock:
-            return {
-                "entries": len(self._tables),
-                "capacity": self.capacity,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "batch_calls": self.batch_calls,
-                "batch_items": self.batch_items,
-                "batch_max": self.batch_max,
-                "batch_warm": self.batch_warm,
-            }
+            entries = len(self._tables)
+        return VerifyCacheStats(
+            entries=entries,
+            capacity=self.capacity,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            batch_calls=self.batch_calls,
+            batch_items=self.batch_items,
+            batch_max=self.batch_max,
+            batch_warm=self.batch_warm,
+        )
 
 
 _REGISTRY: dict[str, "SignatureScheme"] = {}

@@ -27,13 +27,13 @@ from __future__ import annotations
 
 import threading
 import time
-from bisect import bisect_left
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import SystemParams
 from repro.crypto.signatures import VerifyTableCache
 from repro.engine.sharded import ShardedSketchIndex
@@ -53,6 +53,9 @@ LATENCY_BUCKET_EDGES_US = (100, 1_000, 10_000, 100_000)
 _BUCKET_LABELS = tuple(
     f"<={edge}us" for edge in LATENCY_BUCKET_EDGES_US
 ) + (f">{LATENCY_BUCKET_EDGES_US[-1]}us",)
+
+#: The same bucket edges in seconds — the unit the obs histogram uses.
+_BUCKET_EDGES_S = tuple(edge / 1e6 for edge in LATENCY_BUCKET_EDGES_US)
 
 
 @dataclass(frozen=True)
@@ -158,15 +161,39 @@ class IdentificationEngine:
         self._opened: OpenedStore | None = None
         self._cold_opened = False
         self._warmed = False
-        # One lock covers the serving counters and the lazy identity-map
-        # build, so concurrent searches/lookups (the service frontend's
-        # worker pool) keep the stats snapshot consistent.  Enrollment
-        # writes are *not* covered — callers serialise those.
+        # The lock now covers only the lazy identity-map build; serving
+        # counters moved to the process-wide metrics registry, whose
+        # instruments carry their own (leaf) locks.  Enrollment writes
+        # are *not* covered — callers serialise those.
         self._lock = threading.Lock()
-        self._probes_served = 0
-        self._batches_served = 0
-        self._candidates_returned = 0
-        self._latency_counts = [0] * len(_BUCKET_LABELS)
+        self._init_obs()
+
+    def _init_obs(self) -> None:
+        """Create this engine's registry instruments (one labelled series
+        per engine instance); shared between ``__init__`` and ``open``."""
+        instance = obs.registry.next_instance("engine")
+        reg = obs.registry
+        self._probes = reg.counter(
+            "repro_engine_probes_total",
+            "Identification probes evaluated.", labels=instance)
+        self._batches = reg.counter(
+            "repro_engine_batches_total",
+            "Search calls (a batch of B probes is one call).",
+            labels=instance)
+        self._candidates = reg.counter(
+            "repro_engine_candidates_total",
+            "Candidate records returned across all probes.",
+            labels=instance)
+        self._enrolled_gauge = reg.gauge(
+            "repro_engine_enrolled",
+            "Records currently enrolled.", labels=instance,
+            owner=self, fn=len)
+        #: Search-call latency distribution, on the engine's historical
+        #: microsecond bucket edges (100us/1ms/10ms/100ms).
+        self.scan_seconds = reg.histogram(
+            "repro_identify_scan_seconds",
+            "Sketch-search latency per engine search call.",
+            labels=instance, edges=_BUCKET_EDGES_S)
 
     # -- record plumbing ---------------------------------------------------------
 
@@ -277,13 +304,14 @@ class IdentificationEngine:
     # -- search -------------------------------------------------------------------
 
     def _observe(self, probes: int, candidates: int, elapsed_s: float) -> None:
-        us = elapsed_s * 1e6
-        bucket = bisect_left(LATENCY_BUCKET_EDGES_US, us)
-        with self._lock:
-            self._probes_served += probes
-            self._batches_served += 1
-            self._candidates_returned += candidates
-            self._latency_counts[bucket] += 1
+        self._probes.inc(probes)
+        self._batches.inc()
+        self._candidates.inc(candidates)
+        self.scan_seconds.observe(elapsed_s)
+        # When the calling thread carries a request trace (the serial
+        # serving path; the frontend fans out batch spans itself), the
+        # search lands as that trace's "scan" span.
+        obs.tracer.record("scan", elapsed_s, detail=f"probes={probes}")
 
     def search(self, probe: np.ndarray) -> list[int]:
         """Global row ids whose enrolled sketch matches ``probe``."""
@@ -344,10 +372,7 @@ class IdentificationEngine:
         engine._cold_opened = True
         engine._warmed = False
         engine._lock = threading.Lock()
-        engine._probes_served = 0
-        engine._batches_served = 0
-        engine._candidates_returned = 0
-        engine._latency_counts = [0] * len(_BUCKET_LABELS)
+        engine._init_obs()
         return engine
 
     def warm(self) -> int:
@@ -397,17 +422,13 @@ class IdentificationEngine:
 
     def stats(self) -> EngineStats:
         """Counter snapshot for dashboards / the bench CLI."""
-        with self._lock:
-            probes = self._probes_served
-            batches = self._batches_served
-            candidates = self._candidates_returned
-            latency = dict(zip(_BUCKET_LABELS, self._latency_counts))
+        latency = dict(zip(_BUCKET_LABELS, self.scan_seconds.bucket_counts()))
         return EngineStats(
             enrolled=len(self),
             shard_sizes=self._index.shard_sizes(),
-            probes_served=probes,
-            batches_served=batches,
-            candidates_returned=candidates,
+            probes_served=self._probes.value,
+            batches_served=self._batches.value,
+            candidates_returned=self._candidates.value,
             cold_opened=self._cold_opened,
             warmed=self._warmed,
             latency_buckets=latency,

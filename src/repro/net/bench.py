@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -63,7 +63,11 @@ from repro.protocols.runners import (
 )
 from repro.protocols.server import AuthenticationServer
 from repro.protocols.transport import DuplexLink
-from repro.service.bench import _filler_records, write_trajectory  # noqa: F401
+from repro.service.bench import (  # noqa: F401  (write_trajectory re-export)
+    _filler_records,
+    stage_breakdown_ms,
+    write_trajectory,
+)
 from repro.service.frontend import ServiceFrontend
 
 #: (full, smoke) default sizes; smoke is CI's reduced net-smoke shape.
@@ -144,6 +148,10 @@ class NetBenchReport:
     #: when the mix carried no verifications).
     verify_mean_batch: float = float("nan")
     verify_max_batch_seen: int = 0
+    #: Per-stage latency rows from the obs histograms (queue-wait,
+    #: batch-wait, scan, verify, plus the network server's end-to-end
+    #: identify), ``{stage: {count, p50_ms, ...}}``.
+    stage_latency_ms: dict = field(default_factory=dict)
 
     @property
     def ids_per_s(self) -> float:
@@ -176,6 +184,15 @@ class NetBenchReport:
             f"ServiceOverloadError (queue-full -> typed error frame -> "
             f"client exception)"
         )
+        if self.stage_latency_ms:
+            lines.append("per-stage latency (obs histograms, whole run):")
+            for stage, row in self.stage_latency_ms.items():
+                lines.append(
+                    f"  {stage:<12} count={row['count']:<7} "
+                    f"p50 {row['p50_ms']:8.3f} ms  "
+                    f"p95 {row['p95_ms']:8.3f} ms  "
+                    f"p99 {row['p99_ms']:8.3f} ms"
+                )
         return lines
 
     def to_json_dict(self) -> dict:
@@ -206,6 +223,7 @@ class NetBenchReport:
             "verify_mean_batch":
                 self.verify_mean_batch if self.verify_max_batch_seen else 0.0,
             "verify_max_batch_seen": self.verify_max_batch_seen,
+            "stage_latency_ms": self.stage_latency_ms,
         }
 
 
@@ -400,6 +418,13 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
         if errors:
             raise errors[0]
         stats = frontend.stats()
+        stage_latency_ms = stage_breakdown_ms({
+            "identify": net.identify_seconds,
+            "queue-wait": frontend.queue_wait_seconds,
+            "batch-wait": frontend.batch_wait_seconds,
+            "scan": engine.scan_seconds,
+            "verify": server.key_tables.verify_seconds,
+        })
 
         # -- backpressure probe on a second, tiny server ------------------
         attempts, rejections = _overload_probe(server, params, seed)
@@ -415,4 +440,5 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
         mix="verify-heavy" if verify_heavy else "identify",
         verify_mean_batch=stats.mean_verify_batch,
         verify_max_batch_seen=stats.max_verify_batch,
+        stage_latency_ms=stage_latency_ms,
     )

@@ -26,9 +26,11 @@ backpressure, now end-to-end), ``closed`` becomes
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 
+from repro.obs import mint_trace_id
 from repro.exceptions import (
     ProtocolError,
     ServiceClosedError,
@@ -54,6 +56,9 @@ from repro.protocols.messages import (
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    StatsReply,
+    StatsRequest,
+    TracedEnvelope,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -104,6 +109,9 @@ class NetworkClient:
         self.max_frame = max_frame
         self.to_server = ChannelStats()
         self.to_device = ChannelStats()
+        #: Trace id from the last enveloped reply (``None`` when the
+        #: last reply was bare); set before error frames raise.
+        self.last_trace_id: bytes | None = None
         self._lock = threading.Lock()
         self._sock: socket.socket | None = socket.create_connection(
             (host, port), timeout=timeout_s)
@@ -114,13 +122,23 @@ class NetworkClient:
         """Wire bytes moved in both directions (frame prefixes included)."""
         return self.to_server.wire_bytes + self.to_device.wire_bytes
 
-    def request(self, message: Message) -> Message:
+    def request(self, message: Message,
+                trace_id: bytes | None = None) -> Message:
         """One round trip: send ``message``, return the decoded reply.
+
+        ``trace_id``, when given, wraps the request in a
+        :class:`~repro.protocols.messages.TracedEnvelope`; the server
+        echoes the id on its (enveloped) reply, which is unwrapped here
+        and exposed as :attr:`last_trace_id` — including on error
+        frames, *before* the mapped exception is raised, so a failed
+        request stays attributable to its trace.
 
         Raises the mapped exception for a typed error frame, and
         :class:`~repro.exceptions.ProtocolError` for a malformed reply
         or a connection dropped mid-exchange.
         """
+        if trace_id is not None:
+            message = TracedEnvelope.wrap(message, trace_id)
         # Framing refusals (over-cap encodings) happen before any byte
         # hits the wire and leave the connection usable.
         frame = frame_message(message, self.max_frame)
@@ -147,9 +165,30 @@ class NetworkClient:
                     "server closed the connection without replying")
         self.to_device.record(len(payload) + PREFIX_BYTES, 0.0)
         reply = Message.decode(payload)
+        if isinstance(reply, TracedEnvelope):
+            self.last_trace_id = reply.trace_id
+            reply = reply.inner()
+        else:
+            self.last_trace_id = None
         if isinstance(reply, ErrorReply):
             _raise_error_reply(reply)
         return reply
+
+    def stats(self, query: str = "all", limit: int = 0) -> dict:
+        """Scrape the server's observability snapshot as a parsed dict.
+
+        One :class:`~repro.protocols.messages.StatsRequest` round trip;
+        the reply's JSON payload is parsed and returned (``metrics`` /
+        ``traces`` / ``server`` / ``endpoint`` keys per the query).
+        """
+        reply = self.request(StatsRequest.make(query, limit))
+        if not isinstance(reply, StatsReply):
+            raise ProtocolError(
+                f"expected StatsReply, server sent {type(reply).__name__}")
+        try:
+            return json.loads(reply.payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed stats payload: {exc}") from exc
 
     def close(self) -> None:
         """Close the connection.  Idempotent."""
@@ -180,16 +219,42 @@ class RemoteEndpoint:
     """
 
     def __init__(self, client: NetworkClient,
-                 owns_client: bool = False) -> None:
+                 owns_client: bool = False, trace: bool = False) -> None:
         self._client = client
         self._owns_client = owns_client
+        self._trace = trace
+        self._trace_id: bytes | None = None
 
     @classmethod
     def connect(cls, host: str, port: int, timeout_s: float = 30.0,
-                max_frame: int = DEFAULT_MAX_FRAME) -> "RemoteEndpoint":
-        """Open a connection to ``host:port`` and wrap it as an endpoint."""
+                max_frame: int = DEFAULT_MAX_FRAME,
+                trace: bool = False) -> "RemoteEndpoint":
+        """Open a connection to ``host:port`` and wrap it as an endpoint.
+
+        ``trace=True`` turns on client-edge request tracing: each
+        protocol *run* (enrollment, an identification exchange, a
+        verification exchange) is minted one trace id, sent in a wire
+        envelope on every leg, and echoed by the server — so a full
+        multi-round-trip run correlates under a single id.  Off by
+        default: envelopes add wire bytes, so untraced byte accounting
+        stays identical to the pre-tracing protocol.
+        """
         return cls(NetworkClient(host, port, timeout_s=timeout_s,
-                                 max_frame=max_frame), owns_client=True)
+                                 max_frame=max_frame), owns_client=True,
+                   trace=trace)
+
+    @property
+    def trace_id(self) -> bytes | None:
+        """The current protocol run's trace id (``None`` untraced)."""
+        return self._trace_id
+
+    def _trace_for(self, fresh: bool) -> bytes | None:
+        """The id to send: fresh per run start, reused on continuations."""
+        if not self._trace:
+            return None
+        if fresh or self._trace_id is None:
+            self._trace_id = mint_trace_id()
+        return self._trace_id
 
     @property
     def client(self) -> NetworkClient:
@@ -207,8 +272,10 @@ class RemoteEndpoint:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _expect(self, message: Message, expected: tuple[type, ...]):
-        reply = self._client.request(message)
+    def _expect(self, message: Message, expected: tuple[type, ...],
+                fresh_trace: bool = False):
+        reply = self._client.request(
+            message, trace_id=self._trace_for(fresh_trace))
         if not isinstance(reply, expected):
             names = " | ".join(t.__name__ for t in expected)
             raise ProtocolError(
@@ -222,14 +289,16 @@ class RemoteEndpoint:
         self, submission: EnrollmentSubmission,
     ) -> EnrollmentAck:
         """Enroll over the wire (Fig. 1's server leg, remote)."""
-        return self._expect(submission, (EnrollmentAck,))
+        return self._expect(submission, (EnrollmentAck,),
+                            fresh_trace=True)
 
     def handle_identification_request(
         self, request: IdentificationRequest,
     ) -> IdentificationChallenge | IdentificationOutcome:
         """Sketch search over the wire; challenge or ``⊥`` comes back."""
         return self._expect(
-            request, (IdentificationChallenge, IdentificationOutcome))
+            request, (IdentificationChallenge, IdentificationOutcome),
+            fresh_trace=True)
 
     def handle_identification_response(
         self, response: IdentificationResponse,
@@ -250,7 +319,8 @@ class RemoteEndpoint:
     ) -> VerificationChallenge | VerificationOutcome:
         """Claimed-identity lookup over the wire."""
         return self._expect(
-            request, (VerificationChallenge, VerificationOutcome))
+            request, (VerificationChallenge, VerificationOutcome),
+            fresh_trace=True)
 
     def handle_verification_response(
         self, response: VerificationResponse,
@@ -262,7 +332,8 @@ class RemoteEndpoint:
         self, request: BaselineIdentificationRequest,
     ) -> BaselineChallengeBatch:
         """The O(N) baseline's first leg over the wire (bench use)."""
-        return self._expect(request, (BaselineChallengeBatch,))
+        return self._expect(request, (BaselineChallengeBatch,),
+                            fresh_trace=True)
 
     def handle_baseline_response(
         self, response: BaselineResponseBatch,

@@ -40,10 +40,13 @@ Design points:
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
+from repro import obs
 from repro.exceptions import (
     ProtocolError,
     ServiceClosedError,
@@ -64,6 +67,9 @@ from repro.protocols.messages import (
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    StatsReply,
+    StatsRequest,
+    TracedEnvelope,
     VerificationRequest,
     VerificationResponse,
 )
@@ -90,12 +96,21 @@ class ConnectionStats:
 
     The same shape :class:`~repro.protocols.transport.DuplexLink`
     exposes for the simulated wire, so byte-for-byte comparisons between
-    in-process and TCP runs are direct.
+    in-process and TCP runs are direct.  ``max_frame_bytes`` is the
+    largest single frame seen in either direction — a per-connection
+    *peak*, so aggregations keep the maximum rather than a sum.
     """
 
     peer: str
     to_server: ChannelStats = field(default_factory=ChannelStats)
     to_device: ChannelStats = field(default_factory=ChannelStats)
+    max_frame_bytes: int = 0
+
+    def record_frame(self, direction: ChannelStats, n_bytes: int) -> None:
+        """Account one frame to ``direction`` and track the peak size."""
+        direction.record(n_bytes, 0.0)
+        if n_bytes > self.max_frame_bytes:
+            self.max_frame_bytes = n_bytes
 
     @property
     def total_bytes(self) -> int:
@@ -106,6 +121,36 @@ class ConnectionStats:
     def total_messages(self) -> int:
         """Frames moved in both directions."""
         return self.to_server.messages + self.to_device.messages
+
+
+@dataclass(frozen=True)
+class NetServerStats:
+    """Lifecycle snapshot for one :class:`NetworkServer`.
+
+    Separates *clean* closes (the client finished its conversation and
+    sent EOF between frames) from *dropped* connections (reset mid-
+    exchange, torn down after a framing violation, or cancelled by
+    server shutdown), and carries the peaks a totals-only aggregation
+    loses: the most connections ever open at once and the largest
+    single frame served.
+    """
+
+    connections_served: int
+    open_connections: int
+    peak_open_connections: int
+    clean_closes: int
+    dropped_connections: int
+    max_frame_bytes: int
+
+    def as_dict(self) -> dict[str, int]:
+        """The snapshot as a plain dict (JSON-ready)."""
+        return asdict(self)
+
+    def __getitem__(self, key: str) -> int:
+        """Dict-style access, matching the other stats snapshots."""
+        if key not in self.__dataclass_fields__:
+            raise KeyError(key)
+        return getattr(self, key)
 
 
 class NetworkServer:
@@ -159,10 +204,47 @@ class NetworkServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._live_stats: list[ConnectionStats] = []
         self._stats_lock = threading.Lock()
-        self._connections_served = 0
         self._open_connections = 0
+        self._peak_open = 0
+        self._max_frame_seen = 0
         self._total = ConnectionStats(peer="*")
         self._closed = False
+        # Wire/lifecycle counters on the process-wide metrics registry
+        # (one labelled series per server instance), plus the identify
+        # request-latency histogram the stats exposition surfaces.
+        instance = obs.registry.next_instance("net")
+        reg = obs.registry
+        self._connections = reg.counter(
+            "repro_net_connections_total",
+            "TCP connections accepted.", labels=instance)
+        self._clean_closes = reg.counter(
+            "repro_net_clean_closes_total",
+            "Connections ended by a clean client EOF between frames.",
+            labels=instance)
+        self._dropped = reg.counter(
+            "repro_net_dropped_connections_total",
+            "Connections dropped mid-exchange, after a framing "
+            "violation, or by server shutdown.", labels=instance)
+        self._frames_in = reg.counter(
+            "repro_net_frames_total",
+            "Frames moved over the wire.",
+            labels={**instance, "direction": "in"})
+        self._frames_out = reg.counter(
+            "repro_net_frames_total",
+            "Frames moved over the wire.",
+            labels={**instance, "direction": "out"})
+        self._bytes_in = reg.counter(
+            "repro_net_wire_bytes_total",
+            "Wire bytes moved (frame prefixes included).",
+            labels={**instance, "direction": "in"})
+        self._bytes_out = reg.counter(
+            "repro_net_wire_bytes_total",
+            "Wire bytes moved (frame prefixes included).",
+            labels={**instance, "direction": "out"})
+        self.identify_seconds = reg.histogram(
+            "repro_identify_latency_seconds",
+            "Server-side identification-request handler latency.",
+            labels=instance)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -271,20 +353,31 @@ class NetworkServer:
         peername = writer.get_extra_info("peername")
         stats = ConnectionStats(
             peer=f"{peername[0]}:{peername[1]}" if peername else "?")
+        self._connections.inc()
         with self._stats_lock:
-            self._connections_served += 1
             self._open_connections += 1
+            if self._open_connections > self._peak_open:
+                self._peak_open = self._open_connections
             self._live_stats.append(stats)
+        clean = False
         try:
-            await self._serve_connection(reader, writer, stats)
+            clean = await self._serve_connection(reader, writer, stats)
         except asyncio.CancelledError:
             pass  # server shutdown: drop the connection quietly
         finally:
+            if clean:
+                self._clean_closes.inc()
+            else:
+                self._dropped.inc()
             self._conn_tasks.discard(task)
             with self._stats_lock:
                 self._open_connections -= 1
                 self._live_stats = [s for s in self._live_stats
                                     if s is not stats]
+                if stats.max_frame_bytes > self._max_frame_seen:
+                    self._max_frame_seen = stats.max_frame_bytes
+                if stats.max_frame_bytes > self._total.max_frame_bytes:
+                    self._total.max_frame_bytes = stats.max_frame_bytes
                 for mine, total in (
                     (stats.to_server, self._total.to_server),
                     (stats.to_device, self._total.to_device),
@@ -299,8 +392,13 @@ class NetworkServer:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter,
-                                stats: ConnectionStats) -> None:
-        """The request/reply loop for one connection."""
+                                stats: ConnectionStats) -> bool:
+        """The request/reply loop for one connection.
+
+        Returns ``True`` for a clean close (client EOF between frames),
+        ``False`` when the connection is torn down after a framing
+        violation — the clean/dropped accounting distinction.
+        """
         loop = asyncio.get_running_loop()
         while True:
             try:
@@ -309,12 +407,31 @@ class NetworkServer:
                 # Framing is no longer trustworthy: answer once, hang up.
                 await self._send(writer, stats, ErrorReply(
                     code="protocol", detail=str(exc)))
-                return
+                return False
             if payload is None:
-                return  # clean EOF between frames
-            stats.to_server.record(len(payload) + PREFIX_BYTES, 0.0)
+                return True  # clean EOF between frames
+            stats.record_frame(stats.to_server, len(payload) + PREFIX_BYTES)
+            self._frames_in.inc()
+            self._bytes_in.inc(len(payload) + PREFIX_BYTES)
+            wire_trace: bytes | None = None
             try:
                 message = Message.decode(payload)
+                if isinstance(message, TracedEnvelope):
+                    # Unwrap the trace envelope; the inner message is
+                    # dispatched normally and the reply is wrapped with
+                    # the same id (errors included).
+                    wire_trace = message.trace_id
+                    message = message.inner()
+                    if isinstance(message, TracedEnvelope):
+                        raise ProtocolError("nested trace envelope")
+                if isinstance(message, StatsRequest):
+                    # Admin scrape: answered on the loop thread — it
+                    # only serialises in-memory counters and never
+                    # touches the endpoint.
+                    await self._send(writer, stats,
+                                     self._stats_reply(message),
+                                     trace_id=wire_trace)
+                    continue
                 handler_name = REQUEST_HANDLERS.get(type(message))
                 if handler_name is None:
                     raise ProtocolError(
@@ -322,14 +439,23 @@ class NetworkServer:
                     )
             except ProtocolError as exc:
                 # The frame parsed as a frame, so the stream is still in
-                # sync: report the bad request and keep serving.
+                # sync: report the bad request and keep serving.  The
+                # error reply carries the request's trace id, so even a
+                # failed request stays attributable end-to-end.
                 await self._send(writer, stats, ErrorReply(
-                    code="protocol", detail=str(exc)))
+                    code="protocol", detail=str(exc)), trace_id=wire_trace)
                 continue
+            # When the client did not send an envelope, mint an id here
+            # (while tracing is on) so server-side spans still correlate;
+            # the reply stays unwrapped for envelope-unaware clients.
+            trace_id = wire_trace
+            if trace_id is None and obs.tracer.enabled:
+                trace_id = obs.mint_trace_id()
             handler = getattr(self.endpoint, handler_name)
             try:
                 reply = await loop.run_in_executor(
-                    self._pool, handler, message)
+                    self._pool, self._run_handler, handler, message,
+                    trace_id)
             except ServiceOverloadError as exc:
                 reply = ErrorReply(code="overload", detail=str(exc))
             except ServiceClosedError as exc:
@@ -340,7 +466,58 @@ class NetworkServer:
                 reply = ErrorReply(
                     code="internal",
                     detail=f"{type(exc).__name__}: {exc}")
-            await self._send(writer, stats, reply)
+            await self._send(writer, stats, reply, trace_id=wire_trace,
+                             span_trace=trace_id)
+
+    def _run_handler(self, handler, message: Message,
+                     trace_id: bytes | None) -> Message:
+        """Run one endpoint handler with the request's trace bound.
+
+        Runs on the handler pool; spans recorded downstream (frontend
+        queue/batch waits, engine scan, cached verify) land on this
+        request's trace, and identification requests feed the
+        server-side identify latency histogram.
+        """
+        start = time.perf_counter()
+        with obs.tracer.bind(trace_id):
+            reply = handler(message)
+        if isinstance(message, IdentificationRequest):
+            self.identify_seconds.observe(time.perf_counter() - start)
+        return reply
+
+    def _stats_reply(self, request: StatsRequest) -> StatsReply:
+        """Build the JSON observability snapshot a ``StatsRequest`` asks
+        for (unknown queries raise :class:`ProtocolError`)."""
+        if request.query not in ("all", "metrics", "traces"):
+            raise ProtocolError(f"unknown stats query {request.query!r}")
+        limit = request.trace_limit() or 50
+        payload: dict = {}
+        if request.query in ("all", "metrics"):
+            payload["metrics"] = obs.registry.collect()
+        if request.query in ("all", "traces"):
+            payload["traces"] = obs.tracer.traces_json(limit)
+        if request.query == "all":
+            payload["server"] = self.server_stats().as_dict()
+            endpoint: dict = {}
+            for label, attr in (("frontend", "stats"),
+                                ("engine", "engine_stats")):
+                accessor = getattr(self.endpoint, attr, None)
+                if accessor is None:
+                    continue
+                try:
+                    snapshot = accessor()
+                except Exception:  # noqa: BLE001 — scrape must not fail serve
+                    continue
+                if snapshot is not None:
+                    endpoint[label] = asdict(snapshot)
+            sessions = getattr(self.endpoint, "outstanding_sessions", None)
+            if sessions is not None:
+                try:
+                    endpoint["outstanding_sessions"] = sessions()
+                except Exception:  # noqa: BLE001
+                    pass
+            payload["endpoint"] = endpoint
+        return StatsReply(payload=json.dumps(payload))
 
     def _frame_reply(self, message: Message) -> bytes | None:
         """Frame a reply, degrading to a trimmed error frame if over cap.
@@ -367,39 +544,79 @@ class NetworkServer:
                 return None
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    stats: ConnectionStats, message: Message) -> None:
-        """Frame, account, and flush one server-to-device message."""
+                    stats: ConnectionStats, message: Message,
+                    trace_id: bytes | None = None,
+                    span_trace: bytes | None = None) -> None:
+        """Frame, account, and flush one server-to-device message.
+
+        ``trace_id`` (the id from the request's wire envelope, when one
+        came in) wraps the reply in a matching envelope; ``span_trace``
+        (defaults to ``trace_id``) is the trace the serialize span is
+        recorded against — it may be a server-minted id that is bound
+        locally but never echoed to an envelope-unaware client.
+        """
+        start = time.perf_counter()
+        if trace_id is not None:
+            message = TracedEnvelope.wrap(message, trace_id)
         frame = self._frame_reply(message)
         if frame is None:
             return
         writer.write(frame)
-        stats.to_device.record(len(frame), 0.0)
+        stats.record_frame(stats.to_device, len(frame))
+        self._frames_out.inc()
+        self._bytes_out.inc(len(frame))
         try:
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # peer vanished mid-reply; the read side will see EOF
+        obs.tracer.record("serialize", time.perf_counter() - start,
+                          trace_id=span_trace or trace_id,
+                          detail=f"{len(frame)}B")
 
     # -- introspection ------------------------------------------------------
 
     def wire_stats(self) -> ConnectionStats:
         """Aggregate traffic across all connections, live and closed.
 
-        Live connections' counters are sampled without synchronising the
-        event loop, so a snapshot taken mid-request can lag by a frame.
+        Totals (bytes, frames) are summed; ``max_frame_bytes`` is the
+        *maximum* across connections — a peak survives aggregation
+        instead of being flattened into a sum.  Live connections'
+        counters are sampled without synchronising the event loop, so a
+        snapshot taken mid-request can lag by a frame.
         """
         with self._stats_lock:
             total = ConnectionStats(peer="*")
             for conn in [self._total, *self._live_stats]:
+                if conn.max_frame_bytes > total.max_frame_bytes:
+                    total.max_frame_bytes = conn.max_frame_bytes
                 for mine, agg in ((conn.to_server, total.to_server),
                                   (conn.to_device, total.to_device)):
                     agg.messages += mine.messages
                     agg.wire_bytes += mine.wire_bytes
             return total
 
+    def server_stats(self) -> NetServerStats:
+        """Lifecycle snapshot: served/open/peak connection counts, the
+        clean-vs-dropped close split, and the largest frame served."""
+        with self._stats_lock:
+            open_now = self._open_connections
+            peak = self._peak_open
+            max_frame = max(
+                self._max_frame_seen,
+                *(conn.max_frame_bytes for conn in self._live_stats),
+                0)
+        return NetServerStats(
+            connections_served=int(self._connections.value),
+            open_connections=open_now,
+            peak_open_connections=peak,
+            clean_closes=int(self._clean_closes.value),
+            dropped_connections=int(self._dropped.value),
+            max_frame_bytes=max_frame,
+        )
+
     def connections_served(self) -> int:
         """Connections accepted over the server's lifetime."""
-        with self._stats_lock:
-            return self._connections_served
+        return int(self._connections.value)
 
     def open_connections(self) -> int:
         """Connections currently being served."""

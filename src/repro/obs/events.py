@@ -1,0 +1,83 @@
+"""Optional JSONL structured event log.
+
+A single append-only stream that absorbs everything worth replaying
+after the fact: trace spans (via :attr:`Tracer.on_span`), the
+authentication server's audit events (enrollments, verdicts, session
+evictions), and any ad-hoc structured event a component emits.  One
+line per event::
+
+    {"ts": 1754550000.123, "kind": "audit", "event": "identify", ...}
+
+The log is **off by default** — :class:`EventLog` with no path is a
+permanent no-op whose ``emit`` costs one attribute check — and enabled
+by ``repro serve --events PATH`` or :func:`repro.obs.configure`.
+Writes are line-buffered under a lock so concurrent stages interleave
+whole lines, never partial ones.  Standard library only, per the
+:mod:`repro.obs` layering contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO
+
+
+class EventLog:
+    """Append-only JSONL sink; inert unless opened on a path."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = None
+        self._path: str | None = None
+        self._written = 0
+        if path is not None:
+            self.open(path)
+
+    @property
+    def path(self) -> str | None:
+        """The log file path, or ``None`` while disabled."""
+        return self._path
+
+    @property
+    def written(self) -> int:
+        """Events written since the log was opened."""
+        return self._written
+
+    def open(self, path: str) -> None:
+        """Open (or switch to) ``path`` in append mode."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+            self._fh = open(path, "a", encoding="utf-8", buffering=1)
+            self._path = path
+            self._written = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Write one event line; no-op while the log is disabled.
+
+        ``fields`` must be JSON-serialisable; ``bytes`` values are
+        hex-encoded so trace ids can be passed as-is.
+        """
+        if self._fh is None:
+            return
+        record: dict[str, object] = {"ts": time.time(), "kind": kind}
+        for key, value in fields.items():
+            if isinstance(value, bytes):
+                value = value.hex()
+            record[key] = value
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+            self._written += 1
+
+    def close(self) -> None:
+        """Close the underlying file and return to the inert state."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+                self._path = None

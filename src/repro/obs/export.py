@@ -1,0 +1,232 @@
+"""Render and parse metric samples: Prometheus exposition, human table.
+
+Everything in this module operates on the *JSON-ready sample list*
+produced by :meth:`MetricsRegistry.collect` (and shipped verbatim in a
+``StatsReply``), so the ``repro stats`` CLI renders a remote server's
+metrics with exactly the code paths the tests exercise locally.
+
+:func:`render_prometheus` emits the text exposition format (``# HELP``
+/ ``# TYPE`` headers, ``_bucket``/``_sum``/``_count`` histogram
+series); :func:`parse_prometheus` is the minimal inverse the CI smoke
+job uses to assert the exposition round-trips and core series are
+non-zero.  Standard library only, per the :mod:`repro.obs` layering
+contract.
+"""
+
+from __future__ import annotations
+
+from .metrics import quantile_from_buckets
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(samples: list[dict]) -> str:
+    """Samples → Prometheus text exposition (version 0.0.4).
+
+    Counters and gauges become single series; histograms expand to
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    ``# HELP``/``# TYPE`` headers are emitted once per metric name.
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in samples:
+        name = sample["name"]
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = sample.get("help") or ""
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {sample['kind']}")
+        labels = dict(sample.get("labels") or {})
+        if sample["kind"] == "histogram":
+            for edge, cumulative in sample["buckets"]:
+                le = "+Inf" if edge == "+Inf" else _format_value(float(edge))
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = le
+                lines.append(
+                    f"{name}_bucket{_format_labels(bucket_labels)}"
+                    f" {cumulative}")
+            lines.append(f"{name}_sum{_format_labels(labels)}"
+                         f" {_format_value(float(sample['sum']))}")
+            lines.append(f"{name}_count{_format_labels(labels)}"
+                         f" {sample['count']}")
+        else:
+            lines.append(f"{name}{_format_labels(labels)}"
+                         f" {_format_value(float(sample['value']))}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Text exposition → ``{series_name: [(labels, value), ...]}``.
+
+    A deliberately strict subset parser: it accepts what
+    :func:`render_prometheus` emits (and standard scrapes of it) and
+    raises :class:`ValueError` on anything malformed, which is exactly
+    the assertion the CI ``obs-smoke`` job needs.
+    """
+    series: dict[str, list[tuple[dict, float]]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            metric_part, value_part = line.rsplit(" ", 1)
+        except ValueError:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels: dict[str, str] = {}
+        name = metric_part
+        if "{" in metric_part:
+            if not metric_part.endswith("}"):
+                raise ValueError(f"malformed labels in line: {line!r}")
+            name, _, label_blob = metric_part.partition("{")
+            label_blob = label_blob[:-1]
+            if label_blob:
+                for item in _split_labels(label_blob):
+                    key, _, value = item.partition("=")
+                    if not (value.startswith('"') and value.endswith('"')):
+                        raise ValueError(
+                            f"unquoted label value in line: {line!r}")
+                    labels[key] = (value[1:-1]
+                                   .replace('\\"', '"')
+                                   .replace("\\n", "\n")
+                                   .replace("\\\\", "\\"))
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name in line: {line!r}")
+        if value_part == "+Inf":
+            value = float("inf")
+        else:
+            try:
+                value = float(value_part)
+            except ValueError:
+                raise ValueError(f"malformed value in line: {line!r}")
+        series.setdefault(name, []).append((labels, value))
+    return series
+
+
+def _split_labels(blob: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    items: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        items.append("".join(current))
+    return items
+
+
+def _fmt_seconds(value: float) -> str:
+    if value != value:  # NaN: empty histogram
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_table(samples: list[dict]) -> str:
+    """Samples → aligned human-readable table.
+
+    Counters and gauges print their value; histograms print count,
+    mean, and interpolated p50/p95/p99 (the same estimator the
+    registry's live instruments use).
+    """
+    rows: list[tuple[str, str, str]] = []
+    for sample in samples:
+        labels = _format_labels(dict(sample.get("labels") or {}))
+        name = f"{sample['name']}{labels}"
+        if sample["kind"] == "histogram":
+            edges = tuple(float(e) for e, _ in sample["buckets"]
+                          if e != "+Inf")
+            counts = _decumulate(sample["buckets"])
+            count = sample["count"]
+            if count:
+                mean = sample["sum"] / count
+                p50 = quantile_from_buckets(edges, counts, 0.50)
+                p95 = quantile_from_buckets(edges, counts, 0.95)
+                p99 = quantile_from_buckets(edges, counts, 0.99)
+                detail = (f"count={count} mean={_fmt_seconds(mean)} "
+                          f"p50={_fmt_seconds(p50)} "
+                          f"p95={_fmt_seconds(p95)} "
+                          f"p99={_fmt_seconds(p99)}")
+            else:
+                detail = "count=0"
+            rows.append((name, "histogram", detail))
+        else:
+            value = float(sample["value"])
+            shown = (str(int(value)) if value.is_integer()
+                     else f"{value:.6g}")
+            rows.append((name, sample["kind"], shown))
+    if not rows:
+        return "(no metrics)\n"
+    name_width = max(len(r[0]) for r in rows)
+    kind_width = max(len(r[1]) for r in rows)
+    lines = [f"{name:<{name_width}}  {kind:<{kind_width}}  {detail}"
+             for name, kind, detail in rows]
+    return "\n".join(lines) + "\n"
+
+
+def _decumulate(buckets: list) -> list[int]:
+    counts: list[int] = []
+    previous = 0
+    for _edge, cumulative in buckets:
+        counts.append(int(cumulative) - previous)
+        previous = int(cumulative)
+    return counts
+
+
+def render_traces(traces: list[dict]) -> str:
+    """``Tracer.traces_json()`` output → indented per-trace span listing."""
+    if not traces:
+        return "(no traces)\n"
+    lines: list[str] = []
+    for entry in traces:
+        spans = entry["spans"]
+        total = sum(s["duration_s"] for s in spans)
+        lines.append(f"trace {entry['trace_id']}  "
+                     f"spans={len(spans)} total={_fmt_seconds(total)}")
+        for span in spans:
+            detail = f"  [{span['detail']}]" if span.get("detail") else ""
+            lines.append(f"  {span['name']:<12} "
+                         f"{_fmt_seconds(span['duration_s'])}{detail}")
+    return "\n".join(lines) + "\n"

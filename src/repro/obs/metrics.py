@@ -1,0 +1,392 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The serving stack grew five disjoint, snapshot-only stats surfaces
+(engine, frontend, wire, verify-table cache, session store) — each with
+its own counters, none with latency *distributions*, and no single place
+a dashboard or the adaptive-batching controller could read them all.
+:class:`MetricsRegistry` is that single place:
+
+* **instruments** — :class:`Counter` (monotonic), :class:`Gauge`
+  (set / max-tracking / pull-callback), and :class:`Histogram`
+  (fixed upper-edge buckets with p50/p95/p99 quantile *estimates* via
+  linear interpolation inside the landing bucket, the
+  ``histogram_quantile`` approach);
+* **registration is by weak reference** — components own their
+  instruments and simply go out of scope when they die, so a test suite
+  that builds thousands of engines never grows the registry without
+  bound; ``collect()`` prunes dead entries as it walks;
+* **get-or-create identity** — ``counter(name, labels=...)`` returns
+  the existing live instrument for an identical ``(name, labels)``
+  pair, so process-wide series (the network server's request
+  histograms) stay single while per-instance series disambiguate with
+  an ``instance`` label from :meth:`MetricsRegistry.next_instance`;
+* **near-zero cost when disabled** — every ``inc``/``observe`` checks
+  one boolean on the registry first; a disabled registry reduces the
+  instrumented hot path to an attribute load and a branch.
+
+The registry is deliberately standalone: this module imports only the
+standard library, per the :mod:`repro.obs` layering contract.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import weakref
+from typing import Callable
+
+#: Default latency bucket upper edges, in seconds (last bucket open).
+#: Spans 100 us .. 2.5 s — the stack's realistic per-request range, from
+#: a warm sub-millisecond scan to a cold multi-candidate DSA verify.
+DEFAULT_LATENCY_EDGES_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+_LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str] | None) -> _LabelItems:
+    return tuple(sorted((labels or {}).items()))
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Thread-safe; ``inc`` is a no-op while the owning registry is
+    disabled (the near-zero-cost contract).
+    """
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help_text: str = "",
+                 labels: dict[str, str] | None = None) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1); negative amounts are rejected."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        """JSON-ready sample (shared shape across the wire and exports)."""
+        return {"name": self.name, "kind": self.kind, "help": self.help,
+                "labels": self.labels, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (or track a running maximum).
+
+    ``fn`` turns the gauge into a *pull* gauge: the callable is invoked
+    with the (weakly referenced) ``owner`` at sample time, so gauges
+    like "records enrolled" or "sessions outstanding" read live state
+    without a push on every mutation — and never keep the owner alive.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help_text: str = "",
+                 labels: dict[str, str] | None = None,
+                 owner: object | None = None,
+                 fn: Callable[[object], float] | None = None) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+        self._owner_ref = weakref.ref(owner) if owner is not None else None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def track_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it exceeds the current one."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value (pull gauges call their callback; a dead owner
+        reads as the last pushed value)."""
+        if self._fn is not None and self._owner_ref is not None:
+            owner = self._owner_ref()
+            if owner is not None:
+                return float(self._fn(owner))
+        with self._lock:
+            return self._value
+
+    def sample(self) -> dict:
+        """JSON-ready sample."""
+        return {"name": self.name, "kind": self.kind, "help": self.help,
+                "labels": self.labels, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with interpolated quantiles.
+
+    ``edges`` are the upper bounds (in the observed unit, conventionally
+    seconds) of the closed buckets; one open overflow bucket is added.
+    :meth:`quantile` estimates by assuming a uniform distribution inside
+    the landing bucket — the same estimate ``histogram_quantile`` makes
+    — so accuracy is bounded by bucket width (the quantile sanity tests
+    assert exactly that bound against numpy percentiles).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help_text: str = "",
+                 labels: dict[str, str] | None = None,
+                 edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES_S) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("edges must be a non-empty ascending sequence")
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.labels = dict(labels or {})
+        self.edges = tuple(float(e) for e in edges)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if not self._registry.enabled:
+            return
+        # bisect by hand: edges are short tuples and this avoids holding
+        # the lock around an import-time-bound function lookup.
+        bucket = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            bucket += 1
+        with self._lock:
+            self._counts[bucket] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts; last entry is overflow."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``); NaN when empty.
+
+        Linear interpolation inside the landing bucket; observations in
+        the open overflow bucket clamp to the highest edge (the estimate
+        cannot extrapolate past the instrumented range).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        cumulative = 0
+        for i, n in enumerate(counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                if i >= len(self.edges):  # overflow bucket: clamp
+                    return self.edges[-1]
+                lower = 0.0 if i == 0 else self.edges[i - 1]
+                upper = self.edges[i]
+                fraction = (rank - cumulative) / n
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += n
+        return self.edges[-1]
+
+    def percentiles(self) -> tuple[float, float, float]:
+        """The (p50, p95, p99) estimate triple benches report."""
+        return (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+
+    def sample(self) -> dict:
+        """JSON-ready sample: cumulative buckets plus sum/count."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        cumulative = []
+        running = 0
+        for edge, n in zip(self.edges, counts):
+            running += n
+            cumulative.append([edge, running])
+        cumulative.append(["+Inf", running + counts[-1]])
+        return {"name": self.name, "kind": self.kind, "help": self.help,
+                "labels": self.labels, "buckets": cumulative,
+                "sum": total_sum, "count": total}
+
+
+class MetricsRegistry:
+    """Weak-reference registry of every live instrument in the process.
+
+    Components create instruments through :meth:`counter` /
+    :meth:`gauge` / :meth:`histogram` and hold the returned object; the
+    registry keeps only a weak reference, so instruments die with their
+    owners and ``collect()`` always reflects the live process.  Toggling
+    :attr:`enabled` takes effect immediately for every instrument
+    (they all check the shared flag), which is what the observability-
+    overhead bench flips.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, _LabelItems], weakref.ref] = {}
+        self._instance_seq: dict[str, int] = {}
+
+    def next_instance(self, kind: str) -> dict[str, str]:
+        """A fresh ``{"instance": "<kind>-<n>"}`` label set.
+
+        Per-instance components (engines, frontends, caches) label their
+        instruments with this so several instances never collide on one
+        series name.
+        """
+        with self._lock:
+            n = self._instance_seq.get(kind, 0)
+            self._instance_seq[kind] = n + 1
+        return {"instance": f"{kind}-{n}"}
+
+    def _get_or_create(self, factory, name: str, labels, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            ref = self._instruments.get(key)
+            if ref is not None:
+                existing = ref()
+                if existing is not None:
+                    if existing.kind != factory.kind:
+                        raise ValueError(
+                            f"metric {name!r} already registered as "
+                            f"{existing.kind}, not {factory.kind}")
+                    return existing
+            instrument = factory(self, name, labels=labels, **kwargs)
+            self._instruments[key] = weakref.ref(instrument)
+        return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labels: dict[str, str] | None = None) -> Counter:
+        """Get or create the counter for ``(name, labels)``."""
+        return self._get_or_create(Counter, name, labels,
+                                   help_text=help_text)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: dict[str, str] | None = None,
+              owner: object | None = None,
+              fn: Callable[[object], float] | None = None) -> Gauge:
+        """Get or create a gauge; ``owner`` + ``fn`` make it pull-style."""
+        return self._get_or_create(Gauge, name, labels,
+                                   help_text=help_text, owner=owner, fn=fn)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: dict[str, str] | None = None,
+                  edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES_S,
+                  ) -> Histogram:
+        """Get or create the histogram for ``(name, labels)``."""
+        return self._get_or_create(Histogram, name, labels,
+                                   help_text=help_text, edges=edges)
+
+    def collect(self) -> list[dict]:
+        """JSON-ready samples from every live instrument.
+
+        Dead weak references are pruned as a side effect; samples are
+        sorted by ``(name, labels)`` so exports are deterministic.
+        """
+        with self._lock:
+            entries = list(self._instruments.items())
+        samples = []
+        dead = []
+        for key, ref in entries:
+            instrument = ref()
+            if instrument is None:
+                dead.append(key)
+                continue
+            samples.append(instrument.sample())
+        if dead:
+            with self._lock:
+                for key in dead:
+                    # Re-check: the key may have been re-created since.
+                    ref = self._instruments.get(key)
+                    if ref is not None and ref() is None:
+                        del self._instruments[key]
+        samples.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return samples
+
+
+def quantile_from_buckets(edges: tuple[float, ...], counts: list[int],
+                          q: float) -> float:
+    """Interpolated quantile from raw (non-cumulative) bucket counts.
+
+    Standalone twin of :meth:`Histogram.quantile` for callers that hold
+    a snapshot (e.g. rendering a remote process's samples) rather than a
+    live instrument.
+    """
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if n == 0:
+            continue
+        if cumulative + n >= rank:
+            if i >= len(edges):
+                return edges[-1]
+            lower = 0.0 if i == 0 else edges[i - 1]
+            upper = edges[i]
+            fraction = (rank - cumulative) / n
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += n
+    return edges[-1] if edges else math.nan

@@ -1,0 +1,194 @@
+"""Request tracing: trace ids, thread-local binding, and a span ring.
+
+One identification run crosses four threads (client, asyncio reader,
+frontend batcher, verify/handler pool) and two processes when driven
+over TCP.  The tracing model that survives that topology is small:
+
+* a **trace id** is 16 random bytes minted once at the request edge
+  (``RemoteEndpoint`` when client tracing is on, otherwise the first
+  instrumented server hop) and carried on the wire in a
+  ``TracedEnvelope``;
+* each instrumented stage **binds** the id to its thread for the
+  duration of its work (:meth:`Tracer.bind` is a context manager over a
+  thread-local stack, so nested stages restore correctly);
+* stages call :meth:`Tracer.record` with a span *name* and duration;
+  the span lands in a bounded ring (:class:`Span` records) and, when an
+  event log is attached, as a JSONL ``span`` event.
+
+Spans carry a monotonic sequence number, so :meth:`Tracer.trace`
+returns the spans of one request in the order they were recorded even
+though stages ran on different threads.  Everything here is standard
+library only (see the :mod:`repro.obs` layering contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Spans kept in the in-memory ring before the oldest are dropped.
+DEFAULT_SPAN_CAPACITY = 4096
+
+#: The ordered stage names one fully instrumented request produces.
+SPAN_NAMES = ("queue-wait", "batch-wait", "scan", "verify", "serialize")
+
+
+def mint_trace_id() -> bytes:
+    """A fresh 16-byte trace id.
+
+    Module-level (not a :class:`Tracer` method) because *clients* mint
+    ids for requests that a differently-configured server process will
+    trace; minting must not depend on local tracer state.
+    """
+    return os.urandom(16)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded stage of one traced request."""
+
+    trace_id: bytes
+    name: str
+    duration_s: float
+    seq: int
+    wall_time: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (trace id as hex)."""
+        return {
+            "trace_id": self.trace_id.hex(),
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+            "detail": self.detail,
+        }
+
+
+class Tracer:
+    """Thread-local trace binding plus a bounded ring of spans.
+
+    ``enabled`` gates *recording* only: binding and minting stay cheap
+    no-ops so instrumented code never branches on configuration, and
+    flipping the flag mid-process (the overhead bench does) is safe.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._seq = itertools.count()
+        #: Optional sink invoked with each recorded span (the event log
+        #: attaches here so spans also land in the JSONL stream).
+        self.on_span: Callable[[Span], None] | None = None
+
+    # -- binding -----------------------------------------------------
+
+    @contextmanager
+    def bind(self, trace_id: bytes | None) -> Iterator[None]:
+        """Bind ``trace_id`` to the current thread for the ``with`` body.
+
+        Binding ``None`` is an explicit no-trace scope (spans recorded
+        inside are dropped) — stages use it unconditionally instead of
+        branching on whether their request carried an id.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(trace_id)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def current(self) -> bytes | None:
+        """The trace id bound to the current thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return None
+
+    # -- recording ---------------------------------------------------
+
+    def record(self, name: str, duration_s: float,
+               trace_id: bytes | None = None, detail: str = "") -> None:
+        """Record one span against ``trace_id`` (default: the bound id).
+
+        Silently dropped when tracing is disabled or no id is in scope,
+        so callers never guard the call site.
+        """
+        if not self.enabled:
+            return
+        if trace_id is None:
+            trace_id = self.current()
+        if trace_id is None:
+            return
+        span = Span(trace_id=trace_id, name=name,
+                    duration_s=float(duration_s), seq=next(self._seq),
+                    wall_time=time.time(), detail=detail)
+        with self._lock:
+            self._spans.append(span)
+        sink = self.on_span
+        if sink is not None:
+            sink(span)
+
+    @contextmanager
+    def span(self, name: str, trace_id: bytes | None = None,
+             detail: str = "") -> Iterator[None]:
+        """Record the wall-clock duration of the ``with`` body as a span."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start,
+                        trace_id=trace_id, detail=detail)
+
+    # -- reading -----------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """All ring spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: bytes) -> list[Span]:
+        """The retained spans of one trace, in recording order."""
+        return sorted((s for s in self.spans() if s.trace_id == trace_id),
+                      key=lambda s: s.seq)
+
+    def traces(self, limit: int | None = None) -> list[tuple[str, list[Span]]]:
+        """Distinct traces as ``(hex_id, ordered_spans)``, oldest first.
+
+        ``limit`` keeps only the most recent traces (by last span seen)
+        — the shape ``repro stats --traces`` renders.
+        """
+        grouped: dict[bytes, list[Span]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        ordered = sorted(grouped.items(),
+                         key=lambda item: item[1][-1].seq)
+        if limit is not None and limit >= 0:
+            ordered = ordered[-limit:] if limit else []
+        return [(tid.hex(), sorted(spans, key=lambda s: s.seq))
+                for tid, spans in ordered]
+
+    def traces_json(self, limit: int | None = None) -> list[dict]:
+        """``traces()`` in a JSON-ready shape for ``StatsReply``."""
+        return [
+            {"trace_id": hex_id,
+             "spans": [s.as_dict() for s in spans]}
+            for hex_id, spans in self.traces(limit)
+        ]
+
+    def clear(self) -> None:
+        """Drop all retained spans (tests and bench isolation)."""
+        with self._lock:
+            self._spans.clear()

@@ -369,3 +369,79 @@ class ErrorReply(Message):
 
     code: str
     detail: str
+
+
+# --------------------------------------------------------------------------
+# Observability: trace propagation and stats scraping
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TracedEnvelope(Message):
+    """Optional wrapper carrying a request-trace id alongside any message.
+
+    Tracing is an *envelope*, not a new field on every message: the
+    fifteen existing encodings stay byte-identical (wire-size accounting
+    and recorded transcripts are unaffected), and a peer that has never
+    heard of tracing simply never sends tag 16.  ``body`` is the full
+    canonical encoding of the inner message; endpoints unwrap, handle
+    the inner message, and wrap the reply in an envelope bearing the
+    same ``trace_id`` — including :class:`ErrorReply`, so failures stay
+    attributable to the request that caused them.
+    """
+
+    TYPE_TAG: ClassVar[int] = 16
+
+    trace_id: bytes
+    body: bytes
+
+    def inner(self) -> "Message":
+        """Decode the wrapped message (malformed → ``ProtocolError``)."""
+        return Message.decode(self.body)
+
+    @staticmethod
+    def wrap(message: "Message", trace_id: bytes) -> "TracedEnvelope":
+        """Wrap ``message`` in an envelope bearing ``trace_id``."""
+        return TracedEnvelope(trace_id=trace_id, body=message.encode())
+
+
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    """``admin -> AS``: scrape the server's observability state.
+
+    ``query`` selects the payload: ``"all"`` (metrics + traces + wire),
+    ``"metrics"``, or ``"traces"``.  An unknown query is a protocol
+    error — scrapers should fail loudly, not silently get less data.
+    ``limit`` bounds how many traces are returned (0 = server default).
+    """
+
+    TYPE_TAG: ClassVar[int] = 17
+
+    query: str
+    limit: bytes  # 4-byte big-endian unsigned trace limit
+
+    @staticmethod
+    def make(query: str = "all", limit: int = 0) -> "StatsRequest":
+        """Build a request with ``limit`` packed into its wire form."""
+        return StatsRequest(query=query, limit=int(limit).to_bytes(4, "big"))
+
+    def trace_limit(self) -> int:
+        """Decode the packed ``limit`` field."""
+        if len(self.limit) != 4:
+            raise ProtocolError("stats limit must be 4 bytes")
+        return int.from_bytes(self.limit, "big")
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    """``AS -> admin``: observability snapshot as a JSON document.
+
+    The payload is the JSON-ready shape the obs layer already produces
+    (:meth:`MetricsRegistry.collect` samples, ``Tracer.traces_json``
+    entries, and the server's wire/endpoint snapshots), so the
+    ``repro stats`` CLI renders a remote process with the same code
+    paths the local exports use.
+    """
+
+    TYPE_TAG: ClassVar[int] = 18
+
+    payload: str

@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import SystemParams
 from repro.crypto.prng import HmacDrbg
 from repro.crypto.signatures import SignatureScheme, VerifyTableCache
@@ -211,6 +212,13 @@ class AuthenticationServer:
                 sequence=next(self._audit_sequence), kind=kind,
                 user_id=user_id, detail=detail,
             ))
+        # Mirror into the structured event log (a no-op unless one is
+        # configured), tagged with the request trace when the serving
+        # layer has bound one to this thread.  Session-expiry audit
+        # events flow through here too, via the on_evict hook.
+        trace = obs.tracer.current()
+        obs.events.emit("audit", event=kind, user=user_id, detail=detail,
+                        trace=trace.hex() if trace else None)
 
     def audit_log(self, kind: str | None = None) -> list[AuditEvent]:
         """Snapshot of the audit trail, optionally filtered by kind."""

@@ -36,10 +36,36 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable
 
+from repro import obs
 from repro.protocols.database import UserRecord
+
+
+@dataclass(frozen=True)
+class SessionStoreStats:
+    """Frozen snapshot of :meth:`SessionStore.stats`.
+
+    The same snapshot-dataclass convention as ``EngineStats`` /
+    ``FrontendStats``; :meth:`as_dict` and item access keep the former
+    raw-dict consumers working unchanged.
+    """
+
+    outstanding: int
+    capacity: int
+    expired: int
+    capacity_evicted: int
+
+    def as_dict(self) -> dict[str, int]:
+        """The snapshot as a plain dict (JSON-ready)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __getitem__(self, key: str) -> int:
+        """Dict-style access for pre-dataclass consumers."""
+        if key not in self.__dataclass_fields__:
+            raise KeyError(key)
+        return getattr(self, key)
 
 
 @dataclass(frozen=True)
@@ -108,8 +134,31 @@ class SessionStore:
         # refreshed), so one OrderedDict serves both policies.
         self._sessions: OrderedDict[bytes, tuple[float, PendingSession]] = \
             OrderedDict()
-        self.expired = 0
-        self.capacity_evicted = 0
+        # Eviction counters live on the process-wide metrics registry
+        # (one labelled series per store instance); the former plain-int
+        # attributes survive as read-only properties below.
+        instance = obs.registry.next_instance("sessions")
+        self._expired = obs.registry.counter(
+            "repro_sessions_expired_total",
+            "Sessions dropped because their TTL lapsed.", labels=instance)
+        self._capacity_evicted = obs.registry.counter(
+            "repro_sessions_capacity_evicted_total",
+            "Sessions evicted as oldest when the store was full.",
+            labels=instance)
+        self._outstanding_gauge = obs.registry.gauge(
+            "repro_sessions_outstanding",
+            "Challenge sessions currently outstanding.", labels=instance,
+            owner=self, fn=len)
+
+    @property
+    def expired(self) -> int:
+        """Sessions dropped because their TTL lapsed."""
+        return self._expired.value
+
+    @property
+    def capacity_evicted(self) -> int:
+        """Sessions evicted as oldest when the store was full."""
+        return self._capacity_evicted.value
 
     def __len__(self) -> int:
         with self._lock:
@@ -125,7 +174,7 @@ class SessionStore:
             if deadline > now:
                 break
             del self._sessions[session_id]
-            self.expired += 1
+            self._expired.inc()
             evicted.append(EvictedSession(session_id, session, "expired"))
         return evicted
 
@@ -143,7 +192,7 @@ class SessionStore:
             self._sessions[session_id] = (deadline, session)
             while len(self._sessions) > self.capacity:
                 old_id, (_, old) = self._sessions.popitem(last=False)
-                self.capacity_evicted += 1
+                self._capacity_evicted.inc()
                 evicted.append(EvictedSession(old_id, old, "capacity"))
         self._notify(evicted)
 
@@ -161,7 +210,7 @@ class SessionStore:
             if entry is not None:
                 deadline, session = entry
                 if deadline <= now:
-                    self.expired += 1
+                    self._expired.inc()
                     evicted.append(
                         EvictedSession(session_id, session, "expired"))
                     session = None
@@ -177,12 +226,15 @@ class SessionStore:
         self._notify(evicted)
         return len(evicted)
 
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot: outstanding, capacity, expired, evicted."""
+    def stats(self) -> SessionStoreStats:
+        """Snapshot (outstanding, capacity, expired, capacity_evicted) as
+        :class:`SessionStoreStats`; supports ``as_dict()`` and item
+        access for dict-era consumers."""
         with self._lock:
-            return {
-                "outstanding": len(self._sessions),
-                "capacity": self.capacity,
-                "expired": self.expired,
-                "capacity_evicted": self.capacity_evicted,
-            }
+            outstanding = len(self._sessions)
+        return SessionStoreStats(
+            outstanding=outstanding,
+            capacity=self.capacity,
+            expired=self.expired,
+            capacity_evicted=self.capacity_evicted,
+        )

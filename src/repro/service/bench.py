@@ -40,10 +40,11 @@ job) — explicit arguments always win.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -84,6 +85,27 @@ def _percentiles(latencies_ms: list[float]) -> tuple[float, float, float]:
     return tuple(float(np.percentile(latencies_ms, q)) for q in (50, 95, 99))
 
 
+def stage_breakdown_ms(histograms: dict) -> dict[str, dict]:
+    """Per-stage latency rows from live obs latency histograms.
+
+    ``histograms`` maps stage name → :class:`repro.obs.Histogram`
+    (observed in seconds); the result maps stage name →
+    ``{count, p50_ms, p95_ms, p99_ms}``.  Stages that saw no traffic
+    (e.g. every histogram under ``obs.set_enabled(False)``) are
+    omitted, so a disabled run contributes an empty breakdown rather
+    than NaN rows.
+    """
+    stages: dict[str, dict] = {}
+    for stage, hist in histograms.items():
+        count = hist.count
+        if not count:
+            continue
+        p50, p95, p99 = hist.percentiles()
+        stages[stage] = {"count": count, "p50_ms": p50 * 1e3,
+                         "p95_ms": p95 * 1e3, "p99_ms": p99 * 1e3}
+    return stages
+
+
 @dataclass(frozen=True)
 class ServiceBenchReport:
     """Throughput + latency for the serial and frontend phases."""
@@ -114,6 +136,10 @@ class ServiceBenchReport:
     #: Realised verify-response coalescing (frontend counters).
     verify_mean_batch: float = float("nan")
     verify_max_batch_seen: int = 0
+    #: Per-stage latency rows from the obs histograms (queue-wait,
+    #: batch-wait, scan, verify), ``{stage: {count, p50_ms, ...}}``;
+    #: empty when the registry was disabled for the run.
+    stage_latency_ms: dict = field(default_factory=dict)
 
     @property
     def serial_ids_per_s(self) -> float:
@@ -195,6 +221,15 @@ class ServiceBenchReport:
                 f"(verify micro-batches: {self.verify_mean_batch:.1f} "
                 f"responses mean, {self.verify_max_batch_seen} max)"
             )
+        if self.stage_latency_ms:
+            lines.append("per-stage latency (obs histograms, whole run):")
+            for stage, row in self.stage_latency_ms.items():
+                lines.append(
+                    f"  {stage:<12} count={row['count']:<7} "
+                    f"p50 {row['p50_ms']:8.3f} ms  "
+                    f"p95 {row['p95_ms']:8.3f} ms  "
+                    f"p99 {row['p99_ms']:8.3f} ms"
+                )
         return lines
 
     def to_json_dict(self) -> dict:
@@ -236,6 +271,7 @@ class ServiceBenchReport:
             "verify_mean_batch":
                 self.verify_mean_batch if self.verify_max_batch_seen else 0.0,
             "verify_max_batch_seen": self.verify_max_batch_seen,
+            "stage_latency_ms": self.stage_latency_ms,
         }
 
 
@@ -424,6 +460,12 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
             verify_frontend_latencies, verify_frontend_s = closed_loop(
                 verify_work, verify)
         stats = frontend.stats()
+        stage_latency_ms = stage_breakdown_ms({
+            "queue-wait": frontend.queue_wait_seconds,
+            "batch-wait": frontend.batch_wait_seconds,
+            "scan": engine.scan_seconds,
+            "verify": server.key_tables.verify_seconds,
+        })
 
     def pct(latencies: list[float]) -> tuple[float, float, float]:
         return _percentiles(latencies) if latencies else (0.0, 0.0, 0.0)
@@ -443,14 +485,108 @@ def run_service_bench(dimension: int = 128, n_users: int | None = None,
         verify_frontend_latency_ms=pct(verify_frontend_latencies),
         verify_mean_batch=stats.mean_verify_batch,
         verify_max_batch_seen=stats.max_verify_batch,
+        stage_latency_ms=stage_latency_ms,
     )
 
 
-def write_trajectory(report: ServiceBenchReport, path) -> None:
+@dataclass(frozen=True)
+class ObsOverheadReport:
+    """Instrumented-vs-disabled shootout of the same service bench.
+
+    Both runs use identical sizes and seeds; the only variable is
+    :func:`repro.obs.set_enabled` — every counter increment, histogram
+    observation, and span record either happens or short-circuits on
+    the shared ``enabled`` flag.  ``overhead_frac`` is the fractional
+    wall-clock cost of leaving observability on (the acceptance bound
+    is ≤ 5%).
+    """
+
+    instrumented: ServiceBenchReport
+    disabled: ServiceBenchReport
+
+    @staticmethod
+    def _total_s(report: ServiceBenchReport) -> float:
+        return (report.serial_s + report.frontend_s +
+                report.verify_serial_s + report.verify_frontend_s)
+
+    @property
+    def instrumented_s(self) -> float:
+        """Total measured wall-clock with observability on."""
+        return self._total_s(self.instrumented)
+
+    @property
+    def disabled_s(self) -> float:
+        """Total measured wall-clock with observability off."""
+        return self._total_s(self.disabled)
+
+    @property
+    def overhead_frac(self) -> float:
+        """Fractional slowdown of the instrumented run (may be < 0
+        when run-to-run noise exceeds the true overhead)."""
+        if self.disabled_s <= 0:
+            return 0.0
+        return self.instrumented_s / self.disabled_s - 1.0
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable overhead table (one string per line)."""
+        return [
+            "obs overhead: identical service bench, obs on vs off",
+            f"  instrumented {self.instrumented_s * 1e3:9.1f} ms total",
+            f"  disabled     {self.disabled_s * 1e3:9.1f} ms total",
+            f"  overhead     {self.overhead_frac * 100:+9.2f} %",
+        ]
+
+
+def run_obs_overhead_bench(repeats: int = 1,
+                           **bench_kwargs) -> ObsOverheadReport:
+    """Run the service bench with obs on and off; report the delta.
+
+    Each repeat runs a disabled and an instrumented pass back to back
+    (same arguments, same seed); the fastest total per mode is kept —
+    min-of-N is the standard way to push scheduler noise out of a
+    wall-clock comparison.  The process-wide enabled flags are restored
+    afterwards whatever happens.
+    """
+    from repro import obs
+
+    prior_metrics = obs.registry.enabled
+    prior_tracing = obs.tracer.enabled
+    best: dict[str, tuple[float, ServiceBenchReport]] = {}
+    try:
+        for _ in range(max(1, repeats)):
+            for mode in ("disabled", "instrumented"):
+                obs.set_enabled(mode == "instrumented")
+                report = run_service_bench(**bench_kwargs)
+                total = ObsOverheadReport._total_s(report)
+                if mode not in best or total < best[mode][0]:
+                    best[mode] = (total, report)
+    finally:
+        obs.configure(metrics_enabled=prior_metrics,
+                      tracing_enabled=prior_tracing)
+    return ObsOverheadReport(instrumented=best["instrumented"][1],
+                             disabled=best["disabled"][1])
+
+
+def _json_safe(value):
+    """Replace NaN/inf floats with 0.0, recursively (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return 0.0
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def write_trajectory(report, path, extra: dict | None = None) -> None:
     """Append ``report`` to the ``BENCH_service.json`` trajectory.
 
     Same artifact shape as the crypto trajectory: ``{"runs": [...]}``
-    with timestamps, capped to the most recent 50 runs.
+    with timestamps, capped to the most recent 50 runs.  ``extra``
+    merges additional tags into the entry (the obs-overhead pair is
+    written as two entries tagged ``{"obs": "instrumented"/"disabled"}``).
+    Non-finite floats are scrubbed to ``0.0`` so the artifact stays
+    parseable by strict JSON readers.
     """
     import json
     from pathlib import Path
@@ -468,6 +604,8 @@ def write_trajectory(report: ServiceBenchReport, path) -> None:
             runs = []  # unreadable artifact: start a fresh trajectory
     entry = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
     entry.update(report.to_json_dict())
-    runs.append(entry)
+    if extra:
+        entry.update(extra)
+    runs.append(_json_safe(entry))
     with atomic_replace(path, mode="w", encoding="utf-8") as handle:
         handle.write(json.dumps({"runs": runs[-50:]}, indent=2) + "\n")

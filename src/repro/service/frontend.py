@@ -51,6 +51,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.exceptions import ServiceClosedError, ServiceOverloadError
 from repro.protocols.messages import (
     BaselineChallengeBatch,
@@ -88,11 +89,21 @@ _COALESCED = ("identify", "verify-response")
 
 @dataclass
 class _Op:
-    """One queued request: kind tag, wire message, completion future."""
+    """One queued request: kind tag, wire message, completion future.
+
+    ``trace`` is the request's trace id (bound to whichever thread ends
+    up running its handler, so spans recorded downstream land on the
+    right request even though a batch tick fans in many ids);
+    ``enqueued_at`` / ``dequeued_at`` are ``perf_counter`` marks from
+    which the queue-wait and batch-wait spans are derived.
+    """
 
     kind: str
     payload: object
     future: Future = field(default_factory=Future)
+    trace: bytes | None = None
+    enqueued_at: float = 0.0
+    dequeued_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -210,16 +221,49 @@ class ServiceFrontend:
         self.result_timeout_s = result_timeout_s
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._closed = threading.Event()
-        self._stats_lock = threading.Lock()
-        self._submitted = 0
-        self._completed = 0
-        self._rejected = 0
-        self._identify_probes = 0
-        self._identify_batches = 0
-        self._max_batch_seen = 0
-        self._verify_ops = 0
-        self._verify_batches = 0
-        self._max_verify_batch_seen = 0
+        # Lifetime counters live on the process-wide metrics registry
+        # (one labelled series per frontend instance); the stats()
+        # snapshot reads them back through the same instruments.
+        instance = obs.registry.next_instance("frontend")
+        reg = obs.registry
+        self._submitted = reg.counter(
+            "repro_frontend_submitted_total",
+            "Requests admitted to the pipeline.", labels=instance)
+        self._completed = reg.counter(
+            "repro_frontend_completed_total",
+            "Requests completed successfully.", labels=instance)
+        self._rejected = reg.counter(
+            "repro_frontend_rejected_total",
+            "Requests rejected by admission control (queue full).",
+            labels=instance)
+        self._identify_probes = reg.counter(
+            "repro_frontend_identify_probes_total",
+            "Identification probes through the micro-batcher.",
+            labels=instance)
+        self._identify_batches = reg.counter(
+            "repro_frontend_identify_batches_total",
+            "Identification micro-batches flushed.", labels=instance)
+        self._max_batch_seen = reg.gauge(
+            "repro_frontend_max_batch",
+            "Largest identification micro-batch seen.", labels=instance)
+        self._verify_ops = reg.counter(
+            "repro_frontend_verify_ops_total",
+            "Verification responses through the micro-batcher.",
+            labels=instance)
+        self._verify_batches = reg.counter(
+            "repro_frontend_verify_batches_total",
+            "Verification micro-batches flushed.", labels=instance)
+        self._max_verify_batch_seen = reg.gauge(
+            "repro_frontend_max_verify_batch",
+            "Largest verification micro-batch seen.", labels=instance)
+        self.queue_wait_seconds = reg.histogram(
+            "repro_frontend_queue_wait_seconds",
+            "Time requests spent queued before the batcher pulled them.",
+            labels=instance)
+        self.batch_wait_seconds = reg.histogram(
+            "repro_frontend_batch_wait_seconds",
+            "Time coalesced requests waited for their batch to flush.",
+            labels=instance)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="service-verify")
         self._batcher = threading.Thread(
@@ -272,12 +316,18 @@ class ServiceFrontend:
     def _submit(self, kind: str, payload: object) -> Future:
         if self._closed.is_set():
             raise ServiceClosedError("frontend is closed")
-        op = _Op(kind=kind, payload=payload)
+        # The frontend is the tracing edge for in-process callers: reuse
+        # the caller's bound trace (the network server binds the wire
+        # trace id before calling in), else mint one while tracing is on.
+        trace = obs.tracer.current()
+        if trace is None and obs.tracer.enabled:
+            trace = obs.mint_trace_id()
+        op = _Op(kind=kind, payload=payload, trace=trace,
+                 enqueued_at=time.perf_counter())
         try:
             self._queue.put(op, timeout=self.submit_timeout_s)
         except queue.Full:
-            with self._stats_lock:
-                self._rejected += 1
+            self._rejected.inc()
             raise ServiceOverloadError(
                 f"request queue full ({self._queue.maxsize}) for "
                 f"{self.submit_timeout_s}s"
@@ -288,8 +338,7 @@ class ServiceFrontend:
             # the drain may have caught it first) so the caller gets
             # ServiceClosedError now, not a timeout later.
             self._fail_closed(op)
-        with self._stats_lock:
-            self._submitted += 1
+        self._submitted.inc()
         return op.future
 
     def _call(self, kind: str, payload: object):
@@ -385,6 +434,7 @@ class ServiceFrontend:
             op = self._queue.get()
             if op is _STOP:
                 return
+            self._mark_dequeued(op)
             if op.kind not in _COALESCED:
                 self._dispatch(op)
                 continue
@@ -406,6 +456,7 @@ class ServiceFrontend:
                 if nxt is _STOP:
                     stop = True  # FIFO: everything earlier was dequeued
                     break
+                self._mark_dequeued(nxt)
                 if nxt.kind in batches:
                     batches[nxt.kind].append(nxt)
                 else:
@@ -418,6 +469,14 @@ class ServiceFrontend:
                 self._identify_batch(batches["identify"])
             if stop:
                 return
+
+    def _mark_dequeued(self, op: _Op) -> None:
+        """Stamp the dequeue time and record the op's queue-wait."""
+        op.dequeued_at = time.perf_counter()
+        waited = op.dequeued_at - op.enqueued_at
+        self.queue_wait_seconds.observe(waited)
+        obs.tracer.record("queue-wait", waited, trace_id=op.trace,
+                          detail=op.kind)
 
     def _dispatch(self, op: _Op) -> None:
         """Route one non-identification request the moment it arrives."""
@@ -437,10 +496,15 @@ class ServiceFrontend:
         lands only on the request that caused it — coalescing must never
         turn one client's garbage into every client's failure.
         """
-        with self._stats_lock:
-            self._identify_probes += len(ops)
-            self._identify_batches += 1
-            self._max_batch_seen = max(self._max_batch_seen, len(ops))
+        self._identify_probes.inc(len(ops))
+        self._identify_batches.inc()
+        self._max_batch_seen.track_max(len(ops))
+        start = time.perf_counter()
+        for op in ops:
+            waited = start - op.dequeued_at
+            self.batch_wait_seconds.observe(waited)
+            obs.tracer.record("batch-wait", waited, trace_id=op.trace,
+                              detail=f"batch={len(ops)}")
         try:
             replies = self.server.handle_identification_batch(
                 [op.payload for op in ops])
@@ -448,18 +512,20 @@ class ServiceFrontend:
             for op in ops:
                 self._complete(op, self.server.handle_identification_request)
             return
+        # The batched scan served every coalesced probe: each request's
+        # trace gets the shared tick duration as its "scan" span.
+        elapsed = time.perf_counter() - start
         for op, reply in zip(ops, replies):
+            obs.tracer.record("scan", elapsed, trace_id=op.trace,
+                              detail=f"batch={len(ops)}")
             op.future.set_result(reply)
-        with self._stats_lock:
-            self._completed += len(ops)
+        self._completed.inc(len(ops))
 
     def _verify_batch(self, ops: list[_Op]) -> None:
         """Schedule one batched signature check for coalesced responses."""
-        with self._stats_lock:
-            self._verify_ops += len(ops)
-            self._verify_batches += 1
-            self._max_verify_batch_seen = max(self._max_verify_batch_seen,
-                                              len(ops))
+        self._verify_ops.inc(len(ops))
+        self._verify_batches.inc()
+        self._max_verify_batch_seen.track_max(len(ops))
         self._pool.submit(self._run_verify_batch, ops)
 
     def _run_verify_batch(self, ops: list[_Op]) -> None:
@@ -471,6 +537,12 @@ class ServiceFrontend:
         session, so a malformed batchmate cannot have consumed another
         client's challenge.
         """
+        start = time.perf_counter()
+        for op in ops:
+            waited = start - op.dequeued_at
+            self.batch_wait_seconds.observe(waited)
+            obs.tracer.record("batch-wait", waited, trace_id=op.trace,
+                              detail=f"batch={len(ops)}")
         try:
             outcomes = self.server.handle_verification_response_batch(
                 [op.payload for op in ops])
@@ -478,34 +550,45 @@ class ServiceFrontend:
             for op in ops:
                 self._complete(op, self.server.handle_verification_response)
             return
+        # One batched signature check served every response: each trace
+        # gets the shared duration as its "verify" span (the cache's own
+        # span recording is trace-bound and the pool thread is unbound,
+        # so there is no double count).
+        elapsed = time.perf_counter() - start
         for op, outcome in zip(ops, outcomes):
+            obs.tracer.record("verify", elapsed, trace_id=op.trace,
+                              detail=f"batch={len(ops)}")
             op.future.set_result(outcome)
-        with self._stats_lock:
-            self._completed += len(ops)
+        self._completed.inc(len(ops))
 
     def _complete(self, op: _Op, handler) -> None:
-        """Run one handler, routing result/exception into the future."""
+        """Run one handler, routing result/exception into the future.
+
+        The op's trace id is bound for the duration, so spans recorded
+        inside the handler (engine scan, cached verify) attach to the
+        request that caused them even on shared pool threads.
+        """
         try:
-            op.future.set_result(handler(op.payload))
+            with obs.tracer.bind(op.trace):
+                op.future.set_result(handler(op.payload))
         except Exception as exc:  # noqa: BLE001 — fail the caller, not the loop
             op.future.set_exception(exc)
             return
-        with self._stats_lock:
-            self._completed += 1
+        self._completed.inc()
 
     # -- introspection ------------------------------------------------------------
 
     def stats(self) -> FrontendStats:
-        """Counter snapshot (see :class:`FrontendStats`)."""
-        with self._stats_lock:
-            return FrontendStats(
-                submitted=self._submitted,
-                completed=self._completed,
-                rejected=self._rejected,
-                identify_probes=self._identify_probes,
-                identify_batches=self._identify_batches,
-                max_batch=self._max_batch_seen,
-                verify_ops=self._verify_ops,
-                verify_batches=self._verify_batches,
-                max_verify_batch=self._max_verify_batch_seen,
-            )
+        """Counter snapshot (see :class:`FrontendStats`), read back from
+        the registry instruments the pipeline increments."""
+        return FrontendStats(
+            submitted=self._submitted.value,
+            completed=self._completed.value,
+            rejected=self._rejected.value,
+            identify_probes=self._identify_probes.value,
+            identify_batches=self._identify_batches.value,
+            max_batch=int(self._max_batch_seen.value),
+            verify_ops=self._verify_ops.value,
+            verify_batches=self._verify_batches.value,
+            max_verify_batch=int(self._max_verify_batch_seen.value),
+        )

@@ -236,9 +236,14 @@ class TestVerifyTableCache:
     def test_stats_snapshot(self):
         cache = VerifyTableCache(capacity=8)
         stats = cache.stats()
-        assert stats == {"entries": 0, "capacity": 8, "hits": 0,
-                         "misses": 0, "evictions": 0, "batch_calls": 0,
-                         "batch_items": 0, "batch_max": 0, "batch_warm": 0}
+        assert stats.as_dict() == {
+            "entries": 0, "capacity": 8, "hits": 0,
+            "misses": 0, "evictions": 0, "batch_calls": 0,
+            "batch_items": 0, "batch_max": 0, "batch_warm": 0}
+        # Dict-style item access stays for pre-dataclass consumers.
+        assert stats["capacity"] == 8
+        with pytest.raises(KeyError):
+            stats["nope"]
 
 
 class TestVerifyTableCacheBatch:

@@ -1,0 +1,76 @@
+"""Unit tests for the JSONL event log and its singleton wiring."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import EventLog, mint_trace_id
+
+
+class TestEventLog:
+    def test_inert_until_opened(self, tmp_path):
+        log = EventLog()
+        log.emit("span", name="scan")  # must be a silent no-op
+        assert log.path is None
+        assert log.written == 0
+
+    def test_emit_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("audit", event="enroll", user="alice")
+        log.emit("span", name="scan", duration_s=0.002)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "audit"
+        assert first["event"] == "enroll"
+        assert "ts" in first
+        assert second["kind"] == "span"
+        assert second["duration_s"] == 0.002
+        assert log.written == 2
+
+    def test_bytes_fields_hex_encode(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        tid = mint_trace_id()
+        log.emit("span", trace_id=tid)
+        log.close()
+        assert json.loads(path.read_text())["trace_id"] == tid.hex()
+
+    def test_close_returns_to_inert(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.close()
+        log.emit("span", name="scan")  # no crash, no write
+        assert path.read_text() == ""
+
+    def test_open_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for _ in range(2):
+            log = EventLog(str(path))
+            log.emit("audit", event="tick")
+            log.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestSingletonWiring:
+    def test_spans_are_mirrored_into_the_event_log(self, tmp_path):
+        """The obs package wires ``tracer.on_span`` to ``events.emit``."""
+        path = tmp_path / "events.jsonl"
+        prior_enabled = obs.tracer.enabled
+        obs.configure(tracing_enabled=True, events_path=str(path))
+        try:
+            tid = mint_trace_id()
+            obs.tracer.record("scan", 0.004, trace_id=tid, detail="batch=2")
+        finally:
+            obs.events.close()
+            obs.configure(tracing_enabled=prior_enabled)
+        span_events = [json.loads(line)
+                       for line in path.read_text().splitlines()
+                       if json.loads(line)["kind"] == "span"]
+        mine = [e for e in span_events if e["trace_id"] == tid.hex()]
+        assert len(mine) == 1
+        assert mine[0]["name"] == "scan"
+        assert mine[0]["detail"] == "batch=2"

@@ -1,0 +1,126 @@
+"""Tests for the Prometheus exposition renderer/parser and the human
+table/trace renderers — all over the JSON-ready sample shape that a
+``StatsReply`` ships, so remote rendering is covered by construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+    render_table,
+    render_traces,
+)
+
+
+@pytest.fixture
+def samples():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("repro_demo_total", "Things counted.",
+                    labels={"instance": "demo-0"})
+    c.inc(3)
+    g = reg.gauge("repro_demo_open", "Things open.")
+    g.set(2)
+    h = reg.histogram("repro_demo_seconds", "Demo latency.",
+                      edges=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.004, 0.05, 0.5):
+        h.observe(v)
+    return reg.collect()
+
+
+class TestPrometheusRoundTrip:
+    def test_render_emits_headers_once(self, samples):
+        text = render_prometheus(samples)
+        assert text.count("# TYPE repro_demo_total counter") == 1
+        assert "# HELP repro_demo_total Things counted." in text
+        assert "# TYPE repro_demo_seconds histogram" in text
+
+    def test_histogram_expansion(self, samples):
+        text = render_prometheus(samples)
+        assert 'repro_demo_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_demo_seconds_bucket{le="0.01"} 2' in text
+        assert 'repro_demo_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_demo_seconds_count 4" in text
+
+    def test_parse_inverts_render(self, samples):
+        series = parse_prometheus(render_prometheus(samples))
+        assert series["repro_demo_total"] == \
+            [({"instance": "demo-0"}, 3.0)]
+        assert series["repro_demo_open"] == [({}, 2.0)]
+        buckets = dict(
+            (labels["le"], value)
+            for labels, value in series["repro_demo_seconds_bucket"])
+        assert buckets["+Inf"] == 4.0
+        assert series["repro_demo_seconds_count"] == [({}, 4.0)]
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", labels={"path": 'a"b\\c\nd'})
+        c.inc()
+        series = parse_prometheus(render_prometheus(reg.collect()))
+        (labels, value) = series["t_total"][0]
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1.0
+
+    @pytest.mark.parametrize("line", [
+        "just_a_name",
+        'bad{unterminated="x" 1',
+        'bad{key=unquoted} 1',
+        "name notanumber",
+        "sp ace{a=\"b\"} x y",
+    ])
+    def test_parse_rejects_malformed_lines(self, line):
+        with pytest.raises(ValueError):
+            parse_prometheus(line + "\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# HELP x y\n\nx_total 1\n"
+        assert parse_prometheus(text) == {"x_total": [({}, 1.0)]}
+
+
+class TestRenderTable:
+    def test_counter_gauge_histogram_rows(self, samples):
+        table = render_table(samples)
+        assert 'repro_demo_total{instance="demo-0"}' in table
+        assert "counter" in table and "gauge" in table
+        assert "count=4" in table
+        assert "p50=" in table and "p99=" in table
+
+    def test_table_percentiles_match_numpy_to_bucket_width(self):
+        reg = MetricsRegistry()
+        edges = (0.001, 0.005, 0.01, 0.05, 0.1)
+        h = reg.histogram("t_seconds", edges=edges)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 0.06, size=1000)
+        for v in values:
+            h.observe(float(v))
+        p50_exact = float(np.percentile(values, 50))
+        p50_est = h.quantile(0.50)
+        bounds = (0.0,) + edges
+        idx = next(i for i, e in enumerate(edges) if p50_exact <= e)
+        assert abs(p50_est - p50_exact) <= edges[idx] - bounds[idx]
+
+    def test_empty(self):
+        assert render_table([]) == "(no metrics)\n"
+
+
+class TestRenderTraces:
+    def test_per_trace_listing(self):
+        traces = [{
+            "trace_id": "ab" * 16,
+            "spans": [
+                {"name": "queue-wait", "duration_s": 0.0001, "detail": ""},
+                {"name": "scan", "duration_s": 0.002, "detail": "batch=4"},
+            ],
+        }]
+        text = render_traces(traces)
+        assert "trace " + "ab" * 16 in text
+        assert "spans=2" in text
+        assert "queue-wait" in text
+        assert "[batch=4]" in text
+
+    def test_empty(self):
+        assert render_traces([]) == "(no traces)\n"

@@ -1,0 +1,217 @@
+"""Unit tests for the metrics registry and its instruments.
+
+The histogram quantile sanity tests pin the estimator's accuracy
+contract: linear interpolation inside the landing bucket can never be
+further from numpy's exact percentile than the width of that bucket,
+for any sample distribution.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_EDGES_S,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("t_total", "help")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("t_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_disabled_is_a_noop(self, reg):
+        c = reg.counter("t_total")
+        reg.enabled = False
+        c.inc(100)
+        assert c.value == 0
+        reg.enabled = True
+        c.inc()
+        assert c.value == 1
+
+    def test_sample_shape(self, reg):
+        c = reg.counter("t_total", "h", labels={"instance": "x-0"})
+        c.inc(2)
+        assert c.sample() == {"name": "t_total", "kind": "counter",
+                              "help": "h", "labels": {"instance": "x-0"},
+                              "value": 2}
+
+
+class TestGauge:
+    def test_set_inc_dec_track_max(self, reg):
+        g = reg.gauge("t")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+        g.track_max(3)
+        assert g.value == 6
+        g.track_max(10)
+        assert g.value == 10
+
+    def test_pull_gauge_reads_owner(self, reg):
+        class Owner(list):
+            pass
+
+        owner = Owner([1, 2, 3])
+        g = reg.gauge("t", owner=owner, fn=len)
+        assert g.value == 3
+        owner.append(4)
+        assert g.value == 4
+
+    def test_pull_gauge_survives_dead_owner(self, reg):
+        class Owner:
+            pass
+
+        owner = Owner()
+        g = reg.gauge("t", owner=owner, fn=lambda _o: 7)
+        assert g.value == 7
+        del owner
+        gc.collect()
+        # Falls back to the last pushed value (0 by default), not a crash.
+        assert g.value == 0
+
+
+class TestHistogram:
+    def test_bucket_walk(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts() == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+
+    def test_empty_quantile_is_nan(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0,))
+        assert np.isnan(h.quantile(0.5))
+
+    def test_overflow_clamps_to_last_edge(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(50.0)
+        assert h.quantile(0.5) == 2.0
+
+    def test_q_out_of_range(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_edges_must_ascend(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("t_seconds", edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("t_seconds", edges=())
+
+    def test_disabled_observe_is_a_noop(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0,))
+        reg.enabled = False
+        h.observe(0.5)
+        assert h.count == 0
+
+    @pytest.mark.parametrize("seed,dist", [
+        (0, "uniform"), (1, "lognormal"), (2, "bimodal"),
+    ])
+    def test_quantile_sanity_vs_numpy(self, reg, seed, dist):
+        """Estimator error is bounded by the landing bucket's width."""
+        rng = np.random.default_rng(seed)
+        if dist == "uniform":
+            values = rng.uniform(0.0, 1.0, size=2000)
+        elif dist == "lognormal":
+            values = np.minimum(rng.lognormal(-6.0, 1.5, size=2000), 2.5)
+        else:
+            values = np.concatenate([
+                rng.uniform(0.0002, 0.0008, size=1000),
+                rng.uniform(0.02, 0.08, size=1000),
+            ])
+        edges = DEFAULT_LATENCY_EDGES_S
+        h = reg.histogram("t_seconds", edges=edges)
+        for v in values:
+            h.observe(float(v))
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.percentile(values, q * 100))
+            estimate = h.quantile(q)
+            # Width of the bucket the exact quantile lands in.
+            bounds = (0.0,) + edges
+            idx = next((i for i, e in enumerate(edges) if exact <= e),
+                       len(edges) - 1)
+            width = edges[idx] - bounds[idx]
+            assert abs(estimate - exact) <= width, (
+                f"{dist} q={q}: estimate {estimate} vs exact {exact} "
+                f"(bucket width {width})"
+            )
+
+    def test_quantile_from_buckets_matches_live(self, reg):
+        h = reg.histogram("t_seconds", edges=(0.001, 0.01, 0.1))
+        rng = np.random.default_rng(3)
+        for v in rng.uniform(0.0, 0.12, size=500):
+            h.observe(float(v))
+        counts = h.bucket_counts()
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert quantile_from_buckets(h.edges, counts, q) == \
+                pytest.approx(h.quantile(q))
+
+    def test_percentiles_triple(self, reg):
+        h = reg.histogram("t_seconds", edges=(1.0, 2.0))
+        h.observe(0.5)
+        p50, p95, p99 = h.percentiles()
+        assert p50 == h.quantile(0.50)
+        assert p95 == h.quantile(0.95)
+        assert p99 == h.quantile(0.99)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, reg):
+        a = reg.counter("t_total", labels={"instance": "x-0"})
+        b = reg.counter("t_total", labels={"instance": "x-0"})
+        assert a is b
+        c = reg.counter("t_total", labels={"instance": "x-1"})
+        assert c is not a
+
+    def test_kind_collision_rejected(self, reg):
+        c = reg.counter("t")  # held: the registry only weak-refs it
+        with pytest.raises(ValueError):
+            reg.gauge("t")
+        assert c.value == 0
+
+    def test_next_instance_is_unique(self, reg):
+        assert reg.next_instance("engine") == {"instance": "engine-0"}
+        assert reg.next_instance("engine") == {"instance": "engine-1"}
+        assert reg.next_instance("cache") == {"instance": "cache-0"}
+
+    def test_collect_sorted_and_json_ready(self, reg):
+        import json
+
+        b = reg.counter("b_total")
+        b.inc()
+        a = reg.gauge("a")
+        a.set(2)
+        h = reg.histogram("c_seconds", edges=(1.0,))
+        h.observe(0.5)
+        samples = reg.collect()
+        assert [s["name"] for s in samples] == ["a", "b_total", "c_seconds"]
+        json.dumps(samples)  # must not raise
+
+    def test_collect_prunes_dead_instruments(self, reg):
+        c = reg.counter("dead_total")
+        assert len(reg.collect()) == 1
+        del c
+        gc.collect()
+        assert reg.collect() == []

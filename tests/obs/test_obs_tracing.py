@@ -1,0 +1,166 @@
+"""Unit tests for trace ids, thread-local binding, and the span ring."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import Span, Tracer, mint_trace_id
+
+
+def test_mint_trace_id_shape_and_uniqueness():
+    ids = {mint_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(isinstance(t, bytes) and len(t) == 16 for t in ids)
+
+
+class TestBinding:
+    def test_bind_and_current(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        tid = mint_trace_id()
+        with tracer.bind(tid):
+            assert tracer.current() == tid
+        assert tracer.current() is None
+
+    def test_nested_bind_restores(self):
+        tracer = Tracer()
+        outer, inner = mint_trace_id(), mint_trace_id()
+        with tracer.bind(outer):
+            with tracer.bind(inner):
+                assert tracer.current() == inner
+            assert tracer.current() == outer
+
+    def test_bind_none_is_an_explicit_no_trace_scope(self):
+        tracer = Tracer()
+        tid = mint_trace_id()
+        with tracer.bind(tid):
+            with tracer.bind(None):
+                assert tracer.current() is None
+                tracer.record("scan", 0.001)
+        assert tracer.spans() == []  # the None scope dropped the span
+
+    def test_binding_is_thread_local(self):
+        tracer = Tracer()
+        tid = mint_trace_id()
+        seen_in_thread: list[bytes | None] = []
+
+        def worker():
+            seen_in_thread.append(tracer.current())
+
+        with tracer.bind(tid):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen_in_thread == [None]
+
+
+class TestRecording:
+    def test_record_uses_bound_id(self):
+        tracer = Tracer()
+        tid = mint_trace_id()
+        with tracer.bind(tid):
+            tracer.record("scan", 0.002, detail="batch=4")
+        (span,) = tracer.spans()
+        assert span.trace_id == tid
+        assert span.name == "scan"
+        assert span.detail == "batch=4"
+
+    def test_explicit_id_beats_binding(self):
+        tracer = Tracer()
+        bound, explicit = mint_trace_id(), mint_trace_id()
+        with tracer.bind(bound):
+            tracer.record("serialize", 0.001, trace_id=explicit)
+        assert tracer.spans()[0].trace_id == explicit
+
+    def test_unbound_record_is_dropped(self):
+        tracer = Tracer()
+        tracer.record("scan", 0.001)
+        assert tracer.spans() == []
+
+    def test_disabled_record_is_dropped(self):
+        tracer = Tracer(enabled=False)
+        with tracer.bind(mint_trace_id()):
+            tracer.record("scan", 0.001)
+        assert tracer.spans() == []
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=8)
+        with tracer.bind(mint_trace_id()):
+            for i in range(20):
+                tracer.record("scan", 0.001, detail=str(i))
+        spans = tracer.spans()
+        assert len(spans) == 8
+        assert [s.detail for s in spans] == [str(i) for i in range(12, 20)]
+
+    def test_span_contextmanager_times_body(self):
+        tracer = Tracer()
+        with tracer.bind(mint_trace_id()):
+            with tracer.span("verify", detail="warm"):
+                pass
+        (span,) = tracer.spans()
+        assert span.name == "verify"
+        assert span.duration_s >= 0.0
+
+    def test_on_span_sink_sees_every_span(self):
+        tracer = Tracer()
+        seen: list[Span] = []
+        tracer.on_span = seen.append
+        with tracer.bind(mint_trace_id()):
+            tracer.record("scan", 0.001)
+        assert [s.name for s in seen] == ["scan"]
+
+    def test_as_dict_hexes_the_id(self):
+        tracer = Tracer()
+        tid = mint_trace_id()
+        tracer.record("scan", 0.001, trace_id=tid)
+        d = tracer.spans()[0].as_dict()
+        assert d["trace_id"] == tid.hex()
+        assert d["name"] == "scan"
+
+
+class TestReading:
+    def test_trace_orders_by_seq_across_threads(self):
+        tracer = Tracer()
+        tid = mint_trace_id()
+        tracer.record("queue-wait", 0.001, trace_id=tid)
+
+        def worker():
+            tracer.record("scan", 0.002, trace_id=tid)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tracer.record("serialize", 0.003, trace_id=tid)
+        names = [s.name for s in tracer.trace(tid)]
+        assert names == ["queue-wait", "scan", "serialize"]
+
+    def test_traces_groups_and_limits(self):
+        tracer = Tracer()
+        first, second, third = (mint_trace_id() for _ in range(3))
+        for tid in (first, second, third):
+            tracer.record("scan", 0.001, trace_id=tid)
+            tracer.record("verify", 0.001, trace_id=tid)
+        everything = tracer.traces()
+        assert [hex_id for hex_id, _ in everything] == \
+            [first.hex(), second.hex(), third.hex()]
+        limited = tracer.traces(limit=2)
+        assert [hex_id for hex_id, _ in limited] == \
+            [second.hex(), third.hex()]
+        assert tracer.traces(limit=0) == []
+
+    def test_traces_json_shape(self):
+        import json
+
+        tracer = Tracer()
+        tid = mint_trace_id()
+        tracer.record("scan", 0.001, trace_id=tid)
+        payload = tracer.traces_json()
+        assert payload == [{"trace_id": tid.hex(),
+                            "spans": [tracer.spans()[0].as_dict()]}]
+        json.dumps(payload)  # must not raise
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("scan", 0.001, trace_id=mint_trace_id())
+        tracer.clear()
+        assert tracer.spans() == []

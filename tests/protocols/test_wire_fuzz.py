@@ -27,6 +27,9 @@ from repro.protocols.messages import (
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    StatsReply,
+    StatsRequest,
+    TracedEnvelope,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -68,6 +71,11 @@ SAMPLES = {
         signatures=BaselineChallengeBatch.pack_list([b"sig1", b""]),
         nonce=b"n" * 16),
     ErrorReply: ErrorReply(code="overload", detail="queue full"),
+    TracedEnvelope: TracedEnvelope(
+        trace_id=b"t" * 16,
+        body=VerificationRequest(user_id="dave").encode()),
+    StatsRequest: StatsRequest.make("all", limit=25),
+    StatsReply: StatsReply(payload='{"metrics": [], "traces": []}'),
 }
 
 ALL_TYPES = sorted(registered_message_types().values(),

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.service",
     "repro.net",
+    "repro.obs",
 ]
 
 
