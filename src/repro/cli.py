@@ -82,6 +82,7 @@ from typing import Sequence
 
 from repro.analysis.security import advise_dimension, security_report
 from repro.core.params import SystemParams
+from repro.exceptions import ParameterError
 
 
 def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
@@ -257,6 +258,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         render_traces,
     )
 
+    if args.health:
+        with NetworkClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            payload = client.health(deadline_s=args.timeout)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            parts = ", ".join(f"{k}={v}" for k, v in payload.items())
+            print(f"health: {parts}")
+        # Readiness drives the exit code so scripts (and CI probes) can
+        # gate on `repro stats --health` directly.
+        return 0 if payload.get("ready") else 1
     query = "traces" if args.traces else \
         ("metrics" if args.prometheus else "all")
     with NetworkClient(args.host, args.port,
@@ -325,12 +338,23 @@ def _serve_self_test(params, scheme, host: str, port: int) -> None:
         print(f"self-test verify:   verified={run.outcome.verified}")
 
 
+def _parse_hostport(value: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI operand."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ParameterError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
+    from pathlib import Path
 
     from repro import obs
     from repro.crypto.signatures import get_scheme
     from repro.engine.engine import IdentificationEngine
+    from repro.engine.journal import EnrollmentJournal, journal_path
+    from repro.net.replication import JournalFollower
     from repro.net.server import NetworkServer
     from repro.protocols.server import AuthenticationServer
     from repro.service.frontend import ServiceFrontend
@@ -338,27 +362,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     obs.configure(tracing_enabled=not args.no_trace,
                   events_path=args.events or None)
     scheme = get_scheme(args.scheme)
+    # --journal/--no-journal tri-state: None lets an existing journal in
+    # the store directory decide; True creates one where needed.
+    journal_flag = args.journal
     if args.store:
-        engine = IdentificationEngine.open(args.store, workers=args.workers)
+        engine = IdentificationEngine.open(args.store, workers=args.workers,
+                                           journal=journal_flag)
         params = engine.params
     else:
         params = _params_from(args)
         engine = IdentificationEngine(params, shards=args.shards,
                                       workers=args.workers)
+        if args.journal_dir or journal_flag:
+            journal_dir = Path(args.journal_dir or ".")
+            engine.attach_journal(EnrollmentJournal(
+                journal_path(journal_dir), params=params))
+    if args.follow and engine.journal is None:
+        raise ParameterError(
+            "--follow needs a journaled engine (pass --journal, "
+            "--journal-dir, or a store directory carrying journal.log) "
+            "so replicated records survive a standby restart")
     server = AuthenticationServer(params, scheme, store=engine)
     endpoint = server if args.serial else ServiceFrontend(
         server, max_batch=args.max_batch,
         batch_window_s=args.window_ms / 1e3,
         batch_linger_s=args.linger_ms / 1e3,
         workers=args.frontend_workers)
+    follower = None
+    if args.follow:
+        primary_host, primary_port = _parse_hostport(args.follow)
+        follower = JournalFollower(engine, primary_host, primary_port)
     net = NetworkServer(endpoint, host=args.host, port=args.port,
-                        handler_threads=args.handler_threads)
+                        handler_threads=args.handler_threads,
+                        health_extra=follower.health_extra
+                        if follower is not None else None)
     try:
         host, port = net.start()
         mode = "serial server" if args.serial else "micro-batching frontend"
+        journaled = "journaled, " if engine.journal is not None else ""
         print(f"serving {len(engine):,} enrolled record(s) "
-              f"on {host}:{port} ({mode}, scheme={scheme.name}, "
+              f"on {host}:{port} ({journaled}{mode}, scheme={scheme.name}, "
               f"n={params.n})")
+        if follower is not None:
+            print(f"following primary {args.follow} "
+                  f"(warm standby; lag via 'repro stats --health')")
         if args.self_test:
             _serve_self_test(params, scheme, host, port)
         else:
@@ -368,6 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if follower is not None:
+            follower.close()
         net.close()
         if endpoint is not server:
             endpoint.close()
@@ -377,9 +426,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_net_bench(args: argparse.Namespace) -> int:
-    from repro.net.bench import run_net_bench, write_trajectory
+    from repro.net.bench import (
+        run_chaos_bench,
+        run_net_bench,
+        write_trajectory,
+    )
 
-    report = run_net_bench(
+    kwargs = dict(
         dimension=args.dimension,
         n_users=args.users,
         pool_users=args.pool_users,
@@ -392,8 +445,13 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
         batch_window_s=args.window_ms / 1e3,
         batch_linger_s=args.linger_ms / 1e3,
         frontend_workers=args.workers,
-        verify_heavy=args.verify_heavy,
     )
+    if args.chaos:
+        if args.verify_heavy:
+            raise ParameterError("--chaos and --verify-heavy are exclusive")
+        report = run_chaos_bench(chaos_seed=args.chaos_seed, **kwargs)
+    else:
+        report = run_net_bench(verify_heavy=args.verify_heavy, **kwargs)
     for line in report.summary_lines():
         print(line)
     if args.json:
@@ -649,6 +707,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frontend verify workers (default: 4)")
     serve.add_argument("--handler-threads", type=int, default=16,
                        help="transport handler thread bound (default: 16)")
+    serve.add_argument("--journal", action="store_true", default=None,
+                       dest="journal",
+                       help="force a crash-safe enrollment journal on "
+                            "(with --store: create journal.log in the "
+                            "store directory if absent; default: attach "
+                            "only when one already exists)")
+    serve.add_argument("--no-journal", action="store_false", dest="journal",
+                       help="never attach/create a journal, even when the "
+                            "store directory carries one")
+    serve.add_argument("--journal-dir", default="",
+                       help="for a fresh (storeless) engine: directory to "
+                            "create journal.log in (implies --journal)")
+    serve.add_argument("--follow", default="",
+                       help="run as a warm standby replicating HOST:PORT's "
+                            "enrollment journal (requires a journaled "
+                            "engine; parameters must match the primary's)")
     serve.add_argument("--self-test", action="store_true",
                        help="enroll + identify + verify once through a "
                             "real client connection, then exit")
@@ -680,6 +754,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--limit", type=int, default=0,
                        help="trace count cap for --traces (default: "
                             "server-side 50)")
+    stats.add_argument("--health", action="store_true",
+                       help="probe the health admin frame instead "
+                            "(liveness + readiness: queue depth, overload, "
+                            "degradation, journal offset, follower lag); "
+                            "exit code 1 when not ready")
     stats.set_defaults(handler=_cmd_stats)
 
     net_bench = subparsers.add_parser(
@@ -721,6 +800,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "exercising the frontend's batched signature "
                                 "verification over the wire (rows tagged "
                                 "'verify-heavy' in the trajectory)")
+    net_bench.add_argument("--chaos", action="store_true",
+                           help="run the fault-injection bench instead: "
+                                "primary + warm standby, wire faults "
+                                "(drop/truncate/delay) and batcher crashes "
+                                "injected, primary killed mid-phase; "
+                                "asserts zero lost and zero wrongly-"
+                                "answered requests (rows tagged 'chaos'; "
+                                "exclusive with --verify-heavy)")
+    net_bench.add_argument("--chaos-seed", type=int, default=0,
+                           help="seed for the deterministic fault "
+                                "schedule (default: 0)")
     net_bench.add_argument("--seed", type=int, default=0)
     net_bench.add_argument("--json", default="BENCH_service.json",
                            help="trajectory artifact path (empty string "

@@ -36,14 +36,20 @@ import numpy as np
 from repro import obs
 from repro.core.params import SystemParams
 from repro.crypto.signatures import VerifyTableCache
+from repro.engine.journal import EnrollmentJournal, journal_path
 from repro.engine.sharded import ShardedSketchIndex
 from repro.engine.storage import (
     LazyRecordFile,
     OpenedStore,
+    _decode_record,
     open_store,
     write_store,
 )
-from repro.exceptions import EnrollmentError
+from repro.exceptions import (
+    EnrollmentError,
+    ParameterError,
+    ReplicationError,
+)
 from repro.protocols.database import UserRecord
 
 #: Upper edges (microseconds) of the latency histogram buckets; the last
@@ -149,7 +155,8 @@ class IdentificationEngine:
 
     def __init__(self, params: SystemParams, shards: int = 4,
                  chunk: int = 8, workers: int | None = None,
-                 key_table_capacity: int = 1024) -> None:
+                 key_table_capacity: int = 1024,
+                 journal: EnrollmentJournal | str | Path | None = None) -> None:
         self.params = params
         self._index = ShardedSketchIndex(params, shards=shards, chunk=chunk,
                                          workers=workers)
@@ -161,12 +168,17 @@ class IdentificationEngine:
         self._opened: OpenedStore | None = None
         self._cold_opened = False
         self._warmed = False
+        self._journal: EnrollmentJournal | None = None
         # The lock now covers only the lazy identity-map build; serving
         # counters moved to the process-wide metrics registry, whose
         # instruments carry their own (leaf) locks.  Enrollment writes
         # are *not* covered — callers serialise those.
         self._lock = threading.Lock()
         self._init_obs()
+        if journal is not None:
+            if not isinstance(journal, EnrollmentJournal):
+                journal = EnrollmentJournal(journal, params=params, base=0)
+            self.attach_journal(journal)
 
     def _init_obs(self) -> None:
         """Create this engine's registry instruments (one labelled series
@@ -243,6 +255,11 @@ class IdentificationEngine:
         if record.user_id in by_id:
             raise EnrollmentError(f"user {record.user_id!r} already enrolled")
         helper = record.helper()
+        # Write-ahead: the journal entry is durable *before* any
+        # in-memory structure mutates, so a crash between the two
+        # replays the enrollment on reopen instead of losing it.
+        if self._journal is not None:
+            self._journal.append(record)
         row = self._index.add(helper.movements)
         assert row == len(self), "index/record row drift"
         # Record first, then the id-map entry: a concurrent get() (the
@@ -270,6 +287,11 @@ class IdentificationEngine:
             return
         movements = np.stack([record.helper().movements
                               for record in records])
+        # Write-ahead (see add()): every record journaled before the
+        # single index write below.
+        if self._journal is not None:
+            for record in records:
+                self._journal.append(record)
         rows = self._index.add_many(movements)
         assert rows[0] == len(self), "index/record row drift"
         # Records before id-map entries (see add()).
@@ -340,21 +362,107 @@ class IdentificationEngine:
             for rows in self.search_batch(probes)
         ]
 
+    # -- journal / replication ----------------------------------------------------
+
+    @property
+    def journal(self) -> EnrollmentJournal | None:
+        """The attached enrollment journal (``None`` when unjournaled)."""
+        return self._journal
+
+    def journal_seq(self) -> int:
+        """The next journal sequence number; equals ``len(self)`` when a
+        journal covering the full history is attached, else the record
+        count itself (so health/replication lag stays comparable)."""
+        return self._journal.head_seq if self._journal is not None \
+            else len(self)
+
+    def attach_journal(self, journal: EnrollmentJournal) -> int:
+        """Attach a journal, replaying any entries past current state.
+
+        The journal must cover the suffix of this engine's history
+        (``journal.base <= len(self)``) and carry matching parameters.
+        Entries from ``len(self)`` on are replayed through the normal
+        enrollment path (journaling disabled during replay — they are
+        already in the log).  Returns the number of replayed records.
+        """
+        if journal.params.to_dict() != self.params.to_dict():
+            raise ParameterError(
+                "journal parameters do not match the engine's")
+        if self._journal is not None:
+            raise ParameterError("engine already has a journal attached")
+        replayed = 0
+        # self._journal is still None here, so add() does not re-append.
+        for record in journal.records(from_seq=len(self)):
+            try:
+                self.add(record)
+            except EnrollmentError as exc:
+                raise ParameterError(
+                    f"journal replay conflicts with store state: {exc}"
+                ) from exc
+            replayed += 1
+        self._journal = journal
+        return replayed
+
+    def apply_replicated(self, entries: list[tuple[int, bytes]]) -> int:
+        """Apply replicated journal entries (a follower's ingest path).
+
+        Entries whose sequence number is already covered are skipped
+        (idempotent catch-up); a gap raises
+        :class:`~repro.exceptions.ReplicationError` — the follower must
+        re-fetch from its actual offset.  Applied records go through
+        :meth:`add`, so a follower with its own journal re-journals
+        them locally (durability survives follower restarts).  Returns
+        the number of newly applied records.
+        """
+        applied = 0
+        for seq, payload in entries:
+            have = len(self)
+            if seq < have:
+                continue
+            if seq > have:
+                raise ReplicationError(
+                    f"replication gap: follower at seq {have}, "
+                    f"stream resumed at {seq}")
+            try:
+                self.add(_decode_record(payload))
+            except EnrollmentError as exc:
+                raise ReplicationError(
+                    f"replicated record conflicts with follower state: "
+                    f"{exc}") from exc
+            applied += 1
+        return applied
+
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the engine as an mmap store directory (see storage docs)."""
+        """Write the engine as an mmap store directory (see storage docs).
+
+        The journal (when attached and living in the same directory) is
+        untouched: the store is the checkpoint, the journal the full
+        history; after a save, reopening replays zero entries because
+        the manifest's record count has caught up with the journal head.
+        """
         write_store(path, self.params, self._index.shard_parts(), iter(self))
 
     @classmethod
     def open(cls, path: str | Path, chunk: int = 8,
              workers: int | None = None,
-             key_table_capacity: int = 1024) -> "IdentificationEngine":
+             key_table_capacity: int = 1024,
+             journal: bool | None = None) -> "IdentificationEngine":
         """Open a saved store in O(1); records and pages load lazily.
 
         The identity map (``get`` by user id) is built on first use —
         an O(N) walk the search path never needs.  Enrolling into an
         opened engine promotes the touched shard to RAM first.
+
+        ``journal`` controls the crash-safety companion log:
+        ``None`` (default) attaches ``journal.log`` if one exists in the
+        store directory — replaying any suffix past the checkpoint —
+        and otherwise leaves the engine unjournaled (full compatibility
+        with stores saved before journaling existed); ``True``
+        additionally *creates* the journal when missing (new
+        enrollments become crash-safe from here on); ``False`` never
+        attaches one.
         """
         opened = open_store(path)
         engine = cls.__new__(cls)
@@ -371,9 +479,57 @@ class IdentificationEngine:
         engine._opened = opened
         engine._cold_opened = True
         engine._warmed = False
+        engine._journal = None
         engine._lock = threading.Lock()
         engine._init_obs()
+        if journal is not False:
+            jpath = journal_path(path)
+            if jpath.exists():
+                engine.attach_journal(
+                    EnrollmentJournal(jpath, params=engine.params))
+            elif journal is True:
+                engine.attach_journal(EnrollmentJournal(
+                    jpath, params=engine.params, base=len(engine)))
         return engine
+
+    @classmethod
+    def recover(cls, path: str | Path, shards: int = 4, chunk: int = 8,
+                workers: int | None = None,
+                key_table_capacity: int = 1024) -> "IdentificationEngine":
+        """Open a store directory, surviving a crash mid two-phase save.
+
+        Tries a normal :meth:`open` first (which already replays any
+        journal suffix past the checkpoint).  When the directory does
+        not parse as a store — the kill -9-inside-the-commit-window
+        state: manifest deleted, data files half-replaced — and a
+        full-history journal is present, the entire store is rebuilt
+        from the journal, checkpointed back to ``path``, and reopened.
+        Without a journal the original error propagates: there is
+        nothing sound to rebuild from.
+        """
+        path = Path(path)
+        try:
+            return cls.open(path, chunk=chunk, workers=workers,
+                            key_table_capacity=key_table_capacity)
+        except ParameterError:
+            jpath = journal_path(path)
+            if not jpath.exists():
+                raise
+        journal = EnrollmentJournal(jpath)
+        if journal.base != 0:
+            raise ParameterError(
+                f"journal base is {journal.base}, not 0: it does not "
+                f"cover the full history needed to rebuild {path}")
+        rebuilt = cls(journal.params, shards=shards, chunk=chunk,
+                      workers=workers,
+                      key_table_capacity=key_table_capacity)
+        rebuilt.attach_journal(journal)  # replays every entry
+        # Sweep temp files the interrupted save left behind, then lay
+        # down a fresh checkpoint so the next open() is a plain open.
+        for stale in path.glob("*.tmp"):
+            stale.unlink()
+        rebuilt.save(path)
+        return rebuilt
 
     def warm(self) -> int:
         """Touch every sketch page so first searches pay no fault cost.
@@ -411,6 +567,9 @@ class IdentificationEngine:
         if self._opened is not None:
             self._opened.close()
             self._opened = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     def __enter__(self) -> "IdentificationEngine":
         return self

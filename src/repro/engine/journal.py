@@ -1,0 +1,258 @@
+"""The crash-safe enrollment journal (write-ahead log).
+
+The mmap store (:mod:`repro.engine.storage`) is a *checkpoint*: fast to
+open, but written only when someone calls ``save``.  The journal is the
+store's durability and replication companion — an append-only,
+checksummed log of every enrollment, written **before** the in-memory
+index mutates:
+
+* a process killed between saves loses nothing: reopening the store
+  replays the journal suffix past the checkpoint's record count;
+* a process killed *inside* the store's two-phase commit window (the
+  directory transiently has no manifest) loses nothing either: the
+  journal holds the full history from its base, so
+  :meth:`IdentificationEngine.recover` rebuilds the whole store from it;
+* a warm standby replays the same entries over the wire
+  (:mod:`repro.net.replication`) and, enrollments being deterministic
+  ``(ID, pk, P)`` triples, answers identification byte-identically.
+
+File layout (``journal.log`` inside the store directory)::
+
+    +--------------------------------------------------------------+
+    | magic "RPJ1" | header_len (4B LE) | header JSON               |
+    +--------------------------------------------------------------+
+    | seq (8B LE) | payload_len (4B LE) | crc32 (4B LE) | payload   |  × N
+    +--------------------------------------------------------------+
+
+The header JSON carries the system parameters and the journal's
+``base`` sequence (the engine's record count when the journal was
+created — 0 for a journal that has seen every enrollment, in which case
+it is a complete rebuild source).  Entry ``seq`` numbers are global row
+indices (``base``, ``base+1``, ...); the payload is the canonical
+:func:`~repro.engine.storage._encode_record` record encoding, CRC32'd
+so a torn tail (power loss mid-append) is detected and truncated on
+reopen instead of being replayed as garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+
+from repro.core.params import SystemParams
+from repro.engine.storage import _decode_record, _encode_record
+from repro.exceptions import ParameterError
+from repro.protocols.database import UserRecord
+
+JOURNAL_NAME = "journal.log"
+
+_MAGIC = b"RPJ1"
+_ENTRY_HEAD = struct.Struct("<QII")  # seq, payload_len, crc32
+
+
+class EnrollmentJournal:
+    """Append-only, checksummed record log with torn-tail recovery.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created (with ``params`` and ``base`` in the
+        header) if missing; otherwise opened and scanned, truncating a
+        torn tail.
+    params:
+        Required when creating; when opening an existing journal a
+        mismatch against the stored header raises
+        :class:`~repro.exceptions.ParameterError`.
+    base:
+        The engine's record count at journal creation.  Entry ``seq``
+        numbers start here.  Only a ``base == 0`` journal can rebuild a
+        store from nothing.
+    fsync:
+        Fsync after every append (the crash-safety default).  Benches
+        that journal thousands of enrollments per second may turn it
+        off and accept losing the OS write-back window.
+    """
+
+    def __init__(self, path: str | Path, params: SystemParams | None = None,
+                 base: int = 0, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        #: Byte offset of each entry, plus the end-of-log offset last —
+        #: ``_offsets[i]`` is where entry ``base + i`` starts.
+        self._offsets: list[int] = []
+        self.truncated_bytes = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._open_existing(params)
+        else:
+            if params is None:
+                raise ParameterError(
+                    f"creating journal {self.path} requires params")
+            self.params = params
+            self.base = int(base)
+            self._create()
+
+    # -- open/create --------------------------------------------------------
+
+    def _create(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps({
+            "kind": "repro-enrollment-journal",
+            "params": self.params.to_dict(),
+            "base": self.base,
+        }, sort_keys=True).encode("utf-8")
+        with open(self.path, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(len(header).to_bytes(4, "little"))
+            handle.write(header)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._data_start = len(_MAGIC) + 4 + len(header)
+        self._offsets = [self._data_start]
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+
+    def _open_existing(self, params: SystemParams | None) -> None:
+        with open(self.path, "rb") as handle:
+            blob = handle.read()
+        if blob[:4] != _MAGIC:
+            raise ParameterError(f"{self.path} is not an enrollment journal")
+        if len(blob) < 8:
+            raise ParameterError(f"{self.path}: truncated journal header")
+        header_len = int.from_bytes(blob[4:8], "little")
+        header_end = 8 + header_len
+        if header_end > len(blob):
+            raise ParameterError(f"{self.path}: truncated journal header")
+        try:
+            header = json.loads(blob[8:header_end].decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ParameterError(
+                f"{self.path}: malformed journal header: {exc}") from exc
+        self.params = SystemParams.from_dict(header["params"])
+        self.base = int(header.get("base", 0))
+        if params is not None and params.to_dict() != self.params.to_dict():
+            raise ParameterError(
+                f"{self.path}: journal params do not match the store's")
+        self._data_start = header_end
+        # Scan entries, validating lengths, CRCs, and seq continuity;
+        # stop at the first invalid entry and truncate the tail (the
+        # torn-append recovery the module docstring promises).
+        self._offsets = [self._data_start]
+        offset = self._data_start
+        seq = self.base
+        while offset + _ENTRY_HEAD.size <= len(blob):
+            entry_seq, length, crc = _ENTRY_HEAD.unpack_from(blob, offset)
+            body_start = offset + _ENTRY_HEAD.size
+            if entry_seq != seq or body_start + length > len(blob):
+                break
+            payload = blob[body_start: body_start + length]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break
+            offset = body_start + length
+            seq += 1
+            self._offsets.append(offset)
+        self.truncated_bytes = len(blob) - offset
+        if self.truncated_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Entries currently in the journal."""
+        with self._lock:
+            return len(self._offsets) - 1
+
+    @property
+    def head_seq(self) -> int:
+        """The next sequence number an append would get (``base + N``)."""
+        with self._lock:
+            return self.base + len(self._offsets) - 1
+
+    # -- append / read ------------------------------------------------------
+
+    def append(self, record: UserRecord) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The entry is flushed (and fsynced unless disabled) before this
+        returns — the write-ahead guarantee enrollments rely on.
+        """
+        payload = _encode_record(record)
+        with self._lock:
+            seq = self.base + len(self._offsets) - 1
+            entry = _ENTRY_HEAD.pack(
+                seq, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+            ) + payload
+            self._handle.write(entry)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._offsets.append(self._offsets[-1] + len(entry))
+        return seq
+
+    def read(self, from_seq: int,
+             max_entries: int = 0) -> list[tuple[int, bytes]]:
+        """Entries ``[from_seq, head)`` as ``(seq, payload)`` pairs.
+
+        ``from_seq`` below :attr:`base` raises
+        :class:`~repro.exceptions.ParameterError` — those entries never
+        existed here (the follower must bootstrap from a store copy).
+        ``max_entries`` bounds the batch (0 = everything).
+        """
+        with self._lock:
+            if from_seq < self.base:
+                raise ParameterError(
+                    f"journal starts at seq {self.base}, "
+                    f"cannot serve from {from_seq}")
+            first = from_seq - self.base
+            count = len(self._offsets) - 1 - first
+            if count <= 0:
+                return []
+            if max_entries:
+                count = min(count, max_entries)
+            start = self._offsets[first]
+            stop = self._offsets[first + count]
+            self._handle.flush()
+            with open(self.path, "rb") as reader:
+                reader.seek(start)
+                blob = reader.read(stop - start)
+        out: list[tuple[int, bytes]] = []
+        offset = 0
+        for _ in range(count):
+            seq, length, _crc = _ENTRY_HEAD.unpack_from(blob, offset)
+            body = offset + _ENTRY_HEAD.size
+            out.append((seq, blob[body: body + length]))
+            offset = body + length
+        return out
+
+    def records(self, from_seq: int | None = None) -> list[UserRecord]:
+        """Decoded records from ``from_seq`` (default: the base) on."""
+        start = self.base if from_seq is None else from_seq
+        return [_decode_record(payload)
+                for _seq, payload in self.read(start)]
+
+    def close(self) -> None:
+        """Release the append handle.  Idempotent."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "EnrollmentJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def journal_path(store_dir: str | Path) -> Path:
+    """The canonical journal location inside a store directory."""
+    return Path(store_dir) / JOURNAL_NAME

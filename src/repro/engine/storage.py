@@ -37,6 +37,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import faults
 from repro.core.params import SystemParams
 from repro.exceptions import ParameterError
 from repro.ioutil import atomic_replace
@@ -226,6 +227,8 @@ def write_store(path: str | Path, params: SystemParams,
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
+    # Crash-matrix injection point: nothing staged yet, nothing to lose.
+    faults.fire("store.save.before-staging")
 
     staged: list[tuple[str, Path]] = []
     try:
@@ -254,11 +257,20 @@ def write_store(path: str | Path, params: SystemParams,
             os.unlink(tmp_name)
         raise
 
+    # Crash-matrix injection point: everything staged, commit not begun —
+    # the old store (manifest included) is still fully intact.
+    faults.fire("store.save.staged")
+
     # Commit: from here on the old store is being replaced.
     old_manifest = path / _MANIFEST
     if old_manifest.exists():
         old_manifest.unlink()
-    for tmp_name, final in staged:
+    for index, (tmp_name, final) in enumerate(staged):
+        if index == 1:
+            # Crash-matrix injection point: manifest gone, some staged
+            # files renamed, others not — the torn-commit window where
+            # only the journal can reconstruct the store.
+            faults.fire("store.save.mid-commit")
         os.replace(tmp_name, final)
     live = {name for index in range(len(shard_parts))
             for name in _shard_names(index)}

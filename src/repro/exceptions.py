@@ -73,12 +73,79 @@ class ServiceError(ReproError):
     """Base class for concurrent-service-layer failures."""
 
 
-class ServiceOverloadError(ServiceError):
+class TransientError(ServiceError):
+    """A failure that is safe to retry: the request was *not* durably
+    applied server-side (or was applied idempotently), so backing off
+    and resubmitting — possibly against a different endpoint — is the
+    correct client reaction.  The resilience layer
+    (:mod:`repro.net.resilience`) keys its retry/failover decisions off
+    this class."""
+
+
+class ServiceOverloadError(TransientError):
     """The service frontend's admission queue stayed full past the
     submit timeout — the caller should back off and retry (backpressure
-    is the bounded queue doing its job, not a server fault)."""
+    is the bounded queue doing its job, not a server fault).
+
+    ``retry_after_ms``, when set, is the server's hint for how long to
+    back off before resubmitting (derived from queue depth and the
+    batching linger); it crosses the wire on the overload
+    :class:`~repro.protocols.messages.ErrorReply`."""
+
+    retry_after_ms: int | None = None
+
+
+class ServiceRestartingError(TransientError):
+    """A supervised service component (the frontend's batcher thread)
+    died mid-request and is being restarted; the request was failed
+    without being applied and should simply be retried.
+
+    ``retry_after_ms`` carries the same backoff hint as overload."""
+
+    retry_after_ms: int | None = None
+
+
+class TransientNetworkError(TransientError):
+    """A network-level failure (timeout, reset, torn connection) whose
+    request may or may not have reached the server — retryable for
+    idempotent requests, and grounds for failing over to the next
+    endpoint in an ordered list."""
+
+
+class RequestTimeoutError(TransientNetworkError, TimeoutError):
+    """A network round trip exceeded its deadline.  Subclasses the
+    stdlib ``TimeoutError`` so existing ``except TimeoutError`` call
+    sites (and the pinned client-timeout tests) keep working, while the
+    resilience layer classifies it as transient."""
+
+
+class ConnectionLostError(TransientNetworkError, ProtocolError):
+    """The peer vanished mid-exchange (EOF or reset inside a strict
+    request/reply conversation).  Subclasses :class:`ProtocolError`
+    because a torn stream is also a protocol-level failure — callers
+    that caught ``ProtocolError`` before keep catching this."""
 
 
 class ServiceClosedError(ServiceError):
     """A request reached the service frontend after (or while) it shut
     down; the request was not processed."""
+
+
+class ReplicationError(ServiceError):
+    """A replication stream could not be served or applied: the journal
+    offset asked for is older than the primary's journal base, the
+    entries arrived with a sequence gap, or a decoded record conflicts
+    with the follower's state."""
+
+
+class SimulatedFaultError(ReproError):
+    """An injected fault from :mod:`repro.faults` fired.  Only ever
+    raised when a fault plan is installed — production code paths can
+    let it propagate knowing it cannot occur outside tests/benches."""
+
+
+class SimulatedCrashError(SimulatedFaultError):
+    """An injected *crash* fault: the process would have died here
+    (``kill -9`` semantics).  In-process tests catch this to simulate
+    torn state without forking; the subprocess crash matrix uses the
+    real ``SIGKILL`` action instead."""

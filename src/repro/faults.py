@@ -1,0 +1,220 @@
+"""Deterministic fault injection for robustness tests and chaos benches.
+
+``repro.faults`` follows the :mod:`repro.obs` layering contract: it sits
+at the bottom of the dependency graph (standard library only, imports
+nothing from the service stack), and everything above may call into the
+process-wide singleton below.  Production code paths carry permanent,
+near-zero-cost injection points::
+
+    from repro import faults
+    ...
+    faults.fire("store.save.staged")          # raise/crash/kill styles
+    ...
+    action = faults.decide("net.server.send") # caller-interpreted styles
+    if action is not None and action.style == "drop":
+        return
+
+With no plan installed (the default), :func:`fire` and :func:`decide`
+are a single attribute check — the chaos bench's <5% overhead criterion
+leans on exactly that.
+
+A *plan* is a list of :class:`FaultRule`\\ s keyed by injection-point
+name.  Rules fire deterministically: probabilistic rules draw from a
+seeded ``random.Random`` owned by the plan, and count-limited rules
+(``after`` / ``times``) count calls per point.  Styles:
+
+``raise``
+    :func:`fire` raises :class:`~repro.exceptions.SimulatedFaultError`.
+``crash``
+    :func:`fire` raises :class:`~repro.exceptions.SimulatedCrashError`
+    — the in-process stand-in for dying at this point.
+``kill9``
+    :func:`fire` sends the *real* ``SIGKILL`` to the current process.
+    Only the subprocess crash-matrix tests install this.
+``delay``
+    :func:`fire` sleeps ``delay_s``; :func:`decide` returns the rule so
+    transports can sleep where it suits them.
+``drop`` / ``truncate``
+    Only meaningful through :func:`decide` — the caller implements the
+    effect (skip the send / write a partial frame).
+
+Every fired rule increments the ``repro_faults_fired_total`` counter
+(labelled by point) so chaos runs can assert their schedule actually
+executed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.exceptions import SimulatedCrashError, SimulatedFaultError
+
+_STYLES = ("raise", "crash", "kill9", "delay", "drop", "truncate")
+
+
+@dataclass
+class FaultRule:
+    """One injection rule: where, what, and how often.
+
+    ``point`` names the injection site (``store.save.staged``,
+    ``net.server.send``, ``frontend.batcher`` ...).  ``style`` is one of
+    the module styles.  ``p`` is the per-call fire probability (1.0 =
+    always, drawn from the plan's seeded RNG).  ``after`` skips the
+    first N calls at the point; ``times`` caps total fires (0 =
+    unlimited).  ``delay_s`` is the sleep for ``delay`` rules.
+    """
+
+    point: str
+    style: str = "raise"
+    p: float = 1.0
+    after: int = 0
+    times: int = 0
+    delay_s: float = 0.0
+    #: Book-keeping (mutated under the injector lock).
+    calls: int = field(default=0, repr=False)
+    fired: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.style not in _STYLES:
+            raise ValueError(
+                f"unknown fault style {self.style!r} (one of {_STYLES})")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+
+
+class FaultInjector:
+    """The process-wide fault plan: rules, seeded RNG, fire counters."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._rules: dict[str, list[FaultRule]] = {}
+        self._rng = random.Random(0)
+        self._lock = threading.Lock()
+        self._fired_counters: dict[str, obs.Counter] = {}
+
+    # -- plan management ----------------------------------------------------
+
+    def install(self, rules: list[FaultRule | dict], seed: int = 0) -> None:
+        """Install a fault plan, replacing any previous one.
+
+        Rules may be :class:`FaultRule` instances or plain dicts of the
+        constructor fields (how CLI/JSON-described plans arrive).
+        """
+        with self._lock:
+            self._rules = {}
+            for rule in rules:
+                if not isinstance(rule, FaultRule):
+                    rule = FaultRule(**rule)
+                rule.calls = 0
+                rule.fired = 0
+                self._rules.setdefault(rule.point, []).append(rule)
+            self._rng = random.Random(seed)
+            self.enabled = bool(rules)
+
+    def clear(self) -> None:
+        """Remove every rule; injection points go back to no-ops."""
+        with self._lock:
+            self._rules = {}
+            self.enabled = False
+
+    def fired(self, point: str | None = None) -> int:
+        """Total fires, for one point or across the plan."""
+        with self._lock:
+            rules = (self._rules.get(point, []) if point is not None
+                     else [r for rs in self._rules.values() for r in rs])
+            return sum(rule.fired for rule in rules)
+
+    # -- the injection points -----------------------------------------------
+
+    def _match(self, point: str) -> FaultRule | None:
+        """Pick the rule (if any) that fires for this call.  Lock held."""
+        for rule in self._rules.get(point, ()):
+            rule.calls += 1
+            if rule.calls <= rule.after:
+                continue
+            if rule.times and rule.fired >= rule.times:
+                continue
+            if rule.p < 1.0 and self._rng.random() >= rule.p:
+                continue
+            rule.fired += 1
+            counter = self._fired_counters.get(point)
+            if counter is None:
+                counter = obs.registry.counter(
+                    "repro_faults_fired_total",
+                    "Injected faults fired, by injection point.",
+                    labels={"point": point})
+                self._fired_counters[point] = counter
+            counter.inc()
+            return rule
+        return None
+
+    def decide(self, point: str) -> FaultRule | None:
+        """Return the rule firing at ``point`` for the caller to apply.
+
+        Used by transports whose fault effects need local context (drop
+        this frame, truncate that write).  ``delay`` rules are *not*
+        slept here — the caller chooses where the sleep lands.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            return self._match(point)
+
+    def fire(self, point: str) -> FaultRule | None:
+        """Apply the rule firing at ``point`` in place.
+
+        ``raise``/``crash`` raise, ``kill9`` SIGKILLs the process,
+        ``delay`` sleeps; ``drop``/``truncate`` rules are returned for
+        the caller (same as :func:`decide`) since only it can apply
+        them.  Returns the fired rule (or ``None``).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            rule = self._match(point)
+        if rule is None:
+            return None
+        if rule.style == "raise":
+            raise SimulatedFaultError(f"injected fault at {point}")
+        if rule.style == "crash":
+            raise SimulatedCrashError(f"injected crash at {point}")
+        if rule.style == "kill9":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if rule.style == "delay":
+            time.sleep(rule.delay_s)
+        return rule
+
+
+#: The process-wide injector every injection point consults.
+injector = FaultInjector()
+
+
+def install(rules: list[FaultRule], seed: int = 0) -> None:
+    """Install a fault plan on the process-wide injector."""
+    injector.install(rules, seed=seed)
+
+
+def clear() -> None:
+    """Remove the installed plan (idempotent)."""
+    injector.clear()
+
+
+def fire(point: str) -> FaultRule | None:
+    """Module-level convenience for :meth:`FaultInjector.fire`."""
+    return injector.fire(point)
+
+
+def decide(point: str) -> FaultRule | None:
+    """Module-level convenience for :meth:`FaultInjector.decide`."""
+    return injector.decide(point)
+
+
+def fired(point: str | None = None) -> int:
+    """Fire count for ``point`` (or the whole plan)."""
+    return injector.fired(point)

@@ -42,18 +42,25 @@ runs.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
 from repro.core.params import SystemParams
 from repro.crypto.signatures import get_scheme
 from repro.engine.engine import IdentificationEngine
+from repro.engine.journal import EnrollmentJournal
 from repro.exceptions import ParameterError, ServiceOverloadError
 from repro.net.client import RemoteEndpoint
+from repro.net.replication import JournalFollower
+from repro.net.resilience import FailoverClient, RetryPolicy
 from repro.net.server import NetworkServer
 from repro.protocols.device import BiometricDevice
 from repro.protocols.runners import (
@@ -152,6 +159,13 @@ class NetBenchReport:
     #: batch-wait, scan, verify, plus the network server's end-to-end
     #: identify), ``{stage: {count, p50_ms, ...}}``.
     stage_latency_ms: dict = field(default_factory=dict)
+    #: Chaos-mode accounting (zero outside ``mix="chaos"``): injected
+    #: faults that actually fired, client-side run retries, endpoint
+    #: failovers, and whether the primary was killed mid-phase.
+    faults_fired: int = 0
+    client_retries: int = 0
+    client_failovers: int = 0
+    primary_killed: bool = False
 
     @property
     def ids_per_s(self) -> float:
@@ -178,12 +192,21 @@ class NetBenchReport:
                 f"  verify micro-batches: {self.verify_mean_batch:.1f} "
                 f"responses mean, {self.verify_max_batch_seen} max"
             )
-        lines.append(
-            f"  backpressure probe: {self.overload_rejections}/"
-            f"{self.overload_attempts} requests rejected with "
-            f"ServiceOverloadError (queue-full -> typed error frame -> "
-            f"client exception)"
-        )
+        if self.mix == "chaos":
+            lines.append(
+                f"  chaos: {self.faults_fired} faults fired, "
+                f"{self.client_retries} client retries, "
+                f"{self.client_failovers} failovers, primary "
+                f"{'killed mid-phase' if self.primary_killed else 'survived'}"
+                f" — zero lost, zero wrongly-answered"
+            )
+        else:
+            lines.append(
+                f"  backpressure probe: {self.overload_rejections}/"
+                f"{self.overload_attempts} requests rejected with "
+                f"ServiceOverloadError (queue-full -> typed error frame -> "
+                f"client exception)"
+            )
         if self.stage_latency_ms:
             lines.append("per-stage latency (obs histograms, whole run):")
             for stage, row in self.stage_latency_ms.items():
@@ -224,6 +247,10 @@ class NetBenchReport:
                 self.verify_mean_batch if self.verify_max_batch_seen else 0.0,
             "verify_max_batch_seen": self.verify_max_batch_seen,
             "stage_latency_ms": self.stage_latency_ms,
+            "faults_fired": self.faults_fired,
+            "client_retries": self.client_retries,
+            "client_failovers": self.client_failovers,
+            "primary_killed": self.primary_killed,
         }
 
 
@@ -442,3 +469,251 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
         verify_max_batch_seen=stats.max_verify_batch,
         stage_latency_ms=stage_latency_ms,
     )
+
+
+def run_chaos_bench(dimension: int = 128, n_users: int | None = None,
+                    pool_users: int = 16, n_requests: int | None = None,
+                    clients: int | None = None, shards: int = 4,
+                    scheme: str = "dsa-1024", seed: int = 0,
+                    max_batch: int = 64, batch_window_s: float = 0.05,
+                    batch_linger_s: float = 0.004,
+                    frontend_workers: int = 4,
+                    chaos_seed: int = 0,
+                    host: str = "127.0.0.1") -> NetBenchReport:
+    """The chaos-mode bench: a primary+standby pair under a fault plan.
+
+    Builds two journaled engines behind TCP servers — the standby
+    follows the primary's journal — and drives identification
+    closed-loop through per-client :class:`FailoverClient`\\ s while a
+    seeded fault schedule drops/truncates/delays reply frames and
+    crashes the frontend batcher, and the primary is **killed outright**
+    once a third of the workload has completed.  The run fails unless
+    every request eventually answers, every answer names the presented
+    user (zero lost, zero wrongly-answered), and the standby's engine
+    ends bit-parity with the primary's.  The report row is tagged
+    ``"mix": "chaos"``.
+    """
+    n_users = _default("n_users", n_users)
+    n_requests = _default("n_requests", n_requests)
+    clients = _default("clients", clients)
+    if pool_users < 1 or n_users < pool_users:
+        raise ParameterError("need 1 <= pool_users <= n_users")
+    if clients < 1 or n_requests < clients:
+        raise ParameterError("need 1 <= clients <= n_requests")
+    params = SystemParams.paper_defaults(n=dimension)
+    sig_scheme = get_scheme(scheme)
+    rng = np.random.default_rng(seed)
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+
+    primary_engine = IdentificationEngine(
+        params, shards=shards,
+        journal=EnrollmentJournal(tmp / "primary" / "journal.log",
+                                  params=params))
+    primary_server = AuthenticationServer(
+        params, sig_scheme, store=primary_engine,
+        seed=seed.to_bytes(8, "big") + b"chaos-pri")
+    standby_engine = IdentificationEngine(
+        params, shards=max(1, shards - 1),  # different sharding, same answers
+        journal=EnrollmentJournal(tmp / "standby" / "journal.log",
+                                  params=params))
+    standby_server = AuthenticationServer(
+        params, sig_scheme, store=standby_engine,
+        seed=seed.to_bytes(8, "big") + b"chaos-sta")
+    population = UserPopulation(params, size=pool_users,
+                                noise=BoundedUniformNoise(params.t),
+                                seed=seed)
+    user_ids = population.user_ids()
+    enroll_device = BiometricDevice(
+        params, sig_scheme, seed=seed.to_bytes(8, "big") + b"chaos-enroll")
+
+    primary_frontend = ServiceFrontend(
+        primary_server, max_batch=max_batch, batch_window_s=batch_window_s,
+        batch_linger_s=batch_linger_s, workers=frontend_workers,
+        max_queue=max(256, 2 * clients))
+    standby_frontend = ServiceFrontend(
+        standby_server, max_batch=max_batch, batch_window_s=batch_window_s,
+        batch_linger_s=batch_linger_s, workers=frontend_workers,
+        max_queue=max(256, 2 * clients))
+
+    primary_net = NetworkServer(primary_frontend, host=host,
+                                owns_endpoint=True,
+                                handler_threads=max(8, clients + 2))
+    primary_net.start()
+    follower = JournalFollower(standby_engine, *primary_net.address,
+                               poll_interval_s=0.05)
+    standby_net = NetworkServer(standby_frontend, host=host,
+                                owns_endpoint=True,
+                                handler_threads=max(8, clients + 2),
+                                health_extra=follower.health_extra)
+    standby_net.start()
+
+    primary_killed = False
+    try:
+        # -- enrollment (resilient path) + filler + catch-up --------------
+        with FailoverClient([primary_net.address, standby_net.address],
+                            timeout_s=5.0) as enroller:
+            for i, user_id in enumerate(user_ids):
+                ack = enroller.enroll(enroll_device, user_id,
+                                      population.template(i))
+                assert ack.accepted, f"chaos enrollment refused: {user_id}"
+        primary_engine.add_many(
+            _filler_records(params, n_users - pool_users, rng))
+        deadline = time.monotonic() + 120.0
+        while follower.applied_seq < n_users:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"standby failed to catch up: "
+                    f"{follower.applied_seq}/{n_users} "
+                    f"(last error: {follower.health_extra()})")
+            time.sleep(0.05)
+
+        # -- warm the primary, then install the fault plan ----------------
+        warm_rng = np.random.default_rng(seed + 1)
+        with RemoteEndpoint.connect(*primary_net.address) as remote:
+            for user in range(pool_users):
+                run_identification(enroll_device, remote, DuplexLink(),
+                                   population.genuine_reading(user, warm_rng))
+        faults.install([
+            {"point": "net.server.send", "style": "drop", "p": 0.01},
+            {"point": "net.server.send", "style": "truncate", "p": 0.02},
+            {"point": "net.server.send", "style": "delay", "p": 0.05,
+             "delay_s": 0.01},
+            {"point": "frontend.batcher", "style": "raise", "p": 0.01},
+        ], seed=chaos_seed)
+
+        # -- measured phase: failover clients under the fault plan --------
+        picks = np.random.default_rng(seed + 2).integers(
+            0, pool_users, size=n_requests)
+        work = [(user_ids[u],
+                 population.genuine_reading(
+                     int(u), np.random.default_rng(seed + 3 + i)))
+                for i, u in enumerate(picks)]
+        per_client = [work[c::clients] for c in range(clients)]
+        devices = [
+            BiometricDevice(params, sig_scheme,
+                            seed=seed.to_bytes(8, "big") + b"chaos%d" % c)
+            for c in range(clients)
+        ]
+        failover_clients = [
+            FailoverClient(
+                [primary_net.address, standby_net.address],
+                policy=RetryPolicy(max_attempts=6, base_delay_s=0.05,
+                                   max_delay_s=1.0, seed=chaos_seed + c),
+                timeout_s=1.5, health_deadline_s=0.5)
+            for c in range(clients)
+        ]
+        latencies: list[float] = []
+        done = 0
+        progress = threading.Condition()
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(clients + 1)
+
+        def client(c: int) -> None:
+            nonlocal done
+            mine: list[float] = []
+            try:
+                barrier.wait()
+                for expected, reading in per_client[c]:
+                    start = time.perf_counter()
+                    run = failover_clients[c].identify(devices[c], reading)
+                    mine.append((time.perf_counter() - start) * 1e3)
+                    if not run.outcome.identified or \
+                            run.outcome.user_id != expected:
+                        raise AssertionError(
+                            f"chaos mis-identification: expected "
+                            f"{expected!r}, got {run.outcome!r}")
+                    with progress:
+                        done += 1
+                        progress.notify_all()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+                with progress:
+                    progress.notify_all()
+            with progress:
+                latencies.extend(mine)
+
+        threads = [threading.Thread(target=client, args=(c,),
+                                    name=f"chaos-client-{c}")
+                   for c in range(clients)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        # Kill the primary once a third of the workload has answered —
+        # the rest of the run must complete against the standby.
+        kill_at = max(1, n_requests // 3)
+        with progress:
+            progress.wait_for(lambda: done >= kill_at or errors,
+                              timeout=120.0)
+        if not errors:
+            primary_net.close()
+            primary_killed = True
+        for t in threads:
+            t.join()
+        elapsed_s = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        if len(latencies) != n_requests:
+            raise AssertionError(
+                f"chaos lost requests: {len(latencies)}/{n_requests} "
+                f"answered")
+
+        # -- parity: the standby answers exactly like the primary ---------
+        parity_rng = np.random.default_rng(seed + 7)
+        if len(standby_engine) != len(primary_engine):
+            raise AssertionError(
+                f"standby diverged: {len(standby_engine)} records vs "
+                f"primary's {len(primary_engine)}")
+        for user in range(pool_users):
+            probe = enroll_device.probe_sketch(
+                population.genuine_reading(user, parity_rng)).sketch
+            mine = [m.user_id for m in primary_engine.find_by_sketch(probe)]
+            theirs = [m.user_id
+                      for m in standby_engine.find_by_sketch(probe)]
+            if mine != theirs:
+                raise AssertionError(
+                    f"standby parity failure on pool user {user}: "
+                    f"{mine!r} != {theirs!r}")
+
+        stats = primary_frontend.stats()
+        fired = faults.fired()
+        return NetBenchReport(
+            n_enrolled=n_users, pool_users=pool_users,
+            n_requests=n_requests, clients=clients, dimension=dimension,
+            shards=shards, scheme=scheme, max_batch=max_batch,
+            batch_window_s=batch_window_s, elapsed_s=elapsed_s,
+            latency_ms=_percentiles(latencies),
+            mean_batch=stats.mean_batch, max_batch_seen=stats.max_batch,
+            wire_bytes_per_id=_chaos_wire_bytes(failover_clients,
+                                                n_requests),
+            overload_attempts=0, overload_rejections=0,
+            mix="chaos",
+            faults_fired=fired,
+            client_retries=sum(fc.retries for fc in failover_clients),
+            client_failovers=sum(fc.failovers for fc in failover_clients),
+            primary_killed=primary_killed,
+        )
+    finally:
+        faults.clear()
+        for fc in locals().get("failover_clients", []):
+            fc.close()
+        follower.close()
+        standby_net.close()
+        primary_net.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _chaos_wire_bytes(failover_clients: list[FailoverClient],
+                      n_requests: int) -> float:
+    """Mean client-side wire bytes per answered request.
+
+    Failover clients drop and rebuild connections, so only the live
+    connection's accounting survives — the figure is a lower bound and
+    recorded as such (chaos rows are about loss, not wire cost).
+    """
+    total = 0
+    for fc in failover_clients:
+        endpoint = getattr(fc, "_endpoint", None)
+        if endpoint is not None:
+            total += endpoint.client.total_bytes
+    return total / max(n_requests, 1)

@@ -32,10 +32,13 @@ import threading
 
 from repro.obs import mint_trace_id
 from repro.exceptions import (
+    ConnectionLostError,
     ProtocolError,
+    RequestTimeoutError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
+    ServiceRestartingError,
 )
 from repro.net.framing import (
     DEFAULT_MAX_FRAME,
@@ -50,6 +53,8 @@ from repro.protocols.messages import (
     EnrollmentAck,
     EnrollmentSubmission,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     IdentificationChallenge,
     IdentificationDecline,
     IdentificationOutcome,
@@ -70,12 +75,39 @@ from repro.protocols.transport import ChannelStats
 def _raise_error_reply(reply: ErrorReply) -> None:
     """Re-raise a server error frame as its in-process exception type."""
     if reply.code == "overload":
-        raise ServiceOverloadError(reply.detail)
+        exc = ServiceOverloadError(reply.detail)
+        exc.retry_after_ms = reply.retry_after_ms()
+        raise exc
+    if reply.code == "retry":
+        exc = ServiceRestartingError(reply.detail)
+        exc.retry_after_ms = reply.retry_after_ms()
+        raise exc
     if reply.code == "closed":
         raise ServiceClosedError(reply.detail)
     if reply.code == "protocol":
         raise ProtocolError(reply.detail)
     raise ServiceError(f"server error [{reply.code}]: {reply.detail}")
+
+
+def _map_transport_error(exc: Exception) -> Exception:
+    """Classify a failed round trip for the resilience layer.
+
+    Timeouts become :class:`~repro.exceptions.RequestTimeoutError` (still
+    a ``TimeoutError``), torn connections become
+    :class:`~repro.exceptions.ConnectionLostError` (still a
+    ``ProtocolError``) — both transient, so a failover client knows the
+    request may be resubmitted.  Anything else passes through unchanged.
+    """
+    if isinstance(exc, (RequestTimeoutError, ConnectionLostError)):
+        return exc
+    if isinstance(exc, TimeoutError):
+        return RequestTimeoutError(f"request deadline exceeded: {exc}")
+    if isinstance(exc, (ProtocolError, OSError)):
+        # The only ProtocolError sources mid-exchange are frame-level
+        # (connection torn mid-frame / hostile length) — connection-fatal
+        # either way, and the exchange never completed.
+        return ConnectionLostError(f"connection lost mid-exchange: {exc}")
+    return exc
 
 
 class NetworkClient:
@@ -107,6 +139,7 @@ class NetworkClient:
     def __init__(self, host: str, port: int, timeout_s: float = 30.0,
                  max_frame: int = DEFAULT_MAX_FRAME) -> None:
         self.max_frame = max_frame
+        self.timeout_s = timeout_s
         self.to_server = ChannelStats()
         self.to_device = ChannelStats()
         #: Trace id from the last enveloped reply (``None`` when the
@@ -123,8 +156,15 @@ class NetworkClient:
         return self.to_server.wire_bytes + self.to_device.wire_bytes
 
     def request(self, message: Message,
-                trace_id: bytes | None = None) -> Message:
+                trace_id: bytes | None = None,
+                deadline_s: float | None = None) -> Message:
         """One round trip: send ``message``, return the decoded reply.
+
+        ``deadline_s`` overrides the connection's default ``timeout_s``
+        for this request only (health probes want a short fuse while
+        protocol requests keep the long one).  Either way every read
+        and write carries a deadline — a stalled server surfaces as
+        :class:`~repro.exceptions.RequestTimeoutError`, never a hang.
 
         ``trace_id``, when given, wraps the request in a
         :class:`~repro.protocols.messages.TracedEnvelope`; the server
@@ -145,23 +185,27 @@ class NetworkClient:
         with self._lock:
             if self._sock is None:
                 raise ServiceClosedError("client connection is closed")
+            # Re-arm the per-request deadline on every round trip; the
+            # socket-level timeout is what bounds each read and write.
+            self._sock.settimeout(
+                self.timeout_s if deadline_s is None else deadline_s)
             try:
                 self._sock.sendall(frame)
                 self.to_server.record(len(frame), 0.0)
                 payload = recv_frame(self._sock, self.max_frame)
-            except Exception:
+            except Exception as exc:
                 # A failed round trip (timeout, reset, malformed frame)
                 # desynchronises the strict request/reply stream: poison
                 # the connection so a retried request can never read the
                 # abandoned exchange's stale reply as its own.
                 self._sock.close()
                 self._sock = None
-                raise
+                raise _map_transport_error(exc) from exc
             if payload is None:
                 # EOF mid-conversation: the connection is spent.
                 self._sock.close()
                 self._sock = None
-                raise ProtocolError(
+                raise ConnectionLostError(
                     "server closed the connection without replying")
         self.to_device.record(len(payload) + PREFIX_BYTES, 0.0)
         reply = Message.decode(payload)
@@ -189,6 +233,24 @@ class NetworkClient:
             return json.loads(reply.payload)
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"malformed stats payload: {exc}") from exc
+
+    def health(self, deadline_s: float | None = None) -> dict:
+        """One liveness/readiness probe as a parsed dict.
+
+        A :class:`~repro.protocols.messages.HealthRequest` round trip,
+        answered on the server's accept-loop thread — it reflects queue
+        depth, overload, degradation, and replication lag even while the
+        endpoint itself is wedged.  ``deadline_s`` defaults to the
+        connection timeout; failover probes pass a short fuse.
+        """
+        reply = self.request(HealthRequest(probe=b""), deadline_s=deadline_s)
+        if not isinstance(reply, HealthReply):
+            raise ProtocolError(
+                f"expected HealthReply, server sent {type(reply).__name__}")
+        try:
+            return json.loads(reply.payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed health payload: {exc}") from exc
 
     def close(self) -> None:
         """Close the connection.  Idempotent."""

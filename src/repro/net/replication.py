@@ -1,0 +1,210 @@
+"""Warm-standby replication: the journal follower.
+
+A standby's entire ingest path is "pull journal entries, apply them":
+:class:`JournalFollower` runs a background thread that polls the primary
+with :class:`~repro.protocols.messages.ReplicateSubscribe` frames from
+the follower engine's current offset and feeds the returned entries into
+:meth:`~repro.engine.engine.IdentificationEngine.apply_replicated`.
+Because ``Gen`` is deterministic over the stored record bytes, a
+follower that has applied the same journal prefix answers identification
+requests byte-identically to the primary — replication is just shipping
+the enrollment history, no state-machine protocol needed.
+
+Design points:
+
+* **pull, not push.**  The wire protocol is strict request/reply, so the
+  follower polls; a catch-up burst keeps requesting full batches
+  back-to-back and only sleeps ``poll_interval_s`` once it has drained
+  to the primary's head.
+* **failure is the normal case.**  The primary being down (crashed,
+  restarting, not yet started) parks the follower in a retry loop with
+  backoff — it never gives up, because a standby's job is precisely to
+  outlive the primary.  :attr:`lag` and :attr:`last_contact_age_s` are
+  exported through the server's ``health_extra`` hook so operators (and
+  the failover client) can see staleness.
+* **durability composes.**  A follower engine with its own journal
+  re-journals every applied record (``apply_replicated`` goes through
+  ``add``), so a standby restart replays its local journal first and
+  resumes pulling from where it left off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.exceptions import ProtocolError, ReplicationError
+from repro.net.client import NetworkClient
+from repro.protocols.messages import ReplicateRecords, ReplicateSubscribe
+
+#: Entries requested per poll; full batches trigger immediate re-poll.
+DEFAULT_BATCH = 512
+
+
+class JournalFollower:
+    """Continuously replicate a primary's enrollment journal into an
+    engine.
+
+    Parameters
+    ----------
+    engine:
+        The follower's :class:`~repro.engine.engine.IdentificationEngine`
+        (typically journaled itself, so follower durability matches the
+        primary's).
+    host / port:
+        The primary's :class:`~repro.net.server.NetworkServer` address.
+    poll_interval_s:
+        Sleep between polls once caught up (and the base retry delay
+        when the primary is unreachable; failures back off to
+        ``8 * poll_interval_s``).
+    timeout_s:
+        Per-request deadline on the replication connection.
+    batch:
+        Max entries per pull.
+    """
+
+    def __init__(self, engine, host: str, port: int,
+                 poll_interval_s: float = 0.2,
+                 timeout_s: float = 5.0,
+                 batch: int = DEFAULT_BATCH) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.poll_interval_s = poll_interval_s
+        self.timeout_s = timeout_s
+        self.batch = batch
+        self._stop = threading.Event()
+        self._client: NetworkClient | None = None
+        self._lock = threading.Lock()
+        #: Primary head seen on the last successful poll.
+        self._head_seq = 0
+        self._last_contact: float | None = None
+        self._last_error: str | None = None
+        instance = obs.registry.next_instance("follower")
+        self._applied = obs.registry.counter(
+            "repro_replication_applied_total",
+            "Journal entries applied by this follower.", labels=instance)
+        self._polls = obs.registry.counter(
+            "repro_replication_polls_total",
+            "Replication polls attempted.", labels=instance)
+        self._errors = obs.registry.counter(
+            "repro_replication_errors_total",
+            "Replication polls that failed (connect/protocol/apply).",
+            labels=instance)
+        self._lag_gauge = obs.registry.gauge(
+            "repro_replication_lag",
+            "Entries behind the primary's journal head.", labels=instance)
+        self._thread = threading.Thread(
+            target=self._run, name="journal-follower", daemon=True)
+        self._thread.start()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def applied_seq(self) -> int:
+        """The follower engine's next sequence (== entries applied)."""
+        return self.engine.journal_seq()
+
+    @property
+    def lag(self) -> int:
+        """Entries behind the primary head as of the last contact."""
+        return max(0, self._head_seq - self.applied_seq)
+
+    @property
+    def last_contact_age_s(self) -> float | None:
+        """Seconds since the last successful poll (``None`` = never)."""
+        if self._last_contact is None:
+            return None
+        return time.monotonic() - self._last_contact
+
+    def health_extra(self) -> dict:
+        """Follower facts for the health frame (``health_extra`` hook)."""
+        age = self.last_contact_age_s
+        return {
+            "follower": True,
+            "primary": f"{self.host}:{self.port}",
+            "follower_lag": self.lag,
+            "follower_last_contact_s":
+                None if age is None else round(age, 3),
+            "follower_error": self._last_error,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop polling and drop the replication connection.  Idempotent."""
+        self._stop.set()
+        self._thread.join()
+        with self._lock:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
+
+    def __enter__(self) -> "JournalFollower":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the poll loop -------------------------------------------------------
+
+    def _connect(self) -> NetworkClient:
+        with self._lock:
+            if self._client is None:
+                self._client = NetworkClient(
+                    self.host, self.port, timeout_s=self.timeout_s)
+            return self._client
+
+    def _disconnect(self) -> None:
+        with self._lock:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
+
+    def _poll_once(self) -> int:
+        """One pull+apply round trip; returns entries applied."""
+        client = self._connect()
+        reply = client.request(ReplicateSubscribe.make(
+            from_seq=self.engine.journal_seq(), max_entries=self.batch))
+        if not isinstance(reply, ReplicateRecords):
+            raise ProtocolError(
+                f"expected ReplicateRecords, primary sent "
+                f"{type(reply).__name__}")
+        from_seq, head_seq, payloads = reply.values()
+        applied = self.engine.apply_replicated(
+            list(zip(range(from_seq, from_seq + len(payloads)), payloads)))
+        self._head_seq = head_seq
+        self._last_contact = time.monotonic()
+        self._last_error = None
+        self._applied.inc(applied)
+        self._lag_gauge.set(self.lag)
+        return len(payloads)
+
+    def _run(self) -> None:
+        failures = 0
+        while not self._stop.is_set():
+            self._polls.inc()
+            try:
+                pulled = self._poll_once()
+            except ReplicationError:
+                # A gap means our offset view is stale (e.g. the engine
+                # was mutated behind us); the next poll re-fetches from
+                # the engine's real offset — drop the connection so a
+                # desynced stream cannot linger.
+                failures += 1
+                self._errors.inc()
+                self._last_error = "replication gap; re-fetching"
+                self._disconnect()
+            except Exception as exc:  # noqa: BLE001 — outlive the primary
+                failures += 1
+                self._errors.inc()
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                self._disconnect()
+            else:
+                failures = 0
+                if pulled >= self.batch:
+                    continue  # catch-up burst: poll again immediately
+            # Caught up (or failed): sleep, backing off on failure.
+            delay = self.poll_interval_s * min(2 ** min(failures, 3), 8)
+            self._stop.wait(min(delay, 8 * self.poll_interval_s))

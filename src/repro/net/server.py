@@ -46,11 +46,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.exceptions import (
     ProtocolError,
     ServiceClosedError,
     ServiceOverloadError,
+    TransientError,
 )
 from repro.net.framing import (
     DEFAULT_MAX_FRAME,
@@ -63,10 +64,13 @@ from repro.protocols.messages import (
     BaselineResponseBatch,
     EnrollmentSubmission,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     IdentificationDecline,
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    ReplicateSubscribe,
     StatsReply,
     StatsRequest,
     TracedEnvelope,
@@ -87,6 +91,7 @@ REQUEST_HANDLERS: dict[type, str] = {
     VerificationResponse: "handle_verification_response",
     BaselineIdentificationRequest: "handle_baseline_request",
     BaselineResponseBatch: "handle_baseline_response",
+    ReplicateSubscribe: "handle_replicate_subscribe",
 }
 
 
@@ -180,17 +185,24 @@ class NetworkServer:
         When true, :meth:`close` also calls ``endpoint.close()`` (if it
         has one) after the transport is down — handy for benches that
         build a frontend just for one server.
+    health_extra:
+        Optional zero-argument callable returning a dict merged into the
+        health snapshot — how the CLI wires deployment-level facts (a
+        follower's replication lag) into the liveness frame without the
+        transport knowing about them.
     """
 
     def __init__(self, endpoint, host: str = "127.0.0.1", port: int = 0,
                  max_frame: int = DEFAULT_MAX_FRAME,
                  handler_threads: int = 8,
-                 owns_endpoint: bool = False) -> None:
+                 owns_endpoint: bool = False,
+                 health_extra=None) -> None:
         if handler_threads < 1:
             raise ValueError("handler_threads must be >= 1")
         self.endpoint = endpoint
         self.max_frame = max_frame
         self.owns_endpoint = owns_endpoint
+        self.health_extra = health_extra
         self._host = host
         self._port = port
         self._pool = ThreadPoolExecutor(
@@ -432,6 +444,13 @@ class NetworkServer:
                                      self._stats_reply(message),
                                      trace_id=wire_trace)
                     continue
+                if isinstance(message, HealthRequest):
+                    # Liveness probe: also answered on the loop thread,
+                    # so a wedged handler pool still reports (un)health
+                    # instead of timing the probe out.
+                    await self._send(writer, stats, self._health_reply(),
+                                     trace_id=wire_trace)
+                    continue
                 handler_name = REQUEST_HANDLERS.get(type(message))
                 if handler_name is None:
                     raise ProtocolError(
@@ -457,7 +476,15 @@ class NetworkServer:
                     self._pool, self._run_handler, handler, message,
                     trace_id)
             except ServiceOverloadError as exc:
-                reply = ErrorReply(code="overload", detail=str(exc))
+                reply = ErrorReply.make(
+                    code="overload", detail=str(exc),
+                    retry_after_ms=getattr(exc, "retry_after_ms", None))
+            except TransientError as exc:
+                # Restarting batcher & friends: the request was not
+                # applied; tell the client to back off and resubmit.
+                reply = ErrorReply.make(
+                    code="retry", detail=str(exc),
+                    retry_after_ms=getattr(exc, "retry_after_ms", None))
             except ServiceClosedError as exc:
                 reply = ErrorReply(code="closed", detail=str(exc))
             except ProtocolError as exc:
@@ -519,6 +546,32 @@ class NetworkServer:
             payload["endpoint"] = endpoint
         return StatsReply(payload=json.dumps(payload))
 
+    def _health_reply(self) -> HealthReply:
+        """Build the liveness/readiness snapshot a ``HealthRequest``
+        asks for.
+
+        ``alive`` is implicit in the reply existing; ``ready`` comes
+        from the endpoint's snapshot (a bare server is always ready).
+        Endpoint and ``health_extra`` failures degrade the payload, not
+        the probe — a health check that can itself crash is worse than
+        none.
+        """
+        payload: dict = {"alive": True, "ready": True,
+                         "open_connections": self.open_connections()}
+        snapshot = getattr(self.endpoint, "health_snapshot", None)
+        if snapshot is not None:
+            try:
+                payload.update(snapshot())
+            except Exception as exc:  # noqa: BLE001 — probe must answer
+                payload["ready"] = False
+                payload["health_error"] = f"{type(exc).__name__}: {exc}"
+        if self.health_extra is not None:
+            try:
+                payload.update(self.health_extra())
+            except Exception as exc:  # noqa: BLE001 — probe must answer
+                payload["health_extra_error"] = f"{type(exc).__name__}: {exc}"
+        return HealthReply(payload=json.dumps(payload))
+
     def _frame_reply(self, message: Message) -> bytes | None:
         """Frame a reply, degrading to a trimmed error frame if over cap.
 
@@ -561,6 +614,20 @@ class NetworkServer:
         frame = self._frame_reply(message)
         if frame is None:
             return
+        rule = faults.decide("net.server.send")
+        if rule is not None:
+            if rule.style == "drop":
+                # Swallow the reply: the client's read deadline is what
+                # turns this into a retryable timeout.
+                return
+            if rule.style == "truncate":
+                # A torn write: half a frame, then hang up — the client
+                # must classify this as a lost connection, not a reply.
+                writer.write(frame[:max(1, len(frame) // 2)])
+                writer.close()
+                return
+            if rule.style == "delay":
+                await asyncio.sleep(rule.delay_s)
         writer.write(frame)
         stats.record_frame(stats.to_device, len(frame))
         self._frames_out.inc()

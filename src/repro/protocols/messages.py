@@ -362,13 +362,34 @@ class ErrorReply(Message):
     service frontend's backpressure crosses the wire).
 
     ``code`` is a stable machine-readable tag (``overload``, ``closed``,
-    ``protocol``, ``internal``); ``detail`` is human-readable context.
+    ``protocol``, ``internal``, ``retry``); ``detail`` is human-readable
+    context.  ``retry_after`` is an optional backoff hint: empty (the
+    default, so existing two-argument constructor call sites stand) or a 4-byte
+    big-endian millisecond count the server derives from its queue
+    depth and batching linger — clients honoring it back off
+    proportionally instead of hammering an overloaded server.
     """
 
     TYPE_TAG: ClassVar[int] = 15
 
     code: str
     detail: str
+    retry_after: bytes = b""
+
+    @staticmethod
+    def make(code: str, detail: str,
+             retry_after_ms: int | None = None) -> "ErrorReply":
+        """Build an error frame, packing the optional backoff hint."""
+        hint = b"" if retry_after_ms is None else \
+            max(0, min(int(retry_after_ms), 2**32 - 1)).to_bytes(4, "big")
+        return ErrorReply(code=code, detail=detail, retry_after=hint)
+
+    def retry_after_ms(self) -> int | None:
+        """Decode the backoff hint (``None`` when absent or malformed —
+        a garbled hint degrades to no hint, never to an error)."""
+        if len(self.retry_after) != 4:
+            return None
+        return int.from_bytes(self.retry_after, "big")
 
 
 # --------------------------------------------------------------------------
@@ -443,5 +464,111 @@ class StatsReply(Message):
     """
 
     TYPE_TAG: ClassVar[int] = 18
+
+    payload: str
+
+
+# --------------------------------------------------------------------------
+# Replication: journal streaming from primary to warm standby
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicateSubscribe(Message):
+    """``standby -> primary``: pull journal entries from an offset.
+
+    The transport is strict request/reply, so replication is a *poll*:
+    the follower asks for entries from its own head sequence, applies
+    what comes back, and asks again — catch-up from any offset and
+    steady-state tailing are the same loop.  ``from_seq`` is an 8-byte
+    big-endian journal sequence; ``max_entries`` a 4-byte big-endian
+    batch bound (0 = server default).
+    """
+
+    TYPE_TAG: ClassVar[int] = 19
+
+    from_seq: bytes
+    max_entries: bytes
+
+    @staticmethod
+    def make(from_seq: int, max_entries: int = 0) -> "ReplicateSubscribe":
+        """Build a subscribe request with packed wire fields."""
+        return ReplicateSubscribe(
+            from_seq=int(from_seq).to_bytes(8, "big"),
+            max_entries=int(max_entries).to_bytes(4, "big"))
+
+    def values(self) -> tuple[int, int]:
+        """Decode ``(from_seq, max_entries)``."""
+        if len(self.from_seq) != 8 or len(self.max_entries) != 4:
+            raise ProtocolError("malformed replicate-subscribe fields")
+        return (int.from_bytes(self.from_seq, "big"),
+                int.from_bytes(self.max_entries, "big"))
+
+
+@dataclass(frozen=True)
+class ReplicateRecords(Message):
+    """``primary -> standby``: one batch of journal entries.
+
+    ``entries`` is a packed list (same framing as
+    :meth:`BaselineChallengeBatch.pack_list`) of canonical journal
+    payloads, consecutive from ``from_seq``; ``head_seq`` is the
+    primary's journal head, so the follower knows its remaining lag
+    without another round trip.
+    """
+
+    TYPE_TAG: ClassVar[int] = 20
+
+    from_seq: bytes
+    head_seq: bytes
+    entries: bytes
+
+    @staticmethod
+    def make(from_seq: int, head_seq: int,
+             payloads: list[bytes]) -> "ReplicateRecords":
+        """Build a batch with packed wire fields."""
+        return ReplicateRecords(
+            from_seq=int(from_seq).to_bytes(8, "big"),
+            head_seq=int(head_seq).to_bytes(8, "big"),
+            entries=BaselineChallengeBatch.pack_list(payloads))
+
+    def values(self) -> tuple[int, int, list[bytes]]:
+        """Decode ``(from_seq, head_seq, payload_list)``."""
+        if len(self.from_seq) != 8 or len(self.head_seq) != 8:
+            raise ProtocolError("malformed replicate-records fields")
+        return (int.from_bytes(self.from_seq, "big"),
+                int.from_bytes(self.head_seq, "big"),
+                BaselineChallengeBatch.unpack_list(self.entries))
+
+
+# --------------------------------------------------------------------------
+# Health: liveness + readiness probing (failover endpoint selection)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HealthRequest(Message):
+    """``admin/client -> AS``: probe liveness and readiness.
+
+    Answered on the server's event-loop thread (never the handler
+    pool), so a wedged endpoint still reports *alive* while its
+    readiness flag goes false — the distinction failover clients key
+    endpoint preference off.
+    """
+
+    TYPE_TAG: ClassVar[int] = 21
+
+    probe: bytes  # opaque marker; kept for wire-size accounting
+
+
+@dataclass(frozen=True)
+class HealthReply(Message):
+    """``AS -> admin/client``: liveness + readiness snapshot (JSON).
+
+    The payload carries ``alive``, ``ready``, ``role``, queue depth and
+    capacity, the overload/degraded flags, enrolled count, journal head
+    sequence, and (on a follower) replication lag — everything the
+    resilience layer needs to prefer ready endpoints and everything
+    ``repro stats --health`` renders.
+    """
+
+    TYPE_TAG: ClassVar[int] = 22
 
     payload: str

@@ -41,7 +41,7 @@ from repro import obs
 from repro.core.params import SystemParams
 from repro.crypto.prng import HmacDrbg
 from repro.crypto.signatures import SignatureScheme, VerifyTableCache
-from repro.exceptions import EnrollmentError
+from repro.exceptions import EnrollmentError, ParameterError, ProtocolError
 from repro.protocols.database import HelperDataStore, UserRecord
 from repro.protocols.device import signed_payload
 from repro.protocols.messages import (
@@ -55,6 +55,8 @@ from repro.protocols.messages import (
     IdentificationOutcome,
     IdentificationRequest,
     IdentificationResponse,
+    ReplicateRecords,
+    ReplicateSubscribe,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -63,6 +65,9 @@ from repro.protocols.messages import (
 from repro.protocols.sessions import EvictedSession, PendingSession, SessionStore
 
 _CHALLENGE_BYTES = 16
+
+#: Entries per replication batch when the subscriber does not bound it.
+DEFAULT_REPLICATION_BATCH = 512
 
 
 @dataclass(frozen=True)
@@ -231,14 +236,30 @@ class AuthenticationServer:
     # -- enrollment -------------------------------------------------------------
 
     def handle_enrollment(self, submission: EnrollmentSubmission) -> EnrollmentAck:
-        """Store ``(ID, pk, P)``; refuse duplicates."""
+        """Store ``(ID, pk, P)``; refuse duplicates, dedupe resubmissions.
+
+        A duplicate identity whose ``(pk, P)`` bytes match the stored
+        record is acknowledged ``accepted=True`` without touching the
+        store: enrollment is idempotent over identical submissions, so
+        a resilient client that lost the ack to a torn connection can
+        safely resend the same frame (the failover retry path) — the
+        record is never double-enrolled and a *different* payload under
+        the same identity is still refused.
+        """
+        record = UserRecord(
+            user_id=submission.user_id,
+            verify_key=submission.verify_key,
+            helper_data=submission.helper_data,
+        )
         try:
-            self.store.add(UserRecord(
-                user_id=submission.user_id,
-                verify_key=submission.verify_key,
-                helper_data=submission.helper_data,
-            ))
+            self.store.add(record)
         except EnrollmentError:
+            existing = self.store.get(submission.user_id)
+            if existing is not None and existing == record:
+                self._record_event("enroll-dedup", submission.user_id,
+                                   "idempotent resubmission")
+                return EnrollmentAck(user_id=submission.user_id,
+                                     accepted=True)
             self._record_event("enroll-refused", submission.user_id,
                                "duplicate identity")
             return EnrollmentAck(user_id=submission.user_id, accepted=False)
@@ -487,3 +508,47 @@ class AuthenticationServer:
                     identified=True, user_id=record.user_id
                 )
         return IdentificationOutcome(identified=False, user_id=None)
+
+    # -- replication (journal streaming) ------------------------------------------
+
+    def handle_replicate_subscribe(
+        self, request: ReplicateSubscribe,
+    ) -> ReplicateRecords:
+        """Serve one batch of journal entries to a polling follower.
+
+        Requires the store to carry an enrollment journal (the
+        identification engine with journaling on); a journal-less
+        endpoint — or an offset older than the journal's base, which
+        this journal simply does not have — is a protocol error: the
+        follower must bootstrap from a store copy instead.
+        """
+        from_seq, max_entries = request.values()
+        journal = getattr(self.store, "journal", None)
+        if journal is None:
+            raise ProtocolError(
+                "endpoint has no enrollment journal to replicate from")
+        try:
+            entries = journal.read(
+                from_seq, max_entries or DEFAULT_REPLICATION_BATCH)
+        except ParameterError as exc:
+            raise ProtocolError(str(exc)) from exc
+        return ReplicateRecords.make(
+            from_seq, journal.head_seq,
+            [payload for _seq, payload in entries])
+
+    # -- health -------------------------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        """Readiness facts this layer owns (merged into health replies):
+        enrolled count, outstanding challenges, and — when the store is
+        a journaled engine — the journal head sequence."""
+        snap: dict = {
+            "enrolled": len(self.store),
+            "outstanding_sessions": self.outstanding_sessions(),
+        }
+        seq = getattr(self.store, "journal_seq", None)
+        if seq is not None:
+            snap["journal_seq"] = seq()
+            snap["journaled"] = getattr(self.store, "journal",
+                                        None) is not None
+        return snap

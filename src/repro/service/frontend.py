@@ -51,8 +51,12 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro import obs
-from repro.exceptions import ServiceClosedError, ServiceOverloadError
+from repro import faults, obs
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadError,
+    ServiceRestartingError,
+)
 from repro.protocols.messages import (
     BaselineChallengeBatch,
     BaselineIdentificationRequest,
@@ -64,6 +68,8 @@ from repro.protocols.messages import (
     IdentificationOutcome,
     IdentificationRequest,
     IdentificationResponse,
+    ReplicateRecords,
+    ReplicateSubscribe,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -85,6 +91,14 @@ _POOLED_HANDLERS = {
 
 #: Op kinds the batcher coalesces under the window+linger policy.
 _COALESCED = ("identify", "verify-response")
+
+#: The degraded (serial) path's kind -> server handler map: everything
+#: the pipeline would have routed, minus batching.
+_SERIAL_HANDLERS = {
+    "enroll": "handle_enrollment",
+    "identify": "handle_identification_request",
+    **_POOLED_HANDLERS,
+}
 
 
 @dataclass
@@ -206,7 +220,8 @@ class ServiceFrontend:
                  batch_linger_s: float = 0.002,
                  workers: int = 4,
                  submit_timeout_s: float = 10.0,
-                 result_timeout_s: float = 60.0) -> None:
+                 result_timeout_s: float = 60.0,
+                 max_batcher_restarts: int = 5) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
@@ -219,8 +234,22 @@ class ServiceFrontend:
         self.batch_linger_s = batch_linger_s
         self.submit_timeout_s = submit_timeout_s
         self.result_timeout_s = result_timeout_s
+        self.max_batcher_restarts = max_batcher_restarts
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._closed = threading.Event()
+        # Supervision state: the batcher thread runs under
+        # _batcher_main, which restarts _batch_loop on a crash (failing
+        # the crashed tick's in-flight ops with a retryable error) and,
+        # past max_batcher_restarts, flips the frontend into *degraded*
+        # mode — requests bypass the queue and run serially against the
+        # wrapped server, so the service limps instead of going dark.
+        self._degraded = threading.Event()
+        self._serial_lock = threading.Lock()
+        self._restarts = 0
+        #: Ops dequeued by the current batcher tick but not yet handed
+        #: off; only the batcher thread touches this, so its crash
+        #: handler can fail them without locking.
+        self._current_ops: list[_Op] = []
         # Lifetime counters live on the process-wide metrics registry
         # (one labelled series per frontend instance); the stats()
         # snapshot reads them back through the same instruments.
@@ -256,6 +285,10 @@ class ServiceFrontend:
         self._max_verify_batch_seen = reg.gauge(
             "repro_frontend_max_verify_batch",
             "Largest verification micro-batch seen.", labels=instance)
+        self._batcher_restarts = reg.counter(
+            "repro_frontend_batcher_restarts_total",
+            "Supervised restarts of the micro-batcher thread.",
+            labels=instance)
         self.queue_wait_seconds = reg.histogram(
             "repro_frontend_queue_wait_seconds",
             "Time requests spent queued before the batcher pulled them.",
@@ -267,7 +300,7 @@ class ServiceFrontend:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="service-verify")
         self._batcher = threading.Thread(
-            target=self._batch_loop, name="service-batcher", daemon=True)
+            target=self._batcher_main, name="service-batcher", daemon=True)
         self._batcher.start()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -328,10 +361,14 @@ class ServiceFrontend:
             self._queue.put(op, timeout=self.submit_timeout_s)
         except queue.Full:
             self._rejected.inc()
-            raise ServiceOverloadError(
+            exc = ServiceOverloadError(
                 f"request queue full ({self._queue.maxsize}) for "
                 f"{self.submit_timeout_s}s"
-            ) from None
+            )
+            # Backoff hint, proportional to current congestion; the
+            # network server copies it onto the overload ErrorReply.
+            exc.retry_after_ms = self.retry_after_ms()
+            raise exc from None
         if self._closed.is_set() and not self._batcher.is_alive():
             # Raced close(): the op may have landed after the shutdown
             # drain, with no consumer left.  Fail it here (idempotent —
@@ -342,7 +379,37 @@ class ServiceFrontend:
         return op.future
 
     def _call(self, kind: str, payload: object):
+        if self._degraded.is_set() or (
+                not self._batcher.is_alive() and not self._closed.is_set()):
+            # The batcher gave up (or died faster than its supervisor
+            # could notice): serve serially rather than queueing work no
+            # consumer will drain.
+            return self._serial_call(kind, payload)
         return self._submit(kind, payload).result(self.result_timeout_s)
+
+    def _serial_call(self, kind: str, payload: object):
+        """Degraded path: run the handler directly, one at a time.
+
+        No micro-batching, no worker pool — just the wrapped server
+        under one lock (enrollment mutates the store, so the serial path
+        keeps the no-concurrent-mutation guarantee the batcher gave).
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError("frontend is closed")
+        handler = getattr(self.server, _SERIAL_HANDLERS[kind])
+        self._submitted.inc()
+        with self._serial_lock:
+            result = handler(payload)
+        self._completed.inc()
+        return result
+
+    def retry_after_ms(self) -> int:
+        """Backoff hint for overloaded/restarting replies (10..2000 ms),
+        scaled by queue depth times the batch linger (roughly how long
+        the backlog takes to drain one op deep)."""
+        depth = self._queue.qsize()
+        hint = int(1000 * max(self.batch_linger_s, 0.001) * max(depth, 1))
+        return max(10, min(hint, 2000))
 
     # -- the server handler surface (blocking, drop-in) --------------------------
 
@@ -425,7 +492,76 @@ class ServiceFrontend:
         """Outstanding challenge count on the wrapped server."""
         return self.server.outstanding_sessions()
 
+    def handle_replicate_subscribe(
+        self, request: ReplicateSubscribe,
+    ) -> ReplicateRecords:
+        """Journal shipping, pass-through (reads the journal file — no
+        store mutation, so it never queues behind the batcher)."""
+        return self.server.handle_replicate_subscribe(request)
+
+    def health_snapshot(self) -> dict:
+        """Liveness/readiness snapshot for the health admin frame.
+
+        Extends the wrapped server's snapshot with pipeline state.  A
+        *degraded* frontend is still ``ready`` — it is limping through
+        the serial path, not refusing work.
+        """
+        snapshot = self.server.health_snapshot()
+        closed = self._closed.is_set()
+        snapshot.update(
+            queue_depth=self._queue.qsize(),
+            queue_capacity=self._queue.maxsize,
+            overloaded=self._queue.full(),
+            degraded=self._degraded.is_set(),
+            batcher_restarts=self._restarts,
+            closed=closed,
+            ready=not (closed or self._queue.full()),
+        )
+        return snapshot
+
     # -- the batcher -------------------------------------------------------------
+
+    def _batcher_main(self) -> None:
+        """Supervise :meth:`_batch_loop`: restart it when it crashes.
+
+        A crash mid-tick strands whatever ops that tick had dequeued —
+        they are failed with a retryable
+        :class:`~repro.exceptions.ServiceRestartingError` (carrying a
+        backoff hint) so their callers resubmit instead of timing out.
+        After ``max_batcher_restarts`` consecutive crashes the frontend
+        flips to *degraded* mode: the queue path is abandoned and
+        requests run serially against the wrapped server.
+        """
+        while True:
+            try:
+                self._batch_loop()
+                return  # clean _STOP exit
+            except BaseException as exc:  # noqa: BLE001 — supervisor boundary
+                stranded, self._current_ops = self._current_ops, []
+                for op in stranded:
+                    err = ServiceRestartingError(
+                        "batcher thread died mid-request "
+                        f"({type(exc).__name__}: {exc})")
+                    err.retry_after_ms = self.retry_after_ms()
+                    try:
+                        op.future.set_exception(err)
+                    except Exception:  # noqa: BLE001 — already resolved
+                        pass
+                self._batcher_restarts.inc()
+                self._restarts += 1
+                if self._closed.is_set():
+                    return
+                if self._restarts > self.max_batcher_restarts:
+                    self._degraded.set()
+                    obs.events.emit(
+                        "supervision", component="batcher",
+                        action="degraded", restarts=self._restarts,
+                        error=f"{type(exc).__name__}: {exc}")
+                    return
+                obs.events.emit(
+                    "supervision", component="batcher", action="restart",
+                    restarts=self._restarts,
+                    error=f"{type(exc).__name__}: {exc}")
 
     def _batch_loop(self) -> None:
         """Pull requests, coalesce identification probes and verification
@@ -435,8 +571,11 @@ class ServiceFrontend:
             if op is _STOP:
                 return
             self._mark_dequeued(op)
+            self._current_ops = [op]
+            faults.fire("frontend.batcher")
             if op.kind not in _COALESCED:
                 self._dispatch(op)
+                self._current_ops = []
                 continue
             # One window collects both coalescable kinds — mixed bursts
             # flush as one batched scan plus one batched verify.
@@ -457,6 +596,7 @@ class ServiceFrontend:
                     stop = True  # FIFO: everything earlier was dequeued
                     break
                 self._mark_dequeued(nxt)
+                self._current_ops.append(nxt)
                 if nxt.kind in batches:
                     batches[nxt.kind].append(nxt)
                 else:
@@ -467,6 +607,7 @@ class ServiceFrontend:
                 self._verify_batch(batches["verify-response"])
             if batches["identify"]:
                 self._identify_batch(batches["identify"])
+            self._current_ops = []
             if stop:
                 return
 
@@ -486,6 +627,8 @@ class ServiceFrontend:
             self._complete(op, self.server.handle_enrollment)
         else:
             handler = getattr(self.server, _POOLED_HANDLERS[op.kind])
+            # Handed to the pool: no longer at risk from a batcher crash.
+            self._current_ops = [o for o in self._current_ops if o is not op]
             self._pool.submit(self._complete, op, handler)
 
     def _identify_batch(self, ops: list[_Op]) -> None:
@@ -526,6 +669,10 @@ class ServiceFrontend:
         self._verify_ops.inc(len(ops))
         self._verify_batches.inc()
         self._max_verify_batch_seen.track_max(len(ops))
+        # Handed to the pool: no longer at risk from a batcher crash.
+        handed = set(map(id, ops))
+        self._current_ops = [
+            o for o in self._current_ops if id(o) not in handed]
         self._pool.submit(self._run_verify_batch, ops)
 
     def _run_verify_batch(self, ops: list[_Op]) -> None:

@@ -1,0 +1,272 @@
+"""Tests for the crash-safe enrollment journal and its engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.prng import HmacDrbg
+from repro.engine import IdentificationEngine
+from repro.engine.journal import EnrollmentJournal, journal_path
+from repro.engine.storage import _encode_record
+from repro.exceptions import ParameterError, ReplicationError
+from repro.protocols.database import UserRecord
+
+
+def _make_records(params, count, rng, tag="user"):
+    """Real enrollable records (decodable helper data) + their templates."""
+    fe = SuccinctFuzzyExtractor(params)
+    records, templates = [], {}
+    for i in range(count):
+        name = f"{tag}-{i}"
+        x = fe.sketcher.line.uniform_vector(rng)
+        _, helper = fe.generate(x, HmacDrbg(name.encode()))
+        templates[name] = x
+        records.append(UserRecord(user_id=name, verify_key=name.encode() * 3,
+                                  helper_data=helper.to_bytes()))
+    return records, templates, fe
+
+
+def _probe_for(fe, params, template, rng):
+    noisy = fe.sketcher.line.reduce(
+        template + rng.integers(-params.t, params.t + 1, params.n))
+    return fe.sketcher.sketch(noisy, HmacDrbg(b"probe"))
+
+
+@pytest.fixture
+def records(paper_params, rng):
+    return _make_records(paper_params, 6, rng)
+
+
+class TestJournalFile:
+    def test_create_append_reopen_round_trip(self, tmp_path, paper_params,
+                                             records):
+        recs, _, _ = records
+        path = tmp_path / "journal.log"
+        with EnrollmentJournal(path, params=paper_params) as journal:
+            for i, record in enumerate(recs):
+                assert journal.append(record) == i
+            assert len(journal) == len(recs)
+            assert journal.head_seq == len(recs)
+
+        reopened = EnrollmentJournal(path)
+        assert reopened.truncated_bytes == 0
+        assert reopened.base == 0
+        assert reopened.params.to_dict() == paper_params.to_dict()
+        replayed = reopened.records()
+        assert [r.user_id for r in replayed] == [r.user_id for r in recs]
+        assert [r.helper_data for r in replayed] == \
+               [r.helper_data for r in recs]
+
+    def test_creating_without_params_fails(self, tmp_path):
+        with pytest.raises(ParameterError, match="requires params"):
+            EnrollmentJournal(tmp_path / "journal.log")
+
+    def test_params_mismatch_detected_on_open(self, tmp_path, paper_params,
+                                              records):
+        recs, _, _ = records
+        path = tmp_path / "journal.log"
+        with EnrollmentJournal(path, params=paper_params) as journal:
+            journal.append(recs[0])
+        other = SystemParams.paper_defaults(n=paper_params.n + 1)
+        with pytest.raises(ParameterError, match="do not match"):
+            EnrollmentJournal(path, params=other)
+
+    def test_torn_tail_is_truncated_not_replayed(self, tmp_path, paper_params,
+                                                 records):
+        recs, _, _ = records
+        path = tmp_path / "journal.log"
+        with EnrollmentJournal(path, params=paper_params) as journal:
+            for record in recs[:4]:
+                journal.append(record)
+            intact_size = path.stat().st_size
+
+        # A power loss mid-append leaves a partial entry at the tail.
+        tail = _encode_record(recs[4])
+        with open(path, "ab") as handle:
+            handle.write(b"\x04\x00\x00\x00")  # half an entry header
+            handle.write(tail[: len(tail) // 3])
+
+        reopened = EnrollmentJournal(path)
+        assert reopened.truncated_bytes > 0
+        assert len(reopened) == 4
+        assert path.stat().st_size == intact_size  # tail physically removed
+        # The journal keeps accepting appends after truncation.
+        assert reopened.append(recs[4]) == 4
+        assert [r.user_id for r in reopened.records()] == \
+               [r.user_id for r in recs[:5]]
+
+    def test_corrupt_crc_truncates_from_the_damage(self, tmp_path,
+                                                   paper_params, records):
+        recs, _, _ = records
+        path = tmp_path / "journal.log"
+        with EnrollmentJournal(path, params=paper_params) as journal:
+            offsets = [journal.append(r) for r in recs]
+            assert offsets == list(range(len(recs)))
+            third_entry_start = journal._offsets[3]
+        # Flip a byte inside the fourth entry's payload.
+        with open(path, "r+b") as handle:
+            handle.seek(third_entry_start + 20)
+            byte = handle.read(1)
+            handle.seek(third_entry_start + 20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reopened = EnrollmentJournal(path)
+        assert len(reopened) == 3
+        assert reopened.truncated_bytes > 0
+
+    def test_read_slicing_and_bounds(self, tmp_path, paper_params, records):
+        recs, _, _ = records
+        with EnrollmentJournal(tmp_path / "j.log",
+                               params=paper_params) as journal:
+            for record in recs:
+                journal.append(record)
+            assert [seq for seq, _ in journal.read(0)] == \
+                   list(range(len(recs)))
+            assert [seq for seq, _ in journal.read(4)] == [4, 5]
+            assert journal.read(len(recs)) == []
+            assert journal.read(len(recs) + 3) == []
+            batch = journal.read(1, max_entries=2)
+            assert [seq for seq, _ in batch] == [1, 2]
+            assert batch[0][1] == _encode_record(recs[1])
+
+    def test_read_below_base_refused(self, tmp_path, paper_params, records):
+        recs, _, _ = records
+        with EnrollmentJournal(tmp_path / "j.log", params=paper_params,
+                               base=10) as journal:
+            assert journal.append(recs[0]) == 10
+            with pytest.raises(ParameterError, match="cannot serve"):
+                journal.read(3)
+
+
+class TestEngineJournalIntegration:
+    def test_journaled_engine_replays_suffix_past_checkpoint(
+            self, tmp_path, paper_params, rng, records):
+        recs, templates, fe = records
+        store = tmp_path / "store"
+        engine = IdentificationEngine(
+            paper_params, shards=2, journal=journal_path(store))
+        engine.add_many(recs[:3])
+        engine.save(store)
+        # Enrollments after the checkpoint live only in the journal.
+        for record in recs[3:]:
+            engine.add(record)
+        engine.journal.close()
+
+        reopened = IdentificationEngine.open(store)
+        assert len(reopened) == len(recs)
+        assert reopened.journal_seq() == len(recs)
+        probe = _probe_for(fe, paper_params, templates["user-5"], rng)
+        assert [r.user_id for r in reopened.find_by_sketch(probe)] == \
+               ["user-5"]
+        reopened.journal.close()
+
+    def test_open_tri_state_journal_flag(self, tmp_path, paper_params,
+                                         records):
+        recs, _, _ = records
+        store = tmp_path / "store"
+        engine = IdentificationEngine(paper_params, shards=2)
+        engine.add_many(recs[:2])
+        engine.save(store)
+
+        # Default: no journal file, none attached.
+        plain = IdentificationEngine.open(store)
+        assert plain.journal is None
+
+        # True: creates one, based at the checkpoint's record count.
+        journaled = IdentificationEngine.open(store, journal=True)
+        assert journaled.journal is not None
+        assert journaled.journal.base == 2
+        journaled.add(recs[2])
+        journaled.journal.close()
+
+        # None (default) now attaches the existing journal and replays.
+        attached = IdentificationEngine.open(store)
+        assert len(attached) == 3
+        attached.journal.close()
+
+        # False: never attaches, even though journal.log exists.
+        opted_out = IdentificationEngine.open(store, journal=False)
+        assert opted_out.journal is None
+        assert len(opted_out) == 2
+
+    def test_recover_rebuilds_store_from_full_history_journal(
+            self, tmp_path, paper_params, rng, records):
+        recs, templates, fe = records
+        store = tmp_path / "store"
+        engine = IdentificationEngine(
+            paper_params, shards=2, journal=journal_path(store))
+        engine.add_many(recs)
+        engine.save(store)
+        engine.journal.close()
+
+        # Simulate dying inside the commit window: manifest gone, a data
+        # file half-replaced — open_store() must reject this directory.
+        (store / "manifest.json").unlink()
+        with pytest.raises(ParameterError):
+            IdentificationEngine.open(store, journal=False)
+
+        recovered = IdentificationEngine.recover(store)
+        assert len(recovered) == len(recs)
+        probe = _probe_for(fe, paper_params, templates["user-1"], rng)
+        assert [r.user_id for r in recovered.find_by_sketch(probe)] == \
+               ["user-1"]
+        recovered.journal.close()
+
+        # The rebuild re-checkpointed: a plain open works again.
+        again = IdentificationEngine.open(store, journal=False)
+        assert len(again) == len(recs)
+
+    def test_recover_without_journal_propagates_error(self, tmp_path,
+                                                      paper_params, records):
+        recs, _, _ = records
+        store = tmp_path / "store"
+        engine = IdentificationEngine(paper_params, shards=2)
+        engine.add_many(recs[:2])
+        engine.save(store)
+        (store / "manifest.json").unlink()
+        with pytest.raises(ParameterError):
+            IdentificationEngine.recover(store)
+
+
+class TestReplicationApply:
+    def test_apply_replicated_is_idempotent_and_gap_safe(
+            self, paper_params, records):
+        recs, _, _ = records
+        primary = IdentificationEngine(paper_params, shards=2)
+        follower = IdentificationEngine(paper_params, shards=2)
+        entries = [(i, _encode_record(r)) for i, r in enumerate(recs)]
+        primary.add_many(recs)
+
+        assert follower.apply_replicated(entries[:4]) == 4
+        # Replaying an already-covered prefix applies nothing.
+        assert follower.apply_replicated(entries[:4]) == 0
+        # Overlapping batch: covered entries skipped, new ones applied.
+        assert follower.apply_replicated(entries[2:]) == 2
+        assert [r.user_id for r in follower] == [r.user_id for r in primary]
+
+        # A gap means the follower's offset view is stale.
+        fresh = IdentificationEngine(paper_params, shards=2)
+        with pytest.raises(ReplicationError, match="gap"):
+            fresh.apply_replicated(entries[3:])
+
+    def test_follower_with_own_journal_rejournals(self, tmp_path,
+                                                  paper_params, records):
+        recs, _, _ = records
+        entries = [(i, _encode_record(r)) for i, r in enumerate(recs)]
+        jpath = tmp_path / "follower" / "journal.log"
+        follower = IdentificationEngine(paper_params, shards=2, journal=jpath)
+        follower.apply_replicated(entries)
+        follower.journal.close()
+
+        # A restarted follower replays its local journal and reports the
+        # replicated offset, so the next pull resumes where it left off.
+        restarted = IdentificationEngine(
+            paper_params, shards=2,
+            journal=EnrollmentJournal(jpath, params=paper_params))
+        assert len(restarted) == len(recs)
+        assert restarted.journal_seq() == len(recs)
+        restarted.journal.close()
+
+
+def test_journal_path_helper(tmp_path):
+    assert journal_path(tmp_path) == tmp_path / "journal.log"

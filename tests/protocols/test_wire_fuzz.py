@@ -21,12 +21,16 @@ from repro.protocols.messages import (
     EnrollmentAck,
     EnrollmentSubmission,
     ErrorReply,
+    HealthReply,
+    HealthRequest,
     IdentificationChallenge,
     IdentificationDecline,
     IdentificationOutcome,
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    ReplicateRecords,
+    ReplicateSubscribe,
     StatsReply,
     StatsRequest,
     TracedEnvelope,
@@ -70,12 +74,18 @@ SAMPLES = {
         session_id=b"s" * 16,
         signatures=BaselineChallengeBatch.pack_list([b"sig1", b""]),
         nonce=b"n" * 16),
-    ErrorReply: ErrorReply(code="overload", detail="queue full"),
+    ErrorReply: ErrorReply.make(code="overload", detail="queue full",
+                                retry_after_ms=120),
     TracedEnvelope: TracedEnvelope(
         trace_id=b"t" * 16,
         body=VerificationRequest(user_id="dave").encode()),
     StatsRequest: StatsRequest.make("all", limit=25),
     StatsReply: StatsReply(payload='{"metrics": [], "traces": []}'),
+    ReplicateSubscribe: ReplicateSubscribe.make(from_seq=7, max_entries=64),
+    ReplicateRecords: ReplicateRecords.make(
+        from_seq=7, head_seq=9, payloads=[b"rec-7", b"rec-8"]),
+    HealthRequest: HealthRequest(probe=b"health"),
+    HealthReply: HealthReply(payload='{"alive": true, "ready": true}'),
 }
 
 ALL_TYPES = sorted(registered_message_types().values(),

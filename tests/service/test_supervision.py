@@ -1,0 +1,131 @@
+"""Batcher supervision: crash -> typed retryable failure -> restart,
+and past the restart budget, graceful degradation to the serial path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.exceptions import ServiceRestartingError, TransientError
+from repro.protocols.device import BiometricDevice
+from repro.protocols.runners import run_enrollment, run_identification
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+from repro.service import ServiceFrontend
+
+
+@pytest.fixture
+def stack(paper_params, fast_scheme):
+    population = UserPopulation(paper_params, size=3,
+                                noise=BoundedUniformNoise(paper_params.t),
+                                seed=31)
+    server = AuthenticationServer(paper_params, fast_scheme, seed=b"sup-srv")
+    device = BiometricDevice(paper_params, fast_scheme, seed=b"sup-dev")
+    return server, population, device
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leakage():
+    yield
+    faults.clear()
+
+
+def _enroll_all(frontend, device, population):
+    for i, user_id in enumerate(population.user_ids()):
+        run = run_enrollment(device, frontend, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted
+
+
+def _wait_restarts(frontend, count, deadline_s=10.0):
+    deadline = time.monotonic() + deadline_s
+    while frontend.health_snapshot()["batcher_restarts"] < count:
+        assert time.monotonic() < deadline, "batcher never restarted"
+        time.sleep(0.005)
+
+
+class TestBatcherRestart:
+    def test_crash_fails_inflight_op_typed_and_recovers(self, stack):
+        server, population, device = stack
+        with ServiceFrontend(server, batch_window_s=0.01,
+                             batch_linger_s=0.002) as frontend:
+            _enroll_all(frontend, device, population)
+
+            faults.install([{"point": "frontend.batcher", "style": "raise",
+                             "times": 1}])
+            with pytest.raises(ServiceRestartingError) as excinfo:
+                run_identification(device, frontend, DuplexLink(),
+                                   population.genuine_reading(0))
+            # Typed, transient, and carrying a backoff hint — exactly
+            # what the retry layer needs to do the right thing.
+            assert isinstance(excinfo.value, TransientError)
+            assert excinfo.value.retry_after_ms >= 10
+
+            # The supervisor restarts the batcher; the next run succeeds
+            # on the batched path (not the degraded serial one).
+            _wait_restarts(frontend, 1)
+            run = run_identification(device, frontend, DuplexLink(),
+                                     population.genuine_reading(0))
+            assert run.outcome.user_id == population.user_ids()[0]
+            health = frontend.health_snapshot()
+            assert health["batcher_restarts"] == 1
+            assert not health["degraded"]
+            assert health["ready"]
+
+    def test_crash_storm_degrades_to_serial_service(self, stack):
+        server, population, device = stack
+        with ServiceFrontend(server, batch_window_s=0.01,
+                             batch_linger_s=0.002,
+                             max_batcher_restarts=2) as frontend:
+            _enroll_all(frontend, device, population)
+
+            # Every batcher tick dies: the supervisor burns through its
+            # restart budget and flips to degraded.
+            faults.install([{"point": "frontend.batcher",
+                             "style": "raise"}])
+            deadline = time.monotonic() + 15.0
+            while not frontend.health_snapshot()["degraded"]:
+                assert time.monotonic() < deadline, "never degraded"
+                try:
+                    run_identification(device, frontend, DuplexLink(),
+                                       population.genuine_reading(0))
+                except ServiceRestartingError:
+                    pass
+                time.sleep(0.01)
+            faults.clear()
+
+            # Degraded is not down: the serial path answers correctly
+            # and health says so (ready, with the degraded flag up).
+            health = frontend.health_snapshot()
+            assert health["degraded"] and health["ready"]
+            for i in range(len(population)):
+                run = run_identification(device, frontend, DuplexLink(),
+                                         population.genuine_reading(i))
+                assert run.outcome.user_id == population.user_ids()[i]
+
+    def test_degraded_path_still_enrolls(self, stack):
+        server, population, device = stack
+        with ServiceFrontend(server, batch_window_s=0.01,
+                             batch_linger_s=0.002,
+                             max_batcher_restarts=0) as frontend:
+            faults.install([{"point": "frontend.batcher",
+                             "style": "raise"}])
+            deadline = time.monotonic() + 15.0
+            while not frontend.health_snapshot()["degraded"]:
+                assert time.monotonic() < deadline, "never degraded"
+                try:
+                    run_enrollment(device, frontend, DuplexLink(), "early",
+                                   population.template(0))
+                except ServiceRestartingError:
+                    pass
+                time.sleep(0.01)
+            faults.clear()
+            run = run_enrollment(device, frontend, DuplexLink(), "late",
+                                 population.template(1))
+            assert run.outcome.accepted
+            run = run_identification(device, frontend, DuplexLink(),
+                                     population.genuine_reading(1))
+            assert run.outcome.user_id == "late"

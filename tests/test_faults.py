@@ -1,0 +1,106 @@
+"""The deterministic fault-injection harness itself."""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.exceptions import SimulatedCrashError, SimulatedFaultError
+from repro.faults import FaultInjector, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _isolated_module_injector():
+    """Tests touching the module-level singleton must leave it clean."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestRuleValidation:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault style"):
+            FaultRule("x", style="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("x", p=1.5)
+
+    def test_dict_rules_coerced(self):
+        injector = FaultInjector()
+        injector.install([{"point": "a", "style": "raise"}])
+        with pytest.raises(SimulatedFaultError):
+            injector.fire("a")
+
+
+class TestFiringSemantics:
+    def test_disabled_is_a_noop(self):
+        injector = FaultInjector()
+        assert injector.fire("anything") is None
+        assert injector.decide("anything") is None
+        assert not injector.enabled
+
+    def test_styles_raise_and_crash(self):
+        injector = FaultInjector()
+        injector.install([FaultRule("a", style="raise"),
+                          FaultRule("b", style="crash")])
+        with pytest.raises(SimulatedFaultError):
+            injector.fire("a")
+        with pytest.raises(SimulatedCrashError):
+            injector.fire("b")
+        assert injector.fired() == 2
+
+    def test_after_skips_warmup_calls(self):
+        injector = FaultInjector()
+        injector.install([FaultRule("a", style="drop", after=2)])
+        assert injector.decide("a") is None
+        assert injector.decide("a") is None
+        assert injector.decide("a") is not None
+
+    def test_times_caps_total_fires(self):
+        injector = FaultInjector()
+        injector.install([FaultRule("a", style="drop", times=2)])
+        fired = [injector.decide("a") for _ in range(5)]
+        assert sum(rule is not None for rule in fired) == 2
+        assert injector.fired("a") == 2
+
+    def test_probabilistic_rules_are_seed_deterministic(self):
+        def pattern(seed):
+            injector = FaultInjector()
+            injector.install([FaultRule("a", style="drop", p=0.5)],
+                             seed=seed)
+            return [injector.decide("a") is not None for _ in range(64)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        # And the rate is actually probabilistic, not all-or-nothing.
+        assert 0 < sum(pattern(7)) < 64
+
+    def test_delay_style_sleeps_in_fire_not_decide(self):
+        injector = FaultInjector()
+        injector.install([FaultRule("a", style="delay", delay_s=0.05)])
+        start = time.monotonic()
+        rule = injector.decide("a")
+        assert time.monotonic() - start < 0.04  # decide never sleeps
+        assert rule is not None and rule.delay_s == 0.05
+        injector.install([FaultRule("a", style="delay", delay_s=0.05)])
+        start = time.monotonic()
+        injector.fire("a")
+        assert time.monotonic() - start >= 0.05
+
+    def test_install_replaces_and_clear_disables(self):
+        faults.install([FaultRule("a", style="drop")])
+        assert faults.decide("a") is not None
+        faults.install([FaultRule("b", style="drop")])
+        assert faults.decide("a") is None  # old plan fully replaced
+        assert faults.decide("b") is not None
+        faults.clear()
+        assert faults.decide("b") is None
+
+    def test_multiple_rules_per_point_first_match_wins(self):
+        injector = FaultInjector()
+        injector.install([FaultRule("a", style="drop", times=1),
+                          FaultRule("a", style="truncate")])
+        assert injector.decide("a").style == "drop"
+        assert injector.decide("a").style == "truncate"
+        assert injector.fired("a") == 2
