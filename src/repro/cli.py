@@ -35,7 +35,9 @@ The subcommands cover the workflows a user reaches for first:
     multiplication, per-scheme sign/verify (cold reference, fast, and
     precomputed-table paths), randomized batch verification at
     ``--batch-k`` signatures per multi-scalar pass, and end-to-end
-    identification latency.  Appends each run to the
+    identification latency.  ``--backend auto|python|gmpy2|both``
+    selects the integer kernel (``both`` runs one leg per backend and
+    prints the shootout).  Appends each backend-tagged run to the
     ``BENCH_crypto.json`` trajectory artifact.
 
 ``service-bench``
@@ -65,10 +67,13 @@ The subcommands cover the workflows a user reaches for first:
 ``net-bench``
     Closed-loop multi-client identification bench over localhost TCP
     (``--verify-heavy`` switches to a 3:1 verification mix exercising
-    the batched signature verification end-to-end), plus an overload
-    probe showing queue-full backpressure surfacing client-side as
-    ``ServiceOverloadError``.  Appends to the ``BENCH_service.json``
-    trajectory with ``"transport": "tcp"`` and the mix tag.
+    the batched signature verification end-to-end; ``--pipeline N``
+    switches to the single-connection shootout — a serial-client
+    baseline vs N requests in flight on one pipelined connection),
+    plus an overload probe showing queue-full backpressure surfacing
+    client-side as ``ServiceOverloadError``.  Appends to the
+    ``BENCH_service.json`` trajectory with ``"transport": "tcp"`` and
+    the mix tag.
 
 All numeric arguments default to the paper's Table II values
 (the bench subcommands default to bench-sized dimensions instead).
@@ -449,9 +454,12 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     if args.chaos:
         if args.verify_heavy:
             raise ParameterError("--chaos and --verify-heavy are exclusive")
+        if args.pipeline > 1:
+            raise ParameterError("--chaos and --pipeline are exclusive")
         report = run_chaos_bench(chaos_seed=args.chaos_seed, **kwargs)
     else:
-        report = run_net_bench(verify_heavy=args.verify_heavy, **kwargs)
+        report = run_net_bench(verify_heavy=args.verify_heavy,
+                               pipeline=args.pipeline, **kwargs)
     for line in report.summary_lines():
         print(line)
     if args.json:
@@ -476,25 +484,64 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_crypto_bench(args: argparse.Namespace) -> int:
+    from repro.crypto import backend as crypto_backend
     from repro.crypto.bench import run_crypto_bench, write_trajectory
 
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
-    report = run_crypto_bench(
-        iterations=args.iterations,
-        schemes=schemes,
-        identify_scheme=None if args.no_identify else args.identify_scheme,
-        identify_users=args.users,
-        identify_requests=args.requests,
-        dimension=args.dimension,
-        batch_scheme=args.batch_scheme or None,
-        batch_k=args.batch_k,
-        seed=args.seed,
-    )
-    for line in report.summary_lines():
-        print(line)
-    if args.json:
-        write_trajectory(report, args.json)
-        print(f"trajectory appended to {args.json}")
+    if args.backend == "both":
+        legs = ["python"]
+        if "gmpy2" in crypto_backend.available_backends():
+            legs.append("gmpy2")
+        else:
+            print("gmpy2 backend unavailable; running the python leg only")
+    else:
+        legs = [args.backend]
+
+    reports = []
+    for leg in legs:
+        with crypto_backend.use_backend(leg):
+            report = run_crypto_bench(
+                iterations=args.iterations,
+                schemes=schemes,
+                identify_scheme=(None if args.no_identify
+                                 else args.identify_scheme),
+                identify_users=args.users,
+                identify_requests=args.requests,
+                dimension=args.dimension,
+                batch_scheme=args.batch_scheme or None,
+                batch_k=args.batch_k,
+                seed=args.seed,
+            )
+        reports.append(report)
+        for line in report.summary_lines():
+            print(line)
+        if args.json:
+            write_trajectory(report, args.json)
+            print(f"trajectory appended to {args.json}")
+
+    if len(reports) == 2:
+        py, gm = reports
+        scalar_x = (py.scalar_mult["wnaf_variable"]
+                    / gm.scalar_mult["wnaf_variable"])
+        comb_x = py.scalar_mult["fixed_base"] / gm.scalar_mult["fixed_base"]
+        verify_x = min(
+            py.schemes[s]["verify_table"] / gm.schemes[s]["verify_table"]
+            for s in py.schemes)
+        print(f"backend shootout (gmpy2 over python): "
+              f"wNAF scalar mult x{scalar_x:.1f}, "
+              f"fixed-base comb x{comb_x:.1f}, "
+              f"warm-table verify x{verify_x:.1f} (slowest scheme)")
+        if args.assert_speedup > 0:
+            if scalar_x < args.assert_speedup or \
+                    verify_x < args.assert_speedup:
+                print(f"FAIL: expected >= x{args.assert_speedup:.1f} on "
+                      f"scalar mult and warm verify, got x{scalar_x:.1f} "
+                      f"and x{verify_x:.1f}")
+                return 1
+            print(f"speedup assertion passed "
+                  f"(>= x{args.assert_speedup:.1f})")
+    elif args.assert_speedup > 0:
+        print("speedup assertion skipped: only one backend leg ran")
     return 0
 
 
@@ -610,6 +657,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="template dimension for the identify flow "
                                    "(default: 256 — bench-sized)")
     crypto_bench.add_argument("--seed", type=int, default=0)
+    crypto_bench.add_argument("--backend", default="auto",
+                              choices=("auto", "python", "gmpy2", "both"),
+                              help="integer-kernel backend: auto picks "
+                                   "gmpy2 when importable; both runs a "
+                                   "python leg then a gmpy2 leg and prints "
+                                   "the shootout (default: auto)")
+    crypto_bench.add_argument("--assert-speedup", type=float, default=0.0,
+                              help="with --backend both: exit non-zero "
+                                   "unless the gmpy2 leg beats python by "
+                                   "this factor on scalar mult and warm "
+                                   "verify (default: 0 = no assertion)")
     crypto_bench.add_argument("--json", default="BENCH_crypto.json",
                               help="trajectory artifact path (empty string "
                                    "to skip writing)")
@@ -811,6 +869,14 @@ def build_parser() -> argparse.ArgumentParser:
     net_bench.add_argument("--chaos-seed", type=int, default=0,
                            help="seed for the deterministic fault "
                                 "schedule (default: 0)")
+    net_bench.add_argument("--pipeline", type=int, default=0,
+                           help="window for the single-connection "
+                                "pipelining shootout: a serial-client "
+                                "baseline phase, then N requests in "
+                                "flight on one pipelined connection "
+                                "(default: 0 = classic multi-client "
+                                "bench; exclusive with --chaos and "
+                                "--verify-heavy)")
     net_bench.add_argument("--seed", type=int, default=0)
     net_bench.add_argument("--json", default="BENCH_service.json",
                            help="trajectory artifact path (empty string "

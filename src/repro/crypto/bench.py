@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.crypto import backend
 from repro.crypto.prng import HmacDrbg
 from repro.crypto.signatures import get_scheme
 from repro.ioutil import atomic_replace
@@ -66,6 +67,9 @@ class CryptoBenchReport:
     #: ``single_per_sig`` for the randomized batch-verification leg
     #: (empty when the leg was skipped).
     batch_verify: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: The integer-kernel backend the run executed on (``"python"`` or
+    #: ``"gmpy2"``) — the trajectory column that keeps rows comparable.
+    backend: str = "python"
 
     @property
     def scalar_mult_speedup(self) -> float:
@@ -99,7 +103,8 @@ class CryptoBenchReport:
         """Human-readable bench table (one string per line)."""
         sm = self.scalar_mult
         lines = [
-            f"crypto bench ({self.iterations} iterations/measurement)",
+            f"crypto bench ({self.iterations} iterations/measurement, "
+            f"backend={self.backend})",
             "scalar multiplication (P-256):",
             f"  affine reference   {sm['affine_reference'] * 1e3:8.2f} ms",
             f"  fixed-base comb    {sm['fixed_base'] * 1e3:8.2f} ms  "
@@ -136,6 +141,7 @@ class CryptoBenchReport:
         """JSON-serialisable form (the trajectory artifact's unit entry)."""
         return {
             "iterations": self.iterations,
+            "backend": self.backend,
             "scalar_mult_s": dict(self.scalar_mult),
             "scalar_mult_speedup": self.scalar_mult_speedup,
             "wnaf_speedup": self.wnaf_speedup,
@@ -370,4 +376,5 @@ def run_crypto_bench(iterations: int = 8,
         schemes=scheme_times,
         identify=identify,
         batch_verify=batch_verify,
+        backend=backend.active().name,
     )

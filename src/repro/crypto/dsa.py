@@ -200,7 +200,7 @@ class Dsa(SignatureScheme):
         if len(verify_key) != self._p_len:
             return None
         y = int.from_bytes(verify_key, "big")
-        if not (1 < y < group.p) or pow(y, group.q, group.p) != 1:
+        if not (1 < y < group.p) or nt.modexp(y, group.q, group.p) != 1:
             return None
         return nt.FixedBaseExp(y, group.p, group.q.bit_length(),
                                window=self.EXP_WINDOW)
@@ -223,7 +223,7 @@ class Dsa(SignatureScheme):
             return False
         y = int.from_bytes(verify_key, "big")
         if table is None:
-            if not (1 < y < group.p) or pow(y, group.q, group.p) != 1:
+            if not (1 < y < group.p) or nt.modexp(y, group.q, group.p) != 1:
                 return False
         elif table.base != y:
             return False
@@ -231,7 +231,7 @@ class Dsa(SignatureScheme):
         w = nt.modinv(s, group.q)
         u1 = h * w % group.q
         u2 = r * w % group.q
-        y_u2 = table.pow(u2) if table is not None else pow(y, u2, group.p)
+        y_u2 = table.pow(u2) if table is not None else nt.modexp(y, u2, group.p)
         v = (self._generator_exp().pow(u1) * y_u2) % group.p % group.q
         return v == r
 

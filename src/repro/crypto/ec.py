@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto import backend
 from repro.crypto.numbertheory import is_probable_prime, modinv, tonelli_shanks
 
 #: Window width for on-the-fly wNAF multiplication of an arbitrary point.
@@ -229,13 +230,31 @@ class Curve:
     # Formulas are the standard dbl-2007-bl / madd-2007-bl / add-2007-bl
     # from the Explicit-Formulas Database, with the a = -3 shortcut for the
     # doubling slope.  Points are (X, Y, Z) tuples with Z == 0 for the
-    # identity; all helpers are free functions of plain ints for speed.
+    # identity.  The helpers reduce modulo the backend-lifted field prime
+    # (:meth:`_field`), which is enough to run every multiplication chain
+    # on the active backend's integer type (int * mpz promotes); the
+    # conversions back to affine lower the coordinates to plain ints, so
+    # ``Point`` and the encodings stay backend-independent.
+
+    def _field(self):
+        """The field prime lifted into the active arithmetic backend.
+
+        Cached per backend identity so a runtime backend switch (tests,
+        the bench shootout) transparently re-lifts; table caches hold
+        plain ints and stay valid across switches.
+        """
+        cached = self._tables.get("backend")
+        bk = backend.active()
+        if cached is None or cached[0] is not bk:
+            cached = (bk, bk.wrap(self.p))
+            self._tables["backend"] = cached
+        return cached[1]
 
     def _jac_double(self, P1: tuple[int, int, int]) -> tuple[int, int, int]:
         X1, Y1, Z1 = P1
         if Z1 == 0 or Y1 == 0:
             return _JAC_INFINITY
-        p = self.p
+        p = self._field()
         XX = X1 * X1 % p
         YY = Y1 * Y1 % p
         YYYY = YY * YY % p
@@ -258,7 +277,7 @@ class Curve:
             return P2
         if Z2 == 0:
             return P1
-        p = self.p
+        p = self._field()
         Z1Z1 = Z1 * Z1 % p
         Z2Z2 = Z2 * Z2 % p
         U1 = X1 * Z2Z2 % p
@@ -286,7 +305,7 @@ class Curve:
         X1, Y1, Z1 = P1
         if Z1 == 0:
             return x2, y2, 1
-        p = self.p
+        p = self._field()
         Z1Z1 = Z1 * Z1 % p
         U2 = x2 * Z1Z1 % p
         S2 = y2 * Z1 * Z1Z1 % p
@@ -311,34 +330,29 @@ class Curve:
         X1, Y1, Z1 = P1
         if Z1 == 0:
             return Point.infinity()
-        p = self.p
-        z_inv = modinv(Z1, p)
+        p = self._field()
+        z_inv = modinv(int(Z1), self.p)
         zz_inv = z_inv * z_inv % p
-        return Point(X1 * zz_inv % p, Y1 * zz_inv * z_inv % p)
+        return Point(int(X1 * zz_inv % p), int(Y1 * zz_inv * z_inv % p))
 
     def _batch_to_affine(
         self, points: list[tuple[int, int, int]],
     ) -> list[tuple[int, int]]:
         """Convert Jacobian points to affine with one shared inversion.
 
-        Montgomery's trick: invert the product of all Z's, then peel off
-        the individual inverses with two multiplications each.  ``points``
-        must not contain the identity.
+        The Montgomery trick itself lives in the backend's
+        ``batch_modinv`` (invert the product of all Z's, peel off the
+        individual inverses with two multiplications each); this wrapper
+        applies the inverses to the coordinates.  ``points`` must not
+        contain the identity.
         """
-        p = self.p
-        prefix: list[int] = []
-        acc = 1
-        for _, _, Z in points:
-            acc = acc * Z % p
-            prefix.append(acc)
-        inv = modinv(acc, p)
+        p = self._field()
+        z_invs = backend.active().batch_modinv(
+            [Z for _, _, Z in points], self.p)
         affine: list[tuple[int, int]] = [(0, 0)] * len(points)
-        for i in range(len(points) - 1, -1, -1):
-            X, Y, Z = points[i]
-            z_inv = inv * (prefix[i - 1] if i else 1) % p
-            inv = inv * Z % p
+        for i, ((X, Y, _), z_inv) in enumerate(zip(points, z_invs)):
             zz_inv = z_inv * z_inv % p
-            affine[i] = (X * zz_inv % p, Y * zz_inv * z_inv % p)
+            affine[i] = (int(X * zz_inv % p), int(Y * zz_inv * z_inv % p))
         return affine
 
     # -- precomputation ----------------------------------------------------
@@ -656,7 +670,7 @@ class Curve:
             # Decompression runs on every signature verification (the
             # commitment R rides the wire compressed), so this halves
             # the decode cost on the protocol hot path.
-            y = pow(rhs, (p + 1) >> 2, p)
+            y = backend.active().modexp(rhs, (p + 1) >> 2, p)
             if y * y % p != rhs:
                 raise ValueError("x is not on the curve")
         else:

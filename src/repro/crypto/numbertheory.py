@@ -12,6 +12,7 @@ source, which keeps tests reproducible.
 
 from __future__ import annotations
 
+from repro.crypto import backend
 from repro.crypto.prng import HmacDrbg
 
 #: Small primes used for cheap trial division before Miller-Rabin.
@@ -29,14 +30,55 @@ _DETERMINISTIC_WITNESSES: tuple[int, ...] = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
 def modinv(a: int, modulus: int) -> int:
     """Return the inverse of ``a`` modulo ``modulus``.
 
-    Raises :class:`ValueError` when the inverse does not exist.  Python 3.8+
-    exposes this through ``pow(a, -1, m)``; the wrapper exists to give a
-    uniform error message and a single audit point.
+    Raises :class:`ValueError` when the inverse does not exist.  Routed
+    through the active arithmetic backend (``pow(a, -1, m)`` on the stdlib
+    backend, ``gmpy2.invert`` on the native one); the wrapper exists to
+    give a uniform error message and a single audit point.  The retained
+    extended-Euclid implementation is :func:`modinv_reference`, which the
+    parity tests check every backend against.
     """
-    try:
-        return pow(a, -1, modulus)
-    except ValueError as exc:  # not invertible
-        raise ValueError(f"{a} has no inverse modulo {modulus}") from exc
+    return backend.active().modinv(a, modulus)
+
+
+def modinv_reference(a: int, modulus: int) -> int:
+    """Extended-Euclid modular inverse — the auditable reference.
+
+    This is the original from-scratch implementation, kept verbatim as the
+    ground truth :func:`modinv` (and every arithmetic backend) is
+    parity-tested against in ``tests/crypto/test_backend.py``.  Hot paths
+    use :func:`modinv`.
+    """
+    if modulus <= 0:
+        raise ValueError(f"{a} has no inverse modulo {modulus}")
+    a %= modulus
+    old_r, r = a, modulus
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise ValueError(f"{a} has no inverse modulo {modulus}")
+    return old_s % modulus
+
+
+def modexp(base: int, exponent: int, modulus: int) -> int:
+    """``base ** exponent % modulus`` through the active backend.
+
+    A drop-in for builtin three-argument ``pow`` on hot paths (cold DSA
+    verification, point decompression) so they pick up the native backend
+    when one is selected.
+    """
+    return backend.active().modexp(base, exponent, modulus)
+
+
+def batch_modinv(values, modulus: int) -> list[int]:
+    """Invert every element with one shared inversion (Montgomery's trick).
+
+    Re-exported from the active backend; see
+    :meth:`repro.crypto.backend.PythonBackend.batch_modinv`.
+    """
+    return backend.active().batch_modinv(values, modulus)
 
 
 def sliding_window_pow(base: int, exponent: int, modulus: int,
@@ -60,12 +102,17 @@ def sliding_window_pow(base: int, exponent: int, modulus: int,
     base %= modulus
     if exponent == 0:
         return 1
+    # Lift one operand per chain so the whole loop runs on the active
+    # backend's integer type; the result is lowered once at the end.
+    bk = backend.active()
+    modulus = bk.wrap(modulus)
+    base = bk.wrap(base)
     # odd[i] = base ** (2*i + 1)
     base_sq = base * base % modulus
     odd = [base]
     for _ in range((1 << (window - 1)) - 1):
         odd.append(odd[-1] * base_sq % modulus)
-    result = 1
+    result = bk.wrap(1)
     bits = exponent.bit_length()
     i = bits - 1
     while i >= 0:
@@ -82,7 +129,7 @@ def sliding_window_pow(base: int, exponent: int, modulus: int,
             result = result * result % modulus
         result = result * odd[chunk >> 1] % modulus
         i = j - 1
-    return result
+    return int(result)
 
 
 class FixedBaseExp:
@@ -97,7 +144,7 @@ class FixedBaseExp:
     ``pow``'s full square-and-multiply chain despite the Python-level loop.
     """
 
-    __slots__ = ("base", "modulus", "window", "_mask", "_table")
+    __slots__ = ("base", "modulus", "window", "_mask", "_mod", "_table")
 
     def __init__(self, base: int, modulus: int, exponent_bits: int,
                  window: int = 4) -> None:
@@ -111,15 +158,20 @@ class FixedBaseExp:
         self.modulus = modulus
         self.window = window
         self._mask = (1 << window) - 1
+        # Table entries are kept in the active backend's integer type so
+        # the per-digit multiply chain in :meth:`pow` never converts;
+        # ``base``/``modulus`` stay plain ints (callers compare them).
+        bk = backend.active()
+        self._mod = bk.wrap(modulus)
         windows = (exponent_bits + window - 1) // window
-        table: list[list[int]] = []
-        digit_base = self.base
+        table: list[list] = []
+        digit_base = bk.wrap(self.base)
         for _ in range(windows):
             entry = digit_base
             row = []
             for _ in range(self._mask):
                 row.append(entry)
-                entry = entry * digit_base % modulus
+                entry = entry * digit_base % self._mod
             table.append(row)
             digit_base = entry  # base ** (2^window) ** (j+1)
         self._table = table
@@ -133,7 +185,7 @@ class FixedBaseExp:
         result = 1
         table = self._table
         mask = self._mask
-        modulus = self.modulus
+        modulus = self._mod
         j = 0
         while exponent:
             digit = exponent & mask
@@ -141,7 +193,7 @@ class FixedBaseExp:
                 result = result * table[j][digit - 1] % modulus
             exponent >>= self.window
             j += 1
-        return result
+        return int(result)
 
 
 def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
@@ -258,10 +310,11 @@ def tonelli_shanks(n: int, p: int) -> int:
     n %= p
     if n == 0:
         return 0
-    if pow(n, (p - 1) // 2, p) != 1:
+    bk = backend.active()
+    if bk.modexp(n, (p - 1) // 2, p) != 1:
         raise ValueError(f"{n} is not a quadratic residue modulo {p}")
     if p % 4 == 3:
-        return pow(n, (p + 1) // 4, p)
+        return bk.modexp(n, (p + 1) // 4, p)
 
     # Factor p - 1 = q * 2**s with q odd.
     q = p - 1
@@ -272,26 +325,27 @@ def tonelli_shanks(n: int, p: int) -> int:
 
     # Find a non-residue z.
     z = 2
-    while pow(z, (p - 1) // 2, p) != p - 1:
+    while bk.modexp(z, (p - 1) // 2, p) != p - 1:
         z += 1
 
+    pm = bk.wrap(p)
     m = s
-    c = pow(z, q, p)
-    t = pow(n, q, p)
-    r = pow(n, (q + 1) // 2, p)
+    c = bk.wrap(bk.modexp(z, q, p))
+    t = bk.wrap(bk.modexp(n, q, p))
+    r = bk.wrap(bk.modexp(n, (q + 1) // 2, p))
     while t != 1:
         # Find least i with t**(2**i) == 1.
         i = 0
         probe = t
         while probe != 1:
-            probe = probe * probe % p
+            probe = probe * probe % pm
             i += 1
-        b = pow(c, 1 << (m - i - 1), p)
+        b = bk.modexp(c, 1 << (m - i - 1), p)
         m = i
-        c = b * b % p
-        t = t * c % p
-        r = r * b % p
-    return r
+        c = b * b % pm
+        t = t * c % pm
+        r = r * b % pm
+    return int(r)
 
 
 def legendre_symbol(a: int, p: int) -> int:

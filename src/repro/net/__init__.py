@@ -40,14 +40,17 @@ protocols (messages, transport stats, the endpoint duck type) and is
 imported only by the CLI, benches, and tests.
 """
 
-from repro.net.client import NetworkClient, RemoteEndpoint
-from repro.net.framing import DEFAULT_MAX_FRAME, frame_message
+from repro.net.client import (NetworkClient, PipelinedNetworkClient,
+                              RemoteEndpoint)
+from repro.net.framing import DEFAULT_MAX_FRAME, frame_buffers, frame_message
 from repro.net.server import NetworkServer
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
     "NetworkClient",
     "NetworkServer",
+    "PipelinedNetworkClient",
     "RemoteEndpoint",
+    "frame_buffers",
     "frame_message",
 ]

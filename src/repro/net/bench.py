@@ -58,7 +58,7 @@ from repro.crypto.signatures import get_scheme
 from repro.engine.engine import IdentificationEngine
 from repro.engine.journal import EnrollmentJournal
 from repro.exceptions import ParameterError, ServiceOverloadError
-from repro.net.client import RemoteEndpoint
+from repro.net.client import PipelinedNetworkClient, RemoteEndpoint
 from repro.net.replication import JournalFollower
 from repro.net.resilience import FailoverClient, RetryPolicy
 from repro.net.server import NetworkServer
@@ -166,6 +166,11 @@ class NetBenchReport:
     client_retries: int = 0
     client_failovers: int = 0
     primary_killed: bool = False
+    #: Pipelined-mode accounting (zero outside ``--pipeline``): the
+    #: client window driven over ONE connection in the measured phase,
+    #: and the serial-client baseline measured on the same stack first.
+    pipeline: int = 0
+    serial_ids_per_s: float = 0.0
 
     @property
     def ids_per_s(self) -> float:
@@ -187,6 +192,15 @@ class NetBenchReport:
             f"micro-batches: {self.mean_batch:.1f} probes mean, "
             f"{self.max_batch_seen} max",
         ]
+        if self.pipeline > 1:
+            speedup = self.ids_per_s / self.serial_ids_per_s \
+                if self.serial_ids_per_s > 0 else float("inf")
+            lines.insert(2, (
+                f"  pipelining x{self.pipeline} on one connection: "
+                f"{self.ids_per_s:,.0f} req/s vs "
+                f"{self.serial_ids_per_s:,.0f} req/s serial "
+                f"({speedup:.2f}x)"
+            ))
         if self.verify_max_batch_seen:
             lines.append(
                 f"  verify micro-batches: {self.verify_mean_batch:.1f} "
@@ -251,6 +265,8 @@ class NetBenchReport:
             "client_retries": self.client_retries,
             "client_failovers": self.client_failovers,
             "primary_killed": self.primary_killed,
+            "pipeline": self.pipeline,
+            "serial_ids_per_s": self.serial_ids_per_s,
         }
 
 
@@ -310,6 +326,74 @@ def _overload_probe(server: AuthenticationServer, params: SystemParams,
     return probe_clients * attempts_per_client, rejections
 
 
+def _pipeline_shootout(host: str, port: int, params: SystemParams,
+                       sig_scheme, seed: int, identify, readings,
+                       n_requests: int,
+                       window: int) -> tuple[float, float, list[float], int]:
+    """Serial-vs-pipelined phases on one connection each.
+
+    Phase one drives ``n_requests`` identifications through a single
+    serial :class:`NetworkClient` round trip at a time — the baseline a
+    lone process gets today.  Phase two drives the same-sized workload
+    through ONE :class:`PipelinedNetworkClient` (``window`` in flight)
+    with ``window`` driver threads sharing the connection.  Returns
+    ``(serial_ids_per_s, pipelined_elapsed_s, pipelined_latencies_ms,
+    pipelined_wire_bytes)``.
+    """
+    # Phase one: the serial baseline.
+    baseline_device = BiometricDevice(
+        params, sig_scheme, seed=seed.to_bytes(8, "big") + b"serial")
+    serial_work = readings(n_requests, np.random.default_rng(seed + 2))
+    with RemoteEndpoint.connect(host, port) as remote:
+        start = time.perf_counter()
+        for expected, reading in serial_work:
+            identify(baseline_device, remote, expected, reading)
+        serial_elapsed = time.perf_counter() - start
+    serial_ids_per_s = n_requests / serial_elapsed if serial_elapsed > 0 \
+        else float("inf")
+
+    # Phase two: the same workload shape, pipelined on one socket.
+    work = readings(n_requests, np.random.default_rng(seed + 4))
+    per_driver = [work[d::window] for d in range(window)]
+    devices = [
+        BiometricDevice(params, sig_scheme,
+                        seed=seed.to_bytes(8, "big") + b"pipe%d" % d)
+        for d in range(window)
+    ]
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(window + 1)
+
+    def driver(d: int, client: PipelinedNetworkClient) -> None:
+        mine: list[float] = []
+        remote = RemoteEndpoint(client)  # shared connection, not owned
+        try:
+            barrier.wait()
+            for expected, reading in per_driver[d]:
+                mine.append(identify(devices[d], remote, expected, reading))
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+        with latency_lock:
+            latencies.extend(mine)
+
+    with PipelinedNetworkClient(host, port, window=window) as client:
+        threads = [threading.Thread(target=driver, args=(d, client),
+                                    name=f"pipe-driver-{d}")
+                   for d in range(window)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed_s = time.perf_counter() - start
+        wire_total = client.total_bytes
+    if errors:
+        raise errors[0]
+    return serial_ids_per_s, elapsed_s, latencies, wire_total
+
+
 def run_net_bench(dimension: int = 128, n_users: int | None = None,
                   pool_users: int = 16, n_requests: int | None = None,
                   clients: int | None = None, shards: int = 4,
@@ -318,18 +402,35 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
                   batch_linger_s: float = 0.004,
                   frontend_workers: int = 4,
                   verify_heavy: bool = False,
+                  pipeline: int = 0,
                   host: str = "127.0.0.1") -> NetBenchReport:
     """Build the stack behind TCP, drive it closed-loop, report.
 
     ``verify_heavy=True`` switches the measured phase to a 3:1
     verification:identification mix (see the module docstring).
+
+    ``pipeline=N`` (``N > 1``) switches the measured phase to the
+    single-connection shootout: first ``n_requests`` identifications
+    through ONE serial client (the ``serial_ids_per_s`` baseline), then
+    the same workload through ONE :class:`PipelinedNetworkClient` with
+    an ``N``-request window driven by ``N`` threads — so the reported
+    throughput is what one process, one socket sustains when it stops
+    waiting a full round trip per request.  The identify mix only;
+    ``clients`` is ignored (both phases use one connection).
     """
     n_users = _default("n_users", n_users)
     n_requests = _default("n_requests", n_requests)
     clients = _default("clients", clients)
     if pool_users < 1 or n_users < pool_users:
         raise ParameterError("need 1 <= pool_users <= n_users")
-    if clients < 1 or n_requests < clients:
+    if pipeline > 1:
+        if verify_heavy:
+            raise ParameterError("--pipeline measures the identify mix; "
+                                 "drop --verify-heavy")
+        if n_requests < pipeline:
+            raise ParameterError("need pipeline <= n_requests")
+        clients = 1  # both phases: one connection
+    elif clients < 1 or n_requests < clients:
         raise ParameterError("need 1 <= clients <= n_requests")
     params = SystemParams.paper_defaults(n=dimension)
     sig_scheme = get_scheme(scheme)
@@ -397,6 +498,36 @@ def run_net_bench(dimension: int = 128, n_users: int | None = None,
                 for user in range(pool_users):
                     identify(enroll_device, remote, user_ids[user],
                              population.genuine_reading(user, warm_rng))
+
+        # -- measured phase (pipeline mode): one-connection shootout ------
+        if pipeline > 1:
+            serial_ids_per_s, elapsed_s, latencies, wire_total = \
+                _pipeline_shootout(
+                    bound_host, port, params, sig_scheme, seed,
+                    identify, readings, n_requests, pipeline)
+            stats = frontend.stats()
+            stage_latency_ms = stage_breakdown_ms({
+                "identify": net.identify_seconds,
+                "queue-wait": frontend.queue_wait_seconds,
+                "batch-wait": frontend.batch_wait_seconds,
+                "scan": engine.scan_seconds,
+                "verify": server.key_tables.verify_seconds,
+            })
+            attempts, rejections = _overload_probe(server, params, seed)
+            return NetBenchReport(
+                n_enrolled=n_users, pool_users=pool_users,
+                n_requests=n_requests, clients=clients,
+                dimension=dimension, shards=shards, scheme=scheme,
+                max_batch=max_batch, batch_window_s=batch_window_s,
+                elapsed_s=elapsed_s, latency_ms=_percentiles(latencies),
+                mean_batch=stats.mean_batch,
+                max_batch_seen=stats.max_batch,
+                wire_bytes_per_id=wire_total / n_requests,
+                overload_attempts=attempts,
+                overload_rejections=rejections,
+                stage_latency_ms=stage_latency_ms,
+                pipeline=pipeline, serial_ids_per_s=serial_ids_per_s,
+            )
 
         # -- measured phase: closed-loop clients over TCP -----------------
         # In the verify-heavy mix, every 4th request identifies and the

@@ -29,6 +29,8 @@ from __future__ import annotations
 import json
 import socket
 import threading
+from collections import deque
+from concurrent.futures import Future
 
 from repro.obs import mint_trace_id
 from repro.exceptions import (
@@ -268,6 +270,189 @@ class NetworkClient:
         self.close()
 
 
+class PipelinedNetworkClient(NetworkClient):
+    """A multi-in-flight :class:`NetworkClient` over one connection.
+
+    The serial client holds its lock across a full round trip, so one
+    connection carries exactly one outstanding request.  This variant
+    decouples the two halves: :meth:`submit` sends a frame and returns a
+    future, a dedicated reader thread decodes replies as they arrive, and
+    — because the server guarantees replies in request order (windowed
+    in-order pipelining; the framing carries no request ids) — each reply
+    resolves the oldest outstanding future.  Up to ``window`` requests
+    ride the connection concurrently; the next :meth:`submit` blocks
+    until a slot frees, which keeps client-side memory bounded and stays
+    inside the server's own read-ahead window.
+
+    :meth:`request` keeps the blocking signature, so ``N`` threads
+    sharing one pipelined client (e.g. via :class:`RemoteEndpoint`
+    wrappers) drive ``min(N, window)`` requests in flight on a single
+    connection — the shape ``net-bench --pipeline`` measures.
+
+    Failure semantics match the serial client, connection-wide: any
+    transport failure (timeout, reset, torn or malformed frame)
+    desynchronises the reply stream, so it poisons the connection and
+    fails *every* outstanding future with the mapped exception; later
+    submissions raise immediately.  Typed ``ErrorReply`` frames stay
+    per-request: they resolve only their own future (raised from
+    :meth:`request` as the mapped exception) and leave the stream
+    healthy.  ``last_trace_id`` is shared state and meaningless under
+    concurrent use — traced single-stepping belongs on the serial
+    client.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 window: int = 32) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__(host, port, timeout_s=timeout_s,
+                         max_frame=max_frame)
+        self.window = window
+        # The reader blocks in recv with no socket deadline: between
+        # requests there is legitimately nothing to read, and a reply
+        # may legally queue behind window-1 others.  Per-request
+        # deadlines are enforced on the futures instead, and a wedged
+        # server is unblocked by close()'s shutdown.
+        self._rsock = self._sock
+        self._rsock.settimeout(None)
+        self._slots = threading.BoundedSemaphore(window)
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: deque[Future] = deque()
+        self._fatal: Exception | None = None
+        self._closing = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="net-pipeline-reader", daemon=True)
+        self._reader.start()
+
+    # -- reader side --------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        """Decode replies as they arrive; FIFO-match them to futures."""
+        try:
+            while True:
+                payload = recv_frame(self._rsock, self.max_frame)
+                if payload is None:
+                    raise ConnectionLostError(
+                        "server closed the connection")
+                self.to_device.record(len(payload) + PREFIX_BYTES, 0.0)
+                reply = Message.decode(payload)
+                with self._pending_lock:
+                    future = (self._pending.popleft()
+                              if self._pending else None)
+                if future is None:
+                    raise ProtocolError(
+                        "server sent a reply with no request outstanding")
+                future.set_result(reply)
+        except Exception as exc:  # noqa: BLE001 — any failure poisons
+            if self._closing:
+                self._poison(ServiceClosedError(
+                    "client connection is closed"))
+            else:
+                self._poison(_map_transport_error(exc))
+
+    def _poison(self, exc: Exception) -> None:
+        """Mark the connection spent and fail every outstanding future."""
+        with self._pending_lock:
+            if self._fatal is None:
+                self._fatal = exc
+            orphans, self._pending = list(self._pending), deque()
+        for future in orphans:
+            if not future.done():
+                future.set_exception(exc)
+        try:
+            self._rsock.close()
+        except OSError:
+            pass
+
+    def _spent_error(self) -> Exception:
+        fatal = self._fatal
+        if self._closing or isinstance(fatal, ServiceClosedError):
+            return ServiceClosedError("client connection is closed")
+        return ConnectionLostError(f"connection is spent: {fatal}")
+
+    # -- sender side --------------------------------------------------------
+
+    def submit(self, message: Message,
+               trace_id: bytes | None = None) -> Future:
+        """Send ``message`` and return a future for its decoded reply.
+
+        Blocks while ``window`` requests are already outstanding.  The
+        future resolves to the raw reply message (envelopes and error
+        frames included); :meth:`request` is the resolve-and-map wrapper.
+        """
+        if trace_id is not None:
+            message = TracedEnvelope.wrap(message, trace_id)
+        frame = frame_message(message, self.max_frame)
+        self._slots.acquire()
+        future: Future = Future()
+        try:
+            # Append and send under one lock: the reply stream matches
+            # futures by arrival order, so pending order must equal the
+            # order frames hit the wire.
+            with self._send_lock:
+                if self._fatal is not None:
+                    raise self._spent_error()
+                with self._pending_lock:
+                    self._pending.append(future)
+                try:
+                    self._sock.sendall(frame)
+                except Exception as exc:
+                    mapped = _map_transport_error(exc)
+                    self._poison(mapped)
+                    raise mapped from exc
+                self.to_server.record(len(frame), 0.0)
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(lambda _f: self._slots.release())
+        return future
+
+    def request(self, message: Message,
+                trace_id: bytes | None = None,
+                deadline_s: float | None = None) -> Message:
+        """Pipelined round trip: submit, then block on this reply only.
+
+        Same contract as the serial :meth:`NetworkClient.request`; other
+        requests keep flowing while this one waits.  A deadline expiry
+        poisons the whole connection — with in-order matching an
+        abandoned exchange would desynchronise every later reply.
+        """
+        future = self.submit(message, trace_id=trace_id)
+        timeout = self.timeout_s if deadline_s is None else deadline_s
+        try:
+            reply = future.result(timeout)
+        except TimeoutError as exc:
+            if future.done():
+                raise  # the stored (already mapped) failure, not the wait
+            mapped = RequestTimeoutError(
+                f"request deadline exceeded after {timeout}s "
+                f"({len(self._pending)} pipelined requests in flight)")
+            self._poison(mapped)
+            raise mapped from exc
+        if isinstance(reply, TracedEnvelope):
+            self.last_trace_id = reply.trace_id
+            reply = reply.inner()
+        else:
+            self.last_trace_id = None
+        if isinstance(reply, ErrorReply):
+            _raise_error_reply(reply)
+        return reply
+
+    def close(self) -> None:
+        """Close the connection and fail any outstanding futures."""
+        self._closing = True
+        try:
+            # recv_into does not observe a bare close of its own fd;
+            # shutdown is what wakes the blocked reader thread.
+            self._rsock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        super().close()
+        self._reader.join(timeout=5.0)
+
+
 class RemoteEndpoint:
     """A ``ServerEndpoint`` whose handlers live across a TCP connection.
 
@@ -290,7 +475,7 @@ class RemoteEndpoint:
     @classmethod
     def connect(cls, host: str, port: int, timeout_s: float = 30.0,
                 max_frame: int = DEFAULT_MAX_FRAME,
-                trace: bool = False) -> "RemoteEndpoint":
+                trace: bool = False, pipeline: int = 0) -> "RemoteEndpoint":
         """Open a connection to ``host:port`` and wrap it as an endpoint.
 
         ``trace=True`` turns on client-edge request tracing: each
@@ -300,10 +485,21 @@ class RemoteEndpoint:
         multi-round-trip run correlates under a single id.  Off by
         default: envelopes add wire bytes, so untraced byte accounting
         stays identical to the pre-tracing protocol.
+
+        ``pipeline=N`` (for ``N > 1``) opens the connection through a
+        :class:`PipelinedNetworkClient` with an ``N``-request window, so
+        several endpoints sharing the one client (or threads sharing
+        this endpoint's client) keep the connection saturated.  ``0``
+        or ``1`` means the classic serial client.
         """
-        return cls(NetworkClient(host, port, timeout_s=timeout_s,
-                                 max_frame=max_frame), owns_client=True,
-                   trace=trace)
+        if pipeline > 1:
+            client: NetworkClient = PipelinedNetworkClient(
+                host, port, timeout_s=timeout_s, max_frame=max_frame,
+                window=pipeline)
+        else:
+            client = NetworkClient(host, port, timeout_s=timeout_s,
+                                   max_frame=max_frame)
+        return cls(client, owns_client=True, trace=trace)
 
     @property
     def trace_id(self) -> bytes | None:

@@ -43,13 +43,17 @@ PREFIX_BYTES = 4
 _FORMAT_CAP = (1 << (8 * PREFIX_BYTES)) - 1
 
 
-def frame_message(message: Message,
-                  max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """Encode ``message`` and wrap it in a length-prefixed frame.
+def frame_buffers(message: Message,
+                  max_frame: int = DEFAULT_MAX_FRAME) -> tuple[bytes, bytes]:
+    """Encode ``message`` as ``(prefix, payload)`` buffers, not yet joined.
 
-    Raises :class:`~repro.exceptions.ProtocolError` if the encoding
-    exceeds ``max_frame`` (or the 4-byte format cap) — oversized frames
-    are refused at the sender, not discovered by the receiver.
+    The gathered-write paths (``writer.writelines`` on the server,
+    ``sendmsg`` in :func:`send_frame`) hand both buffers to the kernel in
+    one call instead of concatenating them first, so a frame is never
+    copied just to glue four bytes onto its front.  Raises
+    :class:`~repro.exceptions.ProtocolError` if the encoding exceeds
+    ``max_frame`` (or the 4-byte format cap) — oversized frames are
+    refused at the sender, not discovered by the receiver.
     """
     payload = message.encode()
     cap = min(max_frame, _FORMAT_CAP)
@@ -58,7 +62,17 @@ def frame_message(message: Message,
             f"{type(message).__name__} encodes to {len(payload)} bytes, "
             f"over the {cap}-byte frame cap"
         )
-    return len(payload).to_bytes(PREFIX_BYTES, "big") + payload
+    return len(payload).to_bytes(PREFIX_BYTES, "big"), payload
+
+
+def frame_message(message: Message,
+                  max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Encode ``message`` and wrap it in one contiguous length-prefixed frame.
+
+    Same contract as :func:`frame_buffers`, joined for callers that want a
+    single buffer.
+    """
+    return b"".join(frame_buffers(message, max_frame))
 
 
 def _check_length(length: int, max_frame: int) -> None:
@@ -100,35 +114,43 @@ async def read_frame(reader: asyncio.StreamReader,
 # -- blocking side -----------------------------------------------------------
 
 def _recv_exact(sock: socket.socket, count: int,
-                allow_eof: bool) -> bytes | None:
-    """Read exactly ``count`` bytes from a blocking socket.
+                allow_eof: bool) -> memoryview | None:
+    """Read exactly ``count`` bytes from a blocking socket, zero-copy.
 
-    ``allow_eof`` permits a clean close *before the first byte* (returns
-    ``None``); a close after partial data is always a
-    :class:`~repro.exceptions.ProtocolError`.
+    One buffer is preallocated and filled in place with ``recv_into`` —
+    no per-chunk ``bytes`` objects, no final join.  Callers must
+    therefore cap ``count`` *before* calling (see :func:`recv_frame`),
+    since the allocation happens up front.  Returns a ``memoryview`` of
+    the filled buffer; ``allow_eof`` permits a clean close *before the
+    first byte* (returns ``None``), while a close after partial data is
+    always a :class:`~repro.exceptions.ProtocolError`.
     """
-    parts: list[bytes] = []
+    view = memoryview(bytearray(count))
     received = 0
     while received < count:
-        chunk = sock.recv(count - received)
-        if not chunk:
+        read = sock.recv_into(view[received:])
+        if read == 0:
             if allow_eof and received == 0:
                 return None
             raise ProtocolError(
                 f"connection closed after {received} of {count} bytes"
             )
-        parts.append(chunk)
-        received += len(chunk)
-    return b"".join(parts)
+        received += read
+    return view
 
 
 def recv_frame(sock: socket.socket,
-               max_frame: int = DEFAULT_MAX_FRAME) -> bytes | None:
+               max_frame: int = DEFAULT_MAX_FRAME) -> memoryview | bytes | None:
     """Blocking read of one frame payload (``None`` on clean EOF).
 
     Mirrors :func:`read_frame`'s contract for blocking sockets; a
     socket timeout propagates as the stdlib ``TimeoutError`` so callers
-    can distinguish a slow server from a malformed stream.
+    can distinguish a slow server from a malformed stream.  The declared
+    length is checked against the cap *before* the receive buffer is
+    allocated — symmetric with the async side, where the check precedes
+    ``readexactly`` — so a hostile prefix cannot force the allocation.
+    The payload comes back as a ``memoryview`` that
+    :meth:`Message.decode` slices without copying.
     """
     prefix = _recv_exact(sock, PREFIX_BYTES, allow_eof=True)
     if prefix is None:
@@ -142,7 +164,23 @@ def recv_frame(sock: socket.socket,
 
 def send_frame(sock: socket.socket, message: Message,
                max_frame: int = DEFAULT_MAX_FRAME) -> int:
-    """Blocking send of one framed message; returns bytes put on the wire."""
-    frame = frame_message(message, max_frame)
-    sock.sendall(frame)
-    return len(frame)
+    """Blocking send of one framed message; returns bytes put on the wire.
+
+    Uses scatter-gather ``sendmsg`` where available so the length prefix
+    and the payload go to the kernel without being concatenated first.
+    """
+    prefix, payload = frame_buffers(message, max_frame)
+    total = len(prefix) + len(payload)
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # platform without scatter-gather send
+        sock.sendall(prefix + payload)
+        return total
+    buffers = [memoryview(prefix), memoryview(payload)]
+    while buffers:
+        sent = sendmsg(buffers)
+        while buffers and sent >= len(buffers[0]):
+            sent -= len(buffers[0])
+            del buffers[0]
+        if sent and buffers:
+            buffers[0] = buffers[0][sent:]
+    return total

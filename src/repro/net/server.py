@@ -5,10 +5,13 @@
 the plain :class:`~repro.protocols.server.AuthenticationServer` and the
 concurrent :class:`~repro.service.frontend.ServiceFrontend`.  Request
 routing is by message type: each decoded frame dispatches to the handler
-the in-process stack would have called, and the handler's reply goes
-back as the next frame on the connection (the protocols are strict
-request/reply, so one in-flight request per connection is the contract,
-exactly like the in-process runners).
+the in-process stack would have called, and replies go back **in request
+order** on the connection.  A serial client (one request, then its
+reply) sees the strict request/reply contract unchanged; a pipelined
+client may keep a bounded window of requests in flight on one
+connection — the server reads ahead, runs their handlers concurrently
+on the pool, and re-sequences the replies, so the framing needs no
+request ids (windowed in-order pipelining).
 
 Design points:
 
@@ -56,7 +59,7 @@ from repro.exceptions import (
 from repro.net.framing import (
     DEFAULT_MAX_FRAME,
     PREFIX_BYTES,
-    frame_message,
+    frame_buffers,
     read_frame,
 )
 from repro.protocols.messages import (
@@ -185,6 +188,12 @@ class NetworkServer:
         When true, :meth:`close` also calls ``endpoint.close()`` (if it
         has one) after the transport is down — handy for benches that
         build a frontend just for one server.
+    pipeline_window:
+        Most requests one connection may have in flight at once (reads
+        ahead of the oldest unanswered request).  When the window is
+        full the server simply stops reading that connection, so
+        backpressure reaches a runaway pipelined client as TCP flow
+        control.  ``1`` degenerates to strict serial request/reply.
     health_extra:
         Optional zero-argument callable returning a dict merged into the
         health snapshot — how the CLI wires deployment-level facts (a
@@ -196,13 +205,17 @@ class NetworkServer:
                  max_frame: int = DEFAULT_MAX_FRAME,
                  handler_threads: int = 8,
                  owns_endpoint: bool = False,
-                 health_extra=None) -> None:
+                 health_extra=None,
+                 pipeline_window: int = 64) -> None:
         if handler_threads < 1:
             raise ValueError("handler_threads must be >= 1")
+        if pipeline_window < 1:
+            raise ValueError("pipeline_window must be >= 1")
         self.endpoint = endpoint
         self.max_frame = max_frame
         self.owns_endpoint = owns_endpoint
         self.health_extra = health_extra
+        self.pipeline_window = pipeline_window
         self._host = host
         self._port = port
         self._pool = ThreadPoolExecutor(
@@ -407,94 +420,161 @@ class NetworkServer:
                                 stats: ConnectionStats) -> bool:
         """The request/reply loop for one connection.
 
+        Frames are read ahead (up to ``pipeline_window`` outstanding)
+        and dispatched to the handler pool concurrently; replies are
+        delivered strictly in request order, and every delivery gathers
+        the whole completed prefix into one ``writelines`` flush — one
+        syscall per batch tick, not per reply.  With the window at 1 (or
+        a serial client) this is byte-for-byte the old strict
+        request/reply loop.
+
         Returns ``True`` for a clean close (client EOF between frames),
         ``False`` when the connection is torn down after a framing
         violation — the clean/dropped accounting distinction.
         """
         loop = asyncio.get_running_loop()
-        while True:
-            try:
-                payload = await read_frame(reader, self.max_frame)
-            except ProtocolError as exc:
-                # Framing is no longer trustworthy: answer once, hang up.
-                await self._send(writer, stats, ErrorReply(
-                    code="protocol", detail=str(exc)))
-                return False
-            if payload is None:
-                return True  # clean EOF between frames
-            stats.record_frame(stats.to_server, len(payload) + PREFIX_BYTES)
-            self._frames_in.inc()
-            self._bytes_in.inc(len(payload) + PREFIX_BYTES)
-            wire_trace: bytes | None = None
-            try:
-                message = Message.decode(payload)
+        # Each in-flight entry is [task, reply, wire_trace, span_trace]:
+        # ``task`` is the pending handler dispatch (None for replies the
+        # loop thread computed inline — admin frames, decode errors).
+        in_flight: list[list] = []
+        read_task: asyncio.Task | None = None
+        eof = False
+        failure: ProtocolError | None = None
+        try:
+            while True:
+                # Gather the completed prefix and flush it in one writev.
+                batch = []
+                while in_flight and (in_flight[0][0] is None
+                                     or in_flight[0][0].done()):
+                    task, reply, wire_trace, span_trace = in_flight.pop(0)
+                    if task is not None:
+                        reply = task.result()
+                    batch.append((reply, wire_trace, span_trace))
+                if batch:
+                    await self._send_many(writer, stats, batch)
+                if failure is not None:
+                    if not in_flight:
+                        # Framing is no longer trustworthy: every reply
+                        # that was already owed has been delivered above;
+                        # answer the violation once, then hang up.
+                        await self._send(writer, stats, ErrorReply(
+                            code="protocol", detail=str(failure)))
+                        return False
+                elif eof and not in_flight:
+                    return True  # clean EOF between frames
+                waiters: set[asyncio.Task] = set()
+                if in_flight:
+                    waiters.add(in_flight[0][0])
+                if (failure is None and not eof
+                        and len(in_flight) < self.pipeline_window):
+                    if read_task is None:
+                        read_task = loop.create_task(
+                            read_frame(reader, self.max_frame))
+                    waiters.add(read_task)
+                done, _ = await asyncio.wait(
+                    waiters, return_when=asyncio.FIRST_COMPLETED)
+                if read_task is not None and read_task in done:
+                    finished, read_task = read_task, None
+                    try:
+                        payload = finished.result()
+                    except ProtocolError as exc:
+                        failure = exc
+                        continue
+                    if payload is None:
+                        eof = True
+                        continue
+                    self._ingest_frame(loop, payload, stats, in_flight)
+        finally:
+            if read_task is not None:
+                read_task.cancel()
+            for entry in in_flight:
+                if entry[0] is not None:
+                    entry[0].cancel()
+
+    def _ingest_frame(self, loop: asyncio.AbstractEventLoop, payload,
+                      stats: ConnectionStats, in_flight: list[list]) -> None:
+        """Decode one frame and append its reply slot to ``in_flight``.
+
+        Admin frames (stats/health) and malformed requests are answered
+        by the loop thread itself — their entries carry a ready reply so
+        a wedged handler pool still reports (un)health; real requests
+        get a handler-pool dispatch task.  Either way the entry keeps
+        its arrival position, which is what makes reply order equal
+        request order.
+        """
+        stats.record_frame(stats.to_server, len(payload) + PREFIX_BYTES)
+        self._frames_in.inc()
+        self._bytes_in.inc(len(payload) + PREFIX_BYTES)
+        wire_trace: bytes | None = None
+        try:
+            message = Message.decode(payload)
+            if isinstance(message, TracedEnvelope):
+                # Unwrap the trace envelope; the inner message is
+                # dispatched normally and the reply is wrapped with
+                # the same id (errors included).
+                wire_trace = message.trace_id
+                message = message.inner()
                 if isinstance(message, TracedEnvelope):
-                    # Unwrap the trace envelope; the inner message is
-                    # dispatched normally and the reply is wrapped with
-                    # the same id (errors included).
-                    wire_trace = message.trace_id
-                    message = message.inner()
-                    if isinstance(message, TracedEnvelope):
-                        raise ProtocolError("nested trace envelope")
-                if isinstance(message, StatsRequest):
-                    # Admin scrape: answered on the loop thread — it
-                    # only serialises in-memory counters and never
-                    # touches the endpoint.
-                    await self._send(writer, stats,
-                                     self._stats_reply(message),
-                                     trace_id=wire_trace)
-                    continue
-                if isinstance(message, HealthRequest):
-                    # Liveness probe: also answered on the loop thread,
-                    # so a wedged handler pool still reports (un)health
-                    # instead of timing the probe out.
-                    await self._send(writer, stats, self._health_reply(),
-                                     trace_id=wire_trace)
-                    continue
-                handler_name = REQUEST_HANDLERS.get(type(message))
-                if handler_name is None:
-                    raise ProtocolError(
-                        f"{type(message).__name__} is not a request message"
-                    )
-            except ProtocolError as exc:
-                # The frame parsed as a frame, so the stream is still in
-                # sync: report the bad request and keep serving.  The
-                # error reply carries the request's trace id, so even a
-                # failed request stays attributable end-to-end.
-                await self._send(writer, stats, ErrorReply(
-                    code="protocol", detail=str(exc)), trace_id=wire_trace)
-                continue
-            # When the client did not send an envelope, mint an id here
-            # (while tracing is on) so server-side spans still correlate;
-            # the reply stays unwrapped for envelope-unaware clients.
-            trace_id = wire_trace
-            if trace_id is None and obs.tracer.enabled:
-                trace_id = obs.mint_trace_id()
-            handler = getattr(self.endpoint, handler_name)
-            try:
-                reply = await loop.run_in_executor(
-                    self._pool, self._run_handler, handler, message,
-                    trace_id)
-            except ServiceOverloadError as exc:
-                reply = ErrorReply.make(
-                    code="overload", detail=str(exc),
-                    retry_after_ms=getattr(exc, "retry_after_ms", None))
-            except TransientError as exc:
-                # Restarting batcher & friends: the request was not
-                # applied; tell the client to back off and resubmit.
-                reply = ErrorReply.make(
-                    code="retry", detail=str(exc),
-                    retry_after_ms=getattr(exc, "retry_after_ms", None))
-            except ServiceClosedError as exc:
-                reply = ErrorReply(code="closed", detail=str(exc))
-            except ProtocolError as exc:
-                reply = ErrorReply(code="protocol", detail=str(exc))
-            except Exception as exc:  # noqa: BLE001 — the loop must survive
-                reply = ErrorReply(
-                    code="internal",
-                    detail=f"{type(exc).__name__}: {exc}")
-            await self._send(writer, stats, reply, trace_id=wire_trace,
-                             span_trace=trace_id)
+                    raise ProtocolError("nested trace envelope")
+            if isinstance(message, StatsRequest):
+                # Admin scrape: only serialises in-memory counters and
+                # never touches the endpoint.
+                in_flight.append([None, self._stats_reply(message),
+                                  wire_trace, wire_trace])
+                return
+            if isinstance(message, HealthRequest):
+                in_flight.append([None, self._health_reply(),
+                                  wire_trace, wire_trace])
+                return
+            handler_name = REQUEST_HANDLERS.get(type(message))
+            if handler_name is None:
+                raise ProtocolError(
+                    f"{type(message).__name__} is not a request message"
+                )
+        except ProtocolError as exc:
+            # The frame parsed as a frame, so the stream is still in
+            # sync: report the bad request and keep serving.  The
+            # error reply carries the request's trace id, so even a
+            # failed request stays attributable end-to-end.
+            in_flight.append([None, ErrorReply(
+                code="protocol", detail=str(exc)), wire_trace, wire_trace])
+            return
+        # When the client did not send an envelope, mint an id here
+        # (while tracing is on) so server-side spans still correlate;
+        # the reply stays unwrapped for envelope-unaware clients.
+        trace_id = wire_trace
+        if trace_id is None and obs.tracer.enabled:
+            trace_id = obs.mint_trace_id()
+        handler = getattr(self.endpoint, handler_name)
+        task = loop.create_task(
+            self._dispatch(loop, handler, message, trace_id))
+        in_flight.append([task, None, wire_trace, trace_id])
+
+    async def _dispatch(self, loop: asyncio.AbstractEventLoop, handler,
+                        message: Message,
+                        trace_id: bytes | None) -> Message:
+        """Run one handler on the pool; always resolves to a reply frame."""
+        try:
+            return await loop.run_in_executor(
+                self._pool, self._run_handler, handler, message, trace_id)
+        except ServiceOverloadError as exc:
+            return ErrorReply.make(
+                code="overload", detail=str(exc),
+                retry_after_ms=getattr(exc, "retry_after_ms", None))
+        except TransientError as exc:
+            # Restarting batcher & friends: the request was not
+            # applied; tell the client to back off and resubmit.
+            return ErrorReply.make(
+                code="retry", detail=str(exc),
+                retry_after_ms=getattr(exc, "retry_after_ms", None))
+        except ServiceClosedError as exc:
+            return ErrorReply(code="closed", detail=str(exc))
+        except ProtocolError as exc:
+            return ErrorReply(code="protocol", detail=str(exc))
+        except Exception as exc:  # noqa: BLE001 — the loop must survive
+            return ErrorReply(
+                code="internal",
+                detail=f"{type(exc).__name__}: {exc}")
 
     def _run_handler(self, handler, message: Message,
                      trace_id: bytes | None) -> Message:
@@ -572,17 +652,19 @@ class NetworkServer:
                 payload["health_extra_error"] = f"{type(exc).__name__}: {exc}"
         return HealthReply(payload=json.dumps(payload))
 
-    def _frame_reply(self, message: Message) -> bytes | None:
+    def _frame_reply(self, message: Message) -> tuple[bytes, bytes] | None:
         """Frame a reply, degrading to a trimmed error frame if over cap.
 
-        A reply larger than ``max_frame`` (a tiny configured cap, or an
-        O(N) baseline batch outgrowing it) must not kill the connection
+        Returns ``(prefix, payload)`` buffers so the gathered flush can
+        hand them to the transport without concatenating.  A reply
+        larger than ``max_frame`` (a tiny configured cap, or an O(N)
+        baseline batch outgrowing it) must not kill the connection
         silently: the client gets a ``protocol`` error frame whose
         detail is cut to fit.  Returns ``None`` only when the cap is too
         small for even an empty error frame.
         """
         try:
-            return frame_message(message, self.max_frame)
+            return frame_buffers(message, self.max_frame)
         except ProtocolError as exc:
             code = message.code if isinstance(message, ErrorReply) \
                 else "protocol"
@@ -590,7 +672,7 @@ class NetworkServer:
             # Payload: 2B tag + two 8B chunk lengths + code + detail.
             room = self.max_frame - 2 - 8 - len(code.encode()) - 8
             try:
-                return frame_message(
+                return frame_buffers(
                     ErrorReply(code=code, detail=detail[:max(room, 0)]),
                     self.max_frame)
             except ProtocolError:
@@ -608,37 +690,68 @@ class NetworkServer:
         recorded against — it may be a server-minted id that is bound
         locally but never echoed to an envelope-unaware client.
         """
+        await self._send_many(
+            writer, stats, [(message, trace_id, span_trace or trace_id)])
+
+    async def _send_many(self, writer: asyncio.StreamWriter,
+                         stats: ConnectionStats, batch: list) -> None:
+        """Frame a batch of replies and flush them in one gathered write.
+
+        ``batch`` holds ``(message, trace_id, span_trace)`` triples in
+        delivery order.  All surviving frames go to the transport via a
+        single ``writelines`` (writev-style — no per-reply syscall, no
+        concatenation copy) followed by one ``drain``.  Fault-injection
+        rules are still consulted per frame, so chaos plans see the
+        same per-reply drop/truncate/delay decisions as the serial
+        path: a dropped reply is skipped, a truncated one flushes the
+        batch up to the torn frame and hangs up.
+        """
         start = time.perf_counter()
-        if trace_id is not None:
-            message = TracedEnvelope.wrap(message, trace_id)
-        frame = self._frame_reply(message)
-        if frame is None:
+        buffers: list[bytes] = []
+        sent: list[tuple[int, bytes | None]] = []  # (frame len, span trace)
+        for message, trace_id, span_trace in batch:
+            if trace_id is not None:
+                message = TracedEnvelope.wrap(message, trace_id)
+            pair = self._frame_reply(message)
+            if pair is None:
+                continue
+            prefix, payload = pair
+            length = len(prefix) + len(payload)
+            rule = faults.decide("net.server.send")
+            if rule is not None:
+                if rule.style == "drop":
+                    # Swallow the reply: the client's read deadline is
+                    # what turns this into a retryable timeout.
+                    continue
+                if rule.style == "truncate":
+                    # A torn write: half a frame, then hang up — the
+                    # client must classify this as a lost connection,
+                    # not a reply.
+                    frame = prefix + payload
+                    buffers.append(frame[:max(1, len(frame) // 2)])
+                    writer.writelines(buffers)
+                    writer.close()
+                    return
+                if rule.style == "delay":
+                    await asyncio.sleep(rule.delay_s)
+            buffers.append(prefix)
+            buffers.append(payload)
+            sent.append((length, span_trace))
+        if not buffers:
             return
-        rule = faults.decide("net.server.send")
-        if rule is not None:
-            if rule.style == "drop":
-                # Swallow the reply: the client's read deadline is what
-                # turns this into a retryable timeout.
-                return
-            if rule.style == "truncate":
-                # A torn write: half a frame, then hang up — the client
-                # must classify this as a lost connection, not a reply.
-                writer.write(frame[:max(1, len(frame) // 2)])
-                writer.close()
-                return
-            if rule.style == "delay":
-                await asyncio.sleep(rule.delay_s)
-        writer.write(frame)
-        stats.record_frame(stats.to_device, len(frame))
-        self._frames_out.inc()
-        self._bytes_out.inc(len(frame))
+        writer.writelines(buffers)
+        for length, _ in sent:
+            stats.record_frame(stats.to_device, length)
+            self._frames_out.inc()
+            self._bytes_out.inc(length)
         try:
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # peer vanished mid-reply; the read side will see EOF
-        obs.tracer.record("serialize", time.perf_counter() - start,
-                          trace_id=span_trace or trace_id,
-                          detail=f"{len(frame)}B")
+        elapsed = (time.perf_counter() - start) / len(sent)
+        for length, span_trace in sent:
+            obs.tracer.record("serialize", elapsed, trace_id=span_trace,
+                              detail=f"{length}B")
 
     # -- introspection ------------------------------------------------------
 

@@ -139,25 +139,32 @@ class Message:
         return target(**kwargs)  # type: ignore[return-value]
 
     @classmethod
-    def _decode_field(cls, name: str, chunk: bytes):
-        """Default decoding by annotation; subclasses override per field."""
+    def _decode_field(cls, name: str, chunk):
+        """Default decoding by annotation; subclasses override per field.
+
+        ``chunk`` may be a ``memoryview`` into the receive buffer (the
+        zero-copy wire path slices frames without materializing them);
+        each branch converts to the field's real type at this leaf, so no
+        intermediate ``bytes`` copy exists between the socket and the
+        decoded value.
+        """
         annotation = cls.__annotations__.get(name, "bytes")
         text = str(annotation)
         if "ndarray" in text:
             return decode_int_vector(chunk)
         if text in ("str", "builtins.str"):
-            return chunk.decode("utf-8")
+            return str(chunk, "utf-8")
         if text in ("bool", "builtins.bool"):
             if chunk == b"\x01":
                 return True
             if chunk == b"\x00":
                 return False
             raise ProtocolError(
-                f"invalid bool encoding {chunk!r} for field {name}"
+                f"invalid bool encoding {bytes(chunk)!r} for field {name}"
             )
         if "str | None" in text or "Optional[str]" in text:
-            return None if chunk == b"\xff" else chunk.decode("utf-8")
-        return chunk
+            return None if chunk == b"\xff" else str(chunk, "utf-8")
+        return bytes(chunk)
 
 
 # --------------------------------------------------------------------------

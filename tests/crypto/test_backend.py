@@ -1,0 +1,229 @@
+"""Backend parity suite: python and gmpy2 kernels are byte-identical.
+
+The backend contract is that switching the integer kernel is invisible
+everywhere above it — every scheme, the MSM kernels, batch verification,
+Tonelli–Shanks, and the fixed-base exponentiation tables must produce
+bit-identical outputs under either backend.  The gmpy2 half of each
+parity test self-skips when gmpy2 is not importable (the fallback leg
+CI runs), so this file is meaningful in both CI matrix legs.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import backend
+from repro.crypto import numbertheory as nt
+from repro.crypto.signatures import get_scheme
+
+BACKENDS = backend.available_backends()
+ALL = pytest.mark.parametrize(
+    "backend_name",
+    ["python",
+     pytest.param("gmpy2", marks=pytest.mark.skipif(
+         "gmpy2" not in BACKENDS, reason="gmpy2 not importable"))],
+)
+
+P256_P = 2**256 - 2**224 + 2**192 + 2**96 - 1
+
+
+class TestBackendSelection:
+    def test_python_backend_always_available(self):
+        assert "python" in BACKENDS
+        assert backend._resolve("python").name == "python"
+
+    def test_auto_resolution(self):
+        resolved = backend._resolve("auto")
+        expected = "gmpy2" if "gmpy2" in BACKENDS else "python"
+        assert resolved.name == expected
+        assert backend._resolve("").name == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            backend._resolve("libtommath")
+
+    def test_forcing_missing_gmpy2_raises(self):
+        if "gmpy2" in BACKENDS:
+            pytest.skip("gmpy2 is importable here")
+        with pytest.raises(ImportError, match="gmpy2"):
+            backend._resolve("gmpy2")
+
+    def test_use_backend_restores(self):
+        before = backend.active()
+        with backend.use_backend("python"):
+            assert backend.active().name == "python"
+        assert backend.active() is before
+
+
+class TestBackendPrimitives:
+    @ALL
+    def test_modexp_matches_builtin_pow(self, backend_name):
+        rng = random.Random(7)
+        with backend.use_backend(backend_name):
+            for _ in range(50):
+                base = rng.randrange(0, P256_P)
+                exp = rng.randrange(0, P256_P)
+                got = backend.modexp(base, exp, P256_P)
+                assert got == pow(base, exp, P256_P)
+                assert type(got) is int
+
+    @ALL
+    def test_modinv_matches_extended_euclid_reference(self, backend_name):
+        rng = random.Random(11)
+        with backend.use_backend(backend_name):
+            for _ in range(50):
+                value = rng.randrange(1, P256_P)
+                got = nt.modinv(value, P256_P)
+                assert got == nt.modinv_reference(value, P256_P)
+                assert value * got % P256_P == 1
+
+    @ALL
+    def test_modinv_rejects_non_invertible(self, backend_name):
+        with backend.use_backend(backend_name):
+            with pytest.raises(ValueError, match="no inverse"):
+                nt.modinv(6, 9)
+            with pytest.raises(ValueError, match="no inverse"):
+                nt.modinv(0, 17)
+
+    @ALL
+    def test_batch_modinv_matches_singles(self, backend_name):
+        rng = random.Random(13)
+        values = [rng.randrange(1, P256_P) for _ in range(33)]
+        with backend.use_backend(backend_name):
+            got = nt.batch_modinv(values, P256_P)
+            assert got == [nt.modinv(v, P256_P) for v in values]
+            assert all(type(g) is int for g in got)
+            assert nt.batch_modinv([], P256_P) == []
+
+    @ALL
+    def test_batch_modinv_rejects_non_invertible_member(self, backend_name):
+        with backend.use_backend(backend_name):
+            with pytest.raises(ValueError, match="no inverse"):
+                nt.batch_modinv([3, 17, 5], 17)
+
+
+def _python_reference(fn):
+    """Run ``fn`` under the pure-python backend (the parity baseline)."""
+    with backend.use_backend("python"):
+        return fn()
+
+
+class TestKernelParity:
+    @ALL
+    def test_sliding_window_pow(self, backend_name):
+        rng = random.Random(17)
+        cases = [(rng.randrange(2, 1 << 1024), rng.randrange(1, 1 << 160),
+                  (1 << 1024) + 643) for _ in range(5)]
+        expected = _python_reference(
+            lambda: [nt.sliding_window_pow(b, e, m) for b, e, m in cases])
+        with backend.use_backend(backend_name):
+            got = [nt.sliding_window_pow(b, e, m) for b, e, m in cases]
+        assert got == expected
+        assert got == [pow(b, e, m) for b, e, m in cases]
+
+    @ALL
+    def test_fixed_base_exp(self, backend_name):
+        base, modulus = 0xACE5, (1 << 512) + 75
+        rng = random.Random(19)
+        exps = [rng.randrange(0, 1 << 160) for _ in range(8)]
+        with backend.use_backend(backend_name):
+            table = nt.FixedBaseExp(base, modulus, 160, window=5)
+            got = [table.pow(e) for e in exps]
+        assert got == [pow(base, e, modulus) for e in exps]
+        assert table.base == base  # stays a plain, comparable int
+
+    @ALL
+    def test_tonelli_shanks_both_branches(self, backend_name):
+        # p % 4 == 3 fast path and the p % 4 == 1 main loop.
+        cases = [(P256_P, 4), (P256_P, 2), (13, 4), (13, 10), (17, 2)]
+        with backend.use_backend(backend_name):
+            for p, n in cases:
+                root = nt.tonelli_shanks(n, p)
+                assert root * root % p == n % p
+                assert type(root) is int
+
+    @ALL
+    def test_curve_scalar_multiply(self, backend_name):
+        from repro.crypto.ec import P256
+
+        rng = random.Random(23)
+        scalars = [rng.randrange(1, P256.n) for _ in range(4)]
+        q_point = P256.multiply(scalars[0], P256.generator)
+        expected = _python_reference(
+            lambda: [(P256.multiply(k, P256.generator),
+                      P256.multiply(k, q_point)) for k in scalars])
+        with backend.use_backend(backend_name):
+            got = [(P256.multiply(k, P256.generator),
+                    P256.multiply(k, q_point)) for k in scalars]
+            affine = [P256.multiply_affine(k, P256.generator)
+                      for k in scalars]
+        assert got == expected
+        assert [g for g, _ in got] == affine
+
+    @ALL
+    def test_curve_multi_multiply(self, backend_name):
+        from repro.crypto.ec import P256
+
+        rng = random.Random(29)
+        points = [P256.multiply(rng.randrange(1, P256.n), P256.generator)
+                  for _ in range(6)]
+        terms = [(rng.randrange(1, P256.n), pt) for pt in points]
+        expected = _python_reference(lambda: P256.multi_multiply(terms))
+        with backend.use_backend(backend_name):
+            assert P256.multi_multiply(terms) == expected
+
+    @ALL
+    def test_decode_point_square_root(self, backend_name):
+        from repro.crypto.ec import P256
+
+        point = P256.multiply(0x1234567, P256.generator)
+        encoded = P256.encode_point(point)
+        with backend.use_backend(backend_name):
+            assert P256.decode_point(encoded) == point
+
+
+class TestSchemeParity:
+    @pytest.mark.parametrize("scheme_name",
+                             ["ecdsa-p-256", "schnorr-p-256", "dsa-1024"])
+    @ALL
+    def test_sign_verify_byte_identical(self, scheme_name, backend_name):
+        scheme = get_scheme(scheme_name)
+        seed = b"backend-parity-" + scheme_name.encode()
+        message = b"backend parity message"
+
+        def flow():
+            keypair = scheme.keygen_from_seed(seed)
+            signature = scheme.sign(keypair.signing_key, message)
+            table = scheme.precompute(keypair.verify_key)
+            assert scheme.verify(keypair.verify_key, message, signature)
+            assert scheme.verify(keypair.verify_key, message, signature,
+                                 table=table)
+            assert scheme.verify_reference(keypair.verify_key, message,
+                                           signature)
+            bad = bytearray(signature)
+            bad[-1] ^= 1
+            assert not scheme.verify(keypair.verify_key, message,
+                                     bytes(bad), table=table)
+            return keypair.signing_key, keypair.verify_key, signature
+
+        expected = _python_reference(flow)
+        with backend.use_backend(backend_name):
+            assert flow() == expected
+
+    @ALL
+    def test_schnorr_verify_batch(self, backend_name):
+        scheme = get_scheme("schnorr-p-256")
+        message = b"backend batch parity"
+        keypairs = [scheme.keygen_from_seed(b"backend-batch-%02d" % i)
+                    for i in range(8)]
+        items = [(kp.verify_key, message,
+                  scheme.sign(kp.signing_key, message)) for kp in keypairs]
+        forged = list(items)
+        bad = bytearray(items[3][2])
+        bad[-1] ^= 1
+        forged[3] = (items[3][0], message, bytes(bad))
+        with backend.use_backend(backend_name):
+            tables = [scheme.precompute(kp.verify_key) for kp in keypairs]
+            assert scheme.verify_batch(items, tables=tables) == [True] * 8
+            assert scheme.verify_batch(forged, tables=tables) == \
+                [i != 3 for i in range(8)]

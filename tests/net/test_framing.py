@@ -9,6 +9,7 @@ from repro.exceptions import ProtocolError
 from repro.net.framing import (
     DEFAULT_MAX_FRAME,
     PREFIX_BYTES,
+    frame_buffers,
     frame_message,
     read_frame,
     recv_frame,
@@ -131,6 +132,63 @@ class TestBlockingHelpers:
         try:
             with pytest.raises(ProtocolError, match="frame cap"):
                 send_frame(left, MSG, max_frame=2)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestZeroCopyPath:
+    def test_frame_buffers_join_to_frame_message(self):
+        prefix, payload = frame_buffers(MSG)
+        assert prefix + payload == frame_message(MSG)
+        assert payload == MSG.encode()
+
+    def test_recv_returns_memoryview_and_decodes(self):
+        """The blocking receive hands back a view, not a copy, and the
+        decoder materialises fields at the leaves only."""
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, MSG)
+            payload = recv_frame(right)
+            assert isinstance(payload, memoryview)
+            decoded = Message.decode(payload)
+            assert decoded == MSG
+            assert isinstance(decoded.user_id, str)  # leaf materialised
+        finally:
+            left.close()
+            right.close()
+
+    def test_hostile_prefix_refused_before_allocation(self):
+        """A ~4 GiB claimed length must raise on the prefix alone — the
+        receive buffer is sized only after the cap check, so the test
+        passing without an allocation failure or a hang is the proof
+        (symmetric with the async side's readexactly ordering)."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall((0xFFFFFFF0).to_bytes(4, "big") + b"body")
+            with pytest.raises(ProtocolError, match="over the"):
+                recv_frame(right, max_frame=1024)
+        finally:
+            left.close()
+            right.close()
+
+    def test_zero_length_frame_round_trips(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((0).to_bytes(PREFIX_BYTES, "big"))
+            assert recv_frame(right) == b""
+        finally:
+            left.close()
+            right.close()
+
+    def test_bool_and_bytes_fields_survive_view_slicing(self):
+        ack = EnrollmentAck(user_id="zc", accepted=True)
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, ack)
+            decoded = Message.decode(recv_frame(right))
+            assert decoded == ack
+            assert decoded.accepted is True
         finally:
             left.close()
             right.close()

@@ -88,6 +88,35 @@ class TestVerifyHeavyMix:
         assert row["verify_max_batch_seen"] >= 1
 
 
+class TestPipelineMode:
+    def test_pipeline_shootout_reports_both_phases(self, tmp_path,
+                                                   watchdog):
+        """--pipeline runs the serial baseline then the windowed phase
+        on one connection each; the row carries both throughputs."""
+        report = run_net_bench(dimension=32, n_users=300, pool_users=4,
+                               n_requests=16, shards=2,
+                               scheme="dsa-512", seed=9, pipeline=4)
+        assert report.pipeline == 4
+        assert report.clients == 1  # one connection per phase
+        assert report.serial_ids_per_s > 0
+        assert report.ids_per_s > 0
+        path = tmp_path / "traj.json"
+        write_trajectory(report, path)
+        row = json.loads(path.read_text())["runs"][0]
+        assert row["pipeline"] == 4
+        assert row["serial_ids_per_s"] > 0
+        summary = "\n".join(report.summary_lines())
+        assert "pipelining x4" in summary
+
+    def test_pipeline_rejects_bad_shapes(self):
+        with pytest.raises(Exception, match="verify-heavy"):
+            run_net_bench(n_users=100, pool_users=4, n_requests=16,
+                          pipeline=4, verify_heavy=True)
+        with pytest.raises(Exception, match="pipeline"):
+            run_net_bench(n_users=100, pool_users=4, n_requests=4,
+                          pipeline=8)
+
+
 class TestServeCli:
     def test_self_test_round_trip(self, capsys, watchdog):
         code = main(["serve", "--self-test", "-n", "48",
