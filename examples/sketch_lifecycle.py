@@ -1,0 +1,101 @@
+"""Sketch lifecycle over the wire: enroll, rotate, revoke, then probe.
+
+Run a journaled server first::
+
+    python -m repro serve -n 64 --scheme dsa-512 --port 7430 \
+        --journal --journal-dir lifecycle-store
+
+then::
+
+    python examples/sketch_lifecycle.py 7430 --mutate
+
+enrolls a small population, rotates the first user's sketch (the old
+version is burnt — superseded, no longer answering), revokes the
+second user outright, and prints the identify/verify answer for every
+user as JSON.
+
+Without ``--mutate`` the script only probes.  Because every probe is
+drawn from a per-user seeded RNG, two invocations ask byte-identical
+questions — so the JSON from a probe-only run against a restarted
+(e.g. ``repro compact``-ed) store can be ``diff``-ed against the
+pre-restart answers: compaction rewrites the bytes on disk, never the
+decisions.  The CI ``lifecycle-smoke`` job does exactly that.
+"""
+
+import argparse
+import json
+
+import numpy as np
+
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.crypto.signatures import get_scheme
+from repro.net.client import RemoteEndpoint
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import RevokeRequest, RotateRequest
+from repro.protocols.runners import run_enrollment, run_identification, \
+    run_verification
+from repro.protocols.transport import DuplexLink
+
+N_USERS = 3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("port", type=int)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--mutate", action="store_true",
+                        help="enroll the population, rotate user 0, "
+                             "revoke user 1 before probing")
+    args = parser.parse_args()
+
+    params = SystemParams.paper_defaults(n=64)
+    scheme = get_scheme("dsa-512")
+    population = UserPopulation(params, size=N_USERS,
+                                noise=BoundedUniformNoise(params.t), seed=7)
+    device = BiometricDevice(params, scheme, seed=b"lifecycle-example")
+    # One seeded RNG per probe: the same question no matter how many
+    # times, or in what order, this script has run against the store.
+    probes = [population.genuine_reading(i, rng=np.random.default_rng(100 + i))
+              for i in range(N_USERS)]
+
+    answers = {}
+    with RemoteEndpoint.connect(args.host, args.port) as remote:
+        if args.mutate:
+            for i, user_id in enumerate(population.user_ids()):
+                run = run_enrollment(device, remote, DuplexLink(), user_id,
+                                     population.template(i))
+                assert run.outcome.accepted, f"enrollment refused: {user_id}"
+            # Rotate user 0: mint a fresh sketch of the same template and
+            # supersede the original (it stops answering entirely).
+            sub = device.enroll("user-0000", population.template(0))
+            ack = remote.handle_rotate(RotateRequest(
+                user_id=sub.user_id, verify_key=sub.verify_key,
+                helper_data=sub.helper_data, supersede=True))
+            assert ack.accepted, "rotate refused"
+            # Revoke user 1 outright: every version goes dark.
+            ack = remote.handle_revoke(RevokeRequest.make("user-0001"))
+            assert ack.revoked_count() == 1, "revoke missed"
+
+        for i, user_id in enumerate(population.user_ids()):
+            ident = run_identification(device, remote, DuplexLink(),
+                                       probes[i].copy())
+            verify = run_verification(device, remote, DuplexLink(), user_id,
+                                      probes[i].copy())
+            answers[user_id] = {
+                "identified_as": ident.outcome.user_id,
+                "verified": verify.outcome.verified,
+            }
+
+    # The rotated user answers through the new sketch; the revoked one
+    # answers nothing anywhere.
+    assert answers["user-0000"]["identified_as"] == "user-0000"
+    assert answers["user-0000"]["verified"]
+    assert answers["user-0001"]["identified_as"] is None
+    assert not answers["user-0001"]["verified"]
+    assert answers["user-0002"]["identified_as"] == "user-0002"
+    print(json.dumps(answers, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,10 @@ from repro.analysis.entropy import (
     statistical_distance,
     uniformity_distance,
 )
+from repro.analysis.lifecycle import (
+    LifecycleBenchReport,
+    run_lifecycle_bench,
+)
 from repro.analysis.security import (
     SecurityReport,
     advise_dimension,
@@ -24,6 +28,8 @@ __all__ = [
     "sketch_joint_distribution",
     "statistical_distance",
     "uniformity_distance",
+    "LifecycleBenchReport",
+    "run_lifecycle_bench",
     "SecurityReport",
     "advise_dimension",
     "measure_false_close_rate",

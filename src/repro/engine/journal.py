@@ -24,14 +24,29 @@ File layout (``journal.log`` inside the store directory)::
     | seq (8B LE) | payload_len (4B LE) | crc32 (4B LE) | payload   |  × N
     +--------------------------------------------------------------+
 
-The header JSON carries the system parameters and the journal's
-``base`` sequence (the engine's record count when the journal was
-created — 0 for a journal that has seen every enrollment, in which case
-it is a complete rebuild source).  Entry ``seq`` numbers are global row
-indices (``base``, ``base+1``, ...); the payload is the canonical
-:func:`~repro.engine.storage._encode_record` record encoding, CRC32'd
-so a torn tail (power loss mid-append) is detected and truncated on
-reopen instead of being replayed as garbage.
+The header JSON carries the system parameters, the journal's ``base``
+sequence (the engine's operation count when the journal was created —
+0 for a journal that has seen every operation, in which case it is a
+complete rebuild source), and the entry format.  Entry ``seq`` numbers
+are consecutive operation indices (``base``, ``base+1``, ...); every
+payload is CRC32'd so a torn tail (power loss mid-append) is detected
+and truncated on reopen instead of being replayed as garbage.
+
+Two entry formats exist (``entries`` header key):
+
+``"record"``
+    The pre-lifecycle format: every payload is a bare
+    :func:`~repro.engine.storage._encode_record` encoding and means
+    "enroll this record".  Journals without the header key read as this
+    format, so logs written before sketch lifecycle existed replay
+    unchanged.
+``"typed"``
+    Lifecycle format: payloads carry a one-byte opcode
+    (enroll / re-enroll / rotate / revoke — see
+    :mod:`repro.engine.lifecycle`) so replay reconstructs version
+    state, not just membership.  Engines create typed journals;
+    lifecycle operations refuse to append into a record-format journal
+    (``repro compact`` rewrites the store with a fresh typed journal).
 """
 
 from __future__ import annotations
@@ -44,6 +59,14 @@ import zlib
 from pathlib import Path
 
 from repro.core.params import SystemParams
+from repro.engine.lifecycle import (
+    ENTRY_FORMAT_RECORD,
+    ENTRY_FORMAT_TYPED,
+    RECORD_OPS,
+    decode_entry,
+    encode_record_entry,
+    OP_ENROLL,
+)
 from repro.engine.storage import _decode_record, _encode_record
 from repro.exceptions import ParameterError
 from repro.protocols.database import UserRecord
@@ -75,10 +98,19 @@ class EnrollmentJournal:
         Fsync after every append (the crash-safety default).  Benches
         that journal thousands of enrollments per second may turn it
         off and accept losing the OS write-back window.
+    entry_format:
+        ``"record"`` (default) or ``"typed"`` when creating; when
+        opening, the stored format wins and a mismatching request
+        raises :class:`~repro.exceptions.ParameterError`.
     """
 
     def __init__(self, path: str | Path, params: SystemParams | None = None,
-                 base: int = 0, fsync: bool = True) -> None:
+                 base: int = 0, fsync: bool = True,
+                 entry_format: str | None = None) -> None:
+        if entry_format not in (None, ENTRY_FORMAT_RECORD,
+                                ENTRY_FORMAT_TYPED):
+            raise ParameterError(
+                f"unknown journal entry format {entry_format!r}")
         self.path = Path(path)
         self.fsync = fsync
         self._lock = threading.Lock()
@@ -88,23 +120,34 @@ class EnrollmentJournal:
         self.truncated_bytes = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             self._open_existing(params)
+            if entry_format is not None and \
+                    entry_format != self.entry_format:
+                raise ParameterError(
+                    f"{self.path}: journal entry format is "
+                    f"{self.entry_format!r}, not {entry_format!r}")
         else:
             if params is None:
                 raise ParameterError(
                     f"creating journal {self.path} requires params")
             self.params = params
             self.base = int(base)
+            self.entry_format = entry_format or ENTRY_FORMAT_RECORD
             self._create()
 
     # -- open/create --------------------------------------------------------
 
     def _create(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        header = json.dumps({
+        fields = {
             "kind": "repro-enrollment-journal",
             "params": self.params.to_dict(),
             "base": self.base,
-        }, sort_keys=True).encode("utf-8")
+        }
+        if self.entry_format != ENTRY_FORMAT_RECORD:
+            # Record-format headers stay byte-identical to pre-lifecycle
+            # journals; only typed journals announce themselves.
+            fields["entries"] = self.entry_format
+        header = json.dumps(fields, sort_keys=True).encode("utf-8")
         with open(self.path, "wb") as handle:
             handle.write(_MAGIC)
             handle.write(len(header).to_bytes(4, "little"))
@@ -134,6 +177,12 @@ class EnrollmentJournal:
                 f"{self.path}: malformed journal header: {exc}") from exc
         self.params = SystemParams.from_dict(header["params"])
         self.base = int(header.get("base", 0))
+        self.entry_format = header.get("entries", ENTRY_FORMAT_RECORD)
+        if self.entry_format not in (ENTRY_FORMAT_RECORD,
+                                     ENTRY_FORMAT_TYPED):
+            raise ParameterError(
+                f"{self.path}: unknown journal entry format "
+                f"{self.entry_format!r}")
         if params is not None and params.to_dict() != self.params.to_dict():
             raise ParameterError(
                 f"{self.path}: journal params do not match the store's")
@@ -180,12 +229,23 @@ class EnrollmentJournal:
     # -- append / read ------------------------------------------------------
 
     def append(self, record: UserRecord) -> int:
-        """Durably append one record; returns its sequence number.
+        """Durably append one enrollment; returns its sequence number.
+
+        Encodes per the journal's entry format (a bare record, or a
+        typed enroll entry); lifecycle ops use :meth:`append_entry`
+        with an encoding from :mod:`repro.engine.lifecycle`.
+        """
+        if self.entry_format == ENTRY_FORMAT_TYPED:
+            return self.append_entry(encode_record_entry(OP_ENROLL, record))
+        return self.append_entry(_encode_record(record))
+
+    def append_entry(self, payload: bytes) -> int:
+        """Durably append one pre-encoded entry payload.
 
         The entry is flushed (and fsynced unless disabled) before this
-        returns — the write-ahead guarantee enrollments rely on.
+        returns — the write-ahead guarantee every lifecycle operation
+        relies on.
         """
-        payload = _encode_record(record)
         with self._lock:
             seq = self.base + len(self._offsets) - 1
             entry = _ENTRY_HEAD.pack(
@@ -234,8 +294,18 @@ class EnrollmentJournal:
         return out
 
     def records(self, from_seq: int | None = None) -> list[UserRecord]:
-        """Decoded records from ``from_seq`` (default: the base) on."""
+        """Decoded records from ``from_seq`` (default: the base) on.
+
+        For a typed journal this returns the record of every
+        record-carrying entry (enroll / re-enroll / rotate), skipping
+        revokes — a membership view; full replay goes through
+        :meth:`read` plus :func:`~repro.engine.lifecycle.decode_entry`.
+        """
         start = self.base if from_seq is None else from_seq
+        if self.entry_format == ENTRY_FORMAT_TYPED:
+            decoded = [decode_entry(payload)
+                       for _seq, payload in self.read(start)]
+            return [body for op, body in decoded if op in RECORD_OPS]
         return [_decode_record(payload)
                 for _seq, payload in self.read(start)]
 

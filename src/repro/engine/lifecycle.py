@@ -1,0 +1,152 @@
+"""Sketch lifecycle vocabulary: version statuses and typed journal entries.
+
+The paper's flow enrolls one sketch per identity, forever.  The serving
+stack instead keeps a *version list* per identity (see
+:class:`~repro.engine.engine.IdentificationEngine`): every store row is
+one sketch version, and a one-byte status per row says what that version
+may still do:
+
+``ACTIVE``
+    The identity's current sketch — the only version the identification
+    scan returns.  At most one per identity.
+``VERIFY_ONLY``
+    A previous sketch demoted by *re-enrollment*.  No longer matched by
+    identification, but still resolvable for verification against old
+    helper data; survives compaction.
+``SUPERSEDED``
+    A previous sketch demoted by *rotation* — rotation is the "assume
+    the old sketch leaked" move, so a superseded version is kept only
+    until the next compaction drops it.
+``REVOKED``
+    Dead.  Never matched, never resolvable, dropped at compaction.
+
+The journal side: pre-lifecycle journals ("record" entry format) carried
+bare record encodings, one enrollment per entry.  Typed journals
+("typed" entry format) prefix every payload with a one-byte opcode so
+replay, replication, and :meth:`recover` reconstruct lifecycle state —
+not just membership — exactly:
+
+* ``OP_ENROLL`` / ``OP_REENROLL`` / ``OP_ROTATE`` carry a record
+  encoding (the new version);
+* ``OP_REVOKE`` carries the user id and a version index
+  (:data:`ALL_VERSIONS` revokes every remaining one).
+
+Everything here is pure encoding/decoding; state transitions live in
+the engine, which is the single writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.storage import _decode_record, _encode_record
+from repro.exceptions import ParameterError
+from repro.protocols.database import UserRecord
+
+# -- per-row version statuses (one byte each in ``status.bin``) -------------
+
+STATUS_ACTIVE = 0
+STATUS_VERIFY_ONLY = 1
+STATUS_SUPERSEDED = 2
+STATUS_REVOKED = 3
+
+STATUS_NAMES = {
+    STATUS_ACTIVE: "active",
+    STATUS_VERIFY_ONLY: "verify-only",
+    STATUS_SUPERSEDED: "superseded",
+    STATUS_REVOKED: "revoked",
+}
+
+#: Statuses a compaction pass keeps; superseded and revoked rows are the
+#: garbage it exists to collect.
+LIVE_STATUSES = frozenset({STATUS_ACTIVE, STATUS_VERIFY_ONLY})
+
+# -- typed journal entries --------------------------------------------------
+
+OP_ENROLL = 0
+OP_REENROLL = 1
+OP_ROTATE = 2
+OP_REVOKE = 3
+
+OP_NAMES = {
+    OP_ENROLL: "enroll",
+    OP_REENROLL: "re-enroll",
+    OP_ROTATE: "rotate",
+    OP_REVOKE: "revoke",
+}
+
+#: Ops whose body is a record encoding (a new sketch version).
+RECORD_OPS = frozenset({OP_ENROLL, OP_REENROLL, OP_ROTATE})
+
+#: Journal entry formats (the ``entries`` key of the journal header).
+ENTRY_FORMAT_RECORD = "record"
+ENTRY_FORMAT_TYPED = "typed"
+
+#: Version-index sentinel in a revoke entry: every remaining version.
+ALL_VERSIONS = 0xFFFFFFFF
+
+
+def encode_record_entry(op: int, record: UserRecord) -> bytes:
+    """A typed journal entry carrying a new sketch version."""
+    if op not in RECORD_OPS:
+        raise ParameterError(f"op {op} does not carry a record")
+    return bytes([op]) + _encode_record(record)
+
+
+def encode_revoke_entry(user_id: str, version: int | None) -> bytes:
+    """A typed revoke entry (``version=None`` = every remaining version)."""
+    uid = user_id.encode("utf-8")
+    if len(uid) > 0xFFFF:
+        raise ParameterError("user id too long to journal")
+    number = ALL_VERSIONS if version is None else int(version)
+    if not 0 <= number <= ALL_VERSIONS:
+        raise ParameterError(f"version {version} out of range")
+    return b"".join([
+        bytes([OP_REVOKE]),
+        len(uid).to_bytes(2, "little"), uid,
+        number.to_bytes(4, "little"),
+    ])
+
+
+def decode_entry(payload: bytes) -> tuple[int, UserRecord | tuple[str, int | None]]:
+    """Decode a typed journal entry to ``(op, body)``.
+
+    ``body`` is the :class:`UserRecord` for record-carrying ops, or a
+    ``(user_id, version | None)`` pair for a revoke.  Malformed entries
+    raise :class:`~repro.exceptions.ParameterError`.
+    """
+    if not payload:
+        raise ParameterError("empty journal entry")
+    op = payload[0]
+    body = payload[1:]
+    if op in RECORD_OPS:
+        return op, _decode_record(body)
+    if op == OP_REVOKE:
+        try:
+            uid_len = int.from_bytes(body[:2], "little")
+            uid = body[2: 2 + uid_len]
+            if len(uid) != uid_len:
+                raise ValueError("truncated user id")
+            tail = body[2 + uid_len:]
+            if len(tail) != 4:
+                raise ValueError("bad version field")
+            number = int.from_bytes(tail, "little")
+            user_id = uid.decode("utf-8")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ParameterError(
+                f"malformed revoke journal entry: {exc}") from exc
+        return op, (user_id, None if number == ALL_VERSIONS else number)
+    raise ParameterError(f"unknown journal op {op}")
+
+
+@dataclass(frozen=True)
+class SketchVersion:
+    """One entry of an identity's version list (engine introspection)."""
+
+    version: int
+    status: int
+    record: UserRecord
+
+    @property
+    def status_name(self) -> str:
+        return STATUS_NAMES.get(self.status, f"status-{self.status}")

@@ -21,6 +21,19 @@ writes an engine's state as a *directory* of flat binary files that
     a ``(N+1,)`` uint64 offset table.  Records are materialised lazily
     one at a time through :class:`LazyRecordFile`; nothing is parsed at
     open time.
+``status.bin`` (format 2)
+    One byte per row: the sketch-version lifecycle status
+    (:mod:`repro.engine.lifecycle`), read fully at open (N bytes — the
+    only per-record cost the open path pays) because the engine mutates
+    it in memory.  Format-2 manifests additionally record the journal
+    operation count at save time (``journal_seq``) and the engine's
+    journal attachment mode (``journal``: true/false/null), so a
+    reopened engine resumes both without being told.
+
+A format-1 directory (saved before sketch lifecycle existed) opens
+through a compatibility shim: every row reads as an active version and
+``journal_seq`` defaults to the record count — exactly the semantics it
+was saved with.  The next save writes format 2.
 
 Everything stored is public helper data (same trust model as the JSONL
 store: integrity matters, confidentiality does not).
@@ -43,10 +56,14 @@ from repro.exceptions import ParameterError
 from repro.ioutil import atomic_replace
 from repro.protocols.database import UserRecord
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Formats :func:`open_store` accepts; format 1 (pre-lifecycle) opens
+#: through the all-rows-active compatibility shim.
+SUPPORTED_FORMATS = (1, FORMAT_VERSION)
 _MANIFEST = "manifest.json"
 _RECORDS_BIN = "records.bin"
 _RECORDS_IDX = "records.idx"
+_STATUS_BIN = "status.bin"
 
 _SKETCH_DTYPE = np.dtype("<i4")
 _ROWID_DTYPE = np.dtype("<i8")
@@ -174,6 +191,9 @@ class OpenedStore:
     records: LazyRecordFile
     total_records: int
     manifest: dict
+    #: One lifecycle status byte per row (all zero — active — for
+    #: format-1 stores opened through the compatibility shim).
+    statuses: bytes = b""
 
     def close(self) -> None:
         """Drop every memmap reference and file handle this store holds.
@@ -208,12 +228,19 @@ def _stage(path: Path, data: bytes,
 
 def write_store(path: str | Path, params: SystemParams,
                 shard_parts: list[tuple[np.ndarray, np.ndarray]],
-                records: Iterable[UserRecord]) -> None:
+                records: Iterable[UserRecord],
+                statuses: bytes | None = None,
+                journal_seq: int | None = None,
+                journal_mode: bool | None = None) -> None:
     """Persist shards + records as an engine store directory.
 
     ``shard_parts`` is the per-shard ``(matrix, row_ids)`` list (see
     :meth:`ShardedSketchIndex.shard_parts`); ``records`` is iterated once
-    in global row order.
+    in global row order.  ``statuses`` is one lifecycle status byte per
+    record (all active when omitted); ``journal_seq`` is the journal
+    operation count at save time (defaults to the record count — correct
+    for engines that never saw a lifecycle op); ``journal_mode`` records
+    the engine's journal attachment tri-state for reopen.
 
     The save is two-phase.  *Stage*: every data file is fully serialised
     to temp files first, so any failure there (disk full, a record that
@@ -252,6 +279,12 @@ def write_store(path: str | Path, params: SystemParams,
         _stage(path / _RECORDS_BIN, bytes(body), staged)
         _stage(path / _RECORDS_IDX,
                np.asarray(offsets, dtype=_OFFSET_DTYPE).tobytes(), staged)
+        if statuses is None:
+            statuses = bytes(total)
+        elif len(statuses) != total:
+            raise ParameterError(
+                f"{len(statuses)} status bytes for {total} records")
+        _stage(path / _STATUS_BIN, bytes(statuses), staged)
     except BaseException:
         for tmp_name, _ in staged:
             os.unlink(tmp_name)
@@ -286,6 +319,8 @@ def write_store(path: str | Path, params: SystemParams,
         "shard_counts": counts,
         "records": total,
         "coords": params.n,
+        "journal_seq": int(total if journal_seq is None else journal_seq),
+        "journal": journal_mode,
     }
     with atomic_replace(path / _MANIFEST, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(manifest, sort_keys=True) + "\n")
@@ -323,9 +358,10 @@ def open_store(path: str | Path) -> OpenedStore:
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise ParameterError(f"malformed engine manifest: {exc}") from exc
-    if manifest.get("format") != FORMAT_VERSION:
+    store_format = manifest.get("format")
+    if store_format not in SUPPORTED_FORMATS:
         raise ParameterError(
-            f"unsupported engine store format {manifest.get('format')!r}"
+            f"unsupported engine store format {store_format!r}"
         )
     params = SystemParams.from_dict(manifest["params"])
     counts = manifest.get("shard_counts", [])
@@ -348,6 +384,22 @@ def open_store(path: str | Path) -> OpenedStore:
 
     offsets = _memmap(path / _RECORDS_IDX, _OFFSET_DTYPE, (total + 1,))
     records = LazyRecordFile(path / _RECORDS_BIN, offsets)
+
+    if store_format == 1:
+        # Compatibility shim: pre-lifecycle stores have no status
+        # sidecar — every row is an active version.
+        statuses = bytes(total)
+    else:
+        status_path = path / _STATUS_BIN
+        if not status_path.exists():
+            raise ParameterError(
+                f"engine store missing data file {_STATUS_BIN}")
+        statuses = status_path.read_bytes()
+        if len(statuses) != total:
+            raise ParameterError(
+                f"engine store file {_STATUS_BIN} is {len(statuses)} "
+                f"bytes, manifest implies {total}"
+            )
     return OpenedStore(params=params, shard_parts=shard_parts,
                        records=records, total_records=total,
-                       manifest=manifest)
+                       manifest=manifest, statuses=statuses)

@@ -63,6 +63,10 @@ from repro.protocols.messages import (
     IdentificationRequest,
     IdentificationResponse,
     Message,
+    RevokeAck,
+    RevokeRequest,
+    RotateAck,
+    RotateRequest,
     StatsReply,
     StatsRequest,
     TracedEnvelope,
@@ -549,6 +553,14 @@ class RemoteEndpoint:
         """Enroll over the wire (Fig. 1's server leg, remote)."""
         return self._expect(submission, (EnrollmentAck,),
                             fresh_trace=True)
+
+    def handle_rotate(self, request: RotateRequest) -> RotateAck:
+        """Rotate/re-enroll a sketch version over the wire."""
+        return self._expect(request, (RotateAck,), fresh_trace=True)
+
+    def handle_revoke(self, request: RevokeRequest) -> RevokeAck:
+        """Revoke sketch version(s) over the wire (idempotent)."""
+        return self._expect(request, (RevokeAck,), fresh_trace=True)
 
     def handle_identification_request(
         self, request: IdentificationRequest,

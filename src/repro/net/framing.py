@@ -44,25 +44,30 @@ _FORMAT_CAP = (1 << (8 * PREFIX_BYTES)) - 1
 
 
 def frame_buffers(message: Message,
-                  max_frame: int = DEFAULT_MAX_FRAME) -> tuple[bytes, bytes]:
-    """Encode ``message`` as ``(prefix, payload)`` buffers, not yet joined.
+                  max_frame: int = DEFAULT_MAX_FRAME) -> list[bytes]:
+    """Encode ``message`` as a flat frame buffer list, never joined.
 
-    The gathered-write paths (``writer.writelines`` on the server,
-    ``sendmsg`` in :func:`send_frame`) hand both buffers to the kernel in
-    one call instead of concatenating them first, so a frame is never
-    copied just to glue four bytes onto its front.  Raises
+    The list is ``[prefix, tag, len_1, chunk_1, ...]`` — the length
+    prefix followed by :meth:`Message.encode_buffers`' pieces, whose
+    concatenation is exactly one wire frame.  The gathered-write paths
+    (``writer.writelines`` on the server, ``sendmsg`` in
+    :func:`send_frame`) hand the whole list to the kernel in one call,
+    so neither the frame nor the message payload behind it is ever
+    assembled into an intermediate ``bytes`` — large fields go from
+    message object to socket directly.  Raises
     :class:`~repro.exceptions.ProtocolError` if the encoding exceeds
     ``max_frame`` (or the 4-byte format cap) — oversized frames are
     refused at the sender, not discovered by the receiver.
     """
-    payload = message.encode()
+    buffers = message.encode_buffers()
+    size = sum(len(chunk) for chunk in buffers)
     cap = min(max_frame, _FORMAT_CAP)
-    if len(payload) > cap:
+    if size > cap:
         raise ProtocolError(
-            f"{type(message).__name__} encodes to {len(payload)} bytes, "
+            f"{type(message).__name__} encodes to {size} bytes, "
             f"over the {cap}-byte frame cap"
         )
-    return len(payload).to_bytes(PREFIX_BYTES, "big"), payload
+    return [size.to_bytes(PREFIX_BYTES, "big"), *buffers]
 
 
 def frame_message(message: Message,
@@ -167,15 +172,16 @@ def send_frame(sock: socket.socket, message: Message,
     """Blocking send of one framed message; returns bytes put on the wire.
 
     Uses scatter-gather ``sendmsg`` where available so the length prefix
-    and the payload go to the kernel without being concatenated first.
+    and the payload chunks go to the kernel without being concatenated
+    first.
     """
-    prefix, payload = frame_buffers(message, max_frame)
-    total = len(prefix) + len(payload)
+    frame = frame_buffers(message, max_frame)
+    total = sum(len(chunk) for chunk in frame)
     sendmsg = getattr(sock, "sendmsg", None)
     if sendmsg is None:  # platform without scatter-gather send
-        sock.sendall(prefix + payload)
+        sock.sendall(b"".join(frame))
         return total
-    buffers = [memoryview(prefix), memoryview(payload)]
+    buffers = [memoryview(chunk) for chunk in frame]
     while buffers:
         sent = sendmsg(buffers)
         while buffers and sent >= len(buffers[0]):

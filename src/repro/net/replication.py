@@ -8,7 +8,12 @@ the follower engine's current offset and feeds the returned entries into
 Because ``Gen`` is deterministic over the stored record bytes, a
 follower that has applied the same journal prefix answers identification
 requests byte-identically to the primary — replication is just shipping
-the enrollment history, no state-machine protocol needed.
+the operation history, no state-machine protocol needed.  Entries are
+*typed* lifecycle operations (enroll / re-enroll / rotate / revoke —
+see :mod:`repro.engine.lifecycle`), so a follower reconstructs version
+state too: a rotate on the primary demotes the same row on every
+standby.  The primary converts pre-lifecycle record-format journals to
+typed entries on the way out, so followers only ever see one format.
 
 Design points:
 
@@ -23,9 +28,10 @@ Design points:
   exported through the server's ``health_extra`` hook so operators (and
   the failover client) can see staleness.
 * **durability composes.**  A follower engine with its own journal
-  re-journals every applied record (``apply_replicated`` goes through
-  ``add``), so a standby restart replays its local journal first and
-  resumes pulling from where it left off.
+  re-journals every applied entry before mutating state
+  (``apply_replicated`` is write-ahead like the primary), so a standby
+  restart replays its local journal first and resumes pulling from
+  where it left off.
 """
 
 from __future__ import annotations

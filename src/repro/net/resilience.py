@@ -45,7 +45,13 @@ from repro.exceptions import TransientError
 from repro.net.client import NetworkClient, RemoteEndpoint
 from repro.net.framing import DEFAULT_MAX_FRAME
 from repro.protocols.device import BiometricDevice
-from repro.protocols.messages import EnrollmentAck
+from repro.protocols.messages import (
+    EnrollmentAck,
+    RevokeAck,
+    RevokeRequest,
+    RotateAck,
+    RotateRequest,
+)
 from repro.protocols.runners import (
     ProtocolRun,
     run_identification,
@@ -267,6 +273,30 @@ class FailoverClient:
         submission = device.enroll(user_id, bio)
         return self._with_retries(
             lambda ep: ep.handle_enrollment(submission))
+
+    def rotate(self, device: BiometricDevice, user_id: str,
+               bio: np.ndarray, supersede: bool = True) -> RotateAck:
+        """Rotate (or re-enroll) with at-most-once effect, like enroll.
+
+        The fresh sketch version is minted **once** and the same
+        ``(ID, pk, P)`` bytes resent on every retry; the server
+        acknowledges a resubmission matching the current active version
+        idempotently, so a rotate whose ack was torn away neither
+        double-rotates nor leaves the client unsure which key to keep.
+        """
+        submission = device.enroll(user_id, bio)
+        request = RotateRequest(
+            user_id=submission.user_id,
+            verify_key=submission.verify_key,
+            helper_data=submission.helper_data,
+            supersede=supersede)
+        return self._with_retries(lambda ep: ep.handle_rotate(request))
+
+    def revoke(self, user_id: str,
+               version: int | None = None) -> RevokeAck:
+        """Revoke sketch version(s); idempotent, so retried blindly."""
+        request = RevokeRequest.make(user_id, version)
+        return self._with_retries(lambda ep: ep.handle_revoke(request))
 
     def identify(self, device: BiometricDevice,
                  bio: np.ndarray) -> ProtocolRun:

@@ -74,6 +74,8 @@ from repro.protocols.messages import (
     IdentificationResponse,
     Message,
     ReplicateSubscribe,
+    RevokeRequest,
+    RotateRequest,
     StatsReply,
     StatsRequest,
     TracedEnvelope,
@@ -95,6 +97,8 @@ REQUEST_HANDLERS: dict[type, str] = {
     BaselineIdentificationRequest: "handle_baseline_request",
     BaselineResponseBatch: "handle_baseline_response",
     ReplicateSubscribe: "handle_replicate_subscribe",
+    RotateRequest: "handle_rotate",
+    RevokeRequest: "handle_revoke",
 }
 
 
@@ -652,11 +656,11 @@ class NetworkServer:
                 payload["health_extra_error"] = f"{type(exc).__name__}: {exc}"
         return HealthReply(payload=json.dumps(payload))
 
-    def _frame_reply(self, message: Message) -> tuple[bytes, bytes] | None:
+    def _frame_reply(self, message: Message) -> list[bytes] | None:
         """Frame a reply, degrading to a trimmed error frame if over cap.
 
-        Returns ``(prefix, payload)`` buffers so the gathered flush can
-        hand them to the transport without concatenating.  A reply
+        Returns the frame's buffer list so the gathered flush can
+        hand it to the transport without concatenating.  A reply
         larger than ``max_frame`` (a tiny configured cap, or an O(N)
         baseline batch outgrowing it) must not kill the connection
         silently: the client gets a ``protocol`` error frame whose
@@ -712,11 +716,10 @@ class NetworkServer:
         for message, trace_id, span_trace in batch:
             if trace_id is not None:
                 message = TracedEnvelope.wrap(message, trace_id)
-            pair = self._frame_reply(message)
-            if pair is None:
+            frame_parts = self._frame_reply(message)
+            if frame_parts is None:
                 continue
-            prefix, payload = pair
-            length = len(prefix) + len(payload)
+            length = sum(len(chunk) for chunk in frame_parts)
             rule = faults.decide("net.server.send")
             if rule is not None:
                 if rule.style == "drop":
@@ -727,15 +730,14 @@ class NetworkServer:
                     # A torn write: half a frame, then hang up — the
                     # client must classify this as a lost connection,
                     # not a reply.
-                    frame = prefix + payload
+                    frame = b"".join(frame_parts)
                     buffers.append(frame[:max(1, len(frame) // 2)])
                     writer.writelines(buffers)
                     writer.close()
                     return
                 if rule.style == "delay":
                     await asyncio.sleep(rule.delay_s)
-            buffers.append(prefix)
-            buffers.append(payload)
+            buffers.extend(frame_parts)
             sent.append((length, span_trace))
         if not buffers:
             return

@@ -99,10 +99,27 @@ class Message:
             return b"\xff"  # distinguished None marker for optional strings
         raise TypeError(f"cannot encode field of type {type(value)!r}")
 
+    def encode_buffers(self) -> list[bytes]:
+        """Canonical wire bytes as a flat buffer list, never joined.
+
+        ``[tag, len_1, chunk_1, len_2, chunk_2, ...]`` — exactly the
+        concatenation :meth:`encode` produces, but left as the pieces so
+        the send side (:func:`~repro.net.framing.frame_buffers`) can
+        hand them straight to a gathered write.  Large fields (helper
+        blobs, packed batches, sketch encodings) therefore cross from
+        message object to kernel without one intermediate ``bytes``
+        join.
+        """
+        buffers = [self.TYPE_TAG.to_bytes(2, "big")]
+        for f in fields(self):
+            chunk = self._encode_field(getattr(self, f.name))
+            buffers.append(len(chunk).to_bytes(8, "big"))
+            buffers.append(chunk)
+        return buffers
+
     def encode(self) -> bytes:
         """Canonical wire bytes: type tag + length-prefixed fields."""
-        chunks = [self._encode_field(getattr(self, f.name)) for f in fields(self)]
-        return self.TYPE_TAG.to_bytes(2, "big") + _pack_chunks(chunks)
+        return b"".join(self.encode_buffers())
 
     @classmethod
     def decode(cls: Type[_M], data: bytes) -> _M:
@@ -579,3 +596,125 @@ class HealthReply(Message):
     TYPE_TAG: ClassVar[int] = 22
 
     payload: str
+
+
+# --------------------------------------------------------------------------
+# Sketch lifecycle: rotate / revoke enrolled sketch versions
+# --------------------------------------------------------------------------
+
+#: Wire sentinel for "every version" in :class:`RevokeRequest` —
+#: mirrors :data:`repro.engine.lifecycle.ALL_VERSIONS` without the
+#: protocol layer importing the engine.
+REVOKE_ALL_VERSIONS = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class RotateRequest(Message):
+    """``BioD -> AS``: a fresh sketch version for an enrolled identity.
+
+    Carries the same ``(ID, pk, P)`` triple as an
+    :class:`EnrollmentSubmission`, but for a user the server must
+    already know — the server appends it as a new *version* instead of
+    a new identity.  ``supersede`` selects the lifecycle semantics:
+    ``True`` is a **rotate** (the old active sketch is burnt — it stops
+    verifying and the next compaction drops it), ``False`` a
+    **re-enroll** (the old sketch stays verify-only, e.g. a second
+    reading of the same finger).
+    """
+
+    TYPE_TAG: ClassVar[int] = 23
+
+    user_id: str
+    verify_key: bytes
+    helper_data: bytes
+    supersede: bool
+
+
+@dataclass(frozen=True)
+class RotateAck(Message):
+    """``AS -> BioD``: outcome of a rotate/re-enroll.
+
+    ``version`` is the new active version index packed as 4 bytes
+    big-endian when ``accepted``, empty otherwise (unknown identity, or
+    a store opened without lifecycle support).
+    """
+
+    TYPE_TAG: ClassVar[int] = 24
+
+    user_id: str
+    accepted: bool
+    version: bytes
+
+    @staticmethod
+    def make(user_id: str, accepted: bool,
+             version: int | None = None) -> "RotateAck":
+        """Build an ack with ``version`` packed into its wire form."""
+        packed = b"" if version is None else int(version).to_bytes(4, "big")
+        return RotateAck(user_id=user_id, accepted=accepted, version=packed)
+
+    def version_number(self) -> int | None:
+        """Decode the packed ``version`` field (``None`` when refused)."""
+        if not self.version:
+            return None
+        if len(self.version) != 4:
+            raise ProtocolError("rotate ack version must be 4 bytes")
+        return int.from_bytes(self.version, "big")
+
+
+@dataclass(frozen=True)
+class RevokeRequest(Message):
+    """``admin/BioD -> AS``: revoke sketch version(s) of an identity.
+
+    ``version`` is a 4-byte big-endian version index, or the
+    :data:`REVOKE_ALL_VERSIONS` sentinel to revoke every live version
+    (the "lost finger" case — the identity goes dark until a fresh
+    enrollment).  Revocation is idempotent, so failover clients may
+    retry it blindly.
+    """
+
+    TYPE_TAG: ClassVar[int] = 25
+
+    user_id: str
+    version: bytes
+
+    @staticmethod
+    def make(user_id: str,
+             version: int | None = None) -> "RevokeRequest":
+        """Build a request; ``version=None`` means every version."""
+        packed = REVOKE_ALL_VERSIONS if version is None else int(version)
+        return RevokeRequest(user_id=user_id,
+                             version=packed.to_bytes(4, "big"))
+
+    def version_number(self) -> int | None:
+        """Decode the packed ``version`` (``None`` = every version)."""
+        if len(self.version) != 4:
+            raise ProtocolError("revoke version must be 4 bytes")
+        value = int.from_bytes(self.version, "big")
+        return None if value == REVOKE_ALL_VERSIONS else value
+
+
+@dataclass(frozen=True)
+class RevokeAck(Message):
+    """``AS -> admin/BioD``: how many versions a revoke newly retired.
+
+    ``revoked`` is a 4-byte big-endian count; 0 means the request was a
+    no-op (unknown identity, out-of-range version, or already revoked)
+    — which, revocation being idempotent, is still success.
+    """
+
+    TYPE_TAG: ClassVar[int] = 26
+
+    user_id: str
+    revoked: bytes
+
+    @staticmethod
+    def make(user_id: str, revoked: int) -> "RevokeAck":
+        """Build an ack with the count packed into its wire form."""
+        return RevokeAck(user_id=user_id,
+                         revoked=int(revoked).to_bytes(4, "big"))
+
+    def revoked_count(self) -> int:
+        """Decode the packed ``revoked`` field."""
+        if len(self.revoked) != 4:
+            raise ProtocolError("revoke ack count must be 4 bytes")
+        return int.from_bytes(self.revoked, "big")

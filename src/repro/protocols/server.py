@@ -57,6 +57,10 @@ from repro.protocols.messages import (
     IdentificationResponse,
     ReplicateRecords,
     ReplicateSubscribe,
+    RevokeAck,
+    RevokeRequest,
+    RotateAck,
+    RotateRequest,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -265,6 +269,68 @@ class AuthenticationServer:
             return EnrollmentAck(user_id=submission.user_id, accepted=False)
         self._record_event("enroll-ok", submission.user_id)
         return EnrollmentAck(user_id=submission.user_id, accepted=True)
+
+    # -- sketch lifecycle (rotate / revoke) ----------------------------------------
+
+    def handle_rotate(self, request: RotateRequest) -> RotateAck:
+        """Append a new sketch version for an already-enrolled identity.
+
+        ``supersede`` selects rotate (old active sketch burnt) versus
+        re-enroll (old sketch stays verify-only).  Mirrors enrollment's
+        idempotence: a resubmission whose ``(pk, P)`` bytes match the
+        *current active* record is acknowledged with the active version
+        and never double-applied, so the failover retry path can resend
+        a rotate whose ack was lost to a torn connection.  An unknown
+        identity is refused (enroll first); a store without lifecycle
+        support (a bare :class:`HelperDataStore`) is a protocol error.
+        """
+        op = "rotate" if request.supersede else "reenroll"
+        apply_op = getattr(self.store, op, None)
+        if apply_op is None or not callable(apply_op):
+            raise ProtocolError(
+                "endpoint's store does not support sketch lifecycle "
+                f"({op})")
+        record = UserRecord(
+            user_id=request.user_id,
+            verify_key=request.verify_key,
+            helper_data=request.helper_data,
+        )
+        existing = self.store.get(request.user_id)
+        if existing is not None and existing == record:
+            version = self.store.active_version(request.user_id)
+            self._record_event("rotate-dedup", request.user_id,
+                               "idempotent resubmission")
+            return RotateAck.make(request.user_id, True, version)
+        try:
+            version = apply_op(record)
+        except EnrollmentError as exc:
+            self._record_event("rotate-refused", request.user_id, str(exc))
+            return RotateAck.make(request.user_id, False)
+        self._record_event("rotate-ok" if request.supersede
+                           else "reenroll-ok", request.user_id,
+                           f"version {version}")
+        return RotateAck.make(request.user_id, True, version)
+
+    def handle_revoke(self, request: RevokeRequest) -> RevokeAck:
+        """Revoke sketch version(s); idempotent, so safe to retry blindly.
+
+        The ack carries how many versions were *newly* retired — 0 for
+        an unknown identity, an out-of-range version, or one already
+        revoked, all of which are still success (the requested state
+        holds).
+        """
+        revoke = getattr(self.store, "revoke", None)
+        if revoke is None or not callable(revoke):
+            raise ProtocolError(
+                "endpoint's store does not support sketch lifecycle "
+                "(revoke)")
+        version = request.version_number()
+        count = revoke(request.user_id, version)
+        target = "all versions" if version is None else f"version {version}"
+        self._record_event("revoke-ok" if count else "revoke-noop",
+                           request.user_id,
+                           f"{target}: {count} newly revoked")
+        return RevokeAck.make(request.user_id, count)
 
     # -- proposed identification (Fig. 3) ------------------------------------------
 
@@ -532,9 +598,15 @@ class AuthenticationServer:
                 from_seq, max_entries or DEFAULT_REPLICATION_BATCH)
         except ParameterError as exc:
             raise ProtocolError(str(exc)) from exc
-        return ReplicateRecords.make(
-            from_seq, journal.head_seq,
-            [payload for _seq, payload in entries])
+        payloads = [payload for _seq, payload in entries]
+        # The wire contract is typed lifecycle entries.  A pre-lifecycle
+        # record-format journal carries bare record encodings; tag each
+        # as a plain enroll on the way out so followers replay one
+        # format regardless of the primary's journal age.
+        from repro.engine.lifecycle import ENTRY_FORMAT_TYPED, OP_ENROLL
+        if getattr(journal, "entry_format", None) != ENTRY_FORMAT_TYPED:
+            payloads = [bytes([OP_ENROLL]) + p for p in payloads]
+        return ReplicateRecords.make(from_seq, journal.head_seq, payloads)
 
     # -- health -------------------------------------------------------------------
 

@@ -13,9 +13,9 @@ single-process deployment wants it scheduled:
   call, so the sketch-scan cost the engine's batch kernel amortises so
   well is actually amortised under live traffic (one LUT pass per tick
   instead of one full scan per request);
-* **store writes are serialised** — enrollments run on the batcher
-  thread, so the record store and sketch index never see concurrent
-  mutation and need no locks of their own;
+* **store writes are serialised** — enrollments, rotates, and revokes
+  run on the batcher thread, so the record store and sketch index never
+  see concurrent mutation and need no locks of their own;
 * **challenge responses fan out** — signature verifications (and
   verification-mode lookups) go to a worker pool sharing the server's
   lock-safe :class:`~repro.crypto.signatures.VerifyTableCache`, so every
@@ -70,6 +70,10 @@ from repro.protocols.messages import (
     IdentificationResponse,
     ReplicateRecords,
     ReplicateSubscribe,
+    RevokeAck,
+    RevokeRequest,
+    RotateAck,
+    RotateRequest,
     VerificationChallenge,
     VerificationOutcome,
     VerificationRequest,
@@ -92,11 +96,20 @@ _POOLED_HANDLERS = {
 #: Op kinds the batcher coalesces under the window+linger policy.
 _COALESCED = ("identify", "verify-response")
 
+#: Op kinds that mutate the record store and sketch index — they run on
+#: the batcher thread itself, never the pool, so the store needs no
+#: locks of its own.
+_MUTATING_HANDLERS = {
+    "enroll": "handle_enrollment",
+    "rotate": "handle_rotate",
+    "revoke": "handle_revoke",
+}
+
 #: The degraded (serial) path's kind -> server handler map: everything
 #: the pipeline would have routed, minus batching.
 _SERIAL_HANDLERS = {
-    "enroll": "handle_enrollment",
     "identify": "handle_identification_request",
+    **_MUTATING_HANDLERS,
     **_POOLED_HANDLERS,
 }
 
@@ -419,6 +432,15 @@ class ServiceFrontend:
         """Enroll through the pipeline (serialised on the batcher)."""
         return self._call("enroll", submission)
 
+    def handle_rotate(self, request: RotateRequest) -> RotateAck:
+        """Rotate/re-enroll through the pipeline (serialised on the
+        batcher, exactly like enrollment — it mutates the store)."""
+        return self._call("rotate", request)
+
+    def handle_revoke(self, request: RevokeRequest) -> RevokeAck:
+        """Revoke through the pipeline (serialised on the batcher)."""
+        return self._call("revoke", request)
+
     def handle_identification_request(
         self, request: IdentificationRequest,
     ) -> IdentificationChallenge | IdentificationOutcome:
@@ -621,10 +643,11 @@ class ServiceFrontend:
 
     def _dispatch(self, op: _Op) -> None:
         """Route one non-identification request the moment it arrives."""
-        if op.kind == "enroll":
+        if op.kind in _MUTATING_HANDLERS:
             # Store writes stay on this thread — the one place the
             # record store and sketch index are ever mutated.
-            self._complete(op, self.server.handle_enrollment)
+            self._complete(op, getattr(self.server,
+                                       _MUTATING_HANDLERS[op.kind]))
         else:
             handler = getattr(self.server, _POOLED_HANDLERS[op.kind])
             # Handed to the pool: no longer at risk from a batcher crash.

@@ -70,15 +70,55 @@ print("SURVIVED", flush=True)  # the parent treats this as failure
 """
 
 
-def _crash_child(point: str, store: Path) -> subprocess.CompletedProcess:
+_ROTATE_CHILD = r"""
+import sys
+import numpy as np
+from repro import faults
+from repro.core.extractor import SuccinctFuzzyExtractor
+from repro.core.params import SystemParams
+from repro.crypto.prng import HmacDrbg
+from repro.engine import IdentificationEngine
+from repro.engine.journal import journal_path
+from repro.protocols.database import UserRecord
+
+store = sys.argv[1]
+params = SystemParams.paper_defaults(n=32)
+fe = SuccinctFuzzyExtractor(params)
+
+def record(uid, seed):
+    rng = np.random.default_rng(seed)
+    x = fe.sketcher.line.uniform_vector(rng)
+    _, helper = fe.generate(x, HmacDrbg(uid.encode()))
+    return UserRecord(user_id=uid, verify_key=uid.encode() * 3,
+                      helper_data=helper.to_bytes())
+
+engine = IdentificationEngine(params, shards=2,
+                              journal=journal_path(store))
+engine.add_many([record(f"crash-{i}", 2000 + i) for i in range(3)])
+engine.save(store)
+
+print("ARMED", flush=True)
+# Dies after the rotate entry hits the journal, before the index or
+# status table mutates — the write-ahead window.
+faults.install([{"point": "engine.rotate.journaled", "style": "kill9"}])
+engine.rotate(record("crash-1", 4242))  # never returns
+print("SURVIVED", flush=True)
+"""
+
+
+def _run_child(script: str, *argv: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[2] / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        env=env, capture_output=True, text=True, timeout=120)
+
+
+def _crash_child(point: str, store: Path) -> subprocess.CompletedProcess:
     script = (_CHILD.replace("@CHECKPOINTED@", str(_CHECKPOINTED))
                     .replace("@TOTAL@", str(_TOTAL)))
-    return subprocess.run(
-        [sys.executable, "-c", script, point, str(store)],
-        env=env, capture_output=True, text=True, timeout=120)
+    return _run_child(script, point, str(store))
 
 
 def _open_fds() -> set[str]:
@@ -135,6 +175,48 @@ def test_kill9_during_save_loses_nothing(point, tmp_path, watchdog):
         assert len(full) == _TOTAL
     finally:
         full.journal.close()
+
+
+def test_kill9_mid_rotate_replays_from_journal(tmp_path, watchdog):
+    """Die between the rotate's journal append and the index mutation.
+
+    The entry is durable but the in-memory state (and checkpoint) never
+    saw it — the write-ahead contract says recovery must replay it: the
+    identity ends up rotated exactly once, old version superseded, new
+    one active.
+    """
+    store = tmp_path / "store"
+    result = _run_child(_ROTATE_CHILD, str(store))
+
+    assert result.returncode == -signal.SIGKILL, (result.returncode,
+                                                  result.stdout,
+                                                  result.stderr)
+    assert "ARMED" in result.stdout
+    assert "SURVIVED" not in result.stdout
+
+    recovered = IdentificationEngine.recover(store)
+    try:
+        assert recovered.journal_seq() == 4  # 3 enrolls + 1 rotate
+        versions = recovered.get_versions("crash-1")
+        assert [v.status_name for v in versions] == ["superseded", "active"]
+        assert recovered.active_version("crash-1") == 1
+        # The rotated-in record is the active one, not the original.
+        assert recovered.get("crash-1").helper_data == \
+               versions[1].record.helper_data
+        # Neighbours untouched, exactly one live version each.
+        for uid in ("crash-0", "crash-2"):
+            assert [v.status_name for v in recovered.get_versions(uid)] == \
+                   ["active"]
+    finally:
+        recovered.journal.close()
+
+    # A plain open replays the same journal suffix over the checkpoint.
+    reopened = IdentificationEngine.open(store)
+    try:
+        assert reopened.active_version("crash-1") == 1
+        assert reopened.journal_seq() == 4
+    finally:
+        reopened.journal.close()
 
 
 def test_recovery_cycles_do_not_leak_fds(tmp_path, watchdog):

@@ -8,6 +8,7 @@ from repro.core.params import SystemParams
 from repro.crypto.prng import HmacDrbg
 from repro.engine import IdentificationEngine
 from repro.engine.journal import EnrollmentJournal, journal_path
+from repro.engine.lifecycle import OP_ENROLL, encode_record_entry
 from repro.engine.storage import _encode_record
 from repro.exceptions import ParameterError, ReplicationError
 from repro.protocols.database import UserRecord
@@ -234,7 +235,10 @@ class TestReplicationApply:
         recs, _, _ = records
         primary = IdentificationEngine(paper_params, shards=2)
         follower = IdentificationEngine(paper_params, shards=2)
-        entries = [(i, _encode_record(r)) for i, r in enumerate(recs)]
+        # The wire always carries typed entries (the replication server
+        # converts record-format journals on the way out).
+        entries = [(i, encode_record_entry(OP_ENROLL, r))
+                   for i, r in enumerate(recs)]
         primary.add_many(recs)
 
         assert follower.apply_replicated(entries[:4]) == 4
@@ -252,7 +256,8 @@ class TestReplicationApply:
     def test_follower_with_own_journal_rejournals(self, tmp_path,
                                                   paper_params, records):
         recs, _, _ = records
-        entries = [(i, _encode_record(r)) for i, r in enumerate(recs)]
+        entries = [(i, encode_record_entry(OP_ENROLL, r))
+                   for i, r in enumerate(recs)]
         jpath = tmp_path / "follower" / "journal.log"
         follower = IdentificationEngine(paper_params, shards=2, journal=jpath)
         follower.apply_replicated(entries)

@@ -139,9 +139,12 @@ class TestBlockingHelpers:
 
 class TestZeroCopyPath:
     def test_frame_buffers_join_to_frame_message(self):
-        prefix, payload = frame_buffers(MSG)
-        assert prefix + payload == frame_message(MSG)
-        assert payload == MSG.encode()
+        buffers = frame_buffers(MSG)
+        assert b"".join(buffers) == frame_message(MSG)
+        # First buffer is the 4-byte prefix; the rest concatenate to the
+        # canonical encoding without ever having been joined.
+        assert b"".join(buffers[1:]) == MSG.encode()
+        assert int.from_bytes(buffers[0], "big") == len(MSG.encode())
 
     def test_recv_returns_memoryview_and_decodes(self):
         """The blocking receive hands back a view, not a copy, and the

@@ -105,6 +105,98 @@ class TestIdentification:
         assert not second.identified
 
 
+class TestSketchLifecycle:
+    def test_rotate_requires_lifecycle_store(self, stack, population):
+        """The default in-memory HelperDataStore has no versioning;
+        asking it to rotate is a protocol error, not a silent enroll."""
+        from repro.exceptions import ProtocolError
+        from repro.protocols.messages import RotateRequest
+
+        device, server = stack
+        sub = device.enroll("user-0000", population.template(0))
+        request = RotateRequest(user_id=sub.user_id,
+                                verify_key=sub.verify_key,
+                                helper_data=sub.helper_data,
+                                supersede=True)
+        with pytest.raises(ProtocolError, match="lifecycle"):
+            server.handle_rotate(request)
+
+    @pytest.fixture
+    def engine_stack(self, params, fast_scheme, population):
+        server = AuthenticationServer.with_engine(params, fast_scheme,
+                                                  shards=2, seed=b"server")
+        device = BiometricDevice(params, fast_scheme, seed=b"device")
+        for i, user_id in enumerate(population.user_ids()):
+            run = run_enrollment(device, server, DuplexLink(), user_id,
+                                 population.template(i))
+            assert run.outcome.accepted
+        return device, server
+
+    def test_rotate_then_identify_uses_new_sketch(self, engine_stack,
+                                                  population):
+        from repro.protocols.messages import RotateRequest
+
+        device, server = engine_stack
+        sub = device.enroll("user-0000", population.template(0))
+        request = RotateRequest(user_id=sub.user_id,
+                                verify_key=sub.verify_key,
+                                helper_data=sub.helper_data,
+                                supersede=True)
+        ack = server.handle_rotate(request)
+        assert ack.accepted and ack.version_number() == 1
+        # Identification still answers through the new active sketch.
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(0))
+        assert run.outcome.identified
+        assert run.outcome.user_id == "user-0000"
+
+    def test_rotate_resubmission_is_idempotent(self, engine_stack,
+                                               population):
+        from repro.protocols.messages import RotateRequest
+
+        device, server = engine_stack
+        sub = device.enroll("user-0001", population.template(1))
+        request = RotateRequest(user_id=sub.user_id,
+                                verify_key=sub.verify_key,
+                                helper_data=sub.helper_data,
+                                supersede=True)
+        first = server.handle_rotate(request)
+        again = server.handle_rotate(request)  # the lost-ack retry
+        assert first.accepted and again.accepted
+        assert first.version_number() == again.version_number() == 1
+        assert len(server.store.get_versions("user-0001")) == 2
+        assert [e.kind for e in server.audit_log("rotate-dedup")]
+
+    def test_rotate_unknown_identity_refused(self, engine_stack,
+                                             population):
+        from repro.protocols.messages import RotateRequest
+
+        device, server = engine_stack
+        sub = device.enroll("stranger", population.impostor_reading())
+        ack = server.handle_rotate(RotateRequest(
+            user_id=sub.user_id, verify_key=sub.verify_key,
+            helper_data=sub.helper_data, supersede=False))
+        assert not ack.accepted
+        assert ack.version_number() is None
+
+    def test_revoke_takes_identity_out_of_service(self, engine_stack,
+                                                  population):
+        from repro.protocols.messages import RevokeRequest
+
+        device, server = engine_stack
+        ack = server.handle_revoke(RevokeRequest.make("user-0002"))
+        assert ack.revoked_count() == 1
+        # Idempotent: the retry reports 0 newly revoked, still succeeds.
+        assert server.handle_revoke(
+            RevokeRequest.make("user-0002")).revoked_count() == 0
+        run = run_identification(device, server, DuplexLink(),
+                                 population.genuine_reading(2))
+        assert not run.outcome.identified
+        run = run_verification(device, server, DuplexLink(), "user-0002",
+                               population.genuine_reading(2))
+        assert not run.outcome.verified
+
+
 class TestBaselineIdentification:
     @pytest.mark.parametrize("pessimistic", [True, False],
                              ids=["paper-model", "optimistic"])

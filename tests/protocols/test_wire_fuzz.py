@@ -31,6 +31,10 @@ from repro.protocols.messages import (
     Message,
     ReplicateRecords,
     ReplicateSubscribe,
+    RevokeAck,
+    RevokeRequest,
+    RotateAck,
+    RotateRequest,
     StatsReply,
     StatsRequest,
     TracedEnvelope,
@@ -86,6 +90,12 @@ SAMPLES = {
         from_seq=7, head_seq=9, payloads=[b"rec-7", b"rec-8"]),
     HealthRequest: HealthRequest(probe=b"health"),
     HealthReply: HealthReply(payload='{"alive": true, "ready": true}'),
+    RotateRequest: RotateRequest(
+        user_id="alice", verify_key=b"\x03" * 33, helper_data=b"helper-v2",
+        supersede=True),
+    RotateAck: RotateAck.make(user_id="alice", accepted=True, version=2),
+    RevokeRequest: RevokeRequest.make(user_id="alice", version=None),
+    RevokeAck: RevokeAck.make(user_id="alice", revoked=3),
 }
 
 ALL_TYPES = sorted(registered_message_types().values(),
@@ -128,6 +138,11 @@ class TestRoundTripParity:
                 assert np.array_equal(original, restored)
             else:
                 assert original == restored
+
+    def test_encode_buffers_concatenate_to_encode(self, cls):
+        # The gathered-write path must produce byte-identical frames.
+        message = SAMPLES[cls]
+        assert b"".join(message.encode_buffers()) == message.encode()
 
     def test_subclass_decode_enforces_tag(self, cls):
         other = next(t for t in ALL_TYPES if t is not cls)
