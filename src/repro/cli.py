@@ -69,8 +69,11 @@ The subcommands cover the workflows a user reaches for first:
     (``--verify-heavy`` switches to a 3:1 verification mix exercising
     the batched signature verification end-to-end; ``--pipeline N``
     switches to the single-connection shootout — a serial-client
-    baseline vs N requests in flight on one pipelined connection),
-    plus an overload probe showing queue-full backpressure surfacing
+    baseline vs N requests in flight on one pipelined connection;
+    ``--overload`` switches to the overload bench — static vs adaptive
+    frontend baselines, then mixed-deadline load at a multiple of the
+    sustainable rate with shed-classification asserts), plus an
+    overload probe showing queue-full backpressure surfacing
     client-side as ``ServiceOverloadError``.  Appends to the
     ``BENCH_service.json`` trajectory with ``"transport": "tcp"`` and
     the mix tag.
@@ -399,7 +402,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server, max_batch=args.max_batch,
         batch_window_s=args.window_ms / 1e3,
         batch_linger_s=args.linger_ms / 1e3,
-        workers=args.frontend_workers)
+        workers=args.frontend_workers,
+        submit_timeout_s=args.submit_timeout_ms / 1e3,
+        adaptive=args.adaptive,
+        latency_target_s=args.latency_target_ms / 1e3
+        if args.latency_target_ms is not None else None)
     follower = None
     if args.follow:
         primary_host, primary_port = _parse_hostport(args.follow)
@@ -410,7 +417,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         if follower is not None else None)
     try:
         host, port = net.start()
-        mode = "serial server" if args.serial else "micro-batching frontend"
+        mode = "serial server" if args.serial else (
+            "micro-batching frontend"
+            + (", adaptive linger" if args.adaptive else ""))
         journaled = "journaled, " if engine.journal is not None else ""
         print(f"serving {len(engine):,} enrolled record(s) "
               f"on {host}:{port} ({journaled}{mode}, scheme={scheme.name}, "
@@ -470,6 +479,7 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     from repro.net.bench import (
         run_chaos_bench,
         run_net_bench,
+        run_overload_bench,
         write_trajectory,
     )
 
@@ -487,7 +497,13 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
         batch_linger_s=args.linger_ms / 1e3,
         frontend_workers=args.workers,
     )
-    if args.chaos:
+    if args.overload:
+        if args.chaos or args.verify_heavy or args.pipeline > 1:
+            raise ParameterError("--overload is exclusive with --chaos, "
+                                 "--verify-heavy, and --pipeline")
+        report = run_overload_bench(overload_factor=args.overload_factor,
+                                    **kwargs)
+    elif args.chaos:
         if args.verify_heavy:
             raise ParameterError("--chaos and --verify-heavy are exclusive")
         if args.pipeline > 1:
@@ -797,6 +813,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--linger-ms", type=float, default=2.0,
                        help="frontend micro-batch idle-gap linger, ms "
                             "(default: 2)")
+    serve.add_argument("--submit-timeout-ms", type=float, default=250.0,
+                       help="longest a full admission queue blocks a "
+                            "submitter before the typed overload reply "
+                            "(default: 250 — sub-second so backpressure "
+                            "reaches clients while their budget is "
+                            "still worth spending)")
+    serve.add_argument("--adaptive", action="store_true", default=True,
+                       help="tune the micro-batch linger online from "
+                            "measured scan cost and queue sojourn, and "
+                            "shed on persistent queue-age congestion "
+                            "(CoDel-style); the serving default")
+    serve.add_argument("--no-adaptive", action="store_false",
+                       dest="adaptive",
+                       help="pin the linger to --linger-ms and disable "
+                            "queue-age shedding")
+    serve.add_argument("--latency-target-ms", type=float, default=None,
+                       help="queue-sojourn bound the adaptive controller "
+                            "steers toward (default: --window-ms)")
     serve.add_argument("--frontend-workers", type=int, default=4,
                        help="frontend verify workers (default: 4)")
     serve.add_argument("--handler-threads", type=int, default=16,
@@ -913,6 +947,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: 0 = classic multi-client "
                                 "bench; exclusive with --chaos and "
                                 "--verify-heavy)")
+    net_bench.add_argument("--overload", action="store_true",
+                           help="run the overload bench instead: static "
+                                "and adaptive frontend legs over one "
+                                "engine, closed-loop baselines on each, "
+                                "then an open-loop phase offering "
+                                "--overload-factor times the sustainable "
+                                "rate with mixed deadline budgets; "
+                                "asserts zero wrongly-answered requests, "
+                                "in-deadline goodput >= 70% of baseline, "
+                                "and that every shed was provably expired "
+                                "or over-capacity (rows tagged 'overload'; "
+                                "exclusive with --chaos, --verify-heavy, "
+                                "and --pipeline)")
+    net_bench.add_argument("--overload-factor", type=float, default=3.0,
+                           help="offered-load multiple over the measured "
+                                "sustainable baseline in the overload "
+                                "phase (default: 3.0; accepted range "
+                                "1.5..4)")
     net_bench.add_argument("--seed", type=int, default=0)
     net_bench.add_argument("--json", default="BENCH_service.json",
                            help="trajectory artifact path (empty string "

@@ -119,6 +119,21 @@ class RequestTimeoutError(TransientNetworkError, TimeoutError):
     resilience layer classifies it as transient."""
 
 
+class DeadlineExceededError(RequestTimeoutError):
+    """The request's end-to-end deadline budget ran out before an answer
+    was produced.  Raised client-side when the server sheds an expired
+    request (``ErrorReply(code="expired")``) and server-side by the
+    frontend when it drops an op whose budget elapsed while queued.
+    Subclasses :class:`RequestTimeoutError` so deadline expiry behaves
+    like any other timeout to existing handlers, while staying
+    distinguishable for shed accounting.
+
+    ``retry_after_ms``, when set, carries the server's backoff hint for
+    requests shed while the queue was congested."""
+
+    retry_after_ms: int | None = None
+
+
 class ConnectionLostError(TransientNetworkError, ProtocolError):
     """The peer vanished mid-exchange (EOF or reset inside a strict
     request/reply conversation).  Subclasses :class:`ProtocolError`

@@ -35,6 +35,7 @@ from concurrent.futures import Future
 from repro.obs import mint_trace_id
 from repro.exceptions import (
     ConnectionLostError,
+    DeadlineExceededError,
     ProtocolError,
     RequestTimeoutError,
     ServiceClosedError,
@@ -52,6 +53,7 @@ from repro.protocols.messages import (
     BaselineChallengeBatch,
     BaselineIdentificationRequest,
     BaselineResponseBatch,
+    DeadlineEnvelope,
     EnrollmentAck,
     EnrollmentSubmission,
     ErrorReply,
@@ -84,6 +86,13 @@ def _raise_error_reply(reply: ErrorReply) -> None:
         exc = ServiceOverloadError(reply.detail)
         exc.retry_after_ms = reply.retry_after_ms()
         raise exc
+    if reply.code == "expired":
+        # The server shed this request because its deadline budget ran
+        # out — a typed reply, so (unlike a client-side timeout) it
+        # stays per-request and never poisons a pipelined connection.
+        err = DeadlineExceededError(reply.detail)
+        err.retry_after_ms = reply.retry_after_ms()
+        raise err
     if reply.code == "retry":
         exc = ServiceRestartingError(reply.detail)
         exc.retry_after_ms = reply.retry_after_ms()
@@ -163,7 +172,8 @@ class NetworkClient:
 
     def request(self, message: Message,
                 trace_id: bytes | None = None,
-                deadline_s: float | None = None) -> Message:
+                deadline_s: float | None = None,
+                budget_ms: int | None = None) -> Message:
         """One round trip: send ``message``, return the decoded reply.
 
         ``deadline_s`` overrides the connection's default ``timeout_s``
@@ -171,6 +181,18 @@ class NetworkClient:
         protocol requests keep the long one).  Either way every read
         and write carries a deadline — a stalled server surfaces as
         :class:`~repro.exceptions.RequestTimeoutError`, never a hang.
+
+        ``budget_ms``, when given, *propagates* the deadline to the
+        server in a :class:`~repro.protocols.messages.DeadlineEnvelope`:
+        the server stamps the budget on the queued op and sheds it with
+        ``ErrorReply(code="expired")`` — raised here as
+        :class:`~repro.exceptions.DeadlineExceededError` — once it
+        elapses, instead of computing an answer nobody will read.
+        Requests without a budget stay byte-identical to the
+        pre-deadline wire.  Unless ``deadline_s`` says otherwise, the
+        socket timeout stretches slightly past the budget so the
+        server's own expired verdict (typed, per-request) wins over a
+        client-side timeout (connection-fatal).
 
         ``trace_id``, when given, wraps the request in a
         :class:`~repro.protocols.messages.TracedEnvelope`; the server
@@ -183,6 +205,11 @@ class NetworkClient:
         :class:`~repro.exceptions.ProtocolError` for a malformed reply
         or a connection dropped mid-exchange.
         """
+        if budget_ms is not None:
+            message = DeadlineEnvelope.wrap(message, budget_ms)
+            if deadline_s is None:
+                deadline_s = budget_ms / 1000.0 + max(
+                    0.25, budget_ms / 1000.0)
         if trace_id is not None:
             message = TracedEnvelope.wrap(message, trace_id)
         # Framing refusals (over-cap encodings) happen before any byte
@@ -379,13 +406,19 @@ class PipelinedNetworkClient(NetworkClient):
     # -- sender side --------------------------------------------------------
 
     def submit(self, message: Message,
-               trace_id: bytes | None = None) -> Future:
+               trace_id: bytes | None = None,
+               budget_ms: int | None = None) -> Future:
         """Send ``message`` and return a future for its decoded reply.
 
         Blocks while ``window`` requests are already outstanding.  The
         future resolves to the raw reply message (envelopes and error
         frames included); :meth:`request` is the resolve-and-map wrapper.
+        ``budget_ms`` propagates a deadline exactly as on the serial
+        client; a server-side shed resolves only this request's future
+        (a typed error frame), leaving the pipeline healthy.
         """
+        if budget_ms is not None:
+            message = DeadlineEnvelope.wrap(message, budget_ms)
         if trace_id is not None:
             message = TracedEnvelope.wrap(message, trace_id)
         frame = frame_message(message, self.max_frame)
@@ -415,15 +448,25 @@ class PipelinedNetworkClient(NetworkClient):
 
     def request(self, message: Message,
                 trace_id: bytes | None = None,
-                deadline_s: float | None = None) -> Message:
+                deadline_s: float | None = None,
+                budget_ms: int | None = None) -> Message:
         """Pipelined round trip: submit, then block on this reply only.
 
         Same contract as the serial :meth:`NetworkClient.request`; other
-        requests keep flowing while this one waits.  A deadline expiry
-        poisons the whole connection — with in-order matching an
-        abandoned exchange would desynchronise every later reply.
+        requests keep flowing while this one waits.  A *client-side*
+        wait expiry poisons the whole connection — with in-order
+        matching an abandoned exchange would desynchronise every later
+        reply — which is exactly why ``budget_ms`` is the better
+        deadline here: the server's typed ``expired`` reply keeps its
+        place in the stream and fails only this request.
         """
-        future = self.submit(message, trace_id=trace_id)
+        future = self.submit(message, trace_id=trace_id,
+                             budget_ms=budget_ms)
+        # Deliberately no budget-derived wait tightening here (unlike
+        # the serial client): the reply may legally queue behind
+        # window-1 others, and the server's typed expired verdict is
+        # coming — aborting the shared stream early would turn one
+        # request's deadline into every in-flight request's failure.
         timeout = self.timeout_s if deadline_s is None else deadline_s
         try:
             reply = future.result(timeout)
@@ -470,16 +513,22 @@ class RemoteEndpoint:
     """
 
     def __init__(self, client: NetworkClient,
-                 owns_client: bool = False, trace: bool = False) -> None:
+                 owns_client: bool = False, trace: bool = False,
+                 deadline_ms: int | None = None) -> None:
         self._client = client
         self._owns_client = owns_client
         self._trace = trace
         self._trace_id: bytes | None = None
+        #: Per-request deadline budget sent on every leg (``None`` =
+        #: no deadline, byte-identical wire).  Mutable: benches flip it
+        #: between requests to mix deadline classes on one connection.
+        self.deadline_ms = deadline_ms
 
     @classmethod
     def connect(cls, host: str, port: int, timeout_s: float = 30.0,
                 max_frame: int = DEFAULT_MAX_FRAME,
-                trace: bool = False, pipeline: int = 0) -> "RemoteEndpoint":
+                trace: bool = False, pipeline: int = 0,
+                deadline_ms: int | None = None) -> "RemoteEndpoint":
         """Open a connection to ``host:port`` and wrap it as an endpoint.
 
         ``trace=True`` turns on client-edge request tracing: each
@@ -495,6 +544,11 @@ class RemoteEndpoint:
         several endpoints sharing the one client (or threads sharing
         this endpoint's client) keep the connection saturated.  ``0``
         or ``1`` means the classic serial client.
+
+        ``deadline_ms`` attaches a per-leg deadline budget to every
+        request this endpoint sends (each protocol leg gets the full
+        budget — the paper's exchanges are at most three legs, so the
+        run-level bound is a small multiple).
         """
         if pipeline > 1:
             client: NetworkClient = PipelinedNetworkClient(
@@ -503,7 +557,8 @@ class RemoteEndpoint:
         else:
             client = NetworkClient(host, port, timeout_s=timeout_s,
                                    max_frame=max_frame)
-        return cls(client, owns_client=True, trace=trace)
+        return cls(client, owns_client=True, trace=trace,
+                   deadline_ms=deadline_ms)
 
     @property
     def trace_id(self) -> bytes | None:
@@ -537,7 +592,8 @@ class RemoteEndpoint:
     def _expect(self, message: Message, expected: tuple[type, ...],
                 fresh_trace: bool = False):
         reply = self._client.request(
-            message, trace_id=self._trace_for(fresh_trace))
+            message, trace_id=self._trace_for(fresh_trace),
+            budget_ms=self.deadline_ms)
         if not isinstance(reply, expected):
             names = " | ".join(t.__name__ for t in expected)
             raise ProtocolError(

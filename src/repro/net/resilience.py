@@ -114,6 +114,55 @@ class _DelaySchedule:
         return jittered
 
 
+class _Breaker:
+    """Per-endpoint circuit breaker (classic three-state).
+
+    *Closed* passes traffic and counts consecutive retryable failures;
+    at ``threshold`` it *opens* — the endpoint gets no traffic for
+    ``cooldown_s``.  After the cooldown it is *half-open*: one health
+    probe (the failover client's existing readiness probe) decides
+    whether it closes again or re-opens for another cooldown.  This is
+    what stops a retry loop from hammering an endpoint that answers
+    every request with overload: backoff paces one request's retries,
+    the breaker remembers *across* requests.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.opens = 0
+
+    def state(self, now: float) -> str:
+        """``closed`` / ``open`` / ``half-open`` at instant ``now``."""
+        if self.opened_at is None:
+            return "closed"
+        if now - self.opened_at < self.cooldown_s:
+            return "open"
+        return "half-open"
+
+    def record_failure(self, now: float) -> bool:
+        """Count one retryable failure; ``True`` if this one tripped
+        the breaker open."""
+        self.failures += 1
+        if self.failures >= self.threshold and self.opened_at is None:
+            self.opened_at = now
+            self.opens += 1
+            return True
+        return False
+
+    def reopen(self, now: float) -> None:
+        """A half-open probe failed: restart the cooldown."""
+        self.opened_at = now
+        self.opens += 1
+
+    def record_success(self) -> None:
+        """Traffic (or a half-open probe) succeeded: close fully."""
+        self.failures = 0
+        self.opened_at = None
+
+
 class FailoverClient:
     """Resilient protocol access across an ordered endpoint list.
 
@@ -128,11 +177,24 @@ class FailoverClient:
         Per-connection parameters (see :class:`NetworkClient`).
     prefer_ready:
         When advancing endpoints, probe each candidate's health frame
-        (short fuse) and prefer one reporting ``ready``; with no ready
-        candidate the next address is taken blind (it may have become
-        reachable since the probe).
+        (short fuse) and prefer one reporting ``ready`` *and not
+        degraded* — a frontend limping through its serial path still
+        serves, but a healthy standby beats it; with no such candidate
+        the next address is taken blind (it may have become reachable
+        since the probe).
     health_deadline_s:
         The probe's fuse.
+    breaker_threshold / breaker_cooldown_s:
+        Per-endpoint circuit breaker: after ``breaker_threshold``
+        consecutive overload/timeout (any retryable) failures the
+        endpoint is cut off for ``breaker_cooldown_s``, then half-opens
+        through the health probe.  ``breaker_threshold=0`` disables the
+        breaker.
+    overall_deadline_s:
+        Total budget for one protocol run *including* every retry sleep
+        and failover; a retry whose backoff would overrun it is not
+        taken — the last transient failure propagates instead.  ``None``
+        (default) keeps the attempts-bounded-only behaviour.
     """
 
     def __init__(self, addresses: list[tuple[str, int]],
@@ -140,7 +202,10 @@ class FailoverClient:
                  timeout_s: float = 10.0,
                  max_frame: int = DEFAULT_MAX_FRAME,
                  prefer_ready: bool = True,
-                 health_deadline_s: float = 1.0) -> None:
+                 health_deadline_s: float = 1.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 2.0,
+                 overall_deadline_s: float | None = None) -> None:
         if not addresses:
             raise ValueError("need at least one endpoint address")
         self.addresses = list(addresses)
@@ -149,6 +214,10 @@ class FailoverClient:
         self.max_frame = max_frame
         self.prefer_ready = prefer_ready
         self.health_deadline_s = health_deadline_s
+        self.overall_deadline_s = overall_deadline_s
+        self._breakers = [
+            _Breaker(breaker_threshold, breaker_cooldown_s)
+            for _ in addresses] if breaker_threshold else None
         self._index = 0
         self._endpoint: RemoteEndpoint | None = None
         instance = obs.registry.next_instance("failover")
@@ -160,6 +229,9 @@ class FailoverClient:
             "repro_client_failovers_total",
             "Endpoint switches after the current endpoint proved dead.",
             labels=instance)
+        self._breaker_opens = obs.registry.counter(
+            "repro_client_breaker_opens_total",
+            "Per-endpoint circuit-breaker trips.", labels=instance)
 
     # -- endpoint management -------------------------------------------------
 
@@ -178,6 +250,11 @@ class FailoverClient:
         """Endpoint switches made (lifetime count)."""
         return int(self._failovers.value)
 
+    @property
+    def breaker_opens(self) -> int:
+        """Circuit-breaker trips across all endpoints (lifetime count)."""
+        return int(self._breaker_opens.value)
+
     def _connect(self) -> RemoteEndpoint:
         if self._endpoint is None:
             host, port = self.addresses[self._index]
@@ -192,34 +269,87 @@ class FailoverClient:
             self._endpoint = None
 
     def _probe_ready(self, host: str, port: int) -> bool:
+        """Readiness probe: ready and not limping.
+
+        A *degraded* endpoint (serial fallback after its batcher gave
+        up) still answers ``ready`` — it serves, slowly — but reports
+        ``degraded`` in the same frame, and a failover client with any
+        alternative should take the alternative.
+        """
         try:
             with NetworkClient(host, port,
                                timeout_s=self.health_deadline_s) as probe:
-                return bool(probe.health(
-                    deadline_s=self.health_deadline_s).get("ready"))
+                payload = probe.health(deadline_s=self.health_deadline_s)
+                return bool(payload.get("ready")) \
+                    and not payload.get("degraded", False)
         except Exception:  # noqa: BLE001 — an unreachable probe is "not ready"
             return False
+
+    def breaker_states(self) -> list[str]:
+        """Each endpoint's breaker state (all ``closed`` when the
+        breaker is disabled), index-aligned with :attr:`addresses`."""
+        if self._breakers is None:
+            return ["closed"] * len(self.addresses)
+        now = time.monotonic()
+        return [b.state(now) for b in self._breakers]
+
+    def _record_failure(self) -> None:
+        """Count a retryable failure against the current endpoint."""
+        if self._breakers is None:
+            return
+        if self._breakers[self._index].record_failure(time.monotonic()):
+            self._breaker_opens.inc()
+            obs.events.emit(
+                "resilience", component="breaker", action="open",
+                endpoint=f"{self.addresses[self._index][0]}:"
+                         f"{self.addresses[self._index][1]}")
+
+    def _record_success(self) -> None:
+        if self._breakers is not None:
+            self._breakers[self._index].record_success()
 
     def _advance(self) -> None:
         """Fail over: drop the connection, pick the next endpoint.
 
-        With ``prefer_ready``, every *other* address is health-probed in
-        ring order from the current one and the first ready endpoint
-        wins; otherwise (or when none answers ready) the ring simply
-        advances one step.
+        Candidates are walked in ring order from the current endpoint.
+        An *open* breaker (cooldown running) is skipped outright; a
+        *half-open* one gets exactly one health probe — success closes
+        it and wins, failure restarts its cooldown.  With
+        ``prefer_ready``, closed-breaker candidates are probed too and
+        the first ready-and-undegraded endpoint wins.  When every
+        candidate refuses, the ring falls back to the least-recently
+        tripped endpoint blind — the client always points somewhere,
+        because an address may have recovered since its probe.
         """
         self._drop_connection()
         if len(self.addresses) == 1:
             return  # nowhere to go: retries stay on the only endpoint
         self._failovers.inc()
+        now = time.monotonic()
         order = [(self._index + k) % len(self.addresses)
                  for k in range(1, len(self.addresses) + 1)]
-        if self.prefer_ready:
-            for idx in order:
+        for idx in order:
+            breaker = self._breakers[idx] if self._breakers else None
+            state = breaker.state(now) if breaker else "closed"
+            if state == "open":
+                continue  # cooling: no traffic, not even a probe
+            if state == "half-open" or self.prefer_ready:
                 if self._probe_ready(*self.addresses[idx]):
+                    if breaker is not None:
+                        breaker.record_success()
                     self._index = idx
                     return
-        self._index = order[0]
+                if breaker is not None and state == "half-open":
+                    breaker.reopen(now)
+                continue
+            self._index = idx  # closed breaker, no ready preference
+            return
+        # Nobody probed healthy: least-recently-tripped endpoint, blind.
+        if self._breakers is not None:
+            self._index = min(
+                order, key=lambda i: self._breakers[i].opened_at or 0.0)
+        else:
+            self._index = order[0]
 
     def close(self) -> None:
         """Drop the live connection.  Idempotent."""
@@ -242,20 +372,37 @@ class FailoverClient:
         propagates typed — the caller knows the request was *not*
         confirmed, which for idempotent requests means "not applied or
         applied invisibly", never "applied twice".
+
+        With ``overall_deadline_s`` set, the whole loop — attempts
+        *plus* backoff sleeps — fits inside the caller's total budget:
+        a retry whose delay would overrun it is abandoned and the last
+        failure propagates.  Retries therefore never outlive the
+        deadline the caller promised someone else.
         """
         schedule = self.policy.delays()
+        run_deadline = (
+            None if self.overall_deadline_s is None
+            else time.monotonic() + self.overall_deadline_s)
         last: Exception | None = None
         for attempt in range(self.policy.max_attempts):
             try:
-                return attempt_fn(self._connect())
+                result = attempt_fn(self._connect())
             except RETRYABLE as exc:
                 last = exc
+                self._record_failure()
                 if attempt + 1 >= self.policy.max_attempts:
                     break
+                delay = schedule.next_delay(
+                    getattr(exc, "retry_after_ms", None))
+                if (run_deadline is not None
+                        and time.monotonic() + delay >= run_deadline):
+                    break  # the sleep alone would overrun the budget
                 self._retries.inc()
-                time.sleep(schedule.next_delay(
-                    getattr(exc, "retry_after_ms", None)))
+                time.sleep(delay)
                 self._advance()
+            else:
+                self._record_success()
+                return result
         assert last is not None
         raise last
 

@@ -51,6 +51,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro import faults, obs
 from repro.exceptions import (
+    DeadlineExceededError,
     ProtocolError,
     ServiceClosedError,
     ServiceOverloadError,
@@ -65,6 +66,7 @@ from repro.net.framing import (
 from repro.protocols.messages import (
     BaselineIdentificationRequest,
     BaselineResponseBatch,
+    DeadlineEnvelope,
     EnrollmentSubmission,
     ErrorReply,
     HealthReply,
@@ -83,6 +85,7 @@ from repro.protocols.messages import (
     VerificationResponse,
 )
 from repro.protocols.transport import ChannelStats
+from repro.service import deadlines
 
 #: Request message type -> the ServerEndpoint handler that answers it.
 #: Reply-direction messages are deliberately absent: a client sending a
@@ -203,6 +206,16 @@ class NetworkServer:
         health snapshot — how the CLI wires deployment-level facts (a
         follower's replication lag) into the liveness frame without the
         transport knowing about them.
+    send_buffer_limit / write_deadline_s:
+        Slow-client protection.  ``send_buffer_limit`` bounds the
+        per-connection outbound transport buffer (drain blocks above
+        it); ``write_deadline_s`` caps how long one connection's flush
+        may stay blocked before the connection is aborted.  A client
+        that stops reading its replies therefore wedges only itself —
+        its handler results are discarded with its connection — and
+        never stalls the pipelined flush for anyone else (connections
+        are independent tasks; the deadline bounds the wedged one's
+        memory and task lifetime).
     """
 
     def __init__(self, endpoint, host: str = "127.0.0.1", port: int = 0,
@@ -210,7 +223,9 @@ class NetworkServer:
                  handler_threads: int = 8,
                  owns_endpoint: bool = False,
                  health_extra=None,
-                 pipeline_window: int = 64) -> None:
+                 pipeline_window: int = 64,
+                 send_buffer_limit: int = 1 << 20,
+                 write_deadline_s: float = 5.0) -> None:
         if handler_threads < 1:
             raise ValueError("handler_threads must be >= 1")
         if pipeline_window < 1:
@@ -220,6 +235,8 @@ class NetworkServer:
         self.owns_endpoint = owns_endpoint
         self.health_extra = health_extra
         self.pipeline_window = pipeline_window
+        self.send_buffer_limit = send_buffer_limit
+        self.write_deadline_s = write_deadline_s
         self._host = host
         self._port = port
         self._pool = ThreadPoolExecutor(
@@ -254,6 +271,10 @@ class NetworkServer:
             "repro_net_dropped_connections_total",
             "Connections dropped mid-exchange, after a framing "
             "violation, or by server shutdown.", labels=instance)
+        self._slow_client_drops = reg.counter(
+            "repro_net_slow_client_drops_total",
+            "Connections aborted because their outbound flush stalled "
+            "past the write deadline.", labels=instance)
         self._frames_in = reg.counter(
             "repro_net_frames_total",
             "Frames moved over the wire.",
@@ -388,11 +409,24 @@ class NetworkServer:
             if self._open_connections > self._peak_open:
                 self._peak_open = self._open_connections
             self._live_stats.append(stats)
+        # Bound this connection's outbound transport buffer: drain()
+        # blocks once it fills, which is what gives the write deadline
+        # in _send_many something real to measure against.
+        try:
+            writer.transport.set_write_buffer_limits(
+                high=self.send_buffer_limit)
+        except (AttributeError, RuntimeError):
+            pass  # transport already closing or not buffer-limited
         clean = False
         try:
             clean = await self._serve_connection(reader, writer, stats)
         except asyncio.CancelledError:
             pass  # server shutdown: drop the connection quietly
+        except (ConnectionError, OSError):
+            # Peer reset mid-read, or our own slow-client abort tore the
+            # transport under a pending read — either way only this
+            # connection drops.
+            pass
         finally:
             if clean:
                 self._clean_closes.inc()
@@ -510,6 +544,7 @@ class NetworkServer:
         self._frames_in.inc()
         self._bytes_in.inc(len(payload) + PREFIX_BYTES)
         wire_trace: bytes | None = None
+        deadline_at: float | None = None
         try:
             message = Message.decode(payload)
             if isinstance(message, TracedEnvelope):
@@ -520,6 +555,16 @@ class NetworkServer:
                 message = message.inner()
                 if isinstance(message, TracedEnvelope):
                     raise ProtocolError("nested trace envelope")
+            if isinstance(message, DeadlineEnvelope):
+                # Unwrap the deadline envelope (always inside the trace
+                # envelope when both are present): the budget starts
+                # counting from arrival, here, on this host's clock —
+                # no cross-host clock comparison ever happens.
+                deadline_at = deadlines.budget_to_deadline(
+                    message.budget_ms())
+                message = message.inner()
+                if isinstance(message, (DeadlineEnvelope, TracedEnvelope)):
+                    raise ProtocolError("nested envelope inside deadline")
             if isinstance(message, StatsRequest):
                 # Admin scrape: only serialises in-memory counters and
                 # never touches the endpoint.
@@ -551,16 +596,24 @@ class NetworkServer:
             trace_id = obs.mint_trace_id()
         handler = getattr(self.endpoint, handler_name)
         task = loop.create_task(
-            self._dispatch(loop, handler, message, trace_id))
+            self._dispatch(loop, handler, message, trace_id, deadline_at))
         in_flight.append([task, None, wire_trace, trace_id])
 
     async def _dispatch(self, loop: asyncio.AbstractEventLoop, handler,
                         message: Message,
-                        trace_id: bytes | None) -> Message:
+                        trace_id: bytes | None,
+                        deadline_at: float | None = None) -> Message:
         """Run one handler on the pool; always resolves to a reply frame."""
         try:
             return await loop.run_in_executor(
-                self._pool, self._run_handler, handler, message, trace_id)
+                self._pool, self._run_handler, handler, message, trace_id,
+                deadline_at)
+        except DeadlineExceededError as exc:
+            # Before TransientError (it is one): the typed shed reply —
+            # a client still waiting maps it back to the same exception.
+            return ErrorReply.make(
+                code="expired", detail=str(exc),
+                retry_after_ms=getattr(exc, "retry_after_ms", None))
         except ServiceOverloadError as exc:
             return ErrorReply.make(
                 code="overload", detail=str(exc),
@@ -581,16 +634,20 @@ class NetworkServer:
                 detail=f"{type(exc).__name__}: {exc}")
 
     def _run_handler(self, handler, message: Message,
-                     trace_id: bytes | None) -> Message:
+                     trace_id: bytes | None,
+                     deadline_at: float | None = None) -> Message:
         """Run one endpoint handler with the request's trace bound.
 
         Runs on the handler pool; spans recorded downstream (frontend
         queue/batch waits, engine scan, cached verify) land on this
         request's trace, and identification requests feed the
-        server-side identify latency histogram.
+        server-side identify latency histogram.  The request's deadline
+        (when its frame carried a budget) is bound the same ambient way
+        the trace is, so the frontend's admission path can shed doomed
+        work without the handler surface changing.
         """
         start = time.perf_counter()
-        with obs.tracer.bind(trace_id):
+        with obs.tracer.bind(trace_id), deadlines.bind(deadline_at):
             reply = handler(message)
         if isinstance(message, IdentificationRequest):
             self.identify_seconds.observe(time.perf_counter() - start)
@@ -741,13 +798,34 @@ class NetworkServer:
             sent.append((length, span_trace))
         if not buffers:
             return
-        writer.writelines(buffers)
+        # Account before the flush: once the client holds a reply its
+        # frame must already be counted, or a stats snapshot taken right
+        # after a round trip can read one frame short.
         for length, _ in sent:
             stats.record_frame(stats.to_device, length)
             self._frames_out.inc()
             self._bytes_out.inc(length)
+        writer.writelines(buffers)
         try:
-            await writer.drain()
+            # The drain is deadline-bounded: a client that stopped
+            # reading keeps the transport buffer above the limit
+            # indefinitely, and without the cap this connection's task
+            # (and every reply it still owes) would be wedged forever.
+            # asyncio.timeout (not wait_for): wait_for on 3.11 swallows
+            # an external cancel that lands after the drain completed,
+            # which ate the connection task's one shutdown cancel and
+            # wedged close().
+            async with asyncio.timeout(self.write_deadline_s):
+                await writer.drain()
+        except asyncio.TimeoutError:
+            self._slow_client_drops.inc()
+            obs.events.emit(
+                "net", component="server", action="slow-client-drop",
+                peer=stats.peer, buffered=len(buffers))
+            writer.transport.abort()
+            raise ConnectionResetError(
+                f"outbound flush to {stats.peer} stalled past "
+                f"{self.write_deadline_s}s write deadline") from None
         except (ConnectionError, OSError):
             pass  # peer vanished mid-reply; the read side will see EOF
         elapsed = (time.perf_counter() - start) / len(sent)

@@ -450,6 +450,49 @@ class TracedEnvelope(Message):
 
 
 @dataclass(frozen=True)
+class DeadlineEnvelope(Message):
+    """Optional wrapper carrying a request's remaining deadline budget.
+
+    Like :class:`TracedEnvelope`, deadlines are an *envelope* rather
+    than a field on every message: clients that never set a deadline
+    send byte-identical frames, and a server that has never heard of
+    tag 27 simply never receives one from its own clients.  ``budget``
+    is the remaining time the client is still willing to wait, packed
+    as 4-byte big-endian milliseconds; the server stamps
+    ``arrival + budget`` on the queued op and sheds it with
+    ``ErrorReply(code="expired")`` once the budget elapses, instead of
+    scanning for an answer nobody is waiting on.
+
+    Nesting order when combined with tracing is fixed:
+    ``TracedEnvelope(DeadlineEnvelope(request))`` — the trace id is the
+    outermost layer so failure replies stay attributable even when the
+    deadline layer sheds them.  A deadline envelope must not nest
+    another envelope.
+    """
+
+    TYPE_TAG: ClassVar[int] = 27
+
+    budget: bytes
+    body: bytes
+
+    def inner(self) -> "Message":
+        """Decode the wrapped message (malformed → ``ProtocolError``)."""
+        return Message.decode(self.body)
+
+    @staticmethod
+    def wrap(message: "Message", budget_ms: int) -> "DeadlineEnvelope":
+        """Wrap ``message`` with a remaining budget of ``budget_ms``."""
+        packed = max(0, min(int(budget_ms), 2**32 - 1)).to_bytes(4, "big")
+        return DeadlineEnvelope(budget=packed, body=message.encode())
+
+    def budget_ms(self) -> int:
+        """Decode the packed budget (malformed → ``ProtocolError``)."""
+        if len(self.budget) != 4:
+            raise ProtocolError("deadline budget must be 4 bytes")
+        return int.from_bytes(self.budget, "big")
+
+
+@dataclass(frozen=True)
 class StatsRequest(Message):
     """``admin -> AS``: scrape the server's observability state.
 

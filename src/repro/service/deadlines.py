@@ -1,0 +1,72 @@
+"""Thread-local deadline propagation for the serving stack.
+
+A request's deadline is an *ambient* property of handling it, the same
+way its trace id is: the network server unwraps the
+:class:`~repro.protocols.messages.DeadlineEnvelope`, binds the absolute
+deadline around the handler call, and everything downstream — the
+service frontend stamping queued ops, the admission path deciding
+whether a backpressure wait can possibly pay off — reads it with
+:func:`current_deadline` without the deadline threading through every
+signature in between.
+
+Deadlines are absolute ``time.monotonic()`` instants, never durations:
+a duration re-measured at each layer silently extends the budget by
+the time already spent, which is exactly the bug deadline propagation
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_state = threading.local()
+
+
+def current_deadline() -> float | None:
+    """The absolute ``time.monotonic()`` deadline bound to this thread,
+    or ``None`` when the current request carries no deadline."""
+    return getattr(_state, "deadline", None)
+
+
+def remaining_s(now: float | None = None) -> float | None:
+    """Seconds left in the bound deadline (may be negative once
+    expired), or ``None`` when no deadline is bound."""
+    deadline = current_deadline()
+    if deadline is None:
+        return None
+    return deadline - (time.monotonic() if now is None else now)
+
+
+def expired(now: float | None = None) -> bool:
+    """Whether the bound deadline has already elapsed (``False`` when
+    no deadline is bound — absence of a deadline never sheds work)."""
+    left = remaining_s(now)
+    return left is not None and left <= 0.0
+
+
+@contextmanager
+def bind(deadline: float | None) -> Iterator[None]:
+    """Bind an absolute monotonic ``deadline`` for the enclosed calls.
+
+    ``None`` binds "no deadline", masking any outer binding — handler
+    threads are pooled, so every request must establish its own scope
+    rather than inherit a stale one.  Always restores the previous
+    value, so nested bindings (a sub-operation on a tighter budget)
+    compose.
+    """
+    previous = getattr(_state, "deadline", None)
+    _state.deadline = deadline
+    try:
+        yield
+    finally:
+        _state.deadline = previous
+
+
+def budget_to_deadline(budget_ms: int, now: float | None = None) -> float:
+    """Convert a wire budget (remaining milliseconds) into the absolute
+    monotonic deadline it means *on this host*, measured from arrival."""
+    start = time.monotonic() if now is None else now
+    return start + max(0, int(budget_ms)) / 1000.0

@@ -45,6 +45,7 @@ serving.  Its two handlers delegate straight to the wrapped server.
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
@@ -53,10 +54,12 @@ from dataclasses import dataclass, field
 
 from repro import faults, obs
 from repro.exceptions import (
+    DeadlineExceededError,
     ServiceClosedError,
     ServiceOverloadError,
     ServiceRestartingError,
 )
+from repro.service import deadlines
 from repro.protocols.messages import (
     BaselineChallengeBatch,
     BaselineIdentificationRequest,
@@ -123,6 +126,10 @@ class _Op:
     right request even though a batch tick fans in many ids);
     ``enqueued_at`` / ``dequeued_at`` are ``perf_counter`` marks from
     which the queue-wait and batch-wait spans are derived.
+    ``deadline_at`` is the request's absolute ``time.monotonic()``
+    deadline (``None`` = no deadline): once it passes, the op is shed
+    with :class:`~repro.exceptions.DeadlineExceededError` instead of
+    being served — nobody is waiting for the answer.
     """
 
     kind: str
@@ -131,6 +138,7 @@ class _Op:
     trace: bytes | None = None
     enqueued_at: float = 0.0
     dequeued_at: float = 0.0
+    deadline_at: float | None = None
 
 
 @dataclass(frozen=True)
@@ -154,6 +162,10 @@ class FrontendStats:
     verify_ops: int = 0
     verify_batches: int = 0
     max_verify_batch: int = 0
+    #: Requests shed because their deadline budget elapsed while queued.
+    shed_expired: int = 0
+    #: Requests shed by queue-age admission control (CoDel-style).
+    shed_overload: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -187,7 +199,76 @@ class FrontendStats:
                 f"({self.mean_verify_batch:.1f} responses/batch mean, "
                 f"{self.max_verify_batch} max)"
             )
+        if self.shed_expired or self.shed_overload:
+            lines.append(
+                f"shed: {self.shed_expired} expired, "
+                f"{self.shed_overload} over-capacity"
+            )
         return lines
+
+
+class _LingerController:
+    """Online linger policy: steer the coalescing gap by load.
+
+    The static linger is a guess made at construction time; the right
+    value depends on two things only measurable live — how expensive a
+    batched scan/verify actually is (the amortisation won by waiting)
+    and how long requests are already sitting in the queue (the latency
+    spent waiting).  The controller tracks both as EWMAs and applies
+    AIMD steering per flush:
+
+    * **grow** (additive, bounded) toward half the measured batch
+      service time: while a scan is running, arrivals queue anyway, so
+      lingering up to that order costs little extra latency and buys a
+      bigger amortised batch.  A slow verifier (dsa-1024) therefore
+      earns a long linger automatically; a fast one (schnorr) keeps it
+      near zero instead of taxing every request 2 ms for nothing.
+    * **shrink** (multiplicative) whenever the queue-sojourn EWMA
+      exceeds ``latency_target_s`` — under congestion the batch fills
+      without waiting, so lingering only adds tail latency.
+
+    The linger never exceeds the batch window, preserving the static
+    policy's worst-case bound.
+    """
+
+    #: EWMA smoothing for both tracked signals.
+    ALPHA = 0.2
+    #: Additive growth cap per flush (seconds).
+    GROW_STEP_S = 0.001
+
+    def __init__(self, initial_s: float, max_s: float,
+                 latency_target_s: float) -> None:
+        self.linger_s = min(initial_s, max_s)
+        self.max_s = max_s
+        self.latency_target_s = latency_target_s
+        self.scan_ewma_s = 0.0
+        self.sojourn_ewma_s = 0.0
+        self.flushes = 0
+        self.shrinks = 0
+
+    def observe_sojourn(self, sojourn_s: float) -> None:
+        """Feed one dequeued request's queue wait."""
+        self.sojourn_ewma_s += self.ALPHA * (sojourn_s - self.sojourn_ewma_s)
+
+    def observe_flush(self, batch_size: int, elapsed_s: float) -> None:
+        """Feed one batch flush (size + measured service time) and
+        steer the linger for the next tick."""
+        self.flushes += 1
+        if self.scan_ewma_s == 0.0:
+            self.scan_ewma_s = elapsed_s
+        else:
+            self.scan_ewma_s += self.ALPHA * (elapsed_s - self.scan_ewma_s)
+        if self.sojourn_ewma_s > self.latency_target_s:
+            self.shrinks += 1
+            self.linger_s *= 0.5
+            return
+        target = min(self.max_s, 0.5 * self.scan_ewma_s)
+        if target > self.linger_s:
+            self.linger_s = min(target, self.linger_s + self.GROW_STEP_S)
+        else:
+            # Decay gently toward a shrunken target (service time fell,
+            # e.g. the key-table cache warmed up) — no cliff needed.
+            self.linger_s += self.ALPHA * (target - self.linger_s)
 
 
 class ServiceFrontend:
@@ -221,9 +302,35 @@ class ServiceFrontend:
         signature throughput (the big-int math holds the GIL) but keeps
         verifications from queueing behind one slow response.
     submit_timeout_s / result_timeout_s:
-        Backpressure and fail-fast bounds.  ``result_timeout_s`` caps how
-        long a blocking handler call waits before raising — a wedged
-        pipeline surfaces as a timeout, never a hang.
+        Backpressure and fail-fast bounds.  ``submit_timeout_s`` is how
+        long a full-queue submit may block before
+        :class:`~repro.exceptions.ServiceOverloadError` — sub-second by
+        default, because a caller held for 10 s on a full queue is
+        latency spent learning what the server already knew at arrival.
+        ``result_timeout_s`` caps how long a blocking handler call waits
+        before raising — a wedged pipeline surfaces as a timeout, never
+        a hang.
+    adaptive:
+        Replace the static linger with the online
+        :class:`_LingerController` (fed by measured batch service time
+        and queue sojourn) and enable queue-age shedding.  Off by
+        default so explicitly-tuned policies stand; ``repro serve``
+        turns it on.
+    latency_target_s:
+        The sojourn bound both adaptive mechanisms steer toward
+        (defaults to ``batch_window_s``): the linger shrinks while the
+        sojourn EWMA exceeds it, and queued requests older than
+        ``shed_target_s`` are candidates for shedding.
+    shed_target_s / shed_interval_s:
+        CoDel-style admission control (adaptive mode, or whenever
+        ``shed_target_s`` is set explicitly): once dequeued sojourns
+        have stayed above ``shed_target_s`` continuously for
+        ``shed_interval_s``, the queue is congested beyond what backlog
+        draining can fix, and ops are shed with
+        :class:`~repro.exceptions.ServiceOverloadError` carrying an
+        honest ``retry_after_ms`` until sojourns recover.  Requests
+        whose deadline budget has already elapsed are always shed,
+        independent of this policy.
     """
 
     def __init__(self, server: AuthenticationServer,
@@ -232,9 +339,13 @@ class ServiceFrontend:
                  batch_window_s: float = 0.02,
                  batch_linger_s: float = 0.002,
                  workers: int = 4,
-                 submit_timeout_s: float = 10.0,
+                 submit_timeout_s: float = 0.25,
                  result_timeout_s: float = 60.0,
-                 max_batcher_restarts: int = 5) -> None:
+                 max_batcher_restarts: int = 5,
+                 adaptive: bool = False,
+                 latency_target_s: float | None = None,
+                 shed_target_s: float | None = None,
+                 shed_interval_s: float = 0.1) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
@@ -248,6 +359,24 @@ class ServiceFrontend:
         self.submit_timeout_s = submit_timeout_s
         self.result_timeout_s = result_timeout_s
         self.max_batcher_restarts = max_batcher_restarts
+        self.adaptive = adaptive
+        self.latency_target_s = (
+            batch_window_s if latency_target_s is None else latency_target_s)
+        self._controller = _LingerController(
+            batch_linger_s, batch_window_s,
+            self.latency_target_s) if adaptive else None
+        if shed_target_s is None:
+            shed_target_s = self.latency_target_s if adaptive else None
+        self.shed_target_s = shed_target_s
+        self.shed_interval_s = shed_interval_s
+        #: Start of the current above-target sojourn streak (CoDel state,
+        #: batcher thread only), and the consecutive-shed count within
+        #: the congestion episode — successive sheds accelerate
+        #: (interval / sqrt(run)) until sojourns recover, CoDel's
+        #: control law, so the shed rate can climb to meet whatever
+        #: excess the offered load carries.
+        self._above_since: float | None = None
+        self._shed_run = 0
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._closed = threading.Event()
         # Supervision state: the batcher thread runs under
@@ -301,6 +430,14 @@ class ServiceFrontend:
         self._batcher_restarts = reg.counter(
             "repro_frontend_batcher_restarts_total",
             "Supervised restarts of the micro-batcher thread.",
+            labels=instance)
+        self._shed_expired = reg.counter(
+            "repro_frontend_shed_expired_total",
+            "Requests shed because their deadline budget elapsed.",
+            labels=instance)
+        self._shed_overload = reg.counter(
+            "repro_frontend_shed_overload_total",
+            "Requests shed by queue-age admission control.",
             labels=instance)
         self.queue_wait_seconds = reg.histogram(
             "repro_frontend_queue_wait_seconds",
@@ -368,20 +505,21 @@ class ServiceFrontend:
         trace = obs.tracer.current()
         if trace is None and obs.tracer.enabled:
             trace = obs.mint_trace_id()
+        deadline_at = deadlines.current_deadline()
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # Already out of budget at the door: admitting it only
+            # queues work nobody is waiting for.
+            self._shed_expired.inc()
+            err = DeadlineExceededError(
+                "deadline budget already elapsed at submission")
+            err.retry_after_ms = self.retry_after_ms()
+            raise err
         op = _Op(kind=kind, payload=payload, trace=trace,
-                 enqueued_at=time.perf_counter())
+                 enqueued_at=time.perf_counter(), deadline_at=deadline_at)
         try:
-            self._queue.put(op, timeout=self.submit_timeout_s)
+            self._queue.put_nowait(op)
         except queue.Full:
-            self._rejected.inc()
-            exc = ServiceOverloadError(
-                f"request queue full ({self._queue.maxsize}) for "
-                f"{self.submit_timeout_s}s"
-            )
-            # Backoff hint, proportional to current congestion; the
-            # network server copies it onto the overload ErrorReply.
-            exc.retry_after_ms = self.retry_after_ms()
-            raise exc from None
+            self._blocking_put(op, deadline_at)
         if self._closed.is_set() and not self._batcher.is_alive():
             # Raced close(): the op may have landed after the shutdown
             # drain, with no consumer left.  Fail it here (idempotent —
@@ -390,6 +528,41 @@ class ServiceFrontend:
             self._fail_closed(op)
         self._submitted.inc()
         return op.future
+
+    def _blocking_put(self, op: _Op, deadline_at: float | None) -> None:
+        """Full-queue slow path: block briefly, or fail fast.
+
+        When the submitter carries a deadline smaller than the backoff
+        hint we would attach to an overload reply, blocking cannot end
+        well — the wait either exceeds the budget or leaves too little
+        of it to serve the request.  Reject immediately with the hint so
+        the client spends its remaining budget elsewhere.  Otherwise
+        block up to ``submit_timeout_s``, never past the deadline.
+        """
+        hint_ms = self.retry_after_ms()
+        wait_s = self.submit_timeout_s
+        if deadline_at is not None:
+            budget_s = deadline_at - time.monotonic()
+            if budget_s <= hint_ms / 1000.0:
+                self._rejected.inc()
+                exc = ServiceOverloadError(
+                    f"request queue full ({self._queue.maxsize}) and "
+                    f"deadline budget ({budget_s * 1000:.0f}ms) below the "
+                    f"backoff hint ({hint_ms}ms)")
+                exc.retry_after_ms = hint_ms
+                raise exc
+            wait_s = min(wait_s, budget_s)
+        try:
+            self._queue.put(op, timeout=wait_s)
+        except queue.Full:
+            self._rejected.inc()
+            exc = ServiceOverloadError(
+                f"request queue full ({self._queue.maxsize}) for "
+                f"{wait_s:.3g}s")
+            # Backoff hint, proportional to current congestion; the
+            # network server copies it onto the overload ErrorReply.
+            exc.retry_after_ms = self.retry_after_ms()
+            raise exc from None
 
     def _call(self, kind: str, payload: object):
         if self._degraded.is_set() or (
@@ -409,6 +582,15 @@ class ServiceFrontend:
         """
         if self._closed.is_set():
             raise ServiceClosedError("frontend is closed")
+        if deadlines.expired():
+            # The serial path is slow by construction; honoring elapsed
+            # deadlines matters *more* here, not less.
+            self._shed_expired.inc()
+            err = DeadlineExceededError(
+                "deadline budget elapsed before the degraded serial path "
+                "could serve the request")
+            err.retry_after_ms = self.retry_after_ms()
+            raise err
         handler = getattr(self.server, _SERIAL_HANDLERS[kind])
         self._submitted.inc()
         with self._serial_lock:
@@ -416,12 +598,22 @@ class ServiceFrontend:
         self._completed.inc()
         return result
 
+    @property
+    def current_linger_s(self) -> float:
+        """The linger in force this tick: the controller's value under
+        adaptive mode, the constructor's otherwise."""
+        if self._controller is not None:
+            return self._controller.linger_s
+        return self.batch_linger_s
+
     def retry_after_ms(self) -> int:
         """Backoff hint for overloaded/restarting replies (10..2000 ms),
-        scaled by queue depth times the batch linger (roughly how long
-        the backlog takes to drain one op deep)."""
+        scaled by queue depth times the live batch linger (roughly how
+        long the backlog takes to drain one op deep).  The degraded
+        serial path uses the same formula — its queue depth is zero, so
+        the hint honestly floors at 10 ms."""
         depth = self._queue.qsize()
-        hint = int(1000 * max(self.batch_linger_s, 0.001) * max(depth, 1))
+        hint = int(1000 * max(self.current_linger_s, 0.001) * max(depth, 1))
         return max(10, min(hint, 2000))
 
     # -- the server handler surface (blocking, drop-in) --------------------------
@@ -526,7 +718,10 @@ class ServiceFrontend:
 
         Extends the wrapped server's snapshot with pipeline state.  A
         *degraded* frontend is still ``ready`` — it is limping through
-        the serial path, not refusing work.
+        the serial path, not refusing work — but the flag (plus its
+        shed/restart counters and live ``retry_after_ms`` hint) crosses
+        the :class:`~repro.protocols.messages.HealthReply` so failover
+        clients can *prefer* a healthy standby over a degraded primary.
         """
         snapshot = self.server.health_snapshot()
         closed = self._closed.is_set()
@@ -536,6 +731,11 @@ class ServiceFrontend:
             overloaded=self._queue.full(),
             degraded=self._degraded.is_set(),
             batcher_restarts=self._restarts,
+            shed_expired=self._shed_expired.value,
+            shed_overload=self._shed_overload.value,
+            retry_after_ms=self.retry_after_ms(),
+            adaptive=self.adaptive,
+            linger_ms=self.current_linger_s * 1000.0,
             closed=closed,
             ready=not (closed or self._queue.full()),
         )
@@ -593,6 +793,8 @@ class ServiceFrontend:
             if op is _STOP:
                 return
             self._mark_dequeued(op)
+            if self._shed_dequeued(op):
+                continue
             self._current_ops = [op]
             faults.fire("frontend.batcher")
             if op.kind not in _COALESCED:
@@ -611,13 +813,15 @@ class ServiceFrontend:
                     break
                 try:
                     nxt = self._queue.get(
-                        timeout=min(self.batch_linger_s, remaining))
+                        timeout=min(self.current_linger_s, remaining))
                 except queue.Empty:
                     break  # queue went idle: flush what we have
                 if nxt is _STOP:
                     stop = True  # FIFO: everything earlier was dequeued
                     break
                 self._mark_dequeued(nxt)
+                if self._shed_dequeued(nxt):
+                    continue
                 self._current_ops.append(nxt)
                 if nxt.kind in batches:
                     batches[nxt.kind].append(nxt)
@@ -638,8 +842,69 @@ class ServiceFrontend:
         op.dequeued_at = time.perf_counter()
         waited = op.dequeued_at - op.enqueued_at
         self.queue_wait_seconds.observe(waited)
+        if self._controller is not None:
+            self._controller.observe_sojourn(waited)
         obs.tracer.record("queue-wait", waited, trace_id=op.trace,
                           detail=op.kind)
+
+    def _shed_if_expired(self, op: _Op) -> bool:
+        """Fail an op whose deadline budget has elapsed (true = shed).
+
+        Serving it anyway would spend a scan or a signature check on an
+        answer the client has already abandoned; the typed error crosses
+        the wire as ``ErrorReply(code="expired")``.
+        """
+        if op.deadline_at is None or time.monotonic() < op.deadline_at:
+            return False
+        self._shed_expired.inc()
+        err = DeadlineExceededError("deadline budget elapsed while queued")
+        err.retry_after_ms = self.retry_after_ms()
+        try:
+            op.future.set_exception(err)
+        except Exception:  # noqa: BLE001 — future already resolved elsewhere
+            pass
+        return True
+
+    def _shed_dequeued(self, op: _Op) -> bool:
+        """Admission control at dequeue: expired ops always shed;
+        under a configured ``shed_target_s``, ops are also shed while
+        queue sojourns have stayed above target for a full
+        ``shed_interval_s`` (CoDel's persistent-congestion test —
+        a lone spike never sheds, a standing queue does)."""
+        if self._shed_if_expired(op):
+            return True
+        if self.shed_target_s is None:
+            return False
+        now = op.dequeued_at
+        sojourn = now - op.enqueued_at
+        if sojourn <= self.shed_target_s:
+            self._above_since = None
+            self._shed_run = 0
+            return False
+        if self._above_since is None:
+            self._above_since = now
+        interval = self.shed_interval_s / math.sqrt(self._shed_run) \
+            if self._shed_run else self.shed_interval_s
+        if now - self._above_since < interval:
+            return False
+        # Re-arm before shedding: paced sheds, not a backlog drain —
+        # draining everything above target would throw away serveable
+        # work.  The pace accelerates with the run length (CoDel's
+        # 1/sqrt law) so sustained excess is eventually matched, while
+        # a lone spike sheds at most one op per interval.
+        self._above_since = now
+        self._shed_run += 1
+        self._shed_overload.inc()
+        exc = ServiceOverloadError(
+            f"queue sojourn {sojourn * 1000:.0f}ms above the "
+            f"{self.shed_target_s * 1000:.0f}ms shed target for "
+            f"{self.shed_interval_s * 1000:.0f}ms")
+        exc.retry_after_ms = self.retry_after_ms()
+        try:
+            op.future.set_exception(exc)
+        except Exception:  # noqa: BLE001 — future already resolved elsewhere
+            pass
+        return True
 
     def _dispatch(self, op: _Op) -> None:
         """Route one non-identification request the moment it arrives."""
@@ -662,6 +927,11 @@ class ServiceFrontend:
         lands only on the request that caused it — coalescing must never
         turn one client's garbage into every client's failure.
         """
+        # Re-check deadlines after the linger: the window may have eaten
+        # the budget's tail, and a scan is the expensive thing to waste.
+        ops = [op for op in ops if not self._shed_if_expired(op)]
+        if not ops:
+            return
         self._identify_probes.inc(len(ops))
         self._identify_batches.inc()
         self._max_batch_seen.track_max(len(ops))
@@ -681,6 +951,8 @@ class ServiceFrontend:
         # The batched scan served every coalesced probe: each request's
         # trace gets the shared tick duration as its "scan" span.
         elapsed = time.perf_counter() - start
+        if self._controller is not None:
+            self._controller.observe_flush(len(ops), elapsed)
         for op, reply in zip(ops, replies):
             obs.tracer.record("scan", elapsed, trace_id=op.trace,
                               detail=f"batch={len(ops)}")
@@ -689,6 +961,16 @@ class ServiceFrontend:
 
     def _verify_batch(self, ops: list[_Op]) -> None:
         """Schedule one batched signature check for coalesced responses."""
+        # Shed expired responses before the fan-out — a batched MSM on
+        # behalf of a departed client is pure waste.
+        doomed = [op for op in ops if self._shed_if_expired(op)]
+        if doomed:
+            dropped = set(map(id, doomed))
+            self._current_ops = [
+                o for o in self._current_ops if id(o) not in dropped]
+            ops = [op for op in ops if id(op) not in dropped]
+        if not ops:
+            return
         self._verify_ops.inc(len(ops))
         self._verify_batches.inc()
         self._max_verify_batch_seen.track_max(len(ops))
@@ -725,6 +1007,11 @@ class ServiceFrontend:
         # span recording is trace-bound and the pool thread is unbound,
         # so there is no double count).
         elapsed = time.perf_counter() - start
+        if self._controller is not None:
+            # Pool-thread write; the controller's fields are plain
+            # floats, so a racing batcher read sees old-or-new, never
+            # torn state.
+            self._controller.observe_flush(len(ops), elapsed)
         for op, outcome in zip(ops, outcomes):
             obs.tracer.record("verify", elapsed, trace_id=op.trace,
                               detail=f"batch={len(ops)}")
@@ -761,4 +1048,6 @@ class ServiceFrontend:
             verify_ops=self._verify_ops.value,
             verify_batches=self._verify_batches.value,
             max_verify_batch=int(self._max_verify_batch_seen.value),
+            shed_expired=self._shed_expired.value,
+            shed_overload=self._shed_overload.value,
         )

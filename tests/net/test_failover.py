@@ -286,3 +286,96 @@ class TestFailover:
                 assert ack.accepted
                 assert client.failovers >= 1
                 assert client.current_address == (host, port)
+
+
+class TestCircuitBreaker:
+    """The per-endpoint breaker state machine, plus its integration
+    points: routing around a degraded primary and the overall deadline
+    bounding the whole retry loop."""
+
+    def test_breaker_state_machine(self):
+        from repro.net.resilience import _Breaker
+        b = _Breaker(threshold=3, cooldown_s=1.0)
+        assert b.state(0.0) == "closed"
+        assert not b.record_failure(0.0)
+        assert not b.record_failure(0.0)
+        assert b.record_failure(0.0)  # third consecutive failure trips
+        assert b.state(0.5) == "open"
+        assert b.state(1.5) == "half-open"
+        b.reopen(1.5)  # half-open probe failed: new cooldown
+        assert b.state(2.0) == "open"
+        assert b.opens == 2
+        b.record_success()  # half-open probe succeeded: fully closed
+        assert b.state(3.0) == "closed"
+        assert b.failures == 0
+
+    def test_success_resets_the_consecutive_count(self):
+        from repro.net.resilience import _Breaker
+        b = _Breaker(threshold=3, cooldown_s=1.0)
+        for _ in range(5):
+            b.record_failure(0.0)
+            b.record_success()
+        assert b.state(0.0) == "closed"
+        assert b.opens == 0
+
+    def test_consecutive_failures_open_the_breaker(self, net_params,
+                                                   fast_scheme, population,
+                                                   watchdog):
+        """Against a single dead endpoint, the retry loop's consecutive
+        transport failures trip that endpoint's breaker open."""
+        device = BiometricDevice(net_params, fast_scheme, seed=b"brk-dev")
+        with FailoverClient(
+                [("127.0.0.1", 1)],
+                policy=RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                                   jitter=0.0),
+                timeout_s=0.5, health_deadline_s=0.2,
+                breaker_threshold=3, breaker_cooldown_s=30.0) as client:
+            with pytest.raises(Exception):
+                client.enroll(device, "brk-user", population.template(0))
+            assert client.breaker_states() == ["open"]
+            assert client.breaker_opens >= 1
+
+    def test_overall_deadline_bounds_the_retry_loop(self, net_params,
+                                                    fast_scheme, population,
+                                                    watchdog):
+        """With ``overall_deadline_s`` set, attempts plus backoff sleeps
+        never overrun the caller's total budget — the loop gives up
+        early instead of sleeping past it."""
+        device = BiometricDevice(net_params, fast_scheme, seed=b"ovd-dev")
+        policy = RetryPolicy(max_attempts=8, base_delay_s=0.5,
+                             multiplier=2.0, jitter=0.0)
+        with FailoverClient(
+                [("127.0.0.1", 1)], policy=policy,
+                timeout_s=0.5, health_deadline_s=0.2,
+                overall_deadline_s=0.3) as client:
+            start = time.monotonic()
+            with pytest.raises(Exception):
+                client.enroll(device, "ovd-user", population.template(0))
+            elapsed = time.monotonic() - start
+            # Without the deadline the backoff schedule alone is ~60s.
+            assert elapsed < 1.5
+
+    def test_routes_around_degraded_primary(self, net_params, fast_scheme,
+                                            population, watchdog):
+        """A primary limping through its degraded serial path still
+        answers health probes — but flags itself, and a ready-preferring
+        failover client picks the healthy standby instead."""
+        p_engine = IdentificationEngine(net_params, shards=2)
+        _, p_frontend, p_net = _serve(p_engine, net_params, fast_scheme,
+                                      b"degp")
+        s_engine = IdentificationEngine(net_params, shards=2)
+        _, _, s_net = _serve(s_engine, net_params, fast_scheme, b"degs")
+        device = BiometricDevice(net_params, fast_scheme, seed=b"deg-dev")
+        with p_net, s_net:
+            # Force the primary onto its degraded serial path.
+            p_frontend._degraded.set()
+            assert p_frontend.health_snapshot()["degraded"] is True
+            with FailoverClient(
+                    [p_net.address, s_net.address],
+                    policy=RetryPolicy(max_attempts=4, base_delay_s=0.01,
+                                       jitter=0.0),
+                    timeout_s=1.0, health_deadline_s=0.5) as client:
+                # The first request starts on the degraded primary; any
+                # failover advance must land on the healthy standby.
+                client._advance()
+                assert client.current_address == s_net.address

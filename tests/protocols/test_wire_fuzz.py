@@ -18,6 +18,7 @@ from repro.protocols.messages import (
     BaselineChallengeBatch,
     BaselineIdentificationRequest,
     BaselineResponseBatch,
+    DeadlineEnvelope,
     EnrollmentAck,
     EnrollmentSubmission,
     ErrorReply,
@@ -83,6 +84,8 @@ SAMPLES = {
     TracedEnvelope: TracedEnvelope(
         trace_id=b"t" * 16,
         body=VerificationRequest(user_id="dave").encode()),
+    DeadlineEnvelope: DeadlineEnvelope.wrap(
+        VerificationRequest(user_id="dave"), budget_ms=750),
     StatsRequest: StatsRequest.make("all", limit=25),
     StatsReply: StatsReply(payload='{"metrics": [], "traces": []}'),
     ReplicateSubscribe: ReplicateSubscribe.make(from_seq=7, max_entries=64),

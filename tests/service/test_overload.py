@@ -1,0 +1,251 @@
+"""Frontend overload behaviour: deadline sheds, CoDel admission
+control, the submit-time fast reject, and the adaptive linger laws.
+
+Every congestion episode here is manufactured deterministically — a
+``frontend.batcher`` fault-harness stall or direct controller feeding —
+so the assertions are about the control *laws*, not about racing the
+scheduler.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.biometrics.synthetic import BoundedUniformNoise, UserPopulation
+from repro.core.params import SystemParams
+from repro.engine.engine import IdentificationEngine
+from repro.exceptions import DeadlineExceededError, ServiceOverloadError
+from repro.protocols.device import BiometricDevice
+from repro.protocols.messages import VerificationChallenge
+from repro.protocols.runners import run_enrollment
+from repro.protocols.server import AuthenticationServer
+from repro.protocols.transport import DuplexLink
+from repro.service import deadlines
+from repro.service.frontend import ServiceFrontend, _LingerController
+
+N_USERS = 2
+
+
+@pytest.fixture
+def net_params() -> SystemParams:
+    return SystemParams.paper_defaults(n=32)
+
+
+@pytest.fixture
+def population(net_params):
+    return UserPopulation(net_params, size=N_USERS,
+                          noise=BoundedUniformNoise(net_params.t), seed=41)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leakage():
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def enrolled(net_params, fast_scheme, population):
+    """An enrolled server (no frontend yet: tests pick their knobs)."""
+    engine = IdentificationEngine(net_params, shards=2)
+    server = AuthenticationServer(net_params, fast_scheme, store=engine,
+                                  seed=b"overload-test")
+    device = BiometricDevice(net_params, fast_scheme, seed=b"overload-dev")
+    for i, user_id in enumerate(population.user_ids()):
+        run = run_enrollment(device, server, DuplexLink(), user_id,
+                             population.template(i))
+        assert run.outcome.accepted
+    return server, population.user_ids()[0]
+
+
+def _request(user_id: str):
+    from repro.protocols.messages import VerificationRequest
+    return VerificationRequest(user_id=user_id)
+
+
+class TestDeadlineSheds:
+    def test_expired_at_submission_is_rejected_at_the_door(self, enrolled):
+        """A budget already elapsed at submit never queues: the typed
+        error (with a backoff hint) comes back immediately and the shed
+        counter records it."""
+        server, user = enrolled
+        frontend = ServiceFrontend(server, workers=1)
+        try:
+            with deadlines.bind(time.monotonic() - 0.01):
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    frontend.handle_verification_request(_request(user))
+            assert excinfo.value.retry_after_ms >= 10
+            assert frontend.stats().shed_expired == 1
+        finally:
+            frontend.close()
+
+    def test_expired_while_queued_is_shed_at_dequeue(self, enrolled):
+        """An op whose budget elapses while the batcher is busy is shed
+        when dequeued, not scanned: the stalled no-deadline op ahead of
+        it still succeeds."""
+        server, user = enrolled
+        faults.install([
+            {"point": "frontend.batcher", "style": "delay",
+             "delay_s": 0.15, "times": 1},
+        ])
+        frontend = ServiceFrontend(server, workers=1)
+        try:
+            results: list[object] = []
+
+            def trigger():
+                results.append(
+                    frontend.handle_verification_request(_request(user)))
+
+            t = threading.Thread(target=trigger)
+            t.start()
+            time.sleep(0.03)  # let the trigger op enter the stall
+            deadline = deadlines.budget_to_deadline(50)
+            with deadlines.bind(deadline):
+                with pytest.raises(DeadlineExceededError):
+                    frontend.handle_verification_request(_request(user))
+            t.join()
+            assert isinstance(results[0], VerificationChallenge)
+            assert frontend.stats().shed_expired == 1
+        finally:
+            frontend.close()
+
+
+class TestCoDelShedding:
+    def test_persistent_congestion_sheds_paced_not_drained(self, enrolled):
+        """Once dequeued sojourns stay above ``shed_target_s`` for a
+        full ``shed_interval_s``, the frontend sheds — but paced: most
+        of the backlog is still served, never bulk-dropped."""
+        server, user = enrolled
+        # Every batcher iteration stalls 60 ms, so queued ops' sojourns
+        # (all > 20 ms) form a persistent above-target streak.
+        faults.install([
+            {"point": "frontend.batcher", "style": "delay",
+             "delay_s": 0.06},
+        ])
+        frontend = ServiceFrontend(server, workers=1,
+                                   shed_target_s=0.02,
+                                   shed_interval_s=0.05)
+        try:
+            outcomes: list[object] = []
+            lock = threading.Lock()
+
+            def one():
+                try:
+                    reply = frontend.handle_verification_request(
+                        _request(user))
+                except ServiceOverloadError as exc:
+                    assert exc.retry_after_ms >= 10
+                    reply = exc
+                with lock:
+                    outcomes.append(reply)
+
+            threads = [threading.Thread(target=one) for _ in range(8)]
+            for t in threads:
+                t.start()
+                time.sleep(0.01)  # spread arrivals across iterations
+            for t in threads:
+                t.join()
+            shed = [o for o in outcomes if isinstance(o, ServiceOverloadError)]
+            served = [o for o in outcomes
+                      if isinstance(o, VerificationChallenge)]
+            assert len(shed) >= 1, "persistent congestion must shed"
+            assert len(served) >= 4, "CoDel paces sheds, never drains"
+            assert frontend.stats().shed_overload == len(shed)
+        finally:
+            frontend.close()
+
+    def test_no_sheds_below_target(self, enrolled):
+        """An uncongested frontend with shedding configured never
+        sheds."""
+        server, user = enrolled
+        frontend = ServiceFrontend(server, workers=1,
+                                   shed_target_s=0.5,
+                                   shed_interval_s=0.05)
+        try:
+            for _ in range(6):
+                reply = frontend.handle_verification_request(_request(user))
+                assert isinstance(reply, VerificationChallenge)
+            assert frontend.stats().shed_overload == 0
+        finally:
+            frontend.close()
+
+
+class TestSubmitFastReject:
+    def test_full_queue_with_tiny_budget_rejects_immediately(self,
+                                                             enrolled):
+        """Queue full + a deadline budget below the backoff hint: the
+        frontend must answer overload *now* — blocking would burn the
+        whole budget on a wait that cannot end well."""
+        server, user = enrolled
+        faults.install([
+            {"point": "frontend.batcher", "style": "delay",
+             "delay_s": 0.4, "times": 1},
+        ])
+        frontend = ServiceFrontend(server, workers=1, max_queue=1,
+                                   submit_timeout_s=0.35)
+        try:
+            background: list[threading.Thread] = []
+            for _ in range(2):  # one stalls in the batcher, one fills
+                t = threading.Thread(
+                    target=frontend.handle_verification_request,
+                    args=(_request(user),))
+                t.start()
+                background.append(t)
+                time.sleep(0.03)
+            start = time.perf_counter()
+            with deadlines.bind(deadlines.budget_to_deadline(8)):
+                with pytest.raises(ServiceOverloadError) as excinfo:
+                    frontend.handle_verification_request(_request(user))
+            elapsed = time.perf_counter() - start
+            assert elapsed < 0.1, "must fast-reject, not block the budget"
+            assert excinfo.value.retry_after_ms >= 10
+            for t in background:
+                t.join()
+        finally:
+            frontend.close()
+
+
+class TestLingerController:
+    def test_grows_toward_half_scan_cost_when_uncongested(self):
+        ctrl = _LingerController(initial_s=0.004, max_s=0.05,
+                                 latency_target_s=0.05)
+        for _ in range(40):
+            ctrl.observe_flush(batch_size=8, elapsed_s=0.04)
+        assert ctrl.linger_s == pytest.approx(0.02, rel=0.05)
+        assert ctrl.shrinks == 0
+
+    def test_halves_under_congestion(self):
+        ctrl = _LingerController(initial_s=0.016, max_s=0.05,
+                                 latency_target_s=0.01)
+        for _ in range(3):
+            ctrl.observe_sojourn(0.2)  # sojourn EWMA far above target
+            ctrl.observe_flush(batch_size=8, elapsed_s=0.04)
+        assert ctrl.linger_s == pytest.approx(0.002, rel=0.05)
+        assert ctrl.shrinks == 3
+
+    def test_never_exceeds_the_window(self):
+        ctrl = _LingerController(initial_s=0.004, max_s=0.01,
+                                 latency_target_s=1.0)
+        for _ in range(100):
+            ctrl.observe_flush(batch_size=8, elapsed_s=1.0)
+        assert ctrl.linger_s <= 0.01
+
+
+class TestHealthSnapshot:
+    def test_snapshot_carries_overload_fields(self, enrolled):
+        """The health frame is how failover clients see congestion: the
+        hint, shed counters, restart count, and degraded flag all cross
+        it."""
+        server, _ = enrolled
+        frontend = ServiceFrontend(server, workers=1)
+        try:
+            snap = frontend.health_snapshot()
+            assert snap["retry_after_ms"] >= 10
+            assert snap["shed_expired"] == 0
+            assert snap["shed_overload"] == 0
+            assert snap["batcher_restarts"] == 0
+            assert snap["degraded"] is False
+            assert snap["ready"] is True
+        finally:
+            frontend.close()
